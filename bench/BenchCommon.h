@@ -1,0 +1,83 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers --------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark harnesses: workload scaling
+/// via the CSSPGO_SCALE environment variable, mean/confidence statistics
+/// for the error bars of Fig. 8, and paper-style table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_BENCH_BENCHCOMMON_H
+#define CSSPGO_BENCH_BENCHCOMMON_H
+
+#include "pgo/PGODriver.h"
+#include "support/SourceText.h"
+#include "workload/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace csspgo::bench {
+
+/// Request-count multiplier from $CSSPGO_SCALE (default 1.0).
+inline double scaleFromEnv() {
+  const char *Env = std::getenv("CSSPGO_SCALE");
+  if (!Env)
+    return 1.0;
+  double S = std::atof(Env);
+  return S > 0 ? S : 1.0;
+}
+
+/// Default experiment config for \p Workload at the environment scale.
+inline ExperimentConfig makeConfig(const std::string &Workload) {
+  ExperimentConfig Config;
+  Config.Workload = workloadPreset(Workload, scaleFromEnv());
+  return Config;
+}
+
+struct MeanCI {
+  double Mean = 0;
+  double HalfWidth95 = 0; ///< ~P95 half-width (1.96 * stderr).
+};
+
+inline MeanCI meanCI(const std::vector<uint64_t> &Values) {
+  MeanCI R;
+  if (Values.empty())
+    return R;
+  long double Sum = 0;
+  for (uint64_t V : Values)
+    Sum += V;
+  R.Mean = static_cast<double>(Sum / Values.size());
+  if (Values.size() < 2)
+    return R;
+  long double Var = 0;
+  for (uint64_t V : Values)
+    Var += (V - R.Mean) * (V - R.Mean);
+  Var /= (Values.size() - 1);
+  R.HalfWidth95 =
+      1.96 * std::sqrt(static_cast<double>(Var) / Values.size());
+  return R;
+}
+
+/// Percentage improvement of \p V over \p Base (positive = V faster).
+inline double improvement(double V, double Base) {
+  return Base > 0 ? 100.0 * (Base - V) / Base : 0.0;
+}
+
+inline void printHeader(const char *Id, const char *Title) {
+  std::printf("==============================================================\n"
+              "%s: %s\n"
+              "==============================================================\n",
+              Id, Title);
+}
+
+} // namespace csspgo::bench
+
+#endif // CSSPGO_BENCH_BENCHCOMMON_H

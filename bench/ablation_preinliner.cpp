@@ -1,0 +1,42 @@
+//===- bench/ablation_preinliner.cpp - §III-B pre-inliner ---------*- C++ -*-===//
+//
+// §III-B-b: the context-sensitive pre-inliner makes global, top-down
+// inline decisions offline with binary-measured sizes, persists them in
+// the profile, and merges not-inlined context profiles back into base
+// profiles. Ablation: full CSSPGO with the pre-inliner vs the same
+// pipeline relying on the loader's local hot-context heuristic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Ablation", "context-sensitive pre-inliner — §III-B");
+
+  TextTable Table({"workload", "config", "vs plain", "code size",
+                   "topdown inlines"});
+  for (const std::string &W : {std::string("HHVM"), std::string("AdRanker"),
+                               std::string("HaaS")}) {
+    for (bool Pre : {true, false}) {
+      ExperimentConfig Config = makeConfig(W);
+      Config.RunPreInliner = Pre;
+      PGODriver Driver(Config);
+      const VariantOutcome &Plain = Driver.baseline();
+      VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
+      Table.addRow({W, Pre ? "pre-inliner" : "loader heuristic",
+                    formatSignedPercent(improvement(Full.EvalCyclesMean,
+                                                    Plain.EvalCyclesMean)),
+                    formatBytes(Full.CodeSizeBytes),
+                    std::to_string(Full.Build->Loader.InlinedCallsites)});
+    }
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: the pre-inliner's global budgeted decisions with\n"
+              "measured sizes give more selective inlining (smaller code)\n"
+              "and better post-inline profiles under ThinLTO-style\n"
+              "isolation.\n");
+  return 0;
+}

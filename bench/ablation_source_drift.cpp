@@ -1,0 +1,67 @@
+//===- bench/ablation_source_drift.cpp - §III-A drift experiment --*- C++ -*-===//
+//
+// §III-A "source drifting": a minor source edit (comment insertion — line
+// numbers shift, CFG unchanged) between profiling and the next build.
+// AutoFDO's line-offset keys silently mis-correlate below the shift; the
+// paper observed an 8% performance loss from minor drift on a server
+// workload. CSSPGO's probe ids are line-independent and its CFG checksum
+// still matches, so the profile applies cleanly.
+//
+// Harness: collect profiles on the original source, then build the next
+// release from the *drifted* source with those profiles, and compare
+// against the no-drift builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "sim/Executor.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Ablation", "source drift (comment insertion) — §III-A");
+
+  TextTable Table({"workload", "variant", "no-drift vs plain",
+                   "drifted vs plain", "drift cost", "stale drops"});
+
+  for (const std::string &W : {std::string("AdRanker"), std::string("HHVM")}) {
+    ExperimentConfig Config = makeConfig(W);
+    PGODriver Driver(Config);
+    const VariantOutcome &Plain = Driver.baseline();
+
+    // Drifted "next release" source.
+    auto Drifted = Driver.source().clone();
+    applySourceDrift(*Drifted, /*ShiftLines=*/3);
+
+    for (PGOVariant V :
+         {PGOVariant::AutoFDO, PGOVariant::CSSPGOFull}) {
+      VariantOutcome Out = Driver.run(V);
+
+      BuildConfig BC;
+      BC.Variant = V;
+      if (V == PGOVariant::CSSPGOFull && Config.RunPreInliner)
+        BC.Loader.InlineHotContexts = false;
+      BuildResult DriftBuild = buildWithPGO(*Drifted, BC, &Out.Profile);
+
+      std::vector<uint64_t> Cycles;
+      for (unsigned E = 0; E != Config.EvalRuns; ++E) {
+        std::vector<int64_t> Mem = generateInput(
+            Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
+        Cycles.push_back(execute(*DriftBuild.Bin, "main", Mem, {}).Cycles);
+      }
+      double DriftMean = meanCI(Cycles).Mean;
+      double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
+      double WithDrift = improvement(DriftMean, Plain.EvalCyclesMean);
+      Table.addRow({W, variantName(V), formatSignedPercent(NoDrift),
+                    formatSignedPercent(WithDrift),
+                    formatSignedPercent(NoDrift - WithDrift),
+                    std::to_string(DriftBuild.Loader.StaleDropped)});
+    }
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: minor drift cost AutoFDO up to ~8%%; CSSPGO is\n"
+              "unaffected (probe ids don't shift; CFG checksum matches).\n");
+  return 0;
+}

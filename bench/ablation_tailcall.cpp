@@ -1,0 +1,47 @@
+//===- bench/ablation_tailcall.cpp - §III-B missing frames --------*- C++ -*-===//
+//
+// §III-B "Reliable stack sampling": tail-call elimination removes caller
+// frames from sampled stacks; the missing-frame inferrer rebuilds them
+// from a dynamic tail-call graph when a unique path exists. The paper
+// reports more than two-thirds of missing tail-call frames recovered.
+//
+// Harness: the call-dense AdFinder preset (tail-call probability 0.5).
+// Reports the inferrer's recovery statistics and the effect of disabling
+// it on the context-sensitive profile and final performance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/ProfileIO.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Ablation", "missing-frame inference for tail calls — §III-B");
+
+  TextTable Table({"config", "recovery rate", "attempts", "ambiguous",
+                   "no path", "CS contexts", "vs plain"});
+  for (bool Infer : {true, false}) {
+    ExperimentConfig Config = makeConfig("AdFinder");
+    Config.InferMissingFrames = Infer;
+    PGODriver Driver(Config);
+    const VariantOutcome &Plain = Driver.baseline();
+    VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
+    const auto &S = Full.ProfGen.TailCallStats;
+    double Rate = S.Attempts ? 100.0 * S.Recovered / S.Attempts : 0;
+    Table.addRow({Infer ? "inferrer on" : "inferrer off",
+                  Infer ? formatPercent(Rate) : "-",
+                  std::to_string(S.Attempts),
+                  std::to_string(S.AmbiguousPaths),
+                  std::to_string(S.NoPath),
+                  std::to_string(Full.Profile.CS.numProfiles()),
+                  formatSignedPercent(improvement(Full.EvalCyclesMean,
+                                                  Plain.EvalCyclesMean))});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: more than two-thirds of missing tail-call frames\n"
+              "recovered in practice.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/ablation_trimming.cpp - §III-B profile scalability ---*- C++ -*-===//
+//
+// §III-B "Scalability": untrimmed context-sensitive profiles can be ~10x
+// the size of a regular profile on dense call graphs; trimming cold
+// contexts into the base profile makes the CS profile comparable in size
+// "without losing its benefit".
+//
+// Harness: generate the full CS profile with and without cold-context
+// trimming, compare serialized sizes against the flat (probe-only)
+// profile, and verify the performance effect of trimming is negligible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/ProfileIO.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Ablation", "cold-context trimming — §III-B scalability");
+
+  TextTable Table({"workload", "flat bytes", "CS untrimmed", "CS trimmed",
+                   "untrimmed/flat", "trimmed/flat", "perf delta"});
+  // A dense-dynamic-call-graph configuration (the scenario where the paper
+  // reports ~10x untrimmed growth), alongside a standard preset.
+  auto DenseConfig = [&] {
+    ExperimentConfig C = makeConfig("AdFinder");
+    C.Workload.Name = "AdFinder-dense";
+    C.Workload.MidsPerService = 24;
+    C.Workload.UtilCallsPerMid = 4;
+    C.Workload.TailCallProb = 0.6;
+    C.SamplePeriodCycles = 997; // Denser sampling reaches colder contexts.
+    return C;
+  };
+  for (const std::string &W :
+       {std::string("HHVM"), std::string("AdFinder-dense")}) {
+    ExperimentConfig Trim = W == "AdFinder-dense" ? DenseConfig()
+                                                  : makeConfig(W);
+    ExperimentConfig NoTrim = Trim;
+    NoTrim.TrimColdContexts = false;
+
+    PGODriver DTrim(Trim), DNoTrim(NoTrim);
+    VariantOutcome Flat = DTrim.run(PGOVariant::CSSPGOProbeOnly);
+    VariantOutcome Trimmed = DTrim.run(PGOVariant::CSSPGOFull);
+    VariantOutcome Untrimmed = DNoTrim.run(PGOVariant::CSSPGOFull);
+
+    size_t FlatBytes = profileSizeBytes(Flat.Profile.Flat);
+    size_t TrimBytes = profileSizeBytes(Trimmed.Profile.CS);
+    size_t RawBytes = profileSizeBytes(Untrimmed.Profile.CS);
+    double PerfDelta = improvement(Trimmed.EvalCyclesMean,
+                                   Untrimmed.EvalCyclesMean);
+    char RawRatio[32], TrimRatio[32];
+    std::snprintf(RawRatio, sizeof(RawRatio), "%.2fx",
+                  static_cast<double>(RawBytes) / FlatBytes);
+    std::snprintf(TrimRatio, sizeof(TrimRatio), "%.2fx",
+                  static_cast<double>(TrimBytes) / FlatBytes);
+    Table.addRow({W, std::to_string(FlatBytes), std::to_string(RawBytes),
+                  std::to_string(TrimBytes), RawRatio, TrimRatio,
+                  formatSignedPercent(PerfDelta)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: dense call graphs can see ~10x untrimmed growth;\n"
+              "trimming brings the CS profile to a size comparable to the\n"
+              "regular profile without losing its benefit.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/fig6_performance.cpp - Fig. 6 reproduction -----------*- C++ -*-===//
+//
+// Fig. 6 of the paper: performance of probe-only CSSPGO, full CSSPGO and
+// instrumentation PGO relative to the AutoFDO baseline, across the five
+// server workloads. The paper reports:
+//   - full CSSPGO: +1% .. +5% over AutoFDO,
+//   - probe-only CSSPGO contributing 38-78% of the full gain,
+//   - Instr PGO (HHVM only): +2.4% over AutoFDO vs CSSPGO's +1.5%
+//     (CSSPGO bridges >60% of the gap).
+// The paper could only collect Instr PGO data on HHVM (instrumented
+// binaries failed production health checks elsewhere); our simulator has
+// no such limitation, so the Instr column is filled for every workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Fig 6", "CSSPGO performance vs AutoFDO (server workloads)");
+
+  TextTable Table({"workload", "AutoFDO vs plain", "probe-only vs AutoFDO",
+                   "CSSPGO vs AutoFDO", "Instr vs AutoFDO",
+                   "probe-only share", "gap bridged"});
+
+  for (const std::string &W : serverWorkloadNames()) {
+    PGODriver Driver(makeConfig(W));
+    const VariantOutcome &Plain = Driver.baseline();
+    VariantOutcome Auto = Driver.run(PGOVariant::AutoFDO);
+    VariantOutcome Probe = Driver.run(PGOVariant::CSSPGOProbeOnly);
+    VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
+    VariantOutcome Instr = Driver.run(PGOVariant::Instr);
+
+    double AutoGain = improvement(Auto.EvalCyclesMean, Plain.EvalCyclesMean);
+    double ProbeVsAuto =
+        improvement(Probe.EvalCyclesMean, Auto.EvalCyclesMean);
+    double FullVsAuto = improvement(Full.EvalCyclesMean, Auto.EvalCyclesMean);
+    double InstrVsAuto =
+        improvement(Instr.EvalCyclesMean, Auto.EvalCyclesMean);
+    double Share = FullVsAuto > 0 ? 100.0 * ProbeVsAuto / FullVsAuto : 0;
+    double Bridged =
+        InstrVsAuto > 0 ? 100.0 * FullVsAuto / InstrVsAuto : 0;
+
+    Table.addRow({W, formatSignedPercent(AutoGain),
+                  formatSignedPercent(ProbeVsAuto),
+                  formatSignedPercent(FullVsAuto),
+                  formatSignedPercent(InstrVsAuto), formatPercent(Share),
+                  formatPercent(Bridged)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: CSSPGO +1..+5%% over AutoFDO; probe-only contributes\n"
+              "38-78%% of the gain; on HHVM CSSPGO bridges >60%% of the\n"
+              "AutoFDO->Instr gap.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/fig7_codesize.cpp - Fig. 7 reproduction --------------*- C++ -*-===//
+//
+// Fig. 7: code size of probe-only CSSPGO and full CSSPGO relative to
+// AutoFDO. The paper reports full CSSPGO producing noticeably smaller
+// code on 4 of the 5 workloads (probe-only bigger than full), with HaaS
+// changes within 1% — the effect of the pre-inliner's more selective,
+// globally-budgeted inlining.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Fig 7", "CSSPGO code size vs AutoFDO (server workloads)");
+
+  TextTable Table({"workload", "AutoFDO text", "probe-only vs AutoFDO",
+                   "CSSPGO vs AutoFDO", "probe-only > full?"});
+
+  for (const std::string &W : serverWorkloadNames()) {
+    PGODriver Driver(makeConfig(W));
+    VariantOutcome Auto = Driver.run(PGOVariant::AutoFDO);
+    VariantOutcome Probe = Driver.run(PGOVariant::CSSPGOProbeOnly);
+    VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
+
+    auto Delta = [&](uint64_t Size) {
+      return 100.0 * (static_cast<double>(Size) - Auto.CodeSizeBytes) /
+             Auto.CodeSizeBytes;
+    };
+    Table.addRow({W, formatBytes(Auto.CodeSizeBytes),
+                  formatSignedPercent(Delta(Probe.CodeSizeBytes)),
+                  formatSignedPercent(Delta(Full.CodeSizeBytes)),
+                  Probe.CodeSizeBytes > Full.CodeSizeBytes ? "yes" : "no"});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: full CSSPGO noticeably smaller on 4/5 workloads;\n"
+              "probe-only bigger than full (selective inlining only exists\n"
+              "with context-sensitivity + pre-inliner).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/fig8_probe_overhead.cpp - Fig. 8 reproduction --------*- C++ -*-===//
+//
+// Fig. 8: run-time overhead of pseudo-instrumentation. The paper compares
+// each workload built with and without pseudo-probes (no PGO profile in
+// either) and finds the delta within the P95 confidence interval — and one
+// workload (AdRetriever) slightly *faster* with probes, which can happen
+// when a probe blocks an unprofitable transformation.
+//
+// Here: "probes off" = plain build; "probes on" = same pipeline with
+// pseudo-probe insertion (the CSSPGO profiling binary). Several evaluation
+// inputs give the error bars.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "codegen/Linker.h"
+#include "probe/ProbeInserter.h"
+#include "sim/Executor.h"
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+int main() {
+  printHeader("Fig 8", "pseudo-instrumentation run-time overhead");
+
+  TextTable Table({"workload", "plain cycles", "probed cycles", "overhead",
+                   "CI(95%) +/-", "within noise?"});
+
+  for (const std::string &W : serverWorkloadNames()) {
+    ExperimentConfig Config = makeConfig(W);
+    PGODriver Driver(Config);
+
+    BuildConfig Plain;
+    Plain.Variant = PGOVariant::None;
+    BuildResult PlainBuild = buildWithPGO(Driver.source(), Plain, nullptr);
+    BuildConfig Probed;
+    Probed.Variant = PGOVariant::CSSPGOFull; // Probes inserted, no profile.
+    BuildResult ProbedBuild = buildWithPGO(Driver.source(), Probed, nullptr);
+
+    std::vector<uint64_t> PlainCycles, ProbedCycles;
+    for (unsigned E = 0; E != 5; ++E) {
+      std::vector<int64_t> Mem = generateInput(
+          Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
+      std::vector<int64_t> Mem2 = Mem;
+      PlainCycles.push_back(
+          execute(*PlainBuild.Bin, "main", Mem, {}).Cycles);
+      ProbedCycles.push_back(
+          execute(*ProbedBuild.Bin, "main", Mem2, {}).Cycles);
+    }
+    MeanCI P = meanCI(PlainCycles), Q = meanCI(ProbedCycles);
+    double OverheadPct = 100.0 * (Q.Mean - P.Mean) / P.Mean;
+    double CIPct = 100.0 * (P.HalfWidth95 + Q.HalfWidth95) / P.Mean;
+    Table.addRow({W, std::to_string(static_cast<uint64_t>(P.Mean)),
+                  std::to_string(static_cast<uint64_t>(Q.Mean)),
+                  formatSignedPercent(OverheadPct),
+                  formatPercent(CIPct),
+                  std::abs(OverheadPct) <= CIPct + 0.5 ? "yes" : "no"});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper: probe overhead within the P95 interval for all\n"
+              "workloads (near-zero); contrast with 73%% for counters\n"
+              "(Table I bench).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- examples/drift_demo.cpp - source drift resilience -----------------===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates §III-A's source-drift problem end to end: profiles are
+// collected on version 1 of a service; version 2 inserts a comment block
+// (lines shift, CFG identical). AutoFDO's line-offset keys silently bind
+// samples to the wrong statements; CSSPGO's probes are unaffected and its
+// CFG checksum certifies the profile is still valid.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgo/PGODriver.h"
+#include "quality/BlockOverlap.h"
+#include "support/SourceText.h"
+#include "workload/Workloads.h"
+
+#include <cstdio>
+
+using namespace csspgo;
+
+int main(int argc, char **argv) {
+  double Scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  ExperimentConfig Config;
+  Config.Workload = workloadPreset("AdRanker", Scale);
+  PGODriver Driver(Config);
+
+  std::printf("source drift demo (AdRanker)\n"
+              "============================\n\n");
+  const VariantOutcome &Plain = Driver.baseline();
+
+  // "Version 2": a comment block inserted mid-function everywhere.
+  auto V2 = Driver.source().clone();
+  applySourceDrift(*V2, 3);
+
+  for (PGOVariant V : {PGOVariant::AutoFDO, PGOVariant::CSSPGOFull}) {
+    VariantOutcome Out = Driver.run(V);
+    BuildConfig BC;
+    BC.Variant = V;
+    if (V == PGOVariant::CSSPGOFull)
+      BC.Loader.InlineHotContexts = false;
+    BuildResult Drifted = buildWithPGO(*V2, BC, &Out.Profile);
+
+    std::vector<int64_t> Mem =
+        generateInput(Config.Workload, Config.EvalSeedBase, Config.EvalShift);
+    RunResult R = execute(*Drifted.Bin, "main", Mem, {});
+
+    double Before =
+        100.0 * (Plain.EvalCyclesMean - Out.EvalCyclesMean) /
+        Plain.EvalCyclesMean;
+    double After = 100.0 *
+                   (Plain.EvalCyclesMean - static_cast<double>(R.Cycles)) /
+                   Plain.EvalCyclesMean;
+    std::printf("%-18s gain without drift %s, with drift %s "
+                "(stale-dropped: %u)\n",
+                variantName(V), formatSignedPercent(Before).c_str(),
+                formatSignedPercent(After).c_str(),
+                Drifted.Loader.StaleDropped);
+  }
+  std::printf("\npaper §III-A: \"we have observed minor source drift\n"
+              "causing 8%% performance loss for a server workload\";\n"
+              "pseudo-probes key on CFG structure, not line offsets, and\n"
+              "the persisted CFG checksum detects real CFG changes.\n");
+  return 0;
+}

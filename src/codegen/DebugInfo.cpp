@@ -1,0 +1,68 @@
+//===- codegen/DebugInfo.cpp - Debug info section model --------------------===//
+
+#include "codegen/DebugInfo.h"
+
+namespace csspgo {
+
+static uint64_t varintSize(uint64_t V) {
+  uint64_t Bytes = 1;
+  while (V >= 128) {
+    V >>= 7;
+    ++Bytes;
+  }
+  return Bytes;
+}
+
+DebugInfoStats computeDebugInfoStats(const Binary &Bin) {
+  DebugInfoStats Stats;
+  Stats.FunctionEntries = Bin.Funcs.size();
+
+  // Line table: one row per instruction whose (line, disc) differs from the
+  // previous instruction's (the DWARF line program only emits on change).
+  uint64_t PrevAddr = 0;
+  DebugLoc PrevLoc;
+  uint64_t PrevOrigin = 0;
+  for (const MInst &I : Bin.Code) {
+    if (I.DL == PrevLoc && I.OriginGuid == PrevOrigin) {
+      continue;
+    }
+    ++Stats.LineTableRows;
+    // Special opcode or addr-advance + line-advance, roughly.
+    Stats.SizeBytes += varintSize(I.Addr - PrevAddr) + varintSize(I.DL.Line);
+    if (I.DL.Discriminator)
+      Stats.SizeBytes += 1 + varintSize(I.DL.Discriminator);
+    PrevAddr = I.Addr;
+    PrevLoc = I.DL;
+    PrevOrigin = I.OriginGuid;
+  }
+
+  // Inlined-subroutine info: contiguous runs of the same inline context in
+  // one function produce one DW_TAG_inlined_subroutine per frame, with
+  // ranges. ~14 bytes per frame entry (abbrev + ranges + call file/line).
+  uint32_t PrevInlineId = 0;
+  uint32_t PrevFunc = ~0u;
+  for (size_t Idx = 0; Idx != Bin.Code.size(); ++Idx) {
+    const MInst &I = Bin.Code[Idx];
+    uint32_t FIdx = Bin.funcIndexOf(Idx);
+    if (I.InlineId != PrevInlineId || FIdx != PrevFunc) {
+      if (I.InlineId && FIdx != ~0u) {
+        uint64_t Frames = Bin.Funcs[FIdx].InlineTable[I.InlineId].size();
+        Stats.InlineFrameEntries += Frames;
+        Stats.SizeBytes += Frames * 14;
+      }
+      PrevInlineId = I.InlineId;
+      PrevFunc = FIdx;
+    }
+  }
+
+  // Per-function DIE (name ref, low/high pc, frame info): ~36 bytes, plus
+  // the mangled-name string.
+  for (const MachineFunction &F : Bin.Funcs)
+    Stats.SizeBytes += 36 + F.Name.size() + 1;
+
+  // Compilation-unit headers, abbrev table, string table overhead.
+  Stats.SizeBytes += 512;
+  return Stats;
+}
+
+} // namespace csspgo

@@ -1,0 +1,37 @@
+//===- codegen/DebugInfo.h - Debug info section model ------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the size and content of the DWARF-like debug-info sections that
+/// sampling-based PGO uses as correlation anchors: the line table
+/// (address -> function-relative line + discriminator) and the
+/// inlined-subroutine info (address -> inline frame stack). The content
+/// itself lives on the MInsts; this module provides the size accounting
+/// used by the Fig. 9 experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_CODEGEN_DEBUGINFO_H
+#define CSSPGO_CODEGEN_DEBUGINFO_H
+
+#include "codegen/MachineModule.h"
+
+namespace csspgo {
+
+struct DebugInfoStats {
+  uint64_t LineTableRows = 0;
+  uint64_t InlineFrameEntries = 0;
+  uint64_t FunctionEntries = 0;
+  uint64_t SizeBytes = 0;
+};
+
+/// Computes the modeled -g2 debug-info size for \p Bin: delta-encoded line
+/// table rows plus inlined-subroutine DIEs plus per-function DIEs.
+DebugInfoStats computeDebugInfoStats(const Binary &Bin);
+
+} // namespace csspgo
+
+#endif // CSSPGO_CODEGEN_DEBUGINFO_H

@@ -1,0 +1,160 @@
+//===- codegen/Linker.cpp - Linking ----------------------------------------===//
+
+#include "codegen/Linker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace csspgo {
+
+std::unique_ptr<Binary> linkBinary(std::vector<LoweredFunction> Lowered) {
+  auto Bin = std::make_unique<Binary>();
+
+  // Pass 0: profile-guided function ordering. When any function carries a
+  // hotness score, place hot functions first (descending, stable) so the
+  // hot working set is contiguous. Call targets are remapped accordingly.
+  bool AnyHotness = false;
+  for (const LoweredFunction &LF : Lowered)
+    AnyHotness |= LF.HotnessScore > 0;
+  if (AnyHotness) {
+    std::vector<size_t> Perm(Lowered.size());
+    for (size_t I = 0; I != Perm.size(); ++I)
+      Perm[I] = I;
+    std::stable_sort(Perm.begin(), Perm.end(), [&Lowered](size_t A, size_t B) {
+      return Lowered[A].HotnessScore > Lowered[B].HotnessScore;
+    });
+    std::vector<uint32_t> OldToNew(Lowered.size());
+    for (size_t NewIdx = 0; NewIdx != Perm.size(); ++NewIdx)
+      OldToNew[Perm[NewIdx]] = static_cast<uint32_t>(NewIdx);
+    std::vector<LoweredFunction> Reordered;
+    Reordered.reserve(Lowered.size());
+    for (size_t NewIdx = 0; NewIdx != Perm.size(); ++NewIdx)
+      Reordered.push_back(std::move(Lowered[Perm[NewIdx]]));
+    Lowered = std::move(Reordered);
+    for (LoweredFunction &LF : Lowered)
+      for (MInst &MI : LF.Insts)
+        if (MI.Op == Opcode::Call)
+          MI.CalleeIdx = OldToNew[MI.CalleeIdx];
+  }
+
+  // Pass 1: compute global index layout. Hot parts first, cold parts after.
+  struct Placement {
+    size_t HotBase = 0;
+    size_t ColdBase = 0;
+    size_t ColdStartLocal = 0;
+  };
+  std::vector<Placement> Places(Lowered.size());
+
+  size_t GlobalIdx = 0;
+  for (size_t F = 0; F != Lowered.size(); ++F) {
+    Places[F].HotBase = GlobalIdx;
+    Places[F].ColdStartLocal = Lowered[F].ColdStartLocal;
+    GlobalIdx += Lowered[F].ColdStartLocal;
+  }
+  for (size_t F = 0; F != Lowered.size(); ++F) {
+    Places[F].ColdBase = GlobalIdx;
+    GlobalIdx += Lowered[F].Insts.size() - Lowered[F].ColdStartLocal;
+  }
+
+  auto MapLocal = [&Places](size_t F, size_t Local) {
+    const Placement &P = Places[F];
+    return Local < P.ColdStartLocal ? P.HotBase + Local
+                                    : P.ColdBase + (Local - P.ColdStartLocal);
+  };
+
+  // Counter id space: allocate per *origin* guid across the whole module
+  // (inlined counter clones carry their origin's guid and local id).
+  std::map<uint64_t, uint32_t> CounterMax;
+  for (const LoweredFunction &LF : Lowered)
+    for (const MInst &MI : LF.Insts)
+      if (MI.Op == Opcode::InstrProfIncr)
+        CounterMax[MI.OriginGuid] =
+            std::max(CounterMax[MI.OriginGuid], MI.CounterIdx);
+  // Also reserve space for functions with counters but no surviving
+  // instructions of their own (fully inlined away): covered above since
+  // their clones carry the guid.
+  uint32_t TotalCounters = 0;
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> Owners;
+  for (const auto &[Guid, MaxId] : CounterMax) {
+    Owners[Guid] = {TotalCounters, MaxId};
+    TotalCounters += MaxId;
+  }
+
+  // Pass 2: emit function metadata and instructions.
+  Bin->Code.resize(GlobalIdx);
+  uint32_t CounterBase = 0;
+  for (size_t F = 0; F != Lowered.size(); ++F) {
+    LoweredFunction &LF = Lowered[F];
+    MachineFunction MF;
+    MF.Name = LF.Name;
+    MF.Guid = LF.Guid;
+    MF.NumParams = LF.NumParams;
+    MF.NumRegs = LF.NumRegs;
+    MF.HotBegin = Places[F].HotBase;
+    MF.HotEnd = Places[F].HotBase + LF.ColdStartLocal;
+    MF.ColdBegin = Places[F].ColdBase;
+    MF.ColdEnd =
+        Places[F].ColdBase + (LF.Insts.size() - LF.ColdStartLocal);
+    // Fully-cold functions live entirely in the cold section; their entry
+    // is the first cold instruction.
+    MF.EntryIdx = MF.HotEnd > MF.HotBegin ? MF.HotBegin : MF.ColdBegin;
+    MF.InlineTable = std::move(LF.InlineTable);
+    if (auto It = Owners.find(LF.Guid); It != Owners.end()) {
+      MF.CounterBase = It->second.first;
+      MF.NumCounters = It->second.second;
+    }
+    Bin->Funcs.push_back(std::move(MF));
+
+    for (size_t L = 0; L != LF.Insts.size(); ++L) {
+      MInst MI = std::move(LF.Insts[L]);
+      if (MI.Target >= 0)
+        MI.Target =
+            static_cast<int64_t>(MapLocal(F, static_cast<size_t>(MI.Target)));
+      if (MI.Op == Opcode::InstrProfIncr)
+        MI.CounterIdx += Owners.at(MI.OriginGuid).first;
+      Bin->Code[MapLocal(F, L)] = std::move(MI);
+    }
+
+    for (ProbeRecord P : LF.Probes) {
+      P.InstIdx = MapLocal(F, P.InstIdx);
+      P.FuncIdx = static_cast<uint32_t>(F);
+      Bin->Probes.push_back(P);
+    }
+  }
+  (void)CounterBase;
+  Bin->NumCounters = TotalCounters;
+  Bin->CounterOwners = std::move(Owners);
+
+  // Pass 3: assign addresses. 16-byte alignment at hot function starts.
+  uint64_t Addr = Binary::BaseAddr;
+  size_t NextFuncStart = 0;
+  std::vector<size_t> FuncStarts;
+  for (const MachineFunction &MF : Bin->Funcs)
+    FuncStarts.push_back(MF.HotBegin);
+  for (size_t I = 0; I != Bin->Code.size(); ++I) {
+    if (NextFuncStart < FuncStarts.size() &&
+        I == FuncStarts[NextFuncStart]) {
+      Addr = (Addr + 15) & ~uint64_t(15);
+      ++NextFuncStart;
+    }
+    Bin->Code[I].Addr = Addr;
+    Addr += Bin->Code[I].Size;
+  }
+  Bin->buildAddrIndex();
+  return Bin;
+}
+
+std::unique_ptr<Binary> compileToBinary(const Module &M) {
+  auto Bin = linkBinary(lowerModule(M));
+  Bin->DebugNames = M.guidNames();
+  // Resolve the indirect-call dispatch table against the final function
+  // order (names are stable across the linker's hotness permutation).
+  for (const std::string &Entry : M.FunctionTable) {
+    uint32_t Idx = Bin->funcIndexByName(Entry);
+    assert(Idx != ~0u && "function table entry vanished");
+    Bin->FuncTable.push_back(Idx);
+  }
+  return Bin;
+}
+
+} // namespace csspgo

@@ -1,0 +1,34 @@
+//===- codegen/Linker.h - Linking --------------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Links lowered functions into a Binary: places all hot sections first
+/// (module order) and all split-off cold sections after them, assigns byte
+/// addresses with 16-byte function alignment, resolves branch targets to
+/// global instruction indices, and re-bases instrumentation counter ids to
+/// a module-global counter space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_CODEGEN_LINKER_H
+#define CSSPGO_CODEGEN_LINKER_H
+
+#include "codegen/Lowering.h"
+#include "codegen/MachineModule.h"
+
+#include <memory>
+
+namespace csspgo {
+
+/// Links \p Lowered into an executable image.
+std::unique_ptr<Binary> linkBinary(std::vector<LoweredFunction> Lowered);
+
+/// Convenience: lower + link in one step.
+std::unique_ptr<Binary> compileToBinary(const Module &M);
+
+} // namespace csspgo
+
+#endif // CSSPGO_CODEGEN_LINKER_H

@@ -1,0 +1,270 @@
+//===- codegen/Lowering.cpp - IR to machine lowering ----------------------===//
+
+#include "codegen/Lowering.h"
+
+#include <cassert>
+#include <map>
+
+namespace csspgo {
+
+uint8_t machineSizeOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return 3;
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+    return 4;
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+    return 3;
+  case Opcode::Mov:
+    return 3;
+  case Opcode::Select:
+    return 4;
+  case Opcode::Load:
+  case Opcode::Store:
+    return 4;
+  case Opcode::Call:
+    return 5;
+  case Opcode::CallIndirect:
+    return 3; // call *reg / call [table + reg*8]
+  case Opcode::Ret:
+    return 1;
+  case Opcode::Br:
+    return 2;
+  case Opcode::CondBr:
+    return 2;
+  case Opcode::PseudoProbe:
+    return 0;
+  case Opcode::InstrProfIncr:
+    return 7; // inc qword ptr [rip + disp32]
+  }
+  return 1;
+}
+
+namespace {
+
+class FunctionLowering {
+public:
+  FunctionLowering(const Function &F, const Module &M) : F(F), M(M) {
+    Out.Name = F.getName();
+    Out.Guid = F.getGuid();
+    Out.NumParams = F.getNumParams();
+    Out.NumRegs = F.getNumRegs();
+    Out.NumCounters = F.NumCounters;
+    Out.InlineTable.emplace_back(); // Id 0 = empty stack.
+  }
+
+  LoweredFunction run();
+
+private:
+  uint32_t internInlineStack(const std::vector<InlineFrame> &Stack);
+  MInst &emit(const Instruction &I);
+  void flushPendingProbes();
+  void lowerBlock(const BasicBlock &BB, const BasicBlock *NextInSection);
+
+  const Function &F;
+  const Module &M;
+  LoweredFunction Out;
+
+  /// Layout order with cold blocks sunk to the end.
+  std::vector<const BasicBlock *> Order;
+  std::map<const BasicBlock *, size_t> BlockStart;
+  /// Branch fixups: (inst index, destination block).
+  std::vector<std::pair<size_t, const BasicBlock *>> Fixups;
+  /// Probes awaiting their attachment instruction.
+  std::vector<ProbeRecord> PendingProbes;
+  std::map<std::vector<InlineFrame>, uint32_t> InlineIds;
+};
+
+uint32_t FunctionLowering::internInlineStack(
+    const std::vector<InlineFrame> &Stack) {
+  if (Stack.empty())
+    return 0;
+  auto It = InlineIds.find(Stack);
+  if (It != InlineIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Out.InlineTable.size());
+  Out.InlineTable.push_back(Stack);
+  InlineIds.emplace(Stack, Id);
+  return Id;
+}
+
+MInst &FunctionLowering::emit(const Instruction &I) {
+  MInst MI;
+  MI.Op = I.Op;
+  MI.Dst = I.Dst;
+  MI.A = I.A;
+  MI.B = I.B;
+  MI.C = I.C;
+  MI.Args = I.Args;
+  MI.IsTailCall = I.IsTailCall;
+  MI.Size = machineSizeOf(I.Op);
+  MI.DL = I.DL;
+  MI.OriginGuid = I.OriginGuid;
+  MI.InlineId = internInlineStack(I.InlineStack);
+  Out.Insts.push_back(std::move(MI));
+  flushPendingProbes();
+  return Out.Insts.back();
+}
+
+void FunctionLowering::flushPendingProbes() {
+  if (PendingProbes.empty())
+    return;
+  size_t Idx = Out.Insts.size() - 1;
+  for (ProbeRecord &P : PendingProbes) {
+    P.InstIdx = Idx;
+    Out.Probes.push_back(P);
+  }
+  PendingProbes.clear();
+}
+
+void FunctionLowering::lowerBlock(const BasicBlock &BB,
+                                  const BasicBlock *NextInSection) {
+  for (const Instruction &I : BB.Insts) {
+    if (I.isProbe()) {
+      // Materialize as metadata attached to the next physical instruction.
+      ProbeRecord P;
+      P.Guid = I.OriginGuid;
+      P.ProbeId = I.ProbeId;
+      P.InlineId = internInlineStack(I.InlineStack);
+      PendingProbes.push_back(P);
+      continue;
+    }
+
+    if (I.Op == Opcode::Br) {
+      if (I.Succ0 == NextInSection)
+        continue; // Fallthrough; no instruction.
+      MInst &MI = emit(I);
+      Fixups.emplace_back(Out.Insts.size() - 1, I.Succ0);
+      MI.Target = 0;
+      continue;
+    }
+
+    if (I.Op == Opcode::CondBr) {
+      if (I.Succ1 == NextInSection) {
+        MInst &MI = emit(I);
+        Fixups.emplace_back(Out.Insts.size() - 1, I.Succ0);
+        MI.Target = 0;
+      } else if (I.Succ0 == NextInSection) {
+        MInst &MI = emit(I);
+        MI.InvertCond = true;
+        Fixups.emplace_back(Out.Insts.size() - 1, I.Succ1);
+        MI.Target = 0;
+      } else {
+        MInst &MI = emit(I);
+        Fixups.emplace_back(Out.Insts.size() - 1, I.Succ0);
+        MI.Target = 0;
+        // Synthesize the "else" jump.
+        Instruction Else;
+        Else.Op = Opcode::Br;
+        Else.DL = I.DL;
+        Else.OriginGuid = I.OriginGuid;
+        Else.InlineStack = I.InlineStack;
+        MInst &MB = emit(Else);
+        Fixups.emplace_back(Out.Insts.size() - 1, I.Succ1);
+        MB.Target = 0;
+      }
+      continue;
+    }
+
+    MInst &MI = emit(I);
+    if (I.isCall()) {
+      if (I.Op == Opcode::Call) {
+        const Function *Callee = M.getFunction(I.Callee);
+        assert(Callee && "call to unknown function survived verification");
+        uint32_t CalleeIdx = 0;
+        for (const auto &Fn : M.Functions) {
+          if (Fn.get() == Callee)
+            break;
+          ++CalleeIdx;
+        }
+        MI.CalleeIdx = CalleeIdx;
+      }
+      MI.CallSiteId = I.ProbeId;
+      // Call-site probe: record against the call instruction itself
+      // (pseudo-probe mode only; counter mode uses CallSiteId directly).
+      if (I.ProbeId && F.HasProbes) {
+        ProbeRecord P;
+        P.Guid = I.OriginGuid;
+        P.ProbeId = I.ProbeId;
+        P.InlineId = MI.InlineId;
+        P.InstIdx = Out.Insts.size() - 1;
+        P.IsCallProbe = true;
+        Out.Probes.push_back(P);
+      }
+    } else if (I.isCounter()) {
+      MI.CounterIdx = I.ProbeId; // Re-based to global ids by the linker.
+    }
+  }
+}
+
+LoweredFunction FunctionLowering::run() {
+  // Layout: hot blocks in function order, then cold blocks.
+  for (const auto &BB : F.Blocks)
+    if (!BB->IsColdSection)
+      Order.push_back(BB.get());
+  size_t NumHotBlocks = Order.size();
+  for (const auto &BB : F.Blocks)
+    if (BB->IsColdSection)
+      Order.push_back(BB.get());
+  assert(!F.Blocks.empty() && "function has no blocks");
+  // The entry leads its section: first hot block normally, first cold
+  // block when the entire function is cold. Either way it is Order[0]
+  // because splitting never marks the entry cold in a mixed function.
+  assert(Order.front() == F.getEntry() && "entry must lead the layout");
+
+  for (size_t I = 0; I != Order.size(); ++I) {
+    if (I == NumHotBlocks)
+      Out.ColdStartLocal = Out.Insts.size();
+    BlockStart[Order[I]] = Out.Insts.size();
+    // Fallthrough is only possible within a section: the hot->cold seam is
+    // not contiguous in the linked image.
+    const BasicBlock *Next = nullptr;
+    bool CrossesSeam = I < NumHotBlocks && I + 1 >= NumHotBlocks;
+    if (I + 1 < Order.size() && !CrossesSeam)
+      Next = Order[I + 1];
+    lowerBlock(*Order[I], Next);
+  }
+  if (Out.ColdStartLocal == SIZE_MAX)
+    Out.ColdStartLocal = Out.Insts.size();
+
+  assert(PendingProbes.empty() &&
+         "probes must attach to a physical instruction (blocks end in "
+         "terminators)");
+
+  // Resolve branch fixups to local instruction indices.
+  for (const auto &[InstIdx, Dest] : Fixups) {
+    size_t Target = BlockStart.at(Dest);
+    assert(Target < Out.Insts.size() && "branch to past-the-end block");
+    Out.Insts[InstIdx].Target = static_cast<int64_t>(Target);
+  }
+
+  for (const auto &BB : F.Blocks)
+    if (BB->HasCount)
+      Out.HotnessScore += BB->Count;
+  return Out;
+}
+
+} // namespace
+
+std::vector<LoweredFunction> lowerModule(const Module &M) {
+  std::vector<LoweredFunction> Result;
+  Result.reserve(M.Functions.size());
+  for (const auto &F : M.Functions)
+    Result.push_back(FunctionLowering(*F, M).run());
+  return Result;
+}
+
+} // namespace csspgo

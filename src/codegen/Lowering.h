@@ -1,0 +1,57 @@
+//===- codegen/Lowering.h - IR to machine lowering --------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers IR functions to machine code. Key responsibilities:
+/// - branch relaxation: conditional branches get hardware shape (one taken
+///   target + implicit fallthrough), unconditional branches to the next
+///   block are elided entirely — this is where good block layout turns
+///   into fewer taken branches;
+/// - pseudo-probe materialization: probes emit no instructions; they
+///   attach as metadata to the next physical instruction (paper §III-A);
+/// - hot/cold section assignment from the function-splitting pass;
+/// - per-instruction symbolization metadata (line, inline stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_CODEGEN_LOWERING_H
+#define CSSPGO_CODEGEN_LOWERING_H
+
+#include "codegen/MachineModule.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace csspgo {
+
+/// Byte size of the encoding of \p Op (0 for PseudoProbe).
+uint8_t machineSizeOf(Opcode Op);
+
+/// Result of lowering one function, before linking. Targets are
+/// function-local instruction indices; cold instructions start at
+/// ColdStartLocal.
+struct LoweredFunction {
+  std::string Name;
+  uint64_t Guid = 0;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0;
+  std::vector<MInst> Insts;               ///< Local layout order.
+  size_t ColdStartLocal = SIZE_MAX;       ///< First cold instruction.
+  std::vector<ProbeRecord> Probes;        ///< InstIdx is local here.
+  std::vector<std::vector<InlineFrame>> InlineTable;
+  uint32_t NumCounters = 0;
+  /// Sum of annotated block counts (0 without profile). The linker uses
+  /// this to order hot sections by hotness (profile-guided function
+  /// ordering, as production linkers do with -ffunction-sections).
+  uint64_t HotnessScore = 0;
+};
+
+/// Lowers every function of \p M. \p M must verify.
+std::vector<LoweredFunction> lowerModule(const Module &M);
+
+} // namespace csspgo
+
+#endif // CSSPGO_CODEGEN_LOWERING_H

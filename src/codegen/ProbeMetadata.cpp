@@ -1,0 +1,58 @@
+//===- codegen/ProbeMetadata.cpp - Probe metadata section ------------------===//
+
+#include "codegen/ProbeMetadata.h"
+
+#include <map>
+
+namespace csspgo {
+
+static uint64_t varintSize(uint64_t V) {
+  uint64_t Bytes = 1;
+  while (V >= 128) {
+    V >>= 7;
+    ++Bytes;
+  }
+  return Bytes;
+}
+
+ProbeMetadataStats computeProbeMetadataStats(const Binary &Bin) {
+  ProbeMetadataStats Stats;
+  if (Bin.Probes.empty())
+    return Stats;
+
+  // Group probe records by function.
+  std::map<uint32_t, std::vector<const ProbeRecord *>> ByFunc;
+  for (const ProbeRecord &P : Bin.Probes)
+    ByFunc[P.FuncIdx].push_back(&P);
+
+  for (const auto &[FuncIdx, Records] : ByFunc) {
+    const MachineFunction &F = Bin.Funcs[FuncIdx];
+    ++Stats.FunctionDescriptors;
+    // .pseudo_probe_desc: guid (8) + checksum (8) + name length + name.
+    Stats.SizeBytes += 16 + varintSize(F.Name.size()) + F.Name.size();
+
+    uint64_t PrevAddr = 0;
+    for (const ProbeRecord *P : Records) {
+      ++Stats.ProbeEntries;
+      uint64_t Addr = Bin.Code[P->InstIdx].Addr;
+      // Probe record: id + type/attr byte + address delta.
+      Stats.SizeBytes += varintSize(P->ProbeId) + 1 +
+                         varintSize(Addr >= PrevAddr ? Addr - PrevAddr
+                                                     : PrevAddr - Addr);
+      PrevAddr = Addr;
+      // Inline frames: each level stores (caller guid, call-site probe id).
+      if (P->InlineId && P->InlineId < F.InlineTable.size()) {
+        uint64_t Frames = F.InlineTable[P->InlineId].size();
+        Stats.InlineFrameEntries += Frames;
+        for (const InlineFrame &IF : F.InlineTable[P->InlineId])
+          // Caller is a varint index into the descriptor table, not a raw
+          // 8-byte guid (LLVM encodes inline frames compactly).
+          Stats.SizeBytes +=
+              varintSize(IF.FuncGuid % 4096) + varintSize(IF.CallProbeId);
+      }
+    }
+  }
+  return Stats;
+}
+
+} // namespace csspgo

@@ -1,0 +1,38 @@
+//===- codegen/ProbeMetadata.h - Probe metadata section ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the .pseudo_probe / .pseudo_probe_desc sections: the
+/// self-contained (no relocations in or out) metadata that maps binary
+/// addresses back to (function GUID, probe id, inline stack). Provides the
+/// size accounting for Fig. 9 and the grouped view the probe-based
+/// symbolizer uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_CODEGEN_PROBEMETADATA_H
+#define CSSPGO_CODEGEN_PROBEMETADATA_H
+
+#include "codegen/MachineModule.h"
+
+namespace csspgo {
+
+struct ProbeMetadataStats {
+  uint64_t ProbeEntries = 0;
+  uint64_t InlineFrameEntries = 0;
+  uint64_t FunctionDescriptors = 0;
+  uint64_t SizeBytes = 0;
+};
+
+/// Computes the modeled serialized size of the probe metadata of \p Bin.
+/// Encoding mirrors LLVM: per function a descriptor (guid + checksum +
+/// name), then delta-encoded probe records; inlined probes nest under
+/// call-site frames.
+ProbeMetadataStats computeProbeMetadataStats(const Binary &Bin);
+
+} // namespace csspgo
+
+#endif // CSSPGO_CODEGEN_PROBEMETADATA_H

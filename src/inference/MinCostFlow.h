@@ -1,0 +1,65 @@
+//===- inference/MinCostFlow.h - Min-cost circulation ------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimum-cost circulation solver (negative-cycle canceling with
+/// Bellman-Ford) — the algorithmic core of profile inference in the style
+/// of Levin et al. [9] and profi [10]: raw sample counts are smoothed into
+/// a flow-consistent profile by finding the cheapest circulation in a
+/// network that rewards matching the measured counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_INFERENCE_MINCOSTFLOW_H
+#define CSSPGO_INFERENCE_MINCOSTFLOW_H
+
+#include <cstdint>
+#include <vector>
+
+namespace csspgo {
+
+class MinCostFlowSolver {
+public:
+  /// Adds a node; returns its id.
+  int addNode();
+
+  /// Adds a directed edge with capacity \p Cap and per-unit cost \p Cost.
+  /// Returns an edge id usable with flowOn().
+  int addEdge(int From, int To, int64_t Cap, int64_t Cost);
+
+  /// Cancels negative cycles until the circulation is optimal (or the
+  /// iteration bound is hit; the result is still feasible).
+  void solve();
+
+  /// Flow pushed through edge \p EdgeId after solve().
+  int64_t flowOn(int EdgeId) const;
+
+  int numNodes() const { return NumNodes; }
+
+private:
+  struct Arc {
+    int To = 0;
+    int64_t Cap = 0;  ///< Residual capacity.
+    int64_t Cost = 0;
+    int Rev = 0; ///< Index of the reverse arc in Arcs[To... ] list.
+  };
+
+  /// Finds a negative cycle in the residual graph; returns the arc indices
+  /// (into the flattened arc array) of the cycle, empty if none.
+  std::vector<std::pair<int, int>> findNegativeCycle() const;
+
+  int NumNodes = 0;
+  /// Adjacency: per node, list of arcs.
+  std::vector<std::vector<Arc>> Adj;
+  /// Mapping from public edge id to (node, arc index).
+  std::vector<std::pair<int, int>> EdgeIndex;
+  /// Original capacity per public edge (to compute flow).
+  std::vector<int64_t> OrigCap;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_INFERENCE_MINCOSTFLOW_H

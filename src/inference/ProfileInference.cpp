@@ -1,0 +1,159 @@
+//===- inference/ProfileInference.cpp - Profile inference -------------------===//
+
+#include "inference/ProfileInference.h"
+
+#include "inference/MinCostFlow.h"
+#include "ir/CFG.h"
+
+#include <algorithm>
+#include <map>
+
+namespace csspgo {
+
+namespace {
+constexpr int64_t InfCap = int64_t(1) << 40;
+} // namespace
+
+/// Cheap fallback for very large functions where MCF would be slow:
+/// propagate counts along the CFG in reverse post order and derive edge
+/// weights proportionally from successor counts.
+static void localSmooth(Function &F) {
+  auto RPO = reversePostOrder(F);
+  auto Preds = computePredecessors(F);
+  for (BasicBlock *B : RPO) {
+    uint64_t In = 0;
+    for (BasicBlock *P : Preds[B]) {
+      auto Succs = P->successors();
+      for (unsigned S = 0; S != Succs.size(); ++S)
+        if (Succs[S] == B)
+          In += P->succWeight(S);
+    }
+    if (B != F.getEntry())
+      B->setCount(std::max(B->HasCount ? B->Count : 0, In));
+    else if (!B->HasCount)
+      B->setCount(In);
+    // Distribute the block count over successors proportionally to the
+    // successors' raw counts.
+    auto Succs = B->successors();
+    if (Succs.empty())
+      continue;
+    uint64_t Total = 0;
+    for (BasicBlock *S : Succs)
+      Total += S->HasCount ? S->Count : 0;
+    B->SuccWeights.clear();
+    for (BasicBlock *S : Succs) {
+      uint64_t W = Total ? static_cast<uint64_t>(
+                               static_cast<double>(B->Count) *
+                               (S->HasCount ? S->Count : 0) / Total)
+                         : B->Count / Succs.size();
+      B->SuccWeights.push_back(W);
+    }
+  }
+}
+
+void inferFunctionProfile(Function &F, const InferenceOptions &Opts) {
+  bool Any = false;
+  for (auto &BB : F.Blocks)
+    Any |= BB->HasCount && BB->Count > 0;
+  if (!Any || F.Blocks.empty())
+    return;
+
+  if (F.Blocks.size() > 600) {
+    localSmooth(F);
+    return;
+  }
+
+  MinCostFlowSolver Solver;
+  // Two nodes per block: in (2i) and out (2i+1).
+  std::map<BasicBlock *, int> Index;
+  for (auto &BB : F.Blocks) {
+    int In = Solver.addNode();
+    Solver.addNode();
+    Index[BB.get()] = In;
+  }
+
+  // Block arcs: reward matching the measured count, penalize exceeding it.
+  std::vector<int> MatchEdge(F.Blocks.size(), -1);
+  std::vector<int> ExtraEdge(F.Blocks.size(), -1);
+  for (size_t I = 0; I != F.Blocks.size(); ++I) {
+    BasicBlock *B = F.Blocks[I].get();
+    int In = Index[B], Out = In + 1;
+    uint64_t W = B->HasCount ? B->Count : 0;
+    if (W > 0) {
+      MatchEdge[I] =
+          Solver.addEdge(In, Out, static_cast<int64_t>(W), -Opts.MatchReward);
+      ExtraEdge[I] = Solver.addEdge(In, Out, InfCap, Opts.ExceedPenalty);
+    } else {
+      ExtraEdge[I] = Solver.addEdge(In, Out, InfCap, Opts.UnknownPenalty);
+    }
+  }
+
+  // CFG arcs.
+  std::map<std::pair<BasicBlock *, unsigned>, int> CFGEdge;
+  for (auto &BB : F.Blocks) {
+    auto Succs = BB->successors();
+    for (unsigned S = 0; S != Succs.size(); ++S) {
+      int Id = Solver.addEdge(Index[BB.get()] + 1, Index[Succs[S]], InfCap, 0);
+      CFGEdge[{BB.get(), S}] = Id;
+    }
+  }
+
+  // Circulation closure: exits feed back into the entry.
+  int EntryIn = Index[F.getEntry()];
+  for (auto &BB : F.Blocks)
+    if (BB->numSuccessors() == 0)
+      Solver.addEdge(Index[BB.get()] + 1, EntryIn, InfCap, 0);
+
+  Solver.solve();
+
+  // Read the inferred profile back.
+  for (size_t I = 0; I != F.Blocks.size(); ++I) {
+    BasicBlock *B = F.Blocks[I].get();
+    int64_t Flow = 0;
+    if (MatchEdge[I] >= 0)
+      Flow += Solver.flowOn(MatchEdge[I]);
+    if (ExtraEdge[I] >= 0)
+      Flow += Solver.flowOn(ExtraEdge[I]);
+    B->setCount(static_cast<uint64_t>(Flow < 0 ? 0 : Flow));
+    B->SuccWeights.clear();
+    unsigned NumSucc = B->numSuccessors();
+    for (unsigned S = 0; S != NumSucc; ++S) {
+      int64_t EFlow = Solver.flowOn(CFGEdge.at({B, S}));
+      B->SuccWeights.push_back(static_cast<uint64_t>(EFlow < 0 ? 0 : EFlow));
+    }
+  }
+}
+
+void inferModuleProfile(Module &M, const InferenceOptions &Opts) {
+  for (auto &F : M.Functions)
+    inferFunctionProfile(*F, Opts);
+}
+
+bool isProfileConsistent(const Function &F, uint64_t Tolerance) {
+  std::map<const BasicBlock *, uint64_t> InFlow;
+  for (auto &BB : F.Blocks) {
+    auto Succs = BB->successors();
+    uint64_t Out = 0;
+    for (unsigned S = 0; S != Succs.size(); ++S) {
+      uint64_t W = S < BB->SuccWeights.size() ? BB->SuccWeights[S] : 0;
+      InFlow[Succs[S]] += W;
+      Out += W;
+    }
+    if (!Succs.empty()) {
+      uint64_t Diff = Out > BB->Count ? Out - BB->Count : BB->Count - Out;
+      if (Diff > Tolerance)
+        return false;
+    }
+  }
+  for (auto &BB : F.Blocks) {
+    if (BB.get() == F.getEntry())
+      continue;
+    uint64_t In = InFlow[BB.get()];
+    uint64_t Diff = In > BB->Count ? In - BB->Count : BB->Count - In;
+    if (Diff > Tolerance)
+      return false;
+  }
+  return true;
+}
+
+} // namespace csspgo

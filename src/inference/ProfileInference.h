@@ -1,0 +1,49 @@
+//===- inference/ProfileInference.h - Profile inference ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile inference ("Profi", ref [10]): turns the raw, possibly
+/// inconsistent block counts produced by sample correlation into a
+/// flow-consistent profile (inflow == count == outflow at every block)
+/// with per-edge weights, by solving a minimum-cost circulation that
+/// rewards matching the measured counts and penalizes deviation. Both the
+/// AutoFDO baseline and CSSPGO run this stage (§IV-A: "Since CSSPGO by
+/// default uses Profi ... we also turned on Profi for AutoFDO").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_INFERENCE_PROFILEINFERENCE_H
+#define CSSPGO_INFERENCE_PROFILEINFERENCE_H
+
+#include "ir/Module.h"
+
+namespace csspgo {
+
+struct InferenceOptions {
+  /// Per-unit reward for flow matching a measured count.
+  int64_t MatchReward = 2;
+  /// Per-unit penalty for flow exceeding a measured count.
+  int64_t ExceedPenalty = 2;
+  /// Per-unit penalty for routing flow through unmeasured blocks.
+  int64_t UnknownPenalty = 1;
+};
+
+/// Runs inference on \p F in place: blocks get consistent Count and
+/// SuccWeights. Blocks without annotation participate with weight 0 and
+/// may receive inferred flow. No-op when no block has a count.
+void inferFunctionProfile(Function &F, const InferenceOptions &Opts = {});
+
+/// Runs inference over every function of \p M.
+void inferModuleProfile(Module &M, const InferenceOptions &Opts = {});
+
+/// Returns true if the annotated counts are flow-consistent: for every
+/// block (except entry/exits), count equals the sum of incoming edge
+/// weights and the sum of outgoing edge weights. Used by tests.
+bool isProfileConsistent(const Function &F, uint64_t Tolerance = 0);
+
+} // namespace csspgo
+
+#endif // CSSPGO_INFERENCE_PROFILEINFERENCE_H

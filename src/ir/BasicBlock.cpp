@@ -1,0 +1,60 @@
+//===- ir/BasicBlock.cpp - Basic block ------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+namespace csspgo {
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  if (!hasTerminator())
+    return Succs;
+  const Instruction &T = terminator();
+  if (T.Succ0)
+    Succs.push_back(T.Succ0);
+  if (T.Op == Opcode::CondBr && T.Succ1)
+    Succs.push_back(T.Succ1);
+  return Succs;
+}
+
+unsigned BasicBlock::numSuccessors() const {
+  if (!hasTerminator())
+    return 0;
+  const Instruction &T = terminator();
+  switch (T.Op) {
+  case Opcode::Ret:
+    return 0;
+  case Opcode::Br:
+    return 1;
+  case Opcode::CondBr:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+void BasicBlock::replaceSuccessor(BasicBlock *From, BasicBlock *To) {
+  if (!hasTerminator())
+    return;
+  Instruction &T = terminator();
+  if (T.Succ0 == From)
+    T.Succ0 = To;
+  if (T.Succ1 == From)
+    T.Succ1 = To;
+}
+
+const Instruction *BasicBlock::getBlockProbe() const {
+  for (const Instruction &I : Insts)
+    if (I.isProbe())
+      return &I;
+  return nullptr;
+}
+
+uint64_t BasicBlock::succWeight(unsigned SuccIdx) const {
+  unsigned N = numSuccessors();
+  assert(SuccIdx < N && "successor index out of range");
+  if (SuccIdx < SuccWeights.size())
+    return SuccWeights[SuccIdx];
+  return N ? Count / N : 0;
+}
+
+} // namespace csspgo

@@ -1,0 +1,103 @@
+//===- ir/BasicBlock.h - Basic block ----------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic block: an instruction sequence ending in a single terminator.
+/// Blocks also carry the profile annotation (execution count and outgoing
+/// edge weights) that the profile loader installs and every transformation
+/// is responsible for maintaining (the "profile maintenance" component of
+/// Fig. 1 in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_BASICBLOCK_H
+#define CSSPGO_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+class Function;
+
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Label)
+      : Parent(Parent), Label(std::move(Label)) {}
+
+  Function *getParent() const { return Parent; }
+  const std::string &getLabel() const { return Label; }
+  void setLabel(std::string L) { Label = std::move(L); }
+
+  std::vector<Instruction> Insts;
+
+  /// Returns the terminator, i.e. the last instruction. The block must be
+  /// non-empty and well formed.
+  Instruction &terminator() {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+  const Instruction &terminator() const {
+    return const_cast<BasicBlock *>(this)->terminator();
+  }
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  /// Returns the successor blocks in terminator order (taken target first
+  /// for CondBr).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Returns the number of successors without materializing a vector.
+  unsigned numSuccessors() const;
+
+  /// Replaces every successor edge to \p From with \p To.
+  void replaceSuccessor(BasicBlock *From, BasicBlock *To);
+
+  /// Returns the first PseudoProbe instruction of the block, or nullptr.
+  /// Each block gets exactly one block probe when probes are inserted.
+  const Instruction *getBlockProbe() const;
+
+  /// \name Profile annotation
+  /// @{
+
+  /// Whether a profile count has been annotated on this block.
+  bool HasCount = false;
+  /// Execution count from the loaded profile (after inference).
+  uint64_t Count = 0;
+  /// Outgoing edge weights, parallel to successors(). Empty = unknown.
+  std::vector<uint64_t> SuccWeights;
+
+  void setCount(uint64_t C) {
+    Count = C;
+    HasCount = true;
+  }
+  void clearProfile() {
+    HasCount = false;
+    Count = 0;
+    SuccWeights.clear();
+  }
+
+  /// Returns the weight of the edge to successor index \p SuccIdx, falling
+  /// back to an even split of Count when edge weights are unknown.
+  uint64_t succWeight(unsigned SuccIdx) const;
+  /// @}
+
+  /// Blocks moved to the cold section by function splitting.
+  bool IsColdSection = false;
+
+private:
+  Function *Parent;
+  std::string Label;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_BASICBLOCK_H

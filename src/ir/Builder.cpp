@@ -1,0 +1,88 @@
+//===- ir/Builder.cpp - IR construction helper ----------------------------===//
+
+#include "ir/Builder.h"
+
+namespace csspgo {
+
+Instruction &Builder::emit(Opcode Op) {
+  assert(BB && "no insertion block set");
+  BB->Insts.emplace_back();
+  Instruction &I = BB->Insts.back();
+  I.Op = Op;
+  I.DL.Line = Line++;
+  I.OriginGuid = F->getGuid();
+  return I;
+}
+
+RegId Builder::emitBinary(Opcode Op, Operand A, Operand B) {
+  RegId Dst = F->allocReg();
+  Instruction &I = emit(Op);
+  I.Dst = Dst;
+  I.A = A;
+  I.B = B;
+  return Dst;
+}
+
+RegId Builder::emitSelect(Operand Cond, Operand T, Operand Fa) {
+  RegId Dst = F->allocReg();
+  Instruction &I = emit(Opcode::Select);
+  I.Dst = Dst;
+  I.A = Cond;
+  I.B = T;
+  I.C = Fa;
+  return Dst;
+}
+
+RegId Builder::emitLoad(Operand Addr) {
+  RegId Dst = F->allocReg();
+  Instruction &I = emit(Opcode::Load);
+  I.Dst = Dst;
+  I.A = Addr;
+  return Dst;
+}
+
+void Builder::emitStore(Operand Addr, Operand Val) {
+  Instruction &I = emit(Opcode::Store);
+  I.A = Addr;
+  I.B = Val;
+}
+
+RegId Builder::emitCall(const std::string &Callee, std::vector<Operand> Args,
+                        bool IsTail) {
+  RegId Dst = F->allocReg();
+  Instruction &I = emit(Opcode::Call);
+  I.Dst = Dst;
+  I.Callee = Callee;
+  I.Args = std::move(Args);
+  I.IsTailCall = IsTail;
+  return Dst;
+}
+
+RegId Builder::emitCallIndirect(Operand Slot, std::vector<Operand> Args) {
+  RegId Dst = F->allocReg();
+  Instruction &I = emit(Opcode::CallIndirect);
+  I.Dst = Dst;
+  I.A = Slot;
+  I.Args = std::move(Args);
+  return Dst;
+}
+
+void Builder::emitRet(Operand Val) {
+  Instruction &I = emit(Opcode::Ret);
+  I.A = Val;
+}
+
+void Builder::emitBr(BasicBlock *Target) {
+  Instruction &I = emit(Opcode::Br);
+  I.Succ0 = Target;
+}
+
+void Builder::emitCondBr(Operand Cond, BasicBlock *TrueBB,
+                         BasicBlock *FalseBB) {
+  Instruction &I = emit(Opcode::CondBr);
+  I.A = Cond;
+  I.Succ0 = TrueBB;
+  I.Succ1 = FalseBB;
+}
+
+} // namespace csspgo

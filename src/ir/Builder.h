@@ -1,0 +1,67 @@
+//===- ir/Builder.h - IR construction helper --------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder-style convenience API for constructing instructions. Tracks a
+/// current insertion block and a current source line so generated programs
+/// get realistic monotonically increasing function-relative line numbers
+/// (which is what the debug-info-based correlation of AutoFDO keys on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_BUILDER_H
+#define CSSPGO_IR_BUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+namespace csspgo {
+
+class Builder {
+public:
+  explicit Builder(Function *F) : F(F) {}
+
+  Function *getFunction() const { return F; }
+
+  /// Sets the block new instructions are appended to.
+  void setInsertBlock(BasicBlock *B) { BB = B; }
+  BasicBlock *getInsertBlock() const { return BB; }
+
+  /// Sets the current source line (function-relative offset).
+  void setLine(uint32_t L) { Line = L; }
+  uint32_t getLine() const { return Line; }
+  /// Advances the line as if one source statement was written.
+  void nextLine() { ++Line; }
+
+  /// \name Instruction creation. Each emits at the insertion point with the
+  /// current line and advances the line by one.
+  /// @{
+  RegId emitBinary(Opcode Op, Operand A, Operand B);
+  RegId emitConst(int64_t V) { return emitBinary(Opcode::Mov, Operand::imm(V), Operand()); }
+  RegId emitMov(Operand A) { return emitBinary(Opcode::Mov, A, Operand()); }
+  RegId emitSelect(Operand Cond, Operand T, Operand Fa);
+  RegId emitLoad(Operand Addr);
+  void emitStore(Operand Addr, Operand Val);
+  RegId emitCall(const std::string &Callee, std::vector<Operand> Args,
+                 bool IsTail = false);
+  /// Indirect call through the module function table: slot in \p Slot.
+  RegId emitCallIndirect(Operand Slot, std::vector<Operand> Args);
+  void emitRet(Operand Val);
+  void emitBr(BasicBlock *Target);
+  void emitCondBr(Operand Cond, BasicBlock *TrueBB, BasicBlock *FalseBB);
+  /// @}
+
+private:
+  Instruction &emit(Opcode Op);
+
+  Function *F;
+  BasicBlock *BB = nullptr;
+  uint32_t Line = 1;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_BUILDER_H

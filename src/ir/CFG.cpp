@@ -1,0 +1,156 @@
+//===- ir/CFG.cpp - CFG utilities -----------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+
+namespace csspgo {
+
+std::map<BasicBlock *, std::vector<BasicBlock *>>
+computePredecessors(Function &F) {
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Preds;
+  for (auto &BB : F.Blocks)
+    Preds[BB.get()]; // Ensure every block has an entry.
+  for (auto &BB : F.Blocks)
+    for (BasicBlock *S : BB->successors())
+      Preds[S].push_back(BB.get());
+  return Preds;
+}
+
+std::set<BasicBlock *> computeReachable(Function &F) {
+  std::set<BasicBlock *> Seen;
+  if (F.Blocks.empty())
+    return Seen;
+  std::vector<BasicBlock *> Work{F.getEntry()};
+  Seen.insert(F.getEntry());
+  while (!Work.empty()) {
+    BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : B->successors())
+      if (Seen.insert(S).second)
+        Work.push_back(S);
+  }
+  return Seen;
+}
+
+static void postOrderVisit(BasicBlock *B, std::set<BasicBlock *> &Seen,
+                           std::vector<BasicBlock *> &Order) {
+  Seen.insert(B);
+  for (BasicBlock *S : B->successors())
+    if (!Seen.count(S))
+      postOrderVisit(S, Seen, Order);
+  Order.push_back(B);
+}
+
+std::vector<BasicBlock *> reversePostOrder(Function &F) {
+  std::vector<BasicBlock *> Order;
+  if (F.Blocks.empty())
+    return Order;
+  std::set<BasicBlock *> Seen;
+  postOrderVisit(F.getEntry(), Seen, Order);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::map<BasicBlock *, std::set<BasicBlock *>>
+computeDominators(Function &F) {
+  std::map<BasicBlock *, std::set<BasicBlock *>> Dom;
+  std::vector<BasicBlock *> RPO = reversePostOrder(F);
+  if (RPO.empty())
+    return Dom;
+  std::set<BasicBlock *> All(RPO.begin(), RPO.end());
+  for (BasicBlock *B : RPO)
+    Dom[B] = All;
+  Dom[F.getEntry()] = {F.getEntry()};
+
+  auto Preds = computePredecessors(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *B : RPO) {
+      if (B == F.getEntry())
+        continue;
+      std::set<BasicBlock *> NewDom;
+      bool First = true;
+      for (BasicBlock *P : Preds[B]) {
+        if (!Dom.count(P))
+          continue; // Unreachable predecessor.
+        if (First) {
+          NewDom = Dom[P];
+          First = false;
+          continue;
+        }
+        std::set<BasicBlock *> Inter;
+        std::set_intersection(NewDom.begin(), NewDom.end(), Dom[P].begin(),
+                              Dom[P].end(),
+                              std::inserter(Inter, Inter.begin()));
+        NewDom = std::move(Inter);
+      }
+      NewDom.insert(B);
+      if (NewDom != Dom[B]) {
+        Dom[B] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+  return Dom;
+}
+
+std::vector<Loop> findLoops(Function &F) {
+  std::vector<Loop> Loops;
+  auto Dom = computeDominators(F);
+  auto Preds = computePredecessors(F);
+  std::map<BasicBlock *, size_t> HeaderLoop;
+
+  for (auto &BBPtr : F.Blocks) {
+    BasicBlock *B = BBPtr.get();
+    if (!Dom.count(B))
+      continue; // Unreachable.
+    for (BasicBlock *S : B->successors()) {
+      // Back edge B -> S iff S dominates B.
+      if (!Dom[B].count(S))
+        continue;
+      size_t Idx;
+      auto It = HeaderLoop.find(S);
+      if (It == HeaderLoop.end()) {
+        Idx = Loops.size();
+        Loops.emplace_back();
+        Loops[Idx].Header = S;
+        Loops[Idx].Blocks.insert(S);
+        HeaderLoop[S] = Idx;
+      } else {
+        Idx = It->second;
+      }
+      Loop &L = Loops[Idx];
+      L.Latches.push_back(B);
+      // Collect the loop body: reverse reachability from the latch without
+      // passing through the header.
+      std::vector<BasicBlock *> Work{B};
+      while (!Work.empty()) {
+        BasicBlock *X = Work.back();
+        Work.pop_back();
+        if (!L.Blocks.insert(X).second)
+          continue;
+        for (BasicBlock *P : Preds[X])
+          if (P != L.Header)
+            Work.push_back(P);
+      }
+    }
+  }
+  return Loops;
+}
+
+bool removeUnreachableBlocks(Function &F) {
+  auto Reachable = computeReachable(F);
+  if (Reachable.size() == F.Blocks.size())
+    return false;
+  std::vector<BasicBlock *> Dead;
+  for (auto &BB : F.Blocks)
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  for (BasicBlock *B : Dead)
+    F.eraseBlock(B);
+  return !Dead.empty();
+}
+
+} // namespace csspgo

@@ -1,0 +1,56 @@
+//===- ir/CFG.h - CFG utilities ---------------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG analyses shared by the optimizer: predecessor maps, reachability,
+/// reverse post order, and natural-loop detection (back edges to a block
+/// that dominates the source; we use a lightweight dominance check).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_CFG_H
+#define CSSPGO_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace csspgo {
+
+/// Returns a map from block to its predecessors (in layout order).
+std::map<BasicBlock *, std::vector<BasicBlock *>>
+computePredecessors(Function &F);
+
+/// Returns the set of blocks reachable from the entry.
+std::set<BasicBlock *> computeReachable(Function &F);
+
+/// Returns blocks in reverse post order from the entry (unreachable blocks
+/// excluded).
+std::vector<BasicBlock *> reversePostOrder(Function &F);
+
+/// Dominator sets (simple iterative dataflow; functions are small).
+/// Dom[B] contains every block that dominates B, including B itself.
+std::map<BasicBlock *, std::set<BasicBlock *>> computeDominators(Function &F);
+
+/// A natural loop: header plus body blocks (header included).
+struct Loop {
+  BasicBlock *Header = nullptr;
+  std::set<BasicBlock *> Blocks;
+  /// Latch blocks: sources of back edges into the header.
+  std::vector<BasicBlock *> Latches;
+};
+
+/// Finds natural loops (merging loops that share a header).
+std::vector<Loop> findLoops(Function &F);
+
+/// Removes blocks unreachable from the entry. Returns true if changed.
+bool removeUnreachableBlocks(Function &F);
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_CFG_H

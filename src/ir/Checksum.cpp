@@ -1,0 +1,32 @@
+//===- ir/Checksum.cpp - CFG checksum -------------------------------------===//
+
+#include "ir/Checksum.h"
+
+#include "support/Hashing.h"
+
+#include <map>
+
+namespace csspgo {
+
+uint64_t computeCFGChecksum(const Function &F) {
+  // Assign each block a stable id: its block probe id when probes are
+  // present, otherwise its position in the block list.
+  std::map<const BasicBlock *, uint64_t> Ids;
+  uint64_t Pos = 0;
+  for (const auto &BB : F.Blocks) {
+    const Instruction *Probe = BB->getBlockProbe();
+    Ids[BB.get()] = Probe ? Probe->ProbeId : (Pos + 1);
+    ++Pos;
+  }
+
+  uint64_t Hash = hashCombine(0x5353504750ULL /*"SSPGP"*/, F.Blocks.size());
+  for (const auto &BB : F.Blocks) {
+    Hash = hashCombine(Hash, Ids[BB.get()]);
+    Hash = hashCombine(Hash, BB->numSuccessors());
+    for (const BasicBlock *S : BB->successors())
+      Hash = hashCombine(Hash, Ids[S]);
+  }
+  return Hash;
+}
+
+} // namespace csspgo

@@ -1,0 +1,31 @@
+//===- ir/Checksum.h - CFG checksum -----------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG checksum for stale-profile detection (§III-A). The checksum hashes
+/// the *shape* of the control-flow graph at probe-insertion time: block
+/// count and, per block, the probe id and successor probe ids. Source edits
+/// that do not change the CFG (comments, renamed locals) leave the checksum
+/// unchanged, so CSSPGO profiles survive them; any CFG edit flips it and the
+/// stale profile is rejected instead of silently mis-correlated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_CHECKSUM_H
+#define CSSPGO_IR_CHECKSUM_H
+
+#include "ir/Function.h"
+
+namespace csspgo {
+
+/// Computes the CFG-shape checksum of \p F. Requires block probes to be
+/// present when \p UseProbes is true; otherwise falls back to structural
+/// hashing by block position.
+uint64_t computeCFGChecksum(const Function &F);
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_CHECKSUM_H

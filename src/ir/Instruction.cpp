@@ -1,0 +1,131 @@
+//===- ir/Instruction.cpp - Mid-level IR instruction ----------------------===//
+
+#include "ir/Instruction.h"
+
+namespace csspgo {
+
+const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallIndirect:
+    return "callindirect";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::PseudoProbe:
+    return "pseudoprobe";
+  case Opcode::InstrProfIncr:
+    return "instrprof.incr";
+  }
+  return "<invalid>";
+}
+
+bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool isPureOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::Mov:
+  case Opcode::Select:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Instruction::getUsedRegs(std::vector<RegId> &Regs) const {
+  auto AddOp = [&Regs](const Operand &O) {
+    if (O.isReg())
+      Regs.push_back(O.getReg());
+  };
+  AddOp(A);
+  AddOp(B);
+  AddOp(C);
+  for (const Operand &O : Args)
+    AddOp(O);
+}
+
+bool Instruction::isIdenticalTo(const Instruction &O) const {
+  if (Op != O.Op || Dst != O.Dst)
+    return false;
+  if (!(A == O.A) || !(B == O.B) || !(C == O.C))
+    return false;
+  if (Args != O.Args || Callee != O.Callee || IsTailCall != O.IsTailCall)
+    return false;
+  if (Succ0 != O.Succ0 || Succ1 != O.Succ1)
+    return false;
+  // Correlation anchors carry identity: two probes or counters are only
+  // "identical" if they refer to the same source entity. This is the
+  // mechanism by which pseudo-instrumentation blocks code merge (§III-A).
+  if (isIntrinsic())
+    return ProbeId == O.ProbeId && OriginGuid == O.OriginGuid &&
+           InlineStack == O.InlineStack;
+  // Calls with call-site probes likewise carry identity.
+  if (isCall() && (ProbeId != 0 || O.ProbeId != 0))
+    return ProbeId == O.ProbeId && OriginGuid == O.OriginGuid &&
+           InlineStack == O.InlineStack;
+  return true;
+}
+
+} // namespace csspgo

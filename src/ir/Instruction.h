@@ -1,0 +1,225 @@
+//===- ir/Instruction.h - Mid-level IR instruction -------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three-address-code instruction for the mid-level IR. The IR is
+/// deliberately register-machine shaped (mutable virtual registers, no SSA)
+/// so the interpreter, the optimizer and the lowering stay small while still
+/// exhibiting every phenomenon the paper studies: code merge, code
+/// duplication, code motion, inlining, and the intrinsic-based
+/// pseudo-instrumentation that anchors profile correlation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_INSTRUCTION_H
+#define CSSPGO_IR_INSTRUCTION_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+class BasicBlock;
+
+/// Virtual register index within a function frame. Parameters occupy
+/// registers [0, NumParams).
+using RegId = uint32_t;
+constexpr RegId InvalidReg = ~0u;
+
+/// Opcodes of the mid-level IR. Lowering maps each (except PseudoProbe,
+/// which materializes as metadata only) to one machine instruction.
+enum class Opcode : uint8_t {
+  // Binary arithmetic: Dst = A op B.
+  Add,
+  Sub,
+  Mul,
+  Div, // Division by zero yields 0 (total semantics keep the simulator safe).
+  Mod,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Comparisons: Dst = (A cmp B) ? 1 : 0.
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // Data movement.
+  Mov,    // Dst = A
+  Select, // Dst = A ? B : C
+  Load,   // Dst = Mem[A]
+  Store,  // Mem[A] = B
+  // Control flow.
+  Call, // Dst = Callee(Args...); may be a tail call.
+  CallIndirect, // Dst = FunctionTable[A](Args...) — indirect dispatch.
+  Ret,  // return A
+  Br,   // goto Succ0
+  CondBr, // if (A) goto Succ0 else goto Succ1
+  // Intrinsics.
+  PseudoProbe,   // Correlation anchor; emits no machine instruction.
+  InstrProfIncr, // Traditional instrumentation counter increment.
+};
+
+/// Returns a stable mnemonic for \p Op ("add", "condbr", ...).
+const char *opcodeName(Opcode Op);
+
+/// True for Br/CondBr/Ret: instructions that must terminate a block.
+bool isTerminator(Opcode Op);
+
+/// True for opcodes with no side effects besides writing Dst.
+bool isPureOp(Opcode Op);
+
+/// An instruction operand: either a virtual register or an immediate.
+struct Operand {
+  enum class Kind : uint8_t { None, Reg, Imm };
+
+  Kind K = Kind::None;
+  int64_t Val = 0;
+
+  Operand() = default;
+
+  static Operand reg(RegId R) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.Val = R;
+    return O;
+  }
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.Val = V;
+    return O;
+  }
+
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isNone() const { return K == Kind::None; }
+
+  RegId getReg() const {
+    assert(isReg() && "not a register operand");
+    return static_cast<RegId>(Val);
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return Val;
+  }
+
+  bool operator==(const Operand &O) const { return K == O.K && Val == O.Val; }
+};
+
+/// Source location: a line offset from the start of the enclosing function
+/// (AutoFDO-style function-relative lines, resilient to code above the
+/// function moving) plus a DWARF-like discriminator.
+struct DebugLoc {
+  uint32_t Line = 0;
+  uint32_t Discriminator = 0;
+
+  bool operator==(const DebugLoc &O) const {
+    return Line == O.Line && Discriminator == O.Discriminator;
+  }
+  bool operator<(const DebugLoc &O) const {
+    return Line != O.Line ? Line < O.Line : Discriminator < O.Discriminator;
+  }
+};
+
+/// One level of inlining context attached to an instruction: the function
+/// the instruction was inlined *into* at this level, and the call site
+/// within it. Mirrors DWARF inlined-subroutine info plus the pseudo-probe
+/// inline stack.
+struct InlineFrame {
+  uint64_t FuncGuid = 0;     ///< Caller function at this level.
+  DebugLoc CallLoc;          ///< Call site location in that caller.
+  uint32_t CallProbeId = 0;  ///< Call-site probe id in that caller (0=none).
+
+  bool operator==(const InlineFrame &O) const {
+    return FuncGuid == O.FuncGuid && CallLoc == O.CallLoc &&
+           CallProbeId == O.CallProbeId;
+  }
+  bool operator<(const InlineFrame &O) const {
+    if (FuncGuid != O.FuncGuid)
+      return FuncGuid < O.FuncGuid;
+    if (!(CallLoc == O.CallLoc))
+      return CallLoc < O.CallLoc;
+    return CallProbeId < O.CallProbeId;
+  }
+};
+
+/// A single IR instruction. Instructions are value types stored inline in
+/// their block; passes mutate them in place or splice vectors.
+class Instruction {
+public:
+  Opcode Op = Opcode::Mov;
+  RegId Dst = InvalidReg;
+  Operand A, B, C;
+
+  /// Extra arguments for Call (beyond none; calls pass all args here).
+  std::vector<Operand> Args;
+
+  /// Callee symbol for Call.
+  std::string Callee;
+
+  /// Marks a call in tail position; lowering turns it into a frame-replacing
+  /// jump, which destroys the caller frame for stack sampling (§III-B).
+  bool IsTailCall = false;
+
+  /// Branch targets for Br (Succ0) and CondBr (Succ0 taken / Succ1 false).
+  BasicBlock *Succ0 = nullptr;
+  BasicBlock *Succ1 = nullptr;
+
+  /// PseudoProbe: id of the probe within its origin function.
+  /// Call: id of the call-site probe (0 when probes are not inserted).
+  /// InstrProfIncr: counter index within the origin function.
+  uint32_t ProbeId = 0;
+
+  /// Duplication factor for probes: when an optimization clones a probe N
+  /// ways and the copies are statically known to execute together (e.g.
+  /// full loop unrolling by factor N), profgen must divide the aggregate
+  /// count. We model the common case (independent copies, counts summed),
+  /// so this stays 1; kept for format fidelity.
+  uint32_t ProbeFactor = 1;
+
+  /// The function whose line numbering / probe numbering DebugLoc and
+  /// ProbeId refer to (changes when the instruction is inlined elsewhere).
+  uint64_t OriginGuid = 0;
+
+  /// Inline context, outermost caller first. Empty for un-inlined code.
+  std::vector<InlineFrame> InlineStack;
+
+  DebugLoc DL;
+
+  Instruction() = default;
+
+  bool isTerminator() const { return csspgo::isTerminator(Op); }
+  /// Any call (direct or indirect).
+  bool isCall() const {
+    return Op == Opcode::Call || Op == Opcode::CallIndirect;
+  }
+  bool isIndirectCall() const { return Op == Opcode::CallIndirect; }
+  bool isProbe() const { return Op == Opcode::PseudoProbe; }
+  bool isCounter() const { return Op == Opcode::InstrProfIncr; }
+  bool isIntrinsic() const { return isProbe() || isCounter(); }
+
+  /// Returns true if this instruction writes register \p R.
+  bool writesReg(RegId R) const { return Dst == R && Dst != InvalidReg; }
+
+  /// Collects all register ids read by this instruction into \p Regs.
+  void getUsedRegs(std::vector<RegId> &Regs) const;
+
+  /// True if two instructions perform the same operation on the same
+  /// operands (ignoring debug location and inline stack). Used by tail
+  /// merging to detect identical code sequences. Probes/counters compare by
+  /// identity (origin + id), which is what makes them merge barriers.
+  bool isIdenticalTo(const Instruction &O) const;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_INSTRUCTION_H

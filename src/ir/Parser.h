@@ -1,0 +1,39 @@
+//===- ir/Parser.h - Textual IR parser ---------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual IR produced by ir/Printer.h, enabling module
+/// round-trips for golden tests and hand-written test inputs. The grammar
+/// is exactly the printer's output:
+///
+///   ; module NAME, entry=ENTRY
+///   func NAME(P params, R regs) [; entry_count=N] [; probed checksum=C] {
+///   label:  [; count=N weights=[a,b]] [; cold]
+///     r3 = add r1, 2  !dbg :12[.d]
+///     condbr r3, then.1, else.2  !dbg :13
+///     ...
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_PARSER_H
+#define CSSPGO_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace csspgo {
+
+/// Parses \p Text into a module. On failure returns nullptr and, when
+/// \p Error is non-null, stores a line-numbered diagnostic there.
+std::unique_ptr<Module> parseModule(const std::string &Text,
+                                    std::string *Error = nullptr);
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_PARSER_H

@@ -1,0 +1,36 @@
+//===- ir/Printer.h - Textual IR printer ------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable IR dumping for debugging, examples and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_PRINTER_H
+#define CSSPGO_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace csspgo {
+
+/// Options controlling how much annotation the printer emits.
+struct PrintOptions {
+  bool ShowLines = true;    ///< !dbg line/discriminator annotations.
+  bool ShowProfile = true;  ///< Block counts and edge weights.
+  bool ShowInlineStack = false; ///< Per-instruction inline context.
+};
+
+std::string printInstruction(const Instruction &I,
+                             const PrintOptions &Opts = {});
+std::string printBlock(const BasicBlock &BB, const PrintOptions &Opts = {});
+std::string printFunction(const Function &F, const PrintOptions &Opts = {});
+std::string printModule(const Module &M, const PrintOptions &Opts = {});
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_PRINTER_H

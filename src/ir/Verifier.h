@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR verifier ------------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verifier run between passes in checked builds. Catches the
+/// usual transform bugs: missing terminators, mid-block terminators,
+/// dangling successor pointers, register ids out of frame range, calls to
+/// unknown functions, and malformed probes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_VERIFIER_H
+#define CSSPGO_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+/// Verifies \p M; returns all problems found (empty = valid).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Verifies a single function.
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Asserts that \p M verifies; prints problems and aborts otherwise.
+void verifyOrDie(const Module &M, const char *When);
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_VERIFIER_H

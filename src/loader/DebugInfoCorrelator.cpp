@@ -1,0 +1,42 @@
+//===- loader/DebugInfoCorrelator.cpp - Line-based correlation --------------===//
+
+#include "loader/Correlators.h"
+
+#include <algorithm>
+
+namespace csspgo {
+
+void annotateBlocksByLines(const std::vector<BasicBlock *> &Blocks,
+                           const FunctionProfile &P, uint64_t OriginGuid) {
+  for (BasicBlock *BB : Blocks) {
+    uint64_t Weight = 0;
+    for (const Instruction &I : BB->Insts) {
+      if (I.OriginGuid != OriginGuid)
+        continue;
+      Weight = std::max(
+          Weight, P.bodyAt({I.DL.Line, I.DL.Discriminator}));
+    }
+    BB->setCount(Weight);
+    BB->SuccWeights.clear();
+  }
+}
+
+ProfileKey callSiteKey(const Instruction &Call, ProfileKind Kind) {
+  if (Kind == ProfileKind::ProbeBased)
+    return {Call.ProbeId, 0};
+  return {Call.DL.Line, Call.DL.Discriminator};
+}
+
+uint64_t callSiteCount(const Instruction &Call, const BasicBlock &BB,
+                       const FunctionProfile &P, ProfileKind Kind) {
+  ProfileKey Key = callSiteKey(Call, Kind);
+  uint64_t FromTargets = P.callAt(Key);
+  if (FromTargets)
+    return FromTargets;
+  uint64_t FromBody = P.bodyAt(Key);
+  if (FromBody)
+    return FromBody;
+  return BB.HasCount ? BB.Count : 0;
+}
+
+} // namespace csspgo

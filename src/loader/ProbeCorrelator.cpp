@@ -1,0 +1,25 @@
+//===- loader/ProbeCorrelator.cpp - Anchor-based correlation ----------------===//
+
+#include "loader/Correlators.h"
+
+namespace csspgo {
+
+void annotateBlocksByAnchors(const std::vector<BasicBlock *> &Blocks,
+                             const FunctionProfile &P, uint64_t OriginGuid) {
+  for (BasicBlock *BB : Blocks) {
+    uint64_t Weight = 0;
+    bool Found = false;
+    for (const Instruction &I : BB->Insts) {
+      if (!I.isIntrinsic() || I.OriginGuid != OriginGuid)
+        continue;
+      Weight = P.bodyAt({I.ProbeId, 0});
+      Found = true;
+      break; // The block anchor leads the block.
+    }
+    (void)Found;
+    BB->setCount(Weight);
+    BB->SuccWeights.clear();
+  }
+}
+
+} // namespace csspgo

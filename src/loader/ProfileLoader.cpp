@@ -1,0 +1,499 @@
+//===- loader/ProfileLoader.cpp - Sample profile loader ---------------------===//
+
+#include "loader/ProfileLoader.h"
+
+#include "loader/Correlators.h"
+#include "profile/ProfileSummary.h"
+#include "opt/InlineCost.h"
+#include "opt/Inliner.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace csspgo {
+
+namespace {
+
+/// Call-graph top-down order (callers before callees), entry first.
+std::vector<Function *> topDownOrder(Module &M) {
+  // Reverse post order over the call graph from the entry, then any
+  // remaining functions.
+  std::vector<Function *> PostOrder;
+  std::set<Function *> Visited;
+  std::function<void(Function *)> Visit = [&](Function *F) {
+    if (!Visited.insert(F).second)
+      return;
+    for (auto &BB : F->Blocks)
+      for (const Instruction &I : BB->Insts)
+        if (I.isCall())
+          if (Function *Callee = M.getFunction(I.Callee))
+            Visit(Callee);
+    PostOrder.push_back(F);
+  };
+  if (Function *Entry = M.getFunction(M.EntryFunction))
+    Visit(Entry);
+  for (auto &F : M.Functions)
+    Visit(F.get());
+  std::vector<Function *> Order(PostOrder.rbegin(), PostOrder.rend());
+  return Order;
+}
+
+std::vector<BasicBlock *> allBlocks(Function &F) {
+  std::vector<BasicBlock *> Out;
+  for (auto &BB : F.Blocks)
+    Out.push_back(BB.get());
+  return Out;
+}
+
+/// Sample-accurate cold fill: every un-annotated function becomes known
+/// cold (all blocks count 0). Mirrors production -fprofile-sample-accurate.
+void markUnprofiledFunctionsCold(Module &M) {
+  for (auto &F : M.Functions) {
+    bool Annotated = false;
+    for (auto &BB : F->Blocks)
+      Annotated |= BB->HasCount;
+    if (Annotated || F->IsEntryPoint)
+      continue;
+    for (auto &BB : F->Blocks)
+      BB->setCount(0);
+    F->HasEntryCount = true;
+    F->EntryCount = 0;
+  }
+}
+
+std::vector<BasicBlock *> mappedBlocks(const InlinedBody &Body) {
+  return Body.ClonedOrder;
+}
+
+void annotate(const std::vector<BasicBlock *> &Blocks,
+              const FunctionProfile &P, uint64_t OriginGuid,
+              ProfileKind Kind, bool Anchored) {
+  if (Anchored)
+    annotateBlocksByAnchors(Blocks, P, OriginGuid);
+  else
+    annotateBlocksByLines(Blocks, P, OriginGuid);
+}
+
+/// Indirect-call promotion: rewrites an indirect call whose profile shows
+/// a dominant target into a guarded direct call:
+///
+///   r = callindirect [slot](args)      t = (slot == S_dom)
+///                                =>    if (t) r = call Dom(args)
+///                                      else   r = callindirect [slot](args)
+///
+/// The direct call keeps the site's probe id, so context-trie lookups and
+/// subsequent inlining work on it unchanged. This is the value-profile
+/// optimization the paper lists as instrumentation PGO's edge; sampled
+/// variants get targets from LBR call branches instead.
+unsigned promoteIndirectCallsIn(Module &M, Function &F,
+                                const FunctionProfile &P, ProfileKind Kind,
+                                uint64_t HotThreshold,
+                                const LoaderOptions &Opts) {
+  unsigned Promoted = 0;
+  // Each site is promoted at most once: the guarded fallback keeps the
+  // site id (so the *next* profiling iteration still sees the residual
+  // targets), and must not be promoted again in this build.
+  std::set<std::pair<uint32_t, uint32_t>> DoneSites;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (auto &BBPtr : F.Blocks) {
+      BasicBlock *BB = BBPtr.get();
+      for (size_t I = 0; I != BB->Insts.size(); ++I) {
+        Instruction Inst = BB->Insts[I];
+        if (!Inst.isIndirectCall())
+          continue;
+        ProfileKey Key = callSiteKey(Inst, Kind);
+        if (!DoneSites.insert({Key.Index, Key.Disc}).second)
+          continue;
+        auto It = P.Calls.find(Key);
+        if (It == P.Calls.end())
+          continue;
+        uint64_t Total = 0, DomCount = 0;
+        std::string Dom;
+        for (const auto &[Callee, N] : It->second) {
+          Total += N;
+          if (N > DomCount) {
+            DomCount = N;
+            Dom = Callee;
+          }
+        }
+        if (!Total || Total < std::max<uint64_t>(HotThreshold / 4, 2))
+          continue;
+        if (static_cast<double>(DomCount) < Opts.ICPDominance * Total)
+          continue;
+        uint32_t Slot = M.functionTableSlot(Dom);
+        Function *Target = M.getFunction(Dom);
+        if (Slot == ~0u || !Target)
+          continue;
+
+        // Split: BB keeps [0, I); continuation gets (I, end).
+        BasicBlock *Cont = F.createBlock("icp.cont");
+        Cont->Insts.assign(BB->Insts.begin() + static_cast<ptrdiff_t>(I) + 1,
+                           BB->Insts.end());
+        Cont->HasCount = BB->HasCount;
+        Cont->Count = BB->Count;
+        Cont->SuccWeights = std::move(BB->SuccWeights);
+        BB->Insts.erase(BB->Insts.begin() + static_cast<ptrdiff_t>(I),
+                        BB->Insts.end());
+        BB->SuccWeights.clear();
+
+        BasicBlock *Direct = F.createBlock("icp.direct");
+        BasicBlock *Fallback = F.createBlock("icp.fallback");
+
+        // Guard in BB.
+        RegId Guard = F.allocReg();
+        Instruction Cmp;
+        Cmp.Op = Opcode::CmpEQ;
+        Cmp.Dst = Guard;
+        Cmp.A = Inst.A;
+        Cmp.B = Operand::imm(Slot);
+        Cmp.DL = Inst.DL;
+        Cmp.OriginGuid = Inst.OriginGuid;
+        Cmp.InlineStack = Inst.InlineStack;
+        BB->Insts.push_back(std::move(Cmp));
+        Instruction Br;
+        Br.Op = Opcode::CondBr;
+        Br.A = Operand::reg(Guard);
+        Br.Succ0 = Direct;
+        Br.Succ1 = Fallback;
+        Br.DL = Inst.DL;
+        Br.OriginGuid = Inst.OriginGuid;
+        Br.InlineStack = Inst.InlineStack;
+        BB->Insts.push_back(std::move(Br));
+
+        // Direct arm: keeps the site's probe id for context lookups.
+        Instruction DirectCall = Inst;
+        DirectCall.Op = Opcode::Call;
+        DirectCall.Callee = Dom;
+        DirectCall.A = Operand();
+        Direct->Insts.push_back(std::move(DirectCall));
+        Instruction BrD;
+        BrD.Op = Opcode::Br;
+        BrD.Succ0 = Cont;
+        BrD.DL = Inst.DL;
+        BrD.OriginGuid = Inst.OriginGuid;
+        BrD.InlineStack = Inst.InlineStack;
+        Direct->Insts.push_back(BrD);
+
+        // Fallback arm: the original indirect call (site id retained so
+        // remaining targets still profile there next iteration).
+        Fallback->Insts.push_back(Inst);
+        Fallback->Insts.push_back(BrD);
+
+        // Profile maintenance.
+        if (BB->HasCount) {
+          double DomShare = static_cast<double>(DomCount) / Total;
+          Direct->setCount(static_cast<uint64_t>(BB->Count * DomShare));
+          Fallback->setCount(BB->Count - Direct->Count);
+          BB->SuccWeights = {Direct->Count, Fallback->Count};
+          Direct->SuccWeights = {Direct->Count};
+          Fallback->SuccWeights = {Fallback->Count};
+        }
+        ++Promoted;
+        Progress = true;
+        break;
+      }
+      if (Progress)
+        break;
+    }
+  }
+  return Promoted;
+}
+
+/// Shared recursive replay of inlining for flat profiles: after annotating
+/// \p Blocks of \p F from \p P, inline call sites that have a nested
+/// inlinee profile (replay) or are hot, then annotate the cloned bodies
+/// from the inlinee profile and recurse.
+struct FlatInlineDriver {
+  Module &M;
+  const FlatProfile &Profile;
+  ProfileKind Kind;
+  bool Anchored;
+  const LoaderOptions &Opts;
+  uint64_t HotThreshold;
+  LoaderStats &Stats;
+
+  /// \p Scale is the accumulated execution-share of the inline chain
+  /// enclosing \p Blocks: annotated counts of cloned bodies multiply by
+  /// it so nested replay inside a scaled outer body stays consistent.
+  void processCallsIn(Function &F, std::vector<BasicBlock *> Blocks,
+                      const FunctionProfile &P, int Depth, double Scale) {
+    if (Depth > 8)
+      return;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (BasicBlock *BB : Blocks) {
+        for (size_t I = 0; I != BB->Insts.size(); ++I) {
+          Instruction &Inst = BB->Insts[I];
+          if (!Inst.isCall())
+            continue;
+          Function *Callee = M.getFunction(Inst.Callee);
+          if (!Callee || Callee == &F || Callee->NoInline ||
+              Callee->IsEntryPoint)
+            continue;
+          ProfileKey Key = callSiteKey(Inst, Kind);
+          const FunctionProfile *InlineeProf =
+              P.inlineeAt(Key, Inst.Callee);
+          uint64_t CSCount = callSiteCount(Inst, *BB, P, Kind);
+          bool Replay = Opts.ReplayInlining && InlineeProf &&
+                        InlineeProf->totalBodySamples() > 0;
+          bool Hot = Opts.InlineHotFlatCallsites &&
+                     static_cast<double>(CSCount) * Scale >= HotThreshold;
+          if (!Replay && !Hot)
+            continue;
+          if (estimateFunctionSize(*Callee) > Opts.MaxInlineSize)
+            continue;
+          // Probe-based inlinee profiles are checksum-guarded.
+          if (Anchored && InlineeProf && InlineeProf->Checksum &&
+              Callee->HasProbes &&
+              InlineeProf->Checksum != Callee->ProbeCFGChecksum) {
+            ++Stats.StaleDropped;
+            InlineeProf = nullptr;
+            if (!Hot)
+              continue;
+          }
+          InlinedBody Body = inlineCallSite(F, BB, I, *Callee);
+          if (!Body.Success)
+            continue;
+          ++Stats.InlinedCallsites;
+          std::vector<BasicBlock *> Cloned = mappedBlocks(Body);
+          const FunctionProfile *BodyProf = InlineeProf;
+          const FunctionProfile *CalleeFlat = Profile.find(Inst.Callee);
+          if (!BodyProf)
+            BodyProf = CalleeFlat;
+          if (BodyProf) {
+            annotate(Cloned, *BodyProf, Callee->getGuid(), Kind, Anchored);
+            double NewScale = Scale;
+            if (!InlineeProf && CalleeFlat) {
+              // No context slice available: scale the callee's aggregate
+              // profile by the call-site share (the Fig. 3a artifact).
+              uint64_t Head = std::max<uint64_t>(CalleeFlat->HeadSamples, 1);
+              NewScale =
+                  Scale * std::min(1.0, static_cast<double>(CSCount) / Head);
+            }
+            // Replayed slices are exact relative to the callee copy of
+            // the profiling binary but still execute under the enclosing
+            // chain's share.
+            if (NewScale != 1.0)
+              for (BasicBlock *CB : Cloned)
+                CB->setCount(static_cast<uint64_t>(CB->Count * NewScale));
+            processCallsIn(F, Cloned, *BodyProf, Depth + 1, NewScale);
+          } else {
+            for (BasicBlock *CB : Cloned)
+              CB->setCount(0);
+          }
+          Progress = true;
+          break;
+        }
+        if (Progress)
+          break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
+                            bool IsInstr, const LoaderOptions &Opts) {
+  LoaderStats Stats;
+  bool Anchored = Profile.Kind == ProfileKind::ProbeBased;
+  uint64_t HotThreshold = Opts.HotCallsiteThreshold
+                              ? Opts.HotCallsiteThreshold
+                              : hotThreshold(Profile, Opts.HotCutoff);
+  Stats.HotThresholdUsed = HotThreshold;
+
+  FlatInlineDriver Driver{M,    Profile, Profile.Kind, Anchored,
+                          Opts, HotThreshold, Stats};
+
+  for (Function *F : topDownOrder(M)) {
+    const FunctionProfile *P = Profile.find(F->getName());
+    if (!P)
+      continue;
+    // Stale-profile detection for probe profiles.
+    if (Anchored && !IsInstr && P->Checksum && F->HasProbes &&
+        P->Checksum != F->ProbeCFGChecksum) {
+      ++Stats.StaleDropped;
+      continue;
+    }
+    annotate(allBlocks(*F), *P, F->getGuid(), Profile.Kind, Anchored);
+    F->HasEntryCount = true;
+    F->EntryCount = std::max(P->HeadSamples, F->getEntry()->Count);
+    ++Stats.FunctionsAnnotated;
+    if (Opts.PromoteIndirectCalls)
+      Stats.PromotedIndirectCalls += promoteIndirectCallsIn(
+          M, *F, *P, Profile.Kind, HotThreshold, Opts);
+    // Instrumentation profiles carry no inline hierarchy to replay, but
+    // their exact counts make hot-call-site early inlining safe (the
+    // scaled annotation is internally consistent); sampling profiles only
+    // do this when explicitly enabled (Fig. 3a hazard).
+    if (!IsInstr || Opts.InlineHotFlatCallsites)
+      Driver.processCallsIn(*F, allBlocks(*F), *P, 0, 1.0);
+  }
+  if (Opts.ProfileSampleAccurate)
+    markUnprofiledFunctionsCold(M);
+  return Stats;
+}
+
+namespace {
+
+/// CS loading: descends the context trie in lock step with inlining. A
+/// function's profile may live in many context nodes (one per caller
+/// chain); any of them that were not consumed by inlining into callers
+/// act as a merged "virtual node", so context-sensitive inlining inside F
+/// works whether or not F itself was inlined anywhere.
+struct CSInlineDriver {
+  Module &M;
+  const ContextProfile &Profile;
+  const LoaderOptions &Opts;
+  uint64_t HotThreshold;
+  LoaderStats &Stats;
+  std::set<const ContextTrieNode *> Consumed;
+
+  /// Children with the given (site, callee) across all \p Nodes.
+  static std::vector<const ContextTrieNode *>
+  childrenAt(const std::vector<const ContextTrieNode *> &Nodes,
+             uint32_t Site, const std::string &Callee) {
+    std::vector<const ContextTrieNode *> Out;
+    for (const ContextTrieNode *N : Nodes)
+      if (const ContextTrieNode *C = N->getChild(Site, Callee))
+        if (C->HasProfile || !C->Children.empty())
+          Out.push_back(C);
+    return Out;
+  }
+
+  /// Recursively processes calls within \p Blocks of \p F, where
+  /// \p Nodes are the trie nodes whose (merged) profile annotated them.
+  void processCallsIn(Function &F, std::vector<BasicBlock *> Blocks,
+                      const std::vector<const ContextTrieNode *> &Nodes,
+                      int Depth) {
+    if (Depth > 8)
+      return;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (BasicBlock *BB : Blocks) {
+        for (size_t I = 0; I != BB->Insts.size(); ++I) {
+          Instruction &Inst = BB->Insts[I];
+          if (!Inst.isCall() || Inst.ProbeId == 0)
+            continue;
+          Function *Callee = M.getFunction(Inst.Callee);
+          if (!Callee || Callee == &F || Callee->NoInline ||
+              Callee->IsEntryPoint)
+            continue;
+          auto Children = childrenAt(Nodes, Inst.ProbeId, Inst.Callee);
+          if (Children.empty())
+            continue;
+          // Merge the context slices across the caller contexts of F.
+          FunctionProfile Slice;
+          Slice.Name = Inst.Callee;
+          bool Marked = false;
+          uint64_t Checksum = 0;
+          bool AnyUnconsumed = false;
+          for (const ContextTrieNode *C : Children) {
+            if (Consumed.count(C))
+              continue;
+            AnyUnconsumed = true;
+            Slice.merge(C->Profile);
+            Marked |= C->ShouldBeInlined;
+            if (C->Profile.Checksum)
+              Checksum = C->Profile.Checksum;
+          }
+          if (!AnyUnconsumed)
+            continue;
+          bool Hot = Opts.InlineHotContexts &&
+                     Slice.TotalSamples >= HotThreshold;
+          if (!(Opts.ReplayInlining && Marked) && !Hot)
+            continue;
+          if (estimateFunctionSize(*Callee) > Opts.MaxInlineSize)
+            continue;
+          if (Checksum && Callee->HasProbes &&
+              Checksum != Callee->ProbeCFGChecksum) {
+            ++Stats.StaleDropped;
+            continue;
+          }
+          InlinedBody Body = inlineCallSite(F, BB, I, *Callee);
+          if (!Body.Success)
+            continue;
+          ++Stats.InlinedCallsites;
+          for (const ContextTrieNode *C : Children)
+            Consumed.insert(C);
+          std::vector<BasicBlock *> Cloned = mappedBlocks(Body);
+          // Context-accurate annotation (Fig. 3b): the cloned body gets
+          // the *slice* of the callee profile for this calling context.
+          annotateBlocksByAnchors(Cloned, Slice, Callee->getGuid());
+          processCallsIn(F, Cloned, Children, Depth + 1);
+          Progress = true;
+          break;
+        }
+        if (Progress)
+          break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
+                               const LoaderOptions &Opts) {
+  LoaderStats Stats;
+  uint64_t HotThreshold = Opts.HotCallsiteThreshold
+                              ? Opts.HotCallsiteThreshold
+                              : hotThreshold(Profile, Opts.HotCutoff);
+  Stats.HotThresholdUsed = HotThreshold;
+
+  CSInlineDriver Driver{M, Profile, Opts, HotThreshold, Stats, {}};
+
+  // Collect all context nodes per leaf function up front.
+  std::map<std::string, std::vector<const ContextTrieNode *>> ByLeaf;
+  Profile.forEachNode(
+      [&ByLeaf](const SampleContext &Ctx, const ContextTrieNode &N) {
+        ByLeaf[Ctx.back().Func].push_back(&N);
+      });
+
+  for (Function *F : topDownOrder(M)) {
+    auto It = ByLeaf.find(F->getName());
+    if (It == ByLeaf.end())
+      continue;
+    // Effective base profile: every context of F that was not consumed by
+    // inlining into a caller (callers were processed first — top-down
+    // order), merged together.
+    FunctionProfile Base;
+    Base.Name = F->getName();
+    uint64_t Checksum = 0;
+    std::vector<const ContextTrieNode *> LiveNodes;
+    for (const ContextTrieNode *N : It->second) {
+      if (Driver.Consumed.count(N))
+        continue;
+      LiveNodes.push_back(N);
+      Base.merge(N->Profile);
+      if (N->Profile.Checksum)
+        Checksum = N->Profile.Checksum;
+    }
+    if (Base.empty())
+      continue;
+    if (Checksum && F->HasProbes && Checksum != F->ProbeCFGChecksum) {
+      ++Stats.StaleDropped;
+      continue;
+    }
+    annotateBlocksByAnchors(allBlocks(*F), Base, F->getGuid());
+    F->HasEntryCount = true;
+    F->EntryCount = std::max(Base.HeadSamples, F->getEntry()->Count);
+    ++Stats.FunctionsAnnotated;
+    if (Opts.PromoteIndirectCalls)
+      Stats.PromotedIndirectCalls += promoteIndirectCallsIn(
+          M, *F, Base, ProfileKind::ProbeBased, HotThreshold, Opts);
+
+    // Top-down context-sensitive inlining across all live contexts of F.
+    Driver.processCallsIn(*F, allBlocks(*F), LiveNodes, 0);
+  }
+  if (Opts.ProfileSampleAccurate)
+    markUnprofiledFunctionsCold(M);
+  return Stats;
+}
+
+} // namespace csspgo

@@ -1,0 +1,78 @@
+//===- loader/ProfileLoader.h - Sample profile loader ------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sample-profile loader: correlates a profile onto pristine IR,
+/// annotates block counts and entry counts, performs the *top-down*
+/// profile-guided inlining the paper argues for (replaying profiled-binary
+/// inlining for flat profiles; descending the context trie and honoring
+/// pre-inliner decisions for context-sensitive profiles), and detects
+/// stale probe profiles via CFG checksums.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_LOADER_PROFILELOADER_H
+#define CSSPGO_LOADER_PROFILELOADER_H
+
+#include "ir/Module.h"
+#include "profile/ContextTrie.h"
+#include "profile/FunctionProfile.h"
+
+namespace csspgo {
+
+struct LoaderOptions {
+  /// Call-site count at/above which the loader inlines. 0 = derive a
+  /// ProfileSummary-style threshold from the profile.
+  uint64_t HotCallsiteThreshold = 0;
+  /// Fraction of total call/context mass considered hot when deriving the
+  /// threshold (LLVM's hot-count cutoff is similar in spirit).
+  double HotCutoff = 0.9;
+  /// Callee size cap (code instructions) for loader inlining.
+  unsigned MaxInlineSize = 140;
+  /// Replay inline decisions recorded in the profile (nested inlinee
+  /// profiles / ShouldBeInlined contexts).
+  bool ReplayInlining = true;
+  /// Flat profiles only: additionally inline *hot* call sites that have no
+  /// nested inlinee profile, annotating the body by scaling the callee's
+  /// aggregate profile. This is the Fig. 3a context-insensitive scaling —
+  /// post-inline counts become unreliable, so production AutoFDO leans on
+  /// replay instead; off by default, on for the ablation.
+  bool InlineHotFlatCallsites = false;
+  /// For CS loading: also inline hot contexts the pre-inliner did not
+  /// mark (used when the pre-inliner is disabled in ablations).
+  bool InlineHotContexts = true;
+  /// Sample-accurate mode (production default): a function with no
+  /// samples in the profile is *known cold* — all its blocks get count 0
+  /// so splitting and the inliner treat it accordingly.
+  bool ProfileSampleAccurate = true;
+  /// Promote dominant indirect-call targets to guarded direct calls
+  /// (indirect-call promotion). Requires call-target records: exact value
+  /// profiles for Instr PGO, LBR-observed targets for sampling PGO.
+  bool PromoteIndirectCalls = true;
+  /// Minimum share of a site's calls the dominant target needs.
+  double ICPDominance = 0.5;
+};
+
+struct LoaderStats {
+  unsigned FunctionsAnnotated = 0;
+  unsigned StaleDropped = 0; ///< Probe checksum mismatches.
+  unsigned InlinedCallsites = 0;
+  unsigned PromotedIndirectCalls = 0;
+  uint64_t HotThresholdUsed = 0;
+};
+
+/// Loads a flat profile (AutoFDO line-based, probe-only, or Instr
+/// counter-based — selected by \p Profile.Kind plus \p IsInstr).
+LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
+                            bool IsInstr, const LoaderOptions &Opts = {});
+
+/// Loads a context-sensitive probe-based profile.
+LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
+                               const LoaderOptions &Opts = {});
+
+} // namespace csspgo
+
+#endif // CSSPGO_LOADER_PROFILELOADER_H

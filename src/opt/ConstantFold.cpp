@@ -1,0 +1,120 @@
+//===- opt/ConstantFold.cpp - Local constant folding --------------------------===//
+//
+// Block-local constant propagation and folding: tracks registers holding
+// known constants within a block (conservatively reset at block entry),
+// folds pure operations whose operands are all constant into immediate
+// moves, and substitutes constant registers into operand positions. The
+// terminator benefits too: a CondBr whose condition folds becomes foldable
+// by SimplifyCFG.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+#include <map>
+#include <optional>
+
+namespace csspgo {
+
+namespace {
+
+std::optional<int64_t> foldBinary(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::Add:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::Div:
+    return B ? A / B : 0;
+  case Opcode::Mod:
+    return B ? A % B : 0;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (B & 63);
+  case Opcode::Shr:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
+  case Opcode::CmpEQ:
+    return A == B;
+  case Opcode::CmpNE:
+    return A != B;
+  case Opcode::CmpLT:
+    return A < B;
+  case Opcode::CmpLE:
+    return A <= B;
+  case Opcode::CmpGT:
+    return A > B;
+  case Opcode::CmpGE:
+    return A >= B;
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+unsigned runConstantFold(Function &F, const OptOptions &Opts) {
+  (void)Opts;
+  unsigned Changed = 0;
+  for (auto &BB : F.Blocks) {
+    std::map<RegId, int64_t> Known;
+    for (Instruction &I : BB->Insts) {
+      // Substitute known-constant registers into operands.
+      auto Subst = [&Known, &Changed](Operand &O) {
+        if (!O.isReg())
+          return;
+        auto It = Known.find(O.getReg());
+        if (It == Known.end())
+          return;
+        O = Operand::imm(It->second);
+        ++Changed;
+      };
+      Subst(I.A);
+      Subst(I.B);
+      Subst(I.C);
+      for (Operand &O : I.Args)
+        Subst(O);
+
+      // Fold.
+      if (I.Op == Opcode::Mov && I.A.isImm()) {
+        Known[I.Dst] = I.A.getImm();
+        continue;
+      }
+      if (isPureOp(I.Op) && I.Op != Opcode::Mov && I.Op != Opcode::Select &&
+          I.A.isImm() && I.B.isImm()) {
+        if (auto V = foldBinary(I.Op, I.A.getImm(), I.B.getImm())) {
+          I.Op = Opcode::Mov;
+          I.A = Operand::imm(*V);
+          I.B = Operand();
+          Known[I.Dst] = *V;
+          ++Changed;
+          continue;
+        }
+      }
+      if (I.Op == Opcode::Select && I.A.isImm()) {
+        Operand Chosen = I.A.getImm() ? I.B : I.C;
+        I.Op = Opcode::Mov;
+        I.A = Chosen;
+        I.B = I.C = Operand();
+        if (I.A.isImm())
+          Known[I.Dst] = I.A.getImm();
+        else
+          Known.erase(I.Dst);
+        ++Changed;
+        continue;
+      }
+      // Any other write invalidates the tracked constant.
+      if (I.Dst != InvalidReg)
+        Known.erase(I.Dst);
+    }
+  }
+  return Changed;
+}
+
+} // namespace csspgo

@@ -1,0 +1,50 @@
+//===- opt/DCE.cpp - Dead code elimination -----------------------------------===//
+//
+// Removes pure instructions whose destination register is never read
+// anywhere in the function (iterated to a fixpoint) and unreachable blocks.
+// Return-value registers and call results with side effects are preserved.
+// Probes and counters are never dead: they are the correlation anchors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "opt/PassManager.h"
+
+#include <set>
+
+namespace csspgo {
+
+unsigned runDCE(Function &F, const OptOptions &Opts) {
+  (void)Opts;
+  unsigned Changed = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Registers read by any instruction.
+    std::set<RegId> Read;
+    std::vector<RegId> Reads;
+    for (auto &BB : F.Blocks)
+      for (const Instruction &I : BB->Insts) {
+        Reads.clear();
+        I.getUsedRegs(Reads);
+        Read.insert(Reads.begin(), Reads.end());
+      }
+    for (auto &BB : F.Blocks) {
+      auto &Insts = BB->Insts;
+      for (size_t Idx = Insts.size(); Idx-- > 0;) {
+        const Instruction &I = Insts[Idx];
+        if (!isPureOp(I.Op))
+          continue;
+        if (I.Dst == InvalidReg || Read.count(I.Dst))
+          continue;
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+        ++Changed;
+        Progress = true;
+      }
+    }
+  }
+  Changed += removeUnreachableBlocks(F) ? 1 : 0;
+  return Changed;
+}
+
+} // namespace csspgo

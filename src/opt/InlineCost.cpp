@@ -1,0 +1,71 @@
+//===- opt/InlineCost.cpp - Inline profitability ------------------------------===//
+
+#include "opt/InlineCost.h"
+
+namespace csspgo {
+
+unsigned estimateFunctionSize(const Function &F) {
+  unsigned Size = 0;
+  for (const auto &BB : F.Blocks)
+    for (const Instruction &I : BB->Insts) {
+      if (I.isProbe())
+        continue; // Zero-size correlation anchors.
+      Size += I.isCall() ? 3 : 1;
+    }
+  return Size;
+}
+
+InlineDecision shouldInline(const Function &Caller, const Function &Callee,
+                            uint64_t CallsiteCount,
+                            const InlineParams &Params) {
+  InlineDecision D;
+  if (Callee.NoInline) {
+    D.Reason = "noinline attribute";
+    return D;
+  }
+  if (Callee.IsEntryPoint) {
+    D.Reason = "entry point";
+    return D;
+  }
+  if (Callee.AlwaysInline) {
+    D.Inline = true;
+    D.Reason = "alwaysinline attribute";
+    return D;
+  }
+  unsigned CalleeSize = estimateFunctionSize(Callee);
+  unsigned CallerSize = estimateFunctionSize(Caller);
+  if (CallerSize + CalleeSize > Params.MaxCallerSize) {
+    D.Reason = "caller size limit";
+    return D;
+  }
+  bool Hot =
+      Params.HotCallsiteCount && CallsiteCount >= Params.HotCallsiteCount;
+  // Cold call sites with a profile present do not inline at all: the
+  // profile tells us the call overhead does not matter there and keeping
+  // the code out of line is an i-cache win.
+  bool KnownCold = Params.HotCallsiteCount &&
+                   CallsiteCount < Params.HotCallsiteCount / 16;
+  if (KnownCold) {
+    if (CalleeSize <= Params.ColdSizeThreshold) {
+      D.Inline = true;
+      D.Reason = "tiny callee at cold call site";
+      return D;
+    }
+    D.Reason = "cold call site";
+    return D;
+  }
+  if (Hot && CalleeSize <= Params.HotSizeThreshold) {
+    D.Inline = true;
+    D.Reason = "hot call site";
+    return D;
+  }
+  if (CalleeSize <= Params.SizeThreshold) {
+    D.Inline = true;
+    D.Reason = "small callee";
+    return D;
+  }
+  D.Reason = "size threshold";
+  return D;
+}
+
+} // namespace csspgo

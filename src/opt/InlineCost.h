@@ -1,0 +1,42 @@
+//===- opt/InlineCost.h - Inline profitability -------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inline profitability for the bottom-up inliner: a static size estimate
+/// of the callee against size thresholds, with a bonus for hot call sites
+/// when profile counts are annotated. Note the contrast with the
+/// pre-inliner (preinline/), which uses *measured* post-optimization sizes
+/// extracted from the profiled binary (paper Algorithm 3) instead of this
+/// early-IR estimate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_OPT_INLINECOST_H
+#define CSSPGO_OPT_INLINECOST_H
+
+#include "ir/Module.h"
+#include "opt/Inliner.h"
+
+namespace csspgo {
+
+struct InlineDecision {
+  bool Inline = false;
+  const char *Reason = "";
+};
+
+/// Static size estimate of \p F in "cost units" (code instructions; calls
+/// weighted heavier).
+unsigned estimateFunctionSize(const Function &F);
+
+/// Decides whether to inline \p Callee into \p Caller at a call site with
+/// profile count \p CallsiteCount (0 when unknown).
+InlineDecision shouldInline(const Function &Caller, const Function &Callee,
+                            uint64_t CallsiteCount,
+                            const InlineParams &Params);
+
+} // namespace csspgo
+
+#endif // CSSPGO_OPT_INLINECOST_H

@@ -1,0 +1,84 @@
+//===- opt/Inliner.h - Inlining ----------------------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlining machinery:
+/// - inlineCallSite(): the mechanical transform, shared by the bottom-up
+///   inliner here and the top-down sample-profile inliner in the loader.
+///   Cloned instructions keep their origin function's line/probe numbering
+///   and get the call site pushed onto their inline stack, which is what
+///   both DWARF inline info and pseudo-probe inline stacks do.
+/// - runBottomUpInliner(): LLVM-style CGSCC bottom-up inlining. This is
+///   the inliner the paper criticizes for profile purposes: decisions are
+///   made callee-first, so no context specialization is possible, and
+///   post-inline counts can only be *scaled* from the callee's aggregate
+///   profile (the Fig. 3a inaccuracy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_OPT_INLINER_H
+#define CSSPGO_OPT_INLINER_H
+
+#include "ir/Module.h"
+
+#include <map>
+
+namespace csspgo {
+
+/// Result of mechanically inlining one call site.
+struct InlinedBody {
+  bool Success = false;
+  /// Maps callee blocks to their clones in the caller.
+  std::map<const BasicBlock *, BasicBlock *> BlockMap;
+  /// Clones in the callee's block order (deterministic iteration; the
+  /// pointer-keyed map above must not drive any ordering decision).
+  std::vector<BasicBlock *> ClonedOrder;
+  /// The split-off continuation holding the code after the call.
+  BasicBlock *Continuation = nullptr;
+};
+
+/// Inlines the call at \p BB->Insts[CallIdx] (which must call \p Callee).
+/// Performs no profitability analysis and no profile annotation of the
+/// cloned body beyond clearing stale counts — callers annotate via the
+/// returned BlockMap. Returns Success=false only on malformed input.
+InlinedBody inlineCallSite(Function &Caller, BasicBlock *BB, size_t CallIdx,
+                           const Function &Callee);
+
+/// Cost parameters for the bottom-up inliner.
+struct InlineParams {
+  /// Callee size (code instructions) below which any call site inlines.
+  unsigned SizeThreshold = 45;
+  /// Callee size below which *hot* call sites inline.
+  unsigned HotSizeThreshold = 100;
+  /// Callee size below which even cold call sites inline (call overhead
+  /// still dominates for tiny callees; mirrors LLVM's cold threshold).
+  unsigned ColdSizeThreshold = 18;
+  /// Block count at/above which a call site counts as hot (0 = no
+  /// profile-driven bonus).
+  uint64_t HotCallsiteCount = 0;
+  /// Stop growing a caller beyond this many code instructions.
+  unsigned MaxCallerSize = 450;
+  /// Rounds of bottom-up iteration.
+  unsigned MaxIterations = 2;
+};
+
+struct InlinerStats {
+  unsigned NumInlined = 0;
+  unsigned NumDeadFunctionsRemoved = 0;
+};
+
+/// Runs bottom-up inlining over \p M. When blocks carry profile counts the
+/// cloned bodies are annotated by scaling the callee's counts with the
+/// call-site/entry ratio (context-insensitive scaling).
+InlinerStats runBottomUpInliner(Module &M, const InlineParams &Params);
+
+/// Removes functions that have no remaining call sites and are not the
+/// entry point. Returns the number removed.
+unsigned removeDeadFunctions(Module &M);
+
+} // namespace csspgo
+
+#endif // CSSPGO_OPT_INLINER_H

@@ -1,0 +1,117 @@
+//===- opt/LoopUnroll.cpp - Loop unrolling -----------------------------------===//
+//
+// Unrolls small rotated loops (header tests the condition, a single body
+// block branches back) by duplicating the header+body pair:
+//
+//   H:  if c goto B else X          H:  if c goto B  else X
+//   B:  body; goto H          =>    B:  body; goto H2
+//                                   H2: if c goto B2 else X
+//                                   B2: body; goto H
+//
+// This is code duplication (§III-A): lines and probes are cloned. AutoFDO's
+// MAX heuristic under-counts the loop body afterwards; CSSPGO's summed
+// same-id probe copies stay exact. Profile maintenance: each copy receives
+// count / factor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "opt/PassManager.h"
+
+#include <map>
+
+namespace csspgo {
+
+namespace {
+
+/// Clones \p Src into a fresh block of \p F with the same instructions.
+/// When \p Discriminator is non-zero the copies are tagged with it so
+/// line-based correlation can separate them.
+BasicBlock *cloneBlock(Function &F, const BasicBlock &Src,
+                       const std::string &Hint, uint32_t Discriminator) {
+  BasicBlock *NB = F.createBlock(Hint);
+  NB->Insts = Src.Insts;
+  if (Discriminator)
+    for (Instruction &I : NB->Insts)
+      I.DL.Discriminator = Discriminator;
+  NB->HasCount = Src.HasCount;
+  NB->Count = Src.Count;
+  NB->SuccWeights = Src.SuccWeights;
+  return NB;
+}
+
+} // namespace
+
+unsigned runLoopUnroll(Function &F, const OptOptions &Opts) {
+  if (Opts.UnrollFactor < 2)
+    return 0;
+  unsigned Changed = 0;
+
+  // Snapshot loops up front; unrolling invalidates the analysis, so only
+  // loops still matching the pattern are transformed.
+  auto Loops = findLoops(F);
+  for (Loop &L : Loops) {
+    if (L.Blocks.size() != 2 || L.Latches.size() != 1)
+      continue;
+    BasicBlock *H = L.Header;
+    BasicBlock *B = L.Latches.front();
+    if (!H->hasTerminator() || !B->hasTerminator())
+      continue;
+    Instruction &HT = H->terminator();
+    Instruction &BT = B->terminator();
+    if (HT.Op != Opcode::CondBr || BT.Op != Opcode::Br || BT.Succ0 != H)
+      continue;
+    // Identify which header edge enters the body.
+    bool BodyOnTrue = HT.Succ0 == B;
+    if (!BodyOnTrue && HT.Succ1 != B)
+      continue;
+    if (B->Insts.size() > Opts.UnrollMaxBodySize)
+      continue;
+    // Calls in the body make duplication too costly here.
+    bool HasCall = false;
+    for (const Instruction &I : B->Insts)
+      HasCall |= I.isCall();
+    if (HasCall)
+      continue;
+
+    // Build factor-1 extra copies chained between B and H.
+    std::vector<BasicBlock *> Headers{H}, Bodies{B};
+    BasicBlock *BranchBackFrom = B;
+    for (unsigned Copy = 1; Copy != Opts.UnrollFactor; ++Copy) {
+      uint32_t Disc = Opts.AssignUnrollDiscriminators ? Copy : 0;
+      BasicBlock *H2 = cloneBlock(F, *H, "unroll.h", Disc);
+      BasicBlock *B2 = cloneBlock(F, *B, "unroll.b", Disc);
+      Headers.push_back(H2);
+      Bodies.push_back(B2);
+      // H2 branches into B2 on the body edge; exit edge unchanged.
+      if (BodyOnTrue)
+        H2->terminator().Succ0 = B2;
+      else
+        H2->terminator().Succ1 = B2;
+      // Previous body copy falls into H2 instead of H.
+      BranchBackFrom->terminator().Succ0 = H2;
+      BranchBackFrom = B2;
+    }
+    // Last copy closes the loop.
+    BranchBackFrom->terminator().Succ0 = H;
+
+    // Profile maintenance: the trip count distributes over the copies.
+    if (H->HasCount) {
+      uint64_t HCount = H->Count, BCount = B->Count;
+      for (BasicBlock *X : Headers) {
+        X->setCount(HCount / Opts.UnrollFactor);
+        for (uint64_t &W : X->SuccWeights)
+          W /= Opts.UnrollFactor;
+      }
+      for (BasicBlock *X : Bodies) {
+        X->setCount(BCount / Opts.UnrollFactor);
+        for (uint64_t &W : X->SuccWeights)
+          W /= Opts.UnrollFactor;
+      }
+    }
+    ++Changed;
+  }
+  return Changed;
+}
+
+} // namespace csspgo

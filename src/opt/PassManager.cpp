@@ -1,0 +1,55 @@
+//===- opt/PassManager.cpp - Optimization pipeline -------------------------===//
+
+#include "opt/PassManager.h"
+
+#include "ir/Verifier.h"
+
+namespace csspgo {
+
+PassStats runMidLevelPipeline(Module &M, const OptOptions &Opts) {
+  PassStats Stats;
+  for (auto &F : M.Functions) {
+    // Bounded fixpoint: each round can expose new opportunities (constant
+    // folding after threading, dead code after if-conversion, ...).
+    for (int Round = 0; Round != 3; ++Round) {
+      unsigned Changed = 0;
+      if (Opts.EnableConstantFold)
+        Changed += runConstantFold(*F, Opts);
+      if (Opts.EnableSimplifyCFG)
+        Changed += runSimplifyCFG(*F, Opts);
+      if (Opts.EnableJumpThreading)
+        Changed += runJumpThreading(*F, Opts);
+      if (Opts.EnableIfConvert)
+        Changed += runIfConvert(*F, Opts);
+      if (Round == 0 && Opts.EnableLoopUnroll)
+        Changed += runLoopUnroll(*F, Opts);
+      if (Opts.EnableCodeMotion)
+        Changed += runCodeMotion(*F, Opts);
+      if (Opts.EnableTailMerge)
+        Changed += runTailMerge(*F, Opts);
+      if (Opts.EnableDCE)
+        Changed += runDCE(*F, Opts);
+      if (Opts.EnableSimplifyCFG)
+        Changed += runSimplifyCFG(*F, Opts);
+      Stats.record("midlevel." + F->getName(), Changed);
+      if (!Changed)
+        break;
+    }
+  }
+  verifyOrDie(M, "after mid-level pipeline");
+  return Stats;
+}
+
+PassStats runLatePipeline(Module &M, const OptOptions &Opts) {
+  PassStats Stats;
+  for (auto &F : M.Functions) {
+    if (Opts.EnableFunctionSplit)
+      Stats.record("split." + F->getName(), runFunctionSplit(*F, Opts));
+    if (Opts.EnableLayout)
+      Stats.record("layout." + F->getName(), runExtTSPLayout(*F, Opts));
+  }
+  verifyOrDie(M, "after late pipeline");
+  return Stats;
+}
+
+} // namespace csspgo

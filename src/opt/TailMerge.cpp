@@ -1,0 +1,152 @@
+//===- opt/TailMerge.cpp - Code merge ---------------------------------------===//
+//
+// Merges identical basic blocks (the "tail merge" family of §III-A "Code
+// Merge"). Two blocks merge when their instruction sequences are identical
+// and they branch to the same successors; predecessors of the duplicate are
+// redirected to the survivor.
+//
+// This is the transformation with *no* sound profile-preserving form: after
+// the merge, the combined execution count can no longer be attributed to
+// the two original program locations. Consequences per PGO variant:
+//  - AutoFDO (no anchors): blocks merge freely; the survivor keeps its own
+//    debug lines, so in the next profiling iteration the duplicate's source
+//    lines receive zero samples and the survivor's lines absorb both
+//    counts — the correlation damage the paper describes.
+//  - CSSPGO: each block carries a pseudo-probe with a distinct id, so
+//    Instruction::isIdenticalTo fails and the merge is blocked, preserving
+//    the original control flow for correlation. This holds at *both*
+//    barrier strengths (merge is never unblocked, matching the paper).
+//  - Instr PGO: counter increments with distinct counter ids likewise block
+//    the merge (the classic "instrumentation as optimization barrier").
+//
+// Profile maintenance: the survivor's count becomes the sum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "opt/PassManager.h"
+
+#include <algorithm>
+
+namespace csspgo {
+
+static bool blocksIdentical(const BasicBlock &A, const BasicBlock &B) {
+  if (A.Insts.size() != B.Insts.size())
+    return false;
+  for (size_t I = 0; I != A.Insts.size(); ++I)
+    if (!A.Insts[I].isIdenticalTo(B.Insts[I]))
+      return false;
+  return true;
+}
+
+/// Length of the longest common instruction suffix of \p A and \p B
+/// (terminator included). Probes and counters compare by identity, so a
+/// probe pair with different ids terminates the suffix — that is the
+/// blocking mechanism.
+static size_t commonSuffixLen(const BasicBlock &A, const BasicBlock &B) {
+  size_t N = 0;
+  while (N < A.Insts.size() && N < B.Insts.size()) {
+    const Instruction &IA = A.Insts[A.Insts.size() - 1 - N];
+    const Instruction &IB = B.Insts[B.Insts.size() - 1 - N];
+    if (!IA.isIdenticalTo(IB))
+      break;
+    ++N;
+  }
+  return N;
+}
+
+/// Splits the common suffix of \p A and \p B into a fresh shared block.
+/// Both blocks must currently end with identical terminators.
+static void mergeSuffix(Function &F, BasicBlock *A, BasicBlock *B,
+                        size_t SuffixLen) {
+  BasicBlock *T = F.createBlock("tailmerge");
+  T->Insts.assign(A->Insts.end() - static_cast<ptrdiff_t>(SuffixLen),
+                  A->Insts.end());
+  // Profile maintenance: the shared tail executes as often as both
+  // sources combined; its outgoing weights are the sources' sums.
+  if (A->HasCount || B->HasCount) {
+    T->setCount(A->Count + B->Count);
+    unsigned NumSucc = T->numSuccessors();
+    T->SuccWeights.clear();
+    for (unsigned S = 0; S != NumSucc; ++S)
+      T->SuccWeights.push_back((A->SuccWeights.size() == NumSucc
+                                    ? A->SuccWeights[S]
+                                    : A->Count / std::max(1u, NumSucc)) +
+                               (B->SuccWeights.size() == NumSucc
+                                    ? B->SuccWeights[S]
+                                    : B->Count / std::max(1u, NumSucc)));
+  }
+  for (BasicBlock *Src : {A, B}) {
+    Src->Insts.erase(Src->Insts.end() - static_cast<ptrdiff_t>(SuffixLen),
+                     Src->Insts.end());
+    Instruction Br;
+    Br.Op = Opcode::Br;
+    Br.Succ0 = T;
+    if (!Src->Insts.empty()) {
+      Br.DL = Src->Insts.back().DL;
+      Br.OriginGuid = Src->Insts.back().OriginGuid;
+      Br.InlineStack = Src->Insts.back().InlineStack;
+    } else if (!T->Insts.empty()) {
+      Br.DL = T->Insts.front().DL;
+      Br.OriginGuid = T->Insts.front().OriginGuid;
+      Br.InlineStack = T->Insts.front().InlineStack;
+    }
+    Src->Insts.push_back(std::move(Br));
+    Src->SuccWeights.clear();
+    if (Src->HasCount)
+      Src->SuccWeights = {Src->Count};
+  }
+}
+
+unsigned runTailMerge(Function &F, const OptOptions &Opts) {
+  (void)Opts; // Merging is blocked by anchors at any barrier strength.
+  unsigned Changed = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    auto Preds = computePredecessors(F);
+    // Whole-block merges first.
+    for (size_t I = 0; I != F.Blocks.size() && !Progress; ++I) {
+      for (size_t J = I + 1; J != F.Blocks.size() && !Progress; ++J) {
+        BasicBlock *A = F.Blocks[I].get();
+        BasicBlock *B = F.Blocks[J].get();
+        if (B == F.getEntry() || A == B)
+          continue;
+        if (!blocksIdentical(*A, *B))
+          continue;
+        // Merge B into A.
+        for (BasicBlock *P : Preds[B])
+          P->replaceSuccessor(B, A);
+        if (A->HasCount || B->HasCount)
+          A->setCount(A->Count + B->Count);
+        F.eraseBlock(B);
+        ++Changed;
+        Progress = true;
+      }
+    }
+    if (Progress)
+      continue;
+    // Partial (suffix) merges: factor a common tail of >= 3 instructions
+    // (terminator + 2) into a shared block.
+    constexpr size_t MinSuffix = 3;
+    size_t NumBlocks = F.Blocks.size();
+    for (size_t I = 0; I != NumBlocks && !Progress; ++I) {
+      for (size_t J = I + 1; J != NumBlocks && !Progress; ++J) {
+        BasicBlock *A = F.Blocks[I].get();
+        BasicBlock *B = F.Blocks[J].get();
+        if (A == B)
+          continue;
+        size_t Suffix = commonSuffixLen(*A, *B);
+        if (Suffix < MinSuffix || Suffix >= A->Insts.size() ||
+            Suffix >= B->Insts.size())
+          continue;
+        mergeSuffix(F, A, B, Suffix);
+        ++Changed;
+        Progress = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace csspgo

@@ -1,0 +1,97 @@
+//===- pgo/BuildPipeline.h - PGO build pipelines -----------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation pipelines of the PGO variants under study:
+///
+///   None            — plain optimized build (profiling binary for the
+///                     sampling variants, and the overhead baseline).
+///   Instr           — traditional instrumentation PGO: counters in the
+///                     profiling binary (strong barriers + run-time cost),
+///                     exact counter-keyed profile in the release build.
+///   AutoFDO         — sampling PGO with debug-info correlation [2].
+///   CSSPGOProbeOnly — pseudo-probes as correlation anchors, flat profile
+///                     (isolates the pseudo-instrumentation contribution).
+///   CSSPGOFull      — probes + context-sensitive profile + pre-inliner.
+///
+/// All variants share the same optimization pipeline (pre-opt, top-down
+/// loader inlining where applicable, bottom-up inliner, mid-level passes,
+/// Ext-TSP layout, function splitting) per the paper's §IV-A alignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PGO_BUILDPIPELINE_H
+#define CSSPGO_PGO_BUILDPIPELINE_H
+
+#include "ir/Module.h"
+#include "loader/ProfileLoader.h"
+#include "opt/Inliner.h"
+#include "opt/PassManager.h"
+#include "profile/ContextTrie.h"
+#include "profile/FunctionProfile.h"
+#include "codegen/MachineModule.h"
+#include "probe/ProbeTable.h"
+
+#include <memory>
+
+namespace csspgo {
+
+enum class PGOVariant : uint8_t {
+  None,
+  Instr,
+  AutoFDO,
+  CSSPGOProbeOnly,
+  CSSPGOFull,
+};
+
+const char *variantName(PGOVariant V);
+
+/// A profile of any of the three shapes.
+struct ProfileBundle {
+  bool Has = false;
+  bool IsInstr = false;
+  bool IsCS = false;
+  FlatProfile Flat;
+  ContextProfile CS;
+};
+
+struct BuildConfig {
+  PGOVariant Variant = PGOVariant::None;
+  OptOptions Opt;
+  InlineParams Inline;
+  LoaderOptions Loader;
+  /// Run MCF profile inference after annotation (profi, ref [10]). Off
+  /// only in the inference ablation.
+  bool EnableInference = true;
+};
+
+struct BuildResult {
+  std::unique_ptr<Module> IR;
+  std::unique_ptr<Binary> Bin;
+  LoaderStats Loader;
+  InlinerStats Inliner;
+  /// Probe descriptors snapshotted at insertion time (before any function
+  /// could be optimized away); the .pseudo_probe_desc section equivalent.
+  ProbeTable ProbeDescs;
+};
+
+/// Builds \p Source under \p Config. \p Profile may be null (profiling
+/// build / plain build). The returned binary carries probes for CSSPGO
+/// variants and counters for the Instr *profiling* build only.
+BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,
+                         const ProfileBundle *Profile);
+
+/// Annotation-only build used by the profile-quality analysis (Table I):
+/// clones \p Source, inserts matching anchors, correlates \p Profile onto
+/// the pristine IR with *no inlining*, runs inference, and returns the
+/// annotated module. Modules produced this way from different profiles are
+/// block-for-block comparable.
+std::unique_ptr<Module> annotateForQuality(const Module &Source,
+                                           const ProfileBundle &Profile);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PGO_BUILDPIPELINE_H

@@ -1,0 +1,122 @@
+//===- pgo/PGODriver.h - End-to-end PGO experiments --------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end experiment driver replicating the paper's methodology
+/// (§IV-A): build the profiling binary, run it on training input with PMU
+/// sampling (or counters), generate the variant's profile (including
+/// cold-context trimming, Algorithm-3 size extraction and the pre-inliner
+/// for full CSSPGO), rebuild with the profile, and measure cycles on
+/// evaluation inputs drawn from a slightly shifted distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PGO_PGODRIVER_H
+#define CSSPGO_PGO_PGODRIVER_H
+
+#include "pgo/BuildPipeline.h"
+#include "profgen/CSProfileGenerator.h"
+#include "sim/Executor.h"
+#include "workload/ProgramGenerator.h"
+
+#include <map>
+#include <memory>
+
+namespace csspgo {
+
+struct ExperimentConfig {
+  WorkloadConfig Workload;
+
+  uint64_t TrainSeed = 7;
+  uint64_t EvalSeedBase = 5000;
+  unsigned EvalRuns = 3;
+  /// Train/eval input distribution shift (production drift).
+  double EvalShift = 0.04;
+
+  uint64_t SamplePeriodCycles = 4001;
+  bool PreciseSampling = true; ///< PEBS on (the paper's setup).
+
+  /// Continuous-profiling iterations for sampling-based variants: the
+  /// production workflow profiles the *currently deployed optimized*
+  /// binary, so profiles reflect its inlining (AutoFDO's partial context
+  /// sensitivity comes exactly from there, §II-B). Iteration 1 profiles a
+  /// plain build; each further iteration rebuilds with the profile and
+  /// re-profiles. Instrumentation PGO needs no iteration (exact counts on
+  /// pristine IR).
+  unsigned ProfileIterations = 1;
+
+  /// Full-CSSPGO profile-generation pipeline knobs.
+  bool TrimColdContexts = true;
+  uint64_t TrimThresholdDivisor = 5000; ///< threshold = total/divisor.
+  bool RunPreInliner = true;
+  bool InferMissingFrames = true;
+
+  /// Base build configuration (variant-specific fields are filled in).
+  OptOptions Opt;
+  InlineParams Inline;
+  LoaderOptions Loader;
+  bool EnableInference = true;
+};
+
+struct VariantOutcome {
+  PGOVariant Variant = PGOVariant::None;
+
+  /// Cycles of the profiling run and the overhead vs the plain binary on
+  /// the same input (Fig. 8 / Table I "profiling overhead").
+  uint64_t ProfilingCycles = 0;
+  double ProfilingOverheadPct = 0;
+
+  /// Mean optimized-binary cycles over the eval inputs (the performance
+  /// metric; lower is better) and the per-run values (for error bars).
+  double EvalCyclesMean = 0;
+  std::vector<uint64_t> EvalCycles;
+
+  uint64_t CodeSizeBytes = 0;
+  int64_t ExitValue = 0; ///< Semantics check: identical across variants.
+
+  /// Microarchitectural counters from the first eval run (diagnostics).
+  uint64_t EvalInstructions = 0;
+  uint64_t EvalICacheMisses = 0;
+  uint64_t EvalMispredicts = 0;
+  uint64_t EvalTakenBranches = 0;
+  uint64_t EvalCalls = 0;
+
+  ProfileBundle Profile;
+  CSProfileGenStats ProfGen;
+  std::unique_ptr<BuildResult> Build;
+};
+
+class PGODriver {
+public:
+  explicit PGODriver(ExperimentConfig Config);
+
+  /// Runs the full pipeline for \p V. Results are deterministic.
+  VariantOutcome run(PGOVariant V);
+
+  /// Percentage improvement of \p V over \p Baseline (positive = faster),
+  /// computed from EvalCyclesMean.
+  static double improvementPct(const VariantOutcome &V,
+                               const VariantOutcome &Baseline);
+
+  const Module &source() const { return *Source; }
+  const ExperimentConfig &config() const { return Config; }
+
+  /// The plain (None) outcome, built on demand and cached.
+  const VariantOutcome &baseline();
+
+private:
+  BuildConfig makeBuildConfig(PGOVariant V) const;
+  ProfileBundle collectProfile(PGOVariant V, const BuildResult &ProfBuild,
+                               VariantOutcome &Out);
+
+  ExperimentConfig Config;
+  std::unique_ptr<Module> Source;
+  std::unique_ptr<VariantOutcome> Baseline;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_PGO_PGODRIVER_H

@@ -1,0 +1,53 @@
+//===- preinline/PreInliner.h - Context-sensitive pre-inliner ----*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The context-sensitive pre-inliner (paper §III-B-b, Algorithm 2): runs
+/// offline, during profile generation, and makes *global, top-down*
+/// inline decisions using (a) context-sensitive hotness from the profile
+/// and (b) function sizes *measured from the profiled binary* (Algorithm
+/// 3) rather than early-IR estimates. Decisions are persisted in the
+/// profile (ShouldBeInlined); context profiles of call sites that will
+/// not be inlined are merged back into their callee's base profile, which
+/// both shrinks the profile and gives the compiler accurate post-inline
+/// base profiles despite ThinLTO-style module isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PREINLINE_PREINLINER_H
+#define CSSPGO_PREINLINE_PREINLINER_H
+
+#include "profile/ContextTrie.h"
+#include "profgen/BinarySizeExtractor.h"
+
+namespace csspgo {
+
+struct PreInlinerOptions {
+  /// Call-site sample count at/above which a context is an inline
+  /// candidate. 0 = derive a profile-summary threshold at HotCutoff.
+  uint64_t HotThreshold = 0;
+  double HotCutoff = 0.9;
+  /// Measured-size cap (bytes) for an inlinable candidate copy.
+  uint64_t MaxCandidateSizeBytes = 550;
+  /// Growth budget per function (bytes), Algorithm 2's "Limit".
+  uint64_t SizeLimitBytes = 3000;
+};
+
+struct PreInlinerStats {
+  unsigned ContextsMarkedInlined = 0;
+  unsigned ContextsMergedToBase = 0;
+  uint64_t HotThresholdUsed = 0;
+};
+
+/// Runs the pre-inliner over \p Profile in place. \p Sizes is the
+/// Algorithm-3 size table extracted from the profiled binary.
+PreInlinerStats runPreInliner(ContextProfile &Profile,
+                              const FuncSizeTable &Sizes,
+                              const PreInlinerOptions &Opts = {});
+
+} // namespace csspgo
+
+#endif // CSSPGO_PREINLINE_PREINLINER_H

@@ -1,0 +1,79 @@
+//===- probe/ProbeInserter.cpp - Pseudo-instrumentation -------------------===//
+
+#include "probe/ProbeInserter.h"
+
+#include "ir/Checksum.h"
+
+namespace csspgo {
+
+static void insertIntoFunction(Function &F, AnchorKind Kind) {
+  if (F.HasProbes || F.NumCounters)
+    return;
+
+  uint32_t NextId = 1;
+  for (auto &BB : F.Blocks) {
+    // Block anchor at the head of the block.
+    Instruction Probe;
+    Probe.Op = Kind == AnchorKind::PseudoProbe ? Opcode::PseudoProbe
+                                               : Opcode::InstrProfIncr;
+    Probe.ProbeId = NextId++;
+    Probe.OriginGuid = F.getGuid();
+    // Anchors inherit the line of the first real instruction so the
+    // line table stays sensible.
+    if (!BB->Insts.empty())
+      Probe.DL = BB->Insts.front().DL;
+    BB->Insts.insert(BB->Insts.begin(), Probe);
+
+    // Call-site ids: probes in probe mode, value-site ids in counter mode
+    // (the instrumentation runtime records indirect-call targets per
+    // site). Counter-mode call sites use a separate numbering so block
+    // counter ids stay contiguous.
+    if (Kind == AnchorKind::PseudoProbe)
+      for (Instruction &I : BB->Insts)
+        if (I.isCall() && I.ProbeId == 0 && I.OriginGuid == F.getGuid())
+          I.ProbeId = NextId++;
+  }
+
+  if (Kind == AnchorKind::InstrCounter) {
+    uint32_t NextSite = 1;
+    for (auto &BB : F.Blocks)
+      for (Instruction &I : BB->Insts)
+        if (I.isCall() && I.ProbeId == 0 && I.OriginGuid == F.getGuid())
+          I.ProbeId = NextSite++;
+  }
+
+  F.NextProbeId = NextId;
+  if (Kind == AnchorKind::PseudoProbe) {
+    F.HasProbes = true;
+    F.ProbeCFGChecksum = computeCFGChecksum(F);
+  } else {
+    F.NumCounters = NextId - 1;
+  }
+}
+
+void insertProbes(Module &M, AnchorKind Kind) {
+  for (auto &F : M.Functions)
+    insertIntoFunction(*F, Kind);
+}
+
+void stripProbes(Module &M) {
+  for (auto &F : M.Functions) {
+    for (auto &BB : F->Blocks) {
+      std::vector<Instruction> Kept;
+      Kept.reserve(BB->Insts.size());
+      for (Instruction &I : BB->Insts) {
+        if (I.isIntrinsic())
+          continue;
+        if (I.isCall())
+          I.ProbeId = 0;
+        Kept.push_back(std::move(I));
+      }
+      BB->Insts = std::move(Kept);
+    }
+    F->HasProbes = false;
+    F->NumCounters = 0;
+    F->NextProbeId = 1;
+  }
+}
+
+} // namespace csspgo

@@ -1,0 +1,42 @@
+//===- probe/ProbeInserter.h - Pseudo-instrumentation ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pseudo-probe insertion (paper §III-A). Runs at the very start of the
+/// pipeline, before any aggressive transformation, and inserts
+/// - one block probe at the head of every basic block, and
+/// - a call-site probe id on every call instruction,
+/// then computes and stores the function's CFG checksum.
+///
+/// The same pass doubles as the traditional-instrumentation inserter: in
+/// Instr mode it emits InstrProfIncr counter increments instead (which do
+/// lower to machine code and act as strong optimization barriers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROBE_PROBEINSERTER_H
+#define CSSPGO_PROBE_PROBEINSERTER_H
+
+#include "ir/Module.h"
+
+namespace csspgo {
+
+/// What kind of correlation anchors to insert.
+enum class AnchorKind {
+  PseudoProbe, ///< CSSPGO: intrinsic, materializes as metadata only.
+  InstrCounter ///< Instrumentation PGO: real counter increments.
+};
+
+/// Inserts anchors into every function of \p M and computes CFG checksums.
+/// Idempotent: functions that already carry anchors are skipped.
+void insertProbes(Module &M, AnchorKind Kind);
+
+/// Strips all probes/counters (used to measure probe-free baselines).
+void stripProbes(Module &M);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROBE_PROBEINSERTER_H

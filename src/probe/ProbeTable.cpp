@@ -1,0 +1,34 @@
+//===- probe/ProbeTable.cpp - Probe descriptor table ----------------------===//
+
+#include "probe/ProbeTable.h"
+
+namespace csspgo {
+
+ProbeTable ProbeTable::fromModule(const Module &M) {
+  ProbeTable T;
+  for (const auto &F : M.Functions) {
+    if (!F->HasProbes)
+      continue;
+    ProbeDescriptor D;
+    D.FuncName = F->getName();
+    D.Guid = F->getGuid();
+    D.CFGChecksum = F->ProbeCFGChecksum;
+    D.NumProbes = F->NextProbeId - 1;
+    T.ByGuid[D.Guid] = std::move(D);
+  }
+  return T;
+}
+
+const ProbeDescriptor *ProbeTable::find(uint64_t Guid) const {
+  auto It = ByGuid.find(Guid);
+  return It == ByGuid.end() ? nullptr : &It->second;
+}
+
+const ProbeDescriptor *ProbeTable::findByName(const std::string &Name) const {
+  for (const auto &[G, D] : ByGuid)
+    if (D.FuncName == Name)
+      return &D;
+  return nullptr;
+}
+
+} // namespace csspgo

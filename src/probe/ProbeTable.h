@@ -1,0 +1,53 @@
+//===- probe/ProbeTable.h - Probe descriptor table --------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-module table of probe descriptors: for every probed function, its
+/// GUID, name and CFG checksum. The descriptor table is the compile-time
+/// side of correlation: profgen writes (guid, probe id) keyed counts, the
+/// profile loader resolves guids back to functions and verifies checksums.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROBE_PROBETABLE_H
+#define CSSPGO_PROBE_PROBETABLE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace csspgo {
+
+struct ProbeDescriptor {
+  std::string FuncName;
+  uint64_t Guid = 0;
+  uint64_t CFGChecksum = 0;
+  uint32_t NumProbes = 0;
+};
+
+class ProbeTable {
+public:
+  /// Builds the table from a probed module.
+  static ProbeTable fromModule(const Module &M);
+
+  const ProbeDescriptor *find(uint64_t Guid) const;
+  const ProbeDescriptor *findByName(const std::string &Name) const;
+
+  size_t size() const { return ByGuid.size(); }
+
+  const std::map<uint64_t, ProbeDescriptor> &descriptors() const {
+    return ByGuid;
+  }
+
+private:
+  std::map<uint64_t, ProbeDescriptor> ByGuid;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROBE_PROBETABLE_H

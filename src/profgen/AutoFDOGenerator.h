@@ -1,0 +1,42 @@
+//===- profgen/AutoFDOGenerator.h - AutoFDO profile generation ---*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AutoFDO-style profile generation (the baseline, ref [2]): linear ranges
+/// from LBR samples are symbolized through *debug info* (line offsets +
+/// discriminators + DWARF inline info). No calling-context reconstruction
+/// is performed — context sensitivity is limited to the inlining baked
+/// into the profiled binary (nested inlinee profiles).
+///
+/// The characteristic weakness reproduced here: a source line maps to
+/// many binary instructions, so per-location counts take the MAX over the
+/// per-address counts — correct for code motion, wrong for code
+/// duplication (§III-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFGEN_AUTOFDOGENERATOR_H
+#define CSSPGO_PROFGEN_AUTOFDOGENERATOR_H
+
+#include "profile/FunctionProfile.h"
+#include "profgen/Symbolizer.h"
+#include "sim/Sampler.h"
+
+namespace csspgo {
+
+struct AutoFDOGenStats {
+  uint64_t RangesProcessed = 0;
+  uint64_t BrokenRanges = 0;
+};
+
+/// Generates a line-based flat profile from \p Samples taken on \p Bin.
+FlatProfile generateAutoFDOProfile(const Binary &Bin,
+                                   const std::vector<PerfSample> &Samples,
+                                   AutoFDOGenStats *Stats = nullptr);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFGEN_AUTOFDOGENERATOR_H

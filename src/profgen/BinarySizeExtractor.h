@@ -1,0 +1,56 @@
+//===- profgen/BinarySizeExtractor.h - Algorithm 3 ---------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-sensitive inline cost extraction — Algorithm 3 of the paper.
+/// Walks every instruction of the profiled binary, attributing its byte
+/// size to the inline context it belongs to (a trie of function size per
+/// inlined copy). The pre-inliner uses these *measured, post-optimization*
+/// sizes instead of early-IR estimates: "extracted size can often
+/// accurately tell the pre-inliner that certain functions will eventually
+/// be fully optimized away".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFGEN_BINARYSIZEEXTRACTOR_H
+#define CSSPGO_PROFGEN_BINARYSIZEEXTRACTOR_H
+
+#include "profile/ContextTrie.h"
+#include "profgen/Symbolizer.h"
+
+#include <map>
+
+namespace csspgo {
+
+/// Measured code size per inline context. The context is the chain of
+/// function frames ([physical function @ site, ..., leaf origin]); sizes
+/// of distinct inlined copies stay distinct.
+class FuncSizeTable {
+public:
+  /// Size in bytes of the inlined copy at \p Ctx, or the size that copy
+  /// would have; returns 0 when unknown.
+  uint64_t sizeForContext(const SampleContext &Ctx) const;
+
+  /// Aggregate size for a function across all its copies, divided by the
+  /// number of copies (the pre-inliner's per-copy estimate for contexts it
+  /// has not seen). Returns 0 when the function never appears.
+  uint64_t averageSizeFor(const std::string &Func) const;
+
+  void add(const SampleContext &Ctx, uint64_t Bytes);
+
+  size_t numContexts() const { return Sizes.size(); }
+
+private:
+  std::map<SampleContext, uint64_t> Sizes;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> Totals; // sum, n
+};
+
+/// Runs Algorithm 3 over \p Bin.
+FuncSizeTable extractFuncSizes(const Binary &Bin);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFGEN_BINARYSIZEEXTRACTOR_H

@@ -1,0 +1,60 @@
+//===- profgen/CSProfileGenerator.h - CSSPGO profile generation --*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-sensitive, probe-based profile generation — the CSSPGO
+/// llvm-profgen path. Linear ranges and branches are context-attributed by
+/// the virtual unwinder (Algorithm 1); counts are recorded against
+/// *pseudo-probe ids*, with copies of the same probe (from code
+/// duplication) summed — the one-to-one mapping property of §III-A. The
+/// probed functions' CFG checksums are persisted into the profile for
+/// stale-profile detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFGEN_CSPROFILEGENERATOR_H
+#define CSSPGO_PROFGEN_CSPROFILEGENERATOR_H
+
+#include "probe/ProbeTable.h"
+#include "profile/ContextTrie.h"
+#include "profgen/ContextUnwinder.h"
+#include "sim/Sampler.h"
+
+namespace csspgo {
+
+struct CSProfileGenStats {
+  uint64_t Samples = 0;
+  uint64_t UnsyncedSamples = 0;
+  uint64_t RangesProcessed = 0;
+  MissingFrameInferrer::Stats TailCallStats;
+};
+
+struct CSProfileOptions {
+  /// Enable the missing-frame inferrer.
+  bool InferMissingFrames = true;
+};
+
+/// Generates a probe-based context profile from \p Samples taken on
+/// \p Bin. \p Probes supplies function checksums (the .pseudo_probe_desc
+/// section).
+ContextProfile
+generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
+                  const std::vector<PerfSample> &Samples,
+                  const CSProfileOptions &Opts = {},
+                  CSProfileGenStats *Stats = nullptr);
+
+/// Generates the "probe-only CSSPGO" profile (Fig. 6's middle variant): a
+/// *flat* probe-keyed profile with nested inlinee profiles from the
+/// binary's probe inline metadata, but no stack-based calling contexts.
+/// Same correlation quality as full CSSPGO, no context sensitivity.
+FlatProfile generateProbeOnlyProfile(const Binary &Bin,
+                                     const ProbeTable &Probes,
+                                     const std::vector<PerfSample> &Samples,
+                                     CSProfileGenStats *Stats = nullptr);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFGEN_CSPROFILEGENERATOR_H

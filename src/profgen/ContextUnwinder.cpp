@@ -1,0 +1,182 @@
+//===- profgen/ContextUnwinder.cpp - Algorithm 1 -----------------------------===//
+
+#include "profgen/ContextUnwinder.h"
+
+namespace csspgo {
+
+void collectTailCallEdges(const Symbolizer &Sym,
+                          const std::vector<PerfSample> &Samples,
+                          MissingFrameInferrer &Inferrer) {
+  const Binary &Bin = Sym.binary();
+  for (const PerfSample &Sample : Samples) {
+    for (const LBREntry &E : Sample.LBR) {
+      size_t SrcIdx = Bin.indexOfAddr(E.Src);
+      if (SrcIdx == SIZE_MAX)
+        continue;
+      if (Sym.classify(SrcIdx) != BranchKind::TailCallJump)
+        continue;
+      auto Frames = Sym.framesAt(SrcIdx);
+      size_t DstIdx = Bin.indexOfAddr(E.Dst);
+      if (Frames.empty() || DstIdx == SIZE_MAX)
+        continue;
+      uint32_t DstFunc = Sym.funcIndexOf(DstIdx);
+      if (DstFunc == ~0u)
+        continue;
+      Inferrer.addTailCallEdge(Frames.back().Func, Frames.back().CallProbeId,
+                               Bin.Funcs[DstFunc].Name);
+    }
+  }
+}
+
+SampleContext
+ContextUnwinder::expandCallerContext(const std::vector<size_t> &CallStack,
+                                     uint32_t LeafFuncIdx) {
+  const Binary &Bin = Sym.binary();
+  SampleContext Ctx;
+  // CallStack holds call-instruction indices, outermost caller first.
+  for (size_t Level = 0; Level != CallStack.size(); ++Level) {
+    size_t CallIdx = CallStack[Level];
+    auto Frames = Sym.framesAt(CallIdx);
+    for (const Symbolizer::Frame &F : Frames)
+      Ctx.push_back({F.Func, F.CallProbeId});
+    // Missing-frame inference: the static callee of this call should be
+    // the function of the next level (or of the leaf). Tail calls between
+    // them elide frames.
+    const MInst &Call = Bin.Code[CallIdx];
+    if (Call.Op != Opcode::Call)
+      continue;
+    std::string Expected = Bin.Funcs[Call.CalleeIdx].Name;
+    std::string Actual;
+    if (Level + 1 != CallStack.size()) {
+      uint32_t NextFunc = Sym.funcIndexOf(CallStack[Level + 1]);
+      if (NextFunc != ~0u)
+        Actual = Bin.Funcs[NextFunc].Name;
+    } else if (LeafFuncIdx != ~0u) {
+      Actual = Bin.Funcs[LeafFuncIdx].Name;
+    }
+    if (Actual.empty() || Actual == Expected)
+      continue;
+    if (!Inferrer)
+      continue;
+    std::vector<MissingFrameInferrer::RecoveredFrame> Recovered;
+    if (Inferrer->inferMissingFrames(Expected, Actual, Recovered))
+      for (const auto &R : Recovered)
+        Ctx.push_back({R.Func, R.SiteProbe});
+    // On failure the context simply connects caller->Actual directly
+    // (truncated context, same behaviour the paper describes pre-fix).
+  }
+  return Ctx;
+}
+
+UnwoundSample ContextUnwinder::unwind(const PerfSample &Sample) {
+  UnwoundSample Out;
+  ++S.Samples;
+  const Binary &Bin = Sym.binary();
+  if (Sample.LBR.empty() || Sample.Stack.empty())
+    return Out;
+
+  // Virtual stack of call-instruction indices (outermost caller first).
+  // The sampled stack is leaf-first: Stack[0] is the PC, deeper entries
+  // are return addresses whose preceding instruction is the call.
+  std::vector<size_t> CallStack;
+  for (size_t I = Sample.Stack.size(); I-- > 1;) {
+    size_t RetIdx = Bin.indexOfAddr(Sample.Stack[I]);
+    if (RetIdx == SIZE_MAX || RetIdx == 0)
+      return Out; // Corrupt stack.
+    size_t CallIdx = RetIdx - 1;
+    if (Bin.Code[CallIdx].Op != Opcode::Call)
+      return Out;
+    CallStack.push_back(CallIdx);
+  }
+  size_t LeafIdx = Bin.indexOfAddr(Sample.Stack[0]);
+  if (LeafIdx == SIZE_MAX)
+    return Out;
+
+  // Synchronization check: the leaf must live in the function the newest
+  // LBR branch landed in (sampling skid breaks this, PEBS guarantees it).
+  const LBREntry &Newest = Sample.LBR.back();
+  size_t NewestDst = Bin.indexOfAddr(Newest.Dst);
+  if (NewestDst == SIZE_MAX)
+    return Out;
+  bool Synced = Sym.funcIndexOf(NewestDst) == Sym.funcIndexOf(LeafIdx) &&
+                LeafIdx >= NewestDst;
+  if (!Synced) {
+    ++S.Unsynced;
+    Out.Synced = false;
+    CallStack.clear(); // Degrade to context-less attribution.
+  }
+
+  // Process LBR newest -> oldest, undoing each branch's stack effect
+  // first, then emitting the preceding linear range.
+  for (size_t I = Sample.LBR.size(); I-- > 0;) {
+    const LBREntry &Curr = Sample.LBR[I];
+    size_t SrcIdx = Bin.indexOfAddr(Curr.Src);
+    size_t DstIdx = Bin.indexOfAddr(Curr.Dst);
+    if (SrcIdx == SIZE_MAX || DstIdx == SIZE_MAX) {
+      ++S.BrokenRanges;
+      continue;
+    }
+    BranchKind Kind = Sym.classify(SrcIdx);
+
+    // Undo the branch's effect to obtain the pre-branch stack.
+    if (Out.Synced) {
+      switch (Kind) {
+      case BranchKind::Call:
+        // The call created the current leaf frame; the caller resumes as
+        // the leaf, and the call instruction is exactly SrcIdx — the
+        // deepest CallStack entry should match it; pop it.
+        if (!CallStack.empty() && CallStack.back() == SrcIdx) {
+          CallStack.pop_back();
+        } else if (!CallStack.empty()) {
+          // Stack/LBR divergence mid-sample; stop trusting the context.
+          Out.Synced = false;
+          CallStack.clear();
+          ++S.Unsynced;
+        }
+        break;
+      case BranchKind::Return:
+        // Before the return, the returned-from frame existed; its caller's
+        // call instruction sits just before the return target.
+        if (DstIdx > 0 && Bin.Code[DstIdx - 1].Op == Opcode::Call)
+          CallStack.push_back(DstIdx - 1);
+        break;
+      case BranchKind::TailCallJump:
+        // Frame replaced; depth unchanged. Nothing to pop or push: the
+        // eliminated frame never appears in the sampled stack either.
+        break;
+      default:
+        break;
+      }
+    }
+
+    // Caller context of the branch source.
+    uint32_t SrcFunc = Sym.funcIndexOf(SrcIdx);
+    SampleContext Ctx = Out.Synced ? expandCallerContext(CallStack, SrcFunc)
+                                   : SampleContext{};
+
+    BranchWithContext B;
+    B.SrcIdx = SrcIdx;
+    B.DstIdx = DstIdx;
+    B.CallerContext = Ctx;
+    Out.Branches.push_back(std::move(B));
+
+    // Linear range preceding this branch: [prev.Dst, curr.Src].
+    if (I > 0) {
+      const LBREntry &Prev = Sample.LBR[I - 1];
+      size_t RBegin = Bin.indexOfAddr(Prev.Dst);
+      if (RBegin == SIZE_MAX || RBegin > SrcIdx ||
+          Sym.funcIndexOf(RBegin) != SrcFunc) {
+        ++S.BrokenRanges;
+        continue;
+      }
+      RangeWithContext R;
+      R.BeginIdx = RBegin;
+      R.EndIdx = SrcIdx;
+      R.CallerContext = Out.Branches.back().CallerContext;
+      Out.Ranges.push_back(std::move(R));
+    }
+  }
+  return Out;
+}
+
+} // namespace csspgo

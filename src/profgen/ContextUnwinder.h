@@ -1,0 +1,93 @@
+//===- profgen/ContextUnwinder.h - Algorithm 1 -------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual unwinder: reconstructs the calling context of every LBR
+/// branch and linear range from a *synchronized* LBR + stack sample —
+/// Algorithm 1 of the paper. LBR entries are processed in reverse
+/// execution order; calls pop the leaf frame, returns push the frame being
+/// returned from, tail-call jumps replace the leaf. Each linear range
+/// [branch target, next branch source] is attributed to the reconstructed
+/// caller context; inlined frames are expanded per instruction by the
+/// generators.
+///
+/// The unwinder also performs the two §III-B mitigations:
+/// - synchronization check: a stack that lags the LBR (sampling skid,
+///   Precise=false in the simulator) is detected and the sample degrades
+///   to context-less ranges;
+/// - missing-frame inference for frames elided by tail-call elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFGEN_CONTEXTUNWINDER_H
+#define CSSPGO_PROFGEN_CONTEXTUNWINDER_H
+
+#include "profile/ContextTrie.h"
+#include "profgen/MissingFrameInferrer.h"
+#include "profgen/Symbolizer.h"
+#include "sim/Sampler.h"
+
+namespace csspgo {
+
+/// A linear range [BeginIdx, EndIdx] (inclusive instruction indices)
+/// executed once under CallerContext (frames of the *callers* of the
+/// function owning the range; empty for top-level code).
+struct RangeWithContext {
+  size_t BeginIdx = 0;
+  size_t EndIdx = 0;
+  SampleContext CallerContext;
+};
+
+/// A taken branch with the caller context of its source.
+struct BranchWithContext {
+  size_t SrcIdx = 0;
+  size_t DstIdx = 0;
+  SampleContext CallerContext;
+};
+
+struct UnwoundSample {
+  bool Synced = true;
+  std::vector<RangeWithContext> Ranges;
+  std::vector<BranchWithContext> Branches;
+};
+
+class ContextUnwinder {
+public:
+  ContextUnwinder(const Symbolizer &Sym, MissingFrameInferrer *Inferrer)
+      : Sym(Sym), Inferrer(Inferrer) {}
+
+  /// Unwinds one sample.
+  UnwoundSample unwind(const PerfSample &Sample);
+
+  struct Stats {
+    uint64_t Samples = 0;
+    uint64_t Unsynced = 0;
+    uint64_t BrokenRanges = 0;
+  };
+  const Stats &stats() const { return S; }
+
+private:
+  /// Expands the current virtual stack (call-instruction indices, caller
+  /// first) into a full caller context, running missing-frame inference
+  /// between non-connecting frames. \p LeafFunc is the function the leaf
+  /// code belongs to.
+  SampleContext expandCallerContext(const std::vector<size_t> &CallStack,
+                                    uint32_t LeafFuncIdx);
+
+  const Symbolizer &Sym;
+  MissingFrameInferrer *Inferrer;
+  Stats S;
+};
+
+/// Scans \p Samples for tail-call jumps and feeds them to \p Inferrer as
+/// dynamic tail-call edges (the pre-pass that builds the inference graph).
+void collectTailCallEdges(const Symbolizer &Sym,
+                          const std::vector<PerfSample> &Samples,
+                          MissingFrameInferrer &Inferrer);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFGEN_CONTEXTUNWINDER_H

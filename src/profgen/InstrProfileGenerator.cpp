@@ -1,0 +1,41 @@
+//===- profgen/InstrProfileGenerator.cpp - Instr PGO profile ----------------===//
+
+#include "profgen/InstrProfileGenerator.h"
+
+#include "support/Hashing.h"
+
+namespace csspgo {
+
+FlatProfile generateInstrProfile(const CounterDump &Dump,
+                                 const Binary *Bin, const RunResult *Run) {
+  FlatProfile Out;
+  Out.Kind = ProfileKind::ProbeBased; // Keyed by anchor id, like probes.
+  for (const auto &[Name, Counters] : Dump.Functions) {
+    FunctionProfile &P = Out.getOrCreate(Name);
+    P.Guid = computeFunctionGuid(Name);
+    for (uint32_t C = 1; C < Counters.size(); ++C)
+      P.addBody({C, 0}, Counters[C]);
+    if (Counters.size() > 1)
+      P.HeadSamples = Counters[1];
+  }
+  // Value profiles: indirect-call targets per value site.
+  if (Bin && Run) {
+    for (const auto &[Site, Targets] : Run->ValueProfile) {
+      auto [Guid, SiteId] = Site;
+      auto NameIt = Bin->DebugNames.find(Guid);
+      if (NameIt == Bin->DebugNames.end())
+        continue;
+      FunctionProfile &P = Out.getOrCreate(NameIt->second);
+      for (const auto &[Slot, Count] : Targets) {
+        if (static_cast<size_t>(Slot) >= Bin->FuncTable.size())
+          continue;
+        const MachineFunction &Target =
+            Bin->Funcs[Bin->FuncTable[static_cast<size_t>(Slot)]];
+        P.addCall({SiteId, 0}, Target.Name, Count);
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace csspgo

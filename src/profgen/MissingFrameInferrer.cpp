@@ -1,0 +1,63 @@
+//===- profgen/MissingFrameInferrer.cpp - Tail-call frame recovery ----------===//
+
+#include "profgen/MissingFrameInferrer.h"
+
+namespace csspgo {
+
+void MissingFrameInferrer::addTailCallEdge(const std::string &FromFunc,
+                                           uint32_t SiteProbe,
+                                           const std::string &ToFunc) {
+  Edges[FromFunc].insert({SiteProbe, ToFunc});
+}
+
+unsigned MissingFrameInferrer::countPaths(const std::string &From,
+                                          const std::string &To,
+                                          std::set<std::string> &Visiting,
+                                          std::vector<RecoveredFrame> &Path,
+                                          unsigned Limit) {
+  if (From == To)
+    return 1;
+  if (!Visiting.insert(From).second)
+    return 0; // Cycle.
+  auto It = Edges.find(From);
+  unsigned Found = 0;
+  if (It != Edges.end()) {
+    for (const auto &[Site, Next] : It->second) {
+      std::vector<RecoveredFrame> Sub;
+      std::set<std::string> SubVisiting = Visiting;
+      unsigned N = countPaths(Next, To, SubVisiting, Sub, Limit - Found);
+      if (N > 0 && Found == 0) {
+        // Record the first found path.
+        Path.push_back({From, Site});
+        Path.insert(Path.end(), Sub.begin(), Sub.end());
+      }
+      Found += N;
+      if (Found >= Limit)
+        break;
+    }
+  }
+  Visiting.erase(From);
+  return Found;
+}
+
+bool MissingFrameInferrer::inferMissingFrames(
+    const std::string &From, const std::string &To,
+    std::vector<RecoveredFrame> &Out) {
+  ++S.Attempts;
+  std::vector<RecoveredFrame> Path;
+  std::set<std::string> Visiting;
+  unsigned N = countPaths(From, To, Visiting, Path, 2);
+  if (N == 0) {
+    ++S.NoPath;
+    return false;
+  }
+  if (N > 1) {
+    ++S.AmbiguousPaths;
+    return false;
+  }
+  ++S.Recovered;
+  Out.insert(Out.end(), Path.begin(), Path.end());
+  return true;
+}
+
+} // namespace csspgo

@@ -1,0 +1,86 @@
+//===- profgen/Symbolizer.cpp - Binary symbolization -----------------------===//
+
+#include "profgen/Symbolizer.h"
+
+#include <algorithm>
+
+namespace csspgo {
+
+Symbolizer::Symbolizer(const Binary &Bin) : Bin(Bin) {
+  GuidToName = Bin.DebugNames;
+  for (const MachineFunction &F : Bin.Funcs)
+    GuidToName[F.Guid] = F.Name;
+  for (const ProbeRecord &P : Bin.Probes) {
+    if (P.IsCallProbe)
+      CallProbes[P.InstIdx] = P.ProbeId;
+    else
+      BlockProbes[P.InstIdx].push_back(&P);
+  }
+  for (uint32_t F = 0; F != Bin.Funcs.size(); ++F) {
+    if (Bin.Funcs[F].HotEnd > Bin.Funcs[F].HotBegin)
+      RangeStarts.emplace_back(Bin.Funcs[F].HotBegin, F);
+    if (Bin.Funcs[F].ColdEnd > Bin.Funcs[F].ColdBegin)
+      RangeStarts.emplace_back(Bin.Funcs[F].ColdBegin, F);
+  }
+  std::sort(RangeStarts.begin(), RangeStarts.end());
+}
+
+const std::string &Symbolizer::nameOfGuid(uint64_t Guid) const {
+  auto It = GuidToName.find(Guid);
+  return It == GuidToName.end() ? EmptyName : It->second;
+}
+
+BranchKind Symbolizer::classify(size_t Idx) const {
+  const MInst &I = Bin.Code[Idx];
+  switch (I.Op) {
+  case Opcode::CondBr:
+    return BranchKind::Conditional;
+  case Opcode::Br:
+    return BranchKind::Unconditional;
+  case Opcode::Call:
+  case Opcode::CallIndirect:
+    return I.IsTailCall ? BranchKind::TailCallJump : BranchKind::Call;
+  case Opcode::Ret:
+    return BranchKind::Return;
+  default:
+    return BranchKind::NotABranch;
+  }
+}
+
+uint32_t Symbolizer::callProbeAt(size_t Idx) const {
+  auto It = CallProbes.find(Idx);
+  return It == CallProbes.end() ? 0 : It->second;
+}
+
+const std::vector<const ProbeRecord *> &Symbolizer::probesAt(size_t Idx) const {
+  auto It = BlockProbes.find(Idx);
+  return It == BlockProbes.end() ? Empty : It->second;
+}
+
+std::vector<Symbolizer::Frame> Symbolizer::framesAt(size_t Idx) const {
+  std::vector<Frame> Out;
+  for (const Binary::SymFrame &S : Bin.symbolize(Idx)) {
+    Frame F;
+    F.Func = nameOfGuid(S.Guid);
+    F.Loc = S.Loc;
+    F.CallProbeId = S.CallProbeId;
+    Out.push_back(std::move(F));
+  }
+  // The leaf frame's call-site probe is the instruction's own call probe.
+  if (!Out.empty())
+    Out.back().CallProbeId = callProbeAt(Idx);
+  return Out;
+}
+
+uint32_t Symbolizer::funcIndexOf(size_t Idx) const {
+  auto It = std::upper_bound(
+      RangeStarts.begin(), RangeStarts.end(),
+      std::make_pair(Idx, ~0u));
+  if (It == RangeStarts.begin())
+    return ~0u;
+  --It;
+  uint32_t F = It->second;
+  return Bin.Funcs[F].containsIdx(Idx) ? F : ~0u;
+}
+
+} // namespace csspgo

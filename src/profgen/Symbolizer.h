@@ -1,0 +1,84 @@
+//===- profgen/Symbolizer.h - Binary symbolization ---------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolization services over a linked Binary, shared by the profile
+/// generators:
+/// - debug-info view: address -> (function, line, discriminator) frame
+///   stacks, as DWARF would give AutoFDO;
+/// - pseudo-probe view: address -> attached probe records and call-site
+///   probe ids, as the .pseudo_probe section gives CSSPGO;
+/// - branch classification (call / return / tail-call jump / local), which
+///   Algorithm 1 needs to unwind LBR entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFGEN_SYMBOLIZER_H
+#define CSSPGO_PROFGEN_SYMBOLIZER_H
+
+#include "codegen/MachineModule.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+enum class BranchKind : uint8_t {
+  NotABranch,
+  Conditional,
+  Unconditional,
+  Call,
+  TailCallJump, ///< A frame-replacing jump to another function's entry.
+  Return,
+};
+
+class Symbolizer {
+public:
+  explicit Symbolizer(const Binary &Bin);
+
+  const Binary &binary() const { return Bin; }
+
+  /// Function name for a GUID ("" if unknown).
+  const std::string &nameOfGuid(uint64_t Guid) const;
+
+  /// Classifies the instruction at \p Idx.
+  BranchKind classify(size_t Idx) const;
+
+  /// The call-site probe id of the call instruction at \p Idx (0 if none).
+  uint32_t callProbeAt(size_t Idx) const;
+
+  /// Block probes attached to the instruction at \p Idx.
+  const std::vector<const ProbeRecord *> &probesAt(size_t Idx) const;
+
+  /// Fully symbolized frames at \p Idx, outermost first. Each frame is
+  /// (function name, location in that function, call-site probe id toward
+  /// the next frame; the leaf frame's CallProbeId is the instruction's own
+  /// call probe when it is a call, else 0).
+  struct Frame {
+    std::string Func;
+    DebugLoc Loc;
+    uint32_t CallProbeId = 0;
+  };
+  std::vector<Frame> framesAt(size_t Idx) const;
+
+  /// The function index containing \p Idx (cached, O(log n)).
+  uint32_t funcIndexOf(size_t Idx) const;
+
+private:
+  const Binary &Bin;
+  std::map<uint64_t, std::string> GuidToName;
+  std::map<size_t, uint32_t> CallProbes;
+  std::map<size_t, std::vector<const ProbeRecord *>> BlockProbes;
+  std::vector<const ProbeRecord *> Empty;
+  std::string EmptyName;
+  /// Sorted (HotBegin, FuncIdx) and (ColdBegin, FuncIdx) for lookup.
+  std::vector<std::pair<size_t, uint32_t>> RangeStarts;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFGEN_SYMBOLIZER_H

@@ -1,0 +1,120 @@
+//===- profile/FunctionProfile.cpp - Sample profile data ------------------===//
+
+#include "profile/FunctionProfile.h"
+
+#include <algorithm>
+
+namespace csspgo {
+
+void FunctionProfile::addBody(ProfileKey K, uint64_t N) {
+  Body[K] += N;
+  TotalSamples += N;
+}
+
+void FunctionProfile::maxBody(ProfileKey K, uint64_t N) {
+  uint64_t &Slot = Body[K];
+  if (N > Slot) {
+    TotalSamples += N - Slot;
+    Slot = N;
+  }
+}
+
+void FunctionProfile::addCall(ProfileKey K, const std::string &Callee,
+                              uint64_t N) {
+  Calls[K][Callee] += N;
+}
+
+uint64_t FunctionProfile::bodyAt(ProfileKey K) const {
+  auto It = Body.find(K);
+  return It == Body.end() ? 0 : It->second;
+}
+
+uint64_t FunctionProfile::callAt(ProfileKey K) const {
+  auto It = Calls.find(K);
+  if (It == Calls.end())
+    return 0;
+  uint64_t Total = 0;
+  for (const auto &[Callee, N] : It->second)
+    Total += N;
+  return Total;
+}
+
+const FunctionProfile *
+FunctionProfile::inlineeAt(ProfileKey K, const std::string &Callee) const {
+  auto It = Inlinees.find(K);
+  if (It == Inlinees.end())
+    return nullptr;
+  auto It2 = It->second.find(Callee);
+  return It2 == It->second.end() ? nullptr : &It2->second;
+}
+
+FunctionProfile *FunctionProfile::inlineeAt(ProfileKey K,
+                                            const std::string &Callee) {
+  return const_cast<FunctionProfile *>(
+      static_cast<const FunctionProfile *>(this)->inlineeAt(K, Callee));
+}
+
+FunctionProfile &
+FunctionProfile::getOrCreateInlinee(ProfileKey K, const std::string &Callee) {
+  FunctionProfile &P = Inlinees[K][Callee];
+  if (P.Name.empty())
+    P.Name = Callee;
+  return P;
+}
+
+void FunctionProfile::merge(const FunctionProfile &Other, uint64_t Num,
+                            uint64_t Den) {
+  auto Scale = [&](uint64_t V) -> uint64_t {
+    if (Num == Den)
+      return V;
+    return Den ? (V * Num + Den / 2) / Den : V;
+  };
+  for (const auto &[K, N] : Other.Body)
+    addBody(K, Scale(N));
+  TotalSamples -= 0; // addBody already tracked the total.
+  HeadSamples += Scale(Other.HeadSamples);
+  for (const auto &[K, Targets] : Other.Calls)
+    for (const auto &[Callee, N] : Targets)
+      addCall(K, Callee, Scale(N));
+  for (const auto &[K, Map] : Other.Inlinees)
+    for (const auto &[Callee, P] : Map)
+      getOrCreateInlinee(K, Callee).merge(P, Num, Den);
+}
+
+uint64_t FunctionProfile::maxBodyCount() const {
+  uint64_t Max = 0;
+  for (const auto &[K, N] : Body)
+    Max = std::max(Max, N);
+  return Max;
+}
+
+uint64_t FunctionProfile::totalBodySamples() const {
+  uint64_t Total = 0;
+  for (const auto &[K, N] : Body)
+    Total += N;
+  for (const auto &[K, Map] : Inlinees)
+    for (const auto &[Callee, P] : Map)
+      Total += P.totalBodySamples();
+  return Total;
+}
+
+FunctionProfile &FlatProfile::getOrCreate(const std::string &Name) {
+  FunctionProfile &P = Functions[Name];
+  if (P.Name.empty())
+    P.Name = Name;
+  return P;
+}
+
+const FunctionProfile *FlatProfile::find(const std::string &Name) const {
+  auto It = Functions.find(Name);
+  return It == Functions.end() ? nullptr : &It->second;
+}
+
+uint64_t FlatProfile::totalSamples() const {
+  uint64_t Total = 0;
+  for (const auto &[Name, P] : Functions)
+    Total += P.TotalSamples;
+  return Total;
+}
+
+} // namespace csspgo

@@ -1,0 +1,120 @@
+//===- profile/FunctionProfile.h - Sample profile data ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sample-profile containers. A FunctionProfile holds body samples keyed by
+/// ProfileKey — a (index, discriminator) pair where the index is a
+/// function-relative *line offset* for AutoFDO profiles or a *probe id* for
+/// CSSPGO profiles — plus call-target counts and (for AutoFDO) nested
+/// inlinee profiles mirroring the inlining of the profiled binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFILE_FUNCTIONPROFILE_H
+#define CSSPGO_PROFILE_FUNCTIONPROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace csspgo {
+
+/// Key of one profile record within a function.
+struct ProfileKey {
+  uint32_t Index = 0; ///< Line offset (AutoFDO) or probe id (CSSPGO).
+  uint32_t Disc = 0;  ///< Discriminator (AutoFDO only; 0 otherwise).
+
+  ProfileKey() = default;
+  ProfileKey(uint32_t Index, uint32_t Disc = 0) : Index(Index), Disc(Disc) {}
+
+  bool operator<(const ProfileKey &O) const {
+    return Index != O.Index ? Index < O.Index : Disc < O.Disc;
+  }
+  bool operator==(const ProfileKey &O) const {
+    return Index == O.Index && Disc == O.Disc;
+  }
+};
+
+/// Whether profile records are keyed by debug-info line offsets or by
+/// pseudo-probe ids. This is the axis the paper's "profile correlation"
+/// comparison (Fig. 2) runs along.
+enum class ProfileKind : uint8_t { LineBased, ProbeBased };
+
+/// Sample profile of one function (or of one calling context of a function
+/// when stored in a ContextTrie).
+class FunctionProfile {
+public:
+  std::string Name;
+  uint64_t Guid = 0;
+  /// CFG checksum persisted by probe-based profiles; the loader rejects the
+  /// profile when it mismatches the IR checksum (stale profile detection).
+  uint64_t Checksum = 0;
+  uint64_t TotalSamples = 0;
+  /// Samples attributed to the function entry (≈ invocation count).
+  uint64_t HeadSamples = 0;
+
+  /// Body samples: key -> count.
+  std::map<ProfileKey, uint64_t> Body;
+
+  /// Call targets: call-site key -> callee name -> count.
+  std::map<ProfileKey, std::map<std::string, uint64_t>> Calls;
+
+  /// Nested profiles of callees inlined in the *profiled* binary
+  /// (AutoFDO-style partial context sensitivity): call-site key -> callee
+  /// name -> profile.
+  std::map<ProfileKey, std::map<std::string, FunctionProfile>> Inlinees;
+
+  /// Adds \p N samples at \p K, with "sum" (default) or "max" semantics.
+  void addBody(ProfileKey K, uint64_t N);
+  /// Sets Body[K] = max(Body[K], N): the debug-info heuristic the paper
+  /// describes for one-to-many line mappings.
+  void maxBody(ProfileKey K, uint64_t N);
+
+  void addCall(ProfileKey K, const std::string &Callee, uint64_t N);
+
+  /// Returns the body count at \p K, or 0.
+  uint64_t bodyAt(ProfileKey K) const;
+
+  /// Returns the total call-target count at call site \p K.
+  uint64_t callAt(ProfileKey K) const;
+
+  /// Returns the inlinee profile at (\p K, \p Callee), or nullptr.
+  const FunctionProfile *inlineeAt(ProfileKey K,
+                                   const std::string &Callee) const;
+  FunctionProfile *inlineeAt(ProfileKey K, const std::string &Callee);
+
+  /// Gets or creates a nested inlinee profile.
+  FunctionProfile &getOrCreateInlinee(ProfileKey K, const std::string &Callee);
+
+  /// Accumulates \p Other into this profile, scaling counts by \p Num/Den.
+  /// Used when merging un-inlined context profiles into a base profile.
+  void merge(const FunctionProfile &Other, uint64_t Num = 1, uint64_t Den = 1);
+
+  /// Max body sample count (a hotness proxy).
+  uint64_t maxBodyCount() const;
+
+  /// Sum of all body samples including nested inlinees.
+  uint64_t totalBodySamples() const;
+
+  bool empty() const {
+    return Body.empty() && Calls.empty() && Inlinees.empty();
+  }
+};
+
+/// A flat (context-insensitive) profile database: AutoFDO profiles and
+/// instrumentation profiles.
+struct FlatProfile {
+  ProfileKind Kind = ProfileKind::LineBased;
+  std::map<std::string, FunctionProfile> Functions;
+
+  FunctionProfile &getOrCreate(const std::string &Name);
+  const FunctionProfile *find(const std::string &Name) const;
+  uint64_t totalSamples() const;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFILE_FUNCTIONPROFILE_H

@@ -1,0 +1,286 @@
+//===- profile/ProfileIO.cpp - Text profile (de)serialization -------------===//
+
+#include "profile/ProfileIO.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace csspgo {
+
+static void writeKey(std::ostringstream &OS, ProfileKey K) {
+  OS << K.Index;
+  if (K.Disc)
+    OS << "." << K.Disc;
+}
+
+static void writeBody(std::ostringstream &OS, const FunctionProfile &P,
+                      int Indent) {
+  std::string Pad(Indent, ' ');
+  if (P.Checksum) {
+    OS << Pad << "!CFGChecksum: " << P.Checksum << "\n";
+  }
+  for (const auto &[K, N] : P.Body) {
+    OS << Pad;
+    writeKey(OS, K);
+    OS << ": " << N << "\n";
+  }
+  for (const auto &[K, Targets] : P.Calls) {
+    OS << Pad;
+    writeKey(OS, K);
+    OS << ": @";
+    for (const auto &[Callee, N] : Targets)
+      OS << " " << Callee << ":" << N;
+    OS << "\n";
+  }
+  for (const auto &[K, Map] : P.Inlinees) {
+    for (const auto &[Callee, Inlinee] : Map) {
+      OS << Pad;
+      writeKey(OS, K);
+      OS << ": > " << Callee << ":" << Inlinee.TotalSamples << ":"
+         << Inlinee.HeadSamples << " {\n";
+      writeBody(OS, Inlinee, Indent + 1);
+      OS << Pad << "}\n";
+    }
+  }
+}
+
+std::string serializeFlatProfile(const FlatProfile &Profile) {
+  std::ostringstream OS;
+  OS << (Profile.Kind == ProfileKind::ProbeBased ? "!kind: probe\n"
+                                                 : "!kind: line\n");
+  for (const auto &[Name, P] : Profile.Functions) {
+    OS << Name << ":" << P.TotalSamples << ":" << P.HeadSamples << "\n";
+    writeBody(OS, P, 1);
+  }
+  return OS.str();
+}
+
+std::string serializeContextProfile(const ContextProfile &Profile) {
+  std::ostringstream OS;
+  OS << (Profile.Kind == ProfileKind::ProbeBased ? "!kind: probe\n"
+                                                 : "!kind: line\n");
+  Profile.forEachNode([&OS](const SampleContext &Ctx,
+                            const ContextTrieNode &N) {
+    const FunctionProfile &P = N.Profile;
+    OS << contextToString(Ctx) << ":" << P.TotalSamples << ":"
+       << P.HeadSamples << "\n";
+    if (N.ShouldBeInlined)
+      OS << " !ShouldBeInlined\n";
+    writeBody(OS, P, 1);
+  });
+  return OS.str();
+}
+
+namespace {
+
+/// A line-oriented cursor over the serialized text.
+class LineReader {
+public:
+  explicit LineReader(const std::string &Text) : Text(Text) {}
+
+  /// Reads the next line; returns false at end of input.
+  bool next(std::string &Line) {
+    if (Pos >= Text.size())
+      return false;
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    return true;
+  }
+
+  void pushBack(const std::string &Line) {
+    Pos -= Line.size() + 1;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+size_t indentOf(const std::string &S) {
+  size_t I = 0;
+  while (I < S.size() && S[I] == ' ')
+    ++I;
+  return I;
+}
+
+bool parseKey(const std::string &S, ProfileKey &K) {
+  size_t Dot = S.find('.');
+  K.Index = static_cast<uint32_t>(std::strtoul(S.c_str(), nullptr, 10));
+  K.Disc = Dot == std::string::npos
+               ? 0
+               : static_cast<uint32_t>(
+                     std::strtoul(S.c_str() + Dot + 1, nullptr, 10));
+  return true;
+}
+
+/// Parses body lines at indentation > \p HeaderIndent into \p P.
+bool parseBody(LineReader &Reader, FunctionProfile &P, size_t HeaderIndent);
+
+bool parseBodyLine(LineReader &Reader, const std::string &Line,
+                   FunctionProfile &P) {
+  std::string S = Line.substr(indentOf(Line));
+  if (S.rfind("!CFGChecksum: ", 0) == 0) {
+    P.Checksum = std::strtoull(S.c_str() + 14, nullptr, 10);
+    return true;
+  }
+  if (S == "!ShouldBeInlined")
+    return true; // Handled by the context parser.
+  size_t Colon = S.find(": ");
+  if (Colon == std::string::npos)
+    return false;
+  ProfileKey K;
+  parseKey(S.substr(0, Colon), K);
+  std::string Rest = S.substr(Colon + 2);
+  if (Rest.empty())
+    return false;
+  if (Rest[0] == '@') {
+    // Call targets: "@ callee:count callee:count".
+    std::istringstream IS(Rest.substr(1));
+    std::string Tok;
+    while (IS >> Tok) {
+      size_t C = Tok.rfind(':');
+      if (C == std::string::npos)
+        return false;
+      P.addCall(K, Tok.substr(0, C),
+                std::strtoull(Tok.c_str() + C + 1, nullptr, 10));
+    }
+    return true;
+  }
+  if (Rest[0] == '>') {
+    // Nested inlinee: "> callee:total:head {".
+    size_t Brace = Rest.rfind('{');
+    if (Brace == std::string::npos)
+      return false;
+    std::string Header = Rest.substr(2, Brace - 3);
+    size_t C1 = Header.find(':');
+    size_t C2 = Header.find(':', C1 + 1);
+    if (C1 == std::string::npos || C2 == std::string::npos)
+      return false;
+    std::string Callee = Header.substr(0, C1);
+    FunctionProfile &Inlinee = P.getOrCreateInlinee(K, Callee);
+    Inlinee.HeadSamples =
+        std::strtoull(Header.c_str() + C2 + 1, nullptr, 10);
+    // Body lines until the matching "}".
+    std::string BodyLine;
+    size_t MyIndent = indentOf(Line);
+    while (Reader.next(BodyLine)) {
+      std::string Trimmed = BodyLine.substr(indentOf(BodyLine));
+      if (Trimmed == "}" && indentOf(BodyLine) == MyIndent)
+        return true;
+      if (!parseBodyLine(Reader, BodyLine, Inlinee))
+        return false;
+    }
+    return false; // Missing closing brace.
+  }
+  // Plain body count.
+  P.addBody(K, std::strtoull(Rest.c_str(), nullptr, 10));
+  return true;
+}
+
+bool parseBody(LineReader &Reader, FunctionProfile &P, size_t HeaderIndent) {
+  std::string Line;
+  while (Reader.next(Line)) {
+    if (Line.empty())
+      continue;
+    if (indentOf(Line) <= HeaderIndent) {
+      Reader.pushBack(Line);
+      return true;
+    }
+    if (!parseBodyLine(Reader, Line, P))
+      return false;
+  }
+  return true;
+}
+
+bool parseHeader(const std::string &Line, std::string &Name, uint64_t &Total,
+                 uint64_t &Head) {
+  // name:total:head — name may contain ':' (contexts), so split from the
+  // right.
+  size_t C2 = Line.rfind(':');
+  if (C2 == std::string::npos || C2 == 0)
+    return false;
+  size_t C1 = Line.rfind(':', C2 - 1);
+  if (C1 == std::string::npos)
+    return false;
+  Name = Line.substr(0, C1);
+  Total = std::strtoull(Line.c_str() + C1 + 1, nullptr, 10);
+  Head = std::strtoull(Line.c_str() + C2 + 1, nullptr, 10);
+  return true;
+}
+
+} // namespace
+
+bool parseFlatProfile(const std::string &Text, FlatProfile &Out) {
+  LineReader Reader(Text);
+  std::string Line;
+  while (Reader.next(Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.rfind("!kind: ", 0) == 0) {
+      Out.Kind = Line == "!kind: probe" ? ProfileKind::ProbeBased
+                                        : ProfileKind::LineBased;
+      continue;
+    }
+    if (indentOf(Line) != 0)
+      return false;
+    std::string Name;
+    uint64_t Total, Head;
+    if (!parseHeader(Line, Name, Total, Head))
+      return false;
+    FunctionProfile &P = Out.getOrCreate(Name);
+    P.HeadSamples = Head;
+    if (!parseBody(Reader, P, 0))
+      return false;
+  }
+  return true;
+}
+
+bool parseContextProfile(const std::string &Text, ContextProfile &Out) {
+  LineReader Reader(Text);
+  std::string Line;
+  while (Reader.next(Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.rfind("!kind: ", 0) == 0) {
+      Out.Kind = Line == "!kind: probe" ? ProfileKind::ProbeBased
+                                        : ProfileKind::LineBased;
+      continue;
+    }
+    if (indentOf(Line) != 0)
+      return false;
+    std::string Name;
+    uint64_t Total, Head;
+    if (!parseHeader(Line, Name, Total, Head))
+      return false;
+    SampleContext Ctx;
+    if (!contextFromString(Name, Ctx))
+      return false;
+    ContextTrieNode &N = Out.getOrCreateNode(Ctx);
+    N.HasProfile = true;
+    N.Profile.HeadSamples = Head;
+    // Peek for the !ShouldBeInlined attribute.
+    std::string Attr;
+    if (Reader.next(Attr)) {
+      if (Attr.substr(indentOf(Attr)) == "!ShouldBeInlined")
+        N.ShouldBeInlined = true;
+      else
+        Reader.pushBack(Attr);
+    }
+    if (!parseBody(Reader, N.Profile, 0))
+      return false;
+  }
+  return true;
+}
+
+size_t profileSizeBytes(const FlatProfile &Profile) {
+  return serializeFlatProfile(Profile).size();
+}
+
+size_t profileSizeBytes(const ContextProfile &Profile) {
+  return serializeContextProfile(Profile).size();
+}
+
+} // namespace csspgo

@@ -1,0 +1,31 @@
+//===- profile/ProfileMerge.cpp - Profile merging -------------------------===//
+
+#include "profile/ProfileMerge.h"
+
+#include <cassert>
+
+namespace csspgo {
+
+void mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src) {
+  assert(Dst.Kind == Src.Kind && "cannot merge profiles of different kinds");
+  for (const auto &[Name, P] : Src.Functions) {
+    FunctionProfile &D = Dst.getOrCreate(Name);
+    D.Guid = P.Guid;
+    D.Checksum = P.Checksum;
+    D.merge(P);
+  }
+}
+
+void mergeContextProfiles(ContextProfile &Dst, const ContextProfile &Src) {
+  assert(Dst.Kind == Src.Kind && "cannot merge profiles of different kinds");
+  Src.forEachNode([&Dst](const SampleContext &Ctx, const ContextTrieNode &N) {
+    ContextTrieNode &D = Dst.getOrCreateNode(Ctx);
+    D.HasProfile = true;
+    D.Profile.Guid = N.Profile.Guid;
+    D.Profile.Checksum = N.Profile.Checksum;
+    D.ShouldBeInlined |= N.ShouldBeInlined;
+    D.Profile.merge(N.Profile);
+  });
+}
+
+} // namespace csspgo

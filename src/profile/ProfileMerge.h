@@ -1,0 +1,29 @@
+//===- profile/ProfileMerge.h - Profile merging -----------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merging of profiles from multiple profiling runs (the production
+/// workflow aggregates samples from many hosts before feeding PGO).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFILE_PROFILEMERGE_H
+#define CSSPGO_PROFILE_PROFILEMERGE_H
+
+#include "profile/ContextTrie.h"
+#include "profile/FunctionProfile.h"
+
+namespace csspgo {
+
+/// Accumulates \p Src into \p Dst (counts are summed). Kinds must match.
+void mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src);
+
+/// Accumulates \p Src into \p Dst context-by-context.
+void mergeContextProfiles(ContextProfile &Dst, const ContextProfile &Src);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFILE_PROFILEMERGE_H

@@ -1,0 +1,58 @@
+//===- profile/ProfileSummary.cpp - Hotness thresholds -----------------------===//
+
+#include "profile/ProfileSummary.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace csspgo {
+
+uint64_t summaryThreshold(std::vector<uint64_t> Counts, double Cutoff) {
+  if (Counts.empty())
+    return 1;
+  std::sort(Counts.rbegin(), Counts.rend());
+  long double Total = 0;
+  for (uint64_t C : Counts)
+    Total += C;
+  if (Total <= 0)
+    return 1;
+  long double Acc = 0;
+  for (uint64_t C : Counts) {
+    Acc += C;
+    if (Acc >= Total * Cutoff)
+      return std::max<uint64_t>(C, 1);
+  }
+  return 1;
+}
+
+uint64_t hotThreshold(const FlatProfile &Profile, double Cutoff) {
+  std::vector<uint64_t> CallCounts;
+  std::function<void(const FunctionProfile &)> Collect =
+      [&](const FunctionProfile &P) {
+        for (const auto &[K, Targets] : P.Calls)
+          for (const auto &[Callee, N] : Targets)
+            CallCounts.push_back(N);
+        for (const auto &[K, Map] : P.Inlinees)
+          for (const auto &[Name, Sub] : Map)
+            Collect(Sub);
+      };
+  for (const auto &[Name, P] : Profile.Functions)
+    Collect(P);
+  if (CallCounts.empty()) {
+    for (const auto &[Name, P] : Profile.Functions)
+      for (const auto &[K, N] : P.Body)
+        CallCounts.push_back(N);
+  }
+  return summaryThreshold(std::move(CallCounts), Cutoff);
+}
+
+uint64_t hotThreshold(const ContextProfile &Profile, double Cutoff) {
+  std::vector<uint64_t> Totals;
+  Profile.forEachNode(
+      [&Totals](const SampleContext &, const ContextTrieNode &N) {
+        Totals.push_back(N.Profile.TotalSamples);
+      });
+  return summaryThreshold(std::move(Totals), Cutoff);
+}
+
+} // namespace csspgo

@@ -1,0 +1,39 @@
+//===- profile/ProfileSummary.h - Hotness thresholds -------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile-summary style hotness thresholds shared by the profile loader
+/// and the pre-inliner: the hot threshold is the smallest count among the
+/// hottest entries that together cover a cutoff fraction of the total
+/// count mass (the same spirit as LLVM's ProfileSummaryInfo).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFILE_PROFILESUMMARY_H
+#define CSSPGO_PROFILE_PROFILESUMMARY_H
+
+#include "profile/ContextTrie.h"
+#include "profile/FunctionProfile.h"
+
+#include <vector>
+
+namespace csspgo {
+
+/// Smallest count among the hottest entries covering \p Cutoff of the
+/// total mass of \p Counts. Returns 1 for empty/zero inputs.
+uint64_t summaryThreshold(std::vector<uint64_t> Counts, double Cutoff);
+
+/// Hot-call-site threshold from the distribution of call-target counts of
+/// a flat profile (falls back to body counts for counter-keyed profiles,
+/// which record no call targets).
+uint64_t hotThreshold(const FlatProfile &Profile, double Cutoff);
+
+/// Hot-context threshold from the distribution of context total samples.
+uint64_t hotThreshold(const ContextProfile &Profile, double Cutoff);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFILE_PROFILESUMMARY_H

@@ -1,0 +1,62 @@
+//===- quality/BlockOverlap.cpp - Profile quality metric --------------------===//
+
+#include "quality/BlockOverlap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace csspgo {
+
+double blockOverlapDegree(const std::vector<uint64_t> &F,
+                          const std::vector<uint64_t> &GT) {
+  assert(F.size() == GT.size() && "block sets must match");
+  long double SumF = 0, SumGT = 0;
+  for (size_t I = 0; I != F.size(); ++I) {
+    SumF += F[I];
+    SumGT += GT[I];
+  }
+  if (SumF == 0 && SumGT == 0)
+    return 1.0;
+  if (SumF == 0 || SumGT == 0)
+    return 0.0;
+  long double D = 0;
+  for (size_t I = 0; I != F.size(); ++I)
+    D += std::min(static_cast<long double>(F[I]) / SumF,
+                  static_cast<long double>(GT[I]) / SumGT);
+  return static_cast<double>(D);
+}
+
+OverlapReport computeBlockOverlap(const Module &Measured,
+                                  const Module &GroundTruth) {
+  OverlapReport Report;
+  long double WeightedSum = 0;
+  long double TotalWeight = 0;
+
+  for (const auto &MF : Measured.Functions) {
+    const Function *GF = GroundTruth.getFunction(MF->getName());
+    if (!GF || GF->Blocks.size() != MF->Blocks.size())
+      continue;
+    std::vector<uint64_t> F, GT;
+    uint64_t FSum = 0;
+    bool AnyAnnotated = false;
+    for (size_t I = 0; I != MF->Blocks.size(); ++I) {
+      F.push_back(MF->Blocks[I]->Count);
+      GT.push_back(GF->Blocks[I]->Count);
+      FSum += MF->Blocks[I]->Count;
+      AnyAnnotated |= MF->Blocks[I]->HasCount || GF->Blocks[I]->HasCount;
+    }
+    if (!AnyAnnotated)
+      continue;
+    double D = blockOverlapDegree(F, GT);
+    Report.PerFunction.emplace_back(MF->getName(), D);
+    ++Report.FunctionsCompared;
+    // Weight by the function's share of measured samples (paper's D(P)).
+    WeightedSum += D * static_cast<long double>(FSum);
+    TotalWeight += static_cast<long double>(FSum);
+  }
+  Report.ProgramOverlap =
+      TotalWeight > 0 ? static_cast<double>(WeightedSum / TotalWeight) : 1.0;
+  return Report;
+}
+
+} // namespace csspgo

@@ -1,0 +1,50 @@
+//===- quality/BlockOverlap.h - Profile quality metric -----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The block-overlap profile-quality metric of §IV-C. For one function
+/// with block set V, measured counts f(v) and ground-truth counts gt(v):
+///
+///   D(V) = sum_v min( f(v) / sum f,  gt(v) / sum gt )
+///
+/// and for a program, the weighted aggregation over functions, weighted by
+/// each function's share of the measured samples. Ground truth is the
+/// instrumentation-PGO profile (exact counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_QUALITY_BLOCKOVERLAP_H
+#define CSSPGO_QUALITY_BLOCKOVERLAP_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+/// Per-function overlap degree between two count vectors over the same
+/// block set. Returns 1.0 when both are all-zero.
+double blockOverlapDegree(const std::vector<uint64_t> &F,
+                          const std::vector<uint64_t> &GT);
+
+struct OverlapReport {
+  double ProgramOverlap = 0;
+  size_t FunctionsCompared = 0;
+  std::vector<std::pair<std::string, double>> PerFunction;
+};
+
+/// Computes the program overlap between two *identically shaped* modules
+/// whose blocks carry annotated counts (same functions, same block
+/// counts/order — both annotated from the same pristine IR). \p Measured
+/// is the sampling-based annotation, \p GroundTruth the instrumentation
+/// annotation.
+OverlapReport computeBlockOverlap(const Module &Measured,
+                                  const Module &GroundTruth);
+
+} // namespace csspgo
+
+#endif // CSSPGO_QUALITY_BLOCKOVERLAP_H

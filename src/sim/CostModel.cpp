@@ -1,0 +1,32 @@
+//===- sim/CostModel.cpp - Microarchitectural cost model -------------------===//
+
+#include "sim/CostModel.h"
+
+namespace csspgo {
+
+uint32_t CostModel::baseCost(Opcode Op) const {
+  switch (Op) {
+  case Opcode::Mul:
+    return 3;
+  case Opcode::Div:
+  case Opcode::Mod:
+    return 16;
+  case Opcode::Load:
+  case Opcode::Store:
+    return 2;
+  case Opcode::Select:
+    return 1;
+  case Opcode::Call:
+    return CallCost;
+  case Opcode::Ret:
+    return RetCost;
+  case Opcode::InstrProfIncr:
+    return CounterCost;
+  case Opcode::PseudoProbe:
+    return 0;
+  default:
+    return 1;
+  }
+}
+
+} // namespace csspgo

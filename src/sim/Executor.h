@@ -1,0 +1,81 @@
+//===- sim/Executor.h - Machine code executor -------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a linked Binary with the cycle cost model, producing both the
+/// performance measurement (cycles) and, when sampling is enabled, the
+/// stream of synchronized LBR + stack samples that profile generation
+/// consumes. Also hosts the instrumentation counter runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_SIM_EXECUTOR_H
+#define CSSPGO_SIM_EXECUTOR_H
+
+#include "codegen/MachineModule.h"
+#include "sim/CostModel.h"
+#include "sim/Sampler.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csspgo {
+
+struct ExecConfig {
+  CostModel Costs;
+  SamplerConfig Sampler;
+  /// Hard cap on retired instructions (safety against runaway programs).
+  uint64_t MaxInstructions = 4ull << 30;
+  /// Hard cap on call depth.
+  uint32_t MaxCallDepth = 512;
+  /// Collect a per-instruction execution histogram (diagnostics; sized
+  /// like Binary::Code in the result).
+  bool CollectInstCounts = false;
+  /// Collect indirect-call value profiles (part of the instrumentation
+  /// runtime: per call site, per target slot execution counts).
+  bool CollectValueProfile = false;
+};
+
+struct RunResult {
+  bool Completed = false;
+  std::string Error;
+  int64_t ExitValue = 0;
+
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t TakenBranches = 0;
+  uint64_t CondBranches = 0;
+  uint64_t CondTaken = 0;
+  uint64_t UncondJumps = 0;
+  uint64_t Mispredicts = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t Calls = 0;
+  uint64_t IndirectCalls = 0;
+  uint64_t IndirectMispredicts = 0;
+
+  std::vector<PerfSample> Samples;
+  /// Per-instruction execution counts (only with CollectInstCounts).
+  std::vector<uint64_t> InstCounts;
+  /// Indirect-call value profile (only with CollectValueProfile):
+  /// (origin guid, call-site id) -> target slot -> count.
+  std::map<std::pair<uint64_t, uint32_t>, std::map<int64_t, uint64_t>>
+      ValueProfile;
+  /// Instrumentation counters (index 0 unused; counter ids are 1-based
+  /// within functions, re-based by CounterBase).
+  std::vector<uint64_t> Counters;
+};
+
+/// Runs \p Bin starting at function \p Entry with the given global memory
+/// image. \p Memory is modified in place.
+RunResult execute(const Binary &Bin, const std::string &Entry,
+                  std::vector<int64_t> &Memory, const ExecConfig &Config);
+
+} // namespace csspgo
+
+#endif // CSSPGO_SIM_EXECUTOR_H

@@ -1,0 +1,12 @@
+//===- sim/Sampler.cpp - PMU sampling model --------------------------------===//
+//
+// The sampler state machine lives in the executor's hot loop; this file
+// anchors the module (data types are header-only).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Sampler.h"
+
+namespace csspgo {
+// Intentionally empty.
+} // namespace csspgo

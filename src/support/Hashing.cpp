@@ -1,0 +1,31 @@
+//===- support/Hashing.cpp - Stable hashing utilities ---------------------===//
+
+#include "support/Hashing.h"
+
+namespace csspgo {
+
+uint64_t hashBytes(std::string_view Bytes) {
+  // FNV-1a, 64-bit.
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Bytes) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+uint64_t computeFunctionGuid(std::string_view Name) {
+  uint64_t Hash = hashBytes(Name);
+  // Avoid the reserved value 0, which profiles use to mean "no function".
+  return Hash ? Hash : 1;
+}
+
+uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // 64-bit variant of boost::hash_combine with a splitmix-style mixer.
+  Value += 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+  Value = (Value ^ (Value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Value = (Value ^ (Value >> 27)) * 0x94d049bb133111ebULL;
+  return Seed ^ (Value ^ (Value >> 31));
+}
+
+} // namespace csspgo

@@ -1,0 +1,36 @@
+//===- support/Hashing.h - Stable hashing utilities -----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable 64-bit hashing used for function GUIDs and CFG checksums. The
+/// hashes must be deterministic across runs and platforms because they are
+/// persisted into profiles (CSSPGO matches profile checksums against IR
+/// checksums to detect stale profiles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_SUPPORT_HASHING_H
+#define CSSPGO_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace csspgo {
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms.
+uint64_t hashBytes(std::string_view Bytes);
+
+/// Computes the GUID of a function from its name, mirroring
+/// llvm::Function::getGUID (an MD5-based scheme); we use FNV-1a but keep
+/// the same role: a stable identity that survives source drift.
+uint64_t computeFunctionGuid(std::string_view Name);
+
+/// Mixes \p Value into \p Seed (boost::hash_combine style, 64-bit).
+uint64_t hashCombine(uint64_t Seed, uint64_t Value);
+
+} // namespace csspgo
+
+#endif // CSSPGO_SUPPORT_HASHING_H

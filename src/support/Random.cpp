@@ -1,0 +1,80 @@
+//===- support/Random.cpp - Deterministic random numbers ------------------===//
+
+#include "support/Random.h"
+
+namespace csspgo {
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t X = Seed;
+  for (uint64_t &S : State)
+    S = splitmix64(X);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Rng::next() {
+  // xoshiro256**
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be non-zero");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + static_cast<int64_t>(
+                  nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+size_t Rng::pickWeighted(const std::vector<double> &Weights) {
+  double Total = 0;
+  for (double W : Weights)
+    Total += W > 0 ? W : 0;
+  assert(Total > 0 && "at least one weight must be positive");
+  double R = nextDouble() * Total;
+  for (size_t I = 0; I != Weights.size(); ++I) {
+    double W = Weights[I] > 0 ? Weights[I] : 0;
+    if (R < W)
+      return I;
+    R -= W;
+  }
+  return Weights.size() - 1;
+}
+
+} // namespace csspgo

@@ -1,0 +1,57 @@
+//===- support/Random.h - Deterministic random numbers --------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by the workload generator,
+/// input generators and the PMU sampler jitter. Determinism is required so
+/// that every experiment in the paper reproduction is exactly repeatable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_SUPPORT_RANDOM_H
+#define CSSPGO_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csspgo {
+
+/// Deterministic 64-bit PRNG. Seeded explicitly; never reads global state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Picks an index in [0, Weights.size()) with probability proportional to
+  /// Weights[i]. At least one weight must be positive.
+  size_t pickWeighted(const std::vector<double> &Weights);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_SUPPORT_RANDOM_H

@@ -1,0 +1,117 @@
+//===- workload/Workloads.cpp - Named workload presets ----------------------===//
+
+#include "workload/Workloads.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace csspgo {
+
+WorkloadConfig workloadPreset(const std::string &Name, double RequestScale) {
+  WorkloadConfig C;
+  C.Name = Name;
+  if (Name == "AdRanker") {
+    // Compute-heavy ranking: deep arithmetic, moderate call fan-out.
+    C.Seed = 101;
+    C.NumServices = 8;
+    C.NumMids = 72;
+    C.NumUtils = 28;
+    C.NumColdHandlers = 16;
+    C.ArithDensity = 7;
+    C.FeatureLoop = 8;
+    C.Requests = 3000;
+    C.UnbiasedBranchProb = 0.25;
+    C.MidsPerService = 10;
+  } else if (Name == "AdRetriever") {
+    // Branch-heavy retrieval with many similar code paths.
+    C.Seed = 202;
+    C.NumServices = 8;
+    C.NumMids = 88;
+    C.NumUtils = 32;
+    C.NumColdHandlers = 20;
+    C.ArithDensity = 5;
+    C.DupTailProb = 0.65;
+    C.MidsPerService = 12;
+    C.UnbiasedBranchProb = 0.45;
+    C.FeatureLoop = 6;
+    C.Requests = 3000;
+  } else if (Name == "AdFinder") {
+    // Call-dense matching with long util dispatch chains.
+    C.Seed = 303;
+    C.NumServices = 7;
+    C.NumMids = 80;
+    C.NumUtils = 40;
+    C.NumColdHandlers = 16;
+    C.ArithDensity = 5;
+    C.TailCallProb = 0.5;
+    C.UtilCallsPerMid = 3;
+    C.MidsPerService = 13;
+    C.FeatureLoop = 6;
+    C.Requests = 3000;
+  } else if (Name == "HHVM") {
+    // The biggest binary: wide dispatch, heavy i-cache pressure.
+    C.Seed = 404;
+    C.NumServices = 12;
+    C.NumMids = 140;
+    C.NumUtils = 56;
+    C.NumColdHandlers = 32;
+    C.ArithDensity = 8;
+    C.FeatureLoop = 8;
+    C.Requests = 2500;
+    C.ServiceSkew = 1.0;
+    C.MidsPerService = 13;
+  } else if (Name == "HaaS") {
+    // JS remote execution: small hot core, strong skew, long loops.
+    C.Seed = 505;
+    C.NumServices = 9;
+    C.NumMids = 56;
+    C.NumUtils = 20;
+    C.NumColdHandlers = 14;
+    C.ArithDensity = 6;
+    C.ServiceSkew = 1.9;
+    C.MidsPerService = 8;
+    C.FeatureLoop = 12;
+    C.Requests = 3000;
+  } else if (Name == "ClangProxy") {
+    // Client workload: many functions, short run, flat mix — sampling
+    // covers a smaller share of the executed code (§IV-D).
+    C.Seed = 606;
+    C.NumServices = 14;
+    C.NumMids = 150;
+    C.NumUtils = 48;
+    C.NumColdHandlers = 36;
+    C.ArithDensity = 5;
+    C.ServiceSkew = 0.3;
+    C.MidsPerService = 12;
+    C.FeatureLoop = 3;
+    C.Requests = 700;
+  } else {
+    assert(false && "unknown workload preset");
+  }
+  C.Requests = static_cast<unsigned>(C.Requests * RequestScale);
+  if (C.Requests == 0)
+    C.Requests = 1;
+  return C;
+}
+
+std::vector<std::string> serverWorkloadNames() {
+  return {"AdRanker", "AdRetriever", "AdFinder", "HHVM", "HaaS"};
+}
+
+void applySourceDrift(Module &M, uint32_t ShiftLines) {
+  for (auto &F : M.Functions) {
+    // Find the midpoint line of the function and shift everything at or
+    // below it, as if a comment block was inserted there.
+    uint32_t MaxLine = 0;
+    for (auto &BB : F->Blocks)
+      for (auto &I : BB->Insts)
+        MaxLine = std::max(MaxLine, I.DL.Line);
+    uint32_t Mid = MaxLine / 2;
+    for (auto &BB : F->Blocks)
+      for (auto &I : BB->Insts)
+        if (I.DL.Line >= Mid)
+          I.DL.Line += ShiftLines;
+  }
+}
+
+} // namespace csspgo

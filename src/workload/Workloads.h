@@ -1,0 +1,45 @@
+//===- workload/Workloads.h - Named workload presets -------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named workload presets standing in for the paper's evaluation targets
+/// (§IV-A): AdRanker, AdRetriever, AdFinder, HHVM and HaaS (server), plus
+/// ClangProxy (the §IV-D client workload: broad code coverage, short run).
+/// Each preset dials the generator toward the salient property of its
+/// namesake (size, branchiness, call density, skew, coverage).
+///
+/// Also provides the source-drift helper for the §III-A drift experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_WORKLOAD_WORKLOADS_H
+#define CSSPGO_WORKLOAD_WORKLOADS_H
+
+#include "workload/ProgramGenerator.h"
+
+#include <vector>
+
+namespace csspgo {
+
+/// Returns the preset named \p Name ("AdRanker", "AdRetriever",
+/// "AdFinder", "HHVM", "HaaS", "ClangProxy"). \p RequestScale multiplies
+/// the request count (benchmarks use larger scales than unit tests).
+WorkloadConfig workloadPreset(const std::string &Name,
+                              double RequestScale = 1.0);
+
+/// All five server workload names in paper order.
+std::vector<std::string> serverWorkloadNames();
+
+/// Applies a minor, CFG-preserving source drift to \p M: every function
+/// gets its line numbers shifted from mid-function down, as if a comment
+/// block had been inserted into the source. Debug-info keyed profiles
+/// mis-correlate below the shift; probe-based profiles are unaffected and
+/// the CFG checksum still matches (§III-A).
+void applySourceDrift(Module &M, uint32_t ShiftLines = 3);
+
+} // namespace csspgo
+
+#endif // CSSPGO_WORKLOAD_WORKLOADS_H

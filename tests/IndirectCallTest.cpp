@@ -1,0 +1,225 @@
+//===- tests/IndirectCallTest.cpp - indirect calls / ICP --------*- C++ -*-===//
+//
+// Indirect calls, value profiling and indirect-call promotion: the
+// value-profile-based optimization the paper names as instrumentation
+// PGO's remaining edge (§IV-A). Sampling variants learn targets from LBR
+// call branches; Instr PGO from the value-profiling runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Linker.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "loader/ProfileLoader.h"
+#include "opt/Inliner.h"
+#include "pgo/PGODriver.h"
+#include "probe/ProbeInserter.h"
+#include "profgen/AutoFDOGenerator.h"
+#include "profgen/InstrProfileGenerator.h"
+#include "sim/Executor.h"
+#include "sim/InstrRuntime.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+
+namespace {
+
+/// main loops N times calling table[v % 4] where v is skewed so slot 1
+/// dominates (~70%). Targets f0..f3 return distinct values.
+std::unique_ptr<Module> makeIndirectModule(int64_t Iters) {
+  auto M = std::make_unique<Module>("icp");
+  for (int T = 0; T != 4; ++T) {
+    Function *F = M->createFunction("f" + std::to_string(T), 1);
+    Builder B(F);
+    BasicBlock *E = F->createBlock("entry");
+    B.setInsertBlock(E);
+    RegId R = B.emitBinary(Opcode::Add, Operand::reg(0),
+                           Operand::imm(100 * (T + 1)));
+    B.emitRet(Operand::reg(R));
+    M->addFunctionTableEntry(F->getName());
+  }
+
+  Function *Main = M->createFunction("main", 0);
+  Builder B(Main);
+  BasicBlock *E = Main->createBlock("entry");
+  BasicBlock *H = Main->createBlock("h");
+  BasicBlock *Body = Main->createBlock("b");
+  BasicBlock *X = Main->createBlock("x");
+  B.setInsertBlock(E);
+  RegId Acc = B.emitConst(0);
+  RegId I = B.emitConst(0);
+  B.emitBr(H);
+  B.setInsertBlock(H);
+  RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(I), Operand::imm(Iters));
+  B.emitCondBr(Operand::reg(C), Body, X);
+  B.setInsertBlock(Body);
+  // Skew: slot = (i % 10 < 7) ? 1 : i % 4.
+  RegId M10 = B.emitBinary(Opcode::Mod, Operand::reg(I), Operand::imm(10));
+  RegId Hot = B.emitBinary(Opcode::CmpLT, Operand::reg(M10), Operand::imm(7));
+  RegId M4 = B.emitBinary(Opcode::Mod, Operand::reg(I), Operand::imm(4));
+  RegId Slot = B.emitSelect(Operand::reg(Hot), Operand::imm(1),
+                            Operand::reg(M4));
+  RegId R = B.emitCallIndirect(Operand::reg(Slot), {Operand::reg(I)});
+  B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(R));
+  Body->Insts.back().Dst = Acc;
+  B.emitBinary(Opcode::Add, Operand::reg(I), Operand::imm(1));
+  Body->Insts.back().Dst = I;
+  B.emitBr(H);
+  B.setInsertBlock(X);
+  B.emitRet(Operand::reg(Acc));
+  M->EntryFunction = "main";
+  verifyOrDie(*M, "indirect test module");
+  return M;
+}
+
+} // namespace
+
+TEST(IndirectCall, ExecutesThroughTable) {
+  auto M = makeIndirectModule(100);
+  auto Bin = compileToBinary(*M);
+  ASSERT_EQ(Bin->FuncTable.size(), 4u);
+  std::vector<int64_t> Mem(64, 0);
+  RunResult R = execute(*Bin, "main", Mem, {});
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.IndirectCalls, 100u);
+  // Expected: 70 calls to f1 (+200) and 10 each to f0/f2/f3... compute:
+  int64_t Expect = 0;
+  for (int64_t I = 0; I != 100; ++I) {
+    int64_t Slot = (I % 10 < 7) ? 1 : I % 4;
+    Expect += I + 100 * (Slot + 1);
+  }
+  EXPECT_EQ(R.ExitValue, Expect);
+}
+
+TEST(IndirectCall, MispredictsTrackTargetChanges) {
+  auto M = makeIndirectModule(1000);
+  auto Bin = compileToBinary(*M);
+  std::vector<int64_t> Mem(64, 0);
+  RunResult R = execute(*Bin, "main", Mem, {});
+  EXPECT_GT(R.IndirectMispredicts, 100u)
+      << "alternating targets must miss the last-target BTB";
+  EXPECT_LT(R.IndirectMispredicts, R.IndirectCalls);
+}
+
+TEST(IndirectCall, ValueProfileRecordsTargets) {
+  auto M = makeIndirectModule(200);
+  insertProbes(*M, AnchorKind::InstrCounter);
+  auto Bin = compileToBinary(*M);
+  std::vector<int64_t> Mem(64, 0);
+  ExecConfig EC;
+  EC.CollectValueProfile = true;
+  RunResult R = execute(*Bin, "main", Mem, EC);
+  ASSERT_EQ(R.ValueProfile.size(), 1u);
+  const auto &Targets = R.ValueProfile.begin()->second;
+  EXPECT_EQ(Targets.at(1), 160u); // 70% hot + i%4==1 residues.
+  EXPECT_EQ(Targets.at(0), 10u); // i%20==8 within 0..199.
+
+  FlatProfile Instr = generateInstrProfile(dumpCounters(*Bin, R),
+                                           Bin.get(), &R);
+  const FunctionProfile *P = Instr.find("main");
+  ASSERT_NE(P, nullptr);
+  uint64_t F1Count = 0;
+  for (const auto &[K, T] : P->Calls)
+    for (const auto &[Callee, N] : T)
+      if (Callee == "f1")
+        F1Count += N;
+  EXPECT_EQ(F1Count, 160u);
+}
+
+TEST(IndirectCall, LBRGivesSampledTargets) {
+  auto M = makeIndirectModule(20000);
+  auto Bin = compileToBinary(*M);
+  std::vector<int64_t> Mem(64, 0);
+  ExecConfig EC;
+  EC.Sampler.Enabled = true;
+  EC.Sampler.PeriodCycles = 97;
+  RunResult R = execute(*Bin, "main", Mem, EC);
+  FlatProfile Auto = generateAutoFDOProfile(*Bin, R.Samples);
+  const FunctionProfile *P = Auto.find("main");
+  ASSERT_NE(P, nullptr);
+  uint64_t F1 = 0, Rest = 0;
+  for (const auto &[K, T] : P->Calls)
+    for (const auto &[Callee, N] : T)
+      (Callee == "f1" ? F1 : Rest) += N;
+  EXPECT_GT(F1, Rest) << "LBR must see the dominant indirect target";
+}
+
+TEST(IndirectCall, PromotionCreatesGuardedDirectCall) {
+  auto M = makeIndirectModule(100);
+  insertProbes(*M, AnchorKind::InstrCounter);
+  // Synthesize an exact profile for main.
+  FlatProfile Prof;
+  Prof.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &P = Prof.getOrCreate("main");
+  for (uint32_t Id = 1; Id <= 4; ++Id)
+    P.addBody({Id, 0}, 100);
+  P.addCall({1, 0}, "f1", 70); // Value site 1 = the indirect call.
+  P.addCall({1, 0}, "f2", 30);
+  P.HeadSamples = 1;
+
+  LoaderOptions Opts;
+  Opts.HotCallsiteThreshold = 10;
+  LoaderStats Stats = loadFlatProfile(*M, Prof, /*IsInstr=*/true, Opts);
+  EXPECT_EQ(Stats.PromotedIndirectCalls, 1u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+
+  // A guarded direct call to f1 now exists; semantics unchanged.
+  bool FoundDirect = false;
+  for (auto &BB : M->getFunction("main")->Blocks)
+    for (auto &I : BB->Insts)
+      FoundDirect |= I.Op == Opcode::Call && I.Callee == "f1";
+  EXPECT_TRUE(FoundDirect);
+
+  auto Bin = compileToBinary(*M);
+  std::vector<int64_t> Mem(64, 0);
+  RunResult R = execute(*Bin, "main", Mem, {});
+  auto M2 = makeIndirectModule(100);
+  auto Bin2 = compileToBinary(*M2);
+  std::vector<int64_t> Mem2(64, 0);
+  EXPECT_EQ(R.ExitValue, execute(*Bin2, "main", Mem2, {}).ExitValue);
+}
+
+TEST(IndirectCall, NoPromotionWithoutDominantTarget) {
+  auto M = makeIndirectModule(100);
+  insertProbes(*M, AnchorKind::InstrCounter);
+  FlatProfile Prof;
+  Prof.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &P = Prof.getOrCreate("main");
+  for (uint32_t Id = 1; Id <= 4; ++Id)
+    P.addBody({Id, 0}, 100);
+  for (const char *T : {"f0", "f1", "f2", "f3"})
+    P.addCall({1, 0}, T, 25); // Perfectly flat: no dominant target.
+  LoaderOptions Opts;
+  Opts.HotCallsiteThreshold = 10;
+  LoaderStats Stats = loadFlatProfile(*M, Prof, true, Opts);
+  EXPECT_EQ(Stats.PromotedIndirectCalls, 0u);
+}
+
+TEST(IndirectCall, TableKeepsTargetsAliveThroughDCE) {
+  auto M = makeIndirectModule(10);
+  InlineParams Params;
+  runBottomUpInliner(*M, Params);
+  // f0..f3 are tiny and only reachable through the table: they must
+  // survive dead-function removal.
+  for (int T = 0; T != 4; ++T)
+    EXPECT_NE(M->getFunction("f" + std::to_string(T)), nullptr);
+}
+
+TEST(IndirectCall, EndToEndAllVariantsStayCorrect) {
+  WorkloadConfig C = workloadPreset("AdRanker", 0.06);
+  C.IndirectDispatchProb = 1.0; // Every service dispatches indirectly.
+  ExperimentConfig Config;
+  Config.Workload = C;
+  Config.EvalRuns = 1;
+  PGODriver Driver(Config);
+  const VariantOutcome &Base = Driver.baseline();
+  for (PGOVariant V : {PGOVariant::Instr, PGOVariant::AutoFDO,
+                       PGOVariant::CSSPGOFull}) {
+    VariantOutcome Out = Driver.run(V);
+    EXPECT_EQ(Out.ExitValue, Base.ExitValue) << variantName(V);
+    EXPECT_GT(Out.Build->Loader.PromotedIndirectCalls, 0u)
+        << variantName(V) << " should promote dominant indirect targets";
+  }
+}

@@ -1,0 +1,125 @@
+//===- tests/InferenceTest.cpp - profile inference tests --------*- C++ -*-===//
+
+#include "inference/MinCostFlow.h"
+#include "inference/ProfileInference.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+using namespace csspgo::testing;
+
+TEST(MinCostFlow, FindsRewardingCirculation) {
+  // Triangle a->b->c->a with one rewarded edge of capacity 10.
+  MinCostFlowSolver S;
+  int A = S.addNode(), B = S.addNode(), C = S.addNode();
+  int Rewarded = S.addEdge(A, B, 10, -5);
+  S.addEdge(B, C, 100, 1);
+  S.addEdge(C, A, 100, 1);
+  S.solve();
+  EXPECT_EQ(S.flowOn(Rewarded), 10);
+}
+
+TEST(MinCostFlow, NoNegativeCycleNoFlow) {
+  MinCostFlowSolver S;
+  int A = S.addNode(), B = S.addNode();
+  int E1 = S.addEdge(A, B, 10, 1);
+  int E2 = S.addEdge(B, A, 10, 1);
+  S.solve();
+  EXPECT_EQ(S.flowOn(E1), 0);
+  EXPECT_EQ(S.flowOn(E2), 0);
+}
+
+TEST(MinCostFlow, PicksCheaperOfTwoPaths) {
+  // a->b reward; two return paths b->a with costs 1 and 3.
+  MinCostFlowSolver S;
+  int A = S.addNode(), B = S.addNode();
+  S.addEdge(A, B, 10, -10);
+  int Cheap = S.addEdge(B, A, 6, 1);
+  int Pricey = S.addEdge(B, A, 10, 3);
+  S.solve();
+  EXPECT_EQ(S.flowOn(Cheap), 6);
+  EXPECT_EQ(S.flowOn(Pricey), 4);
+}
+
+TEST(Inference, MakesDiamondConsistent) {
+  Module M("m");
+  Function *F = addBranchyFunction(M, "f");
+  // Inconsistent raw counts: entry 100, arms 60+70 (=130), join 90.
+  F->Blocks[0]->setCount(100);
+  F->Blocks[1]->setCount(60);
+  F->Blocks[2]->setCount(70);
+  F->Blocks[3]->setCount(90);
+  inferFunctionProfile(*F);
+  EXPECT_TRUE(isProfileConsistent(*F, 1));
+  // Total arm flow equals entry flow.
+  EXPECT_EQ(F->Blocks[1]->Count + F->Blocks[2]->Count, F->Blocks[0]->Count);
+  EXPECT_EQ(F->Blocks[3]->Count, F->Blocks[0]->Count);
+}
+
+TEST(Inference, DerivesEdgeWeights) {
+  Module M("m");
+  Function *F = addBranchyFunction(M, "f");
+  F->Blocks[0]->setCount(100);
+  F->Blocks[1]->setCount(90);
+  F->Blocks[2]->setCount(10);
+  F->Blocks[3]->setCount(100);
+  inferFunctionProfile(*F);
+  ASSERT_EQ(F->Blocks[0]->SuccWeights.size(), 2u);
+  EXPECT_GT(F->Blocks[0]->SuccWeights[0], F->Blocks[0]->SuccWeights[1]);
+}
+
+TEST(Inference, LoopFlowsConserve) {
+  Module M("m");
+  Function *F = addLoopFunction(M, "f");
+  F->Blocks[0]->setCount(10);   // entry
+  F->Blocks[1]->setCount(1000); // header
+  F->Blocks[2]->setCount(985);  // body (noisy)
+  F->Blocks[3]->setCount(10);   // exit
+  inferFunctionProfile(*F);
+  EXPECT_TRUE(isProfileConsistent(*F, 1));
+  // Header = entry + body backedge.
+  EXPECT_EQ(F->Blocks[1]->Count,
+            F->Blocks[0]->Count + F->Blocks[2]->Count);
+}
+
+TEST(Inference, ZeroProfileIsNoop) {
+  Module M("m");
+  Function *F = addBranchyFunction(M, "f");
+  inferFunctionProfile(*F);
+  EXPECT_FALSE(F->Blocks[0]->HasCount);
+}
+
+TEST(Inference, UnmeasuredBlocksReceiveFlow) {
+  Module M("m");
+  Function *F = addBranchyFunction(M, "f");
+  F->Blocks[0]->setCount(100);
+  F->Blocks[1]->setCount(100); // then
+  // else and join unmeasured.
+  inferFunctionProfile(*F);
+  EXPECT_TRUE(isProfileConsistent(*F, 1));
+  EXPECT_EQ(F->Blocks[3]->Count, 100u) << "join must carry the flow";
+}
+
+TEST(Inference, LargeFunctionFallbackStaysSane) {
+  // >150 blocks triggers localSmooth; flows should still be plausible.
+  Module M("m");
+  Function *F = M.createFunction("big", 0);
+  Builder B(F);
+  std::vector<BasicBlock *> Chain;
+  for (int I = 0; I != 200; ++I)
+    Chain.push_back(F->createBlock("c"));
+  for (int I = 0; I != 200; ++I) {
+    B.setInsertBlock(Chain[I]);
+    B.emitConst(I);
+    if (I + 1 < 200)
+      B.emitBr(Chain[I + 1]);
+    else
+      B.emitRet(Operand::imm(0));
+    Chain[I]->setCount(I % 7 == 0 ? 90 : 100);
+  }
+  inferFunctionProfile(*F);
+  for (int I = 0; I != 200; ++I)
+    EXPECT_GE(Chain[I]->Count, 90u);
+}

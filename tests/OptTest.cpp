@@ -1,0 +1,482 @@
+//===- tests/OptTest.cpp - optimizer pass tests -----------------*- C++ -*-===//
+
+#include "ir/CFG.h"
+#include "ir/Verifier.h"
+#include "opt/InlineCost.h"
+#include "opt/Inliner.h"
+#include "opt/PassManager.h"
+#include "probe/ProbeInserter.h"
+#include "workload/ProgramGenerator.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+using namespace csspgo::testing;
+
+namespace {
+
+/// Runs M through compile+execute and returns the exit value; verifies.
+int64_t runExit(const Module &M) {
+  auto R = compileAndRun(M);
+  EXPECT_TRUE(R.Completed) << R.Error;
+  return R.ExitValue;
+}
+
+/// Builds a module with two identical-tail blocks feeding a join.
+std::unique_ptr<Module> makeDupTailModule() {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *TA = F->createBlock("tailA");
+  BasicBlock *TB = F->createBlock("tailB");
+  BasicBlock *Join = F->createBlock("join");
+
+  B.setInsertBlock(Entry);
+  RegId Acc = B.emitConst(5);
+  RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(Acc), Operand::imm(10));
+  B.emitCondBr(Operand::reg(C), TA, TB);
+
+  B.setInsertBlock(TA);
+  B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::imm(7));
+  TA->Insts.back().Dst = Acc;
+  B.emitBr(Join);
+  TB->Insts = TA->Insts; // Identical tail.
+
+  B.setInsertBlock(Join);
+  B.emitRet(Operand::reg(Acc));
+  M->EntryFunction = "main";
+  return M;
+}
+
+} // namespace
+
+TEST(SimplifyCFG, FoldsConstantCondBr) {
+  Module M("m");
+  Function *F = M.createFunction("f", 0);
+  Builder B(F);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *X = F->createBlock("x");
+  B.setInsertBlock(E);
+  B.emitCondBr(Operand::imm(1), T, X);
+  B.setInsertBlock(T);
+  B.emitRet(Operand::imm(1));
+  B.setInsertBlock(X);
+  B.emitRet(Operand::imm(2));
+
+  OptOptions Opts;
+  EXPECT_GT(runSimplifyCFG(*F, Opts), 0u);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // Unreachable 'x' removed, straight-line merged.
+  EXPECT_EQ(F->Blocks.size(), 1u);
+}
+
+TEST(SimplifyCFG, MergesStraightLineAndPreservesSemantics) {
+  Module M("m");
+  Function *F = M.createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  B.setInsertBlock(A);
+  RegId R = B.emitConst(21);
+  B.emitBr(Bb);
+  B.setInsertBlock(Bb);
+  RegId R2 = B.emitBinary(Opcode::Mul, Operand::reg(R), Operand::imm(2));
+  B.emitRet(Operand::reg(R2));
+  M.EntryFunction = "main";
+
+  int64_t Before = runExit(M);
+  OptOptions Opts;
+  runSimplifyCFG(*F, Opts);
+  EXPECT_EQ(F->Blocks.size(), 1u);
+  EXPECT_EQ(runExit(M), Before);
+}
+
+TEST(TailMerge, MergesIdenticalBlocksWithoutAnchors) {
+  auto M = makeDupTailModule();
+  int64_t Before = runExit(*M);
+  OptOptions Opts;
+  unsigned Changed = runTailMerge(*M->getFunction("main"), Opts);
+  EXPECT_EQ(Changed, 1u);
+  EXPECT_EQ(M->getFunction("main")->Blocks.size(), 3u);
+  EXPECT_EQ(runExit(*M), Before);
+}
+
+TEST(TailMerge, BlockedByPseudoProbes) {
+  auto M = makeDupTailModule();
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  OptOptions Opts;
+  EXPECT_EQ(runTailMerge(*M->getFunction("main"), Opts), 0u)
+      << "distinct probe ids must block code merge";
+}
+
+TEST(TailMerge, BlockedByCounters) {
+  auto M = makeDupTailModule();
+  insertProbes(*M, AnchorKind::InstrCounter);
+  OptOptions Opts;
+  EXPECT_EQ(runTailMerge(*M->getFunction("main"), Opts), 0u);
+}
+
+TEST(TailMerge, SumsProfileCounts) {
+  auto M = makeDupTailModule();
+  Function *F = M->getFunction("main");
+  F->Blocks[1]->setCount(70);
+  F->Blocks[2]->setCount(30);
+  OptOptions Opts;
+  runTailMerge(*F, Opts);
+  EXPECT_EQ(F->Blocks[1]->Count, 100u);
+}
+
+namespace {
+
+/// if (x&1) r = a + i; else r = a - i;  join returns r.
+std::unique_ptr<Module> makeDiamondModule(bool WithProbes) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *P = F->createBlock("p");
+  BasicBlock *Q = F->createBlock("q");
+  BasicBlock *J = F->createBlock("j");
+  B.setInsertBlock(E);
+  RegId A = B.emitConst(40);
+  RegId Cond = B.emitBinary(Opcode::And, Operand::reg(A), Operand::imm(1));
+  B.emitCondBr(Operand::reg(Cond), P, Q);
+  RegId R = F->allocReg();
+  B.setInsertBlock(P);
+  B.emitBinary(Opcode::Add, Operand::reg(A), Operand::imm(2));
+  P->Insts.back().Dst = R;
+  B.emitBr(J);
+  B.setInsertBlock(Q);
+  B.emitBinary(Opcode::Sub, Operand::reg(A), Operand::imm(2));
+  Q->Insts.back().Dst = R;
+  B.emitBr(J);
+  B.setInsertBlock(J);
+  B.emitRet(Operand::reg(R));
+  M->EntryFunction = "main";
+  if (WithProbes)
+    insertProbes(*M, AnchorKind::PseudoProbe);
+  return M;
+}
+
+} // namespace
+
+TEST(IfConvert, ConvertsDiamondToSelects) {
+  auto M = makeDiamondModule(false);
+  int64_t Before = runExit(*M);
+  OptOptions Opts;
+  EXPECT_EQ(runIfConvert(*M->getFunction("main"), Opts), 1u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_EQ(runExit(*M), Before);
+  // No conditional branch left.
+  for (auto &BB : M->getFunction("main")->Blocks)
+    for (auto &I : BB->Insts)
+      EXPECT_NE(I.Op, Opcode::CondBr);
+}
+
+TEST(IfConvert, WeakBarrierAllowsProbedArms) {
+  auto M = makeDiamondModule(true);
+  OptOptions Opts;
+  Opts.Barrier = ProbeBarrier::Weak;
+  EXPECT_EQ(runIfConvert(*M->getFunction("main"), Opts), 1u)
+      << "the paper's tuning unblocks if-convert under probes";
+}
+
+TEST(IfConvert, StrongBarrierBlocksProbedArms) {
+  auto M = makeDiamondModule(true);
+  OptOptions Opts;
+  Opts.Barrier = ProbeBarrier::Strong;
+  EXPECT_EQ(runIfConvert(*M->getFunction("main"), Opts), 0u);
+}
+
+TEST(IfConvert, CountersAlwaysBlock) {
+  auto M = makeDiamondModule(false);
+  insertProbes(*M, AnchorKind::InstrCounter);
+  OptOptions Opts;
+  EXPECT_EQ(runIfConvert(*M->getFunction("main"), Opts), 0u);
+}
+
+TEST(LoopUnroll, DuplicatesBodyAndPreservesResult) {
+  Module M("m");
+  addLoopFunction(M, "looper");
+  Function *Main = M.createFunction("main", 0);
+  Builder B(Main);
+  BasicBlock *E = Main->createBlock("entry");
+  B.setInsertBlock(E);
+  RegId R = B.emitCall("looper", {Operand::imm(37)});
+  B.emitRet(Operand::reg(R));
+  M.EntryFunction = "main";
+
+  int64_t Before = runExit(M);
+  OptOptions Opts;
+  Opts.UnrollFactor = 2;
+  Function *L = M.getFunction("looper");
+  size_t BlocksBefore = L->Blocks.size();
+  EXPECT_EQ(runLoopUnroll(*L, Opts), 1u);
+  EXPECT_GT(L->Blocks.size(), BlocksBefore);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(runExit(M), Before);
+}
+
+TEST(LoopUnroll, ScalesProfileCounts) {
+  Module M("m");
+  Function *L = addLoopFunction(M, "looper");
+  L->Blocks[1]->setCount(1000); // header
+  L->Blocks[2]->setCount(990);  // body
+  OptOptions Opts;
+  Opts.UnrollFactor = 2;
+  runLoopUnroll(*L, Opts);
+  EXPECT_EQ(L->Blocks[1]->Count, 500u);
+  EXPECT_EQ(L->Blocks[2]->Count, 495u);
+}
+
+TEST(CodeMotion, HoistsInvariantFromHeader) {
+  // Loop header computes mode*13 (params never change): hoistable.
+  Module M("m");
+  Function *F = M.createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("b");
+  BasicBlock *X = F->createBlock("x");
+  B.setInsertBlock(E);
+  RegId Mode = B.emitConst(6);
+  RegId I = B.emitConst(0);
+  RegId Acc = B.emitConst(0);
+  B.emitBr(H);
+  B.setInsertBlock(H);
+  RegId Inv = B.emitBinary(Opcode::Mul, Operand::reg(Mode), Operand::imm(13));
+  RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(I), Operand::imm(10));
+  B.emitCondBr(Operand::reg(C), Body, X);
+  B.setInsertBlock(Body);
+  B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(Inv));
+  Body->Insts.back().Dst = Acc;
+  B.emitBinary(Opcode::Add, Operand::reg(I), Operand::imm(1));
+  Body->Insts.back().Dst = I;
+  B.emitBr(H);
+  B.setInsertBlock(X);
+  B.emitRet(Operand::reg(Acc));
+  M.EntryFunction = "main";
+
+  int64_t Before = runExit(M);
+  OptOptions Opts;
+  unsigned Hoisted = runCodeMotion(*F, Opts);
+  EXPECT_EQ(Hoisted, 1u);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(runExit(M), Before);
+  // The multiply left the header.
+  for (auto &Inst : F->Blocks[1]->Insts)
+    EXPECT_NE(Inst.Op, Opcode::Mul);
+}
+
+TEST(DCE, RemovesUnreadPureInstructions) {
+  Module M("m");
+  Function *F = M.createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *E = F->createBlock("entry");
+  B.setInsertBlock(E);
+  B.emitConst(111); // Dead.
+  RegId Live = B.emitConst(5);
+  B.emitBinary(Opcode::Mul, Operand::reg(Live), Operand::imm(0)); // Dead.
+  B.emitRet(Operand::reg(Live));
+  M.EntryFunction = "main";
+  OptOptions Opts;
+  EXPECT_EQ(runDCE(*F, Opts), 2u);
+  EXPECT_EQ(runExit(M), 5);
+}
+
+TEST(ConstantFold, FoldsAndPropagatesLocally) {
+  Module M("m");
+  Function *F = M.createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *E = F->createBlock("entry");
+  B.setInsertBlock(E);
+  RegId A = B.emitConst(6);
+  RegId Bv = B.emitConst(7);
+  RegId C = B.emitBinary(Opcode::Mul, Operand::reg(A), Operand::reg(Bv));
+  B.emitRet(Operand::reg(C));
+  M.EntryFunction = "main";
+  OptOptions Opts;
+  EXPECT_GT(runConstantFold(*F, Opts), 0u);
+  // The multiply became a constant move.
+  EXPECT_EQ(F->Blocks[0]->Insts[2].Op, Opcode::Mov);
+  EXPECT_EQ(runExit(M), 42);
+}
+
+TEST(ExtTSP, ReordersTowardHotFallthrough) {
+  // entry -> (hot) far, (cold) near: layout should move 'far' next to
+  // entry.
+  Module M("m");
+  Function *F = M.createFunction("main", 0);
+  Builder B(F);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *Cold = F->createBlock("cold");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *X = F->createBlock("exit");
+  B.setInsertBlock(E);
+  RegId C = B.emitConst(1);
+  B.emitCondBr(Operand::reg(C), Hot, Cold);
+  B.setInsertBlock(Cold);
+  B.emitBr(X);
+  B.setInsertBlock(Hot);
+  B.emitBr(X);
+  B.setInsertBlock(X);
+  B.emitRet(Operand::imm(0));
+  M.EntryFunction = "main";
+
+  E->setCount(100);
+  E->SuccWeights = {99, 1};
+  Hot->setCount(99);
+  Cold->setCount(1);
+  X->setCount(100);
+
+  OptOptions Opts;
+  EXPECT_EQ(runExtTSPLayout(*F, Opts), 1u);
+  EXPECT_EQ(F->Blocks[0].get(), E);
+  EXPECT_EQ(F->Blocks[1]->getLabel(), Hot->getLabel());
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(ExtTSP, NoProfileNoReorder) {
+  auto M = makeCallerModule(5);
+  Function *F = M->getFunction("leaf");
+  OptOptions Opts;
+  EXPECT_EQ(runExtTSPLayout(*F, Opts), 0u);
+}
+
+TEST(FunctionSplit, MarksZeroCountBlocksCold) {
+  auto M = makeCallerModule(5);
+  Function *F = M->getFunction("leaf");
+  F->Blocks[0]->setCount(100);
+  F->Blocks[1]->setCount(100);
+  F->Blocks[2]->setCount(0);
+  F->Blocks[3]->setCount(100);
+  OptOptions Opts;
+  EXPECT_EQ(runFunctionSplit(*F, Opts), 1u);
+  EXPECT_TRUE(F->Blocks[2]->IsColdSection);
+  EXPECT_FALSE(F->Blocks[0]->IsColdSection);
+}
+
+TEST(FunctionSplit, WholeColdFunctionMovesEntirely) {
+  auto M = makeCallerModule(5);
+  Function *F = M->getFunction("leaf");
+  for (auto &BB : F->Blocks)
+    BB->setCount(0);
+  OptOptions Opts;
+  EXPECT_EQ(runFunctionSplit(*F, Opts), 4u);
+  for (auto &BB : F->Blocks)
+    EXPECT_TRUE(BB->IsColdSection);
+  // Still compiles and runs correctly with a fully cold callee.
+  auto R = compileAndRun(*M);
+  ASSERT_TRUE(R.Completed);
+}
+
+TEST(Inliner, MechanicsPreserveSemantics) {
+  auto M = makeCallerModule(30);
+  int64_t Before = runExit(*M);
+  Function *Main = M->getFunction("main");
+  Function *Leaf = M->getFunction("leaf");
+  // Find the call.
+  bool Inlined = false;
+  for (auto &BB : Main->Blocks) {
+    for (size_t I = 0; I != BB->Insts.size(); ++I) {
+      if (BB->Insts[I].isCall()) {
+        InlinedBody Body = inlineCallSite(*Main, BB.get(), I, *Leaf);
+        ASSERT_TRUE(Body.Success);
+        Inlined = true;
+        break;
+      }
+    }
+    if (Inlined)
+      break;
+  }
+  ASSERT_TRUE(Inlined);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_EQ(runExit(*M), Before);
+}
+
+TEST(Inliner, InlineStacksTrackContext) {
+  auto M = makeCallerModule(5);
+  Function *Main = M->getFunction("main");
+  Function *Leaf = M->getFunction("leaf");
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  uint32_t CallProbe = 0;
+  for (auto &BB : Main->Blocks)
+    for (size_t I = 0; I != BB->Insts.size(); ++I)
+      if (BB->Insts[I].isCall()) {
+        CallProbe = BB->Insts[I].ProbeId;
+        InlinedBody Body = inlineCallSite(*Main, BB.get(), I, *Leaf);
+        ASSERT_TRUE(Body.Success);
+        for (const auto &[Orig, Clone] : Body.BlockMap)
+          for (const Instruction &Inst : Clone->Insts)
+            if (Inst.isProbe() && Inst.OriginGuid == Leaf->getGuid()) {
+              ASSERT_EQ(Inst.InlineStack.size(), 1u);
+              EXPECT_EQ(Inst.InlineStack[0].FuncGuid, Main->getGuid());
+              EXPECT_EQ(Inst.InlineStack[0].CallProbeId, CallProbe);
+            }
+        goto done;
+      }
+done:
+  EXPECT_GT(CallProbe, 0u);
+}
+
+TEST(Inliner, BottomUpInlinesSmallCallees) {
+  auto M = makeCallerModule(30);
+  int64_t Before = runExit(*M);
+  InlineParams Params;
+  InlinerStats Stats = runBottomUpInliner(*M, Params);
+  EXPECT_GE(Stats.NumInlined, 1u);
+  // 'leaf' has no remaining callers and is removed.
+  EXPECT_EQ(M->getFunction("leaf"), nullptr);
+  EXPECT_EQ(Stats.NumDeadFunctionsRemoved, 1u);
+  EXPECT_EQ(runExit(*M), Before);
+}
+
+TEST(Inliner, RespectsNoInline) {
+  auto M = makeCallerModule(30);
+  M->getFunction("leaf")->NoInline = true;
+  InlineParams Params;
+  InlinerStats Stats = runBottomUpInliner(*M, Params);
+  EXPECT_EQ(Stats.NumInlined, 0u);
+}
+
+TEST(Inliner, ColdCallsiteOnlyTinyCallees) {
+  auto M = makeCallerModule(30);
+  Function *Main = M->getFunction("main");
+  for (auto &BB : Main->Blocks)
+    BB->setCount(0); // Known cold.
+  InlineParams Params;
+  Params.HotCallsiteCount = 1000;
+  InlineDecision D = shouldInline(*Main, *M->getFunction("leaf"), 0, Params);
+  // leaf is ~10 instructions <= ColdSizeThreshold -> still inlined.
+  EXPECT_TRUE(D.Inline);
+  Params.ColdSizeThreshold = 2;
+  D = shouldInline(*Main, *M->getFunction("leaf"), 0, Params);
+  EXPECT_FALSE(D.Inline);
+}
+
+TEST(Pipeline, MidLevelPreservesSemanticsOnWorkload) {
+  // Fuller integration: the whole mid-level pipeline on a generated
+  // workload must not change program output.
+  WorkloadConfig C;
+  C.Seed = 77;
+  C.Requests = 40;
+  C.NumMids = 6;
+  C.NumUtils = 4;
+  C.NumServices = 2;
+  auto M = generateProgram(C);
+  auto Mem0 = generateInput(C, 5);
+  auto Bin0 = compileToBinary(*M);
+  auto MemA = Mem0;
+  int64_t Before = execute(*Bin0, "main", MemA, {}).ExitValue;
+
+  OptOptions Opts;
+  runMidLevelPipeline(*M, Opts);
+  runLatePipeline(*M, Opts);
+  auto Bin1 = compileToBinary(*M);
+  auto MemB = Mem0;
+  EXPECT_EQ(execute(*Bin1, "main", MemB, {}).ExitValue, Before);
+}

@@ -1,0 +1,340 @@
+//===- tests/ProfgenTest.cpp - profile generation tests ---------*- C++ -*-===//
+
+#include "codegen/Linker.h"
+#include "probe/ProbeInserter.h"
+#include "probe/ProbeTable.h"
+#include "profgen/AutoFDOGenerator.h"
+#include "profgen/BinarySizeExtractor.h"
+#include "profgen/CSProfileGenerator.h"
+#include "profgen/InstrProfileGenerator.h"
+#include "profgen/MissingFrameInferrer.h"
+#include "profgen/Symbolizer.h"
+#include "opt/Inliner.h"
+#include "sim/InstrRuntime.h"
+#include "support/Hashing.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+using namespace csspgo::testing;
+
+namespace {
+
+/// main -> {svcA, svcB} -> shared(mode): the Fig. 3/4 shape. shared's
+/// branch direction is fully determined by the caller (mode 0 vs 1).
+std::unique_ptr<Module> makeContextModule(int64_t Iters) {
+  auto M = std::make_unique<Module>("ctx");
+
+  Function *Shared = M->createFunction("shared", 1);
+  {
+    Builder B(Shared);
+    BasicBlock *E = Shared->createBlock("entry");
+    BasicBlock *AddP = Shared->createBlock("addpath");
+    BasicBlock *SubP = Shared->createBlock("subpath");
+    BasicBlock *J = Shared->createBlock("join");
+    B.setInsertBlock(E);
+    RegId R = B.emitConst(0);
+    B.emitCondBr(Operand::reg(0), AddP, SubP);
+    B.setInsertBlock(AddP);
+    B.emitBinary(Opcode::Add, Operand::imm(10), Operand::imm(1));
+    AddP->Insts.back().Dst = R;
+    B.emitBr(J);
+    B.setInsertBlock(SubP);
+    B.emitBinary(Opcode::Sub, Operand::imm(10), Operand::imm(1));
+    SubP->Insts.back().Dst = R;
+    B.emitBr(J);
+    B.setInsertBlock(J);
+    B.emitRet(Operand::reg(R));
+  }
+
+  for (const char *Svc : {"svcA", "svcB"}) {
+    Function *S = M->createFunction(Svc, 0);
+    Builder B(S);
+    BasicBlock *E = S->createBlock("entry");
+    B.setInsertBlock(E);
+    RegId R = B.emitCall("shared",
+                         {Operand::imm(Svc[3] == 'A' ? 1 : 0)});
+    B.emitRet(Operand::reg(R));
+  }
+
+  Function *Main = M->createFunction("main", 0);
+  {
+    Builder B(Main);
+    BasicBlock *E = Main->createBlock("entry");
+    BasicBlock *H = Main->createBlock("h");
+    BasicBlock *Body = Main->createBlock("b");
+    BasicBlock *X = Main->createBlock("x");
+    B.setInsertBlock(E);
+    RegId Acc = B.emitConst(0);
+    RegId I = B.emitConst(0);
+    B.emitBr(H);
+    B.setInsertBlock(H);
+    RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(I),
+                           Operand::imm(Iters));
+    B.emitCondBr(Operand::reg(C), Body, X);
+    B.setInsertBlock(Body);
+    RegId A = B.emitCall("svcA", {});
+    RegId Bv = B.emitCall("svcB", {});
+    B.emitBinary(Opcode::Add, Operand::reg(A), Operand::reg(Bv));
+    Body->Insts.back().Dst = Acc;
+    B.emitBinary(Opcode::Add, Operand::reg(I), Operand::imm(1));
+    Body->Insts.back().Dst = I;
+    B.emitBr(H);
+    B.setInsertBlock(X);
+    B.emitRet(Operand::reg(Acc));
+  }
+  M->EntryFunction = "main";
+  return M;
+}
+
+struct Profiled {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<Binary> Bin;
+  ProbeTable Probes;
+  std::vector<PerfSample> Samples;
+};
+
+Profiled profileContextModule(int64_t Iters, bool Precise = true) {
+  Profiled P;
+  P.M = makeContextModule(Iters);
+  insertProbes(*P.M, AnchorKind::PseudoProbe);
+  P.Probes = ProbeTable::fromModule(*P.M);
+  P.Bin = compileToBinary(*P.M);
+  ExecConfig EC;
+  EC.Sampler.Enabled = true;
+  EC.Sampler.PeriodCycles = 97;
+  EC.Sampler.Precise = Precise;
+  std::vector<int64_t> Mem(64, 0);
+  RunResult R = execute(*P.Bin, "main", Mem, EC);
+  EXPECT_TRUE(R.Completed);
+  P.Samples = R.Samples;
+  return P;
+}
+
+} // namespace
+
+TEST(Symbolizer, ClassifiesBranches) {
+  auto P = profileContextModule(50);
+  Symbolizer Sym(*P.Bin);
+  bool SawCall = false, SawRet = false, SawCond = false;
+  for (size_t I = 0; I != P.Bin->Code.size(); ++I) {
+    switch (Sym.classify(I)) {
+    case BranchKind::Call:
+      SawCall = true;
+      break;
+    case BranchKind::Return:
+      SawRet = true;
+      break;
+    case BranchKind::Conditional:
+      SawCond = true;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_TRUE(SawCall && SawRet && SawCond);
+}
+
+TEST(Symbolizer, ResolvesNamesIncludingDebugNames) {
+  auto P = profileContextModule(10);
+  Symbolizer Sym(*P.Bin);
+  EXPECT_EQ(Sym.nameOfGuid(computeFunctionGuid("shared")), "shared");
+  EXPECT_EQ(Sym.nameOfGuid(12345), "");
+}
+
+TEST(CSProfile, SeparatesCallingContexts) {
+  auto P = profileContextModule(3000);
+  ContextProfile CS = generateCSProfile(*P.Bin, P.Probes, P.Samples);
+
+  // Find shared's contexts under svcA and svcB.
+  uint64_t AddViaA = 0, SubViaA = 0, AddViaB = 0, SubViaB = 0;
+  CS.forEachNode([&](const SampleContext &Ctx, const ContextTrieNode &N) {
+    if (Ctx.back().Func != "shared" || Ctx.size() < 2)
+      return;
+    const std::string &Caller = Ctx[Ctx.size() - 2].Func;
+    // Probe ids: entry=1, addpath=2, subpath=3 (insertion order).
+    uint64_t Add = N.Profile.bodyAt({2, 0});
+    uint64_t Sub = N.Profile.bodyAt({3, 0});
+    if (Caller == "svcA") {
+      AddViaA += Add;
+      SubViaA += Sub;
+    } else if (Caller == "svcB") {
+      AddViaB += Add;
+      SubViaB += Sub;
+    }
+  });
+  // svcA passes mode=1 -> add path; svcB -> sub path (Fig. 3b shape).
+  EXPECT_GT(AddViaA, 0u);
+  EXPECT_EQ(SubViaA, 0u);
+  EXPECT_GT(SubViaB, 0u);
+  EXPECT_EQ(AddViaB, 0u);
+}
+
+TEST(CSProfile, ChecksumsPersisted) {
+  auto P = profileContextModule(500);
+  ContextProfile CS = generateCSProfile(*P.Bin, P.Probes, P.Samples);
+  const ContextTrieNode *Base = CS.findBase("main");
+  ASSERT_NE(Base, nullptr);
+  EXPECT_EQ(Base->Profile.Checksum,
+            P.M->getFunction("main")->ProbeCFGChecksum);
+}
+
+TEST(CSProfile, FlattenedMatchesProbeOnlyScale) {
+  auto P = profileContextModule(2000);
+  ContextProfile CS = generateCSProfile(*P.Bin, P.Probes, P.Samples);
+  FlatProfile Probe = generateProbeOnlyProfile(*P.Bin, P.Probes, P.Samples);
+  FlatProfile Flat = CS.flatten();
+  // Context-merged totals should be close to the flat probe totals (same
+  // ranges, same probes; flat keeps nested inlinees separate so compare
+  // per-function totals including inlinees).
+  const FunctionProfile *A = Flat.find("shared");
+  const FunctionProfile *B = Probe.find("shared");
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NEAR(static_cast<double>(A->TotalSamples),
+              static_cast<double>(B->totalBodySamples()),
+              0.2 * A->TotalSamples + 5);
+}
+
+TEST(AutoFDOProfile, RecordsBodyAndCallTargets) {
+  auto P = profileContextModule(2000);
+  FlatProfile Auto = generateAutoFDOProfile(*P.Bin, P.Samples);
+  const FunctionProfile *Main = Auto.find("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_GT(Main->TotalSamples, 0u);
+  // Call targets for svcA/svcB recorded somewhere in main's body.
+  uint64_t CallsSeen = 0;
+  for (const auto &[K, Targets] : Main->Calls)
+    for (const auto &[Callee, N] : Targets)
+      if (Callee == "svcA" || Callee == "svcB")
+        CallsSeen += N;
+  EXPECT_GT(CallsSeen, 0u);
+  // Head samples for callees.
+  ASSERT_NE(Auto.find("shared"), nullptr);
+  EXPECT_GT(Auto.find("shared")->HeadSamples, 0u);
+}
+
+TEST(AutoFDOProfile, MaxHeuristicUsedForDuplicates) {
+  // Directly verify maxBody semantics drive the generator: the same line
+  // at two addresses yields max, not sum.
+  FunctionProfile P;
+  P.maxBody({5, 0}, 100);
+  P.maxBody({5, 0}, 80);
+  EXPECT_EQ(P.bodyAt({5, 0}), 100u);
+}
+
+TEST(InstrProfile, ExactCountsFromCounters) {
+  auto M = makeContextModule(100);
+  insertProbes(*M, AnchorKind::InstrCounter);
+  auto Bin = compileToBinary(*M);
+  std::vector<int64_t> Mem(64, 0);
+  RunResult R = execute(*Bin, "main", Mem, {});
+  FlatProfile Instr = generateInstrProfile(dumpCounters(*Bin, R));
+  const FunctionProfile *Shared = Instr.find("shared");
+  ASSERT_NE(Shared, nullptr);
+  EXPECT_EQ(Shared->bodyAt({1, 0}), 200u); // entry: 2 calls x 100 iters
+  EXPECT_EQ(Shared->bodyAt({2, 0}), 100u); // add path via svcA
+  EXPECT_EQ(Shared->bodyAt({3, 0}), 100u); // sub path via svcB
+  EXPECT_EQ(Shared->HeadSamples, 200u);
+}
+
+TEST(MissingFrames, UniquePathRecovered) {
+  MissingFrameInferrer Inf;
+  Inf.addTailCallEdge("a", 3, "b");
+  Inf.addTailCallEdge("b", 4, "c");
+  std::vector<MissingFrameInferrer::RecoveredFrame> Out;
+  EXPECT_TRUE(Inf.inferMissingFrames("a", "c", Out));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Func, "a");
+  EXPECT_EQ(Out[0].SiteProbe, 3u);
+  EXPECT_EQ(Out[1].Func, "b");
+  EXPECT_EQ(Out[1].SiteProbe, 4u);
+  EXPECT_EQ(Inf.stats().Recovered, 1u);
+}
+
+TEST(MissingFrames, AmbiguousPathFails) {
+  MissingFrameInferrer Inf;
+  Inf.addTailCallEdge("a", 1, "b");
+  Inf.addTailCallEdge("b", 2, "d");
+  Inf.addTailCallEdge("a", 3, "c");
+  Inf.addTailCallEdge("c", 4, "d");
+  std::vector<MissingFrameInferrer::RecoveredFrame> Out;
+  EXPECT_FALSE(Inf.inferMissingFrames("a", "d", Out));
+  EXPECT_EQ(Inf.stats().AmbiguousPaths, 1u);
+}
+
+TEST(MissingFrames, NoPathFails) {
+  MissingFrameInferrer Inf;
+  Inf.addTailCallEdge("a", 1, "b");
+  std::vector<MissingFrameInferrer::RecoveredFrame> Out;
+  EXPECT_FALSE(Inf.inferMissingFrames("a", "z", Out));
+  EXPECT_EQ(Inf.stats().NoPath, 1u);
+}
+
+TEST(MissingFrames, CyclesDoNotHang) {
+  MissingFrameInferrer Inf;
+  Inf.addTailCallEdge("a", 1, "b");
+  Inf.addTailCallEdge("b", 2, "a");
+  std::vector<MissingFrameInferrer::RecoveredFrame> Out;
+  EXPECT_TRUE(Inf.inferMissingFrames("a", "b", Out));
+}
+
+TEST(SizeExtractor, MeasuresFunctionSizes) {
+  auto P = profileContextModule(100);
+  FuncSizeTable Sizes = extractFuncSizes(*P.Bin);
+  uint64_t SharedSize = Sizes.sizeForContext({{"shared", 0}});
+  EXPECT_GT(SharedSize, 0u);
+  // The measured size roughly matches the summed encoded sizes.
+  uint64_t Expect = 0;
+  uint32_t FIdx = P.Bin->funcIndexByName("shared");
+  const MachineFunction &MF = P.Bin->Funcs[FIdx];
+  for (size_t I = MF.HotBegin; I != MF.HotEnd; ++I)
+    Expect += P.Bin->Code[I].Size;
+  EXPECT_EQ(SharedSize, Expect);
+}
+
+TEST(SizeExtractor, InlinedCopiesMeasuredSeparately) {
+  // Inline shared into svcA, then sizes for [svcA @ shared] exist and the
+  // standalone context keeps its own size.
+  auto M = makeContextModule(10);
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  Function *SvcA = M->getFunction("svcA");
+  Function *Shared = M->getFunction("shared");
+  for (auto &BB : SvcA->Blocks)
+    for (size_t I = 0; I != BB->Insts.size(); ++I)
+      if (BB->Insts[I].isCall() && BB->Insts[I].Callee == "shared") {
+        ASSERT_TRUE(inlineCallSite(*SvcA, BB.get(), I, *Shared).Success);
+        goto inlined;
+      }
+inlined:
+  auto Bin = compileToBinary(*M);
+  FuncSizeTable Sizes = extractFuncSizes(*Bin);
+  uint64_t Standalone = Sizes.sizeForContext({{"shared", 0}});
+  EXPECT_GT(Standalone, 0u);
+  // The inlined copy context exists (site = the call's probe id).
+  bool FoundInlinedCopy = false;
+  for (uint32_t Site = 1; Site != 16 && !FoundInlinedCopy; ++Site)
+    FoundInlinedCopy =
+        Sizes.sizeForContext({{"svcA", Site}, {"shared", 0}}) > 0 &&
+        Sizes.numContexts() > 0;
+  EXPECT_TRUE(FoundInlinedCopy);
+}
+
+TEST(Unwinder, SkidDegradesSyncedFraction) {
+  auto Precise = profileContextModule(3000, /*Precise=*/true);
+  auto Skid = profileContextModule(3000, /*Precise=*/false);
+  CSProfileGenStats SPrecise, SSkid;
+  generateCSProfile(*Precise.Bin, Precise.Probes, Precise.Samples, {},
+                    &SPrecise);
+  generateCSProfile(*Skid.Bin, Skid.Probes, Skid.Samples, {}, &SSkid);
+  ASSERT_GT(SPrecise.Samples, 0u);
+  ASSERT_GT(SSkid.Samples, 0u);
+  double PreciseUnsynced =
+      static_cast<double>(SPrecise.UnsyncedSamples) / SPrecise.Samples;
+  double SkidUnsynced =
+      static_cast<double>(SSkid.UnsyncedSamples) / SSkid.Samples;
+  EXPECT_LT(PreciseUnsynced, 0.05);
+  EXPECT_GT(SkidUnsynced, PreciseUnsynced);
+}

@@ -1,0 +1,293 @@
+//===- tests/ProfileTest.cpp - profile container tests ----------*- C++ -*-===//
+
+#include "profile/ContextTrie.h"
+#include "profile/FunctionProfile.h"
+#include "profile/ProfileIO.h"
+#include "profile/ProfileMerge.h"
+#include "profile/Trimmer.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace csspgo;
+
+namespace {
+
+FunctionProfile makeProfile(const std::string &Name, uint64_t Scale) {
+  FunctionProfile P;
+  P.Name = Name;
+  P.Guid = computeFunctionGuid(Name);
+  P.addBody({1, 0}, 10 * Scale);
+  P.addBody({2, 0}, 7 * Scale);
+  P.addCall({3, 0}, "callee_a", 5 * Scale);
+  P.addCall({3, 0}, "callee_b", 2 * Scale);
+  P.HeadSamples = Scale;
+  return P;
+}
+
+} // namespace
+
+TEST(FunctionProfile, AddAndQuery) {
+  FunctionProfile P = makeProfile("f", 1);
+  EXPECT_EQ(P.bodyAt({1, 0}), 10u);
+  EXPECT_EQ(P.bodyAt({9, 0}), 0u);
+  EXPECT_EQ(P.callAt({3, 0}), 7u);
+  EXPECT_EQ(P.TotalSamples, 17u);
+  EXPECT_EQ(P.maxBodyCount(), 10u);
+}
+
+TEST(FunctionProfile, MaxSemantics) {
+  FunctionProfile P;
+  P.maxBody({1, 0}, 5);
+  P.maxBody({1, 0}, 3);
+  EXPECT_EQ(P.bodyAt({1, 0}), 5u);
+  P.maxBody({1, 0}, 9);
+  EXPECT_EQ(P.bodyAt({1, 0}), 9u);
+  EXPECT_EQ(P.TotalSamples, 9u);
+}
+
+TEST(FunctionProfile, DiscriminatorsSeparateRecords) {
+  FunctionProfile P;
+  P.addBody({4, 0}, 1);
+  P.addBody({4, 2}, 2);
+  EXPECT_EQ(P.bodyAt({4, 0}), 1u);
+  EXPECT_EQ(P.bodyAt({4, 2}), 2u);
+}
+
+TEST(FunctionProfile, MergeSumsAndScales) {
+  FunctionProfile A = makeProfile("f", 1);
+  FunctionProfile B = makeProfile("f", 3);
+  A.merge(B);
+  EXPECT_EQ(A.bodyAt({1, 0}), 40u);
+  EXPECT_EQ(A.HeadSamples, 4u);
+  FunctionProfile C = makeProfile("f", 1);
+  FunctionProfile D = makeProfile("f", 1);
+  C.merge(D, 1, 2); // Half weight.
+  EXPECT_EQ(C.bodyAt({1, 0}), 15u);
+}
+
+TEST(FunctionProfile, NestedInlinees) {
+  FunctionProfile P = makeProfile("f", 1);
+  FunctionProfile &Inl = P.getOrCreateInlinee({3, 0}, "callee_a");
+  Inl.addBody({1, 0}, 99);
+  const FunctionProfile *Found = P.inlineeAt({3, 0}, "callee_a");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->bodyAt({1, 0}), 99u);
+  EXPECT_EQ(P.inlineeAt({3, 0}, "other"), nullptr);
+  EXPECT_EQ(P.totalBodySamples(), 17u + 99u);
+}
+
+TEST(ContextTrie, RoundTripString) {
+  SampleContext Ctx = {{"main", 12}, {"foo", 3}, {"bar", 0}};
+  std::string S = contextToString(Ctx);
+  EXPECT_EQ(S, "[main:12 @ foo:3 @ bar]");
+  SampleContext Back;
+  ASSERT_TRUE(contextFromString(S, Back));
+  EXPECT_EQ(Back, Ctx);
+}
+
+TEST(ContextTrie, RejectsMalformedStrings) {
+  SampleContext Out;
+  EXPECT_FALSE(contextFromString("", Out));
+  EXPECT_FALSE(contextFromString("main", Out));
+  EXPECT_FALSE(contextFromString("[]", Out));
+  EXPECT_FALSE(contextFromString("[main @ foo]", Out)); // Missing site.
+}
+
+TEST(ContextTrie, CreateAndFind) {
+  ContextProfile CP;
+  SampleContext Ctx = {{"main", 12}, {"foo", 3}, {"bar", 0}};
+  ContextTrieNode &N = CP.getOrCreateNode(Ctx);
+  N.HasProfile = true;
+  N.Profile.addBody({1, 0}, 5);
+
+  EXPECT_EQ(CP.findNode(Ctx), &N);
+  EXPECT_EQ(CP.findNode({{"main", 12}, {"baz", 0}}), nullptr);
+  EXPECT_NE(CP.findNode({{"main", 0}}), nullptr); // Intermediate node.
+  EXPECT_EQ(CP.numProfiles(), 1u);
+  EXPECT_EQ(CP.totalSamples(), 5u);
+}
+
+TEST(ContextTrie, ForEachNodeReportsFullContext) {
+  ContextProfile CP;
+  SampleContext C1 = {{"main", 1}, {"a", 0}};
+  SampleContext C2 = {{"main", 2}, {"a", 0}};
+  CP.getOrCreateNode(C1).HasProfile = true;
+  CP.getOrCreateNode(C1).Profile.addBody({1, 0}, 1);
+  CP.getOrCreateNode(C2).HasProfile = true;
+  CP.getOrCreateNode(C2).Profile.addBody({1, 0}, 2);
+
+  std::vector<std::string> Seen;
+  CP.forEachNode([&](const SampleContext &Ctx, const ContextTrieNode &) {
+    Seen.push_back(contextToString(Ctx));
+  });
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_NE(std::find(Seen.begin(), Seen.end(), "[main:1 @ a]"), Seen.end());
+  EXPECT_NE(std::find(Seen.begin(), Seen.end(), "[main:2 @ a]"), Seen.end());
+}
+
+TEST(ContextTrie, FlattenMergesContexts) {
+  ContextProfile CP;
+  SampleContext C1 = {{"main", 1}, {"a", 0}};
+  SampleContext C2 = {{"main", 2}, {"a", 0}};
+  ContextTrieNode &N1 = CP.getOrCreateNode(C1);
+  N1.HasProfile = true;
+  N1.Profile.addBody({1, 0}, 10);
+  ContextTrieNode &N2 = CP.getOrCreateNode(C2);
+  N2.HasProfile = true;
+  N2.Profile.addBody({1, 0}, 20);
+
+  FlatProfile Flat = CP.flatten();
+  const FunctionProfile *A = Flat.find("a");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->bodyAt({1, 0}), 30u);
+}
+
+TEST(ProfileIO, FlatRoundTrip) {
+  FlatProfile P;
+  P.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &F = P.getOrCreate("foo");
+  F.Checksum = 777;
+  F.HeadSamples = 3;
+  F.addBody({1, 0}, 100);
+  F.addBody({2, 1}, 50);
+  F.addCall({3, 0}, "bar", 40);
+  FunctionProfile &Inl = F.getOrCreateInlinee({4, 0}, "baz");
+  Inl.addBody({1, 0}, 25);
+  Inl.HeadSamples = 5;
+
+  std::string Text = serializeFlatProfile(P);
+  FlatProfile Back;
+  ASSERT_TRUE(parseFlatProfile(Text, Back)) << Text;
+  EXPECT_EQ(Back.Kind, ProfileKind::ProbeBased);
+  const FunctionProfile *BF = Back.find("foo");
+  ASSERT_NE(BF, nullptr);
+  EXPECT_EQ(BF->Checksum, 777u);
+  EXPECT_EQ(BF->HeadSamples, 3u);
+  EXPECT_EQ(BF->bodyAt({1, 0}), 100u);
+  EXPECT_EQ(BF->bodyAt({2, 1}), 50u);
+  EXPECT_EQ(BF->callAt({3, 0}), 40u);
+  const FunctionProfile *BInl = BF->inlineeAt({4, 0}, "baz");
+  ASSERT_NE(BInl, nullptr);
+  EXPECT_EQ(BInl->bodyAt({1, 0}), 25u);
+  EXPECT_EQ(BInl->HeadSamples, 5u);
+}
+
+TEST(ProfileIO, ContextRoundTrip) {
+  ContextProfile CP;
+  CP.Kind = ProfileKind::ProbeBased;
+  SampleContext Ctx = {{"main", 12}, {"foo", 3}, {"bar", 0}};
+  ContextTrieNode &N = CP.getOrCreateNode(Ctx);
+  N.HasProfile = true;
+  N.ShouldBeInlined = true;
+  N.Profile.Checksum = 42;
+  N.Profile.HeadSamples = 9;
+  N.Profile.addBody({1, 0}, 11);
+  N.Profile.addCall({2, 0}, "qux", 5);
+
+  std::string Text = serializeContextProfile(CP);
+  ContextProfile Back;
+  ASSERT_TRUE(parseContextProfile(Text, Back)) << Text;
+  const ContextTrieNode *BN = Back.findNode(Ctx);
+  ASSERT_NE(BN, nullptr);
+  EXPECT_TRUE(BN->HasProfile);
+  EXPECT_TRUE(BN->ShouldBeInlined);
+  EXPECT_EQ(BN->Profile.Checksum, 42u);
+  EXPECT_EQ(BN->Profile.HeadSamples, 9u);
+  EXPECT_EQ(BN->Profile.bodyAt({1, 0}), 11u);
+  EXPECT_EQ(BN->Profile.callAt({2, 0}), 5u);
+}
+
+TEST(ProfileIO, SizeGrowsWithContexts) {
+  ContextProfile Small, Big;
+  for (int I = 0; I != 2; ++I) {
+    SampleContext Ctx = {{"main", static_cast<uint32_t>(I)}, {"f", 0}};
+    ContextTrieNode &N = Small.getOrCreateNode(Ctx);
+    N.HasProfile = true;
+    N.Profile.addBody({1, 0}, 1);
+  }
+  for (int I = 0; I != 40; ++I) {
+    SampleContext Ctx = {{"main", static_cast<uint32_t>(I)}, {"f", 0}};
+    ContextTrieNode &N = Big.getOrCreateNode(Ctx);
+    N.HasProfile = true;
+    N.Profile.addBody({1, 0}, 1);
+  }
+  EXPECT_GT(profileSizeBytes(Big), 5 * profileSizeBytes(Small));
+}
+
+TEST(Merge, FlatProfilesSum) {
+  FlatProfile A, B;
+  A.Kind = B.Kind = ProfileKind::LineBased;
+  A.getOrCreate("f").addBody({1, 0}, 10);
+  B.getOrCreate("f").addBody({1, 0}, 5);
+  B.getOrCreate("g").addBody({2, 0}, 7);
+  mergeFlatProfiles(A, B);
+  EXPECT_EQ(A.find("f")->bodyAt({1, 0}), 15u);
+  EXPECT_EQ(A.find("g")->bodyAt({2, 0}), 7u);
+}
+
+TEST(Merge, ContextProfilesSum) {
+  ContextProfile A, B;
+  SampleContext Ctx = {{"main", 1}, {"f", 0}};
+  ContextTrieNode &NA = A.getOrCreateNode(Ctx);
+  NA.HasProfile = true;
+  NA.Profile.addBody({1, 0}, 10);
+  ContextTrieNode &NB = B.getOrCreateNode(Ctx);
+  NB.HasProfile = true;
+  NB.Profile.addBody({1, 0}, 32);
+  mergeContextProfiles(A, B);
+  EXPECT_EQ(A.findNode(Ctx)->Profile.bodyAt({1, 0}), 42u);
+}
+
+TEST(Trimmer, MergesColdContextsIntoBase) {
+  ContextProfile CP;
+  SampleContext Hot = {{"main", 1}, {"f", 0}};
+  SampleContext Cold = {{"main", 2}, {"f", 0}};
+  ContextTrieNode &NH = CP.getOrCreateNode(Hot);
+  NH.HasProfile = true;
+  NH.Profile.addBody({1, 0}, 1000);
+  ContextTrieNode &NC = CP.getOrCreateNode(Cold);
+  NC.HasProfile = true;
+  NC.Profile.addBody({1, 0}, 3);
+
+  TrimStats Stats = trimColdContexts(CP, 100);
+  EXPECT_EQ(Stats.ContextsMerged, 1u);
+  EXPECT_EQ(CP.findNode(Cold), nullptr);
+  EXPECT_NE(CP.findNode(Hot), nullptr);
+  const ContextTrieNode *Base = CP.findBase("f");
+  ASSERT_NE(Base, nullptr);
+  EXPECT_EQ(Base->Profile.bodyAt({1, 0}), 3u);
+  // Total samples preserved.
+  EXPECT_EQ(CP.totalSamples(), 1003u);
+}
+
+TEST(Trimmer, ReducesSerializedSize) {
+  ContextProfile CP;
+  for (uint32_t I = 0; I != 50; ++I) {
+    SampleContext Ctx = {{"main", I}, {"f", 0}};
+    ContextTrieNode &N = CP.getOrCreateNode(Ctx);
+    N.HasProfile = true;
+    N.Profile.addBody({1, 0}, I == 0 ? 10000 : 2);
+  }
+  size_t Before = profileSizeBytes(CP);
+  trimColdContexts(CP, 100);
+  size_t After = profileSizeBytes(CP);
+  EXPECT_LT(After * 3, Before);
+  // The hot context survives with full fidelity.
+  EXPECT_NE(CP.findNode({{"main", 0u}, {"f", 0u}}), nullptr);
+}
+
+TEST(Trimmer, PercentileThreshold) {
+  ContextProfile CP;
+  for (uint32_t I = 1; I <= 10; ++I) {
+    SampleContext Ctx = {{"main", I}, {"f", 0}};
+    ContextTrieNode &N = CP.getOrCreateNode(Ctx);
+    N.HasProfile = true;
+    N.Profile.addBody({1, 0}, I * 100);
+  }
+  uint64_t T = coldThresholdForPercentile(CP, 0.5);
+  EXPECT_GE(T, 100u);
+  EXPECT_LE(T, 1000u);
+}

@@ -1,0 +1,70 @@
+//===- tests/QualityTest.cpp - block overlap metric tests -------*- C++ -*-===//
+
+#include "quality/BlockOverlap.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+using namespace csspgo::testing;
+
+TEST(Overlap, IdenticalDistributionsGiveOne) {
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({10, 20, 30}, {10, 20, 30}), 1.0);
+  // Scale invariance: the metric compares distributions.
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({1, 2, 3}, {100, 200, 300}), 1.0);
+}
+
+TEST(Overlap, DisjointDistributionsGiveZero) {
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({10, 0}, {0, 10}), 0.0);
+}
+
+TEST(Overlap, PartialOverlapInBetween) {
+  double D = blockOverlapDegree({50, 50}, {100, 0});
+  EXPECT_NEAR(D, 0.5, 1e-9);
+}
+
+TEST(Overlap, AllZeroCountsCountAsPerfect) {
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({0, 0}, {0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(Overlap, ProgramAggregationWeightsByMeasuredShare) {
+  auto M1 = makeCallerModule(5);
+  auto M2 = makeCallerModule(5);
+  // Function 'leaf': perfect agreement with big weight; 'main': disjoint
+  // with tiny weight. Program overlap should be close to 1.
+  for (auto *M : {M1.get(), M2.get()})
+    for (auto &F : M->Functions)
+      for (auto &BB : F->Blocks)
+        BB->setCount(0);
+  Function *L1 = M1->getFunction("leaf"), *L2 = M2->getFunction("leaf");
+  for (size_t B = 0; B != L1->Blocks.size(); ++B) {
+    L1->Blocks[B]->setCount(1000);
+    L2->Blocks[B]->setCount(1000);
+  }
+  Function *Ma1 = M1->getFunction("main"), *Ma2 = M2->getFunction("main");
+  Ma1->Blocks[0]->setCount(1);
+  Ma2->Blocks[1]->setCount(1);
+
+  OverlapReport R = computeBlockOverlap(*M1, *M2);
+  EXPECT_EQ(R.FunctionsCompared, 2u);
+  EXPECT_GT(R.ProgramOverlap, 0.99);
+}
+
+TEST(Overlap, MismatchedShapesSkipped) {
+  auto M1 = makeCallerModule(5);
+  auto M2 = makeCallerModule(5);
+  M1->getFunction("leaf")->Blocks[0]->setCount(5);
+  M2->getFunction("leaf")->Blocks[0]->setCount(5);
+  // Remove a block from M2's main: shape mismatch -> skipped.
+  Function *Ma2 = M2->getFunction("main");
+  Ma2->Blocks[1]->setCount(0);
+  while (Ma2->Blocks.size() > 1) {
+    // Rewire and drop last block (keep it verifiable enough for the test).
+    Ma2->Blocks.pop_back();
+    break;
+  }
+  OverlapReport R = computeBlockOverlap(*M1, *M2);
+  EXPECT_EQ(R.FunctionsCompared, 1u);
+}

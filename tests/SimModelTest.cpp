@@ -1,0 +1,98 @@
+//===- tests/SimModelTest.cpp - cost model & PMU unit tests -----*- C++ -*-===//
+
+#include "sim/CostModel.h"
+#include "sim/Sampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+
+TEST(LBRRing, KeepsLastNOldestFirst) {
+  LBRRing Ring(4);
+  for (uint64_t I = 0; I != 10; ++I)
+    Ring.record(I, I + 100);
+  auto Snap = Ring.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  EXPECT_EQ(Snap.front().Src, 6u);
+  EXPECT_EQ(Snap.back().Src, 9u);
+  EXPECT_EQ(Snap.back().Dst, 109u);
+}
+
+TEST(LBRRing, PartialFill) {
+  LBRRing Ring(16);
+  Ring.record(1, 2);
+  Ring.record(3, 4);
+  auto Snap = Ring.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap[0].Src, 1u);
+  EXPECT_EQ(Snap[1].Src, 3u);
+}
+
+TEST(LBRRing, ClearEmpties) {
+  LBRRing Ring(4);
+  Ring.record(1, 2);
+  Ring.clear();
+  EXPECT_TRUE(Ring.snapshot().empty());
+}
+
+TEST(ICache, HitsAfterFill) {
+  CostModel CM;
+  ICache Cache(CM);
+  EXPECT_TRUE(Cache.access(0x1000));  // Cold miss.
+  EXPECT_FALSE(Cache.access(0x1000)); // Hit.
+  EXPECT_FALSE(Cache.access(0x1020)); // Same 64B line.
+  EXPECT_TRUE(Cache.access(0x1040));  // Next line.
+}
+
+TEST(ICache, AssociativityHoldsConflictingLines) {
+  CostModel CM;
+  CM.ICacheLines = 16;
+  CM.ICacheWays = 4; // 4 sets.
+  ICache Cache(CM);
+  // Four lines mapping to the same set (stride = sets * linesize).
+  uint64_t Stride = 4 * 64;
+  for (int W = 0; W != 4; ++W)
+    EXPECT_TRUE(Cache.access(0x1000 + W * Stride));
+  for (int W = 0; W != 4; ++W)
+    EXPECT_FALSE(Cache.access(0x1000 + W * Stride)) << "way " << W;
+  // A fifth conflicting line evicts the LRU (the first one).
+  EXPECT_TRUE(Cache.access(0x1000 + 4 * Stride));
+  EXPECT_TRUE(Cache.access(0x1000));
+}
+
+TEST(ICache, ResetForgets) {
+  CostModel CM;
+  ICache Cache(CM);
+  Cache.access(0x2000);
+  Cache.reset();
+  EXPECT_TRUE(Cache.access(0x2000));
+}
+
+TEST(BranchPredictor, LearnsBiasedBranch) {
+  CostModel CM;
+  BranchPredictor P(CM);
+  // Warm up: always taken.
+  int Misses = 0;
+  for (int I = 0; I != 100; ++I)
+    Misses += P.mispredicted(0x4000, true);
+  EXPECT_LE(Misses, 2) << "2-bit counter must converge quickly";
+}
+
+TEST(BranchPredictor, AlternatingBranchMissesOften) {
+  CostModel CM;
+  BranchPredictor P(CM);
+  int Misses = 0;
+  for (int I = 0; I != 100; ++I)
+    Misses += P.mispredicted(0x4000, I % 2 == 0);
+  EXPECT_GE(Misses, 40);
+}
+
+TEST(CostModel, ExpensiveOpsCostMore) {
+  CostModel CM;
+  EXPECT_GT(CM.baseCost(Opcode::Div), CM.baseCost(Opcode::Add));
+  EXPECT_GT(CM.baseCost(Opcode::Call), CM.baseCost(Opcode::Mov));
+  EXPECT_EQ(CM.baseCost(Opcode::PseudoProbe), 0u)
+      << "probes must be free at run time";
+  EXPECT_GT(CM.baseCost(Opcode::InstrProfIncr), CM.baseCost(Opcode::Add))
+      << "counters must cost real cycles";
+}

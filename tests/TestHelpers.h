@@ -1,0 +1,143 @@
+//===- tests/TestHelpers.h - Shared test fixtures ---------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small IR programs shared across unit tests: a branchy leaf function, a
+/// caller/callee pair, and a loop, plus a helper to compile and run them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_TESTS_TESTHELPERS_H
+#define CSSPGO_TESTS_TESTHELPERS_H
+
+#include "codegen/Linker.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "sim/Executor.h"
+
+#include <memory>
+
+namespace csspgo::testing {
+
+/// Builds:
+///   func branchy(x):            // diamond: x < 10 ? x+1 : x*2, then ret
+inline Function *addBranchyFunction(Module &M, const std::string &Name) {
+  Function *F = M.createFunction(Name, 1);
+  Builder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+
+  B.setInsertBlock(Entry);
+  RegId Result = B.emitConst(0);
+  RegId Cond = B.emitBinary(Opcode::CmpLT, Operand::reg(0), Operand::imm(10));
+  B.emitCondBr(Operand::reg(Cond), Then, Else);
+
+  // Both arms write the shared Result register.
+  B.setInsertBlock(Then);
+  B.emitBinary(Opcode::Add, Operand::reg(0), Operand::imm(1));
+  Then->Insts.back().Dst = Result;
+  B.emitBr(Join);
+
+  B.setInsertBlock(Else);
+  B.emitBinary(Opcode::Mul, Operand::reg(0), Operand::imm(2));
+  Else->Insts.back().Dst = Result;
+  B.emitBr(Join);
+
+  B.setInsertBlock(Join);
+  B.emitRet(Operand::reg(Result));
+  return F;
+}
+
+/// Builds a counting loop:
+///   func looper(n): s=0; for(i=0;i<n;i++) s+=i; ret s
+inline Function *addLoopFunction(Module &M, const std::string &Name) {
+  Function *F = M.createFunction(Name, 1);
+  Builder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  RegId S = B.emitConst(0);
+  RegId I = B.emitConst(0);
+  B.emitBr(Header);
+
+  B.setInsertBlock(Header);
+  RegId Cond = B.emitBinary(Opcode::CmpLT, Operand::reg(I), Operand::reg(0));
+  B.emitCondBr(Operand::reg(Cond), Body, Exit);
+
+  B.setInsertBlock(Body);
+  // s += i; i += 1 (write back into the same registers via Mov).
+  RegId S2 = B.emitBinary(Opcode::Add, Operand::reg(S), Operand::reg(I));
+  BasicBlock *BodyBB = B.getInsertBlock();
+  BodyBB->Insts.back().Dst = S; // In-place accumulate.
+  RegId I2 = B.emitBinary(Opcode::Add, Operand::reg(I), Operand::imm(1));
+  BodyBB->Insts.back().Dst = I;
+  (void)S2;
+  (void)I2;
+  B.emitBr(Header);
+
+  B.setInsertBlock(Exit);
+  B.emitRet(Operand::reg(S));
+  return F;
+}
+
+/// Builds a module whose entry calls `leaf` N times in a loop:
+///   func main(): acc=0; for(i=0;i<Iters;i++) acc+=leaf(i); ret acc
+inline std::unique_ptr<Module> makeCallerModule(int64_t Iters) {
+  auto M = std::make_unique<Module>("test");
+  addBranchyFunction(*M, "leaf");
+
+  Function *Main = M->createFunction("main", 0);
+  Builder B(Main);
+  BasicBlock *Entry = Main->createBlock("entry");
+  BasicBlock *Header = Main->createBlock("header");
+  BasicBlock *Body = Main->createBlock("body");
+  BasicBlock *Exit = Main->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  RegId Acc = B.emitConst(0);
+  RegId I = B.emitConst(0);
+  B.emitBr(Header);
+
+  B.setInsertBlock(Header);
+  RegId Cond =
+      B.emitBinary(Opcode::CmpLT, Operand::reg(I), Operand::imm(Iters));
+  B.emitCondBr(Operand::reg(Cond), Body, Exit);
+
+  B.setInsertBlock(Body);
+  RegId Ret = B.emitCall("leaf", {Operand::reg(I)});
+  RegId Acc2 = B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(Ret));
+  Body->Insts.back().Dst = Acc;
+  RegId I2 = B.emitBinary(Opcode::Add, Operand::reg(I), Operand::imm(1));
+  Body->Insts.back().Dst = I;
+  (void)Acc2;
+  (void)I2;
+  B.emitBr(Header);
+
+  B.setInsertBlock(Exit);
+  B.emitRet(Operand::reg(Acc));
+
+  M->EntryFunction = "main";
+  return M;
+}
+
+/// Compiles and runs \p M; asserts verification.
+inline RunResult compileAndRun(const Module &M, ExecConfig Config = {},
+                               uint64_t MemWords = 4096) {
+  verifyOrDie(M, "in compileAndRun");
+  auto Bin = compileToBinary(M);
+  std::vector<int64_t> Memory(MemWords, 0);
+  return execute(*Bin, M.EntryFunction, Memory, Config);
+}
+
+} // namespace csspgo::testing
+
+#endif // CSSPGO_TESTS_TESTHELPERS_H

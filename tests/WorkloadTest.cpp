@@ -1,0 +1,128 @@
+//===- tests/WorkloadTest.cpp - workload generator tests --------*- C++ -*-===//
+
+#include "codegen/Linker.h"
+#include "ir/Verifier.h"
+#include "sim/Executor.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+
+namespace {
+
+WorkloadConfig tinyConfig(uint64_t Seed = 3) {
+  WorkloadConfig C;
+  C.Seed = Seed;
+  C.Requests = 60;
+  C.NumServices = 3;
+  C.NumMids = 8;
+  C.NumUtils = 5;
+  C.NumColdHandlers = 3;
+  C.MidsPerService = 4;
+  return C;
+}
+
+} // namespace
+
+TEST(Workload, GeneratesVerifiableProgram) {
+  auto M = generateProgram(tinyConfig());
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_NE(M->getFunction("main"), nullptr);
+  EXPECT_GE(M->Functions.size(), 3u + 8u + 5u + 3u + 2u);
+}
+
+TEST(Workload, DeterministicGeneration) {
+  auto M1 = generateProgram(tinyConfig());
+  auto M2 = generateProgram(tinyConfig());
+  ASSERT_EQ(M1->Functions.size(), M2->Functions.size());
+  auto In1 = generateInput(tinyConfig(), 11);
+  auto In2 = generateInput(tinyConfig(), 11);
+  EXPECT_EQ(In1, In2);
+
+  auto B1 = compileToBinary(*M1);
+  auto B2 = compileToBinary(*M2);
+  auto MemA = In1, MemB = In2;
+  EXPECT_EQ(execute(*B1, "main", MemA, {}).ExitValue,
+            execute(*B2, "main", MemB, {}).ExitValue);
+}
+
+TEST(Workload, DifferentSeedsDifferentPrograms) {
+  auto M1 = generateProgram(tinyConfig(3));
+  auto M2 = generateProgram(tinyConfig(4));
+  auto B1 = compileToBinary(*M1);
+  auto B2 = compileToBinary(*M2);
+  auto In = generateInput(tinyConfig(3), 11);
+  auto MemA = In, MemB = In;
+  EXPECT_NE(execute(*B1, "main", MemA, {}).ExitValue,
+            execute(*B2, "main", MemB, {}).ExitValue);
+}
+
+TEST(Workload, InputShiftChangesDistributionNotLayout) {
+  WorkloadConfig C = tinyConfig();
+  auto Base = generateInput(C, 11, 0.0);
+  auto Shifted = generateInput(C, 11, 0.5);
+  EXPECT_EQ(Base.size(), Shifted.size());
+  EXPECT_NE(Base, Shifted);
+}
+
+TEST(Workload, RunsToCompletionAndExercisesFeatures) {
+  auto M = generateProgram(tinyConfig());
+  auto Bin = compileToBinary(*M);
+  auto Mem = generateInput(tinyConfig(), 11);
+  RunResult R = execute(*Bin, "main", Mem, {});
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_GT(R.Calls, 100u);
+  EXPECT_GT(R.CondBranches, 500u);
+}
+
+TEST(Workload, ContainsTailCalls) {
+  WorkloadConfig C = tinyConfig();
+  C.TailCallProb = 1.0;
+  auto M = generateProgram(C);
+  bool Found = false;
+  for (auto &F : M->Functions)
+    for (auto &BB : F->Blocks)
+      for (auto &I : BB->Insts)
+        Found |= I.isCall() && I.IsTailCall;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Workload, PresetsDistinctAndScalable) {
+  for (const std::string &Name : serverWorkloadNames()) {
+    WorkloadConfig C = workloadPreset(Name, 0.01);
+    EXPECT_EQ(C.Name, Name);
+    EXPECT_GE(C.Requests, 1u);
+  }
+  WorkloadConfig Clang = workloadPreset("ClangProxy", 1.0);
+  EXPECT_GT(Clang.NumMids, workloadPreset("HaaS", 1.0).NumMids)
+      << "client workload has the broadest code";
+}
+
+TEST(Workload, SourceDriftShiftsLinesKeepsCFG) {
+  auto M1 = generateProgram(tinyConfig());
+  auto M2 = generateProgram(tinyConfig());
+  applySourceDrift(*M2, 3);
+
+  Function *F1 = M1->Functions[0].get();
+  Function *F2 = M2->Functions[0].get();
+  ASSERT_EQ(F1->Blocks.size(), F2->Blocks.size());
+  bool AnyShift = false;
+  for (size_t B = 0; B != F1->Blocks.size(); ++B) {
+    ASSERT_EQ(F1->Blocks[B]->Insts.size(), F2->Blocks[B]->Insts.size());
+    for (size_t I = 0; I != F1->Blocks[B]->Insts.size(); ++I) {
+      uint32_t L1 = F1->Blocks[B]->Insts[I].DL.Line;
+      uint32_t L2 = F2->Blocks[B]->Insts[I].DL.Line;
+      EXPECT_TRUE(L2 == L1 || L2 == L1 + 3);
+      AnyShift |= L2 != L1;
+    }
+  }
+  EXPECT_TRUE(AnyShift);
+  // Semantics unchanged.
+  auto B1 = compileToBinary(*M1);
+  auto B2 = compileToBinary(*M2);
+  auto In = generateInput(tinyConfig(), 11);
+  auto MemA = In, MemB = In;
+  EXPECT_EQ(execute(*B1, "main", MemA, {}).ExitValue,
+            execute(*B2, "main", MemB, {}).ExitValue);
+}

@@ -1,0 +1,168 @@
+//===- tools/csspgo_exp.cpp - experiment CLI ----------------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line driver over the experiment pipeline, the library's
+// "binary distribution" face:
+//
+//   csspgo_exp run      <workload> <variant> [scale]   end-to-end PGO run
+//   csspgo_exp profile  <workload> <variant> [scale]   print the profile text
+//   csspgo_exp compare  <workload> [scale]             all variants side by side
+//   csspgo_exp ir       <workload> [scale]             dump the generated IR
+//   csspgo_exp list                                    workloads and variants
+//
+// Variants: none instr autofdo probeonly csspgo
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "pgo/PGODriver.h"
+#include "profile/ProfileIO.h"
+#include "support/SourceText.h"
+#include "workload/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace csspgo;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: csspgo_exp run|profile|compare|ir|list "
+               "[workload] [variant] [scale]\n");
+  return 2;
+}
+
+bool parseVariant(const std::string &S, PGOVariant &V) {
+  if (S == "none")
+    V = PGOVariant::None;
+  else if (S == "instr")
+    V = PGOVariant::Instr;
+  else if (S == "autofdo")
+    V = PGOVariant::AutoFDO;
+  else if (S == "probeonly")
+    V = PGOVariant::CSSPGOProbeOnly;
+  else if (S == "csspgo")
+    V = PGOVariant::CSSPGOFull;
+  else
+    return false;
+  return true;
+}
+
+int cmdList() {
+  std::printf("workloads:");
+  for (const std::string &W : serverWorkloadNames())
+    std::printf(" %s", W.c_str());
+  std::printf(" ClangProxy\nvariants: none instr autofdo probeonly csspgo\n");
+  return 0;
+}
+
+int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
+  ExperimentConfig Config;
+  Config.Workload = workloadPreset(Workload, Scale);
+  PGODriver Driver(Config);
+  const VariantOutcome &Base = Driver.baseline();
+  VariantOutcome Out = Driver.run(V);
+  std::printf("workload:            %s (%u requests)\n", Workload.c_str(),
+              Config.Workload.Requests);
+  std::printf("variant:             %s\n", variantName(V));
+  std::printf("profiling overhead:  %s\n",
+              formatSignedPercent(Out.ProfilingOverheadPct).c_str());
+  std::printf("eval cycles:         %.0f (plain %.0f)\n", Out.EvalCyclesMean,
+              Base.EvalCyclesMean);
+  std::printf("speedup vs plain:    %s\n",
+              formatSignedPercent(PGODriver::improvementPct(Out, Base))
+                  .c_str());
+  std::printf("code size:           %s\n",
+              formatBytes(Out.CodeSizeBytes).c_str());
+  std::printf("loader: %u annotated, %u top-down inlines, %u ICP, "
+              "%u stale drops\n",
+              Out.Build->Loader.FunctionsAnnotated,
+              Out.Build->Loader.InlinedCallsites,
+              Out.Build->Loader.PromotedIndirectCalls,
+              Out.Build->Loader.StaleDropped);
+  std::printf("exit value:          %lld (plain %lld%s)\n",
+              static_cast<long long>(Out.ExitValue),
+              static_cast<long long>(Base.ExitValue),
+              Out.ExitValue == Base.ExitValue ? ", identical"
+                                              : " — MISMATCH!");
+  return Out.ExitValue == Base.ExitValue ? 0 : 1;
+}
+
+int cmdProfile(const std::string &Workload, PGOVariant V, double Scale) {
+  ExperimentConfig Config;
+  Config.Workload = workloadPreset(Workload, Scale);
+  PGODriver Driver(Config);
+  VariantOutcome Out = Driver.run(V);
+  if (!Out.Profile.Has) {
+    std::fprintf(stderr, "variant '%s' produces no profile\n",
+                 variantName(V));
+    return 1;
+  }
+  std::string Text = Out.Profile.IsCS
+                         ? serializeContextProfile(Out.Profile.CS)
+                         : serializeFlatProfile(Out.Profile.Flat);
+  std::fputs(Text.c_str(), stdout);
+  return 0;
+}
+
+int cmdCompare(const std::string &Workload, double Scale) {
+  ExperimentConfig Config;
+  Config.Workload = workloadPreset(Workload, Scale);
+  PGODriver Driver(Config);
+  const VariantOutcome &Base = Driver.baseline();
+  TextTable Table({"variant", "profiling overhead", "vs plain", "size"});
+  for (PGOVariant V : {PGOVariant::Instr, PGOVariant::AutoFDO,
+                       PGOVariant::CSSPGOProbeOnly, PGOVariant::CSSPGOFull}) {
+    VariantOutcome Out = Driver.run(V);
+    Table.addRow({variantName(V),
+                  formatSignedPercent(Out.ProfilingOverheadPct),
+                  formatSignedPercent(PGODriver::improvementPct(Out, Base)),
+                  formatBytes(Out.CodeSizeBytes)});
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdIR(const std::string &Workload, double Scale) {
+  auto M = generateProgram(workloadPreset(Workload, Scale));
+  std::fputs(printModule(*M).c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  if (Cmd == "list")
+    return cmdList();
+  if (argc < 3)
+    return usage();
+  std::string Workload = argv[2];
+
+  if (Cmd == "ir")
+    return cmdIR(Workload, argc > 3 ? std::atof(argv[3]) : 1.0);
+  if (Cmd == "compare")
+    return cmdCompare(Workload, argc > 3 ? std::atof(argv[3]) : 1.0);
+
+  if (argc < 4)
+    return usage();
+  PGOVariant V;
+  if (!parseVariant(argv[3], V)) {
+    std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
+    return 2;
+  }
+  double Scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+  if (Cmd == "run")
+    return cmdRun(Workload, V, Scale);
+  if (Cmd == "profile")
+    return cmdProfile(Workload, V, Scale);
+  return usage();
+}
