@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inference.dir/ablation_inference.cpp.o"
+  "CMakeFiles/ablation_inference.dir/ablation_inference.cpp.o.d"
+  "ablation_inference"
+  "ablation_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

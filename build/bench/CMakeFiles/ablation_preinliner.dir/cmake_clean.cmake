@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preinliner.dir/ablation_preinliner.cpp.o"
+  "CMakeFiles/ablation_preinliner.dir/ablation_preinliner.cpp.o.d"
+  "ablation_preinliner"
+  "ablation_preinliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preinliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

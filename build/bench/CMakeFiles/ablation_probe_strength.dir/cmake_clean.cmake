@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_strength.dir/ablation_probe_strength.cpp.o"
+  "CMakeFiles/ablation_probe_strength.dir/ablation_probe_strength.cpp.o.d"
+  "ablation_probe_strength"
+  "ablation_probe_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skid.dir/ablation_skid.cpp.o"
+  "CMakeFiles/ablation_skid.dir/ablation_skid.cpp.o.d"
+  "ablation_skid"
+  "ablation_skid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_source_drift.dir/ablation_source_drift.cpp.o"
+  "CMakeFiles/ablation_source_drift.dir/ablation_source_drift.cpp.o.d"
+  "ablation_source_drift"
+  "ablation_source_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_source_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

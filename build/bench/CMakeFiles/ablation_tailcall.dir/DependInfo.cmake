@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tailcall.cpp" "bench/CMakeFiles/ablation_tailcall.dir/ablation_tailcall.cpp.o" "gcc" "bench/CMakeFiles/ablation_tailcall.dir/ablation_tailcall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_pgo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_preinline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_profgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tailcall.dir/ablation_tailcall.cpp.o"
+  "CMakeFiles/ablation_tailcall.dir/ablation_tailcall.cpp.o.d"
+  "ablation_tailcall"
+  "ablation_tailcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tailcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

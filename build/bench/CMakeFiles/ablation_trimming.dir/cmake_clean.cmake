@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trimming.dir/ablation_trimming.cpp.o"
+  "CMakeFiles/ablation_trimming.dir/ablation_trimming.cpp.o.d"
+  "ablation_trimming"
+  "ablation_trimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

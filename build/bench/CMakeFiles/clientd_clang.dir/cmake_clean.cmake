@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clientd_clang.dir/clientd_clang.cpp.o"
+  "CMakeFiles/clientd_clang.dir/clientd_clang.cpp.o.d"
+  "clientd_clang"
+  "clientd_clang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clientd_clang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

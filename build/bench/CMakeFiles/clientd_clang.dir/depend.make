@@ -1,0 +1,2 @@
+# Empty dependencies file for clientd_clang.
+# This may be replaced when dependencies are built.

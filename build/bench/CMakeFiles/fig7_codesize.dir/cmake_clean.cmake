@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_codesize.dir/fig7_codesize.cpp.o"
+  "CMakeFiles/fig7_codesize.dir/fig7_codesize.cpp.o.d"
+  "fig7_codesize"
+  "fig7_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

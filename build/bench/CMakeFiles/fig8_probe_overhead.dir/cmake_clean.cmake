@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_probe_overhead.dir/fig8_probe_overhead.cpp.o"
+  "CMakeFiles/fig8_probe_overhead.dir/fig8_probe_overhead.cpp.o.d"
+  "fig8_probe_overhead"
+  "fig8_probe_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_probe_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

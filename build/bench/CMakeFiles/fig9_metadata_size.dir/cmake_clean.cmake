@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_metadata_size.dir/fig9_metadata_size.cpp.o"
+  "CMakeFiles/fig9_metadata_size.dir/fig9_metadata_size.cpp.o.d"
+  "fig9_metadata_size"
+  "fig9_metadata_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_metadata_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profile_quality.dir/table1_profile_quality.cpp.o"
+  "CMakeFiles/table1_profile_quality.dir/table1_profile_quality.cpp.o.d"
+  "table1_profile_quality"
+  "table1_profile_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profile_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

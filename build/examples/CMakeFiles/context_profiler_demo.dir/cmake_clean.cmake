@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_profiler_demo.dir/context_profiler_demo.cpp.o"
+  "CMakeFiles/context_profiler_demo.dir/context_profiler_demo.cpp.o.d"
+  "context_profiler_demo"
+  "context_profiler_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_profiler_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for context_profiler_demo.
+# This may be replaced when dependencies are built.

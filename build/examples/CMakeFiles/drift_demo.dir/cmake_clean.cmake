@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_demo.dir/drift_demo.cpp.o"
+  "CMakeFiles/drift_demo.dir/drift_demo.cpp.o.d"
+  "drift_demo"
+  "drift_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

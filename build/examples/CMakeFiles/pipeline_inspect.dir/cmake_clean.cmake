@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_inspect.dir/pipeline_inspect.cpp.o"
+  "CMakeFiles/pipeline_inspect.dir/pipeline_inspect.cpp.o.d"
+  "pipeline_inspect"
+  "pipeline_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

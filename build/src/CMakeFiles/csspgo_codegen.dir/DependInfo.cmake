@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/DebugInfo.cpp" "src/CMakeFiles/csspgo_codegen.dir/codegen/DebugInfo.cpp.o" "gcc" "src/CMakeFiles/csspgo_codegen.dir/codegen/DebugInfo.cpp.o.d"
+  "/root/repo/src/codegen/Linker.cpp" "src/CMakeFiles/csspgo_codegen.dir/codegen/Linker.cpp.o" "gcc" "src/CMakeFiles/csspgo_codegen.dir/codegen/Linker.cpp.o.d"
+  "/root/repo/src/codegen/Lowering.cpp" "src/CMakeFiles/csspgo_codegen.dir/codegen/Lowering.cpp.o" "gcc" "src/CMakeFiles/csspgo_codegen.dir/codegen/Lowering.cpp.o.d"
+  "/root/repo/src/codegen/MachineModule.cpp" "src/CMakeFiles/csspgo_codegen.dir/codegen/MachineModule.cpp.o" "gcc" "src/CMakeFiles/csspgo_codegen.dir/codegen/MachineModule.cpp.o.d"
+  "/root/repo/src/codegen/ProbeMetadata.cpp" "src/CMakeFiles/csspgo_codegen.dir/codegen/ProbeMetadata.cpp.o" "gcc" "src/CMakeFiles/csspgo_codegen.dir/codegen/ProbeMetadata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_codegen.dir/codegen/DebugInfo.cpp.o"
+  "CMakeFiles/csspgo_codegen.dir/codegen/DebugInfo.cpp.o.d"
+  "CMakeFiles/csspgo_codegen.dir/codegen/Linker.cpp.o"
+  "CMakeFiles/csspgo_codegen.dir/codegen/Linker.cpp.o.d"
+  "CMakeFiles/csspgo_codegen.dir/codegen/Lowering.cpp.o"
+  "CMakeFiles/csspgo_codegen.dir/codegen/Lowering.cpp.o.d"
+  "CMakeFiles/csspgo_codegen.dir/codegen/MachineModule.cpp.o"
+  "CMakeFiles/csspgo_codegen.dir/codegen/MachineModule.cpp.o.d"
+  "CMakeFiles/csspgo_codegen.dir/codegen/ProbeMetadata.cpp.o"
+  "CMakeFiles/csspgo_codegen.dir/codegen/ProbeMetadata.cpp.o.d"
+  "libcsspgo_codegen.a"
+  "libcsspgo_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/MinCostFlow.cpp" "src/CMakeFiles/csspgo_inference.dir/inference/MinCostFlow.cpp.o" "gcc" "src/CMakeFiles/csspgo_inference.dir/inference/MinCostFlow.cpp.o.d"
+  "/root/repo/src/inference/ProfileInference.cpp" "src/CMakeFiles/csspgo_inference.dir/inference/ProfileInference.cpp.o" "gcc" "src/CMakeFiles/csspgo_inference.dir/inference/ProfileInference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_inference.dir/inference/MinCostFlow.cpp.o"
+  "CMakeFiles/csspgo_inference.dir/inference/MinCostFlow.cpp.o.d"
+  "CMakeFiles/csspgo_inference.dir/inference/ProfileInference.cpp.o"
+  "CMakeFiles/csspgo_inference.dir/inference/ProfileInference.cpp.o.d"
+  "libcsspgo_inference.a"
+  "libcsspgo_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/CFG.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/CFG.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Checksum.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Checksum.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Checksum.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/csspgo_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/csspgo_ir.dir/ir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_ir.dir/ir/BasicBlock.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/BasicBlock.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Builder.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Builder.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/CFG.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/CFG.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Checksum.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Checksum.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Function.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Function.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Module.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Module.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Parser.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Parser.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/csspgo_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/csspgo_ir.dir/ir/Verifier.cpp.o.d"
+  "libcsspgo_ir.a"
+  "libcsspgo_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

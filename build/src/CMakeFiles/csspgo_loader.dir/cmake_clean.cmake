@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_loader.dir/loader/DebugInfoCorrelator.cpp.o"
+  "CMakeFiles/csspgo_loader.dir/loader/DebugInfoCorrelator.cpp.o.d"
+  "CMakeFiles/csspgo_loader.dir/loader/ProbeCorrelator.cpp.o"
+  "CMakeFiles/csspgo_loader.dir/loader/ProbeCorrelator.cpp.o.d"
+  "CMakeFiles/csspgo_loader.dir/loader/ProfileLoader.cpp.o"
+  "CMakeFiles/csspgo_loader.dir/loader/ProfileLoader.cpp.o.d"
+  "libcsspgo_loader.a"
+  "libcsspgo_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CodeMotion.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/CodeMotion.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/CodeMotion.cpp.o.d"
+  "/root/repo/src/opt/ConstantFold.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/ConstantFold.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/ConstantFold.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/DCE.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/DCE.cpp.o.d"
+  "/root/repo/src/opt/ExtTSPLayout.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/ExtTSPLayout.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/ExtTSPLayout.cpp.o.d"
+  "/root/repo/src/opt/FunctionSplit.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/FunctionSplit.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/FunctionSplit.cpp.o.d"
+  "/root/repo/src/opt/IfConvert.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/IfConvert.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/IfConvert.cpp.o.d"
+  "/root/repo/src/opt/InlineCost.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/InlineCost.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/InlineCost.cpp.o.d"
+  "/root/repo/src/opt/Inliner.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/Inliner.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/Inliner.cpp.o.d"
+  "/root/repo/src/opt/JumpThreading.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/JumpThreading.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/JumpThreading.cpp.o.d"
+  "/root/repo/src/opt/LoopUnroll.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/LoopUnroll.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/LoopUnroll.cpp.o.d"
+  "/root/repo/src/opt/PassManager.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/PassManager.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/PassManager.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/SimplifyCFG.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/SimplifyCFG.cpp.o.d"
+  "/root/repo/src/opt/TailMerge.cpp" "src/CMakeFiles/csspgo_opt.dir/opt/TailMerge.cpp.o" "gcc" "src/CMakeFiles/csspgo_opt.dir/opt/TailMerge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_opt.dir/opt/CodeMotion.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/CodeMotion.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/ConstantFold.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/ConstantFold.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/DCE.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/DCE.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/ExtTSPLayout.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/ExtTSPLayout.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/FunctionSplit.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/FunctionSplit.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/IfConvert.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/IfConvert.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/InlineCost.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/InlineCost.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/Inliner.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/Inliner.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/JumpThreading.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/JumpThreading.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/LoopUnroll.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/LoopUnroll.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/PassManager.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/PassManager.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/SimplifyCFG.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/SimplifyCFG.cpp.o.d"
+  "CMakeFiles/csspgo_opt.dir/opt/TailMerge.cpp.o"
+  "CMakeFiles/csspgo_opt.dir/opt/TailMerge.cpp.o.d"
+  "libcsspgo_opt.a"
+  "libcsspgo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsspgo_opt.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_pgo.dir/pgo/BuildPipeline.cpp.o"
+  "CMakeFiles/csspgo_pgo.dir/pgo/BuildPipeline.cpp.o.d"
+  "CMakeFiles/csspgo_pgo.dir/pgo/PGODriver.cpp.o"
+  "CMakeFiles/csspgo_pgo.dir/pgo/PGODriver.cpp.o.d"
+  "libcsspgo_pgo.a"
+  "libcsspgo_pgo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_pgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_preinline.dir/preinline/PreInliner.cpp.o"
+  "CMakeFiles/csspgo_preinline.dir/preinline/PreInliner.cpp.o.d"
+  "CMakeFiles/csspgo_preinline.dir/preinline/ProfiledCallGraph.cpp.o"
+  "CMakeFiles/csspgo_preinline.dir/preinline/ProfiledCallGraph.cpp.o.d"
+  "libcsspgo_preinline.a"
+  "libcsspgo_preinline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_preinline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_probe.dir/probe/ProbeInserter.cpp.o"
+  "CMakeFiles/csspgo_probe.dir/probe/ProbeInserter.cpp.o.d"
+  "CMakeFiles/csspgo_probe.dir/probe/ProbeTable.cpp.o"
+  "CMakeFiles/csspgo_probe.dir/probe/ProbeTable.cpp.o.d"
+  "libcsspgo_probe.a"
+  "libcsspgo_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

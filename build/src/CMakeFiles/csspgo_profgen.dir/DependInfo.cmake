@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profgen/AutoFDOGenerator.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/AutoFDOGenerator.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/AutoFDOGenerator.cpp.o.d"
+  "/root/repo/src/profgen/BinarySizeExtractor.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/BinarySizeExtractor.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/BinarySizeExtractor.cpp.o.d"
+  "/root/repo/src/profgen/CSProfileGenerator.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/CSProfileGenerator.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/CSProfileGenerator.cpp.o.d"
+  "/root/repo/src/profgen/ContextUnwinder.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/ContextUnwinder.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/ContextUnwinder.cpp.o.d"
+  "/root/repo/src/profgen/InstrProfileGenerator.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/InstrProfileGenerator.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/InstrProfileGenerator.cpp.o.d"
+  "/root/repo/src/profgen/MissingFrameInferrer.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/MissingFrameInferrer.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/MissingFrameInferrer.cpp.o.d"
+  "/root/repo/src/profgen/Symbolizer.cpp" "src/CMakeFiles/csspgo_profgen.dir/profgen/Symbolizer.cpp.o" "gcc" "src/CMakeFiles/csspgo_profgen.dir/profgen/Symbolizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_profgen.dir/profgen/AutoFDOGenerator.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/AutoFDOGenerator.cpp.o.d"
+  "CMakeFiles/csspgo_profgen.dir/profgen/BinarySizeExtractor.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/BinarySizeExtractor.cpp.o.d"
+  "CMakeFiles/csspgo_profgen.dir/profgen/CSProfileGenerator.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/CSProfileGenerator.cpp.o.d"
+  "CMakeFiles/csspgo_profgen.dir/profgen/ContextUnwinder.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/ContextUnwinder.cpp.o.d"
+  "CMakeFiles/csspgo_profgen.dir/profgen/InstrProfileGenerator.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/InstrProfileGenerator.cpp.o.d"
+  "CMakeFiles/csspgo_profgen.dir/profgen/MissingFrameInferrer.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/MissingFrameInferrer.cpp.o.d"
+  "CMakeFiles/csspgo_profgen.dir/profgen/Symbolizer.cpp.o"
+  "CMakeFiles/csspgo_profgen.dir/profgen/Symbolizer.cpp.o.d"
+  "libcsspgo_profgen.a"
+  "libcsspgo_profgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_profgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

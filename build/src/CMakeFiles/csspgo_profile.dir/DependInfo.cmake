@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/ContextTrie.cpp" "src/CMakeFiles/csspgo_profile.dir/profile/ContextTrie.cpp.o" "gcc" "src/CMakeFiles/csspgo_profile.dir/profile/ContextTrie.cpp.o.d"
+  "/root/repo/src/profile/FunctionProfile.cpp" "src/CMakeFiles/csspgo_profile.dir/profile/FunctionProfile.cpp.o" "gcc" "src/CMakeFiles/csspgo_profile.dir/profile/FunctionProfile.cpp.o.d"
+  "/root/repo/src/profile/ProfileIO.cpp" "src/CMakeFiles/csspgo_profile.dir/profile/ProfileIO.cpp.o" "gcc" "src/CMakeFiles/csspgo_profile.dir/profile/ProfileIO.cpp.o.d"
+  "/root/repo/src/profile/ProfileMerge.cpp" "src/CMakeFiles/csspgo_profile.dir/profile/ProfileMerge.cpp.o" "gcc" "src/CMakeFiles/csspgo_profile.dir/profile/ProfileMerge.cpp.o.d"
+  "/root/repo/src/profile/ProfileSummary.cpp" "src/CMakeFiles/csspgo_profile.dir/profile/ProfileSummary.cpp.o" "gcc" "src/CMakeFiles/csspgo_profile.dir/profile/ProfileSummary.cpp.o.d"
+  "/root/repo/src/profile/Trimmer.cpp" "src/CMakeFiles/csspgo_profile.dir/profile/Trimmer.cpp.o" "gcc" "src/CMakeFiles/csspgo_profile.dir/profile/Trimmer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_profile.dir/profile/ContextTrie.cpp.o"
+  "CMakeFiles/csspgo_profile.dir/profile/ContextTrie.cpp.o.d"
+  "CMakeFiles/csspgo_profile.dir/profile/FunctionProfile.cpp.o"
+  "CMakeFiles/csspgo_profile.dir/profile/FunctionProfile.cpp.o.d"
+  "CMakeFiles/csspgo_profile.dir/profile/ProfileIO.cpp.o"
+  "CMakeFiles/csspgo_profile.dir/profile/ProfileIO.cpp.o.d"
+  "CMakeFiles/csspgo_profile.dir/profile/ProfileMerge.cpp.o"
+  "CMakeFiles/csspgo_profile.dir/profile/ProfileMerge.cpp.o.d"
+  "CMakeFiles/csspgo_profile.dir/profile/ProfileSummary.cpp.o"
+  "CMakeFiles/csspgo_profile.dir/profile/ProfileSummary.cpp.o.d"
+  "CMakeFiles/csspgo_profile.dir/profile/Trimmer.cpp.o"
+  "CMakeFiles/csspgo_profile.dir/profile/Trimmer.cpp.o.d"
+  "libcsspgo_profile.a"
+  "libcsspgo_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

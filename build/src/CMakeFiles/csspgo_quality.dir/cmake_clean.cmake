@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_quality.dir/quality/BlockOverlap.cpp.o"
+  "CMakeFiles/csspgo_quality.dir/quality/BlockOverlap.cpp.o.d"
+  "libcsspgo_quality.a"
+  "libcsspgo_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/CostModel.cpp" "src/CMakeFiles/csspgo_sim.dir/sim/CostModel.cpp.o" "gcc" "src/CMakeFiles/csspgo_sim.dir/sim/CostModel.cpp.o.d"
+  "/root/repo/src/sim/Executor.cpp" "src/CMakeFiles/csspgo_sim.dir/sim/Executor.cpp.o" "gcc" "src/CMakeFiles/csspgo_sim.dir/sim/Executor.cpp.o.d"
+  "/root/repo/src/sim/InstrRuntime.cpp" "src/CMakeFiles/csspgo_sim.dir/sim/InstrRuntime.cpp.o" "gcc" "src/CMakeFiles/csspgo_sim.dir/sim/InstrRuntime.cpp.o.d"
+  "/root/repo/src/sim/Sampler.cpp" "src/CMakeFiles/csspgo_sim.dir/sim/Sampler.cpp.o" "gcc" "src/CMakeFiles/csspgo_sim.dir/sim/Sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_sim.dir/sim/CostModel.cpp.o"
+  "CMakeFiles/csspgo_sim.dir/sim/CostModel.cpp.o.d"
+  "CMakeFiles/csspgo_sim.dir/sim/Executor.cpp.o"
+  "CMakeFiles/csspgo_sim.dir/sim/Executor.cpp.o.d"
+  "CMakeFiles/csspgo_sim.dir/sim/InstrRuntime.cpp.o"
+  "CMakeFiles/csspgo_sim.dir/sim/InstrRuntime.cpp.o.d"
+  "CMakeFiles/csspgo_sim.dir/sim/Sampler.cpp.o"
+  "CMakeFiles/csspgo_sim.dir/sim/Sampler.cpp.o.d"
+  "libcsspgo_sim.a"
+  "libcsspgo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

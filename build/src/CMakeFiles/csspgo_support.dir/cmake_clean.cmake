@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_support.dir/support/Hashing.cpp.o"
+  "CMakeFiles/csspgo_support.dir/support/Hashing.cpp.o.d"
+  "CMakeFiles/csspgo_support.dir/support/Random.cpp.o"
+  "CMakeFiles/csspgo_support.dir/support/Random.cpp.o.d"
+  "CMakeFiles/csspgo_support.dir/support/SourceText.cpp.o"
+  "CMakeFiles/csspgo_support.dir/support/SourceText.cpp.o.d"
+  "libcsspgo_support.a"
+  "libcsspgo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_workload.dir/workload/ProgramGenerator.cpp.o"
+  "CMakeFiles/csspgo_workload.dir/workload/ProgramGenerator.cpp.o.d"
+  "CMakeFiles/csspgo_workload.dir/workload/Workloads.cpp.o"
+  "CMakeFiles/csspgo_workload.dir/workload/Workloads.cpp.o.d"
+  "libcsspgo_workload.a"
+  "libcsspgo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CodegenTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/CodegenTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/CodegenTest.cpp.o.d"
+  "/root/repo/tests/ExecutorTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/ExecutorTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/ExecutorTest.cpp.o.d"
+  "/root/repo/tests/IRTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/IRTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/IRTest.cpp.o.d"
+  "/root/repo/tests/IndirectCallTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/IndirectCallTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/IndirectCallTest.cpp.o.d"
+  "/root/repo/tests/InferenceTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/InferenceTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/InferenceTest.cpp.o.d"
+  "/root/repo/tests/LoaderTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/LoaderTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/LoaderTest.cpp.o.d"
+  "/root/repo/tests/OptTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/OptTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/OptTest.cpp.o.d"
+  "/root/repo/tests/PGOEndToEndTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/PGOEndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/PGOEndToEndTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PreInlinerTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/PreInlinerTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/PreInlinerTest.cpp.o.d"
+  "/root/repo/tests/ProbeTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/ProbeTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/ProbeTest.cpp.o.d"
+  "/root/repo/tests/ProfgenTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/ProfgenTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/ProfgenTest.cpp.o.d"
+  "/root/repo/tests/ProfileTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/ProfileTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/ProfileTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/QualityTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/QualityTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/QualityTest.cpp.o.d"
+  "/root/repo/tests/SimModelTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/SimModelTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/SimModelTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/csspgo_tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/csspgo_tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csspgo_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_pgo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_preinline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_profgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csspgo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

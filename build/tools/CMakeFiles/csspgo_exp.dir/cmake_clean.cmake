@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csspgo_exp.dir/csspgo_exp.cpp.o"
+  "CMakeFiles/csspgo_exp.dir/csspgo_exp.cpp.o.d"
+  "csspgo_exp"
+  "csspgo_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csspgo_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
