@@ -1,0 +1,138 @@
+//===- bench/micro_parallel_profgen.cpp - sharded profgen benchmark --------===//
+//
+// Throughput benchmark of the sharded profile-generation pipeline
+// (ShardedProfGen): partitions a large LBR sample set into K shards,
+// unwinds and builds context tries on a thread pool, and reduces with
+// mergeContextProfiles. The production workflow aggregates samples from
+// many hosts (§IV-A), so generation throughput is the operational
+// bottleneck this pipeline attacks.
+//
+// The harness replicates one profiled run's samples up to a target count
+// (default 1,000,000; argv[1] or CSSPGO_PARBENCH_SAMPLES overrides) and
+// times serial vs sharded generation for K in {2, 4, 8}, verifying every
+// sharded dump is bit-identical to the serial one. Expect >=2x at 4
+// threads on a machine with >=4 cores; on a single-core host every K
+// degenerates to ~1x (the determinism check still runs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Linker.h"
+#include "probe/ProbeInserter.h"
+#include "probe/ProbeTable.h"
+#include "profgen/ShardedProfGen.h"
+#include "profile/ProfileIO.h"
+#include "sim/Executor.h"
+#include "support/SourceText.h"
+#include "support/ThreadPool.h"
+#include "workload/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace csspgo;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::string fmt(double Value, int Digits) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+size_t targetSampleCount(int argc, char **argv) {
+  if (argc > 1)
+    return std::strtoull(argv[1], nullptr, 10);
+  if (const char *Env = std::getenv("CSSPGO_PARBENCH_SAMPLES"))
+    return std::strtoull(Env, nullptr, 10);
+  return 1000000;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t Target = targetSampleCount(argc, argv);
+
+  // One real profiled run supplies the sample shapes; replication scales
+  // the volume to datacenter-aggregation size without hours of simulation.
+  WorkloadConfig WC = workloadPreset("AdRanker", 0.5);
+  auto M = generateProgram(WC);
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  ProbeTable Probes = ProbeTable::fromModule(*M);
+  auto Bin = compileToBinary(*M);
+  ExecConfig EC;
+  EC.Sampler.Enabled = true;
+  EC.Sampler.PeriodCycles = 499; // Dense sampling for a rich seed set.
+  std::vector<int64_t> Mem = generateInput(WC, 7);
+  std::vector<PerfSample> Seed = execute(*Bin, "main", Mem, EC).Samples;
+  if (Seed.empty()) {
+    std::fprintf(stderr, "no samples collected from the seed run\n");
+    return 1;
+  }
+
+  std::vector<PerfSample> Samples;
+  Samples.reserve(Target);
+  while (Samples.size() < Target)
+    Samples.push_back(Seed[Samples.size() % Seed.size()]);
+
+  std::printf("sharded profile generation: %zu samples (%zu-sample seed), "
+              "%u hardware threads\n\n",
+              Samples.size(), Seed.size(), ThreadPool::defaultConcurrency());
+
+  CSProfileOptions Opts;
+
+  auto Start = std::chrono::steady_clock::now();
+  CSProfileGenStats SerialStats;
+  ContextProfile Serial = generateCSProfileSharded(
+      *Bin, Probes, Samples, Opts, /*Parallelism=*/1, &SerialStats);
+  double SerialSec = secondsSince(Start);
+  std::string SerialDump = serializeContextProfile(Serial);
+
+  TextTable Table({"shards", "wall s", "speedup", "Msamples/s", "reduce",
+                   "identical"});
+  Table.addRow({"1 (serial)", fmt(SerialSec, 2), "1.00x",
+                fmt(Samples.size() / SerialSec / 1e6, 2), "-",
+                "ref"});
+
+  bool AllIdentical = true;
+  double SpeedupAt4 = 0;
+  for (unsigned K : {2u, 4u, 8u}) {
+    Start = std::chrono::steady_clock::now();
+    CSProfileGenStats Stats;
+    MergeStats Reduce;
+    ContextProfile Sharded = generateCSProfileSharded(*Bin, Probes, Samples,
+                                                      Opts, K, &Stats,
+                                                      &Reduce);
+    double Sec = secondsSince(Start);
+    bool Identical = serializeContextProfile(Sharded) == SerialDump &&
+                     Stats.Samples == SerialStats.Samples &&
+                     Stats.RangesProcessed == SerialStats.RangesProcessed;
+    AllIdentical &= Identical;
+    double Speedup = SerialSec / Sec;
+    if (K == 4)
+      SpeedupAt4 = Speedup;
+    Table.addRow({std::to_string(K), fmt(Sec, 2),
+                  fmt(Speedup, 2) + "x",
+                  fmt(Samples.size() / Sec / 1e6, 2),
+                  std::to_string(Reduce.ContextsAdded) + "+" +
+                      std::to_string(Reduce.ContextsMerged) + " ctx",
+                  Identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("4-thread speedup: %.2fx (target >=2x on >=4 cores)\n",
+              SpeedupAt4);
+
+  if (!AllIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: sharded profile differs from the serial profile\n");
+    return 1;
+  }
+  return 0;
+}

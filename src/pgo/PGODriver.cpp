@@ -4,9 +4,7 @@
 
 #include "preinline/PreInliner.h"
 #include "probe/ProbeTable.h"
-#include "profgen/AutoFDOGenerator.h"
 #include "profgen/BinarySizeExtractor.h"
-#include "profgen/InstrProfileGenerator.h"
 #include "profile/Trimmer.h"
 #include "sim/InstrRuntime.h"
 
@@ -53,32 +51,49 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
       execute(*ProfBuild.Bin, "main", TrainMem, Exec);
   Out.ProfilingCycles = Train.Cycles;
 
+  // All four profile shapes flow through the ProfileGenerator facade; the
+  // CS and probe-only kinds honor Config.Parallelism (sharded generation,
+  // bit-identical to serial).
+  ProfGenOptions GenOpts;
+  GenOpts.InferMissingFrames = Config.InferMissingFrames;
+  GenOpts.Parallelism = Config.Parallelism;
   switch (V) {
   case PGOVariant::Instr: {
-    CounterDump Dump = dumpCounters(*ProfBuild.Bin, Train);
-    Bundle.Flat = generateInstrProfile(Dump, ProfBuild.Bin.get(), &Train);
+    GenOpts.Kind = ProfGenKind::Instr;
+    ProfileGenerator Gen(*ProfBuild.Bin, nullptr, GenOpts);
+    ProfGenResult R = Gen.generate(dumpCounters(*ProfBuild.Bin, Train),
+                                   &Train);
+    Bundle.Flat = std::move(R.Flat);
     Bundle.IsInstr = true;
     Bundle.Has = true;
     break;
   }
   case PGOVariant::AutoFDO: {
-    Bundle.Flat = generateAutoFDOProfile(*ProfBuild.Bin, Train.Samples);
+    GenOpts.Kind = ProfGenKind::AutoFDO;
+    ProfileGenerator Gen(*ProfBuild.Bin, nullptr, GenOpts);
+    ProfGenResult R = Gen.generate(Train.Samples);
+    Bundle.Flat = std::move(R.Flat);
+    Out.ProfGen = R.Stats;
     Bundle.Has = true;
     break;
   }
   case PGOVariant::CSSPGOProbeOnly: {
-    const ProbeTable &Probes = ProfBuild.ProbeDescs;
-    Bundle.Flat = generateProbeOnlyProfile(*ProfBuild.Bin, Probes,
-                                           Train.Samples, &Out.ProfGen);
+    GenOpts.Kind = ProfGenKind::ProbeOnly;
+    ProfileGenerator Gen(*ProfBuild.Bin, &ProfBuild.ProbeDescs, GenOpts);
+    ProfGenResult R = Gen.generate(Train.Samples);
+    Bundle.Flat = std::move(R.Flat);
+    Out.ProfGen = R.Stats;
+    Out.ProfGenReduce = R.Reduce;
     Bundle.Has = true;
     break;
   }
   case PGOVariant::CSSPGOFull: {
-    const ProbeTable &Probes = ProfBuild.ProbeDescs;
-    CSProfileOptions CSOpts;
-    CSOpts.InferMissingFrames = Config.InferMissingFrames;
-    Bundle.CS = generateCSProfile(*ProfBuild.Bin, Probes, Train.Samples,
-                                  CSOpts, &Out.ProfGen);
+    GenOpts.Kind = ProfGenKind::CS;
+    ProfileGenerator Gen(*ProfBuild.Bin, &ProfBuild.ProbeDescs, GenOpts);
+    ProfGenResult R = Gen.generate(Train.Samples);
+    Bundle.CS = std::move(R.CS);
+    Out.ProfGen = R.Stats;
+    Out.ProfGenReduce = R.Reduce;
     if (Config.TrimColdContexts) {
       uint64_t Threshold =
           Bundle.CS.totalSamples() /
@@ -131,6 +146,7 @@ VariantOutcome PGODriver::run(PGOVariant V) {
       VariantOutcome Scratch;
       Out.Profile = collectProfile(V, IterBuild, Scratch);
       Out.ProfGen = Scratch.ProfGen;
+      Out.ProfGenReduce = Scratch.ProfGenReduce;
     }
   }
 

@@ -18,7 +18,7 @@
 #define CSSPGO_PGO_PGODRIVER_H
 
 #include "pgo/BuildPipeline.h"
-#include "profgen/CSProfileGenerator.h"
+#include "profgen/ProfileGenerator.h"
 #include "sim/Executor.h"
 #include "workload/ProgramGenerator.h"
 
@@ -54,6 +54,11 @@ struct ExperimentConfig {
   bool RunPreInliner = true;
   bool InferMissingFrames = true;
 
+  /// Worker threads for sharded profile generation (CS / probe-only
+  /// variants): 0 = one per hardware thread, 1 = serial. Any value yields
+  /// bit-identical profiles; this is purely a throughput knob.
+  unsigned Parallelism = 1;
+
   /// Base build configuration (variant-specific fields are filled in).
   OptOptions Opt;
   InlineParams Inline;
@@ -86,6 +91,8 @@ struct VariantOutcome {
 
   ProfileBundle Profile;
   CSProfileGenStats ProfGen;
+  /// Shard-reduction stats of the profile generation (zeros when serial).
+  MergeStats ProfGenReduce;
   std::unique_ptr<BuildResult> Build;
 };
 

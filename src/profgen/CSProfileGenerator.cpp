@@ -2,6 +2,8 @@
 
 #include "profgen/CSProfileGenerator.h"
 
+#include "profgen/ProfileGenerator.h"
+
 #include <map>
 
 namespace csspgo {
@@ -25,15 +27,14 @@ SampleContext probeContext(const Symbolizer &Sym, const ProbeRecord &P,
 
 } // namespace
 
-ContextProfile generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
-                                 const std::vector<PerfSample> &Samples,
-                                 const CSProfileOptions &Opts,
-                                 CSProfileGenStats *Stats) {
-  Symbolizer Sym(Bin);
-  MissingFrameInferrer Inferrer;
-  if (Opts.InferMissingFrames)
-    collectTailCallEdges(Sym, Samples, Inferrer);
-  ContextUnwinder Unwinder(Sym, Opts.InferMissingFrames ? &Inferrer : nullptr);
+ContextProfile generateCSProfileChunk(const Symbolizer &Sym,
+                                      const ProbeTable &Probes,
+                                      const std::vector<PerfSample> &Samples,
+                                      size_t Begin, size_t End,
+                                      MissingFrameInferrer *Inferrer,
+                                      CSProfileGenStats *Stats) {
+  const Binary &Bin = Sym.binary();
+  ContextUnwinder Unwinder(Sym, Inferrer);
 
   ContextProfile Out;
   Out.Kind = ProfileKind::ProbeBased;
@@ -45,7 +46,8 @@ ContextProfile generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
       CallAcc;
   std::map<SampleContext, uint64_t> HeadAcc;
 
-  for (const PerfSample &Sample : Samples) {
+  for (size_t SampleIdx = Begin; SampleIdx != End; ++SampleIdx) {
+    const PerfSample &Sample = Samples[SampleIdx];
     UnwoundSample U = Unwinder.unwind(Sample);
     for (const RangeWithContext &R : U.Ranges) {
       if (Stats)
@@ -85,7 +87,8 @@ ContextProfile generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
   if (Stats) {
     Stats->Samples = Unwinder.stats().Samples;
     Stats->UnsyncedSamples = Unwinder.stats().Unsynced;
-    Stats->TailCallStats = Inferrer.stats();
+    if (Inferrer)
+      Stats->TailCallStats = Inferrer->stats();
   }
 
   // Materialize the trie.
@@ -117,6 +120,20 @@ ContextProfile generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
   return Out;
 }
 
+ContextProfile generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
+                                 const std::vector<PerfSample> &Samples,
+                                 const CSProfileOptions &Opts,
+                                 CSProfileGenStats *Stats) {
+  ProfGenOptions GenOpts;
+  GenOpts.Kind = ProfGenKind::CS;
+  GenOpts.InferMissingFrames = Opts.InferMissingFrames;
+  GenOpts.Parallelism = 1;
+  ProfGenResult R = ProfileGenerator(Bin, &Probes, GenOpts).generate(Samples);
+  if (Stats)
+    *Stats = R.Stats;
+  return std::move(R.CS);
+}
+
 namespace {
 
 /// Navigates nested probe-keyed profiles along inline frames.
@@ -138,29 +155,31 @@ FunctionProfile &profileForProbeFrames(FlatProfile &Out,
 
 } // namespace
 
-FlatProfile generateProbeOnlyProfile(const Binary &Bin,
-                                     const ProbeTable &Probes,
-                                     const std::vector<PerfSample> &Samples,
-                                     CSProfileGenStats *Stats) {
-  Symbolizer Sym(Bin);
+FlatProfile generateProbeOnlyProfileChunk(const Symbolizer &Sym,
+                                          const ProbeTable &Probes,
+                                          const std::vector<PerfSample> &Samples,
+                                          size_t Begin, size_t End,
+                                          CSProfileGenStats *Stats) {
+  const Binary &Bin = Sym.binary();
   FlatProfile Out;
   Out.Kind = ProfileKind::ProbeBased;
 
   // Per-address counts from LBR ranges (no unwinding needed).
   std::map<size_t, uint64_t> AddrCount;
   std::map<std::pair<size_t, size_t>, uint64_t> BranchCount;
-  for (const PerfSample &Sample : Samples) {
+  for (size_t SampleIdx = Begin; SampleIdx != End; ++SampleIdx) {
+    const PerfSample &Sample = Samples[SampleIdx];
     if (Stats)
       ++Stats->Samples;
     for (size_t I = 0; I + 1 < Sample.LBR.size(); ++I) {
-      size_t Begin = Bin.indexOfAddr(Sample.LBR[I].Dst);
-      size_t End = Bin.indexOfAddr(Sample.LBR[I + 1].Src);
-      if (Begin == SIZE_MAX || End == SIZE_MAX || Begin > End ||
-          Sym.funcIndexOf(Begin) != Sym.funcIndexOf(End))
+      size_t RBegin = Bin.indexOfAddr(Sample.LBR[I].Dst);
+      size_t REnd = Bin.indexOfAddr(Sample.LBR[I + 1].Src);
+      if (RBegin == SIZE_MAX || REnd == SIZE_MAX || RBegin > REnd ||
+          Sym.funcIndexOf(RBegin) != Sym.funcIndexOf(REnd))
         continue;
       if (Stats)
         ++Stats->RangesProcessed;
-      for (size_t Idx = Begin; Idx <= End; ++Idx)
+      for (size_t Idx = RBegin; Idx <= REnd; ++Idx)
         ++AddrCount[Idx];
     }
     for (const LBREntry &E : Sample.LBR) {
@@ -219,6 +238,19 @@ FlatProfile generateProbeOnlyProfile(const Binary &Bin,
   for (auto &[Name, P] : Out.Functions)
     FixMeta(P);
   return Out;
+}
+
+FlatProfile generateProbeOnlyProfile(const Binary &Bin,
+                                     const ProbeTable &Probes,
+                                     const std::vector<PerfSample> &Samples,
+                                     CSProfileGenStats *Stats) {
+  ProfGenOptions GenOpts;
+  GenOpts.Kind = ProfGenKind::ProbeOnly;
+  GenOpts.Parallelism = 1;
+  ProfGenResult R = ProfileGenerator(Bin, &Probes, GenOpts).generate(Samples);
+  if (Stats)
+    *Stats = R.Stats;
+  return std::move(R.Flat);
 }
 
 } // namespace csspgo

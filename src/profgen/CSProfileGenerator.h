@@ -39,7 +39,8 @@ struct CSProfileOptions {
 
 /// Generates a probe-based context profile from \p Samples taken on
 /// \p Bin. \p Probes supplies function checksums (the .pseudo_probe_desc
-/// section).
+/// section). Thin wrapper over the ProfileGenerator facade (serial path);
+/// prefer the facade in new code.
 ContextProfile
 generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
                   const std::vector<PerfSample> &Samples,
@@ -50,10 +51,35 @@ generateCSProfile(const Binary &Bin, const ProbeTable &Probes,
 /// *flat* probe-keyed profile with nested inlinee profiles from the
 /// binary's probe inline metadata, but no stack-based calling contexts.
 /// Same correlation quality as full CSSPGO, no context sensitivity.
+/// Thin wrapper over the ProfileGenerator facade (serial path).
 FlatProfile generateProbeOnlyProfile(const Binary &Bin,
                                      const ProbeTable &Probes,
                                      const std::vector<PerfSample> &Samples,
                                      CSProfileGenStats *Stats = nullptr);
+
+/// Chunk-level CS generation, the unit of work of the sharded pipeline
+/// (ShardedProfGen): unwinds Samples[Begin, End) and materializes a
+/// context trie for just that slice. \p Inferrer must already hold the
+/// tail-call edge graph of the FULL sample set (collectTailCallEdges), so
+/// every shard runs missing-frame inference against the same graph as the
+/// serial path — the basis of the bit-identical-reduction guarantee. Each
+/// concurrent chunk needs its own Inferrer copy (inference updates its
+/// stats); pass nullptr to disable inference.
+ContextProfile generateCSProfileChunk(const Symbolizer &Sym,
+                                      const ProbeTable &Probes,
+                                      const std::vector<PerfSample> &Samples,
+                                      size_t Begin, size_t End,
+                                      MissingFrameInferrer *Inferrer,
+                                      CSProfileGenStats *Stats = nullptr);
+
+/// Chunk-level probe-only generation over Samples[Begin, End); shards
+/// reduce with mergeFlatProfiles (pure sums, so any partition reduces to
+/// the serial result).
+FlatProfile generateProbeOnlyProfileChunk(const Symbolizer &Sym,
+                                          const ProbeTable &Probes,
+                                          const std::vector<PerfSample> &Samples,
+                                          size_t Begin, size_t End,
+                                          CSProfileGenStats *Stats = nullptr);
 
 } // namespace csspgo
 

@@ -7,8 +7,16 @@ namespace csspgo {
 void collectTailCallEdges(const Symbolizer &Sym,
                           const std::vector<PerfSample> &Samples,
                           MissingFrameInferrer &Inferrer) {
+  collectTailCallEdges(Sym, Samples, 0, Samples.size(), Inferrer);
+}
+
+void collectTailCallEdges(const Symbolizer &Sym,
+                          const std::vector<PerfSample> &Samples,
+                          size_t Begin, size_t End,
+                          MissingFrameInferrer &Inferrer) {
   const Binary &Bin = Sym.binary();
-  for (const PerfSample &Sample : Samples) {
+  for (size_t SampleIdx = Begin; SampleIdx != End; ++SampleIdx) {
+    const PerfSample &Sample = Samples[SampleIdx];
     for (const LBREntry &E : Sample.LBR) {
       size_t SrcIdx = Bin.indexOfAddr(E.Src);
       if (SrcIdx == SIZE_MAX)

@@ -88,6 +88,14 @@ void collectTailCallEdges(const Symbolizer &Sym,
                           const std::vector<PerfSample> &Samples,
                           MissingFrameInferrer &Inferrer);
 
+/// Range form scanning only Samples[Begin, End): the sharded pipeline
+/// collects per-shard edge sets in parallel and unions them via
+/// MissingFrameInferrer::addEdgesFrom.
+void collectTailCallEdges(const Symbolizer &Sym,
+                          const std::vector<PerfSample> &Samples,
+                          size_t Begin, size_t End,
+                          MissingFrameInferrer &Inferrer);
+
 } // namespace csspgo
 
 #endif // CSSPGO_PROFGEN_CONTEXTUNWINDER_H

@@ -10,6 +10,11 @@ void MissingFrameInferrer::addTailCallEdge(const std::string &FromFunc,
   Edges[FromFunc].insert({SiteProbe, ToFunc});
 }
 
+void MissingFrameInferrer::addEdgesFrom(const MissingFrameInferrer &Other) {
+  for (const auto &[From, Targets] : Other.Edges)
+    Edges[From].insert(Targets.begin(), Targets.end());
+}
+
 unsigned MissingFrameInferrer::countPaths(const std::string &From,
                                           const std::string &To,
                                           std::set<std::string> &Visiting,

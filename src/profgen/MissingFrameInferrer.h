@@ -36,6 +36,12 @@ public:
   void addTailCallEdge(const std::string &FromFunc, uint32_t SiteProbe,
                        const std::string &ToFunc);
 
+  /// Unions \p Other's edge graph into this one. Edges are a set, so the
+  /// union is order-independent — the sharded pipeline collects edges per
+  /// shard in parallel and reduces here, yielding the same graph as a
+  /// serial scan of the full sample set.
+  void addEdgesFrom(const MissingFrameInferrer &Other);
+
   /// One recovered frame: the function whose frame was elided plus the
   /// call-site probe of the tail call it made.
   struct RecoveredFrame {

@@ -1,0 +1,94 @@
+//===- profgen/ProfileGenerator.cpp - Unified profgen facade --------------===//
+
+#include "profgen/ProfileGenerator.h"
+
+#include "profgen/AutoFDOGenerator.h"
+#include "profgen/InstrProfileGenerator.h"
+#include "profgen/ShardedProfGen.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace csspgo {
+
+const char *profGenKindName(ProfGenKind K) {
+  switch (K) {
+  case ProfGenKind::CS:
+    return "cs";
+  case ProfGenKind::ProbeOnly:
+    return "probeonly";
+  case ProfGenKind::AutoFDO:
+    return "autofdo";
+  case ProfGenKind::Instr:
+    return "instr";
+  }
+  return "?";
+}
+
+ProfileGenerator::ProfileGenerator(const Binary &Bin, const ProbeTable *Probes,
+                                   ProfGenOptions Opts)
+    : Bin(Bin), Probes(Probes), Opts(Opts) {
+  if ((Opts.Kind == ProfGenKind::CS || Opts.Kind == ProfGenKind::ProbeOnly) &&
+      !Probes) {
+    std::fprintf(stderr,
+                 "csspgo: ProfileGenerator kind '%s' requires a probe "
+                 "descriptor table\n",
+                 profGenKindName(Opts.Kind));
+    std::abort();
+  }
+}
+
+ProfGenResult
+ProfileGenerator::generate(const std::vector<PerfSample> &Samples) const {
+  ProfGenResult R;
+  switch (Opts.Kind) {
+  case ProfGenKind::CS: {
+    CSProfileOptions CSOpts;
+    CSOpts.InferMissingFrames = Opts.InferMissingFrames;
+    R.ShardsUsed = static_cast<unsigned>(
+        planShards(Samples.size(),
+                   resolveParallelism(Opts.Parallelism, Samples.size()))
+            .size());
+    R.CS = generateCSProfileSharded(Bin, *Probes, Samples, CSOpts,
+                                    Opts.Parallelism, &R.Stats, &R.Reduce);
+    R.IsCS = true;
+    break;
+  }
+  case ProfGenKind::ProbeOnly: {
+    R.ShardsUsed = static_cast<unsigned>(
+        planShards(Samples.size(),
+                   resolveParallelism(Opts.Parallelism, Samples.size()))
+            .size());
+    R.Flat = generateProbeOnlyProfileSharded(Bin, *Probes, Samples,
+                                             Opts.Parallelism, &R.Stats,
+                                             &R.Reduce);
+    break;
+  }
+  case ProfGenKind::AutoFDO: {
+    AutoFDOGenStats AS;
+    R.Flat = generateAutoFDOProfile(Bin, Samples, &AS);
+    R.Stats.Samples = Samples.size();
+    R.Stats.RangesProcessed = AS.RangesProcessed;
+    break;
+  }
+  case ProfGenKind::Instr:
+    std::fprintf(stderr, "csspgo: the Instr kind generates from a counter "
+                         "dump, not from samples\n");
+    std::abort();
+  }
+  if (R.ShardsUsed == 0)
+    R.ShardsUsed = 1;
+  return R;
+}
+
+ProfGenResult ProfileGenerator::generate(const CounterDump &Dump,
+                                         const RunResult *Run) const {
+  assert(Opts.Kind == ProfGenKind::Instr &&
+         "counter-dump generation is the Instr kind");
+  ProfGenResult R;
+  R.Flat = generateInstrProfile(Dump, &Bin, Run);
+  return R;
+}
+
+} // namespace csspgo

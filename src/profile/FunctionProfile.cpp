@@ -77,8 +77,17 @@ void FunctionProfile::merge(const FunctionProfile &Other, uint64_t Num,
     for (const auto &[Callee, N] : Targets)
       addCall(K, Callee, Scale(N));
   for (const auto &[K, Map] : Other.Inlinees)
-    for (const auto &[Callee, P] : Map)
-      getOrCreateInlinee(K, Callee).merge(P, Num, Den);
+    for (const auto &[Callee, P] : Map) {
+      FunctionProfile &Sub = getOrCreateInlinee(K, Callee);
+      // Carry probe metadata down: an inlinee present only in Other must
+      // keep its GUID/checksum, or stale-profile detection breaks on the
+      // merged profile.
+      if (P.Guid)
+        Sub.Guid = P.Guid;
+      if (P.Checksum)
+        Sub.Checksum = P.Checksum;
+      Sub.merge(P, Num, Den);
+    }
 }
 
 uint64_t FunctionProfile::maxBodyCount() const {

@@ -2,30 +2,76 @@
 
 #include "profile/ProfileMerge.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace csspgo {
 
-void mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src) {
-  assert(Dst.Kind == Src.Kind && "cannot merge profiles of different kinds");
-  for (const auto &[Name, P] : Src.Functions) {
-    FunctionProfile &D = Dst.getOrCreate(Name);
-    D.Guid = P.Guid;
-    D.Checksum = P.Checksum;
-    D.merge(P);
-  }
+namespace {
+
+const char *kindName(ProfileKind K) {
+  return K == ProfileKind::LineBased ? "line-based" : "probe-based";
 }
 
-void mergeContextProfiles(ContextProfile &Dst, const ContextProfile &Src) {
-  assert(Dst.Kind == Src.Kind && "cannot merge profiles of different kinds");
-  Src.forEachNode([&Dst](const SampleContext &Ctx, const ContextTrieNode &N) {
+[[noreturn]] void fatalKindMismatch(const char *What, ProfileKind Dst,
+                                    ProfileKind Src) {
+  std::fprintf(stderr,
+               "csspgo: cannot merge %s profiles of different kinds "
+               "(dst is %s, src is %s); counts keyed by different anchor "
+               "spaces must never be summed\n",
+               What, kindName(Dst), kindName(Src));
+  std::abort();
+}
+
+} // namespace
+
+MergeStats mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src) {
+  if (Dst.Functions.empty())
+    Dst.Kind = Src.Kind;
+  else if (Dst.Kind != Src.Kind)
+    fatalKindMismatch("flat", Dst.Kind, Src.Kind);
+  MergeStats Stats;
+  for (const auto &[Name, P] : Src.Functions) {
+    if (Dst.Functions.count(Name))
+      ++Stats.ContextsMerged;
+    else
+      ++Stats.ContextsAdded;
+    Stats.CountsSummed += P.totalBodySamples() + P.HeadSamples;
+    FunctionProfile &D = Dst.getOrCreate(Name);
+    if (P.Guid)
+      D.Guid = P.Guid;
+    if (P.Checksum)
+      D.Checksum = P.Checksum;
+    D.merge(P);
+  }
+  return Stats;
+}
+
+MergeStats mergeContextProfiles(ContextProfile &Dst,
+                                const ContextProfile &Src) {
+  bool DstEmpty = Dst.Root.Children.empty() && !Dst.Root.HasProfile;
+  if (DstEmpty)
+    Dst.Kind = Src.Kind;
+  else if (Dst.Kind != Src.Kind)
+    fatalKindMismatch("context", Dst.Kind, Src.Kind);
+  MergeStats Stats;
+  Src.forEachNode([&Dst, &Stats](const SampleContext &Ctx,
+                                 const ContextTrieNode &N) {
     ContextTrieNode &D = Dst.getOrCreateNode(Ctx);
+    if (D.HasProfile)
+      ++Stats.ContextsMerged;
+    else
+      ++Stats.ContextsAdded;
+    Stats.CountsSummed += N.Profile.totalBodySamples() + N.Profile.HeadSamples;
     D.HasProfile = true;
-    D.Profile.Guid = N.Profile.Guid;
-    D.Profile.Checksum = N.Profile.Checksum;
+    if (N.Profile.Guid)
+      D.Profile.Guid = N.Profile.Guid;
+    if (N.Profile.Checksum)
+      D.Profile.Checksum = N.Profile.Checksum;
     D.ShouldBeInlined |= N.ShouldBeInlined;
     D.Profile.merge(N.Profile);
   });
+  return Stats;
 }
 
 } // namespace csspgo

@@ -6,7 +6,10 @@
 ///
 /// \file
 /// Merging of profiles from multiple profiling runs (the production
-/// workflow aggregates samples from many hosts before feeding PGO).
+/// workflow aggregates samples from many hosts before feeding PGO). The
+/// same primitives serve as the reduction step of the sharded
+/// profile-generation pipeline (ShardedProfGen), so each merge reports
+/// MergeStats making the reduction observable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,11 +21,36 @@
 
 namespace csspgo {
 
-/// Accumulates \p Src into \p Dst (counts are summed). Kinds must match.
-void mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src);
+/// Observability record of one merge (or a whole shard reduction when
+/// accumulated with +=).
+struct MergeStats {
+  /// Contexts (trie nodes) or flat function entries newly created in Dst.
+  uint64_t ContextsAdded = 0;
+  /// Contexts / function entries that already existed and were summed.
+  uint64_t ContextsMerged = 0;
+  /// Total sample counts (body incl. nested inlinees, plus head samples)
+  /// accumulated into Dst.
+  uint64_t CountsSummed = 0;
 
-/// Accumulates \p Src into \p Dst context-by-context.
-void mergeContextProfiles(ContextProfile &Dst, const ContextProfile &Src);
+  MergeStats &operator+=(const MergeStats &O) {
+    ContextsAdded += O.ContextsAdded;
+    ContextsMerged += O.ContextsMerged;
+    CountsSummed += O.CountsSummed;
+    return *this;
+  }
+};
+
+/// Accumulates \p Src into \p Dst (counts are summed). An empty \p Dst
+/// adopts \p Src's kind; otherwise a kind mismatch (line-based vs
+/// probe-based) is a fatal usage error reported with a clear message —
+/// merging profiles keyed by different anchor spaces silently produces
+/// garbage counts.
+MergeStats mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src);
+
+/// Accumulates \p Src into \p Dst context-by-context. Same kind rules as
+/// mergeFlatProfiles.
+MergeStats mergeContextProfiles(ContextProfile &Dst,
+                                const ContextProfile &Src);
 
 } // namespace csspgo
 

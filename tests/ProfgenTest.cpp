@@ -8,7 +8,11 @@
 #include "profgen/CSProfileGenerator.h"
 #include "profgen/InstrProfileGenerator.h"
 #include "profgen/MissingFrameInferrer.h"
+#include "profgen/ProfileGenerator.h"
+#include "profgen/ShardedProfGen.h"
 #include "profgen/Symbolizer.h"
+#include "profile/ProfileIO.h"
+#include "profile/ProfileMerge.h"
 #include "opt/Inliner.h"
 #include "sim/InstrRuntime.h"
 #include "support/Hashing.h"
@@ -337,4 +341,170 @@ TEST(Unwinder, SkidDegradesSyncedFraction) {
       static_cast<double>(SSkid.UnsyncedSamples) / SSkid.Samples;
   EXPECT_LT(PreciseUnsynced, 0.05);
   EXPECT_GT(SkidUnsynced, PreciseUnsynced);
+}
+
+TEST(ShardedProfGen, PlansNearEqualContiguousShards) {
+  auto Plan = planShards(10, 4);
+  ASSERT_EQ(Plan.size(), 4u);
+  EXPECT_EQ(Plan.front().Begin, 0u);
+  EXPECT_EQ(Plan.back().End, 10u);
+  size_t Prev = 0;
+  for (const ShardRange &R : Plan) {
+    EXPECT_EQ(R.Begin, Prev);
+    EXPECT_GE(R.End - R.Begin, 2u);
+    EXPECT_LE(R.End - R.Begin, 3u);
+    Prev = R.End;
+  }
+  // More shards than items: one shard per item, none empty.
+  EXPECT_EQ(planShards(3, 8).size(), 3u);
+  EXPECT_TRUE(planShards(0, 4).empty());
+}
+
+TEST(ShardedProfGen, CSBitIdenticalToSerialForAnyShardCount) {
+  auto P = profileContextModule(3000);
+  CSProfileGenStats SerialStats;
+  ContextProfile Serial = generateCSProfile(*P.Bin, P.Probes, P.Samples, {},
+                                            &SerialStats);
+  std::string SerialDump = serializeContextProfile(Serial);
+  ASSERT_GT(SerialStats.Samples, 0u);
+  for (unsigned K : {1u, 2u, 4u, 7u}) {
+    CSProfileGenStats Stats;
+    MergeStats Reduce;
+    ContextProfile Sharded = generateCSProfileSharded(
+        *P.Bin, P.Probes, P.Samples, {}, K, &Stats, &Reduce);
+    EXPECT_EQ(serializeContextProfile(Sharded), SerialDump)
+        << "shard count " << K;
+    EXPECT_EQ(Stats.Samples, SerialStats.Samples) << K;
+    EXPECT_EQ(Stats.UnsyncedSamples, SerialStats.UnsyncedSamples) << K;
+    EXPECT_EQ(Stats.RangesProcessed, SerialStats.RangesProcessed) << K;
+    if (K > 1) {
+      EXPECT_GT(Reduce.CountsSummed, 0u) << K;
+    }
+  }
+}
+
+TEST(ShardedProfGen, CSIdenticalUnderSkidAndInference) {
+  // Skidded samples exercise the unsynced-degradation path; the shared
+  // tail-call edge graph keeps inference identical across partitions.
+  auto P = profileContextModule(3000, /*Precise=*/false);
+  CSProfileGenStats SerialStats;
+  ContextProfile Serial = generateCSProfile(*P.Bin, P.Probes, P.Samples, {},
+                                            &SerialStats);
+  std::string SerialDump = serializeContextProfile(Serial);
+  for (unsigned K : {2u, 5u}) {
+    CSProfileGenStats Stats;
+    ContextProfile Sharded = generateCSProfileSharded(
+        *P.Bin, P.Probes, P.Samples, {}, K, &Stats);
+    EXPECT_EQ(serializeContextProfile(Sharded), SerialDump) << K;
+    EXPECT_EQ(Stats.UnsyncedSamples, SerialStats.UnsyncedSamples) << K;
+    EXPECT_EQ(Stats.TailCallStats.Attempts, SerialStats.TailCallStats.Attempts)
+        << K;
+    EXPECT_EQ(Stats.TailCallStats.Recovered,
+              SerialStats.TailCallStats.Recovered)
+        << K;
+  }
+}
+
+TEST(ShardedProfGen, ProbeOnlyBitIdenticalToSerial) {
+  auto P = profileContextModule(2000);
+  CSProfileGenStats SerialStats;
+  FlatProfile Serial = generateProbeOnlyProfile(*P.Bin, P.Probes, P.Samples,
+                                                &SerialStats);
+  std::string SerialDump = serializeFlatProfile(Serial);
+  for (unsigned K : {1u, 2u, 4u, 7u}) {
+    CSProfileGenStats Stats;
+    MergeStats Reduce;
+    FlatProfile Sharded = generateProbeOnlyProfileSharded(
+        *P.Bin, P.Probes, P.Samples, K, &Stats, &Reduce);
+    EXPECT_EQ(serializeFlatProfile(Sharded), SerialDump) << K;
+    EXPECT_EQ(Stats.Samples, SerialStats.Samples) << K;
+    EXPECT_EQ(Stats.RangesProcessed, SerialStats.RangesProcessed) << K;
+  }
+}
+
+TEST(ShardedProfGen, MergeOfSplitSampleSetsEqualsFullSet) {
+  // The ProfileMerge property the reduction relies on: profiles of any
+  // partition of the samples merge to the profile of the full set.
+  auto P = profileContextModule(2000);
+  size_t Half = P.Samples.size() / 2;
+  std::vector<PerfSample> A(P.Samples.begin(), P.Samples.begin() + Half);
+  std::vector<PerfSample> B(P.Samples.begin() + Half, P.Samples.end());
+
+  FlatProfile FullFlat =
+      generateProbeOnlyProfile(*P.Bin, P.Probes, P.Samples);
+  FlatProfile MergedFlat = generateProbeOnlyProfile(*P.Bin, P.Probes, A);
+  MergeStats FS =
+      mergeFlatProfiles(MergedFlat, generateProbeOnlyProfile(*P.Bin, P.Probes, B));
+  EXPECT_EQ(serializeFlatProfile(MergedFlat), serializeFlatProfile(FullFlat));
+  EXPECT_GT(FS.ContextsAdded + FS.ContextsMerged, 0u);
+
+  // CS with inference off: per-half edge graphs would differ, but pure
+  // accumulation is exactly partition-invariant.
+  CSProfileOptions NoInfer;
+  NoInfer.InferMissingFrames = false;
+  ContextProfile FullCS =
+      generateCSProfile(*P.Bin, P.Probes, P.Samples, NoInfer);
+  ContextProfile MergedCS = generateCSProfile(*P.Bin, P.Probes, A, NoInfer);
+  mergeContextProfiles(MergedCS,
+                       generateCSProfile(*P.Bin, P.Probes, B, NoInfer));
+  EXPECT_EQ(serializeContextProfile(MergedCS),
+            serializeContextProfile(FullCS));
+}
+
+TEST(ProfileGeneratorFacade, StatsLiveInTheResult) {
+  auto P = profileContextModule(1500);
+  ProfGenOptions Opts;
+  Opts.Kind = ProfGenKind::CS;
+  ProfGenResult R = ProfileGenerator(*P.Bin, &P.Probes, Opts)
+                        .generate(P.Samples);
+  EXPECT_TRUE(R.IsCS);
+  EXPECT_GT(R.Stats.Samples, 0u);
+  EXPECT_EQ(R.ShardsUsed, 1u);
+  EXPECT_GT(R.CS.numProfiles(), 0u);
+
+  Opts.Kind = ProfGenKind::CS;
+  Opts.Parallelism = 4;
+  ProfGenResult RP = ProfileGenerator(*P.Bin, &P.Probes, Opts)
+                         .generate(P.Samples);
+  EXPECT_EQ(RP.ShardsUsed, 4u);
+  EXPECT_EQ(serializeContextProfile(RP.CS), serializeContextProfile(R.CS));
+  EXPECT_GT(RP.Reduce.ContextsAdded + RP.Reduce.ContextsMerged, 0u);
+}
+
+TEST(ProfileGeneratorFacade, DispatchesEveryKind) {
+  auto P = profileContextModule(1000);
+
+  ProfGenOptions Probe;
+  Probe.Kind = ProfGenKind::ProbeOnly;
+  ProfGenResult RP = ProfileGenerator(*P.Bin, &P.Probes, Probe)
+                         .generate(P.Samples);
+  EXPECT_FALSE(RP.IsCS);
+  EXPECT_EQ(RP.Flat.Kind, ProfileKind::ProbeBased);
+  EXPECT_EQ(serializeFlatProfile(RP.Flat),
+            serializeFlatProfile(
+                generateProbeOnlyProfile(*P.Bin, P.Probes, P.Samples)));
+
+  ProfGenOptions Auto;
+  Auto.Kind = ProfGenKind::AutoFDO;
+  ProfGenResult RA = ProfileGenerator(*P.Bin, nullptr, Auto)
+                         .generate(P.Samples);
+  EXPECT_FALSE(RA.IsCS);
+  EXPECT_EQ(RA.Flat.Kind, ProfileKind::LineBased);
+  EXPECT_EQ(RA.Stats.Samples, P.Samples.size());
+  EXPECT_EQ(serializeFlatProfile(RA.Flat),
+            serializeFlatProfile(generateAutoFDOProfile(*P.Bin, P.Samples)));
+
+  // Instr kind consumes a counter dump.
+  auto M = makeContextModule(100);
+  insertProbes(*M, AnchorKind::InstrCounter);
+  auto Bin = compileToBinary(*M);
+  std::vector<int64_t> Mem(64, 0);
+  RunResult R = execute(*Bin, "main", Mem, {});
+  ProfGenOptions Instr;
+  Instr.Kind = ProfGenKind::Instr;
+  ProfGenResult RI = ProfileGenerator(*Bin, nullptr, Instr)
+                         .generate(dumpCounters(*Bin, R), &R);
+  EXPECT_FALSE(RI.IsCS);
+  ASSERT_NE(RI.Flat.find("shared"), nullptr);
+  EXPECT_EQ(RI.Flat.find("shared")->bodyAt({1, 0}), 200u);
 }

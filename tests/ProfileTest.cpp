@@ -291,3 +291,88 @@ TEST(Trimmer, PercentileThreshold) {
   EXPECT_GE(T, 100u);
   EXPECT_LE(T, 1000u);
 }
+
+TEST(Merge, ReportsStats) {
+  FlatProfile A, B;
+  A.Kind = B.Kind = ProfileKind::LineBased;
+  A.getOrCreate("f").addBody({1, 0}, 10);
+  B.getOrCreate("f").addBody({1, 0}, 5);
+  B.getOrCreate("g").addBody({2, 0}, 7);
+  B.getOrCreate("g").HeadSamples = 3;
+  MergeStats S = mergeFlatProfiles(A, B);
+  EXPECT_EQ(S.ContextsMerged, 1u); // "f" existed in dst
+  EXPECT_EQ(S.ContextsAdded, 1u);  // "g" was new
+  EXPECT_EQ(S.CountsSummed, 15u);  // 5 + 7 body + 3 head from src
+
+  ContextProfile CA, CB;
+  SampleContext Ctx = {{"main", 1}, {"f", 0}};
+  ContextTrieNode &NA = CA.getOrCreateNode(Ctx);
+  NA.HasProfile = true;
+  NA.Profile.addBody({1, 0}, 10);
+  ContextTrieNode &NB = CB.getOrCreateNode(Ctx);
+  NB.HasProfile = true;
+  NB.Profile.addBody({1, 0}, 32);
+  SampleContext Ctx2 = {{"main", 2}, {"g", 0}};
+  ContextTrieNode &NB2 = CB.getOrCreateNode(Ctx2);
+  NB2.HasProfile = true;
+  NB2.Profile.addBody({1, 0}, 4);
+  MergeStats CS = mergeContextProfiles(CA, CB);
+  EXPECT_EQ(CS.ContextsMerged, 1u);
+  EXPECT_EQ(CS.ContextsAdded, 1u);
+  EXPECT_EQ(CS.CountsSummed, 36u);
+
+  MergeStats Sum = S;
+  Sum += CS;
+  EXPECT_EQ(Sum.ContextsAdded, 2u);
+  EXPECT_EQ(Sum.ContextsMerged, 2u);
+  EXPECT_EQ(Sum.CountsSummed, 51u);
+}
+
+TEST(Merge, EmptyDstAdoptsSrcKind) {
+  FlatProfile Dst, Src;
+  Src.Kind = ProfileKind::ProbeBased;
+  Src.getOrCreate("f").addBody({1, 0}, 1);
+  mergeFlatProfiles(Dst, Src);
+  EXPECT_EQ(Dst.Kind, ProfileKind::ProbeBased);
+
+  ContextProfile CDst, CSrc;
+  CSrc.Kind = ProfileKind::LineBased;
+  ContextTrieNode &N = CSrc.getOrCreateNode({{"main", 1}, {"f", 0}});
+  N.HasProfile = true;
+  N.Profile.addBody({1, 0}, 1);
+  mergeContextProfiles(CDst, CSrc);
+  EXPECT_EQ(CDst.Kind, ProfileKind::LineBased);
+}
+
+TEST(MergeDeathTest, KindMismatchIsFatal) {
+  FlatProfile A, B;
+  A.Kind = ProfileKind::LineBased;
+  A.getOrCreate("f").addBody({1, 0}, 1);
+  B.Kind = ProfileKind::ProbeBased;
+  B.getOrCreate("f").addBody({1, 0}, 1);
+  EXPECT_DEATH(mergeFlatProfiles(A, B), "different kinds");
+}
+
+TEST(Merge, PropagatesInlineeMetadata) {
+  // An inlinee first seen from Src must arrive with its Guid/Checksum —
+  // shard reduction depends on this for bit-identical serialization.
+  FlatProfile Dst, Src;
+  Dst.Kind = Src.Kind = ProfileKind::ProbeBased;
+  Dst.getOrCreate("caller").addBody({1, 0}, 2);
+  FunctionProfile &SC = Src.getOrCreate("caller");
+  SC.addBody({1, 0}, 3);
+  FunctionProfile &Inlinee = SC.getOrCreateInlinee({2, 0}, "leaf");
+  Inlinee.Guid = 0xABCD;
+  Inlinee.Checksum = 0x1234;
+  Inlinee.addBody({1, 0}, 9);
+  mergeFlatProfiles(Dst, Src);
+  const FunctionProfile *D = Dst.find("caller");
+  ASSERT_NE(D, nullptr);
+  auto SiteIt = D->Inlinees.find({2, 0});
+  ASSERT_TRUE(SiteIt != D->Inlinees.end());
+  auto LeafIt = SiteIt->second.find("leaf");
+  ASSERT_TRUE(LeafIt != SiteIt->second.end());
+  EXPECT_EQ(LeafIt->second.Guid, 0xABCDu);
+  EXPECT_EQ(LeafIt->second.Checksum, 0x1234u);
+  EXPECT_EQ(LeafIt->second.bodyAt({1, 0}), 9u);
+}

@@ -3,10 +3,13 @@
 #include "support/Hashing.h"
 #include "support/Random.h"
 #include "support/SourceText.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 using namespace csspgo;
 
@@ -133,4 +136,53 @@ TEST(SourceText, TableRenders) {
   std::string S = T.render();
   EXPECT_NE(S.find("alpha"), std::string::npos);
   EXPECT_NE(S.find("-----"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.concurrency(), 3u);
+  std::atomic<int> Counter{0};
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I != 32; ++I)
+    Futures.push_back(Pool.async([&Counter] { ++Counter; }));
+  for (auto &F : Futures)
+    F.get();
+  EXPECT_EQ(Counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(100);
+  Pool.parallelFor(Hits.size(), [&Hits](size_t I) { ++Hits[I]; });
+  for (const auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPool, TaskExceptionsPropagateToCaller) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(
+      Pool.parallelFor(4,
+                       [](size_t I) {
+                         if (I == 2)
+                           throw std::runtime_error("shard failed");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> Counter{0};
+  Pool.parallelFor(8, [&Counter](size_t) { ++Counter; });
+  EXPECT_EQ(Counter.load(), 8);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I != 16; ++I)
+      Pool.async([&Counter] { ++Counter; });
+  } // Destructor joins after draining.
+  EXPECT_EQ(Counter.load(), 16);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
 }

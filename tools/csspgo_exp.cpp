@@ -14,6 +14,9 @@
 //   csspgo_exp list                                    workloads and variants
 //
 // Variants: none instr autofdo probeonly csspgo
+// Options:  -j N | --parallelism N   shard profile generation over N
+//           threads (0 = one per hardware thread; output is bit-identical
+//           for any N)
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +27,7 @@
 #include "workload/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -34,8 +38,34 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: csspgo_exp run|profile|compare|ir|list "
-               "[workload] [variant] [scale]\n");
+               "[workload] [variant] [scale] [-j N]\n");
   return 2;
+}
+
+/// Profile-generation parallelism from -j/--parallelism (default serial).
+unsigned GenParallelism = 1;
+
+/// Strips -j N / --parallelism N from (argc, argv). Returns false on a
+/// malformed flag.
+bool parseParallelismFlag(int &argc, char **argv) {
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "-j") == 0 ||
+        std::strcmp(argv[I], "--parallelism") == 0) {
+      if (I + 1 >= argc)
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(argv[I + 1], &End, 10);
+      if (End == argv[I + 1] || *End)
+        return false;
+      GenParallelism = static_cast<unsigned>(N);
+      ++I; // Skip the value.
+      continue;
+    }
+    argv[Out++] = argv[I];
+  }
+  argc = Out;
+  return true;
 }
 
 bool parseVariant(const std::string &S, PGOVariant &V) {
@@ -65,6 +95,7 @@ int cmdList() {
 int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
   ExperimentConfig Config;
   Config.Workload = workloadPreset(Workload, Scale);
+  Config.Parallelism = GenParallelism;
   PGODriver Driver(Config);
   const VariantOutcome &Base = Driver.baseline();
   VariantOutcome Out = Driver.run(V);
@@ -97,6 +128,7 @@ int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
 int cmdProfile(const std::string &Workload, PGOVariant V, double Scale) {
   ExperimentConfig Config;
   Config.Workload = workloadPreset(Workload, Scale);
+  Config.Parallelism = GenParallelism;
   PGODriver Driver(Config);
   VariantOutcome Out = Driver.run(V);
   if (!Out.Profile.Has) {
@@ -114,6 +146,7 @@ int cmdProfile(const std::string &Workload, PGOVariant V, double Scale) {
 int cmdCompare(const std::string &Workload, double Scale) {
   ExperimentConfig Config;
   Config.Workload = workloadPreset(Workload, Scale);
+  Config.Parallelism = GenParallelism;
   PGODriver Driver(Config);
   const VariantOutcome &Base = Driver.baseline();
   TextTable Table({"variant", "profiling overhead", "vs plain", "size"});
@@ -138,6 +171,8 @@ int cmdIR(const std::string &Workload, double Scale) {
 } // namespace
 
 int main(int argc, char **argv) {
+  if (!parseParallelismFlag(argc, argv))
+    return usage();
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
