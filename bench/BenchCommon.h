@@ -7,7 +7,10 @@
 /// \file
 /// Helpers shared by the per-figure benchmark harnesses: workload scaling
 /// via the CSSPGO_SCALE environment variable, mean/confidence statistics
-/// for the error bars of Fig. 8, and paper-style table printing.
+/// for the error bars of Fig. 8, paper-style table printing, the runMany
+/// fan-out harness that parallelizes independent (binary, seed, config)
+/// executions over support/ThreadPool, and the shared one-line JSON
+/// summary the BENCH_*.json trajectories parse.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,12 +19,15 @@
 
 #include "pgo/PGODriver.h"
 #include "support/SourceText.h"
+#include "support/ThreadPool.h"
 #include "workload/Workloads.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace csspgo::bench {
@@ -76,6 +82,65 @@ inline void printHeader(const char *Id, const char *Title) {
               "%s: %s\n"
               "==============================================================\n",
               Id, Title);
+}
+
+/// Worker count for the bench fan-out: `-j N` / `-jN` on the command line,
+/// else $CSSPGO_BENCH_JOBS, else 1 (serial). Every fanned-out task is a
+/// deterministic, independent pipeline, so any job count prints the same
+/// numbers; this is purely a wall-clock knob.
+inline unsigned benchJobs(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-j" && I + 1 < argc)
+      return std::max(1, std::atoi(argv[I + 1]));
+    if (A.rfind("-j", 0) == 0 && A.size() > 2)
+      return std::max(1, std::atoi(A.c_str() + 2));
+  }
+  if (const char *Env = std::getenv("CSSPGO_BENCH_JOBS"))
+    return std::max(1, std::atoi(Env));
+  return 1;
+}
+
+/// Runs Fn(0) .. Fn(Count-1) — serially when Jobs <= 1, else on a
+/// ThreadPool — and returns the results in index order, so tables print
+/// rows in the same order as the serial loop they replace. Tasks must be
+/// independent (each typically owns its PGODriver); the first task
+/// exception is rethrown after all tasks finish.
+template <typename ResultT>
+std::vector<ResultT> runMany(size_t Count, unsigned Jobs,
+                             const std::function<ResultT(size_t)> &Fn) {
+  std::vector<ResultT> Out(Count);
+  if (Jobs <= 1 || Count <= 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Out[I] = Fn(I);
+    return Out;
+  }
+  ThreadPool Pool(static_cast<unsigned>(
+      std::min<size_t>(Jobs, Count)));
+  Pool.parallelFor(Count, [&](size_t I) { Out[I] = Fn(I); });
+  return Out;
+}
+
+/// Emits the shared one-line machine-readable summary:
+///   {"bench":"<name>","metrics":{"k":v,...}}
+/// micro_executor and micro_parallel_profgen both use this shape so the
+/// BENCH_*.json trajectory tooling parses them uniformly.
+inline void
+printBenchJson(const std::string &Bench,
+               const std::vector<std::pair<std::string, double>> &Metrics) {
+  std::string Line = "{\"bench\":\"" + Bench + "\",\"metrics\":{";
+  for (size_t I = 0; I != Metrics.size(); ++I) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Metrics[I].second);
+    if (I)
+      Line += ',';
+    Line += '"';
+    Line += Metrics[I].first;
+    Line += "\":";
+    Line += Buf;
+  }
+  Line += "}}";
+  std::printf("%s\n", Line.c_str());
 }
 
 } // namespace csspgo::bench

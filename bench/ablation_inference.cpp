@@ -2,7 +2,8 @@
 //
 // §IV-A notes that CSSPGO uses Profi (MCF-based profile inference, ref
 // [10]) by default and that the paper's AutoFDO baseline enables it too
-// for fairness. Ablation: both variants with and without inference.
+// for fairness. Ablation: both variants with and without inference. The
+// eight (workload, variant, inference) cells fan out over runMany (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -11,24 +12,37 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "MCF profile inference (profi) on/off");
 
   TextTable Table({"workload", "variant", "inference", "vs plain"});
-  for (const std::string &W : {std::string("HHVM"), std::string("AdRanker")}) {
-    for (PGOVariant V : {PGOVariant::AutoFDO, PGOVariant::CSSPGOFull}) {
-      for (bool Inference : {true, false}) {
-        ExperimentConfig Config = makeConfig(W);
-        Config.EnableInference = Inference;
+  struct Cell {
+    const char *Workload;
+    PGOVariant Variant;
+    bool Inference;
+  };
+  std::vector<Cell> Cells;
+  for (const char *W : {"HHVM", "AdRanker"})
+    for (PGOVariant V : {PGOVariant::AutoFDO, PGOVariant::CSSPGOFull})
+      for (bool Inference : {true, false})
+        Cells.push_back({W, V, Inference});
+
+  auto Rows = runMany<std::vector<std::string>>(
+      Cells.size(), Jobs, [&](size_t Idx) {
+        const Cell &C = Cells[Idx];
+        ExperimentConfig Config = makeConfig(C.Workload);
+        Config.EnableInference = C.Inference;
         PGODriver Driver(Config);
         const VariantOutcome &Plain = Driver.baseline();
-        VariantOutcome Out = Driver.run(V);
-        Table.addRow({W, variantName(V), Inference ? "on" : "off",
-                      formatSignedPercent(improvement(
-                          Out.EvalCyclesMean, Plain.EvalCyclesMean))});
-      }
-    }
-  }
+        VariantOutcome Out = Driver.run(C.Variant);
+        return std::vector<std::string>{
+            C.Workload, variantName(C.Variant), C.Inference ? "on" : "off",
+            formatSignedPercent(
+                improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean))};
+      });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   return 0;
 }

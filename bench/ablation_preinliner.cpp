@@ -4,7 +4,8 @@
 // inline decisions offline with binary-measured sizes, persists them in
 // the profile, and merges not-inlined context profiles back into base
 // profiles. Ablation: full CSSPGO with the pre-inliner vs the same
-// pipeline relying on the loader's local hot-context heuristic.
+// pipeline relying on the loader's local hot-context heuristic. The six
+// (workload, config) cells fan out over runMany (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,26 +14,36 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "context-sensitive pre-inliner — §III-B");
 
   TextTable Table({"workload", "config", "vs plain", "code size",
                    "topdown inlines"});
-  for (const std::string &W : {std::string("HHVM"), std::string("AdRanker"),
-                               std::string("HaaS")}) {
-    for (bool Pre : {true, false}) {
-      ExperimentConfig Config = makeConfig(W);
-      Config.RunPreInliner = Pre;
-      PGODriver Driver(Config);
-      const VariantOutcome &Plain = Driver.baseline();
-      VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
-      Table.addRow({W, Pre ? "pre-inliner" : "loader heuristic",
-                    formatSignedPercent(improvement(Full.EvalCyclesMean,
-                                                    Plain.EvalCyclesMean)),
-                    formatBytes(Full.CodeSizeBytes),
-                    std::to_string(Full.Build->Loader.InlinedCallsites)});
-    }
-  }
+  struct Cell {
+    const char *Workload;
+    bool Pre;
+  };
+  const Cell Cells[] = {{"HHVM", true},     {"HHVM", false},
+                        {"AdRanker", true}, {"AdRanker", false},
+                        {"HaaS", true},     {"HaaS", false}};
+  auto Rows = runMany<std::vector<std::string>>(
+      std::size(Cells), Jobs, [&](size_t Idx) {
+        const Cell &C = Cells[Idx];
+        ExperimentConfig Config = makeConfig(C.Workload);
+        Config.RunPreInliner = C.Pre;
+        PGODriver Driver(Config);
+        const VariantOutcome &Plain = Driver.baseline();
+        VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
+        return std::vector<std::string>{
+            C.Workload, C.Pre ? "pre-inliner" : "loader heuristic",
+            formatSignedPercent(
+                improvement(Full.EvalCyclesMean, Plain.EvalCyclesMean)),
+            formatBytes(Full.CodeSizeBytes),
+            std::to_string(Full.Build->Loader.InlinedCallsites)};
+      });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: the pre-inliner's global budgeted decisions with\n"
               "measured sizes give more selective inlining (smaller code)\n"

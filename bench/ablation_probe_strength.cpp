@@ -9,7 +9,9 @@
 // Harness: build the probed (no-PGO) binary at both strengths, measure
 // the run-time overhead vs a plain build, then run the full CSSPGO
 // pipeline at both strengths and measure profile quality (block overlap
-// against instrumentation ground truth).
+// against instrumentation ground truth). The instrumentation ground
+// truth is shared, so it runs first; the two barrier pipelines then fan
+// out over runMany (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,7 +23,8 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "probe barrier strength — §III-A flexibility");
 
   TextTable Table({"barrier", "probed-binary overhead", "overlap",
@@ -31,7 +34,9 @@ int main() {
   VariantOutcome Instr = BaseDriver.run(PGOVariant::Instr);
   auto GroundTruth = annotateForQuality(BaseDriver.source(), Instr.Profile);
 
-  for (ProbeBarrier Barrier : {ProbeBarrier::Weak, ProbeBarrier::Strong}) {
+  const ProbeBarrier Barriers[] = {ProbeBarrier::Weak, ProbeBarrier::Strong};
+  auto Rows = runMany<std::vector<std::string>>(2, Jobs, [&](size_t Idx) {
+    ProbeBarrier Barrier = Barriers[Idx];
     ExperimentConfig Config = makeConfig("HHVM");
     Config.Opt.Barrier = Barrier;
     PGODriver Driver(Config);
@@ -42,13 +47,15 @@ int main() {
     double Overlap =
         computeBlockOverlap(*Annotated, *GroundTruth).ProgramOverlap;
 
-    Table.addRow({Barrier == ProbeBarrier::Weak ? "weak (production)"
-                                                : "strong",
-                  formatSignedPercent(Full.ProfilingOverheadPct),
-                  formatPercent(100 * Overlap),
-                  formatSignedPercent(improvement(Full.EvalCyclesMean,
-                                                  Plain.EvalCyclesMean))});
-  }
+    return std::vector<std::string>{
+        Barrier == ProbeBarrier::Weak ? "weak (production)" : "strong",
+        formatSignedPercent(Full.ProfilingOverheadPct),
+        formatPercent(100 * Overlap),
+        formatSignedPercent(
+            improvement(Full.EvalCyclesMean, Plain.EvalCyclesMean))};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: the weak setting trades a little profile fidelity\n"
               "for near-zero overhead; strong preserves control flow at\n"

@@ -8,7 +8,8 @@
 //
 // Harness: full CSSPGO with precise sampling vs skidding sampling;
 // reports the fraction of unsynchronized samples the unwinder detects and
-// the resulting performance.
+// the resulting performance. The two configurations fan out over
+// runMany (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,12 +18,15 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "sampling skid vs PEBS-precise — §III-B");
 
   TextTable Table({"sampling", "unsynced samples", "CS contexts",
                    "CSSPGO vs plain"});
-  for (bool Precise : {true, false}) {
+  const bool Configs[] = {true, false};
+  auto Rows = runMany<std::vector<std::string>>(2, Jobs, [&](size_t Idx) {
+    bool Precise = Configs[Idx];
     ExperimentConfig Config = makeConfig("HHVM");
     Config.PreciseSampling = Precise;
     PGODriver Driver(Config);
@@ -32,12 +36,14 @@ int main() {
         Full.ProfGen.Samples
             ? 100.0 * Full.ProfGen.UnsyncedSamples / Full.ProfGen.Samples
             : 0;
-    Table.addRow({Precise ? "PEBS-precise" : "skidding",
-                  formatPercent(UnsyncedPct),
-                  std::to_string(Full.Profile.CS.numProfiles()),
-                  formatSignedPercent(improvement(Full.EvalCyclesMean,
-                                                  Plain.EvalCyclesMean))});
-  }
+    return std::vector<std::string>{
+        Precise ? "PEBS-precise" : "skidding", formatPercent(UnsyncedPct),
+        std::to_string(Full.Profile.CS.numProfiles()),
+        formatSignedPercent(
+            improvement(Full.EvalCyclesMean, Plain.EvalCyclesMean))};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: PEBS eliminates the skid so LBR and stack samples\n"
               "are always synchronized; without it context recovery\n"

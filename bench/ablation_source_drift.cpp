@@ -9,7 +9,8 @@
 //
 // Harness: collect profiles on the original source, then build the next
 // release from the *drifted* source with those profiles, and compare
-// against the no-drift builds.
+// against the no-drift builds. The four (workload, variant) cells are
+// independent pipelines and fan out over runMany (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,46 +21,57 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "source drift (comment insertion) — §III-A");
 
   TextTable Table({"workload", "variant", "no-drift vs plain",
                    "drifted vs plain", "drift cost", "stale drops"});
 
-  for (const std::string &W : {std::string("AdRanker"), std::string("HHVM")}) {
-    ExperimentConfig Config = makeConfig(W);
-    PGODriver Driver(Config);
-    const VariantOutcome &Plain = Driver.baseline();
+  struct Cell {
+    const char *Workload;
+    PGOVariant Variant;
+  };
+  const Cell Cells[] = {{"AdRanker", PGOVariant::AutoFDO},
+                        {"AdRanker", PGOVariant::CSSPGOFull},
+                        {"HHVM", PGOVariant::AutoFDO},
+                        {"HHVM", PGOVariant::CSSPGOFull}};
+  auto Rows = runMany<std::vector<std::string>>(
+      std::size(Cells), Jobs, [&](size_t Idx) {
+        const Cell &C = Cells[Idx];
+        ExperimentConfig Config = makeConfig(C.Workload);
+        PGODriver Driver(Config);
+        const VariantOutcome &Plain = Driver.baseline();
 
-    // Drifted "next release" source.
-    auto Drifted = Driver.source().clone();
-    applySourceDrift(*Drifted, /*ShiftLines=*/3);
+        // Drifted "next release" source.
+        auto Drifted = Driver.source().clone();
+        applySourceDrift(*Drifted, /*ShiftLines=*/3);
 
-    for (PGOVariant V :
-         {PGOVariant::AutoFDO, PGOVariant::CSSPGOFull}) {
-      VariantOutcome Out = Driver.run(V);
+        VariantOutcome Out = Driver.run(C.Variant);
 
-      BuildConfig BC;
-      BC.Variant = V;
-      if (V == PGOVariant::CSSPGOFull && Config.RunPreInliner)
-        BC.Loader.InlineHotContexts = false;
-      BuildResult DriftBuild = buildWithPGO(*Drifted, BC, &Out.Profile);
+        BuildConfig BC;
+        BC.Variant = C.Variant;
+        if (C.Variant == PGOVariant::CSSPGOFull && Config.RunPreInliner)
+          BC.Loader.InlineHotContexts = false;
+        BuildResult DriftBuild = buildWithPGO(*Drifted, BC, &Out.Profile);
 
-      std::vector<uint64_t> Cycles;
-      for (unsigned E = 0; E != Config.EvalRuns; ++E) {
-        std::vector<int64_t> Mem = generateInput(
-            Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
-        Cycles.push_back(execute(*DriftBuild.Bin, "main", Mem, {}).Cycles);
-      }
-      double DriftMean = meanCI(Cycles).Mean;
-      double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
-      double WithDrift = improvement(DriftMean, Plain.EvalCyclesMean);
-      Table.addRow({W, variantName(V), formatSignedPercent(NoDrift),
-                    formatSignedPercent(WithDrift),
-                    formatSignedPercent(NoDrift - WithDrift),
-                    std::to_string(DriftBuild.Loader.StaleDropped)});
-    }
-  }
+        std::vector<uint64_t> Cycles;
+        for (unsigned E = 0; E != Config.EvalRuns; ++E) {
+          std::vector<int64_t> Mem = generateInput(
+              Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
+          Cycles.push_back(execute(*DriftBuild.Bin, "main", Mem, {}).Cycles);
+        }
+        double DriftMean = meanCI(Cycles).Mean;
+        double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
+        double WithDrift = improvement(DriftMean, Plain.EvalCyclesMean);
+        return std::vector<std::string>{
+            C.Workload, variantName(C.Variant), formatSignedPercent(NoDrift),
+            formatSignedPercent(WithDrift),
+            formatSignedPercent(NoDrift - WithDrift),
+            std::to_string(DriftBuild.Loader.StaleDropped)};
+      });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: minor drift cost AutoFDO up to ~8%%; CSSPGO is\n"
               "unaffected (probe ids don't shift; CFG checksum matches).\n");

@@ -7,7 +7,8 @@
 //
 // Harness: the call-dense AdFinder preset (tail-call probability 0.5).
 // Reports the inferrer's recovery statistics and the effect of disabling
-// it on the context-sensitive profile and final performance.
+// it on the context-sensitive profile and final performance. The two
+// configurations fan out over runMany (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,12 +19,15 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "missing-frame inference for tail calls — §III-B");
 
   TextTable Table({"config", "recovery rate", "attempts", "ambiguous",
                    "no path", "CS contexts", "vs plain"});
-  for (bool Infer : {true, false}) {
+  const bool Configs[] = {true, false};
+  auto Rows = runMany<std::vector<std::string>>(2, Jobs, [&](size_t Idx) {
+    bool Infer = Configs[Idx];
     ExperimentConfig Config = makeConfig("AdFinder");
     Config.InferMissingFrames = Infer;
     PGODriver Driver(Config);
@@ -31,15 +35,16 @@ int main() {
     VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
     const auto &S = Full.ProfGen.TailCallStats;
     double Rate = S.Attempts ? 100.0 * S.Recovered / S.Attempts : 0;
-    Table.addRow({Infer ? "inferrer on" : "inferrer off",
-                  Infer ? formatPercent(Rate) : "-",
-                  std::to_string(S.Attempts),
-                  std::to_string(S.AmbiguousPaths),
-                  std::to_string(S.NoPath),
-                  std::to_string(Full.Profile.CS.numProfiles()),
-                  formatSignedPercent(improvement(Full.EvalCyclesMean,
-                                                  Plain.EvalCyclesMean))});
-  }
+    return std::vector<std::string>{
+        Infer ? "inferrer on" : "inferrer off",
+        Infer ? formatPercent(Rate) : "-", std::to_string(S.Attempts),
+        std::to_string(S.AmbiguousPaths), std::to_string(S.NoPath),
+        std::to_string(Full.Profile.CS.numProfiles()),
+        formatSignedPercent(
+            improvement(Full.EvalCyclesMean, Plain.EvalCyclesMean))};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: more than two-thirds of missing tail-call frames\n"
               "recovered in practice.\n");

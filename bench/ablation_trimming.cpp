@@ -8,6 +8,8 @@
 // Harness: generate the full CS profile with and without cold-context
 // trimming, compare serialized sizes against the flat (probe-only)
 // profile, and verify the performance effect of trimming is negligible.
+// The per-workload pipelines are independent and fan out over runMany
+// (-j N).
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,7 +20,8 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Ablation", "cold-context trimming — §III-B scalability");
 
   TextTable Table({"workload", "flat bytes", "CS untrimmed", "CS trimmed",
@@ -34,32 +37,37 @@ int main() {
     C.SamplePeriodCycles = 997; // Denser sampling reaches colder contexts.
     return C;
   };
-  for (const std::string &W :
-       {std::string("HHVM"), std::string("AdFinder-dense")}) {
-    ExperimentConfig Trim = W == "AdFinder-dense" ? DenseConfig()
-                                                  : makeConfig(W);
-    ExperimentConfig NoTrim = Trim;
-    NoTrim.TrimColdContexts = false;
+  const char *Workloads[] = {"HHVM", "AdFinder-dense"};
+  auto Rows = runMany<std::vector<std::string>>(
+      std::size(Workloads), Jobs, [&](size_t Idx) {
+        std::string W = Workloads[Idx];
+        ExperimentConfig Trim =
+            W == "AdFinder-dense" ? DenseConfig() : makeConfig(W);
+        ExperimentConfig NoTrim = Trim;
+        NoTrim.TrimColdContexts = false;
 
-    PGODriver DTrim(Trim), DNoTrim(NoTrim);
-    VariantOutcome Flat = DTrim.run(PGOVariant::CSSPGOProbeOnly);
-    VariantOutcome Trimmed = DTrim.run(PGOVariant::CSSPGOFull);
-    VariantOutcome Untrimmed = DNoTrim.run(PGOVariant::CSSPGOFull);
+        PGODriver DTrim(Trim), DNoTrim(NoTrim);
+        VariantOutcome Flat = DTrim.run(PGOVariant::CSSPGOProbeOnly);
+        VariantOutcome Trimmed = DTrim.run(PGOVariant::CSSPGOFull);
+        VariantOutcome Untrimmed = DNoTrim.run(PGOVariant::CSSPGOFull);
 
-    size_t FlatBytes = profileSizeBytes(Flat.Profile.Flat);
-    size_t TrimBytes = profileSizeBytes(Trimmed.Profile.CS);
-    size_t RawBytes = profileSizeBytes(Untrimmed.Profile.CS);
-    double PerfDelta = improvement(Trimmed.EvalCyclesMean,
-                                   Untrimmed.EvalCyclesMean);
-    char RawRatio[32], TrimRatio[32];
-    std::snprintf(RawRatio, sizeof(RawRatio), "%.2fx",
-                  static_cast<double>(RawBytes) / FlatBytes);
-    std::snprintf(TrimRatio, sizeof(TrimRatio), "%.2fx",
-                  static_cast<double>(TrimBytes) / FlatBytes);
-    Table.addRow({W, std::to_string(FlatBytes), std::to_string(RawBytes),
-                  std::to_string(TrimBytes), RawRatio, TrimRatio,
-                  formatSignedPercent(PerfDelta)});
-  }
+        size_t FlatBytes = profileSizeBytes(Flat.Profile.Flat);
+        size_t TrimBytes = profileSizeBytes(Trimmed.Profile.CS);
+        size_t RawBytes = profileSizeBytes(Untrimmed.Profile.CS);
+        double PerfDelta =
+            improvement(Trimmed.EvalCyclesMean, Untrimmed.EvalCyclesMean);
+        char RawRatio[32], TrimRatio[32];
+        std::snprintf(RawRatio, sizeof(RawRatio), "%.2fx",
+                      static_cast<double>(RawBytes) / FlatBytes);
+        std::snprintf(TrimRatio, sizeof(TrimRatio), "%.2fx",
+                      static_cast<double>(TrimBytes) / FlatBytes);
+        return std::vector<std::string>{
+            W, std::to_string(FlatBytes), std::to_string(RawBytes),
+            std::to_string(TrimBytes), RawRatio, TrimRatio,
+            formatSignedPercent(PerfDelta)};
+      });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: dense call graphs can see ~10x untrimmed growth;\n"
               "trimming brings the CS profile to a size comparable to the\n"

@@ -16,6 +16,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "codegen/Linker.h"
 #include "probe/ProbeInserter.h"
 #include "probe/ProbeTable.h"
@@ -126,8 +128,15 @@ int main(int argc, char **argv) {
                   Identical ? "yes" : "NO"});
   }
   std::printf("%s\n", Table.render().c_str());
-  std::printf("4-thread speedup: %.2fx (target >=2x on >=4 cores)\n",
+  std::printf("4-thread speedup: %.2fx (target >=2x on >=4 cores)\n\n",
               SpeedupAt4);
+
+  csspgo::bench::printBenchJson(
+      "micro_parallel_profgen",
+      {{"samples", static_cast<double>(Samples.size())},
+       {"serial_msamples_per_sec", Samples.size() / SerialSec / 1e6},
+       {"speedup_4", SpeedupAt4},
+       {"identical", AllIdentical ? 1 : 0}});
 
   if (!AllIdentical) {
     std::fprintf(stderr,

@@ -11,28 +11,44 @@
 // correlated onto identical pristine IR; overhead compares the profiling
 // binary against the plain binary on the training input.
 //
+// The three variant pipelines are independent and deterministic, so they
+// fan out over runMany (-j N) — each task owns its PGODriver and the
+// printed numbers are identical to a serial run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "quality/BlockOverlap.h"
 
+#include <memory>
+
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
   printHeader("Table I", "HHVM profile quality and profiling overhead");
 
-  PGODriver Driver(makeConfig("HHVM"));
-  Driver.baseline();
+  ExperimentConfig Config = makeConfig("HHVM");
+  // The pristine source for quality annotation; generation is
+  // deterministic, so this matches every task-local driver's source.
+  std::unique_ptr<Module> Source = generateProgram(Config.Workload);
 
-  VariantOutcome Instr = Driver.run(PGOVariant::Instr);
-  VariantOutcome Auto = Driver.run(PGOVariant::AutoFDO);
-  VariantOutcome Full = Driver.run(PGOVariant::CSSPGOFull);
+  const PGOVariant Variants[] = {PGOVariant::Instr, PGOVariant::AutoFDO,
+                                 PGOVariant::CSSPGOFull};
+  auto Outcomes = runMany<std::shared_ptr<VariantOutcome>>(
+      3, Jobs, [&](size_t Idx) {
+        PGODriver Driver(Config);
+        return std::make_shared<VariantOutcome>(Driver.run(Variants[Idx]));
+      });
+  const VariantOutcome &Instr = *Outcomes[0];
+  const VariantOutcome &Auto = *Outcomes[1];
+  const VariantOutcome &Full = *Outcomes[2];
 
-  auto GroundTruth = annotateForQuality(Driver.source(), Instr.Profile);
+  auto GroundTruth = annotateForQuality(*Source, Instr.Profile);
   auto OverlapOf = [&](const ProfileBundle &P) {
-    auto Annotated = annotateForQuality(Driver.source(), P);
+    auto Annotated = annotateForQuality(*Source, P);
     return computeBlockOverlap(*Annotated, *GroundTruth).ProgramOverlap;
   };
 

@@ -57,7 +57,10 @@ public:
         Tags(static_cast<size_t>(Sets) * Ways, ~0ull),
         Age(static_cast<size_t>(Sets) * Ways, 0) {}
 
-  /// Accesses \p Addr; returns true on miss.
+  /// Accesses \p Addr; returns true on miss. (The straightforward
+  /// lookup; does not consult the same-line shortcut, so mixing access()
+  /// and accessPrecomputed() on one instance is fine only if the caller
+  /// sticks to a single entry point — each machine does.)
   bool access(uint64_t Addr) {
     uint64_t Line = Addr / LineBytes;
     size_t Set = static_cast<size_t>(Line % Sets) * Ways;
@@ -76,9 +79,83 @@ public:
     return true;
   }
 
+  /// Line number of \p Addr (for precomputing access indices at decode
+  /// time; code addresses are static).
+  uint64_t lineOf(uint64_t Addr) const { return Addr / LineBytes; }
+  /// First way slot of the set holding \p Line.
+  size_t setOf(uint64_t Line) const {
+    return static_cast<size_t>(Line % Sets) * Ways;
+  }
+
+  /// access() with the division folded out: \p Line and \p Set come from
+  /// lineOf()/setOf(), precomputed once per static instruction. The LRU
+  /// state transition is identical to a fresh lookup; a same-line
+  /// shortcut (straight-line code stays in one 64B line) skips the way
+  /// scan but still bumps the clock and the line's age.
+  bool accessPrecomputed(uint64_t Line, size_t Set) {
+    if (Line == LastLine) {
+      // Age[LastWay] is flushed lazily when the streak ends; only the
+      // streak's final clock value matters for LRU.
+      ++Clock;
+      return false;
+    }
+    if (LastLine != ~0ull)
+      Age[LastWay] = Clock;
+    ++Clock;
+    size_t Victim = Set;
+    for (size_t W = Set; W != Set + Ways; ++W) {
+      if (Tags[W] == Line) {
+        Age[W] = Clock;
+        LastLine = Line;
+        LastWay = W;
+        return false;
+      }
+      if (Age[W] < Age[Victim])
+        Victim = W;
+    }
+    Tags[Victim] = Line;
+    Age[Victim] = Clock;
+    LastLine = Line;
+    LastWay = Victim;
+    return true;
+  }
+
+  /// accessPrecomputed() for callers that filter same-line accesses
+  /// themselves (one register compare in the interpreter loop instead of
+  /// a call): \p Pending is the number of consecutive accesses to the
+  /// previously-accessed line the caller absorbed since the last call.
+  /// Folding their clock ticks in here, before the flush and the new
+  /// lookup, reproduces the eager clock sequence exactly — only the
+  /// streak's final clock value ever reaches the Age array.
+  bool accessStreaked(uint64_t Line, size_t Set, uint64_t &Pending) {
+    Clock += Pending;
+    Pending = 0;
+    if (LastLine != ~0ull)
+      Age[LastWay] = Clock;
+    ++Clock;
+    size_t Victim = Set;
+    for (size_t W = Set; W != Set + Ways; ++W) {
+      if (Tags[W] == Line) {
+        Age[W] = Clock;
+        LastLine = Line;
+        LastWay = W;
+        return false;
+      }
+      if (Age[W] < Age[Victim])
+        Victim = W;
+    }
+    Tags[Victim] = Line;
+    Age[Victim] = Clock;
+    LastLine = Line;
+    LastWay = Victim;
+    return true;
+  }
+
   void reset() {
     std::fill(Tags.begin(), Tags.end(), ~0ull);
     std::fill(Age.begin(), Age.end(), 0);
+    LastLine = ~0ull;
+    LastWay = 0;
   }
 
 private:
@@ -88,6 +165,10 @@ private:
   std::vector<uint64_t> Tags;
   std::vector<uint64_t> Age;
   uint64_t Clock = 0;
+  /// Same-line shortcut state (~0 = invalid; code addresses never reach
+  /// line ~0).
+  uint64_t LastLine = ~0ull;
+  size_t LastWay = 0;
 };
 
 /// A table of 2-bit saturating counters for conditional branches.
@@ -99,7 +180,16 @@ public:
   /// Predicts and updates for the branch at \p Addr; returns true if the
   /// prediction was wrong.
   bool mispredicted(uint64_t Addr, bool Taken) {
-    uint8_t &State = Table[(Addr >> 1) % Table.size()];
+    return mispredictedAt(indexOf(Addr), Taken);
+  }
+
+  /// Table index of the branch at \p Addr (for precomputing at decode
+  /// time; branch addresses are static).
+  size_t indexOf(uint64_t Addr) const { return (Addr >> 1) % Table.size(); }
+
+  /// mispredicted() with the modulo folded out.
+  bool mispredictedAt(size_t Idx, bool Taken) {
+    uint8_t &State = Table[Idx];
     bool Predicted = State >= 2;
     if (Taken) {
       if (State < 3)

@@ -1,13 +1,49 @@
 //===- sim/Executor.cpp - Machine code executor ----------------------------===//
+//
+// Two interpreters live here, both producing bit-identical RunResults:
+//
+// - ReferenceMachine: the original straightforward interpreter. One heap
+//   vector of registers per frame, per-operand tag dispatch, std::map BTB,
+//   allocating sampler snapshots. Kept as the oracle for the equivalence
+//   suite (ExecConfig::ReferenceMode) and as readable documentation of the
+//   semantics.
+//
+// - FastMachine: the production fast path. Bin.Code is predecoded once per
+//   execute() into a dense internal form that resolves every operand's
+//   imm/reg tag up front (branchless (Regs[Idx] & Mask) | Imm reads), all
+//   frames share one contiguous register-file stack (calls and returns
+//   stop allocating), the sampler writes LBR/stack snapshots into reused
+//   buffers, and the indirect-call BTB is a dense per-call-site table
+//   sized during predecode.
+//
+// Equivalence is pinned by tests/PropertyTest.cpp (ExecutorEquivalence)
+// and measured by bench/micro_executor.cpp.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sim/Executor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 
 namespace csspgo {
 
 namespace {
+
+/// Pre-reservation for RunResult::Samples: expected sample count if the
+/// run hits the instruction cap (cycles >= instructions, so this slightly
+/// overshoots), clamped so a huge MaxInstructions cannot balloon memory.
+size_t sampleReserveEstimate(const ExecConfig &Config) {
+  if (!Config.Sampler.Enabled || Config.Sampler.PeriodCycles == 0)
+    return 0;
+  uint64_t Estimate = Config.MaxInstructions / Config.Sampler.PeriodCycles;
+  return static_cast<size_t>(std::min<uint64_t>(Estimate, 1u << 16));
+}
+
+//===----------------------------------------------------------------------===//
+// Reference interpreter
+//===----------------------------------------------------------------------===//
 
 struct Frame {
   uint32_t FuncIdx = 0;
@@ -19,10 +55,10 @@ struct Frame {
   RegId RetDst = InvalidReg;
 };
 
-class Machine {
+class ReferenceMachine {
 public:
-  Machine(const Binary &Bin, std::vector<int64_t> &Memory,
-          const ExecConfig &Config)
+  ReferenceMachine(const Binary &Bin, std::vector<int64_t> &Memory,
+                   const ExecConfig &Config)
       : Bin(Bin), Memory(Memory), Config(Config), Cache(Config.Costs),
         Predictor(Config.Costs), Ring(Config.Sampler.LBRDepth),
         Jitter(Config.Sampler.Seed) {}
@@ -110,7 +146,7 @@ private:
   uint32_t SkidCountdown = 0;
 };
 
-RunResult Machine::run(const std::string &Entry) {
+RunResult ReferenceMachine::run(const std::string &Entry) {
   uint32_t EntryIdx = Bin.funcIndexByName(Entry);
   if (EntryIdx == ~0u) {
     Result.Error = "entry function '" + Entry + "' not found";
@@ -119,6 +155,7 @@ RunResult Machine::run(const std::string &Entry) {
   Result.Counters.assign(Bin.NumCounters + 1, 0);
   if (Config.CollectInstCounts)
     Result.InstCounts.assign(Bin.Code.size(), 0);
+  Result.Samples.reserve(sampleReserveEstimate(Config));
   NextSampleAt = Config.Sampler.PeriodCycles;
 
   Frame Top;
@@ -320,11 +357,865 @@ RunResult Machine::run(const std::string &Entry) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Fast path
+//===----------------------------------------------------------------------===//
+
+/// Predecoded operand. An operand read is the branchless expression
+///   Regs[Idx] + ImmBits
+/// against a register window whose slot 0 is a dedicated always-zero pad
+/// (registers are biased by one: register r lives at slot r + 1):
+/// - register operand: Idx = reg + 1, ImmBits = 0
+/// - immediate:        Idx = 0,       ImmBits = imm   (0 + imm)
+/// - none:             Idx = 0,       ImmBits = 0     (reads as 0)
+struct DecOp {
+  uint32_t Idx = 0;
+  int64_t ImmBits = 0;
+};
+
+/// One predecoded instruction. 1:1 with Binary::Code, so branch targets
+/// keep their global indices. All per-operand tags, cost-model lookups,
+/// target addresses and callee metadata are resolved here, outside the
+/// hot loop.
+struct DecInst {
+  // Field order is deliberate: the first 64 bytes are everything an ALU
+  // op (and the dispatch/cost/i-cache bookkeeping) touches, so the
+  // common case reads one cache line; branch extras come next and
+  // call-only fields last.
+  Opcode Op = Opcode::Mov;
+  bool IsTailCall = false;
+  bool InvertCond = false;
+  /// Destination slot, biased like DecOp::Idx (register r -> r + 1;
+  /// InvalidReg wraps to 0, the sentinel for "no destination").
+  RegId Dst = 0;
+  DecOp A, B;
+  uint32_t BaseCost = 0;
+  /// Precomputed i-cache set and line and branch-predictor index for
+  /// Addr (static per instruction; folds the divisions out of the hot
+  /// loop).
+  uint32_t ICSet = 0;
+  uint64_t ICLine = 0;
+  /// Br/CondBr taken target; direct calls: callee entry index.
+  size_t Target = 0;
+
+  DecOp C; ///< Third operand (Select only).
+  uint32_t BPIdx = 0;
+  uint64_t Addr = 0;
+  /// Address of the instruction at Target.
+  uint64_t TargetAddr = 0;
+
+  /// Direct calls.
+  uint32_t CalleeIdx = ~0u;
+  uint32_t CalleeNumRegs = 0;
+
+  /// Argument operands live in a shared flat array [ArgsBegin,
+  /// ArgsBegin + NumArgs). For direct calls NumArgs is pre-clamped to the
+  /// callee's parameter count; indirect calls clamp at dispatch time.
+  uint32_t ArgsBegin = 0;
+  uint32_t NumArgs = 0;
+
+  /// Calls: resume point in the caller and its address (avoids the
+  /// Bin.Code indirection in captureStack).
+  size_t RetIdx = SIZE_MAX;
+  uint64_t RetAddr = 0;
+
+  uint32_t CounterIdx = 0;
+
+  /// CallIndirect: dense BTB slot, and dense value-profile site slot
+  /// (~0u when value profiling is off or the site has no id).
+  uint32_t BTBSlot = ~0u;
+  uint32_t VPSlot = ~0u;
+};
+
+/// Frame metadata for the contiguous register-file stack: frame I's
+/// window is RegStack[RegBase, RegBase + NumRegs + 1); slot RegBase + 0
+/// is the always-zero pad backing immediate/none operand reads, register
+/// r lives at RegBase + r + 1.
+struct FrameMeta {
+  uint32_t FuncIdx = 0;
+  size_t RegBase = 0;
+  size_t RetIdx = SIZE_MAX;
+  uint64_t RetAddr = 0;
+  /// Biased like DecInst::Dst (0 = no destination).
+  RegId RetDst = 0;
+};
+
+class FastMachine {
+public:
+  FastMachine(const Binary &Bin, std::vector<int64_t> &Memory,
+              const ExecConfig &Config)
+      : Bin(Bin), Memory(Memory), Config(Config), Cache(Config.Costs),
+        Predictor(Config.Costs), Ring(Config.Sampler.LBRDepth),
+        Jitter(Config.Sampler.Seed) {}
+
+  RunResult run(const std::string &Entry);
+
+private:
+  static DecOp decOp(const Operand &O) {
+    DecOp D;
+    if (O.isReg())
+      D.Idx = O.getReg() + 1;
+    else if (O.isImm())
+      D.ImmBits = O.getImm();
+    return D;
+  }
+
+  void decode();
+
+  uint64_t memIndex(int64_t Addr) const {
+    // In-range addresses (the common case) skip the division; the modulo
+    // is the identity for 0 <= Addr < MemSize.
+    if (static_cast<uint64_t>(Addr) < MemSize)
+      return static_cast<uint64_t>(Addr);
+    int64_t M = Addr % static_cast<int64_t>(MemSize);
+    if (M < 0)
+      M += static_cast<int64_t>(MemSize);
+    return static_cast<uint64_t>(M);
+  }
+
+  void recordBranch(uint64_t Src, uint64_t Dst, uint64_t &Cycles) {
+    Ring.record(Src, Dst);
+    ++Result.TakenBranches;
+    Cycles += Config.Costs.TakenBranchCost;
+  }
+
+  void captureStackInto(size_t PCIdx, std::vector<uint64_t> &Out) const {
+    Out.clear();
+    Out.push_back(Dec[PCIdx].Addr);
+    for (size_t I = Frames.size(); I-- > 0;) {
+      if (Frames[I].RetIdx != SIZE_MAX)
+        Out.push_back(Frames[I].RetAddr);
+    }
+  }
+
+  void maybeSample(size_t PCIdx, uint64_t Cycles) {
+    if (SkidCountdown > 0) {
+      if (--SkidCountdown == 0) {
+        captureStackInto(PCIdx, Pending.Stack);
+        Result.Samples.push_back(std::move(Pending));
+        Pending.LBR.clear();
+        Pending.Stack.clear();
+      }
+    }
+    if (Cycles < NextSampleAt)
+      return;
+    NextSampleAt = Cycles + Config.Sampler.PeriodCycles;
+    if (Precise) {
+      Result.Samples.emplace_back();
+      PerfSample &S = Result.Samples.back();
+      Ring.snapshotInto(S.LBR);
+      captureStackInto(PCIdx, S.Stack);
+      return;
+    }
+    if (SkidCountdown > 0)
+      return;
+    Ring.snapshotInto(Pending.LBR);
+    SkidCountdown =
+        1 + Jitter.nextBelow(Config.Sampler.MaxSkidInstructions);
+  }
+
+  /// Folds the dense per-site value-profile counts into the map shape the
+  /// reference interpreter builds incrementally.
+  void foldValueProfile() {
+    if (VPCounts.empty())
+      return;
+    size_t TableSize = Bin.FuncTable.size();
+    for (size_t S = 0; S != VPSites.size(); ++S) {
+      const uint64_t *Row = VPCounts.data() + S * TableSize;
+      std::map<int64_t, uint64_t> *Dst = nullptr;
+      for (size_t Slot = 0; Slot != TableSize; ++Slot) {
+        if (!Row[Slot])
+          continue;
+        if (!Dst)
+          Dst = &Result.ValueProfile[VPSites[S]];
+        (*Dst)[static_cast<int64_t>(Slot)] += Row[Slot];
+      }
+    }
+  }
+
+  RunResult finish() {
+    foldValueProfile();
+    return std::move(Result);
+  }
+
+  const Binary &Bin;
+  std::vector<int64_t> &Memory;
+  const ExecConfig &Config;
+  ICache Cache;
+  BranchPredictor Predictor;
+  LBRRing Ring;
+  Rng Jitter;
+
+  std::vector<DecInst> Dec;
+  std::vector<DecOp> ArgOps;
+  std::vector<std::pair<uint64_t, uint32_t>> VPSites;
+
+  std::vector<FrameMeta> Frames;
+  std::vector<int64_t> RegStack;
+  std::vector<int64_t> ArgBuf;
+  std::vector<uint64_t> BTB;
+  std::vector<uint64_t> VPCounts;
+
+  RunResult Result;
+  uint64_t MemSize = 0;
+  uint64_t NextSampleAt = 0;
+  PerfSample Pending;
+  uint32_t SkidCountdown = 0;
+  bool Precise = true;
+};
+
+void FastMachine::decode() {
+  Dec.resize(Bin.Code.size());
+  uint32_t NumBTBSlots = 0;
+  for (size_t Idx = 0; Idx != Bin.Code.size(); ++Idx) {
+    const MInst &M = Bin.Code[Idx];
+    DecInst &D = Dec[Idx];
+    D.Op = M.Op;
+    D.Dst = M.Dst + 1; // Biased; InvalidReg wraps to the 0 sentinel.
+    D.A = decOp(M.A);
+    D.B = decOp(M.B);
+    D.C = decOp(M.C);
+    D.BaseCost = Config.Costs.baseCost(M.Op);
+    D.Addr = M.Addr;
+    D.ICLine = Cache.lineOf(M.Addr);
+    D.ICSet = static_cast<uint32_t>(Cache.setOf(D.ICLine));
+    D.BPIdx = static_cast<uint32_t>(Predictor.indexOf(M.Addr));
+    D.InvertCond = M.InvertCond;
+    D.IsTailCall = M.IsTailCall;
+    D.CounterIdx = M.CounterIdx;
+
+    switch (M.Op) {
+    case Opcode::Br:
+    case Opcode::CondBr:
+      D.Target = static_cast<size_t>(M.Target);
+      D.TargetAddr = Bin.Code[D.Target].Addr;
+      break;
+    case Opcode::Call: {
+      const MachineFunction &Callee = Bin.Funcs[M.CalleeIdx];
+      D.CalleeIdx = M.CalleeIdx;
+      D.CalleeNumRegs = Callee.NumRegs;
+      D.Target = Callee.EntryIdx;
+      D.TargetAddr = Bin.Code[Callee.EntryIdx].Addr;
+      D.NumArgs = static_cast<uint32_t>(
+          std::min<size_t>(M.Args.size(), Callee.NumParams));
+      D.ArgsBegin = static_cast<uint32_t>(ArgOps.size());
+      for (uint32_t A = 0; A != D.NumArgs; ++A)
+        ArgOps.push_back(decOp(M.Args[A]));
+      D.RetIdx = Idx + 1;
+      D.RetAddr = Idx + 1 < Bin.Code.size() ? Bin.Code[Idx + 1].Addr : 0;
+      break;
+    }
+    case Opcode::CallIndirect: {
+      D.BTBSlot = NumBTBSlots++;
+      if (Config.CollectValueProfile && M.CallSiteId) {
+        D.VPSlot = static_cast<uint32_t>(VPSites.size());
+        VPSites.push_back({M.OriginGuid, M.CallSiteId});
+      }
+      // The callee (and its parameter count) is resolved per dispatch;
+      // keep every argument operand and clamp at the call.
+      D.NumArgs = static_cast<uint32_t>(M.Args.size());
+      D.ArgsBegin = static_cast<uint32_t>(ArgOps.size());
+      for (const Operand &O : M.Args)
+        ArgOps.push_back(decOp(O));
+      D.RetIdx = Idx + 1;
+      D.RetAddr = Idx + 1 < Bin.Code.size() ? Bin.Code[Idx + 1].Addr : 0;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  BTB.assign(NumBTBSlots, 0);
+  if (!VPSites.empty())
+    VPCounts.assign(VPSites.size() * Bin.FuncTable.size(), 0);
+}
+
+RunResult FastMachine::run(const std::string &Entry) {
+  uint32_t EntryIdx = Bin.funcIndexByName(Entry);
+  if (EntryIdx == ~0u) {
+    Result.Error = "entry function '" + Entry + "' not found";
+    return finish();
+  }
+  decode();
+
+  Result.Counters.assign(Bin.NumCounters + 1, 0);
+  const bool CollectInstCounts = Config.CollectInstCounts;
+  if (CollectInstCounts)
+    Result.InstCounts.assign(Bin.Code.size(), 0);
+  Result.Samples.reserve(sampleReserveEstimate(Config));
+  NextSampleAt = Config.Sampler.PeriodCycles;
+  Precise = Config.Sampler.Precise;
+  const bool SamplerOn = Config.Sampler.Enabled;
+  MemSize = Memory.size();
+  assert(MemSize && "memory must be non-empty");
+
+  // Size the register stack for the common case up front: a mid-depth
+  // call chain of the widest frames. resize() handles deeper growth.
+  size_t MaxWindow = 1;
+  for (const MachineFunction &F : Bin.Funcs)
+    MaxWindow = std::max<size_t>(MaxWindow, F.NumRegs + 1);
+  RegStack.reserve(std::min<size_t>(MaxWindow * 64, 1u << 20));
+  Frames.reserve(std::min<size_t>(Config.MaxCallDepth, 1u << 16));
+
+  Frames.push_back({EntryIdx, 0, SIZE_MAX, 0, 0});
+  RegStack.resize(Bin.Funcs[EntryIdx].NumRegs + 1, 0);
+
+  size_t PC = Bin.Funcs[EntryIdx].EntryIdx;
+  const DecInst *Code = Dec.data();
+  const uint64_t MaxInstructions = Config.MaxInstructions;
+  const uint32_t ICacheMissPenalty = Config.Costs.ICacheMissPenalty;
+  const uint32_t MispredictPenalty = Config.Costs.MispredictPenalty;
+
+  // Retired-instruction and cycle counters live in registers for the
+  // duration of the loop; every exit path syncs them into Result.
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+  auto syncCounters = [&] {
+    Result.Instructions = Instructions;
+    Result.Cycles = Cycles;
+  };
+
+  // Cached pointer to the current frame's register window; reloaded only
+  // after frame surgery (call/ret/tail call may reallocate RegStack).
+  int64_t *R = RegStack.data();
+  auto reloadR = [&] { R = RegStack.data() + Frames.back().RegBase; };
+
+  // Register-resident mirrors of the sampler gate state; maybeSample is
+  // the only writer, so they are refreshed after each call.
+  uint64_t NextAt = NextSampleAt;
+  uint32_t Skid = SkidCountdown;
+  [[maybe_unused]] const size_t DecSize = Dec.size();
+
+  size_t NextPC = PC;
+  auto val = [&](const DecOp &O) { return R[O.Idx] + O.ImmBits; };
+
+#if defined(__GNUC__) || defined(__clang__)
+  // Threaded dispatch (computed goto): every handler ends with its own
+  // indirect jump, so the host branch predictor learns per-opcode
+  // successor patterns instead of funneling all dispatch through one
+  // switch branch. Observable behavior is identical to the portable
+  // switch loop in the #else branch — same prologue, same handler
+  // bodies, same draw order. Table order must match the Opcode
+  // enumerators exactly (CallIndirect shares the Call handler, which
+  // branches on I.Op).
+  static const void *const JumpTable[] = {
+      &&Op_Add,    &&Op_Sub,
+      &&Op_Mul,    &&Op_Div,
+      &&Op_Mod,    &&Op_And,
+      &&Op_Or,     &&Op_Xor,
+      &&Op_Shl,    &&Op_Shr,
+      &&Op_CmpEQ,  &&Op_CmpNE,
+      &&Op_CmpLT,  &&Op_CmpLE,
+      &&Op_CmpGT,  &&Op_CmpGE,
+      &&Op_Mov,    &&Op_Select,
+      &&Op_Load,   &&Op_Store,
+      &&Op_Call,   &&Op_Call /* CallIndirect */,
+      &&Op_Ret,    &&Op_Br,
+      &&Op_CondBr, &&Op_PseudoProbe,
+      &&Op_InstrProfIncr};
+  const DecInst *IP = Code + PC;
+  // Same-line i-cache accesses (straight-line code inside one 64B line —
+  // the common case) are filtered here with one register compare; their
+  // clock ticks are folded in at the next line change, reproducing the
+  // eager clock sequence exactly (see ICache::accessStreaked).
+  uint64_t ICLine = ~0ull;
+  uint64_t ICPending = 0;
+
+  // Per-instruction prologue (retire accounting, i-cache, sampler gate)
+  // followed by the jump to the next handler.
+#define CSSPGO_DISPATCH()                                                      \
+  do {                                                                         \
+    PC = NextPC;                                                               \
+    if (Instructions >= MaxInstructions)                                       \
+      goto LimitHit;                                                           \
+    assert(PC < DecSize && "PC out of range");                                 \
+    IP = Code + PC;                                                            \
+    ++Instructions;                                                            \
+    if (CollectInstCounts)                                                     \
+      ++Result.InstCounts[PC];                                                 \
+    Cycles += IP->BaseCost;                                                    \
+    if (IP->ICLine == ICLine) {                                                \
+      ++ICPending;                                                             \
+    } else {                                                                   \
+      ICLine = IP->ICLine;                                                     \
+      if (Cache.accessStreaked(ICLine, IP->ICSet, ICPending)) {                \
+        ++Result.ICacheMisses;                                                 \
+        Cycles += ICacheMissPenalty;                                           \
+      }                                                                        \
+    }                                                                          \
+    if (SamplerOn && (Skid != 0 || Cycles >= NextAt)) {                        \
+      maybeSample(PC, Cycles);                                                 \
+      NextAt = NextSampleAt;                                                   \
+      Skid = SkidCountdown;                                                    \
+    }                                                                          \
+    NextPC = PC + 1;                                                           \
+    goto *JumpTable[static_cast<size_t>(IP->Op)];                              \
+  } while (0)
+
+  CSSPGO_DISPATCH();
+
+Op_Add: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) + val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Sub: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) - val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Mul: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) * val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Div: {
+  const DecInst &I = *IP;
+  int64_t D = val(I.B);
+  R[I.Dst] = D ? val(I.A) / D : 0;
+  CSSPGO_DISPATCH();
+}
+Op_Mod: {
+  const DecInst &I = *IP;
+  int64_t D = val(I.B);
+  R[I.Dst] = D ? val(I.A) % D : 0;
+  CSSPGO_DISPATCH();
+}
+Op_And: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) & val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Or: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) | val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Xor: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) ^ val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Shl: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) << (val(I.B) & 63);
+  CSSPGO_DISPATCH();
+}
+Op_Shr: {
+  const DecInst &I = *IP;
+  R[I.Dst] = static_cast<int64_t>(static_cast<uint64_t>(val(I.A)) >>
+                                  (val(I.B) & 63));
+  CSSPGO_DISPATCH();
+}
+Op_CmpEQ: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) == val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_CmpNE: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) != val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_CmpLT: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) < val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_CmpLE: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) <= val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_CmpGT: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) > val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_CmpGE: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) >= val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_Mov: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A);
+  CSSPGO_DISPATCH();
+}
+Op_Select: {
+  const DecInst &I = *IP;
+  R[I.Dst] = val(I.A) ? val(I.B) : val(I.C);
+  CSSPGO_DISPATCH();
+}
+Op_Load: {
+  const DecInst &I = *IP;
+  R[I.Dst] = Memory[memIndex(val(I.A))];
+  CSSPGO_DISPATCH();
+}
+Op_Store: {
+  const DecInst &I = *IP;
+  Memory[memIndex(val(I.A))] = val(I.B);
+  CSSPGO_DISPATCH();
+}
+Op_InstrProfIncr: {
+  const DecInst &I = *IP;
+  ++Result.Counters[I.CounterIdx];
+  CSSPGO_DISPATCH();
+}
+Op_Br: {
+  const DecInst &I = *IP;
+  NextPC = I.Target;
+  ++Result.UncondJumps;
+  recordBranch(I.Addr, I.TargetAddr, Cycles);
+  CSSPGO_DISPATCH();
+}
+Op_CondBr: {
+  const DecInst &I = *IP;
+  bool Cond = val(I.A) != 0;
+  bool Taken = Cond != I.InvertCond;
+  ++Result.CondBranches;
+  if (Predictor.mispredictedAt(I.BPIdx, Taken)) {
+    ++Result.Mispredicts;
+    Cycles += MispredictPenalty;
+  }
+  if (Taken) {
+    ++Result.CondTaken;
+    NextPC = I.Target;
+    recordBranch(I.Addr, I.TargetAddr, Cycles);
+  }
+  CSSPGO_DISPATCH();
+}
+Op_Call: {
+  const DecInst &I = *IP;
+  uint32_t CalleeIdx;
+  uint32_t CalleeNumRegs;
+  size_t CalleeEntry;
+  uint64_t CalleeEntryAddr;
+  uint32_t NumArgs = I.NumArgs;
+  if (I.Op == Opcode::CallIndirect) {
+    assert(!Bin.FuncTable.empty() && "indirect call without table");
+    uint64_t Slot = static_cast<uint64_t>(val(I.A)) % Bin.FuncTable.size();
+    CalleeIdx = Bin.FuncTable[Slot];
+    ++Result.IndirectCalls;
+    const MachineFunction &Callee = Bin.Funcs[CalleeIdx];
+    uint64_t &Last = BTB[I.BTBSlot];
+    if (Last != Callee.EntryIdx + 1) {
+      ++Result.IndirectMispredicts;
+      ++Result.Mispredicts;
+      Cycles += MispredictPenalty;
+      Last = Callee.EntryIdx + 1;
+    }
+    if (I.VPSlot != ~0u)
+      ++VPCounts[I.VPSlot * Bin.FuncTable.size() + Slot];
+    CalleeNumRegs = Callee.NumRegs;
+    CalleeEntry = Callee.EntryIdx;
+    CalleeEntryAddr = Bin.Code[Callee.EntryIdx].Addr;
+    NumArgs = std::min(NumArgs, Callee.NumParams);
+  } else {
+    CalleeIdx = I.CalleeIdx;
+    CalleeNumRegs = I.CalleeNumRegs;
+    CalleeEntry = I.Target;
+    CalleeEntryAddr = I.TargetAddr;
+  }
+  ++Result.Calls;
+
+  // Evaluate the arguments against the caller window before any frame
+  // surgery (the register stack may reallocate or, for tail calls, the
+  // window itself is about to be replaced).
+  ArgBuf.clear();
+  const DecOp *Args = ArgOps.data() + I.ArgsBegin;
+  for (uint32_t A = 0; A != NumArgs; ++A)
+    ArgBuf.push_back(val(Args[A]));
+
+  size_t Window = CalleeNumRegs + 1;
+  if (I.IsTailCall) {
+    // Tail-call elimination: reuse the frame slot; the caller
+    // disappears from the sampled stack. Shrink-then-grow
+    // zero-initializes the fresh window (including the pad slot).
+    FrameMeta &F = Frames.back();
+    RegStack.resize(F.RegBase);
+    RegStack.resize(F.RegBase + Window);
+    for (uint32_t A = 0; A != NumArgs; ++A)
+      RegStack[F.RegBase + 1 + A] = ArgBuf[A];
+    F.FuncIdx = CalleeIdx;
+    reloadR();
+    NextPC = CalleeEntry;
+    // A tail call is an unconditional jump in the binary.
+    recordBranch(I.Addr, CalleeEntryAddr, Cycles);
+    CSSPGO_DISPATCH();
+  }
+  if (Frames.size() >= Config.MaxCallDepth) {
+    Result.Error = "call depth limit exceeded in " + Bin.Funcs[CalleeIdx].Name;
+    syncCounters();
+    return finish();
+  }
+  size_t Base = RegStack.size();
+  RegStack.resize(Base + Window);
+  for (uint32_t A = 0; A != NumArgs; ++A)
+    RegStack[Base + 1 + A] = ArgBuf[A];
+  Frames.push_back({CalleeIdx, Base, I.RetIdx, I.RetAddr, I.Dst});
+  reloadR();
+  NextPC = CalleeEntry;
+  recordBranch(I.Addr, CalleeEntryAddr, Cycles);
+  CSSPGO_DISPATCH();
+}
+Op_Ret: {
+  const DecInst &I = *IP;
+  int64_t Value = val(I.A);
+  FrameMeta F = Frames.back();
+  Frames.pop_back();
+  RegStack.resize(F.RegBase);
+  if (Frames.empty() || F.RetIdx == SIZE_MAX) {
+    Result.ExitValue = Value;
+    Result.Completed = true;
+    syncCounters();
+    return finish();
+  }
+  if (F.RetDst != 0)
+    RegStack[Frames.back().RegBase + F.RetDst] = Value;
+  reloadR();
+  NextPC = F.RetIdx;
+  recordBranch(I.Addr, F.RetAddr, Cycles);
+  CSSPGO_DISPATCH();
+}
+Op_PseudoProbe: {
+  assert(false && "pseudo probes never lower to machine code");
+  CSSPGO_DISPATCH();
+}
+LimitHit:
+  Result.Error = "instruction limit exceeded";
+  syncCounters();
+  return finish();
+#undef CSSPGO_DISPATCH
+
+#else // Portable switch dispatch; behavior identical to the above.
+  while (true) {
+    if (Instructions >= MaxInstructions) {
+      Result.Error = "instruction limit exceeded";
+      syncCounters();
+      return finish();
+    }
+    assert(PC < DecSize && "PC out of range");
+    const DecInst &I = Code[PC];
+
+    ++Instructions;
+    if (CollectInstCounts)
+      ++Result.InstCounts[PC];
+    Cycles += I.BaseCost;
+    if (Cache.accessPrecomputed(I.ICLine, I.ICSet)) {
+      ++Result.ICacheMisses;
+      Cycles += ICacheMissPenalty;
+    }
+    // Inline gate for the common no-op case (no pending skidded sample,
+    // period not yet elapsed); maybeSample handles the rest.
+    if (SamplerOn && (Skid != 0 || Cycles >= NextAt)) {
+      maybeSample(PC, Cycles);
+      NextAt = NextSampleAt;
+      Skid = SkidCountdown;
+    }
+
+    NextPC = PC + 1;
+    switch (I.Op) {
+    case Opcode::Add:
+      R[I.Dst] = val(I.A) + val(I.B);
+      break;
+    case Opcode::Sub:
+      R[I.Dst] = val(I.A) - val(I.B);
+      break;
+    case Opcode::Mul:
+      R[I.Dst] = val(I.A) * val(I.B);
+      break;
+    case Opcode::Div: {
+      int64_t D = val(I.B);
+      R[I.Dst] = D ? val(I.A) / D : 0;
+      break;
+    }
+    case Opcode::Mod: {
+      int64_t D = val(I.B);
+      R[I.Dst] = D ? val(I.A) % D : 0;
+      break;
+    }
+    case Opcode::And:
+      R[I.Dst] = val(I.A) & val(I.B);
+      break;
+    case Opcode::Or:
+      R[I.Dst] = val(I.A) | val(I.B);
+      break;
+    case Opcode::Xor:
+      R[I.Dst] = val(I.A) ^ val(I.B);
+      break;
+    case Opcode::Shl:
+      R[I.Dst] = val(I.A) << (val(I.B) & 63);
+      break;
+    case Opcode::Shr:
+      R[I.Dst] = static_cast<int64_t>(static_cast<uint64_t>(val(I.A)) >>
+                                      (val(I.B) & 63));
+      break;
+    case Opcode::CmpEQ:
+      R[I.Dst] = val(I.A) == val(I.B);
+      break;
+    case Opcode::CmpNE:
+      R[I.Dst] = val(I.A) != val(I.B);
+      break;
+    case Opcode::CmpLT:
+      R[I.Dst] = val(I.A) < val(I.B);
+      break;
+    case Opcode::CmpLE:
+      R[I.Dst] = val(I.A) <= val(I.B);
+      break;
+    case Opcode::CmpGT:
+      R[I.Dst] = val(I.A) > val(I.B);
+      break;
+    case Opcode::CmpGE:
+      R[I.Dst] = val(I.A) >= val(I.B);
+      break;
+    case Opcode::Mov:
+      R[I.Dst] = val(I.A);
+      break;
+    case Opcode::Select:
+      R[I.Dst] = val(I.A) ? val(I.B) : val(I.C);
+      break;
+    case Opcode::Load:
+      R[I.Dst] = Memory[memIndex(val(I.A))];
+      break;
+    case Opcode::Store:
+      Memory[memIndex(val(I.A))] = val(I.B);
+      break;
+    case Opcode::InstrProfIncr:
+      ++Result.Counters[I.CounterIdx];
+      break;
+    case Opcode::Br:
+      NextPC = I.Target;
+      ++Result.UncondJumps;
+      recordBranch(I.Addr, I.TargetAddr, Cycles);
+      break;
+    case Opcode::CondBr: {
+      bool Cond = val(I.A) != 0;
+      bool Taken = Cond != I.InvertCond;
+      ++Result.CondBranches;
+      if (Predictor.mispredictedAt(I.BPIdx, Taken)) {
+        ++Result.Mispredicts;
+        Cycles += MispredictPenalty;
+      }
+      if (Taken) {
+        ++Result.CondTaken;
+        NextPC = I.Target;
+        recordBranch(I.Addr, I.TargetAddr, Cycles);
+      }
+      break;
+    }
+    case Opcode::CallIndirect:
+    case Opcode::Call: {
+      uint32_t CalleeIdx;
+      uint32_t CalleeNumRegs;
+      size_t CalleeEntry;
+      uint64_t CalleeEntryAddr;
+      uint32_t NumArgs = I.NumArgs;
+      if (I.Op == Opcode::CallIndirect) {
+        assert(!Bin.FuncTable.empty() && "indirect call without table");
+        uint64_t Slot =
+            static_cast<uint64_t>(val(I.A)) % Bin.FuncTable.size();
+        CalleeIdx = Bin.FuncTable[Slot];
+        ++Result.IndirectCalls;
+        const MachineFunction &Callee = Bin.Funcs[CalleeIdx];
+        uint64_t &Last = BTB[I.BTBSlot];
+        if (Last != Callee.EntryIdx + 1) {
+          ++Result.IndirectMispredicts;
+          ++Result.Mispredicts;
+          Cycles += MispredictPenalty;
+          Last = Callee.EntryIdx + 1;
+        }
+        if (I.VPSlot != ~0u)
+          ++VPCounts[I.VPSlot * Bin.FuncTable.size() + Slot];
+        CalleeNumRegs = Callee.NumRegs;
+        CalleeEntry = Callee.EntryIdx;
+        CalleeEntryAddr = Bin.Code[Callee.EntryIdx].Addr;
+        NumArgs = std::min(NumArgs, Callee.NumParams);
+      } else {
+        CalleeIdx = I.CalleeIdx;
+        CalleeNumRegs = I.CalleeNumRegs;
+        CalleeEntry = I.Target;
+        CalleeEntryAddr = I.TargetAddr;
+      }
+      ++Result.Calls;
+
+      // Evaluate the arguments against the caller window before any
+      // frame surgery (the register stack may reallocate or, for tail
+      // calls, the window itself is about to be replaced).
+      ArgBuf.clear();
+      const DecOp *Args = ArgOps.data() + I.ArgsBegin;
+      for (uint32_t A = 0; A != NumArgs; ++A)
+        ArgBuf.push_back(val(Args[A]));
+
+      size_t Window = CalleeNumRegs + 1;
+      if (I.IsTailCall) {
+        // Tail-call elimination: reuse the frame slot; the caller
+        // disappears from the sampled stack. Shrink-then-grow
+        // zero-initializes the fresh window (including the pad slot).
+        FrameMeta &F = Frames.back();
+        RegStack.resize(F.RegBase);
+        RegStack.resize(F.RegBase + Window);
+        for (uint32_t A = 0; A != NumArgs; ++A)
+          RegStack[F.RegBase + 1 + A] = ArgBuf[A];
+        F.FuncIdx = CalleeIdx;
+        reloadR();
+        NextPC = CalleeEntry;
+        // A tail call is an unconditional jump in the binary.
+        recordBranch(I.Addr, CalleeEntryAddr, Cycles);
+        break;
+      }
+      if (Frames.size() >= Config.MaxCallDepth) {
+        Result.Error =
+            "call depth limit exceeded in " + Bin.Funcs[CalleeIdx].Name;
+        syncCounters();
+        return finish();
+      }
+      size_t Base = RegStack.size();
+      RegStack.resize(Base + Window);
+      for (uint32_t A = 0; A != NumArgs; ++A)
+        RegStack[Base + 1 + A] = ArgBuf[A];
+      Frames.push_back({CalleeIdx, Base, I.RetIdx, I.RetAddr, I.Dst});
+      reloadR();
+      NextPC = CalleeEntry;
+      recordBranch(I.Addr, CalleeEntryAddr, Cycles);
+      break;
+    }
+    case Opcode::Ret: {
+      int64_t Value = val(I.A);
+      FrameMeta F = Frames.back();
+      Frames.pop_back();
+      RegStack.resize(F.RegBase);
+      if (Frames.empty() || F.RetIdx == SIZE_MAX) {
+        Result.ExitValue = Value;
+        Result.Completed = true;
+        syncCounters();
+        return finish();
+      }
+      if (F.RetDst != 0)
+        RegStack[Frames.back().RegBase + F.RetDst] = Value;
+      reloadR();
+      NextPC = F.RetIdx;
+      recordBranch(I.Addr, F.RetAddr, Cycles);
+      break;
+    }
+    case Opcode::PseudoProbe:
+      assert(false && "pseudo probes never lower to machine code");
+      break;
+    }
+    PC = NextPC;
+  }
+#endif
+}
+
 } // namespace
 
 RunResult execute(const Binary &Bin, const std::string &Entry,
                   std::vector<int64_t> &Memory, const ExecConfig &Config) {
-  Machine M(Bin, Memory, Config);
+  if (Config.ReferenceMode) {
+    ReferenceMachine M(Bin, Memory, Config);
+    return M.run(Entry);
+  }
+  FastMachine M(Bin, Memory, Config);
   return M.run(Entry);
 }
 

@@ -40,8 +40,24 @@ struct ExecConfig {
   /// Collect indirect-call value profiles (part of the instrumentation
   /// runtime: per call site, per target slot execution counts).
   bool CollectValueProfile = false;
+  /// Run the straightforward reference interpreter instead of the
+  /// predecoded fast path. Both produce bit-identical RunResults (same
+  /// Rng draw order, same sample stream); the reference exists as the
+  /// oracle for the equivalence suite and for debugging.
+  bool ReferenceMode = false;
 };
 
+/// Field population by configuration:
+/// - Completed/Error/ExitValue and the scalar microarchitectural counters
+///   (Cycles .. IndirectMispredicts) are always populated.
+/// - Samples is populated only when ExecConfig::Sampler.Enabled; its
+///   capacity is pre-reserved from MaxInstructions / PeriodCycles (capped)
+///   so growth is amortized away from the hot loop.
+/// - InstCounts is populated only with ExecConfig::CollectInstCounts
+///   (sized like Binary::Code, else empty).
+/// - ValueProfile is populated only with ExecConfig::CollectValueProfile.
+/// - Counters is always sized NumCounters + 1, but only an instrumented
+///   binary (one with InstrProfIncr anchors) produces non-zero entries.
 struct RunResult {
   bool Completed = false;
   std::string Error;
@@ -59,6 +75,7 @@ struct RunResult {
   uint64_t IndirectCalls = 0;
   uint64_t IndirectMispredicts = 0;
 
+  /// PMU samples (only with Sampler.Enabled).
   std::vector<PerfSample> Samples;
   /// Per-instruction execution counts (only with CollectInstCounts).
   std::vector<uint64_t> InstCounts;

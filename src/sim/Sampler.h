@@ -49,6 +49,8 @@ struct PerfSample {
 struct SamplerConfig {
   bool Enabled = false;
   uint64_t PeriodCycles = 4001; ///< Prime periods avoid loop lockstep.
+  /// LBR depth; rounded up to a power of two (real LBRs are 8/16/32
+  /// deep), which lets the ring replace modulo arithmetic with masks.
   uint32_t LBRDepth = 16;
   /// PEBS-precise sampling: LBR and stack snapshot at the same instant.
   bool Precise = true;
@@ -57,27 +59,43 @@ struct SamplerConfig {
   uint64_t Seed = 1;
 };
 
-/// The LBR ring buffer.
+/// The LBR ring buffer. The depth is rounded up to a power of two so the
+/// wraparound arithmetic in the executor's hot loop is a mask, not a
+/// division.
 class LBRRing {
 public:
-  explicit LBRRing(uint32_t Depth) : Depth(Depth) {}
+  explicit LBRRing(uint32_t Depth)
+      : Depth(roundUpToPowerOfTwo(Depth)), Mask(this->Depth - 1) {
+    Ring.reserve(this->Depth);
+  }
 
   void record(uint64_t Src, uint64_t Dst) {
     if (Ring.size() < Depth) {
+      // Filling phase: Head stays 0, entries are already oldest-first.
       Ring.push_back({Src, Dst});
       return;
     }
     Ring[Head] = {Src, Dst};
-    Head = (Head + 1) % Depth;
+    Head = (Head + 1) & Mask;
   }
 
   /// Returns entries oldest-first.
   std::vector<LBREntry> snapshot() const {
     std::vector<LBREntry> Out;
-    Out.reserve(Ring.size());
-    for (size_t I = 0; I != Ring.size(); ++I)
-      Out.push_back(Ring[(Head + I) % Ring.size()]);
+    snapshotInto(Out);
     return Out;
+  }
+
+  /// Writes the snapshot (oldest-first) into \p Out, reusing its storage.
+  void snapshotInto(std::vector<LBREntry> &Out) const {
+    Out.clear();
+    if (Ring.size() < Depth) {
+      Out.insert(Out.end(), Ring.begin(), Ring.end());
+      return;
+    }
+    Out.reserve(Depth);
+    for (size_t I = 0; I != Depth; ++I)
+      Out.push_back(Ring[(Head + I) & Mask]);
   }
 
   void clear() {
@@ -85,8 +103,19 @@ public:
     Head = 0;
   }
 
+  /// Effective (power-of-two) depth.
+  uint32_t depth() const { return Depth; }
+
+  static uint32_t roundUpToPowerOfTwo(uint32_t V) {
+    uint32_t P = 1;
+    while (P < V && P < (1u << 31))
+      P <<= 1;
+    return P;
+  }
+
 private:
   uint32_t Depth;
+  size_t Mask;
   std::vector<LBREntry> Ring;
   size_t Head = 0;
 };

@@ -274,3 +274,111 @@ INSTANTIATE_TEST_SUITE_P(
           C = '_';
       return Name;
     });
+
+//===----------------------------------------------------------------------===//
+// Executor fast-path equivalence property.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectBitIdentical(const RunResult &Ref, const RunResult &Fast,
+                        const std::string &Label) {
+  EXPECT_EQ(Ref.Completed, Fast.Completed) << Label;
+  EXPECT_EQ(Ref.Error, Fast.Error) << Label;
+  EXPECT_EQ(Ref.ExitValue, Fast.ExitValue) << Label;
+  EXPECT_EQ(Ref.Cycles, Fast.Cycles) << Label;
+  EXPECT_EQ(Ref.Instructions, Fast.Instructions) << Label;
+  EXPECT_EQ(Ref.TakenBranches, Fast.TakenBranches) << Label;
+  EXPECT_EQ(Ref.CondBranches, Fast.CondBranches) << Label;
+  EXPECT_EQ(Ref.CondTaken, Fast.CondTaken) << Label;
+  EXPECT_EQ(Ref.UncondJumps, Fast.UncondJumps) << Label;
+  EXPECT_EQ(Ref.Mispredicts, Fast.Mispredicts) << Label;
+  EXPECT_EQ(Ref.ICacheMisses, Fast.ICacheMisses) << Label;
+  EXPECT_EQ(Ref.Calls, Fast.Calls) << Label;
+  EXPECT_EQ(Ref.IndirectCalls, Fast.IndirectCalls) << Label;
+  EXPECT_EQ(Ref.IndirectMispredicts, Fast.IndirectMispredicts) << Label;
+  EXPECT_EQ(Ref.InstCounts, Fast.InstCounts) << Label;
+  EXPECT_EQ(Ref.Counters, Fast.Counters) << Label;
+
+  ASSERT_EQ(Ref.Samples.size(), Fast.Samples.size()) << Label;
+  for (size_t I = 0; I != Ref.Samples.size(); ++I) {
+    const PerfSample &A = Ref.Samples[I];
+    const PerfSample &B = Fast.Samples[I];
+    EXPECT_EQ(A.Stack, B.Stack) << Label << " sample " << I;
+    ASSERT_EQ(A.LBR.size(), B.LBR.size()) << Label << " sample " << I;
+    for (size_t J = 0; J != A.LBR.size(); ++J) {
+      EXPECT_EQ(A.LBR[J].Src, B.LBR[J].Src)
+          << Label << " sample " << I << " lbr " << J;
+      EXPECT_EQ(A.LBR[J].Dst, B.LBR[J].Dst)
+          << Label << " sample " << I << " lbr " << J;
+    }
+  }
+
+  ASSERT_EQ(Ref.ValueProfile.size(), Fast.ValueProfile.size()) << Label;
+  EXPECT_TRUE(Ref.ValueProfile == Fast.ValueProfile) << Label;
+}
+
+/// Runs \p Bin twice — reference interpreter and fast path — on identical
+/// memory images and asserts every observable output matches.
+void runBothAndCompare(const Binary &Bin, ExecConfig Config,
+                       const WorkloadConfig &WC, uint64_t InputSeed,
+                       const std::string &Label) {
+  std::vector<int64_t> MemRef = generateInput(WC, InputSeed);
+  std::vector<int64_t> MemFast = MemRef;
+
+  Config.ReferenceMode = true;
+  RunResult Ref = execute(Bin, "main", MemRef, Config);
+  Config.ReferenceMode = false;
+  RunResult Fast = execute(Bin, "main", MemFast, Config);
+
+  expectBitIdentical(Ref, Fast, Label);
+  EXPECT_EQ(MemRef, MemFast) << Label << ": final memory images differ";
+}
+
+} // namespace
+
+class ExecutorEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(ExecutorEquivalence, FastPathBitIdenticalToReference) {
+  auto [Seed, Precise] = GetParam();
+  // Randomized workloads with tail calls and indirect dispatch, both
+  // plain and probed, so calls, returns, sampling, value profiling and
+  // instruction counting all get exercised.
+  WorkloadConfig WC = propConfig(Seed);
+  WC.TailCallProb = 0.5;
+  WC.IndirectDispatchProb = 0.6;
+
+  for (bool Probed : {false, true}) {
+    auto M = generateProgram(WC);
+    if (Probed)
+      insertProbes(*M, AnchorKind::InstrCounter);
+    auto Bin = compileToBinary(*M);
+
+    ExecConfig Config;
+    Config.Sampler.Enabled = true;
+    Config.Sampler.PeriodCycles = 97; // Dense sampling stresses the PMU.
+    Config.Sampler.Precise = Precise;
+    Config.Sampler.Seed = Seed;
+    Config.CollectInstCounts = true;
+    Config.CollectValueProfile = true;
+    std::string Label = std::string(Precise ? "precise" : "skid") +
+                        (Probed ? "/probed" : "/plain") + " seed " +
+                        std::to_string(Seed);
+    runBothAndCompare(*Bin, Config, WC, Seed + 100, Label);
+
+    // Error paths must match too: truncate at the instruction limit.
+    ExecConfig Limited = Config;
+    Limited.MaxInstructions = 2000;
+    runBothAndCompare(*Bin, Limited, WC, Seed + 100, Label + "/limited");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsBySampling, ExecutorEquivalence,
+    ::testing::Combine(::testing::Values(3u, 13u, 23u, 43u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ExecutorEquivalence::ParamType> &Info) {
+      return "s" + std::to_string(std::get<0>(Info.param)) +
+             (std::get<1>(Info.param) ? "_precise" : "_skid");
+    });

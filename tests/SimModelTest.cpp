@@ -35,6 +35,49 @@ TEST(LBRRing, ClearEmpties) {
   EXPECT_TRUE(Ring.snapshot().empty());
 }
 
+TEST(LBRRing, WraparoundOldestFirstAtDefaultDepth16) {
+  // The masked wraparound arithmetic must preserve oldest-first order at
+  // the default depth of 16, across several full wraps and at every
+  // wrap phase.
+  LBRRing Ring(16);
+  ASSERT_EQ(Ring.depth(), 16u);
+  for (uint64_t N : {17u, 31u, 32u, 48u, 53u}) {
+    Ring.clear();
+    for (uint64_t I = 0; I != N; ++I)
+      Ring.record(I, I + 1000);
+    auto Snap = Ring.snapshot();
+    ASSERT_EQ(Snap.size(), 16u) << "after " << N << " records";
+    for (uint64_t I = 0; I != 16; ++I) {
+      EXPECT_EQ(Snap[I].Src, N - 16 + I) << "after " << N << " records";
+      EXPECT_EQ(Snap[I].Dst, N - 16 + I + 1000);
+    }
+  }
+}
+
+TEST(LBRRing, DepthRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(LBRRing(1).depth(), 1u);
+  EXPECT_EQ(LBRRing(5).depth(), 8u);
+  EXPECT_EQ(LBRRing(16).depth(), 16u);
+  EXPECT_EQ(LBRRing(17).depth(), 32u);
+  EXPECT_EQ(LBRRing(0).depth(), 1u);
+}
+
+TEST(LBRRing, SnapshotIntoReusesBuffer) {
+  LBRRing Ring(4);
+  for (uint64_t I = 0; I != 6; ++I)
+    Ring.record(I, I);
+  std::vector<LBREntry> Buf;
+  Ring.snapshotInto(Buf);
+  ASSERT_EQ(Buf.size(), 4u);
+  EXPECT_EQ(Buf.front().Src, 2u);
+  // A second snapshot into the same buffer replaces, not appends.
+  Ring.record(6, 6);
+  Ring.snapshotInto(Buf);
+  ASSERT_EQ(Buf.size(), 4u);
+  EXPECT_EQ(Buf.front().Src, 3u);
+  EXPECT_EQ(Buf.back().Src, 6u);
+}
+
 TEST(ICache, HitsAfterFill) {
   CostModel CM;
   ICache Cache(CM);
