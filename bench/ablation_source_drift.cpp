@@ -1,16 +1,28 @@
 //===- bench/ablation_source_drift.cpp - §III-A drift experiment --*- C++ -*-===//
 //
-// §III-A "source drifting": a minor source edit (comment insertion — line
-// numbers shift, CFG unchanged) between profiling and the next build.
-// AutoFDO's line-offset keys silently mis-correlate below the shift; the
-// paper observed an 8% performance loss from minor drift on a server
-// workload. CSSPGO's probe ids are line-independent and its CFG checksum
-// still matches, so the profile applies cleanly.
+// §III-A "source drifting": a source edit between profiling and the next
+// build. Two tables:
 //
-// Harness: collect profiles on the original source, then build the next
-// release from the *drifted* source with those profiles, and compare
-// against the no-drift builds. The four (workload, variant) cells are
-// independent pipelines and fan out over runMany (-j N).
+// 1. Comment drift (legacy behavior): line numbers shift, CFG unchanged.
+//    AutoFDO's line-offset keys silently mis-correlate below the shift;
+//    the paper observed an 8% loss from minor drift on a server workload.
+//    CSSPGO's probe ids are line-independent and its CFG checksum still
+//    matches, so the profile applies cleanly. Stale-profile matching is
+//    OFF here to reproduce the paper's numbers.
+//
+// 2. CFG drift, drop vs match: edits that change block structure
+//    (insert-drift: never-taken guard + block split + callee rename;
+//    delete-drift: the inverse guard removal), staling probe CFG
+//    checksums. Each cell builds the drifted "next release" twice from
+//    the same profile — once with stale profiles dropped (legacy,
+//    RecoverStaleProfiles=false; for AutoFDO this means the mis-keyed
+//    profile applies as-is) and once with the stale matcher recovering
+//    them — and compares both against a plain build of the drifted
+//    source.
+//
+// All cells are independent pipelines and fan out over runMany (-j N);
+// any job count prints byte-identical tables. CSSPGO_DRIFT_CELLS=N
+// limits table 2 to its first N cells and skips table 1 (CI smoke).
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,10 +33,28 @@
 using namespace csspgo;
 using namespace csspgo::bench;
 
-int main(int argc, char **argv) {
-  unsigned Jobs = benchJobs(argc, argv);
-  printHeader("Ablation", "source drift (comment insertion) — §III-A");
+namespace {
 
+/// Mean optimized-binary cycles of \p Build over the config's eval inputs.
+double evalMean(const BuildResult &Build, const ExperimentConfig &Config) {
+  std::vector<uint64_t> Cycles;
+  for (unsigned E = 0; E != Config.EvalRuns; ++E) {
+    std::vector<int64_t> Mem = generateInput(
+        Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
+    Cycles.push_back(execute(*Build.Bin, "main", Mem, {}).Cycles);
+  }
+  return meanCI(Cycles).Mean;
+}
+
+BuildConfig variantBuildConfig(PGOVariant V, const ExperimentConfig &Config) {
+  BuildConfig BC;
+  BC.Variant = V;
+  if (V == PGOVariant::CSSPGOFull && Config.RunPreInliner)
+    BC.Loader.InlineHotContexts = false;
+  return BC;
+}
+
+void legacyCommentDriftTable(unsigned Jobs) {
   TextTable Table({"workload", "variant", "no-drift vs plain",
                    "drifted vs plain", "drift cost", "stale drops"});
 
@@ -49,19 +79,11 @@ int main(int argc, char **argv) {
 
         VariantOutcome Out = Driver.run(C.Variant);
 
-        BuildConfig BC;
-        BC.Variant = C.Variant;
-        if (C.Variant == PGOVariant::CSSPGOFull && Config.RunPreInliner)
-          BC.Loader.InlineHotContexts = false;
+        BuildConfig BC = variantBuildConfig(C.Variant, Config);
+        BC.Loader.RecoverStaleProfiles = false; // Paper's legacy behavior.
         BuildResult DriftBuild = buildWithPGO(*Drifted, BC, &Out.Profile);
 
-        std::vector<uint64_t> Cycles;
-        for (unsigned E = 0; E != Config.EvalRuns; ++E) {
-          std::vector<int64_t> Mem = generateInput(
-              Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
-          Cycles.push_back(execute(*DriftBuild.Bin, "main", Mem, {}).Cycles);
-        }
-        double DriftMean = meanCI(Cycles).Mean;
+        double DriftMean = evalMean(DriftBuild, Config);
         double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
         double WithDrift = improvement(DriftMean, Plain.EvalCyclesMean);
         return std::vector<std::string>{
@@ -74,6 +96,108 @@ int main(int argc, char **argv) {
     Table.addRow(Row);
   std::printf("%s\n", Table.render().c_str());
   std::printf("paper: minor drift cost AutoFDO up to ~8%%; CSSPGO is\n"
-              "unaffected (probe ids don't shift; CFG checksum matches).\n");
+              "unaffected (probe ids don't shift; CFG checksum matches).\n\n");
+}
+
+void cfgDriftDropVsMatchTable(unsigned Jobs, size_t CellLimit) {
+  TextTable Table({"workload", "variant", "drift", "no-drift vs plain",
+                   "drop vs plain", "match vs plain", "recovered",
+                   "stale d/m", "anchors", "counts rec"});
+
+  struct Cell {
+    const char *Workload;
+    PGOVariant Variant;
+    bool DeleteDrift; ///< false = insert-drift, true = delete-drift.
+  };
+  const Cell Cells[] = {{"AdRanker", PGOVariant::AutoFDO, false},
+                        {"AdRanker", PGOVariant::CSSPGOFull, false},
+                        {"AdRanker", PGOVariant::AutoFDO, true},
+                        {"AdRanker", PGOVariant::CSSPGOFull, true}};
+  size_t Count = CellLimit ? std::min(CellLimit, std::size(Cells))
+                           : std::size(Cells);
+  auto Rows = runMany<std::vector<std::string>>(Count, Jobs, [&](size_t Idx) {
+    const Cell &C = Cells[Idx];
+    ExperimentConfig Config = makeConfig(C.Workload);
+
+    // The profiled release: pristine source for insert-drift; for
+    // delete-drift the guards must already exist when profiling, so the
+    // driver runs over an externally drifted module.
+    std::unique_ptr<Module> V1 = generateProgram(Config.Workload);
+    if (C.DeleteDrift)
+      applyCFGDrift(*V1, CFGDriftKind::GuardInsert);
+    PGODriver Driver(Config, std::move(V1));
+    const VariantOutcome &Plain = Driver.baseline();
+    VariantOutcome Out = Driver.run(C.Variant);
+
+    // The drifted "next release".
+    auto V2 = Driver.source().clone();
+    if (C.DeleteDrift) {
+      applyCFGDrift(*V2, CFGDriftKind::GuardDelete);
+    } else {
+      applyCFGDrift(*V2, CFGDriftKind::GuardInsert);
+      applyCFGDrift(*V2, CFGDriftKind::BlockSplit);
+      applyCFGDrift(*V2, CFGDriftKind::CalleeRename);
+    }
+
+    // Plain build of the drifted source: the fair baseline for both
+    // drifted PGO builds (the drift itself perturbs code layout).
+    BuildConfig PlainBC;
+    BuildResult PlainV2 = buildWithPGO(*V2, PlainBC, nullptr);
+    double PlainV2Mean = evalMean(PlainV2, Config);
+
+    // Drop build (legacy) vs match build (stale matcher on) from the
+    // same stale profile.
+    BuildConfig DropBC = variantBuildConfig(C.Variant, Config);
+    DropBC.Loader.RecoverStaleProfiles = false;
+    BuildResult DropBuild = buildWithPGO(*V2, DropBC, &Out.Profile);
+    double DropMean = evalMean(DropBuild, Config);
+
+    BuildConfig MatchBC = variantBuildConfig(C.Variant, Config);
+    BuildResult MatchBuild = buildWithPGO(*V2, MatchBC, &Out.Profile);
+    double MatchMean = evalMean(MatchBuild, Config);
+
+    double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
+    double Drop = improvement(DropMean, PlainV2Mean);
+    double Match = improvement(MatchMean, PlainV2Mean);
+    return std::vector<std::string>{
+        C.Workload, variantName(C.Variant),
+        C.DeleteDrift ? "delete" : "insert", formatSignedPercent(NoDrift),
+        formatSignedPercent(Drop), formatSignedPercent(Match),
+        formatSignedPercent(Match - Drop),
+        std::to_string(DropBuild.Loader.StaleDropped) + "/" +
+            std::to_string(MatchBuild.Loader.StaleMatched),
+        std::to_string(MatchBuild.Loader.StaleAnchorsMatched),
+        std::to_string(MatchBuild.Loader.StaleCountsRecovered)};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("stale d/m = functions dropped (drop build) / matched (match\n"
+              "build); recovered = match-vs-drop delta. AutoFDO's drop\n"
+              "column applies the mis-keyed line profile as-is.\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
+  printHeader("Ablation", "source drift — §III-A + stale matching");
+
+  size_t CellLimit = 0;
+  bool Smoke = false;
+  if (const char *Env = std::getenv("CSSPGO_DRIFT_CELLS")) {
+    int N = std::atoi(Env);
+    if (N > 0) {
+      CellLimit = static_cast<size_t>(N);
+      Smoke = true;
+    }
+  }
+
+  if (!Smoke) {
+    std::printf("-- comment drift (CFG preserved), stale matching off --\n");
+    legacyCommentDriftTable(Jobs);
+  }
+  std::printf("-- CFG drift, drop vs match --\n");
+  cfgDriftDropVsMatchTable(Jobs, CellLimit);
   return 0;
 }

@@ -3,12 +3,14 @@
 #include "loader/ProfileLoader.h"
 
 #include "loader/Correlators.h"
+#include "matcher/StaleMatcher.h"
 #include "profile/ProfileSummary.h"
 #include "opt/InlineCost.h"
 #include "opt/Inliner.h"
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <set>
 
 namespace csspgo {
@@ -65,6 +67,69 @@ void markUnprofiledFunctionsCold(Module &M) {
 std::vector<BasicBlock *> mappedBlocks(const InlinedBody &Body) {
   return Body.ClonedOrder;
 }
+
+/// The single entry point for stale-profile handling. Every
+/// checksum-mismatch site in the loader routes through resolve(), which
+/// returns the profile to apply: the input itself when it is not stale, a
+/// matcher-recovered profile when recovery succeeds and clears the
+/// confidence bar, or nullptr when the profile must be dropped.
+///
+/// Line-based profiles are never dropped (AutoFDO historically applies
+/// them as-is): staleness is detected via drifted call anchors, and a
+/// rejected match falls back to the unmodified profile.
+class StaleResolver {
+public:
+  StaleResolver(Module &M, ProfileKind Kind, const LoaderOptions &Opts,
+                LoaderStats &Stats, bool PreMatched = false)
+      : M(M), Kind(Kind), Opts(Opts), Stats(Stats), PreMatched(PreMatched) {
+    Cfg.MinConfidence = Opts.StaleMatchMinConfidence;
+  }
+
+  static bool probeChecksumMismatch(const FunctionProfile &P,
+                                    const Function &F) {
+    return P.Checksum && F.HasProbes && P.Checksum != F.ProbeCFGChecksum;
+  }
+
+  const FunctionProfile *resolve(const FunctionProfile &P, const Function &F) {
+    const bool Probe = Kind == ProfileKind::ProbeBased;
+    const bool Stale =
+        Probe ? probeChecksumMismatch(P, F)
+              : (Opts.RecoverStaleProfiles && lineProfileLooksStale(P, F));
+    if (!Stale)
+      return &P;
+    // PreMatched: a whole-profile pre-pass already ran the matcher (CS
+    // loading); anything still stale here was below confidence.
+    if (!Opts.RecoverStaleProfiles || PreMatched) {
+      ++Stats.StaleDropped;
+      return Probe ? nullptr : &P;
+    }
+    MatchResult R = matchStaleProfile(P, F, M, Kind, Cfg);
+    Stats.StaleMatches.push_back({F.getName(), R.Stats});
+    if (!R.Stats.Accepted) {
+      ++Stats.StaleDropped;
+      return Probe ? nullptr : &P;
+    }
+    ++Stats.StaleMatched;
+    Stats.StaleAnchorsMatched += R.Stats.AnchorsMatched;
+    Stats.StaleCountsRecovered += R.Stats.SamplesRecovered;
+    Storage.push_back(
+        std::make_unique<FunctionProfile>(std::move(R.Recovered)));
+    return Storage.back().get();
+  }
+
+  const MatcherConfig &matcherConfig() const { return Cfg; }
+
+private:
+  Module &M;
+  ProfileKind Kind;
+  const LoaderOptions &Opts;
+  LoaderStats &Stats;
+  bool PreMatched;
+  MatcherConfig Cfg;
+  /// Recovered profiles must outlive the load (annotation, ICP and the
+  /// inline drivers hold pointers into them).
+  std::vector<std::unique_ptr<FunctionProfile>> Storage;
+};
 
 void annotate(const std::vector<BasicBlock *> &Blocks,
               const FunctionProfile &P, uint64_t OriginGuid,
@@ -214,6 +279,7 @@ struct FlatInlineDriver {
   const LoaderOptions &Opts;
   uint64_t HotThreshold;
   LoaderStats &Stats;
+  StaleResolver &Resolver;
 
   /// \p Scale is the accumulated execution-share of the inline chain
   /// enclosing \p Blocks: annotated counts of cloned bodies multiply by
@@ -246,13 +312,12 @@ struct FlatInlineDriver {
             continue;
           if (estimateFunctionSize(*Callee) > Opts.MaxInlineSize)
             continue;
-          // Probe-based inlinee profiles are checksum-guarded.
-          if (Anchored && InlineeProf && InlineeProf->Checksum &&
-              Callee->HasProbes &&
-              InlineeProf->Checksum != Callee->ProbeCFGChecksum) {
-            ++Stats.StaleDropped;
-            InlineeProf = nullptr;
-            if (!Hot)
+          // Stale inlinee profiles (checksum-guarded for probes, anchor
+          // checked for lines) route through the matcher; when they stay
+          // unrecoverable, only hot sites proceed (scaled fallback).
+          if (InlineeProf) {
+            InlineeProf = Resolver.resolve(*InlineeProf, *Callee);
+            if (!InlineeProf && !Hot)
               continue;
           }
           InlinedBody Body = inlineCallSite(F, BB, I, *Callee);
@@ -306,19 +371,20 @@ LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
                               : hotThreshold(Profile, Opts.HotCutoff);
   Stats.HotThresholdUsed = HotThreshold;
 
-  FlatInlineDriver Driver{M,    Profile, Profile.Kind, Anchored,
-                          Opts, HotThreshold, Stats};
+  StaleResolver Resolver(M, Profile.Kind, Opts, Stats);
+  FlatInlineDriver Driver{M,    Profile,      Profile.Kind, Anchored,
+                          Opts, HotThreshold, Stats,        Resolver};
 
   for (Function *F : topDownOrder(M)) {
     const FunctionProfile *P = Profile.find(F->getName());
     if (!P)
       continue;
-    // Stale-profile detection for probe profiles.
-    if (Anchored && !IsInstr && P->Checksum && F->HasProbes &&
-        P->Checksum != F->ProbeCFGChecksum) {
-      ++Stats.StaleDropped;
+    // Stale-profile detection + recovery (Instr counter profiles are
+    // exact by construction and skip it).
+    if (!IsInstr)
+      P = Resolver.resolve(*P, *F);
+    if (!P)
       continue;
-    }
     annotate(allBlocks(*F), *P, F->getGuid(), Profile.Kind, Anchored);
     F->HasEntryCount = true;
     F->EntryCount = std::max(P->HeadSamples, F->getEntry()->Count);
@@ -351,6 +417,7 @@ struct CSInlineDriver {
   const LoaderOptions &Opts;
   uint64_t HotThreshold;
   LoaderStats &Stats;
+  StaleResolver &Resolver;
   std::set<const ContextTrieNode *> Consumed;
 
   /// Children with the given (site, callee) across all \p Nodes.
@@ -410,11 +477,10 @@ struct CSInlineDriver {
             continue;
           if (estimateFunctionSize(*Callee) > Opts.MaxInlineSize)
             continue;
-          if (Checksum && Callee->HasProbes &&
-              Checksum != Callee->ProbeCFGChecksum) {
-            ++Stats.StaleDropped;
+          Slice.Checksum = Checksum;
+          const FunctionProfile *Applied = Resolver.resolve(Slice, *Callee);
+          if (!Applied)
             continue;
-          }
           InlinedBody Body = inlineCallSite(F, BB, I, *Callee);
           if (!Body.Success)
             continue;
@@ -424,7 +490,7 @@ struct CSInlineDriver {
           std::vector<BasicBlock *> Cloned = mappedBlocks(Body);
           // Context-accurate annotation (Fig. 3b): the cloned body gets
           // the *slice* of the callee profile for this calling context.
-          annotateBlocksByAnchors(Cloned, Slice, Callee->getGuid());
+          annotateBlocksByAnchors(Cloned, *Applied, Callee->getGuid());
           processCallsIn(F, Cloned, Children, Depth + 1);
           Progress = true;
           break;
@@ -441,16 +507,37 @@ struct CSInlineDriver {
 LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
                                const LoaderOptions &Opts) {
   LoaderStats Stats;
+  // The resolver is PreMatched: stale contexts are recovered by a
+  // whole-trie matcher pre-pass below (one alignment per function across
+  // all its contexts); whatever is still stale when the in-loop sites
+  // see it was below confidence and is dropped as before.
+  StaleResolver Resolver(M, ProfileKind::ProbeBased, Opts, Stats,
+                         /*PreMatched=*/true);
+  std::unique_ptr<ContextProfile> Corrected;
+  if (Opts.RecoverStaleProfiles) {
+    ContextMatchSummary Summary;
+    Corrected =
+        matchContextProfile(Profile, M, Resolver.matcherConfig(), Summary);
+    if (Corrected) {
+      Stats.StaleMatched += Summary.FunctionsMatched;
+      Stats.StaleAnchorsMatched += Summary.AnchorsMatched;
+      Stats.StaleCountsRecovered += Summary.CountsRecovered;
+      for (const auto &[Name, S] : Summary.PerFunction)
+        Stats.StaleMatches.push_back({Name, S});
+    }
+  }
+  const ContextProfile &Prof = Corrected ? *Corrected : Profile;
+
   uint64_t HotThreshold = Opts.HotCallsiteThreshold
                               ? Opts.HotCallsiteThreshold
-                              : hotThreshold(Profile, Opts.HotCutoff);
+                              : hotThreshold(Prof, Opts.HotCutoff);
   Stats.HotThresholdUsed = HotThreshold;
 
-  CSInlineDriver Driver{M, Profile, Opts, HotThreshold, Stats, {}};
+  CSInlineDriver Driver{M, Prof, Opts, HotThreshold, Stats, Resolver, {}};
 
   // Collect all context nodes per leaf function up front.
   std::map<std::string, std::vector<const ContextTrieNode *>> ByLeaf;
-  Profile.forEachNode(
+  Prof.forEachNode(
       [&ByLeaf](const SampleContext &Ctx, const ContextTrieNode &N) {
         ByLeaf[Ctx.back().Func].push_back(&N);
       });
@@ -476,17 +563,17 @@ LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
     }
     if (Base.empty())
       continue;
-    if (Checksum && F->HasProbes && Checksum != F->ProbeCFGChecksum) {
-      ++Stats.StaleDropped;
+    Base.Checksum = Checksum;
+    const FunctionProfile *Applied = Resolver.resolve(Base, *F);
+    if (!Applied)
       continue;
-    }
-    annotateBlocksByAnchors(allBlocks(*F), Base, F->getGuid());
+    annotateBlocksByAnchors(allBlocks(*F), *Applied, F->getGuid());
     F->HasEntryCount = true;
-    F->EntryCount = std::max(Base.HeadSamples, F->getEntry()->Count);
+    F->EntryCount = std::max(Applied->HeadSamples, F->getEntry()->Count);
     ++Stats.FunctionsAnnotated;
     if (Opts.PromoteIndirectCalls)
       Stats.PromotedIndirectCalls += promoteIndirectCallsIn(
-          M, *F, Base, ProfileKind::ProbeBased, HotThreshold, Opts);
+          M, *F, *Applied, ProfileKind::ProbeBased, HotThreshold, Opts);
 
     // Top-down context-sensitive inlining across all live contexts of F.
     Driver.processCallsIn(*F, allBlocks(*F), LiveNodes, 0);

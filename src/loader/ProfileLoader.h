@@ -18,8 +18,12 @@
 #define CSSPGO_LOADER_PROFILELOADER_H
 
 #include "ir/Module.h"
+#include "matcher/StaleMatcher.h"
 #include "profile/ContextTrie.h"
 #include "profile/FunctionProfile.h"
+
+#include <string>
+#include <vector>
 
 namespace csspgo {
 
@@ -54,11 +58,37 @@ struct LoaderOptions {
   bool PromoteIndirectCalls = true;
   /// Minimum share of a site's calls the dominant target needs.
   double ICPDominance = 0.5;
+  /// Recover stale profiles by anchor matching (src/matcher) instead of
+  /// dropping them. Probe profiles are matched on a CFG-checksum
+  /// mismatch; line-based profiles on drifted call anchors (they are
+  /// never dropped — a failed line match falls back to the profile
+  /// as-is, AutoFDO's historical behavior).
+  bool RecoverStaleProfiles = true;
+  /// Confidence below which a matcher-recovered probe profile is still
+  /// dropped (forwarded to MatcherConfig::MinConfidence).
+  double StaleMatchMinConfidence = 0.5;
+};
+
+/// One stale-profile matching attempt (per function; CS profiles record
+/// one entry per distinct stale function, not per context).
+struct StaleMatchRecord {
+  std::string Name;
+  MatchStats Stats;
 };
 
 struct LoaderStats {
   unsigned FunctionsAnnotated = 0;
-  unsigned StaleDropped = 0; ///< Probe checksum mismatches.
+  /// Checksum-mismatched profiles dropped (matcher off, match rejected,
+  /// or below confidence). Counted per mismatch site, as before.
+  unsigned StaleDropped = 0;
+  /// Stale profiles the matcher recovered and the loader applied.
+  unsigned StaleMatched = 0;
+  /// Call-site anchors the matcher aligned across applied recoveries.
+  uint64_t StaleAnchorsMatched = 0;
+  /// Body samples carried over to fresh keys across applied recoveries.
+  uint64_t StaleCountsRecovered = 0;
+  /// Per-function matching attempts (accepted and rejected).
+  std::vector<StaleMatchRecord> StaleMatches;
   unsigned InlinedCallsites = 0;
   unsigned PromotedIndirectCalls = 0;
   uint64_t HotThresholdUsed = 0;

@@ -14,6 +14,9 @@ PGODriver::PGODriver(ExperimentConfig Config) : Config(std::move(Config)) {
   Source = generateProgram(this->Config.Workload);
 }
 
+PGODriver::PGODriver(ExperimentConfig Config, std::unique_ptr<Module> Source)
+    : Config(std::move(Config)), Source(std::move(Source)) {}
+
 BuildConfig PGODriver::makeBuildConfig(PGOVariant V) const {
   BuildConfig B;
   B.Variant = V;

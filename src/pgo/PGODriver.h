@@ -100,6 +100,11 @@ class PGODriver {
 public:
   explicit PGODriver(ExperimentConfig Config);
 
+  /// Drives the pipeline over an externally constructed \p Source instead
+  /// of generating one from Config.Workload (the drift benches profile an
+  /// already-edited variant of a program).
+  PGODriver(ExperimentConfig Config, std::unique_ptr<Module> Source);
+
   /// Runs the full pipeline for \p V. Results are deterministic.
   VariantOutcome run(PGOVariant V);
 

@@ -40,6 +40,36 @@ std::vector<std::string> serverWorkloadNames();
 /// the CFG checksum still matches (§III-A).
 void applySourceDrift(Module &M, uint32_t ShiftLines = 3);
 
+/// CFG-*changing* drift kinds for the stale-profile matching experiment.
+/// Unlike applySourceDrift these alter block structure, so probe CFG
+/// checksums of profiles collected before the drift mismatch and the
+/// profiles become stale. Every kind preserves program semantics: a
+/// drifted module computes exactly what the original did.
+enum class CFGDriftKind {
+  /// Per function: split one block at a seeded point and guard the tail
+  /// with a never-taken if (a constant-true compare branching over a cold
+  /// arm), shifting source lines below the edit down by three — the
+  /// "developer added an early-out check" edit.
+  GuardInsert,
+  /// Folds constant-condition guards back out (the inverse edit):
+  /// constant CondBrs become Brs, unreachable arms are erased, and
+  /// single-predecessor Br chains collapse, shifting lines back up.
+  GuardDelete,
+  /// Per function: split one straight-line block in two (no line-number
+  /// changes — stresses probe remapping alone).
+  BlockSplit,
+  /// Module-wide: clone the most-called non-entry function under a
+  /// "<name>_v2" symbol (fresh GUID), give it a new tiny "<name>_helper"
+  /// callee, retarget every direct call and function-table entry, and
+  /// erase the old body — the "function renamed and extended" refactor.
+  CalleeRename,
+};
+
+/// Applies \p K to \p M; \p Seed varies the edit points. Returns the
+/// number of edits (functions edited, or call sites retargeted for
+/// CalleeRename).
+unsigned applyCFGDrift(Module &M, CFGDriftKind K, uint32_t Seed = 1);
+
 } // namespace csspgo
 
 #endif // CSSPGO_WORKLOAD_WORKLOADS_H

@@ -98,10 +98,32 @@ TEST(Loader, StaleProbeProfileDropped) {
   P.Checksum = 0xDEAD; // Mismatch.
   P.addBody({1, 0}, 100);
   LoaderOptions Opts;
+  Opts.RecoverStaleProfiles = false; // Legacy behavior: detect and drop.
   LoaderStats Stats = loadFlatProfile(*M, Prof, false, Opts);
   EXPECT_EQ(Stats.StaleDropped, 1u);
+  EXPECT_EQ(Stats.StaleMatched, 0u);
   // 'leaf' must not carry the stale counts (cold-filled instead).
   EXPECT_EQ(M->getFunction("leaf")->Blocks[0]->Count, 0u);
+}
+
+TEST(Loader, StaleProbeProfileRecoveredByDefault) {
+  auto M = makeCallerModule(5);
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  FlatProfile Prof;
+  Prof.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &P = Prof.getOrCreate("leaf");
+  P.Checksum = 0xDEAD; // Mismatch, but the CFG is actually unchanged.
+  P.addBody({1, 0}, 100);
+  LoaderOptions Opts; // RecoverStaleProfiles on by default.
+  LoaderStats Stats = loadFlatProfile(*M, Prof, false, Opts);
+  EXPECT_EQ(Stats.StaleDropped, 0u);
+  EXPECT_EQ(Stats.StaleMatched, 1u);
+  ASSERT_EQ(Stats.StaleMatches.size(), 1u);
+  EXPECT_EQ(Stats.StaleMatches[0].Name, "leaf");
+  EXPECT_TRUE(Stats.StaleMatches[0].Stats.Accepted);
+  EXPECT_EQ(Stats.StaleCountsRecovered, 100u);
+  // Identity remap: the counts land exactly where they were.
+  EXPECT_EQ(M->getFunction("leaf")->Blocks[0]->Count, 100u);
 }
 
 TEST(Loader, MatchingChecksumAccepted) {
@@ -247,7 +269,31 @@ TEST(CSLoader, StaleContextChecksumBlocksInlining) {
   });
   LoaderOptions Opts;
   Opts.InlineHotContexts = false;
+  Opts.RecoverStaleProfiles = false; // Legacy behavior: detect and drop.
   LoaderStats Stats = loadContextProfile(*M, CS, Opts);
   EXPECT_EQ(Stats.InlinedCallsites, 0u);
   EXPECT_GE(Stats.StaleDropped, 1u);
+}
+
+TEST(CSLoader, StaleContextRecoveredRestoresInlining) {
+  auto M = makeCallerModule(5);
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  ContextProfile CS = makeCSProfile(*M, /*Mark=*/true);
+  CS.forEachNodeMutable([](const SampleContext &Ctx, ContextTrieNode &N) {
+    if (Ctx.back().Func == "leaf")
+      N.Profile.Checksum = 0xBAD;
+  });
+  LoaderOptions Opts; // RecoverStaleProfiles on by default.
+  Opts.InlineHotContexts = false;
+  LoaderStats Stats = loadContextProfile(*M, CS, Opts);
+  // The matcher pre-pass rewrites the stale contexts (the CFG did not
+  // actually change), so the marked context inlines again and its sliced
+  // annotation is intact.
+  EXPECT_EQ(Stats.StaleDropped, 0u);
+  EXPECT_GE(Stats.StaleMatched, 1u);
+  EXPECT_EQ(Stats.InlinedCallsites, 1u);
+  bool Found450 = false;
+  for (auto &BB : M->getFunction("main")->Blocks)
+    Found450 |= BB->HasCount && BB->Count == 450;
+  EXPECT_TRUE(Found450);
 }

@@ -376,3 +376,41 @@ TEST(Merge, PropagatesInlineeMetadata) {
   EXPECT_EQ(LeafIt->second.Checksum, 0x1234u);
   EXPECT_EQ(LeafIt->second.bodyAt({1, 0}), 9u);
 }
+
+TEST(Merge, MatchedProfilePreservesMetadataAndFreshKeys) {
+  // A stale-matcher recovery is stamped with the fresh GUID/checksum and
+  // keyed entirely in the fresh probe-id space {1,2,3}; aggregating it
+  // with a fresh-collected profile (the continuous-profiling workflow)
+  // must keep that metadata and must not resurrect stale-only ids.
+  FlatProfile Fresh;
+  Fresh.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &F = Fresh.getOrCreate("f");
+  F.Guid = 0x77;
+  F.Checksum = 0xC0FFEE;
+  F.addBody({1, 0}, 10);
+  F.addBody({2, 0}, 20);
+  F.addBody({3, 0}, 5);
+  F.addCall({3, 0}, "g", 5);
+
+  FlatProfile Recovered;
+  Recovered.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &R = Recovered.getOrCreate("f");
+  R.Guid = 0x77;
+  R.Checksum = 0xC0FFEE; // Fresh checksum, stamped by the matcher.
+  R.addBody({1, 0}, 4);  // Remapped: the stale ids {1,2,9} became {1,3}.
+  R.addBody({3, 0}, 6);
+  R.addCall({3, 0}, "g", 2);
+
+  mergeFlatProfiles(Fresh, Recovered);
+  const FunctionProfile *D = Fresh.find("f");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Guid, 0x77u);
+  EXPECT_EQ(D->Checksum, 0xC0FFEEu);
+  for (const auto &[K, N] : D->Body)
+    EXPECT_TRUE(K.Index >= 1 && K.Index <= 3)
+        << "stale id resurrected: " << K.Index;
+  EXPECT_EQ(D->bodyAt({1, 0}), 14u);
+  EXPECT_EQ(D->bodyAt({2, 0}), 20u);
+  EXPECT_EQ(D->bodyAt({3, 0}), 11u);
+  EXPECT_EQ(D->callAt({3, 0}), 7u);
+}

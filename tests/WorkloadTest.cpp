@@ -2,6 +2,7 @@
 
 #include "codegen/Linker.h"
 #include "ir/Verifier.h"
+#include "probe/ProbeInserter.h"
 #include "sim/Executor.h"
 #include "workload/Workloads.h"
 
@@ -97,6 +98,64 @@ TEST(Workload, PresetsDistinctAndScalable) {
   WorkloadConfig Clang = workloadPreset("ClangProxy", 1.0);
   EXPECT_GT(Clang.NumMids, workloadPreset("HaaS", 1.0).NumMids)
       << "client workload has the broadest code";
+}
+
+namespace {
+
+int64_t runModule(const Module &M, const WorkloadConfig &C) {
+  auto Bin = compileToBinary(M);
+  auto Mem = generateInput(C, 11);
+  return execute(*Bin, "main", Mem, {}).ExitValue;
+}
+
+} // namespace
+
+TEST(Workload, CFGDriftPreservesSemanticsAndStalesChecksums) {
+  WorkloadConfig C = tinyConfig();
+  for (CFGDriftKind K : {CFGDriftKind::GuardInsert, CFGDriftKind::BlockSplit,
+                         CFGDriftKind::CalleeRename}) {
+    auto M1 = generateProgram(C);
+    auto M2 = generateProgram(C);
+    unsigned Edits = applyCFGDrift(*M2, K);
+    EXPECT_GT(Edits, 0u) << "drift kind " << static_cast<int>(K);
+    EXPECT_TRUE(verifyModule(*M2).empty());
+    // Semantics preserved exactly.
+    EXPECT_EQ(runModule(*M1, C), runModule(*M2, C))
+        << "drift kind " << static_cast<int>(K);
+    if (K == CFGDriftKind::CalleeRename) {
+      // Rename drift stales profiles via the vanished symbol, not
+      // checksums: the victim is gone, _v2 and _helper replace it.
+      bool FoundV2 = false, FoundHelper = false;
+      for (auto &F : M2->Functions) {
+        FoundV2 |= F->getName().size() > 3 &&
+                   F->getName().substr(F->getName().size() - 3) == "_v2";
+        FoundHelper |=
+            F->getName().size() > 7 &&
+            F->getName().substr(F->getName().size() - 7) == "_helper";
+      }
+      EXPECT_TRUE(FoundV2 && FoundHelper);
+      continue;
+    }
+    // Probe CFG checksums of shared functions actually go stale.
+    insertProbes(*M1, AnchorKind::PseudoProbe);
+    insertProbes(*M2, AnchorKind::PseudoProbe);
+    unsigned Mismatched = 0;
+    for (auto &F1 : M1->Functions)
+      if (Function *F2 = M2->getFunction(F1->getName()))
+        Mismatched += F1->ProbeCFGChecksum != F2->ProbeCFGChecksum;
+    EXPECT_GT(Mismatched, 0u) << "drift kind " << static_cast<int>(K);
+  }
+}
+
+TEST(Workload, GuardDeleteUndoesGuardInsert) {
+  WorkloadConfig C = tinyConfig();
+  auto M1 = generateProgram(C);
+  auto M2 = generateProgram(C);
+  ASSERT_GT(applyCFGDrift(*M2, CFGDriftKind::GuardInsert), 0u);
+  unsigned Deleted = applyCFGDrift(*M2, CFGDriftKind::GuardDelete);
+  EXPECT_GT(Deleted, 0u);
+  EXPECT_TRUE(verifyModule(*M2).empty());
+  EXPECT_EQ(runModule(*M1, C), runModule(*M2, C));
 }
 
 TEST(Workload, SourceDriftShiftsLinesKeepsCFG) {

@@ -117,6 +117,14 @@ int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
               Out.Build->Loader.InlinedCallsites,
               Out.Build->Loader.PromotedIndirectCalls,
               Out.Build->Loader.StaleDropped);
+  if (Out.Build->Loader.StaleMatched)
+    std::printf("stale matching:      %u recovered, %llu anchors, "
+                "%llu counts\n",
+                Out.Build->Loader.StaleMatched,
+                static_cast<unsigned long long>(
+                    Out.Build->Loader.StaleAnchorsMatched),
+                static_cast<unsigned long long>(
+                    Out.Build->Loader.StaleCountsRecovered));
   std::printf("exit value:          %lld (plain %lld%s)\n",
               static_cast<long long>(Out.ExitValue),
               static_cast<long long>(Base.ExitValue),
