@@ -42,9 +42,19 @@ inline double scaleFromEnv() {
 }
 
 /// Default experiment config for \p Workload at the environment scale.
+/// Profile verification stays at the ExperimentConfig default (Full
+/// level, strict): every bench doubles as an invariant sweep over its
+/// workload matrix, and a verifier violation aborts the run with a
+/// report instead of silently skewing a figure. CSSPGO_NO_VERIFY=1
+/// disables it for timing pipelines without the verification pass.
 inline ExperimentConfig makeConfig(const std::string &Workload) {
   ExperimentConfig Config;
   Config.Workload = workloadPreset(Workload, scaleFromEnv());
+  if (const char *Env = std::getenv("CSSPGO_NO_VERIFY"))
+    if (Env[0] && Env[0] != '0') {
+      Config.VerifyProfiles = false;
+      Config.VerifyStrict = false;
+    }
   return Config;
 }
 

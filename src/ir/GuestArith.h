@@ -1,0 +1,68 @@
+//===- ir/GuestArith.h - Guest i64 arithmetic semantics ---------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest ISA's integer semantics: i64 two's-complement with silent
+/// wraparound, total division (x/0 == x%0 == 0, and INT64_MIN / -1 wraps
+/// to INT64_MIN instead of trapping) and shift counts masked to 6 bits.
+/// Host *signed* overflow is undefined behavior, so every component that
+/// evaluates guest operations — the reference interpreter, the fast-path
+/// interpreter and the constant folder, which must all agree bit-for-bit
+/// — routes through these helpers, which compute in uint64_t where the
+/// wrap is well defined. (UBSan caught the previous direct signed ops:
+/// a generated workload squaring a large accumulator is enough.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_IR_GUESTARITH_H
+#define CSSPGO_IR_GUESTARITH_H
+
+#include <cstdint>
+
+namespace csspgo {
+
+inline int64_t guestAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t guestSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t guestMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t guestDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (B == -1) // INT64_MIN / -1 overflows; wrap like the negation it is.
+    return guestSub(0, A);
+  return A / B;
+}
+
+inline int64_t guestMod(int64_t A, int64_t B) {
+  if (B == 0 || B == -1) // x % -1 == 0, minus the INT64_MIN trap.
+    return 0;
+  return A % B;
+}
+
+inline int64_t guestShl(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A)
+                              << (static_cast<uint64_t>(B) & 63));
+}
+
+inline int64_t guestShr(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                              (static_cast<uint64_t>(B) & 63));
+}
+
+} // namespace csspgo
+
+#endif // CSSPGO_IR_GUESTARITH_H

@@ -68,6 +68,13 @@ std::vector<BasicBlock *> mappedBlocks(const InlinedBody &Body) {
   return Body.ClonedOrder;
 }
 
+void recordVerifyReport(LoaderStats &Stats, const VerifyReport &R) {
+  Stats.VerifyViolations = R.Violations;
+  if (!R.Details.empty())
+    Stats.VerifyFirst =
+        R.Details.front().Where + ": " + R.Details.front().Message;
+}
+
 /// The single entry point for stale-profile handling. Every
 /// checksum-mismatch site in the loader routes through resolve(), which
 /// returns the profile to apply: the input itself when it is not stale, a
@@ -365,6 +372,17 @@ struct FlatInlineDriver {
 LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
                             bool IsInstr, const LoaderOptions &Opts) {
   LoaderStats Stats;
+  if (Opts.Verify != VerifyLevel::Off) {
+    VerifierOptions VO;
+    VO.Level = Opts.Verify;
+    // Instr counter profiles are exact (head is a body counter, so
+    // HEAD <= TOTAL must hold); sampled profiles instead obey head/call
+    // edge conservation. Probe-table agreement is deliberately not
+    // checked here: the input may be stale on purpose.
+    VO.ExactCounts = IsInstr;
+    VO.CheckHeadEdges = !IsInstr;
+    recordVerifyReport(Stats, verifyFlatProfile(Profile, VO));
+  }
   bool Anchored = Profile.Kind == ProfileKind::ProbeBased;
   uint64_t HotThreshold = Opts.HotCallsiteThreshold
                               ? Opts.HotCallsiteThreshold
@@ -507,6 +525,11 @@ struct CSInlineDriver {
 LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
                                const LoaderOptions &Opts) {
   LoaderStats Stats;
+  if (Opts.Verify != VerifyLevel::Off) {
+    VerifierOptions VO;
+    VO.Level = Opts.Verify;
+    recordVerifyReport(Stats, verifyContextProfile(Profile, VO));
+  }
   // The resolver is PreMatched: stale contexts are recovered by a
   // whole-trie matcher pre-pass below (one alignment per function across
   // all its contexts); whatever is still stale when the in-loop sites

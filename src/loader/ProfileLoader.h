@@ -21,6 +21,7 @@
 #include "matcher/StaleMatcher.h"
 #include "profile/ContextTrie.h"
 #include "profile/FunctionProfile.h"
+#include "verify/ProfileVerifier.h"
 
 #include <string>
 #include <vector>
@@ -67,6 +68,13 @@ struct LoaderOptions {
   /// Confidence below which a matcher-recovered probe profile is still
   /// dropped (forwarded to MatcherConfig::MinConfidence).
   double StaleMatchMinConfidence = 0.5;
+  /// Self-consistency verification of the input profile before loading
+  /// (count conservation, head/call-edge conservation; see
+  /// verify/ProfileVerifier.h). The loader only *records* violations in
+  /// LoaderStats — it never rejects the profile, since a stale-but-usable
+  /// profile is routinely fed here on purpose. Probe-table agreement is
+  /// not checked (the input may legitimately predate the current build).
+  VerifyLevel Verify = VerifyLevel::Summary;
 };
 
 /// One stale-profile matching attempt (per function; CS profiles record
@@ -92,6 +100,11 @@ struct LoaderStats {
   unsigned InlinedCallsites = 0;
   unsigned PromotedIndirectCalls = 0;
   uint64_t HotThresholdUsed = 0;
+  /// Invariant violations the pre-load verification found in the input
+  /// profile (0 when LoaderOptions::Verify is Off).
+  uint64_t VerifyViolations = 0;
+  /// First recorded violation, for diagnostics ("where: message").
+  std::string VerifyFirst;
 };
 
 /// Loads a flat profile (AutoFDO line-based, probe-only, or Instr

@@ -11,6 +11,8 @@
 
 #include "opt/PassManager.h"
 
+#include "ir/GuestArith.h"
+
 #include <map>
 #include <optional>
 
@@ -18,18 +20,21 @@ namespace csspgo {
 
 namespace {
 
+// Folding must agree bit-for-bit with what the interpreters would have
+// computed at run time, so it evaluates with the same guest semantics
+// (wraparound, total division) instead of raw host signed ops.
 std::optional<int64_t> foldBinary(Opcode Op, int64_t A, int64_t B) {
   switch (Op) {
   case Opcode::Add:
-    return A + B;
+    return guestAdd(A, B);
   case Opcode::Sub:
-    return A - B;
+    return guestSub(A, B);
   case Opcode::Mul:
-    return A * B;
+    return guestMul(A, B);
   case Opcode::Div:
-    return B ? A / B : 0;
+    return guestDiv(A, B);
   case Opcode::Mod:
-    return B ? A % B : 0;
+    return guestMod(A, B);
   case Opcode::And:
     return A & B;
   case Opcode::Or:
@@ -37,9 +42,9 @@ std::optional<int64_t> foldBinary(Opcode Op, int64_t A, int64_t B) {
   case Opcode::Xor:
     return A ^ B;
   case Opcode::Shl:
-    return A << (B & 63);
+    return guestShl(A, B);
   case Opcode::Shr:
-    return static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
+    return guestShr(A, B);
   case Opcode::CmpEQ:
     return A == B;
   case Opcode::CmpNE:

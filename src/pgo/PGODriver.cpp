@@ -8,7 +8,25 @@
 #include "profile/Trimmer.h"
 #include "sim/InstrRuntime.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace csspgo {
+
+namespace {
+
+/// Strict-mode enforcement: every profile this driver handles is freshly
+/// generated against the binary it came from, so a verifier violation is
+/// a pipeline bug, not bad input — fail loudly with the report.
+void enforceVerified(const VerifyReport &R, const char *What, bool Strict) {
+  if (R.ok() || !Strict)
+    return;
+  std::fprintf(stderr, "csspgo: profile verification failed (%s):\n%s", What,
+               R.str().c_str());
+  std::abort();
+}
+
+} // namespace
 
 PGODriver::PGODriver(ExperimentConfig Config) : Config(std::move(Config)) {
   Source = generateProgram(this->Config.Workload);
@@ -24,6 +42,8 @@ BuildConfig PGODriver::makeBuildConfig(PGOVariant V) const {
   B.Inline = Config.Inline;
   B.Loader = Config.Loader;
   B.EnableInference = Config.EnableInference;
+  if (Config.VerifyProfiles)
+    B.Loader.Verify = VerifyLevel::Full;
   if (V == PGOVariant::CSSPGOFull && Config.RunPreInliner) {
     // With the pre-inliner's global decisions persisted in the profile,
     // the loader honors them instead of its own local hot heuristic.
@@ -60,6 +80,8 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
   ProfGenOptions GenOpts;
   GenOpts.InferMissingFrames = Config.InferMissingFrames;
   GenOpts.Parallelism = Config.Parallelism;
+  GenOpts.Verify =
+      Config.VerifyProfiles ? VerifyLevel::Full : VerifyLevel::Off;
   switch (V) {
   case PGOVariant::Instr: {
     GenOpts.Kind = ProfGenKind::Instr;
@@ -69,6 +91,8 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
     Bundle.Flat = std::move(R.Flat);
     Bundle.IsInstr = true;
     Bundle.Has = true;
+    Out.ProfGenVerify = std::move(R.Verify);
+    enforceVerified(Out.ProfGenVerify, "instr profgen", Config.VerifyStrict);
     break;
   }
   case PGOVariant::AutoFDO: {
@@ -78,6 +102,9 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
     Bundle.Flat = std::move(R.Flat);
     Out.ProfGen = R.Stats;
     Bundle.Has = true;
+    Out.ProfGenVerify = std::move(R.Verify);
+    enforceVerified(Out.ProfGenVerify, "autofdo profgen",
+                    Config.VerifyStrict);
     break;
   }
   case PGOVariant::CSSPGOProbeOnly: {
@@ -88,6 +115,9 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
     Out.ProfGen = R.Stats;
     Out.ProfGenReduce = R.Reduce;
     Bundle.Has = true;
+    Out.ProfGenVerify = std::move(R.Verify);
+    enforceVerified(Out.ProfGenVerify, "probe-only profgen",
+                    Config.VerifyStrict);
     break;
   }
   case PGOVariant::CSSPGOFull: {
@@ -97,6 +127,8 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
     Bundle.CS = std::move(R.CS);
     Out.ProfGen = R.Stats;
     Out.ProfGenReduce = R.Reduce;
+    Out.ProfGenVerify = std::move(R.Verify);
+    enforceVerified(Out.ProfGenVerify, "cs profgen", Config.VerifyStrict);
     if (Config.TrimColdContexts) {
       uint64_t Threshold =
           Bundle.CS.totalSamples() /
@@ -106,6 +138,18 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
     if (Config.RunPreInliner) {
       FuncSizeTable Sizes = extractFuncSizes(*ProfBuild.Bin);
       runPreInliner(Bundle.CS, Sizes);
+    }
+    if (Config.VerifyProfiles &&
+        (Config.TrimColdContexts || Config.RunPreInliner)) {
+      // Trimming merges cold contexts into base nodes and the pre-inliner
+      // promotes subtrees; both move counts without creating or dropping
+      // any, so the full invariant set (including head/call-edge
+      // conservation) must still hold on the transformed trie.
+      VerifierOptions VO;
+      VO.Probes = &ProfBuild.ProbeDescs;
+      Out.ProfGenVerify = verifyContextProfile(Bundle.CS, VO);
+      enforceVerified(Out.ProfGenVerify, "cs profgen after trim/preinline",
+                      Config.VerifyStrict);
     }
     Bundle.IsCS = true;
     Bundle.Has = true;
@@ -179,6 +223,18 @@ VariantOutcome PGODriver::run(PGOVariant V) {
   auto Build = std::make_unique<BuildResult>(
       buildWithPGO(*Source, OptConfig,
                    Out.Profile.Has ? &Out.Profile : nullptr));
+  if (Config.VerifyProfiles && Config.VerifyStrict && Out.Profile.Has &&
+      Build->Loader.VerifyViolations) {
+    // The loader re-verified the profile it consumed; our profiles are
+    // fresh, so any violation it recorded is a pipeline bug.
+    std::fprintf(stderr,
+                 "csspgo: loader-side profile verification failed "
+                 "(%llu violations; first: %s)\n",
+                 static_cast<unsigned long long>(
+                     Build->Loader.VerifyViolations),
+                 Build->Loader.VerifyFirst.c_str());
+    std::abort();
+  }
   Out.CodeSizeBytes = Build->Bin->textSize();
 
   // 4. Evaluation runs.

@@ -64,6 +64,17 @@ struct ExperimentConfig {
   InlineParams Inline;
   LoaderOptions Loader;
   bool EnableInference = true;
+
+  /// Run the ProfileVerifier over every profile the pipeline produces or
+  /// consumes: Full verification at generation time (including probe-table
+  /// agreement), a re-check after cold-context trimming and the
+  /// pre-inliner, and pre-load verification inside the loader. See
+  /// verify/ProfileVerifier.h for the invariants.
+  bool VerifyProfiles = true;
+  /// With VerifyProfiles: treat any violation as a fatal pipeline bug
+  /// (every profile in this driver is freshly generated, so violations
+  /// are never expected). Off records the report and carries on.
+  bool VerifyStrict = true;
 };
 
 struct VariantOutcome {
@@ -93,6 +104,9 @@ struct VariantOutcome {
   CSProfileGenStats ProfGen;
   /// Shard-reduction stats of the profile generation (zeros when serial).
   MergeStats ProfGenReduce;
+  /// Verification report of the generated profile (after trimming and
+  /// pre-inlining for full CSSPGO); empty when verification is off.
+  VerifyReport ProfGenVerify;
   std::unique_ptr<BuildResult> Build;
 };
 

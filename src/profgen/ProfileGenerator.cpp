@@ -79,6 +79,16 @@ ProfileGenerator::generate(const std::vector<PerfSample> &Samples) const {
   }
   if (R.ShardsUsed == 0)
     R.ShardsUsed = 1;
+  if (Opts.Verify != VerifyLevel::Off) {
+    VerifierOptions VO;
+    VO.Level = Opts.Verify;
+    // A freshly generated profile must agree with the probe table it was
+    // generated against (CS/ProbeOnly kinds); AutoFDO keys records by
+    // line offsets, where the probe domain does not apply.
+    VO.Probes = Probes;
+    R.Verify = R.IsCS ? verifyContextProfile(R.CS, VO)
+                      : verifyFlatProfile(R.Flat, VO);
+  }
   return R;
 }
 
@@ -88,6 +98,16 @@ ProfGenResult ProfileGenerator::generate(const CounterDump &Dump,
          "counter-dump generation is the Instr kind");
   ProfGenResult R;
   R.Flat = generateInstrProfile(Dump, &Bin, Run);
+  if (Opts.Verify != VerifyLevel::Off) {
+    VerifierOptions VO;
+    VO.Level = Opts.Verify;
+    // Counter profiles are exact: the head is a body counter, so
+    // HEAD <= TOTAL must hold; the sampled head/call-edge conservation
+    // law does not apply (counters are not paired with LBR records).
+    VO.ExactCounts = true;
+    VO.CheckHeadEdges = false;
+    R.Verify = verifyFlatProfile(R.Flat, VO);
+  }
   return R;
 }
 

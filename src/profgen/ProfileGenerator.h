@@ -28,6 +28,7 @@
 
 #include "profgen/CSProfileGenerator.h"
 #include "profile/ProfileMerge.h"
+#include "verify/ProfileVerifier.h"
 
 namespace csspgo {
 
@@ -45,6 +46,12 @@ struct ProfGenOptions {
   /// Worker threads for shardable kinds: 0 = one per hardware thread,
   /// 1 = serial, K = shard the samples K ways.
   unsigned Parallelism = 1;
+  /// Post-generation invariant verification of the freshly generated
+  /// profile (verify/ProfileVerifier.h). Freshly generated profiles have
+  /// no excuse for violations, so probe-table agreement is checked too
+  /// (when the kind carries a probe table). The result is recorded in
+  /// ProfGenResult::Verify; enforcement policy is the caller's call.
+  VerifyLevel Verify = VerifyLevel::Summary;
 };
 
 struct ProfGenResult {
@@ -59,6 +66,9 @@ struct ProfGenResult {
   MergeStats Reduce;
   /// Number of shards the samples were actually split into.
   unsigned ShardsUsed = 1;
+  /// Invariant verification of the generated profile (empty/ok when
+  /// ProfGenOptions::Verify is Off).
+  VerifyReport Verify;
 };
 
 class ProfileGenerator {

@@ -7,21 +7,23 @@
 namespace csspgo {
 
 void FunctionProfile::addBody(ProfileKey K, uint64_t N) {
-  Body[K] += N;
-  TotalSamples += N;
+  uint64_t &Slot = Body[K];
+  Slot = saturatingAdd(Slot, N);
+  TotalSamples = saturatingAdd(TotalSamples, N);
 }
 
 void FunctionProfile::maxBody(ProfileKey K, uint64_t N) {
   uint64_t &Slot = Body[K];
   if (N > Slot) {
-    TotalSamples += N - Slot;
+    TotalSamples = saturatingAdd(TotalSamples, N - Slot);
     Slot = N;
   }
 }
 
 void FunctionProfile::addCall(ProfileKey K, const std::string &Callee,
                               uint64_t N) {
-  Calls[K][Callee] += N;
+  uint64_t &Slot = Calls[K][Callee];
+  Slot = saturatingAdd(Slot, N);
 }
 
 uint64_t FunctionProfile::bodyAt(ProfileKey K) const {
@@ -62,20 +64,41 @@ FunctionProfile::getOrCreateInlinee(ProfileKey K, const std::string &Callee) {
   return P;
 }
 
-void FunctionProfile::merge(const FunctionProfile &Other, uint64_t Num,
-                            uint64_t Den) {
+uint64_t FunctionProfile::merge(const FunctionProfile &Other, uint64_t Num,
+                                uint64_t Den) {
+  uint64_t Saturated = 0;
   auto Scale = [&](uint64_t V) -> uint64_t {
     if (Num == Den)
       return V;
-    return Den ? (V * Num + Den / 2) / Den : V;
+    if (!Den)
+      return V;
+    // 128-bit intermediate: V * Num overflows uint64_t long before the
+    // scaled result does (e.g. scaling a near-max count by 3/2).
+    unsigned __int128 Wide =
+        (static_cast<unsigned __int128>(V) * Num + Den / 2) / Den;
+    if (Wide > UINT64_MAX) {
+      ++Saturated;
+      return UINT64_MAX;
+    }
+    return static_cast<uint64_t>(Wide);
   };
-  for (const auto &[K, N] : Other.Body)
-    addBody(K, Scale(N));
-  TotalSamples -= 0; // addBody already tracked the total.
-  HeadSamples += Scale(Other.HeadSamples);
+  auto SatInto = [&Saturated](uint64_t &Slot, uint64_t V) {
+    uint64_t R;
+    if (__builtin_add_overflow(Slot, V, &R)) {
+      R = UINT64_MAX;
+      ++Saturated;
+    }
+    Slot = R;
+  };
+  for (const auto &[K, N] : Other.Body) {
+    uint64_t S = Scale(N);
+    SatInto(Body[K], S);
+    SatInto(TotalSamples, S);
+  }
+  SatInto(HeadSamples, Scale(Other.HeadSamples));
   for (const auto &[K, Targets] : Other.Calls)
     for (const auto &[Callee, N] : Targets)
-      addCall(K, Callee, Scale(N));
+      SatInto(Calls[K][Callee], Scale(N));
   for (const auto &[K, Map] : Other.Inlinees)
     for (const auto &[Callee, P] : Map) {
       FunctionProfile &Sub = getOrCreateInlinee(K, Callee);
@@ -86,8 +109,9 @@ void FunctionProfile::merge(const FunctionProfile &Other, uint64_t Num,
         Sub.Guid = P.Guid;
       if (P.Checksum)
         Sub.Checksum = P.Checksum;
-      Sub.merge(P, Num, Den);
+      Saturated += Sub.merge(P, Num, Den);
     }
+  return Saturated;
 }
 
 uint64_t FunctionProfile::maxBodyCount() const {
@@ -100,10 +124,10 @@ uint64_t FunctionProfile::maxBodyCount() const {
 uint64_t FunctionProfile::totalBodySamples() const {
   uint64_t Total = 0;
   for (const auto &[K, N] : Body)
-    Total += N;
+    Total = saturatingAdd(Total, N);
   for (const auto &[K, Map] : Inlinees)
     for (const auto &[Callee, P] : Map)
-      Total += P.totalBodySamples();
+      Total = saturatingAdd(Total, P.totalBodySamples());
   return Total;
 }
 
@@ -122,7 +146,7 @@ const FunctionProfile *FlatProfile::find(const std::string &Name) const {
 uint64_t FlatProfile::totalSamples() const {
   uint64_t Total = 0;
   for (const auto &[Name, P] : Functions)
-    Total += P.TotalSamples;
+    Total = saturatingAdd(Total, P.TotalSamples);
   return Total;
 }
 

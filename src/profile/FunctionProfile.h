@@ -22,6 +22,17 @@
 
 namespace csspgo {
 
+/// Saturating uint64 addition: profile counts are magnitudes, so an
+/// overflowing sum clamps at UINT64_MAX instead of wrapping a huge count
+/// into a tiny one. All count accumulation in the profile containers goes
+/// through this, which keeps TotalSamples == saturating-sum(Body) a true
+/// invariant even at the extremes (the ProfileVerifier checks exactly
+/// that equation).
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t R;
+  return __builtin_add_overflow(A, B, &R) ? UINT64_MAX : R;
+}
+
 /// Key of one profile record within a function.
 struct ProfileKey {
   uint32_t Index = 0; ///< Line offset (AutoFDO) or probe id (CSSPGO).
@@ -91,7 +102,12 @@ public:
 
   /// Accumulates \p Other into this profile, scaling counts by \p Num/Den.
   /// Used when merging un-inlined context profiles into a base profile.
-  void merge(const FunctionProfile &Other, uint64_t Num = 1, uint64_t Den = 1);
+  /// Counts saturate at UINT64_MAX instead of wrapping; returns the number
+  /// of additions (body slots, heads, call targets, recursively through
+  /// inlinees) that saturated, so merge pipelines can report clamping
+  /// (MergeStats::SaturatedCounts) instead of silently corrupting counts.
+  uint64_t merge(const FunctionProfile &Other, uint64_t Num = 1,
+                 uint64_t Den = 1);
 
   /// Max body sample count (a hotness proxy).
   uint64_t maxBodyCount() const;

@@ -2,7 +2,7 @@
 
 #include "profile/ProfileIO.h"
 
-#include <cstdlib>
+#include <charconv>
 #include <sstream>
 
 namespace csspgo {
@@ -106,14 +106,30 @@ size_t indentOf(const std::string &S) {
   return I;
 }
 
+/// Strict unsigned parse over [First, Last): all digits, no sign, no
+/// leading/trailing junk, and the value must fit the type — a count field
+/// overflowing uint64_t is corruption, not a number to clamp.
+template <typename T>
+bool parseUInt(const char *First, const char *Last, T &Out) {
+  if (First == Last)
+    return false;
+  auto [Ptr, Ec] = std::from_chars(First, Last, Out, 10);
+  return Ec == std::errc() && Ptr == Last;
+}
+
+template <typename T> bool parseUInt(const std::string &S, T &Out) {
+  return parseUInt(S.data(), S.data() + S.size(), Out);
+}
+
 bool parseKey(const std::string &S, ProfileKey &K) {
   size_t Dot = S.find('.');
-  K.Index = static_cast<uint32_t>(std::strtoul(S.c_str(), nullptr, 10));
-  K.Disc = Dot == std::string::npos
-               ? 0
-               : static_cast<uint32_t>(
-                     std::strtoul(S.c_str() + Dot + 1, nullptr, 10));
-  return true;
+  const char *B = S.data();
+  if (Dot == std::string::npos) {
+    K.Disc = 0;
+    return parseUInt(B, B + S.size(), K.Index);
+  }
+  return parseUInt(B, B + Dot, K.Index) &&
+         parseUInt(B + Dot + 1, B + S.size(), K.Disc);
 }
 
 /// Parses body lines at indentation > \p HeaderIndent into \p P.
@@ -123,60 +139,91 @@ bool parseBodyLine(LineReader &Reader, const std::string &Line,
                    FunctionProfile &P) {
   std::string S = Line.substr(indentOf(Line));
   if (S.rfind("!CFGChecksum: ", 0) == 0) {
-    P.Checksum = std::strtoull(S.c_str() + 14, nullptr, 10);
-    return true;
+    // The serializer emits at most one (nonzero) checksum line per
+    // profile; a second one is corruption, not an update.
+    if (P.Checksum)
+      return false;
+    return parseUInt(S.substr(14), P.Checksum);
   }
   if (S == "!ShouldBeInlined")
-    return true; // Handled by the context parser.
+    return false; // The context parser consumes the attribute by peeking
+                  // right after the header; reaching it here means it is
+                  // duplicated or misplaced.
   size_t Colon = S.find(": ");
   if (Colon == std::string::npos)
     return false;
   ProfileKey K;
-  parseKey(S.substr(0, Colon), K);
+  if (!parseKey(S.substr(0, Colon), K))
+    return false;
   std::string Rest = S.substr(Colon + 2);
   if (Rest.empty())
     return false;
   if (Rest[0] == '@') {
     // Call targets: "@ callee:count callee:count".
+    if (P.Calls.count(K))
+      return false; // One line per call site.
+    auto &Targets = P.Calls[K]; // Created even when empty: round-trips.
     std::istringstream IS(Rest.substr(1));
     std::string Tok;
     while (IS >> Tok) {
       size_t C = Tok.rfind(':');
-      if (C == std::string::npos)
+      if (C == std::string::npos || C == 0)
         return false;
-      P.addCall(K, Tok.substr(0, C),
-                std::strtoull(Tok.c_str() + C + 1, nullptr, 10));
+      std::string Callee = Tok.substr(0, C);
+      uint64_t Count;
+      if (!parseUInt(Tok.data() + C + 1, Tok.data() + Tok.size(), Count))
+        return false;
+      if (!Targets.emplace(std::move(Callee), Count).second)
+        return false; // Duplicate callee at one site.
     }
     return true;
   }
   if (Rest[0] == '>') {
     // Nested inlinee: "> callee:total:head {".
     size_t Brace = Rest.rfind('{');
-    if (Brace == std::string::npos)
+    if (Brace == std::string::npos || Brace < 3 ||
+        Brace != Rest.size() - 1 || Rest[1] != ' ' ||
+        Rest[Brace - 1] != ' ')
       return false;
     std::string Header = Rest.substr(2, Brace - 3);
-    size_t C1 = Header.find(':');
-    size_t C2 = Header.find(':', C1 + 1);
-    if (C1 == std::string::npos || C2 == std::string::npos)
+    size_t C2 = Header.rfind(':');
+    if (C2 == std::string::npos || C2 == 0)
+      return false;
+    size_t C1 = Header.rfind(':', C2 - 1);
+    if (C1 == std::string::npos || C1 == 0)
       return false;
     std::string Callee = Header.substr(0, C1);
+    uint64_t Total, Head;
+    if (!parseUInt(Header.data() + C1 + 1, Header.data() + C2, Total) ||
+        !parseUInt(Header.data() + C2 + 1, Header.data() + Header.size(),
+                   Head))
+      return false;
+    if (P.inlineeAt(K, Callee))
+      return false; // Duplicate inlinee record.
     FunctionProfile &Inlinee = P.getOrCreateInlinee(K, Callee);
-    Inlinee.HeadSamples =
-        std::strtoull(Header.c_str() + C2 + 1, nullptr, 10);
+    Inlinee.HeadSamples = Head;
     // Body lines until the matching "}".
     std::string BodyLine;
     size_t MyIndent = indentOf(Line);
     while (Reader.next(BodyLine)) {
       std::string Trimmed = BodyLine.substr(indentOf(BodyLine));
       if (Trimmed == "}" && indentOf(BodyLine) == MyIndent)
-        return true;
+        // Count conservation at parse time: the recorded total must match
+        // the recomputed body sum, or the inlinee body was truncated or
+        // tampered with.
+        return Inlinee.TotalSamples == Total;
       if (!parseBodyLine(Reader, BodyLine, Inlinee))
         return false;
     }
     return false; // Missing closing brace.
   }
   // Plain body count.
-  P.addBody(K, std::strtoull(Rest.c_str(), nullptr, 10));
+  if (P.Body.count(K))
+    return false; // One line per key.
+  uint64_t Count;
+  if (!parseUInt(Rest, Count))
+    return false;
+  P.addBody(K, Count);
   return true;
 }
 
@@ -203,11 +250,22 @@ bool parseHeader(const std::string &Line, std::string &Name, uint64_t &Total,
   if (C2 == std::string::npos || C2 == 0)
     return false;
   size_t C1 = Line.rfind(':', C2 - 1);
-  if (C1 == std::string::npos)
+  if (C1 == std::string::npos || C1 == 0)
     return false;
   Name = Line.substr(0, C1);
-  Total = std::strtoull(Line.c_str() + C1 + 1, nullptr, 10);
-  Head = std::strtoull(Line.c_str() + C2 + 1, nullptr, 10);
+  return parseUInt(Line.data() + C1 + 1, Line.data() + C2, Total) &&
+         parseUInt(Line.data() + C2 + 1, Line.data() + Line.size(), Head);
+}
+
+/// "!kind: probe" / "!kind: line"; anything else under the "!kind: "
+/// prefix is malformed.
+bool parseKindLine(const std::string &Line, ProfileKind &Kind) {
+  if (Line == "!kind: probe")
+    Kind = ProfileKind::ProbeBased;
+  else if (Line == "!kind: line")
+    Kind = ProfileKind::LineBased;
+  else
+    return false;
   return true;
 }
 
@@ -220,19 +278,25 @@ bool parseFlatProfile(const std::string &Text, FlatProfile &Out) {
     if (Line.empty())
       continue;
     if (Line.rfind("!kind: ", 0) == 0) {
-      Out.Kind = Line == "!kind: probe" ? ProfileKind::ProbeBased
-                                        : ProfileKind::LineBased;
+      if (!parseKindLine(Line, Out.Kind))
+        return false;
       continue;
     }
     if (indentOf(Line) != 0)
       return false;
     std::string Name;
     uint64_t Total, Head;
-    if (!parseHeader(Line, Name, Total, Head))
+    if (!parseHeader(Line, Name, Total, Head) || Name.empty())
       return false;
+    if (Out.Functions.count(Name))
+      return false; // The serializer emits each function exactly once.
     FunctionProfile &P = Out.getOrCreate(Name);
     P.HeadSamples = Head;
     if (!parseBody(Reader, P, 0))
+      return false;
+    // Count conservation at parse time: the header total is redundant
+    // with the body sum, so a mismatch means truncated or edited input.
+    if (P.TotalSamples != Total)
       return false;
   }
   return true;
@@ -245,8 +309,8 @@ bool parseContextProfile(const std::string &Text, ContextProfile &Out) {
     if (Line.empty())
       continue;
     if (Line.rfind("!kind: ", 0) == 0) {
-      Out.Kind = Line == "!kind: probe" ? ProfileKind::ProbeBased
-                                        : ProfileKind::LineBased;
+      if (!parseKindLine(Line, Out.Kind))
+        return false;
       continue;
     }
     if (indentOf(Line) != 0)
@@ -259,6 +323,8 @@ bool parseContextProfile(const std::string &Text, ContextProfile &Out) {
     if (!contextFromString(Name, Ctx))
       return false;
     ContextTrieNode &N = Out.getOrCreateNode(Ctx);
+    if (N.HasProfile)
+      return false; // Duplicate context record.
     N.HasProfile = true;
     N.Profile.HeadSamples = Head;
     // Peek for the !ShouldBeInlined attribute.
@@ -270,6 +336,8 @@ bool parseContextProfile(const std::string &Text, ContextProfile &Out) {
         Reader.pushBack(Attr);
     }
     if (!parseBody(Reader, N.Profile, 0))
+      return false;
+    if (N.Profile.TotalSamples != Total)
       return false;
   }
   return true;

@@ -36,13 +36,14 @@ MergeStats mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src) {
       ++Stats.ContextsMerged;
     else
       ++Stats.ContextsAdded;
-    Stats.CountsSummed += P.totalBodySamples() + P.HeadSamples;
+    Stats.CountsSummed +=
+        saturatingAdd(P.totalBodySamples(), P.HeadSamples);
     FunctionProfile &D = Dst.getOrCreate(Name);
     if (P.Guid)
       D.Guid = P.Guid;
     if (P.Checksum)
       D.Checksum = P.Checksum;
-    D.merge(P);
+    Stats.SaturatedCounts += D.merge(P);
   }
   return Stats;
 }
@@ -62,14 +63,15 @@ MergeStats mergeContextProfiles(ContextProfile &Dst,
       ++Stats.ContextsMerged;
     else
       ++Stats.ContextsAdded;
-    Stats.CountsSummed += N.Profile.totalBodySamples() + N.Profile.HeadSamples;
+    Stats.CountsSummed +=
+        saturatingAdd(N.Profile.totalBodySamples(), N.Profile.HeadSamples);
     D.HasProfile = true;
     if (N.Profile.Guid)
       D.Profile.Guid = N.Profile.Guid;
     if (N.Profile.Checksum)
       D.Profile.Checksum = N.Profile.Checksum;
     D.ShouldBeInlined |= N.ShouldBeInlined;
-    D.Profile.merge(N.Profile);
+    Stats.SaturatedCounts += D.Profile.merge(N.Profile);
   });
   return Stats;
 }

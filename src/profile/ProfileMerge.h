@@ -31,11 +31,16 @@ struct MergeStats {
   /// Total sample counts (body incl. nested inlinees, plus head samples)
   /// accumulated into Dst.
   uint64_t CountsSummed = 0;
+  /// Count slots that clamped at UINT64_MAX during the merge instead of
+  /// wrapping. Nonzero means the merged profile lost magnitude at the
+  /// top end — still ordered correctly, but worth surfacing.
+  uint64_t SaturatedCounts = 0;
 
   MergeStats &operator+=(const MergeStats &O) {
     ContextsAdded += O.ContextsAdded;
     ContextsMerged += O.ContextsMerged;
     CountsSummed += O.CountsSummed;
+    SaturatedCounts += O.SaturatedCounts;
     return *this;
   }
 };

@@ -3,13 +3,24 @@
 #include "quality/BlockOverlap.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace csspgo {
 
 double blockOverlapDegree(const std::vector<uint64_t> &F,
                           const std::vector<uint64_t> &GT) {
-  assert(F.size() == GT.size() && "block sets must match");
+  if (F.size() != GT.size()) {
+    // A length mismatch means the caller is comparing counts over two
+    // different block sets; any number returned from here would be
+    // meaningless, so fail loudly in every build mode.
+    std::fprintf(stderr,
+                 "csspgo: blockOverlapDegree over mismatched block sets "
+                 "(%zu vs %zu counts); overlap is only defined for count "
+                 "vectors over the same block set\n",
+                 F.size(), GT.size());
+    std::abort();
+  }
   long double SumF = 0, SumGT = 0;
   for (size_t I = 0; I != F.size(); ++I) {
     SumF += F[I];

@@ -27,7 +27,12 @@
 namespace csspgo {
 
 /// Per-function overlap degree between two count vectors over the same
-/// block set. Returns 1.0 when both are all-zero.
+/// block set. Edge cases are part of the contract: both all-zero → 1.0
+/// (two unexecuted functions agree perfectly); exactly one side all-zero
+/// → 0.0 (one profile claims the function ran, the other that it never
+/// did — no mass overlaps); mismatched vector lengths are a fatal usage
+/// error in every build mode, since an overlap over two different block
+/// sets is meaningless.
 double blockOverlapDegree(const std::vector<uint64_t> &F,
                           const std::vector<uint64_t> &GT);
 

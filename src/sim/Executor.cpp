@@ -23,6 +23,8 @@
 
 #include "sim/Executor.h"
 
+#include "ir/GuestArith.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -187,24 +189,20 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
     size_t NextPC = PC + 1;
     switch (I.Op) {
     case Opcode::Add:
-      F.Regs[I.Dst] = eval(I.A, F) + eval(I.B, F);
+      F.Regs[I.Dst] = guestAdd(eval(I.A, F), eval(I.B, F));
       break;
     case Opcode::Sub:
-      F.Regs[I.Dst] = eval(I.A, F) - eval(I.B, F);
+      F.Regs[I.Dst] = guestSub(eval(I.A, F), eval(I.B, F));
       break;
     case Opcode::Mul:
-      F.Regs[I.Dst] = eval(I.A, F) * eval(I.B, F);
+      F.Regs[I.Dst] = guestMul(eval(I.A, F), eval(I.B, F));
       break;
-    case Opcode::Div: {
-      int64_t D = eval(I.B, F);
-      F.Regs[I.Dst] = D ? eval(I.A, F) / D : 0;
+    case Opcode::Div:
+      F.Regs[I.Dst] = guestDiv(eval(I.A, F), eval(I.B, F));
       break;
-    }
-    case Opcode::Mod: {
-      int64_t D = eval(I.B, F);
-      F.Regs[I.Dst] = D ? eval(I.A, F) % D : 0;
+    case Opcode::Mod:
+      F.Regs[I.Dst] = guestMod(eval(I.A, F), eval(I.B, F));
       break;
-    }
     case Opcode::And:
       F.Regs[I.Dst] = eval(I.A, F) & eval(I.B, F);
       break;
@@ -215,11 +213,10 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
       F.Regs[I.Dst] = eval(I.A, F) ^ eval(I.B, F);
       break;
     case Opcode::Shl:
-      F.Regs[I.Dst] = eval(I.A, F) << (eval(I.B, F) & 63);
+      F.Regs[I.Dst] = guestShl(eval(I.A, F), eval(I.B, F));
       break;
     case Opcode::Shr:
-      F.Regs[I.Dst] = static_cast<int64_t>(
-          static_cast<uint64_t>(eval(I.A, F)) >> (eval(I.B, F) & 63));
+      F.Regs[I.Dst] = guestShr(eval(I.A, F), eval(I.B, F));
       break;
     case Opcode::CmpEQ:
       F.Regs[I.Dst] = eval(I.A, F) == eval(I.B, F);
@@ -756,29 +753,27 @@ RunResult FastMachine::run(const std::string &Entry) {
 
 Op_Add: {
   const DecInst &I = *IP;
-  R[I.Dst] = val(I.A) + val(I.B);
+  R[I.Dst] = guestAdd(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_Sub: {
   const DecInst &I = *IP;
-  R[I.Dst] = val(I.A) - val(I.B);
+  R[I.Dst] = guestSub(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_Mul: {
   const DecInst &I = *IP;
-  R[I.Dst] = val(I.A) * val(I.B);
+  R[I.Dst] = guestMul(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_Div: {
   const DecInst &I = *IP;
-  int64_t D = val(I.B);
-  R[I.Dst] = D ? val(I.A) / D : 0;
+  R[I.Dst] = guestDiv(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_Mod: {
   const DecInst &I = *IP;
-  int64_t D = val(I.B);
-  R[I.Dst] = D ? val(I.A) % D : 0;
+  R[I.Dst] = guestMod(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_And: {
@@ -798,13 +793,12 @@ Op_Xor: {
 }
 Op_Shl: {
   const DecInst &I = *IP;
-  R[I.Dst] = val(I.A) << (val(I.B) & 63);
+  R[I.Dst] = guestShl(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_Shr: {
   const DecInst &I = *IP;
-  R[I.Dst] = static_cast<int64_t>(static_cast<uint64_t>(val(I.A)) >>
-                                  (val(I.B) & 63));
+  R[I.Dst] = guestShr(val(I.A), val(I.B));
   CSSPGO_DISPATCH();
 }
 Op_CmpEQ: {
@@ -1017,24 +1011,20 @@ LimitHit:
     NextPC = PC + 1;
     switch (I.Op) {
     case Opcode::Add:
-      R[I.Dst] = val(I.A) + val(I.B);
+      R[I.Dst] = guestAdd(val(I.A), val(I.B));
       break;
     case Opcode::Sub:
-      R[I.Dst] = val(I.A) - val(I.B);
+      R[I.Dst] = guestSub(val(I.A), val(I.B));
       break;
     case Opcode::Mul:
-      R[I.Dst] = val(I.A) * val(I.B);
+      R[I.Dst] = guestMul(val(I.A), val(I.B));
       break;
-    case Opcode::Div: {
-      int64_t D = val(I.B);
-      R[I.Dst] = D ? val(I.A) / D : 0;
+    case Opcode::Div:
+      R[I.Dst] = guestDiv(val(I.A), val(I.B));
       break;
-    }
-    case Opcode::Mod: {
-      int64_t D = val(I.B);
-      R[I.Dst] = D ? val(I.A) % D : 0;
+    case Opcode::Mod:
+      R[I.Dst] = guestMod(val(I.A), val(I.B));
       break;
-    }
     case Opcode::And:
       R[I.Dst] = val(I.A) & val(I.B);
       break;
@@ -1045,11 +1035,10 @@ LimitHit:
       R[I.Dst] = val(I.A) ^ val(I.B);
       break;
     case Opcode::Shl:
-      R[I.Dst] = val(I.A) << (val(I.B) & 63);
+      R[I.Dst] = guestShl(val(I.A), val(I.B));
       break;
     case Opcode::Shr:
-      R[I.Dst] = static_cast<int64_t>(static_cast<uint64_t>(val(I.A)) >>
-                                      (val(I.B) & 63));
+      R[I.Dst] = guestShr(val(I.A), val(I.B));
       break;
     case Opcode::CmpEQ:
       R[I.Dst] = val(I.A) == val(I.B);

@@ -1,5 +1,6 @@
 //===- tests/ExecutorTest.cpp - simulator tests -----------------*- C++ -*-===//
 
+#include "ir/GuestArith.h"
 #include "probe/ProbeInserter.h"
 #include "sim/Executor.h"
 #include "sim/InstrRuntime.h"
@@ -291,4 +292,27 @@ TEST(Executor, InstructionLimitEnforced) {
   auto Result = compileAndRun(*M, Config);
   EXPECT_FALSE(Result.Completed);
   EXPECT_NE(Result.Error.find("limit"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Guest integer semantics (ir/GuestArith.h): i64 wraparound, total
+// division, masked shifts. Host signed overflow is UB, so both
+// interpreters and the constant folder evaluate through these helpers;
+// the sanitizer CI job keeps direct signed ops from sneaking back in.
+//===----------------------------------------------------------------------===//
+
+TEST(GuestArith, WrapsAndTotalizes) {
+  EXPECT_EQ(guestAdd(INT64_MAX, 1), INT64_MIN);
+  EXPECT_EQ(guestSub(INT64_MIN, 1), INT64_MAX);
+  // The overflow UBSan first caught: a workload accumulator squared.
+  EXPECT_EQ(guestMul(688498802174LL, 688498802174LL),
+            static_cast<int64_t>(688498802174ULL * 688498802174ULL));
+  EXPECT_EQ(guestDiv(7, 0), 0);
+  EXPECT_EQ(guestMod(7, 0), 0);
+  EXPECT_EQ(guestDiv(10, -1), -10);
+  EXPECT_EQ(guestDiv(INT64_MIN, -1), INT64_MIN); // Hardware would trap.
+  EXPECT_EQ(guestMod(INT64_MIN, -1), 0);
+  EXPECT_EQ(guestShl(1, 64), 1); // Counts masked to 6 bits.
+  EXPECT_EQ(guestShl(3, 2), 12);
+  EXPECT_EQ(guestShr(-1, 1), INT64_MAX); // Logical, not arithmetic.
 }

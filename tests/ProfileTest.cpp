@@ -414,3 +414,145 @@ TEST(Merge, MatchedProfilePreservesMetadataAndFreshKeys) {
   EXPECT_EQ(D->bodyAt({3, 0}), 11u);
   EXPECT_EQ(D->callAt({3, 0}), 7u);
 }
+
+//===----------------------------------------------------------------------===//
+// Parser hardening: malformed text must be rejected, not silently
+// misparsed. Each case is a minimized regression for a bug the fuzz
+// harness / verifier surfaced in the original permissive parser.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parsesFlat(const std::string &Text) {
+  FlatProfile P;
+  return parseFlatProfile(Text, P);
+}
+
+bool parsesContext(const std::string &Text) {
+  ContextProfile P;
+  return parseContextProfile(Text, P);
+}
+
+} // namespace
+
+TEST(ProfileIOHardening, RejectsBadKindLine) {
+  EXPECT_FALSE(parsesFlat("!kind: bogus\n"));
+  EXPECT_FALSE(parsesFlat("!kind:probe\n"));
+  EXPECT_TRUE(parsesFlat("!kind: probe\n"));
+  EXPECT_TRUE(parsesFlat("!kind: line\n"));
+}
+
+TEST(ProfileIOHardening, RejectsOverflowingCounts) {
+  // 2^64 and beyond: the old strtoull path clamped to ULLONG_MAX and
+  // accepted the line; an overflowing count field is corruption.
+  EXPECT_FALSE(parsesFlat("!kind: probe\n"
+                          "f:99999999999999999999999:0\n"));
+  EXPECT_FALSE(parsesFlat("!kind: probe\n"
+                          "f:99999999999999999999999:0\n"
+                          " 1: 99999999999999999999999\n"));
+}
+
+TEST(ProfileIOHardening, RejectsGarbageNumbers) {
+  // strtoul("abc") == 0 with no error; the strict parser requires an
+  // all-digit token.
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n abc: 5\n"));
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n 1: 5x\n"));
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n 1: -5\n"));
+}
+
+TEST(ProfileIOHardening, RejectsDuplicateChecksum) {
+  EXPECT_FALSE(parsesFlat("!kind: probe\n"
+                          "f:5:0\n"
+                          " !CFGChecksum: 1\n"
+                          " !CFGChecksum: 2\n"
+                          " 1: 5\n"));
+}
+
+TEST(ProfileIOHardening, RejectsHeaderTotalMismatch) {
+  // The header TOTAL is redundant with the body sum; a disagreement means
+  // the text was edited or truncated.
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:6:0\n 1: 5\n"));
+  EXPECT_TRUE(parsesFlat("!kind: probe\nf:5:0\n 1: 5\n"));
+  EXPECT_FALSE(parsesContext("!kind: probe\n[f]:6:0\n 1: 5\n"));
+  EXPECT_TRUE(parsesContext("!kind: probe\n[f]:5:0\n 1: 5\n"));
+}
+
+TEST(ProfileIOHardening, RejectsDuplicateRecords) {
+  // Duplicate function header.
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n 1: 5\nf:0:0\n"));
+  // Duplicate body key.
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:10:0\n 1: 5\n 1: 5\n"));
+  // Duplicate call-site line and duplicate callee within one line.
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:0:0\n 2: @ g:3\n 2: @ h:4\n"));
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:0:0\n 2: @ g:3 g:4\n"));
+  // Duplicate context.
+  EXPECT_FALSE(parsesContext("!kind: probe\n[f]:5:0\n 1: 5\n[f]:5:0\n 1: 5\n"));
+}
+
+TEST(ProfileIOHardening, RejectsTruncatedInlinee) {
+  std::string Full = "!kind: probe\n"
+                     "f:5:0\n"
+                     " 1: 5\n"
+                     " 2: > g:7:1 {\n"
+                     "  1: 7\n"
+                     " }\n";
+  EXPECT_TRUE(parsesFlat(Full));
+  // Missing closing brace (EOF inside the inlinee body).
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n 1: 5\n 2: > g:7:1 {\n  1: 7\n"));
+  // Inlinee body truncated: declared total 7, body sums to 0.
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n 1: 5\n 2: > g:7:1 {\n }\n"));
+  // Duplicate inlinee at the same (site, callee).
+  EXPECT_FALSE(parsesFlat("!kind: probe\nf:5:0\n 1: 5\n"
+                          " 2: > g:7:1 {\n  1: 7\n }\n"
+                          " 2: > g:7:1 {\n  1: 7\n }\n"));
+}
+
+TEST(ProfileIOHardening, EmptyCallSiteLineRoundTrips) {
+  // The serializer emits " K: @" with no targets for an empty target map;
+  // parse must preserve the empty map so serialize(parse(T)) == T.
+  FlatProfile P;
+  P.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &F = P.getOrCreate("f");
+  F.addBody({1, 0}, 5);
+  F.Calls[{2, 0}]; // Deliberately empty.
+  std::string T1 = serializeFlatProfile(P);
+  FlatProfile Back;
+  ASSERT_TRUE(parseFlatProfile(T1, Back));
+  EXPECT_EQ(serializeFlatProfile(Back), T1);
+  EXPECT_EQ(Back.find("f")->Calls.count({2, 0}), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge saturation: counts clamp at UINT64_MAX instead of wrapping, and
+// the clamping is reported.
+//===----------------------------------------------------------------------===//
+
+TEST(Merge, SaturatesInsteadOfWrapping) {
+  FlatProfile A, B;
+  A.Kind = B.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &FA = A.getOrCreate("f");
+  FA.addBody({1, 0}, UINT64_MAX - 10);
+  FA.HeadSamples = UINT64_MAX - 10;
+  FunctionProfile &FB = B.getOrCreate("f");
+  FB.addBody({1, 0}, 100);
+  FB.HeadSamples = 100;
+
+  MergeStats Stats = mergeFlatProfiles(A, B);
+  const FunctionProfile *D = A.find("f");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->bodyAt({1, 0}), UINT64_MAX); // Clamped, not wrapped to ~89.
+  EXPECT_EQ(D->HeadSamples, UINT64_MAX);
+  EXPECT_EQ(D->TotalSamples, UINT64_MAX);
+  EXPECT_GT(Stats.SaturatedCounts, 0u);
+}
+
+TEST(Merge, AddBodySaturatesTotal) {
+  FunctionProfile P;
+  P.Name = "f";
+  P.addBody({1, 0}, UINT64_MAX - 1);
+  P.addBody({2, 0}, 5);
+  EXPECT_EQ(P.TotalSamples, UINT64_MAX);
+  P.addBody({1, 0}, 7);
+  EXPECT_EQ(P.bodyAt({1, 0}), UINT64_MAX);
+  EXPECT_EQ(P.TotalSamples, UINT64_MAX);
+}

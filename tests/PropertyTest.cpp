@@ -382,3 +382,59 @@ INSTANTIATE_TEST_SUITE_P(
       return "s" + std::to_string(std::get<0>(Info.param)) +
              (std::get<1>(Info.param) ? "_precise" : "_skid");
     });
+
+//===----------------------------------------------------------------------===//
+// Generated-profile serialization fixpoint property.
+//===----------------------------------------------------------------------===//
+
+#include "probe/ProbeTable.h"
+#include "profgen/ProfileGenerator.h"
+#include "verify/ProfileVerifier.h"
+
+class GeneratedProfileRoundTrip : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(GeneratedProfileRoundTrip, SerializeParseSerializeIsFixpoint) {
+  // The handcrafted ProfileRoundTrip sweep covers the container shapes;
+  // this one feeds the parser what profgen actually emits (real contexts,
+  // checksums, call targets) and additionally requires the profiles to
+  // verify clean against the producing build's probe table.
+  uint64_t Seed = GetParam();
+  WorkloadConfig WC = propConfig(Seed);
+  auto M = generateProgram(WC);
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  auto Bin = compileToBinary(*M);
+  ProbeTable PT = ProbeTable::fromModule(*M);
+
+  ExecConfig EC;
+  EC.Sampler.Enabled = true;
+  EC.Sampler.PeriodCycles = 997;
+  EC.Sampler.Seed = Seed;
+  auto Mem = generateInput(WC, Seed);
+  RunResult Train = execute(*Bin, "main", Mem, EC);
+  ASSERT_TRUE(Train.Completed) << Train.Error;
+
+  ProfGenOptions GO;
+  GO.Verify = VerifyLevel::Full;
+
+  GO.Kind = ProfGenKind::CS;
+  ProfileGenerator CSGen(*Bin, &PT, GO);
+  ProfGenResult CSRes = CSGen.generate(Train.Samples);
+  EXPECT_TRUE(CSRes.Verify.ok()) << CSRes.Verify.str();
+  std::string T1 = serializeContextProfile(CSRes.CS);
+  ContextProfile CSBack;
+  ASSERT_TRUE(parseContextProfile(T1, CSBack));
+  EXPECT_EQ(serializeContextProfile(CSBack), T1);
+
+  GO.Kind = ProfGenKind::ProbeOnly;
+  ProfileGenerator FlatGen(*Bin, &PT, GO);
+  ProfGenResult FlatRes = FlatGen.generate(Train.Samples);
+  EXPECT_TRUE(FlatRes.Verify.ok()) << FlatRes.Verify.str();
+  std::string F1 = serializeFlatProfile(FlatRes.Flat);
+  FlatProfile FlatBack;
+  ASSERT_TRUE(parseFlatProfile(F1, FlatBack));
+  EXPECT_EQ(serializeFlatProfile(FlatBack), F1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedProfileRoundTrip,
+                         ::testing::Values(19u, 29u, 39u));

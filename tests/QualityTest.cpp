@@ -68,3 +68,17 @@ TEST(Overlap, MismatchedShapesSkipped) {
   OverlapReport R = computeBlockOverlap(*M1, *M2);
   EXPECT_EQ(R.FunctionsCompared, 1u);
 }
+
+TEST(Overlap, OneSidedZeroDistributionGivesZero) {
+  // Exactly one side all-zero: the distributions share no mass, so the
+  // overlap is 0, symmetrically.
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({1, 1}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(blockOverlapDegree({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(OverlapDeathTest, MismatchedLengthsAreFatal) {
+  // Comparing count vectors over different block sets is a usage error in
+  // every build mode, not just under asserts.
+  EXPECT_DEATH(blockOverlapDegree({1, 2}, {1, 2, 3}),
+               "mismatched block sets");
+}

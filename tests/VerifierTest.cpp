@@ -1,0 +1,386 @@
+//===- tests/VerifierTest.cpp - profile verifier tests ----------*- C++ -*-===//
+//
+// One test per invariant class: a clean database verifies, and planting
+// exactly one corruption of each ViolationKind makes the verifier report
+// exactly that kind. The probe-metadata kinds need real descriptors, so
+// those tests run against a generated probed module; the last section
+// checks the end-to-end property that freshly generated profiles (CS,
+// probe-only, trimmed CS) verify clean at Full level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Linker.h"
+#include "probe/ProbeInserter.h"
+#include "probe/ProbeTable.h"
+#include "profgen/ProfileGenerator.h"
+#include "profile/Trimmer.h"
+#include "sim/Executor.h"
+#include "verify/ProfileVerifier.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+
+namespace {
+
+bool hasKind(const VerifyReport &R, ViolationKind K) {
+  for (const Violation &V : R.Details)
+    if (V.Kind == K)
+      return true;
+  return false;
+}
+
+/// A two-function sampled probe profile whose head/call edges conserve:
+/// main calls foo 40 times, and foo's head count is exactly 40.
+FlatProfile sampledFlat() {
+  FlatProfile P;
+  P.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &Main = P.getOrCreate("main");
+  Main.addBody({1, 0}, 100);
+  Main.addBody({2, 0}, 60);
+  Main.addCall({2, 0}, "foo", 40);
+  FunctionProfile &Foo = P.getOrCreate("foo");
+  Foo.HeadSamples = 40;
+  Foo.addBody({1, 0}, 40);
+  return P;
+}
+
+WorkloadConfig smallWC() {
+  WorkloadConfig C;
+  C.Seed = 9;
+  C.Requests = 40;
+  C.NumServices = 2;
+  C.NumMids = 5;
+  C.NumUtils = 4;
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Flat-profile invariants (no descriptors needed).
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, CleanSampledDatabaseIsClean) {
+  FlatProfile P = sampledFlat();
+  VerifyReport R = verifyFlatProfile(P);
+  EXPECT_TRUE(R.ok()) << R.str();
+  EXPECT_EQ(R.FunctionsChecked, 2u);
+  EXPECT_NE(R.str().find("clean"), std::string::npos);
+}
+
+TEST(Verifier, OffLevelChecksNothing) {
+  FlatProfile P = sampledFlat();
+  P.getOrCreate("main").TotalSamples += 5; // Corrupt; Off must not notice.
+  VerifierOptions VO;
+  VO.Level = VerifyLevel::Off;
+  VerifyReport R = verifyFlatProfile(P, VO);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.FunctionsChecked, 0u);
+}
+
+TEST(Verifier, CatchesTotalMismatch) {
+  FlatProfile P = sampledFlat();
+  P.getOrCreate("main").TotalSamples += 5;
+  VerifyReport R = verifyFlatProfile(P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::TotalMismatch)) << R.str();
+}
+
+TEST(Verifier, CatchesHeadEdgeMismatch) {
+  FlatProfile P = sampledFlat();
+  P.getOrCreate("foo").HeadSamples += 1; // 41 heads vs 40 call targets.
+  VerifyReport R = verifyFlatProfile(P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::HeadEdgeMismatch)) << R.str();
+}
+
+TEST(Verifier, CatchesTargetsIntoHeadlessFunction) {
+  FlatProfile P = sampledFlat();
+  // A call-target record into a function the database has never seen (and
+  // thus records no head for) breaks edge conservation too.
+  P.getOrCreate("main").addCall({1, 0}, "ghost", 3);
+  VerifyReport R = verifyFlatProfile(P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::HeadEdgeMismatch)) << R.str();
+}
+
+TEST(Verifier, SummaryLevelSkipsEdgeConservation) {
+  FlatProfile P = sampledFlat();
+  P.getOrCreate("foo").HeadSamples += 1;
+  VerifierOptions VO;
+  VO.Level = VerifyLevel::Summary;
+  EXPECT_TRUE(verifyFlatProfile(P, VO).ok());
+  // ...but Summary still sees count conservation.
+  P.getOrCreate("main").TotalSamples += 5;
+  VerifyReport R = verifyFlatProfile(P, VO);
+  EXPECT_TRUE(hasKind(R, ViolationKind::TotalMismatch)) << R.str();
+}
+
+TEST(Verifier, ExactCountsCatchHeadExceedingTotal) {
+  FlatProfile P;
+  P.Kind = ProfileKind::LineBased;
+  FunctionProfile &F = P.getOrCreate("f");
+  F.addBody({1, 0}, 10);
+  F.HeadSamples = 20;
+
+  VerifierOptions Exact;
+  Exact.ExactCounts = true;
+  Exact.CheckHeadEdges = false;
+  VerifyReport R = verifyFlatProfile(P, Exact);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::HeadExceedsTotal)) << R.str();
+
+  // Sampled semantics must accept head > total: a cold callee observed
+  // only as the newest LBR call branch serializes as "name:0:1".
+  VerifierOptions Sampled;
+  Sampled.CheckHeadEdges = false;
+  EXPECT_TRUE(verifyFlatProfile(P, Sampled).ok());
+}
+
+TEST(Verifier, CatchesDiscriminatorOnProbeKey) {
+  FlatProfile P;
+  P.Kind = ProfileKind::ProbeBased;
+  P.getOrCreate("f").addBody({1, 3}, 5);
+  VerifierOptions VO;
+  VO.CheckHeadEdges = false;
+  VerifyReport R = verifyFlatProfile(P, VO);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::DiscOnProbeKey)) << R.str();
+
+  // The same key is perfectly legal on a line-based profile.
+  P.Kind = ProfileKind::LineBased;
+  EXPECT_TRUE(verifyFlatProfile(P, VO).ok());
+}
+
+TEST(Verifier, CatchesNameMismatch) {
+  FlatProfile P = sampledFlat();
+  P.Functions.at("main").Name = "not_main";
+  VerifyReport R = verifyFlatProfile(P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::NameMismatch)) << R.str();
+
+  FlatProfile Q;
+  Q.getOrCreate("g").Name.clear(); // Empty profile name.
+  VerifierOptions VO;
+  VO.CheckHeadEdges = false;
+  EXPECT_TRUE(hasKind(verifyFlatProfile(Q, VO), ViolationKind::NameMismatch));
+}
+
+TEST(Verifier, ChecksNestedInlineeProfiles) {
+  FlatProfile P = sampledFlat();
+  FunctionProfile &Inl =
+      P.getOrCreate("main").getOrCreateInlinee({1, 0}, "leaf");
+  Inl.addBody({1, 0}, 7);
+  Inl.TotalSamples += 2; // Corrupt only the nested profile.
+  VerifyReport R = verifyFlatProfile(P);
+  EXPECT_FALSE(R.ok());
+  ASSERT_TRUE(hasKind(R, ViolationKind::TotalMismatch)) << R.str();
+  // The violation anchors to the nested context, not the top level.
+  EXPECT_NE(R.Details.front().Where.find("leaf"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Probe-metadata agreement (needs real descriptors).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A probed module plus its descriptor table and main's descriptor.
+struct ProbedSetup {
+  std::unique_ptr<Module> M;
+  ProbeTable PT;
+  const ProbeDescriptor *MainDesc;
+
+  ProbedSetup() : M(generateProgram(smallWC())) {
+    insertProbes(*M, AnchorKind::PseudoProbe);
+    PT = ProbeTable::fromModule(*M);
+    MainDesc = PT.findByName("main");
+  }
+
+  /// A minimal probe profile for main, consistent with the descriptors.
+  FlatProfile cleanProfile() const {
+    FlatProfile P;
+    P.Kind = ProfileKind::ProbeBased;
+    FunctionProfile &F = P.getOrCreate("main");
+    F.Guid = MainDesc->Guid;
+    F.Checksum = MainDesc->CFGChecksum;
+    F.addBody({1, 0}, 10);
+    return P;
+  }
+
+  VerifierOptions options() const {
+    VerifierOptions VO;
+    VO.Probes = &PT;
+    VO.CheckHeadEdges = false;
+    return VO;
+  }
+};
+
+} // namespace
+
+TEST(VerifierProbes, CleanAgainstDescriptors) {
+  ProbedSetup S;
+  ASSERT_NE(S.MainDesc, nullptr);
+  VerifyReport R = verifyFlatProfile(S.cleanProfile(), S.options());
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(VerifierProbes, CatchesOutOfDomainKey) {
+  ProbedSetup S;
+  ASSERT_NE(S.MainDesc, nullptr);
+  FlatProfile P = S.cleanProfile();
+  P.getOrCreate("main").addBody({S.MainDesc->NumProbes + 7, 0}, 1);
+  VerifyReport R = verifyFlatProfile(P, S.options());
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::ProbeOutOfDomain)) << R.str();
+}
+
+TEST(VerifierProbes, CatchesGuidAndChecksumMismatch) {
+  ProbedSetup S;
+  ASSERT_NE(S.MainDesc, nullptr);
+  FlatProfile P = S.cleanProfile();
+  P.getOrCreate("main").Guid += 1;
+  EXPECT_TRUE(hasKind(verifyFlatProfile(P, S.options()),
+                      ViolationKind::GuidMismatch));
+
+  FlatProfile Q = S.cleanProfile();
+  Q.getOrCreate("main").Checksum += 1;
+  EXPECT_TRUE(hasKind(verifyFlatProfile(Q, S.options()),
+                      ViolationKind::ChecksumMismatch));
+}
+
+TEST(VerifierProbes, CatchesMissingDescriptor) {
+  ProbedSetup S;
+  FlatProfile P = S.cleanProfile();
+  P.getOrCreate("no_such_function").addBody({1, 0}, 1);
+  VerifyReport R = verifyFlatProfile(P, S.options());
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::NameMismatch)) << R.str();
+}
+
+TEST(VerifierProbes, ZeroMetadataSkipsAgreement) {
+  // A profile that never persisted Guid/Checksum (both zero) is not in
+  // disagreement with the descriptors — the loader handles staleness.
+  ProbedSetup S;
+  FlatProfile P = S.cleanProfile();
+  P.getOrCreate("main").Guid = 0;
+  P.getOrCreate("main").Checksum = 0;
+  EXPECT_TRUE(verifyFlatProfile(P, S.options()).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Context-trie structure.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierTrie, CatchesRootEdgeWithNonzeroSite) {
+  ContextProfile CS;
+  ContextTrieNode &N = CS.Root.getOrCreateChild(5, "main");
+  N.HasProfile = true;
+  N.Profile.addBody({1, 0}, 10);
+  VerifierOptions VO;
+  VO.CheckHeadEdges = false;
+  VerifyReport R = verifyContextProfile(CS, VO);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::TrieEdgeMismatch)) << R.str();
+}
+
+TEST(VerifierTrie, CatchesEdgeCalleeVsNodeName) {
+  ContextProfile CS;
+  ContextTrieNode &N = CS.Root.getOrCreateChild(0, "main");
+  N.FuncName = "other";
+  N.Profile.Name = "other";
+  N.HasProfile = true;
+  N.Profile.addBody({1, 0}, 10);
+  VerifierOptions VO;
+  VO.CheckHeadEdges = false;
+  VerifyReport R = verifyContextProfile(CS, VO);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::NameMismatch)) << R.str();
+}
+
+TEST(VerifierTrie, CatchesGhostCountsWithoutHasProfile) {
+  ContextProfile CS;
+  ContextTrieNode &N = CS.Root.getOrCreateChild(0, "main");
+  N.Profile.addBody({1, 0}, 10); // Counts, but HasProfile stays false.
+  VerifierOptions VO;
+  VO.CheckHeadEdges = false;
+  VerifyReport R = verifyContextProfile(CS, VO);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::TrieEdgeMismatch)) << R.str();
+  EXPECT_EQ(R.ContextsChecked, 0u); // The ghost node holds no profile.
+}
+
+TEST(VerifierTrie, CatchesEdgeSiteOutsideParentDomain) {
+  ProbedSetup S;
+  ASSERT_NE(S.MainDesc, nullptr);
+  ContextProfile CS;
+  ContextTrieNode &Main = CS.Root.getOrCreateChild(0, "main");
+  Main.HasProfile = true;
+  Main.Profile.Guid = S.MainDesc->Guid;
+  Main.Profile.Checksum = S.MainDesc->CFGChecksum;
+  Main.Profile.addBody({1, 0}, 10);
+  // Child edge site beyond main's probe domain ("main" as callee keeps
+  // the descriptor lookup of the child itself happy).
+  Main.getOrCreateChild(S.MainDesc->NumProbes + 9, "main");
+  VerifyReport R = verifyContextProfile(CS, S.options());
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasKind(R, ViolationKind::ProbeOutOfDomain)) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: freshly generated profiles verify clean at Full level.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierEndToEnd, GeneratedProfilesVerifyClean) {
+  WorkloadConfig WC = smallWC();
+  auto M = generateProgram(WC);
+  insertProbes(*M, AnchorKind::PseudoProbe);
+  auto Bin = compileToBinary(*M);
+  ProbeTable PT = ProbeTable::fromModule(*M);
+
+  ExecConfig EC;
+  EC.Sampler.Enabled = true;
+  EC.Sampler.PeriodCycles = 997;
+  EC.Sampler.Seed = 9;
+  auto Mem = generateInput(WC, 9);
+  RunResult Train = execute(*Bin, "main", Mem, EC);
+  ASSERT_TRUE(Train.Completed) << Train.Error;
+  ASSERT_FALSE(Train.Samples.empty());
+
+  ProfGenOptions GO;
+  GO.Verify = VerifyLevel::Full;
+
+  GO.Kind = ProfGenKind::CS;
+  ProfileGenerator CSGen(*Bin, &PT, GO);
+  ProfGenResult CSRes = CSGen.generate(Train.Samples);
+  EXPECT_TRUE(CSRes.Verify.ok()) << CSRes.Verify.str();
+
+  GO.Kind = ProfGenKind::ProbeOnly;
+  ProfileGenerator FlatGen(*Bin, &PT, GO);
+  ProfGenResult FlatRes = FlatGen.generate(Train.Samples);
+  EXPECT_TRUE(FlatRes.Verify.ok()) << FlatRes.Verify.str();
+
+  // Trimming moves counts but never drops one side of an edge, so the
+  // trimmed trie still satisfies the full invariant set.
+  trimColdContexts(CSRes.CS, 2);
+  VerifierOptions VO;
+  VO.Probes = &PT;
+  VerifyReport Trimmed = verifyContextProfile(CSRes.CS, VO);
+  EXPECT_TRUE(Trimmed.ok()) << Trimmed.str();
+
+  // And a single tampered count is caught.
+  bool Tampered = false;
+  CSRes.CS.forEachNodeMutable(
+      [&](const SampleContext &, ContextTrieNode &N) {
+        if (!Tampered && N.Profile.TotalSamples) {
+          N.Profile.TotalSamples += 1;
+          Tampered = true;
+        }
+      });
+  ASSERT_TRUE(Tampered);
+  VerifyReport Bad = verifyContextProfile(CSRes.CS, VO);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_TRUE(hasKind(Bad, ViolationKind::TotalMismatch)) << Bad.str();
+}

@@ -1,0 +1,408 @@
+//===- tools/FuzzHarness.cpp - Differential profile-pipeline fuzzing ------===//
+
+#include "FuzzHarness.h"
+
+#include "matcher/StaleMatcher.h"
+#include "pgo/BuildPipeline.h"
+#include "profgen/ProfileGenerator.h"
+#include "profile/ProfileIO.h"
+#include "profile/ProfileMerge.h"
+#include "profile/Trimmer.h"
+#include "sim/Executor.h"
+#include "support/Random.h"
+#include "verify/ProfileVerifier.h"
+#include "workload/Workloads.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace csspgo {
+
+namespace {
+
+/// Golden-ratio stride: consecutive iteration seeds are decorrelated, and
+/// iteration 0 of `fuzz 1 <seed>` replays exactly the reported seed.
+constexpr uint64_t SeedStride = 0x9E3779B97F4A7C15ull;
+
+WorkloadConfig randomWorkload(Rng &R) {
+  WorkloadConfig W;
+  W.Name = "fuzz";
+  W.Seed = R.next();
+  W.NumServices = 2 + static_cast<unsigned>(R.nextBelow(3));
+  W.NumMids = 4 + static_cast<unsigned>(R.nextBelow(7));
+  W.NumUtils = 3 + static_cast<unsigned>(R.nextBelow(4));
+  W.NumColdHandlers = 2 + static_cast<unsigned>(R.nextBelow(3));
+  W.Requests = 200 + static_cast<unsigned>(R.nextBelow(600));
+  W.FeatureLoop = 2 + static_cast<unsigned>(R.nextBelow(5));
+  W.UtilCallsPerMid = 1 + static_cast<unsigned>(R.nextBelow(3));
+  W.MidsPerService = 3 + static_cast<unsigned>(R.nextBelow(6));
+  W.TailCallProb = R.nextDouble() * 0.6;
+  W.DupTailProb = R.nextDouble();
+  W.UnbiasedBranchProb = R.nextDouble() * 0.5;
+  W.ColdPathPerMille = static_cast<unsigned>(R.nextBelow(20));
+  W.ServiceSkew = 0.8 + R.nextDouble() * 1.4;
+  W.IndirectDispatchProb = R.nextDouble() * 0.8;
+  W.RecordWords = 4 + static_cast<unsigned>(R.nextBelow(5));
+  W.ArithDensity = 1 + static_cast<unsigned>(R.nextBelow(4));
+  return W;
+}
+
+#define CHECK_EQ_FIELD(Name)                                                   \
+  do {                                                                         \
+    if (Ref.Name != Fast.Name) {                                               \
+      std::ostringstream OS;                                                   \
+      OS << "executor divergence: " #Name " ref=" << Ref.Name                  \
+         << " fast=" << Fast.Name;                                             \
+      Err = OS.str();                                                          \
+      return false;                                                            \
+    }                                                                          \
+  } while (0)
+
+bool compareRuns(const RunResult &Ref, const RunResult &Fast,
+                 std::string &Err) {
+  CHECK_EQ_FIELD(Completed);
+  CHECK_EQ_FIELD(Error);
+  CHECK_EQ_FIELD(ExitValue);
+  CHECK_EQ_FIELD(Cycles);
+  CHECK_EQ_FIELD(Instructions);
+  CHECK_EQ_FIELD(TakenBranches);
+  CHECK_EQ_FIELD(CondBranches);
+  CHECK_EQ_FIELD(CondTaken);
+  CHECK_EQ_FIELD(UncondJumps);
+  CHECK_EQ_FIELD(Mispredicts);
+  CHECK_EQ_FIELD(ICacheMisses);
+  CHECK_EQ_FIELD(Calls);
+  CHECK_EQ_FIELD(IndirectCalls);
+  CHECK_EQ_FIELD(IndirectMispredicts);
+  if (Ref.Counters != Fast.Counters) {
+    Err = "executor divergence: instrumentation counters differ";
+    return false;
+  }
+  if (Ref.Samples.size() != Fast.Samples.size()) {
+    std::ostringstream OS;
+    OS << "executor divergence: sample count ref=" << Ref.Samples.size()
+       << " fast=" << Fast.Samples.size();
+    Err = OS.str();
+    return false;
+  }
+  for (size_t I = 0; I != Ref.Samples.size(); ++I) {
+    const PerfSample &A = Ref.Samples[I];
+    const PerfSample &B = Fast.Samples[I];
+    bool Same = A.Stack == B.Stack && A.LBR.size() == B.LBR.size();
+    for (size_t J = 0; Same && J != A.LBR.size(); ++J)
+      Same = A.LBR[J].Src == B.LBR[J].Src && A.LBR[J].Dst == B.LBR[J].Dst;
+    if (!Same) {
+      std::ostringstream OS;
+      OS << "executor divergence: sample " << I << " differs";
+      Err = OS.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+#undef CHECK_EQ_FIELD
+
+/// Probe-id anchors present in the fresh IR of \p F: probe and call-site
+/// instructions. Matcher-recovered counts may land only on these.
+std::set<uint32_t> anchorIdsOf(const Function &F) {
+  std::set<uint32_t> Ids;
+  for (const auto &BB : F.Blocks)
+    for (const Instruction &I : BB->Insts)
+      if (I.isProbe() || I.isCall())
+        Ids.insert(I.ProbeId);
+  return Ids;
+}
+
+bool keysWithinAnchors(const FunctionProfile &P,
+                       const std::set<uint32_t> &Ids, std::string &Err) {
+  for (const auto &[K, N] : P.Body)
+    if (!Ids.count(K.Index)) {
+      Err = "matcher placed body samples on probe id " +
+            std::to_string(K.Index) + " absent from the fresh IR of " +
+            P.Name;
+      return false;
+    }
+  for (const auto &[K, T] : P.Calls)
+    if (!Ids.count(K.Index)) {
+      Err = "matcher placed call counts on probe id " +
+            std::to_string(K.Index) + " absent from the fresh IR of " +
+            P.Name;
+      return false;
+    }
+  return true;
+}
+
+/// Cuts \p Text at a pseudo-random line boundary strictly inside it
+/// (never the full text). Returns the truncated prefix.
+std::string truncateAtLine(const std::string &Text, Rng &R) {
+  if (Text.size() < 2)
+    return std::string();
+  size_t Cut = 1 + R.nextBelow(Text.size() - 1);
+  size_t NL = Text.rfind('\n', Cut - 1);
+  if (NL == std::string::npos)
+    return std::string();
+  return Text.substr(0, NL + 1);
+}
+
+bool fuzzOne(uint64_t Seed, std::string &Err) {
+  Rng R(Seed);
+  WorkloadConfig WC = randomWorkload(R);
+  auto Source = generateProgram(WC);
+
+  // Probed profiling build (the CSSPGOFull profiling binary covers every
+  // sampled generator: it carries probes AND line debug info).
+  BuildConfig BC;
+  BC.Variant = PGOVariant::CSSPGOFull;
+  BuildResult Build = buildWithPGO(*Source, BC, nullptr);
+
+  // --- 1. Fast path vs reference interpreter ---------------------------
+  ExecConfig Exec;
+  Exec.Sampler.Enabled = true;
+  const uint64_t Periods[] = {401, 997, 1999, 4001};
+  Exec.Sampler.PeriodCycles = Periods[R.nextBelow(4)];
+  Exec.Sampler.Precise = R.nextBool(0.7);
+  const uint32_t Depths[] = {8, 16, 32};
+  Exec.Sampler.LBRDepth = Depths[R.nextBelow(3)];
+  Exec.Sampler.Seed = R.next();
+
+  std::vector<int64_t> MemFast = generateInput(WC, Seed);
+  std::vector<int64_t> MemRef = MemFast;
+  RunResult Fast = execute(*Build.Bin, "main", MemFast, Exec);
+  ExecConfig RefExec = Exec;
+  RefExec.ReferenceMode = true;
+  RunResult Ref = execute(*Build.Bin, "main", MemRef, RefExec);
+  if (!compareRuns(Ref, Fast, Err))
+    return false;
+  if (MemRef != MemFast) {
+    Err = "executor divergence: final memory images differ";
+    return false;
+  }
+
+  // --- 2. Serial vs sharded generation + Full verification -------------
+  ProfGenOptions GenOpts;
+  GenOpts.Verify = VerifyLevel::Full;
+  const unsigned ShardCounts[] = {2, 3, 4, 7};
+  unsigned J = ShardCounts[R.nextBelow(4)];
+
+  GenOpts.Kind = ProfGenKind::CS;
+  ProfileGenerator CSGen(*Build.Bin, &Build.ProbeDescs, GenOpts);
+  ProfGenResult CSRes = CSGen.generate(Fast.Samples);
+  if (!CSRes.Verify.ok()) {
+    Err = "CS profile failed verification: " + CSRes.Verify.str();
+    return false;
+  }
+  std::string CSText = serializeContextProfile(CSRes.CS);
+  {
+    ProfGenOptions JOpts = GenOpts;
+    JOpts.Parallelism = J;
+    ProfileGenerator G(*Build.Bin, &Build.ProbeDescs, JOpts);
+    if (serializeContextProfile(G.generate(Fast.Samples).CS) != CSText) {
+      Err = "CS generation with -j " + std::to_string(J) +
+            " diverges from serial";
+      return false;
+    }
+  }
+
+  GenOpts.Kind = ProfGenKind::ProbeOnly;
+  ProfileGenerator POGen(*Build.Bin, &Build.ProbeDescs, GenOpts);
+  ProfGenResult PORes = POGen.generate(Fast.Samples);
+  if (!PORes.Verify.ok()) {
+    Err = "probe-only profile failed verification: " + PORes.Verify.str();
+    return false;
+  }
+  std::string POText = serializeFlatProfile(PORes.Flat);
+  {
+    ProfGenOptions JOpts = GenOpts;
+    JOpts.Parallelism = J;
+    ProfileGenerator G(*Build.Bin, &Build.ProbeDescs, JOpts);
+    if (serializeFlatProfile(G.generate(Fast.Samples).Flat) != POText) {
+      Err = "probe-only generation with -j " + std::to_string(J) +
+            " diverges from serial";
+      return false;
+    }
+  }
+
+  GenOpts.Kind = ProfGenKind::AutoFDO;
+  ProfileGenerator AFGen(*Build.Bin, nullptr, GenOpts);
+  ProfGenResult AFRes = AFGen.generate(Fast.Samples);
+  if (!AFRes.Verify.ok()) {
+    Err = "AutoFDO profile failed verification: " + AFRes.Verify.str();
+    return false;
+  }
+  std::string AFText = serializeFlatProfile(AFRes.Flat);
+
+  // --- 3. serialize -> parse -> serialize fixpoint ----------------------
+  {
+    ContextProfile Back;
+    if (!parseContextProfile(CSText, Back)) {
+      Err = "serialized CS profile does not re-parse";
+      return false;
+    }
+    if (serializeContextProfile(Back) != CSText) {
+      Err = "CS serialize/parse/serialize is not a fixpoint";
+      return false;
+    }
+  }
+  for (const auto &[What, Text] :
+       {std::pair<const char *, const std::string &>{"probe-only", POText},
+        {"autofdo", AFText}}) {
+    FlatProfile Back;
+    if (!parseFlatProfile(Text, Back)) {
+      Err = std::string("serialized ") + What + " profile does not re-parse";
+      return false;
+    }
+    if (serializeFlatProfile(Back) != Text) {
+      Err = std::string(What) + " serialize/parse/serialize is not a fixpoint";
+      return false;
+    }
+  }
+
+  // --- 4. Merge algebra -------------------------------------------------
+  {
+    FlatProfile Acc;
+    MergeStats M1 = mergeFlatProfiles(Acc, PORes.Flat);
+    if (M1.ContextsMerged != 0 || serializeFlatProfile(Acc) != POText) {
+      Err = "flat merge into an empty database is not an identity";
+      return false;
+    }
+    MergeStats M2 = mergeFlatProfiles(Acc, PORes.Flat);
+    if (M2.ContextsAdded != 0) {
+      Err = "flat re-merge created contexts instead of summing";
+      return false;
+    }
+    uint64_t Before = PORes.Flat.totalSamples();
+    uint64_t After = Acc.totalSamples();
+    if (After != saturatingAdd(Before, Before)) {
+      Err = "flat re-merge did not double total samples";
+      return false;
+    }
+    VerifierOptions VO;
+    VO.Probes = &Build.ProbeDescs;
+    VerifyReport VR = verifyFlatProfile(Acc, VO);
+    if (!VR.ok()) {
+      Err = "doubled flat profile failed verification: " + VR.str();
+      return false;
+    }
+  }
+  {
+    ContextProfile Acc;
+    MergeStats M1 = mergeContextProfiles(Acc, CSRes.CS);
+    if (M1.ContextsMerged != 0 || serializeContextProfile(Acc) != CSText) {
+      Err = "context merge into an empty database is not an identity";
+      return false;
+    }
+    MergeStats M2 = mergeContextProfiles(Acc, CSRes.CS);
+    if (M2.ContextsAdded != 0) {
+      Err = "context re-merge created contexts instead of summing";
+      return false;
+    }
+  }
+
+  // --- 5. Trim idempotence ---------------------------------------------
+  {
+    ContextProfile Trimmed;
+    mergeContextProfiles(Trimmed, CSRes.CS); // Deep copy via identity merge.
+    uint64_t Threshold =
+        std::max<uint64_t>(Trimmed.totalSamples() / 5000, 2);
+    trimColdContexts(Trimmed, Threshold);
+    VerifierOptions VO;
+    VO.Probes = &Build.ProbeDescs;
+    VerifyReport VR = verifyContextProfile(Trimmed, VO);
+    if (!VR.ok()) {
+      Err = "trimmed CS profile failed verification: " + VR.str();
+      return false;
+    }
+    std::string Once = serializeContextProfile(Trimmed);
+    TrimStats Again = trimColdContexts(Trimmed, Threshold);
+    if (Again.ContextsMerged != 0 ||
+        serializeContextProfile(Trimmed) != Once) {
+      Err = "cold-context trimming is not idempotent";
+      return false;
+    }
+  }
+
+  // --- 6. Truncated input: reject or stay self-consistent --------------
+  {
+    std::string Trunc = truncateAtLine(CSText, R);
+    ContextProfile Partial;
+    if (!Trunc.empty() && parseContextProfile(Trunc, Partial)) {
+      // A prefix that still parses lost whole trailing records; counts
+      // within each surviving record must still be conserved (edge
+      // conservation legitimately breaks — callees got cut off).
+      VerifierOptions VO;
+      VO.CheckHeadEdges = false;
+      VerifyReport VR = verifyContextProfile(Partial, VO);
+      if (!VR.ok()) {
+        Err = "truncated CS text parsed into an inconsistent profile: " +
+              VR.str();
+        return false;
+      }
+    }
+    std::string TruncFlat = truncateAtLine(AFText, R);
+    FlatProfile PartialFlat;
+    if (!TruncFlat.empty() && parseFlatProfile(TruncFlat, PartialFlat)) {
+      VerifierOptions VO;
+      VO.CheckHeadEdges = false;
+      VerifyReport VR = verifyFlatProfile(PartialFlat, VO);
+      if (!VR.ok()) {
+        Err = "truncated flat text parsed into an inconsistent profile: " +
+              VR.str();
+        return false;
+      }
+    }
+  }
+
+  // --- 7. Stale matching after CFG drift lands only on fresh anchors ---
+  {
+    auto Drifted = generateProgram(WC); // Deterministic regeneration.
+    const CFGDriftKind Kinds[] = {CFGDriftKind::GuardInsert,
+                                  CFGDriftKind::GuardDelete,
+                                  CFGDriftKind::BlockSplit,
+                                  CFGDriftKind::CalleeRename};
+    applyCFGDrift(*Drifted, Kinds[R.nextBelow(4)],
+                  static_cast<uint32_t>(R.next()));
+    BuildResult FreshBuild = buildWithPGO(*Drifted, BC, nullptr);
+    for (const auto &[Name, P] : PORes.Flat.Functions) {
+      const Function *F = FreshBuild.IR->getFunction(Name);
+      if (!F || !F->HasProbes || !P.Checksum ||
+          P.Checksum == F->ProbeCFGChecksum)
+        continue;
+      MatchResult MR =
+          matchStaleProfile(P, *F, *FreshBuild.IR, ProfileKind::ProbeBased);
+      if (!MR.Stats.Accepted)
+        continue;
+      if (!keysWithinAnchors(MR.Recovered, anchorIdsOf(*F), Err))
+        return false;
+    }
+  }
+
+  return true;
+}
+
+} // namespace
+
+int runProfileFuzz(const FuzzOptions &Opts) {
+  for (unsigned I = 0; I != Opts.Iterations; ++I) {
+    uint64_t Seed = Opts.BaseSeed + I * SeedStride;
+    std::string Err;
+    if (!fuzzOne(Seed, Err)) {
+      std::fprintf(stderr,
+                   "fuzz: iteration %u (seed 0x%" PRIx64 ") FAILED: %s\n"
+                   "fuzz: reproduce with: csspgo_exp fuzz 1 0x%" PRIx64 "\n",
+                   I, Seed, Err.c_str(), Seed);
+      return 1;
+    }
+    if (Opts.Verbose && (I + 1) % 50 == 0)
+      std::printf("fuzz: %u/%u iterations ok\n", I + 1, Opts.Iterations);
+  }
+  std::printf("fuzz: %u iterations, no divergence (base seed 0x%" PRIx64
+              ")\n",
+              Opts.Iterations, Opts.BaseSeed);
+  return 0;
+}
+
+} // namespace csspgo

@@ -11,6 +11,7 @@
 //   csspgo_exp profile  <workload> <variant> [scale]   print the profile text
 //   csspgo_exp compare  <workload> [scale]             all variants side by side
 //   csspgo_exp ir       <workload> [scale]             dump the generated IR
+//   csspgo_exp fuzz     [iterations] [seed]            differential fuzzing
 //   csspgo_exp list                                    workloads and variants
 //
 // Variants: none instr autofdo probeonly csspgo
@@ -20,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "FuzzHarness.h"
 #include "ir/Printer.h"
 #include "pgo/PGODriver.h"
 #include "profile/ProfileIO.h"
@@ -37,8 +39,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: csspgo_exp run|profile|compare|ir|list "
-               "[workload] [variant] [scale] [-j N]\n");
+               "usage: csspgo_exp run|profile|compare|ir|fuzz|list "
+               "[workload] [variant] [scale] [-j N]\n"
+               "       csspgo_exp fuzz [iterations] [seed]\n");
   return 2;
 }
 
@@ -111,6 +114,9 @@ int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
                   .c_str());
   std::printf("code size:           %s\n",
               formatBytes(Out.CodeSizeBytes).c_str());
+  if (V != PGOVariant::None)
+    std::printf("verifier:            %s\n",
+                Out.ProfGenVerify.str().c_str());
   std::printf("loader: %u annotated, %u top-down inlines, %u ICP, "
               "%u stale drops\n",
               Out.Build->Loader.FunctionsAnnotated,
@@ -176,6 +182,30 @@ int cmdIR(const std::string &Workload, double Scale) {
   return 0;
 }
 
+int cmdFuzz(int argc, char **argv) {
+  FuzzOptions Opts;
+  if (argc > 2) {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(argv[2], &End, 10);
+    if (End == argv[2] || *End || N == 0) {
+      std::fprintf(stderr, "fuzz: bad iteration count '%s'\n", argv[2]);
+      return 2;
+    }
+    Opts.Iterations = static_cast<unsigned>(N);
+  }
+  if (argc > 3) {
+    char *End = nullptr;
+    // Base 0: accepts the 0x-prefixed seeds the failure report prints.
+    unsigned long long S = std::strtoull(argv[3], &End, 0);
+    if (End == argv[3] || *End) {
+      std::fprintf(stderr, "fuzz: bad seed '%s'\n", argv[3]);
+      return 2;
+    }
+    Opts.BaseSeed = S;
+  }
+  return runProfileFuzz(Opts);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -186,6 +216,8 @@ int main(int argc, char **argv) {
   std::string Cmd = argv[1];
   if (Cmd == "list")
     return cmdList();
+  if (Cmd == "fuzz")
+    return cmdFuzz(argc, argv);
   if (argc < 3)
     return usage();
   std::string Workload = argv[2];
