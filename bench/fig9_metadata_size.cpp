@@ -13,6 +13,8 @@
 
 #include "codegen/DebugInfo.h"
 #include "codegen/ProbeMetadata.h"
+#include "profile/ProfileIO.h"
+#include "store/ProfileStore.h"
 
 using namespace csspgo;
 using namespace csspgo::bench;
@@ -22,6 +24,10 @@ int main() {
 
   TextTable Table({"workload", "text", "debug info", "probe metadata",
                    "debug share", "probe share"});
+  // Companion table: the same workloads' CS profile in each on-disk
+  // format (extended text, binary store, compact-name store).
+  TextTable Formats({"workload", "profile text", "profile binary",
+                     "binary/text", "compact", "compact/text"});
   double ShareSum = 0;
   unsigned N = 0;
 
@@ -41,11 +47,25 @@ int main() {
     Table.addRow({W, formatBytes(Text), formatBytes(Dbg.SizeBytes),
                   formatBytes(Probe.SizeBytes), formatPercent(DbgShare),
                   formatPercent(ProbeShare)});
+
+    size_t TextSize = profileSizeBytes(Full.Profile.CS);
+    std::vector<EpochInfo> Epochs{{0, Full.Profile.CS.totalSamples(), 1000}};
+    size_t BinSize = writeStore(Full.Profile.CS, Epochs).size();
+    StoreWriteOptions Compact;
+    Compact.CompactNames = true;
+    size_t CompactSize =
+        writeStore(Full.Profile.CS, Epochs, Compact).size();
+    Formats.addRow({W, formatBytes(TextSize), formatBytes(BinSize),
+                    formatPercent(100.0 * BinSize / TextSize),
+                    formatBytes(CompactSize),
+                    formatPercent(100.0 * CompactSize / TextSize)});
   }
   std::printf("%s\n", Table.render().c_str());
   std::printf("average probe-metadata share: %s (paper: ~25%% of binary\n"
               "incl. -g2 debug info; strippable, never loaded at run "
-              "time)\n",
+              "time)\n\n",
               formatPercent(ShareSum / N).c_str());
+  std::printf("-- CS profile size by on-disk format --\n%s\n",
+              Formats.render().c_str());
   return 0;
 }

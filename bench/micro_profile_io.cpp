@@ -1,0 +1,214 @@
+//===- bench/micro_profile_io.cpp - profile store I/O benchmark -----------===//
+//
+// Profile serving benchmark for the continuous-deployment store
+// (store/ProfileStore.h): per workload, the size of the CS profile as
+// extended text vs binary container vs compact-name (GUID table)
+// container, and the time to materialize it three ways —
+//
+//   text-parse:  parseContextProfile over the full text database (what a
+//                text-profile build job pays, always O(whole database));
+//   binary-eager: open + loadContext (tools, conversions);
+//   binary-lazy: open + loadFunctionContexts for only the functions of
+//                one simulated link unit (1/8 of the profiled functions)
+//                through the per-function index — the build-job path,
+//                O(module), which is the lazy-loading payoff.
+//
+// Every path is checked for bit-identity (serialized text of the loaded
+// profile) before timing. Reports best-of-N wall times
+// (CSSPGO_MICRO_REPS, default 3); scale the workloads with CSSPGO_SCALE.
+// Emits the shared one-line JSON summary, keyed on the clang-like
+// ClangProxy workload, and exits 1 if the binary container is not
+// smaller than text or the lazy module-scoped load is not faster than
+// the eager full text parse there — the store's two reasons to exist.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/ProfileIO.h"
+#include "store/ProfileStore.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace csspgo;
+using namespace csspgo::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Best-of-\p Reps wall time of \p Fn (the standard noise-rejecting
+/// estimator on shared hosts).
+template <typename FnT> double bestSeconds(unsigned Reps, FnT Fn) {
+  double Best = 1e30;
+  for (unsigned R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn();
+    Best = std::min(Best, secondsSince(Start));
+  }
+  return Best;
+}
+
+std::string fmtMs(double Seconds) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f ms", Seconds * 1e3);
+  return Buf;
+}
+
+std::string fmtX(double Ratio) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fx", Ratio);
+  return Buf;
+}
+
+[[noreturn]] void fail(const std::string &Msg) {
+  std::fprintf(stderr, "micro_profile_io: FAILED: %s\n", Msg.c_str());
+  std::exit(1);
+}
+
+struct Row {
+  std::string Workload;
+  size_t TextBytes = 0;
+  size_t BinaryBytes = 0;
+  size_t CompactBytes = 0;
+  double ParseText = 0;
+  double LoadEager = 0;
+  double LoadLazy = 0;
+  size_t UnitFunctions = 0;
+  size_t TotalFunctions = 0;
+};
+
+Row benchWorkload(const std::string &Workload, unsigned Reps) {
+  Row R;
+  R.Workload = Workload;
+
+  PGODriver Driver(makeConfig(Workload));
+  VariantOutcome Out = Driver.run(PGOVariant::CSSPGOFull);
+  const ContextProfile &CS = Out.Profile.CS;
+  std::string Text = serializeContextProfile(CS);
+  R.TextBytes = Text.size();
+
+  std::string Bytes = writeStore(CS, {{0, CS.totalSamples(), 1000}});
+  R.BinaryBytes = Bytes.size();
+  StoreWriteOptions Compact;
+  Compact.CompactNames = true;
+  R.CompactBytes = writeStore(CS, {{0, CS.totalSamples(), 1000}}, Compact)
+                       .size();
+
+  ProfileStore Store;
+  std::string Err;
+  if (!ProfileStore::open(Bytes, Store, Err))
+    fail(Workload + ": store does not open: " + Err);
+  R.TotalFunctions = Store.numFunctions();
+
+  // One simulated link unit: every 8th profiled function. A build job in
+  // a shared-database deployment materializes only its own module.
+  std::vector<size_t> Unit;
+  for (size_t I = 0; I < Store.numFunctions(); I += 8)
+    Unit.push_back(I);
+  R.UnitFunctions = Unit.size();
+
+  // Bit-identity before timing: text parse == eager binary load, and the
+  // lazy union over all functions reproduces the eager load too.
+  {
+    ContextProfile FromText, FromStore, FromLazy;
+    if (!parseContextProfile(Text, FromText))
+      fail(Workload + ": text profile does not parse");
+    if (!Store.loadContext(FromStore, Err))
+      fail(Workload + ": eager store load failed: " + Err);
+    if (serializeContextProfile(FromText) !=
+        serializeContextProfile(FromStore))
+      fail(Workload + ": text and binary loads disagree");
+    for (size_t I = 0; I != Store.numFunctions(); ++I)
+      if (!Store.loadFunctionContexts(I, FromLazy, Err))
+        fail(Workload + ": lazy load failed: " + Err);
+    if (serializeContextProfile(FromLazy) !=
+        serializeContextProfile(FromStore))
+      fail(Workload + ": lazy union and eager load disagree");
+  }
+
+  R.ParseText = bestSeconds(Reps, [&] {
+    ContextProfile P;
+    if (!parseContextProfile(Text, P))
+      fail(Workload + ": text profile does not parse");
+  });
+  R.LoadEager = bestSeconds(Reps, [&] {
+    ProfileStore S;
+    std::string E;
+    if (!ProfileStore::open(Bytes, S, E))
+      fail(Workload + ": " + E);
+    ContextProfile P;
+    if (!S.loadContext(P, E))
+      fail(Workload + ": " + E);
+  });
+  R.LoadLazy = bestSeconds(Reps, [&] {
+    ProfileStore S;
+    std::string E;
+    if (!ProfileStore::open(Bytes, S, E))
+      fail(Workload + ": " + E);
+    ContextProfile P;
+    for (size_t I : Unit)
+      if (!S.loadFunctionContexts(I, P, E))
+        fail(Workload + ": " + E);
+  });
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Jobs = benchJobs(argc, argv);
+  unsigned Reps = 3;
+  if (const char *Env = std::getenv("CSSPGO_MICRO_REPS"))
+    Reps = std::max(1, std::atoi(Env));
+
+  printHeader("micro_profile_io",
+              "profile store: text vs binary, eager vs lazy");
+
+  std::vector<std::string> Workloads = serverWorkloadNames();
+  Workloads.push_back("ClangProxy");
+  auto Rows = runMany<Row>(Workloads.size(), Jobs, [&](size_t I) {
+    return benchWorkload(Workloads[I], Reps);
+  });
+
+  TextTable Table({"workload", "text", "binary", "compact", "text parse",
+                   "binary eager", "lazy (unit)", "lazy speedup"});
+  for (const Row &R : Rows)
+    Table.addRow({R.Workload, formatBytes(R.TextBytes),
+                  formatBytes(R.BinaryBytes), formatBytes(R.CompactBytes),
+                  fmtMs(R.ParseText), fmtMs(R.LoadEager), fmtMs(R.LoadLazy),
+                  fmtX(R.LoadLazy > 0 ? R.ParseText / R.LoadLazy : 0)});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("lazy (unit) opens the store and materializes one simulated\n"
+              "link unit (every 8th function) through the per-function\n"
+              "index; text parse always pays for the whole database.\n\n");
+
+  const Row &Clang = Rows.back();
+  std::printf("ClangProxy: %zu functions, unit of %zu; binary %.0f%% of "
+              "text, compact %.0f%%\n",
+              Clang.TotalFunctions, Clang.UnitFunctions,
+              100.0 * Clang.BinaryBytes / Clang.TextBytes,
+              100.0 * Clang.CompactBytes / Clang.TextBytes);
+  printBenchJson(
+      "micro_profile_io",
+      {{"text_bytes", static_cast<double>(Clang.TextBytes)},
+       {"binary_bytes", static_cast<double>(Clang.BinaryBytes)},
+       {"compact_bytes", static_cast<double>(Clang.CompactBytes)},
+       {"parse_text_ms", Clang.ParseText * 1e3},
+       {"load_eager_ms", Clang.LoadEager * 1e3},
+       {"load_lazy_ms", Clang.LoadLazy * 1e3},
+       {"lazy_speedup",
+        Clang.LoadLazy > 0 ? Clang.ParseText / Clang.LoadLazy : 0}});
+
+  if (Clang.BinaryBytes >= Clang.TextBytes)
+    fail("binary container is not smaller than text on ClangProxy");
+  if (Clang.LoadLazy >= Clang.ParseText)
+    fail("lazy module-scoped load is not faster than the eager text "
+         "parse on ClangProxy");
+  return 0;
+}

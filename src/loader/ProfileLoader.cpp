@@ -7,8 +7,11 @@
 #include "profile/ProfileSummary.h"
 #include "opt/InlineCost.h"
 #include "opt/Inliner.h"
+#include "store/ProfileStore.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <set>
@@ -380,7 +383,7 @@ LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
     // edge conservation. Probe-table agreement is deliberately not
     // checked here: the input may be stale on purpose.
     VO.ExactCounts = IsInstr;
-    VO.CheckHeadEdges = !IsInstr;
+    VO.CheckHeadEdges = !IsInstr && Opts.VerifyCrossEdges;
     recordVerifyReport(Stats, verifyFlatProfile(Profile, VO));
   }
   bool Anchored = Profile.Kind == ProfileKind::ProbeBased;
@@ -394,6 +397,9 @@ LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
                           Opts, HotThreshold, Stats,        Resolver};
 
   for (Function *F : topDownOrder(M)) {
+    // Declaration-only functions (no body yet) have nothing to annotate.
+    if (F->Blocks.empty())
+      continue;
     const FunctionProfile *P = Profile.find(F->getName());
     if (!P)
       continue;
@@ -528,6 +534,7 @@ LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
   if (Opts.Verify != VerifyLevel::Off) {
     VerifierOptions VO;
     VO.Level = Opts.Verify;
+    VO.CheckHeadEdges = Opts.VerifyCrossEdges;
     recordVerifyReport(Stats, verifyContextProfile(Profile, VO));
   }
   // The resolver is PreMatched: stale contexts are recovered by a
@@ -566,6 +573,9 @@ LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
       });
 
   for (Function *F : topDownOrder(M)) {
+    // Declaration-only functions (no body yet) have nothing to annotate.
+    if (F->Blocks.empty())
+      continue;
     auto It = ByLeaf.find(F->getName());
     if (It == ByLeaf.end())
       continue;
@@ -603,6 +613,92 @@ LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
   }
   if (Opts.ProfileSampleAccurate)
     markUnprofiledFunctionsCold(M);
+  return Stats;
+}
+
+namespace {
+
+/// A store decode failure after open() validated the content hash means
+/// the writer and reader disagree about the format — a pipeline bug, not
+/// an input problem, so it aborts like the IR verifier does.
+[[noreturn]] void fatalStoreDecode(const char *What, const std::string &Err) {
+  std::fprintf(stderr, "csspgo: %s failed on a hash-validated store: %s\n",
+               What, Err.c_str());
+  std::abort();
+}
+
+/// Options for loading a module-scoped subset: the derived hot threshold
+/// must come from the store's whole-profile summary (a subset distribution
+/// would skew it), and cross-function edge conservation cannot be checked
+/// against a subset.
+LoaderOptions storeScopedOptions(const LoaderOptions &Opts, bool Lazy,
+                                 const ProfileStore &Store) {
+  LoaderOptions O = Opts;
+  if (!O.HotCallsiteThreshold)
+    O.HotCallsiteThreshold = Store.hotThreshold(O.HotCutoff);
+  if (Lazy)
+    O.VerifyCrossEdges = false;
+  return O;
+}
+
+} // namespace
+
+LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
+                                     bool IsInstr, const LoaderOptions &Opts,
+                                     bool Lazy) {
+  Store.resolveNames(M);
+  FlatProfile Materialized;
+  unsigned Mat = 0, Skipped = 0;
+  std::string Err;
+  if (Lazy) {
+    Materialized.Kind = Store.kind();
+    for (size_t I = 0; I != Store.numFunctions(); ++I) {
+      if (!M.getFunction(Store.functionName(I))) {
+        ++Skipped;
+        continue;
+      }
+      if (!Store.loadFunction(I, Materialized, Err))
+        fatalStoreDecode("lazy function load", Err);
+      ++Mat;
+    }
+  } else {
+    if (!Store.loadFlat(Materialized, Err))
+      fatalStoreDecode("eager store load", Err);
+    Mat = Materialized.Functions.size();
+  }
+  LoaderStats Stats = loadFlatProfile(
+      M, Materialized, IsInstr, storeScopedOptions(Opts, Lazy, Store));
+  Stats.StoreFunctionsMaterialized = Mat;
+  Stats.StoreFunctionsSkipped = Skipped;
+  return Stats;
+}
+
+LoaderStats loadContextProfileFromStore(Module &M, ProfileStore &Store,
+                                        const LoaderOptions &Opts, bool Lazy) {
+  Store.resolveNames(M);
+  ContextProfile Materialized;
+  unsigned Mat = 0, Skipped = 0;
+  std::string Err;
+  if (Lazy) {
+    Materialized.Kind = Store.kind();
+    for (size_t I = 0; I != Store.numFunctions(); ++I) {
+      if (!M.getFunction(Store.functionName(I))) {
+        ++Skipped;
+        continue;
+      }
+      if (!Store.loadFunctionContexts(I, Materialized, Err))
+        fatalStoreDecode("lazy context load", Err);
+      ++Mat;
+    }
+  } else {
+    if (!Store.loadContext(Materialized, Err))
+      fatalStoreDecode("eager store load", Err);
+    Mat = Store.numFunctions();
+  }
+  LoaderStats Stats = loadContextProfile(
+      M, Materialized, storeScopedOptions(Opts, Lazy, Store));
+  Stats.StoreFunctionsMaterialized = Mat;
+  Stats.StoreFunctionsSkipped = Skipped;
   return Stats;
 }
 

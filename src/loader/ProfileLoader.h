@@ -75,6 +75,11 @@ struct LoaderOptions {
   /// profile is routinely fed here on purpose. Probe-table agreement is
   /// not checked (the input may legitimately predate the current build).
   VerifyLevel Verify = VerifyLevel::Summary;
+  /// Include the cross-function head/call-edge conservation check in that
+  /// verification. Lazy store loads turn this off: a module-scoped subset
+  /// legitimately cuts edges into functions that were not materialized
+  /// (same reasoning as the fuzz harness's truncated-profile stage).
+  bool VerifyCrossEdges = true;
 };
 
 /// One stale-profile matching attempt (per function; CS profiles record
@@ -100,6 +105,11 @@ struct LoaderStats {
   unsigned InlinedCallsites = 0;
   unsigned PromotedIndirectCalls = 0;
   uint64_t HotThresholdUsed = 0;
+  /// Store-backed loads: functions materialized from the binary store, and
+  /// store functions skipped because the module has no function of that
+  /// name (the lazy-loading payoff).
+  unsigned StoreFunctionsMaterialized = 0;
+  unsigned StoreFunctionsSkipped = 0;
   /// Invariant violations the pre-load verification found in the input
   /// profile (0 when LoaderOptions::Verify is Off).
   uint64_t VerifyViolations = 0;
@@ -115,6 +125,24 @@ LoaderStats loadFlatProfile(Module &M, const FlatProfile &Profile,
 /// Loads a context-sensitive probe-based profile.
 LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
                                const LoaderOptions &Opts = {});
+
+class ProfileStore;
+
+/// Loads from a binary profile store (store/ProfileStore.h). Lazy mode —
+/// the build-job default — materializes only the store functions \p M
+/// actually contains, seeking each through the store's per-function
+/// index; eager mode materializes everything first (tools / analyses that
+/// want the whole database). Either way the hot threshold comes from the
+/// store's persisted summary distribution, so lazy, eager, and text-based
+/// loads of the same profile annotate bit-identically. Compact-name
+/// stores are resolved against \p M before loading.
+LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
+                                     bool IsInstr,
+                                     const LoaderOptions &Opts = {},
+                                     bool Lazy = true);
+LoaderStats loadContextProfileFromStore(Module &M, ProfileStore &Store,
+                                        const LoaderOptions &Opts = {},
+                                        bool Lazy = true);
 
 } // namespace csspgo
 

@@ -6,6 +6,11 @@
 #include "inference/ProfileInference.h"
 #include "ir/Verifier.h"
 #include "probe/ProbeInserter.h"
+#include "profile/ProfileIO.h"
+#include "store/ProfileStore.h"
+
+#include <cstdio>
+#include <cstdlib>
 
 namespace csspgo {
 
@@ -25,8 +30,74 @@ const char *variantName(PGOVariant V) {
   return "<unknown>";
 }
 
+const char *transportName(ProfileTransport T) {
+  switch (T) {
+  case ProfileTransport::InMemory:
+    return "memory";
+  case ProfileTransport::Text:
+    return "text";
+  case ProfileTransport::BinaryEager:
+    return "binary";
+  case ProfileTransport::BinaryLazy:
+    return "binary-lazy";
+  }
+  return "<unknown>";
+}
+
 static bool usesProbes(PGOVariant V) {
   return V == PGOVariant::CSSPGOProbeOnly || V == PGOVariant::CSSPGOFull;
+}
+
+/// A transport failure is a pipeline bug (the bundle was produced by our
+/// own generators an instant earlier), so it aborts like verifyOrDie.
+[[noreturn]] static void fatalTransport(const char *What,
+                                        const std::string &Detail) {
+  std::fprintf(stderr, "csspgo: profile transport failed (%s): %s\n", What,
+               Detail.c_str());
+  std::abort();
+}
+
+/// Routes the profile into the loader through the bundle's transport.
+static LoaderStats loadThroughTransport(Module &M,
+                                        const ProfileBundle &Profile,
+                                        const LoaderOptions &Opts) {
+  switch (Profile.Transport) {
+  case ProfileTransport::InMemory:
+    break;
+  case ProfileTransport::Text: {
+    if (Profile.IsCS) {
+      ContextProfile CS;
+      if (!parseContextProfile(serializeContextProfile(Profile.CS), CS))
+        fatalTransport("text", "context profile failed to re-parse");
+      return loadContextProfile(M, CS, Opts);
+    }
+    FlatProfile Flat;
+    if (!parseFlatProfile(serializeFlatProfile(Profile.Flat), Flat))
+      fatalTransport("text", "flat profile failed to re-parse");
+    return loadFlatProfile(M, Flat, Profile.IsInstr, Opts);
+  }
+  case ProfileTransport::BinaryEager:
+  case ProfileTransport::BinaryLazy: {
+    bool Lazy = Profile.Transport == ProfileTransport::BinaryLazy;
+    std::vector<EpochInfo> Epochs{
+        {0, Profile.IsCS ? Profile.CS.totalSamples()
+                         : Profile.Flat.totalSamples(),
+         1000}};
+    std::string Bytes =
+        Profile.IsCS ? writeStore(Profile.CS, Epochs)
+                     : writeStore(Profile.Flat, Epochs, {}, Profile.IsInstr);
+    ProfileStore Store;
+    std::string Err;
+    if (!ProfileStore::open(std::move(Bytes), Store, Err))
+      fatalTransport("binary", Err);
+    if (Profile.IsCS)
+      return loadContextProfileFromStore(M, Store, Opts, Lazy);
+    return loadFlatProfileFromStore(M, Store, Profile.IsInstr, Opts, Lazy);
+  }
+  }
+  if (Profile.IsCS)
+    return loadContextProfile(M, Profile.CS, Opts);
+  return loadFlatProfile(M, Profile.Flat, Profile.IsInstr, Opts);
 }
 
 BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,
@@ -44,13 +115,11 @@ BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,
     insertProbes(M, AnchorKind::InstrCounter);
   }
 
-  // 2. Profile correlation, annotation and top-down loader inlining.
+  // 2. Profile correlation, annotation and top-down loader inlining,
+  //    through whatever transport the bundle prescribes (in-memory by
+  //    default; text or binary-store round trips under --format).
   if (Profile && Profile->Has) {
-    if (Profile->IsCS)
-      Result.Loader = loadContextProfile(M, Profile->CS, Config.Loader);
-    else
-      Result.Loader =
-          loadFlatProfile(M, Profile->Flat, Profile->IsInstr, Config.Loader);
+    Result.Loader = loadThroughTransport(M, *Profile, Config.Loader);
     // The release build of Instr PGO carries no counters: they only
     // existed to establish the correlation, which annotation completed.
     if (Config.Variant == PGOVariant::Instr)

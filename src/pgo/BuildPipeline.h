@@ -49,6 +49,22 @@ enum class PGOVariant : uint8_t {
 
 const char *variantName(PGOVariant V);
 
+/// How a profile travels from collection to the optimized build. InMemory
+/// hands the in-memory containers straight to the loader (the historical
+/// behavior); the other transports round-trip through a serialization on
+/// the way, exercising what a real deployment does between the profiling
+/// fleet and the build farm. All four produce bit-identical builds for
+/// the sampling variants (the store is lossless and the text format drops
+/// only loader-irrelevant fields); `csspgo_exp run --format` selects one.
+enum class ProfileTransport : uint8_t {
+  InMemory,    ///< No serialization.
+  Text,        ///< serialize + parse (profile/ProfileIO).
+  BinaryEager, ///< writeStore + open + full materialization.
+  BinaryLazy,  ///< writeStore + open + module-scoped lazy loading.
+};
+
+const char *transportName(ProfileTransport T);
+
 /// A profile of any of the three shapes.
 struct ProfileBundle {
   bool Has = false;
@@ -56,6 +72,8 @@ struct ProfileBundle {
   bool IsCS = false;
   FlatProfile Flat;
   ContextProfile CS;
+  /// Transport the optimized build consumes this bundle through.
+  ProfileTransport Transport = ProfileTransport::InMemory;
 };
 
 struct BuildConfig {

@@ -158,6 +158,9 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
   case PGOVariant::None:
     break;
   }
+  // The optimized builds consume the profile through the configured
+  // transport (in-memory / text / binary store, see BuildPipeline.h).
+  Bundle.Transport = Config.Transport;
   return Bundle;
 }
 

@@ -65,6 +65,11 @@ struct ExperimentConfig {
   LoaderOptions Loader;
   bool EnableInference = true;
 
+  /// Transport the optimized builds consume profiles through (in-memory,
+  /// text round trip, or binary store; `csspgo_exp --format`). The
+  /// sampling variants build bit-identically under all of them.
+  ProfileTransport Transport = ProfileTransport::InMemory;
+
   /// Run the ProfileVerifier over every profile the pipeline produces or
   /// consumes: Full verification at generation time (including probe-table
   /// agreement), a re-check after cold-context trimming and the

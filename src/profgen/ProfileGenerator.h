@@ -69,6 +69,12 @@ struct ProfGenResult {
   /// Invariant verification of the generated profile (empty/ok when
   /// ProfGenOptions::Verify is Off).
   VerifyReport Verify;
+
+  /// Total samples of whichever shape was generated — the epoch weight the
+  /// store ingestion path records (ProfileStore::ingestEpoch).
+  uint64_t totalSamples() const {
+    return IsCS ? CS.totalSamples() : Flat.totalSamples();
+  }
 };
 
 class ProfileGenerator {

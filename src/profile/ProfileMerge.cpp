@@ -2,6 +2,7 @@
 
 #include "profile/ProfileMerge.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,6 +23,60 @@ const char *kindName(ProfileKind K) {
                What, kindName(Dst), kindName(Src));
   std::abort();
 }
+
+/// Decay scaler. Per-slot values round half up independently except for
+/// the edge-conserved quantities (heads and call targets of sampled
+/// profiles), which round through per-function-name cumulative
+/// accumulators so both sides of every head/call edge telescope to the
+/// same scaled sum (see the ProfileMerge.h contract). Profiles must be
+/// scaled in a deterministic traversal for reproducible slot values; the
+/// std::map orders used here match the serializers'.
+class ProfileScaler {
+public:
+  ProfileScaler(uint64_t Num, uint64_t Den, bool ExactCounts)
+      : Num(Num), Den(Den), Exact(ExactCounts) {}
+
+  void scaleProfile(FunctionProfile &P) {
+    uint64_t NewTotal = 0;
+    for (auto &[K, N] : P.Body) {
+      N = scaleValue(N);
+      NewTotal = saturatingAdd(NewTotal, N);
+    }
+    P.TotalSamples = NewTotal;
+    P.HeadSamples = Exact ? std::min(scaleValue(P.HeadSamples), NewTotal)
+                          : scaleCumulative(Heads[P.Name], P.HeadSamples);
+    for (auto &[K, Targets] : P.Calls)
+      for (auto &[Callee, N] : Targets)
+        N = Exact ? scaleValue(N) : scaleCumulative(CallTargets[Callee], N);
+    for (auto &[K, Map] : P.Inlinees)
+      for (auto &[Callee, Sub] : Map)
+        scaleProfile(Sub);
+  }
+
+private:
+  struct Acc {
+    unsigned __int128 Pre = 0;  ///< Unscaled prefix sum.
+    unsigned __int128 Post = 0; ///< round(Pre * Num / Den) so far.
+  };
+
+  uint64_t round128(unsigned __int128 V) const {
+    unsigned __int128 R = (V * Num + Den / 2) / Den;
+    return R > UINT64_MAX ? UINT64_MAX : static_cast<uint64_t>(R);
+  }
+  uint64_t scaleValue(uint64_t V) const { return round128(V); }
+  uint64_t scaleCumulative(Acc &A, uint64_t V) {
+    A.Pre += V;
+    unsigned __int128 NewPost = (A.Pre * Num + Den / 2) / Den;
+    unsigned __int128 Slot = NewPost - A.Post;
+    A.Post = NewPost;
+    return Slot > UINT64_MAX ? UINT64_MAX : static_cast<uint64_t>(Slot);
+  }
+
+  uint64_t Num, Den;
+  bool Exact;
+  std::map<std::string, Acc> Heads;
+  std::map<std::string, Acc> CallTargets;
+};
 
 } // namespace
 
@@ -74,6 +129,25 @@ MergeStats mergeContextProfiles(ContextProfile &Dst,
     Stats.SaturatedCounts += D.Profile.merge(N.Profile);
   });
   return Stats;
+}
+
+void scaleFlatProfile(FlatProfile &Profile, uint64_t Num, uint64_t Den,
+                      bool ExactCounts) {
+  if (!Den || Num == Den)
+    return;
+  ProfileScaler S(Num, Den, ExactCounts);
+  for (auto &[Name, P] : Profile.Functions)
+    S.scaleProfile(P);
+}
+
+void scaleContextProfile(ContextProfile &Profile, uint64_t Num, uint64_t Den) {
+  if (!Den || Num == Den)
+    return;
+  ProfileScaler S(Num, Den, /*ExactCounts=*/false);
+  Profile.forEachNodeMutable(
+      [&S](const SampleContext &, ContextTrieNode &N) {
+        S.scaleProfile(N.Profile);
+      });
 }
 
 } // namespace csspgo

@@ -57,6 +57,33 @@ MergeStats mergeFlatProfiles(FlatProfile &Dst, const FlatProfile &Src);
 MergeStats mergeContextProfiles(ContextProfile &Dst,
                                 const ContextProfile &Src);
 
+/// Scales every count in \p Profile by Num/Den (round half up). This is
+/// the decay step of multi-epoch ingestion (ProfileStore::ingestEpoch), so
+/// it must keep a scaled profile verifiable at VerifyLevel::Full:
+///
+///  * Count conservation is restored structurally: after scaling a
+///    function's body slots, TotalSamples is recomputed as their
+///    saturating sum.
+///
+///  * Head/call-edge conservation (sum of a function's head samples ==
+///    sum of call-target counts into it, database-wide) cannot survive
+///    independent per-slot rounding — two slots of 1 scaled by 1/2 round
+///    to 2, one slot of 2 rounds to 1. Instead, all head slots of a
+///    function name share one cumulative accumulator (and all call-target
+///    slots into it share another): slot i becomes
+///    round(S_i * Num/Den) - round(S_{i-1} * Num/Den) over the prefix sums
+///    S. Each side telescopes to round(true_sum * Num/Den), so equal sums
+///    stay equal under any Num/Den.
+///
+///  * Exact-count (Instr) profiles get \p ExactCounts = true: no edge
+///    accumulators (the equality does not apply to them), and the head is
+///    clamped to the recomputed total so HEAD <= TOTAL keeps holding.
+///
+/// Num == Den is a no-op; Num = 0 zeroes every count.
+void scaleFlatProfile(FlatProfile &Profile, uint64_t Num, uint64_t Den,
+                      bool ExactCounts = false);
+void scaleContextProfile(ContextProfile &Profile, uint64_t Num, uint64_t Den);
+
 } // namespace csspgo
 
 #endif // CSSPGO_PROFILE_PROFILEMERGE_H

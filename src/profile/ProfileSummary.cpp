@@ -25,7 +25,7 @@ uint64_t summaryThreshold(std::vector<uint64_t> Counts, double Cutoff) {
   return 1;
 }
 
-uint64_t hotThreshold(const FlatProfile &Profile, double Cutoff) {
+std::vector<uint64_t> hotCountDistribution(const FlatProfile &Profile) {
   std::vector<uint64_t> CallCounts;
   std::function<void(const FunctionProfile &)> Collect =
       [&](const FunctionProfile &P) {
@@ -43,16 +43,24 @@ uint64_t hotThreshold(const FlatProfile &Profile, double Cutoff) {
       for (const auto &[K, N] : P.Body)
         CallCounts.push_back(N);
   }
-  return summaryThreshold(std::move(CallCounts), Cutoff);
+  return CallCounts;
 }
 
-uint64_t hotThreshold(const ContextProfile &Profile, double Cutoff) {
+std::vector<uint64_t> hotCountDistribution(const ContextProfile &Profile) {
   std::vector<uint64_t> Totals;
   Profile.forEachNode(
       [&Totals](const SampleContext &, const ContextTrieNode &N) {
         Totals.push_back(N.Profile.TotalSamples);
       });
-  return summaryThreshold(std::move(Totals), Cutoff);
+  return Totals;
+}
+
+uint64_t hotThreshold(const FlatProfile &Profile, double Cutoff) {
+  return summaryThreshold(hotCountDistribution(Profile), Cutoff);
+}
+
+uint64_t hotThreshold(const ContextProfile &Profile, double Cutoff) {
+  return summaryThreshold(hotCountDistribution(Profile), Cutoff);
 }
 
 } // namespace csspgo

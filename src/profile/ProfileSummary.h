@@ -26,6 +26,14 @@ namespace csspgo {
 /// total mass of \p Counts. Returns 1 for empty/zero inputs.
 uint64_t summaryThreshold(std::vector<uint64_t> Counts, double Cutoff);
 
+/// The count distribution hotThreshold() derives its threshold from
+/// (call-target counts with a body-count fallback for flat profiles;
+/// per-context totals for CS profiles). Only the multiset matters, so
+/// persisting it — the binary store's summary section does — reproduces
+/// every threshold exactly without materializing the profile.
+std::vector<uint64_t> hotCountDistribution(const FlatProfile &Profile);
+std::vector<uint64_t> hotCountDistribution(const ContextProfile &Profile);
+
 /// Hot-call-site threshold from the distribution of call-target counts of
 /// a flat profile (falls back to body counts for counter-keyed profiles,
 /// which record no call targets).

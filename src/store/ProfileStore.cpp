@@ -1,0 +1,922 @@
+//===- store/ProfileStore.cpp - Binary profile store ------------------------===//
+
+#include "store/ProfileStore.h"
+
+#include "ir/Module.h"
+#include "profile/ProfileSummary.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <set>
+
+namespace csspgo {
+
+namespace {
+
+/// Inlinee nesting beyond this is rejected at decode time (the generators
+/// produce depth <= the inline depth limit, far below this).
+constexpr unsigned MaxRecordDepth = 64;
+
+void collectRefs(const FunctionProfile &P, std::set<std::string> &S) {
+  for (const auto &[K, Targets] : P.Calls)
+    for (const auto &[Callee, N] : Targets)
+      S.insert(Callee);
+  for (const auto &[K, Map] : P.Inlinees)
+    for (const auto &[Callee, Sub] : Map) {
+      S.insert(Callee);
+      collectRefs(Sub, S);
+    }
+}
+
+/// Deduplicating string table under construction: sorted-unique entries,
+/// so equal profiles always produce byte-identical tables.
+class StringIndex {
+public:
+  explicit StringIndex(std::set<std::string> Set)
+      : Strings(Set.begin(), Set.end()) {
+    for (uint32_t I = 0; I != Strings.size(); ++I)
+      Map[Strings[I]] = I;
+  }
+
+  uint32_t index(const std::string &S) const { return Map.at(S); }
+  const std::vector<std::string> &all() const { return Strings; }
+
+private:
+  std::vector<std::string> Strings;
+  std::map<std::string, uint32_t> Map;
+};
+
+void encodeRecord(ByteWriter &W, const FunctionProfile &P,
+                  const StringIndex &SI) {
+  W.uleb(P.TotalSamples);
+  W.uleb(P.HeadSamples);
+  W.uleb(P.Body.size());
+  for (const auto &[K, N] : P.Body) {
+    W.uleb(K.Index);
+    W.uleb(K.Disc);
+    W.uleb(N);
+  }
+  W.uleb(P.Calls.size());
+  for (const auto &[K, Targets] : P.Calls) {
+    W.uleb(K.Index);
+    W.uleb(K.Disc);
+    W.uleb(Targets.size());
+    for (const auto &[Callee, N] : Targets) {
+      W.uleb(SI.index(Callee));
+      W.uleb(N);
+    }
+  }
+  W.uleb(P.Inlinees.size());
+  for (const auto &[K, Map] : P.Inlinees) {
+    W.uleb(K.Index);
+    W.uleb(K.Disc);
+    W.uleb(Map.size());
+    for (const auto &[Callee, Sub] : Map) {
+      W.uleb(SI.index(Callee));
+      W.uleb(Sub.Guid);
+      W.uleb(Sub.Checksum);
+      encodeRecord(W, Sub, SI);
+    }
+  }
+}
+
+bool decodeRecord(ByteReader &R, FunctionProfile &P,
+                  const std::vector<std::string> &Names, unsigned Depth,
+                  std::string &Err) {
+  if (Depth > MaxRecordDepth) {
+    Err = "inlinee nesting exceeds depth limit";
+    return false;
+  }
+  uint64_t NBody, NCalls, NInl, Idx, Disc, N;
+  if (!R.uleb(P.TotalSamples) || !R.uleb(P.HeadSamples) || !R.uleb(NBody)) {
+    Err = "truncated record header";
+    return false;
+  }
+  for (uint64_t I = 0; I != NBody; ++I) {
+    if (!R.uleb(Idx) || !R.uleb(Disc) || !R.uleb(N) || Idx > UINT32_MAX ||
+        Disc > UINT32_MAX) {
+      Err = "malformed body entry";
+      return false;
+    }
+    ProfileKey K(static_cast<uint32_t>(Idx), static_cast<uint32_t>(Disc));
+    if (!P.Body.emplace(K, N).second) {
+      Err = "duplicate body key";
+      return false;
+    }
+  }
+  if (!R.uleb(NCalls)) {
+    Err = "truncated call-site count";
+    return false;
+  }
+  for (uint64_t I = 0; I != NCalls; ++I) {
+    uint64_t NTargets;
+    if (!R.uleb(Idx) || !R.uleb(Disc) || !R.uleb(NTargets) ||
+        Idx > UINT32_MAX || Disc > UINT32_MAX) {
+      Err = "malformed call site";
+      return false;
+    }
+    ProfileKey K(static_cast<uint32_t>(Idx), static_cast<uint32_t>(Disc));
+    auto [SiteIt, Fresh] = P.Calls.emplace(
+        K, std::map<std::string, uint64_t>());
+    if (!Fresh) {
+      Err = "duplicate call-site key";
+      return false;
+    }
+    for (uint64_t T = 0; T != NTargets; ++T) {
+      uint64_t NameIdx;
+      if (!R.uleb(NameIdx) || !R.uleb(N) || NameIdx >= Names.size()) {
+        Err = "malformed call target";
+        return false;
+      }
+      if (!SiteIt->second.emplace(Names[NameIdx], N).second) {
+        Err = "duplicate call target";
+        return false;
+      }
+    }
+  }
+  if (!R.uleb(NInl)) {
+    Err = "truncated inline-site count";
+    return false;
+  }
+  for (uint64_t I = 0; I != NInl; ++I) {
+    uint64_t NCallees;
+    if (!R.uleb(Idx) || !R.uleb(Disc) || !R.uleb(NCallees) ||
+        Idx > UINT32_MAX || Disc > UINT32_MAX) {
+      Err = "malformed inline site";
+      return false;
+    }
+    ProfileKey K(static_cast<uint32_t>(Idx), static_cast<uint32_t>(Disc));
+    auto [SiteIt, Fresh] = P.Inlinees.emplace(
+        K, std::map<std::string, FunctionProfile>());
+    if (!Fresh) {
+      Err = "duplicate inline-site key";
+      return false;
+    }
+    for (uint64_t C = 0; C != NCallees; ++C) {
+      uint64_t NameIdx, Guid, Checksum;
+      if (!R.uleb(NameIdx) || !R.uleb(Guid) || !R.uleb(Checksum) ||
+          NameIdx >= Names.size()) {
+        Err = "malformed inlinee";
+        return false;
+      }
+      FunctionProfile Sub;
+      Sub.Name = Names[NameIdx];
+      Sub.Guid = Guid;
+      Sub.Checksum = Checksum;
+      if (!decodeRecord(R, Sub, Names, Depth + 1, Err))
+        return false;
+      if (!SiteIt->second.emplace(Sub.Name, std::move(Sub)).second) {
+        Err = "duplicate inlinee";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string encodeStringTable(const std::vector<std::string> &Strings,
+                              bool Compact) {
+  ByteWriter W;
+  W.uleb(Strings.size());
+  for (const std::string &S : Strings) {
+    if (Compact) {
+      W.u64(computeFunctionGuid(S));
+    } else {
+      W.uleb(S.size());
+      W.bytes(S);
+    }
+  }
+  return W.take();
+}
+
+std::string encodeEpochTable(const std::vector<EpochInfo> &Epochs) {
+  ByteWriter W;
+  W.uleb(Epochs.size());
+  for (const EpochInfo &E : Epochs) {
+    W.uleb(E.Timestamp);
+    W.uleb(E.TotalSamples);
+    W.uleb(E.DecayPermille);
+  }
+  return W.take();
+}
+
+std::string encodeSummary(std::vector<uint64_t> Counts) {
+  std::sort(Counts.rbegin(), Counts.rend());
+  ByteWriter W;
+  std::vector<std::pair<uint64_t, uint64_t>> Dist;
+  for (uint64_t C : Counts) {
+    if (!Dist.empty() && Dist.back().first == C)
+      ++Dist.back().second;
+    else
+      Dist.push_back({C, 1});
+  }
+  W.uleb(Dist.size());
+  for (const auto &[Value, Mult] : Dist) {
+    W.uleb(Value);
+    W.uleb(Mult);
+  }
+  return W.take();
+}
+
+struct IndexEntryW {
+  uint32_t NameIdx;
+  uint64_t Offset;
+  uint64_t Size;
+  uint64_t Total;
+  uint64_t Head;
+};
+
+std::string encodeFuncIndex(const std::vector<IndexEntryW> &Entries) {
+  ByteWriter W;
+  W.uleb(Entries.size());
+  for (const IndexEntryW &E : Entries) {
+    W.uleb(E.NameIdx);
+    W.uleb(E.Offset);
+    W.uleb(E.Size);
+    W.uleb(E.Total);
+    W.uleb(E.Head);
+  }
+  return W.take();
+}
+
+/// Lays out header + section table + payloads and patches in the content
+/// hash over everything after the hash field itself.
+std::string
+assembleStore(uint8_t Flags,
+              const std::vector<std::pair<StoreSection, std::string>> &Secs) {
+  ByteWriter W;
+  W.bytes(std::string_view(StoreMagic, sizeof(StoreMagic)));
+  W.u16(StoreVersion);
+  W.u8(Flags);
+  W.u8(0); // reserved
+  W.u64(0); // content hash, patched below
+  W.u32(static_cast<uint32_t>(Secs.size()));
+  uint64_t Off = StoreHeaderSize + Secs.size() * StoreSectionEntrySize;
+  for (const auto &[Id, Body] : Secs) {
+    W.u32(static_cast<uint32_t>(Id));
+    W.u32(0);
+    W.u64(Off);
+    W.u64(Body.size());
+    Off += Body.size();
+  }
+  for (const auto &[Id, Body] : Secs)
+    W.bytes(Body);
+  std::string Out = W.take();
+  uint64_t Hash = hashBytes(std::string_view(Out).substr(16));
+  for (int I = 0; I != 8; ++I)
+    Out[8 + I] = static_cast<char>(Hash >> (8 * I));
+  return Out;
+}
+
+const char *sectionName(StoreSection S) {
+  switch (S) {
+  case StoreSection::StringTable:
+    return "string-table";
+  case StoreSection::EpochTable:
+    return "epoch-table";
+  case StoreSection::FuncIndex:
+    return "func-index";
+  case StoreSection::FlatPayload:
+    return "flat-payload";
+  case StoreSection::CSPayload:
+    return "cs-payload";
+  case StoreSection::ProbeMeta:
+    return "probe-meta";
+  case StoreSection::Summary:
+    return "summary";
+  }
+  return "<unknown>";
+}
+
+} // namespace
+
+std::string writeStore(const FlatProfile &Profile,
+                       const std::vector<EpochInfo> &Epochs,
+                       const StoreWriteOptions &Opts, bool IsInstr) {
+  std::set<std::string> Strs;
+  for (const auto &[Name, P] : Profile.Functions) {
+    Strs.insert(Name);
+    collectRefs(P, Strs);
+  }
+  StringIndex SI(std::move(Strs));
+
+  ByteWriter Payload;
+  ByteWriter ProbeMeta;
+  std::vector<IndexEntryW> Entries;
+  ProbeMeta.uleb(Profile.Functions.size());
+  for (const auto &[Name, P] : Profile.Functions) {
+    uint64_t Off = Payload.size();
+    encodeRecord(Payload, P, SI);
+    Entries.push_back({SI.index(Name), Off, Payload.size() - Off,
+                       P.TotalSamples, P.HeadSamples});
+    ProbeMeta.uleb(P.Guid);
+    ProbeMeta.uleb(P.Checksum);
+  }
+
+  uint8_t Flags = 0;
+  if (Profile.Kind == ProfileKind::ProbeBased)
+    Flags |= SF_ProbeBased;
+  if (Opts.CompactNames)
+    Flags |= SF_CompactNames;
+  if (IsInstr)
+    Flags |= SF_ExactCounts;
+  return assembleStore(
+      Flags,
+      {{StoreSection::StringTable, encodeStringTable(SI.all(), Opts.CompactNames)},
+       {StoreSection::EpochTable, encodeEpochTable(Epochs)},
+       {StoreSection::FuncIndex, encodeFuncIndex(Entries)},
+       {StoreSection::FlatPayload, Payload.take()},
+       {StoreSection::ProbeMeta, ProbeMeta.take()},
+       {StoreSection::Summary, encodeSummary(hotCountDistribution(Profile))}});
+}
+
+std::string writeStore(const ContextProfile &Profile,
+                       const std::vector<EpochInfo> &Epochs,
+                       const StoreWriteOptions &Opts) {
+  // Contexts grouped per leaf function (the unit of lazy loading); the
+  // in-group order is the trie DFS order, which a reload reproduces.
+  std::map<std::string,
+           std::vector<std::pair<SampleContext, const ContextTrieNode *>>>
+      ByLeaf;
+  std::set<std::string> Strs;
+  Profile.forEachNode([&](const SampleContext &Ctx, const ContextTrieNode &N) {
+    ByLeaf[Ctx.back().Func].push_back({Ctx, &N});
+    for (const ContextFrame &F : Ctx)
+      Strs.insert(F.Func);
+    collectRefs(N.Profile, Strs);
+  });
+  StringIndex SI(std::move(Strs));
+
+  ByteWriter Payload;
+  std::vector<IndexEntryW> Entries;
+  for (const auto &[Leaf, Nodes] : ByLeaf) {
+    uint64_t Off = Payload.size();
+    uint64_t Total = 0, Head = 0;
+    Payload.uleb(Nodes.size());
+    for (const auto &[Ctx, N] : Nodes) {
+      Payload.uleb(Ctx.size());
+      for (const ContextFrame &F : Ctx) {
+        Payload.uleb(SI.index(F.Func));
+        Payload.uleb(F.Site);
+      }
+      Payload.u8(N->ShouldBeInlined ? 1 : 0);
+      Payload.uleb(N->Profile.Guid);
+      Payload.uleb(N->Profile.Checksum);
+      encodeRecord(Payload, N->Profile, SI);
+      Total = saturatingAdd(Total, N->Profile.TotalSamples);
+      Head = saturatingAdd(Head, N->Profile.HeadSamples);
+    }
+    Entries.push_back(
+        {SI.index(Leaf), Off, Payload.size() - Off, Total, Head});
+  }
+
+  uint8_t Flags = SF_ContextSensitive;
+  if (Profile.Kind == ProfileKind::ProbeBased)
+    Flags |= SF_ProbeBased;
+  if (Opts.CompactNames)
+    Flags |= SF_CompactNames;
+  return assembleStore(
+      Flags,
+      {{StoreSection::StringTable, encodeStringTable(SI.all(), Opts.CompactNames)},
+       {StoreSection::EpochTable, encodeEpochTable(Epochs)},
+       {StoreSection::FuncIndex, encodeFuncIndex(Entries)},
+       {StoreSection::CSPayload, Payload.take()},
+       {StoreSection::Summary, encodeSummary(hotCountDistribution(Profile))}});
+}
+
+std::string_view ProfileStore::section(StoreSection S) const {
+  const SectionRef &Ref = Sections[static_cast<uint32_t>(S)];
+  if (!Ref.Present)
+    return {};
+  return std::string_view(Bytes).substr(Ref.Offset, Ref.Size);
+}
+
+bool ProfileStore::decodeSections(std::string &Err) {
+  ByteReader Header(Bytes);
+  std::string_view Magic;
+  uint16_t Version;
+  uint8_t Reserved;
+  uint32_t NumSections;
+  uint64_t Hash;
+  if (!Header.bytes(sizeof(StoreMagic), Magic) ||
+      std::memcmp(Magic.data(), StoreMagic, sizeof(StoreMagic)) != 0) {
+    Err = "not a profile store (bad magic)";
+    return false;
+  }
+  if (!Header.u16(Version) || Version != StoreVersion) {
+    Err = "unsupported store version";
+    return false;
+  }
+  if (!Header.u8(Flags) || (Flags & ~StoreKnownFlags)) {
+    Err = "unknown flag bits";
+    return false;
+  }
+  if (!Header.u8(Reserved) || Reserved != 0) {
+    Err = "nonzero reserved header byte";
+    return false;
+  }
+  if (!Header.u64(Hash) ||
+      Hash != hashBytes(std::string_view(Bytes).substr(16))) {
+    Err = "content hash mismatch (truncated or corrupted store)";
+    return false;
+  }
+  if (!Header.u32(NumSections) || NumSections > 64) {
+    Err = "malformed section count";
+    return false;
+  }
+  uint64_t DataStart =
+      StoreHeaderSize + uint64_t(NumSections) * StoreSectionEntrySize;
+  if (DataStart > Bytes.size()) {
+    Err = "section table past end of store";
+    return false;
+  }
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    uint32_t Id, Pad;
+    uint64_t Off, Size;
+    if (!Header.u32(Id) || !Header.u32(Pad) || !Header.u64(Off) ||
+        !Header.u64(Size)) {
+      Err = "truncated section table";
+      return false;
+    }
+    if (Off < DataStart || Size > Bytes.size() || Off > Bytes.size() - Size) {
+      Err = "section bounds outside store";
+      return false;
+    }
+    if (Id == 0 || Id >= 8)
+      continue; // Unknown section: skip (forward compatibility).
+    if (Sections[Id].Present) {
+      Err = "duplicate section";
+      return false;
+    }
+    Sections[Id] = {Off, Size, true};
+  }
+
+  auto Required = [&](StoreSection S) {
+    if (!Sections[static_cast<uint32_t>(S)].Present) {
+      Err = std::string("missing required section: ") + sectionName(S);
+      return false;
+    }
+    return true;
+  };
+  if (!Required(StoreSection::StringTable) ||
+      !Required(StoreSection::EpochTable) ||
+      !Required(StoreSection::FuncIndex) || !Required(StoreSection::Summary) ||
+      !Required(isCS() ? StoreSection::CSPayload : StoreSection::FlatPayload))
+    return false;
+  if (!isCS() && !Required(StoreSection::ProbeMeta))
+    return false;
+
+  // String table.
+  {
+    ByteReader R(section(StoreSection::StringTable));
+    uint64_t Count;
+    if (!R.uleb(Count)) {
+      Err = "malformed string table";
+      return false;
+    }
+    for (uint64_t I = 0; I != Count; ++I) {
+      if (compactNames()) {
+        uint64_t Guid;
+        if (!R.u64(Guid)) {
+          Err = "truncated compact string table";
+          return false;
+        }
+        NameGuids.push_back(Guid);
+        Names.push_back("guid." + std::to_string(Guid));
+      } else {
+        uint64_t Len;
+        std::string_view S;
+        if (!R.uleb(Len) || !R.bytes(Len, S)) {
+          Err = "truncated string table entry";
+          return false;
+        }
+        Names.emplace_back(S);
+        NameGuids.push_back(computeFunctionGuid(Names.back()));
+      }
+    }
+    if (!R.done()) {
+      Err = "trailing bytes in string table";
+      return false;
+    }
+  }
+
+  // Epoch table.
+  {
+    ByteReader R(section(StoreSection::EpochTable));
+    uint64_t Count;
+    if (!R.uleb(Count)) {
+      Err = "malformed epoch table";
+      return false;
+    }
+    for (uint64_t I = 0; I != Count; ++I) {
+      EpochInfo E;
+      uint64_t Decay;
+      if (!R.uleb(E.Timestamp) || !R.uleb(E.TotalSamples) ||
+          !R.uleb(Decay) || Decay > 1000) {
+        Err = "malformed epoch entry";
+        return false;
+      }
+      E.DecayPermille = static_cast<uint32_t>(Decay);
+      Epochs.push_back(E);
+    }
+    if (!R.done()) {
+      Err = "trailing bytes in epoch table";
+      return false;
+    }
+  }
+
+  // Function index: entries must tile the payload section exactly.
+  uint64_t PayloadSize =
+      Sections[static_cast<uint32_t>(isCS() ? StoreSection::CSPayload
+                                            : StoreSection::FlatPayload)]
+          .Size;
+  {
+    ByteReader R(section(StoreSection::FuncIndex));
+    uint64_t Count;
+    if (!R.uleb(Count)) {
+      Err = "malformed function index";
+      return false;
+    }
+    uint64_t Expected = 0;
+    for (uint64_t I = 0; I != Count; ++I) {
+      IndexEntry E;
+      uint64_t NameIdx;
+      if (!R.uleb(NameIdx) || !R.uleb(E.Offset) || !R.uleb(E.Size) ||
+          !R.uleb(E.Total) || !R.uleb(E.Head) || NameIdx >= Names.size()) {
+        Err = "malformed index entry";
+        return false;
+      }
+      if (E.Offset != Expected || E.Size > PayloadSize - E.Offset) {
+        Err = "index entries do not tile the payload";
+        return false;
+      }
+      Expected = E.Offset + E.Size;
+      E.NameIdx = static_cast<uint32_t>(NameIdx);
+      Index.push_back(E);
+    }
+    if (Expected != PayloadSize) {
+      Err = "payload bytes not covered by the index";
+      return false;
+    }
+    if (!R.done()) {
+      Err = "trailing bytes in function index";
+      return false;
+    }
+  }
+
+  // Probe metadata (flat stores): one {guid, checksum} per index entry.
+  if (!isCS()) {
+    ByteReader R(section(StoreSection::ProbeMeta));
+    uint64_t Count;
+    if (!R.uleb(Count) || Count != Index.size()) {
+      Err = "probe metadata does not match the function index";
+      return false;
+    }
+    for (IndexEntry &E : Index) {
+      if (!R.uleb(E.MetaGuid) || !R.uleb(E.MetaChecksum)) {
+        Err = "truncated probe metadata";
+        return false;
+      }
+    }
+    if (!R.done()) {
+      Err = "trailing bytes in probe metadata";
+      return false;
+    }
+  }
+
+  // Summary distribution: strictly descending values, positive counts.
+  {
+    ByteReader R(section(StoreSection::Summary));
+    uint64_t Count;
+    if (!R.uleb(Count)) {
+      Err = "malformed summary";
+      return false;
+    }
+    for (uint64_t I = 0; I != Count; ++I) {
+      uint64_t Value, Mult;
+      if (!R.uleb(Value) || !R.uleb(Mult) || Mult == 0 ||
+          (!Distribution.empty() && Value >= Distribution.back().first)) {
+        Err = "malformed summary distribution";
+        return false;
+      }
+      Distribution.push_back({Value, Mult});
+    }
+    if (!R.done()) {
+      Err = "trailing bytes in summary";
+      return false;
+    }
+  }
+
+  for (uint32_t I = 0; I != Index.size(); ++I) {
+    NameToFunc[Names[Index[I].NameIdx]] = I;
+    GuidToFunc.emplace(NameGuids[Index[I].NameIdx], I);
+  }
+  return true;
+}
+
+bool ProfileStore::open(std::string Bytes, ProfileStore &Out,
+                        std::string &Err) {
+  ProfileStore S;
+  S.Bytes = std::move(Bytes);
+  if (!S.decodeSections(Err))
+    return false;
+  Out = std::move(S);
+  return true;
+}
+
+std::vector<std::pair<std::string, size_t>> ProfileStore::sectionSizes() const {
+  std::vector<std::pair<std::string, size_t>> Out;
+  for (uint32_t I = 1; I != 8; ++I)
+    if (Sections[I].Present)
+      Out.push_back({sectionName(static_cast<StoreSection>(I)),
+                     static_cast<size_t>(Sections[I].Size)});
+  return Out;
+}
+
+const std::string &ProfileStore::functionName(size_t I) const {
+  return Names[Index[I].NameIdx];
+}
+
+uint64_t ProfileStore::functionGuid(size_t I) const {
+  return NameGuids[Index[I].NameIdx];
+}
+
+uint64_t ProfileStore::totalSamples() const {
+  uint64_t Total = 0;
+  for (const IndexEntry &E : Index)
+    Total = saturatingAdd(Total, E.Total);
+  return Total;
+}
+
+int ProfileStore::findFunction(const std::string &Name) const {
+  auto It = NameToFunc.find(Name);
+  return It == NameToFunc.end() ? -1 : static_cast<int>(It->second);
+}
+
+int ProfileStore::findFunctionByGuid(uint64_t Guid) const {
+  auto It = GuidToFunc.find(Guid);
+  return It == GuidToFunc.end() ? -1 : static_cast<int>(It->second);
+}
+
+void ProfileStore::resolveNames(const Module &M) {
+  if (!compactNames())
+    return;
+  std::map<uint64_t, const std::string *> ByGuid;
+  for (const auto &F : M.Functions)
+    ByGuid[F->getGuid()] = &F->getName();
+  for (size_t I = 0; I != Names.size(); ++I) {
+    auto It = ByGuid.find(NameGuids[I]);
+    if (It != ByGuid.end())
+      Names[I] = *It->second;
+  }
+  NameToFunc.clear();
+  for (uint32_t I = 0; I != Index.size(); ++I)
+    NameToFunc[Names[Index[I].NameIdx]] = I;
+}
+
+bool ProfileStore::loadFunction(size_t I, FlatProfile &Into,
+                                std::string &Err) const {
+  if (isCS()) {
+    Err = "store holds a context-sensitive profile; use "
+          "loadFunctionContexts";
+    return false;
+  }
+  const IndexEntry &E = Index[I];
+  ByteReader R(section(StoreSection::FlatPayload).substr(E.Offset, E.Size));
+  FunctionProfile P;
+  if (!decodeRecord(R, P, Names, 0, Err))
+    return false;
+  if (!R.done()) {
+    Err = "record shorter than its index slice";
+    return false;
+  }
+  if (P.TotalSamples != E.Total || P.HeadSamples != E.Head) {
+    Err = "record totals disagree with the function index";
+    return false;
+  }
+  P.Name = Names[E.NameIdx];
+  P.Guid = E.MetaGuid;
+  P.Checksum = E.MetaChecksum;
+  Into.Kind = kind();
+  Into.Functions[P.Name] = std::move(P);
+  return true;
+}
+
+bool ProfileStore::loadFunctionContexts(size_t I, ContextProfile &Into,
+                                        std::string &Err) const {
+  if (!isCS()) {
+    Err = "store holds a flat profile; use loadFunction";
+    return false;
+  }
+  const IndexEntry &E = Index[I];
+  ByteReader R(section(StoreSection::CSPayload).substr(E.Offset, E.Size));
+  uint64_t NContexts;
+  if (!R.uleb(NContexts)) {
+    Err = "malformed context block";
+    return false;
+  }
+  Into.Kind = kind();
+  for (uint64_t C = 0; C != NContexts; ++C) {
+    uint64_t NFrames;
+    if (!R.uleb(NFrames) || NFrames == 0 || NFrames > R.remaining()) {
+      Err = "malformed context frame count";
+      return false;
+    }
+    SampleContext Ctx;
+    for (uint64_t F = 0; F != NFrames; ++F) {
+      uint64_t NameIdx, Site;
+      if (!R.uleb(NameIdx) || !R.uleb(Site) || NameIdx >= Names.size() ||
+          Site > UINT32_MAX) {
+        Err = "malformed context frame";
+        return false;
+      }
+      Ctx.push_back({Names[NameIdx], static_cast<uint32_t>(Site)});
+    }
+    if (Ctx.back().Site != 0 || Ctx.back().Func != Names[E.NameIdx]) {
+      Err = "context leaf disagrees with its index entry";
+      return false;
+    }
+    uint8_t NodeFlags;
+    uint64_t Guid, Checksum;
+    if (!R.u8(NodeFlags) || NodeFlags > 1 || !R.uleb(Guid) ||
+        !R.uleb(Checksum)) {
+      Err = "malformed context node header";
+      return false;
+    }
+    FunctionProfile P;
+    if (!decodeRecord(R, P, Names, 0, Err))
+      return false;
+    P.Name = Ctx.back().Func;
+    P.Guid = Guid;
+    P.Checksum = Checksum;
+    ContextTrieNode &N = Into.getOrCreateNode(Ctx);
+    N.HasProfile = true;
+    N.ShouldBeInlined = NodeFlags & 1;
+    N.Profile = std::move(P);
+  }
+  if (!R.done()) {
+    Err = "context block shorter than its index slice";
+    return false;
+  }
+  return true;
+}
+
+bool ProfileStore::loadFlat(FlatProfile &Out, std::string &Err) const {
+  Out.Kind = kind();
+  for (size_t I = 0; I != Index.size(); ++I)
+    if (!loadFunction(I, Out, Err))
+      return false;
+  return true;
+}
+
+bool ProfileStore::loadContext(ContextProfile &Out, std::string &Err) const {
+  Out.Kind = kind();
+  for (size_t I = 0; I != Index.size(); ++I)
+    if (!loadFunctionContexts(I, Out, Err))
+      return false;
+  return true;
+}
+
+uint64_t ProfileStore::hotThreshold(double Cutoff) const {
+  std::vector<uint64_t> Counts;
+  for (const auto &[Value, Mult] : Distribution)
+    for (uint64_t I = 0; I != Mult; ++I)
+      Counts.push_back(Value);
+  return summaryThreshold(std::move(Counts), Cutoff);
+}
+
+namespace {
+
+/// Shared ingest plumbing: opens the prior store (if any), leaving kind /
+/// epoch bookkeeping to the shape-specific callers.
+bool openPrior(const std::string &Bytes, ProfileStore &Prior, bool &Exists,
+               IngestResult &R) {
+  Exists = !Bytes.empty();
+  if (!Exists)
+    return true;
+  std::string Err;
+  if (!ProfileStore::open(Bytes, Prior, Err)) {
+    R.Error = "cannot open existing store: " + Err;
+    return false;
+  }
+  if (Prior.compactNames()) {
+    R.Error = "cannot ingest into a compact-name store (names are not "
+              "recoverable without a module)";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+IngestResult ingestEpoch(std::string &Bytes, const FlatProfile &Fresh,
+                         const IngestOptions &Opts) {
+  IngestResult R;
+  if (Opts.DecayPermille > 1000) {
+    R.Error = "decay must be in [0, 1000] permille";
+    return R;
+  }
+  ProfileStore Prior;
+  bool Exists;
+  if (!openPrior(Bytes, Prior, Exists, R))
+    return R;
+
+  FlatProfile Agg;
+  bool Instr = Exists ? Prior.isInstr() : Opts.ExactCounts;
+  if (Exists) {
+    if (Prior.isCS()) {
+      R.Error = "store holds a context-sensitive profile; flat epoch "
+                "rejected";
+      return R;
+    }
+    std::string Err;
+    if (!Prior.loadFlat(Agg, Err)) {
+      R.Error = "cannot materialize existing store: " + Err;
+      return R;
+    }
+    if (Opts.DecayPermille == 0)
+      Agg = FlatProfile{}; // Replace: history fully decayed away.
+    else
+      scaleFlatProfile(Agg, Opts.DecayPermille, 1000, Instr);
+  }
+  if (!Agg.Functions.empty() && Agg.Kind != Fresh.Kind) {
+    R.Error = "epoch profile kind disagrees with the store";
+    return R;
+  }
+  R.Merge = mergeFlatProfiles(Agg, Fresh);
+  std::vector<EpochInfo> Epochs = Prior.epochs();
+  Epochs.push_back({Opts.Timestamp, Fresh.totalSamples(), Opts.DecayPermille});
+
+  if (Opts.Verify != VerifyLevel::Off) {
+    VerifierOptions VO;
+    VO.Level = Opts.Verify;
+    VO.ExactCounts = Instr;
+    VO.CheckHeadEdges = !Instr;
+    R.Verify = verifyFlatProfile(Agg, VO);
+    if (!R.Verify.ok()) {
+      R.Error = "post-ingest verification failed: " + R.Verify.str();
+      return R;
+    }
+  }
+  Bytes = writeStore(Agg, Epochs, Opts.Write, Instr);
+  R.Ok = true;
+  R.EpochsNow = Epochs.size();
+  return R;
+}
+
+IngestResult ingestEpoch(std::string &Bytes, const ContextProfile &Fresh,
+                         const IngestOptions &Opts) {
+  IngestResult R;
+  if (Opts.DecayPermille > 1000) {
+    R.Error = "decay must be in [0, 1000] permille";
+    return R;
+  }
+  ProfileStore Prior;
+  bool Exists;
+  if (!openPrior(Bytes, Prior, Exists, R))
+    return R;
+
+  ContextProfile Agg;
+  if (Exists) {
+    if (!Prior.isCS()) {
+      R.Error = "store holds a flat profile; context-sensitive epoch "
+                "rejected";
+      return R;
+    }
+    std::string Err;
+    if (!Prior.loadContext(Agg, Err)) {
+      R.Error = "cannot materialize existing store: " + Err;
+      return R;
+    }
+    if (Opts.DecayPermille == 0)
+      Agg = ContextProfile{};
+    else
+      scaleContextProfile(Agg, Opts.DecayPermille, 1000);
+  }
+  bool AggEmpty = Agg.Root.Children.empty() && !Agg.Root.HasProfile;
+  if (!AggEmpty && Agg.Kind != Fresh.Kind) {
+    R.Error = "epoch profile kind disagrees with the store";
+    return R;
+  }
+  R.Merge = mergeContextProfiles(Agg, Fresh);
+  std::vector<EpochInfo> Epochs = Prior.epochs();
+  Epochs.push_back({Opts.Timestamp, Fresh.totalSamples(), Opts.DecayPermille});
+
+  if (Opts.Verify != VerifyLevel::Off) {
+    VerifierOptions VO;
+    VO.Level = Opts.Verify;
+    R.Verify = verifyContextProfile(Agg, VO);
+    if (!R.Verify.ok()) {
+      R.Error = "post-ingest verification failed: " + R.Verify.str();
+      return R;
+    }
+  }
+  Bytes = writeStore(Agg, Epochs, Opts.Write);
+  R.Ok = true;
+  R.EpochsNow = Epochs.size();
+  return R;
+}
+
+} // namespace csspgo

@@ -1,0 +1,205 @@
+//===- store/ProfileStore.h - Binary profile store ---------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile storage/serving layer for continuous deployment: a sectioned
+/// binary container (StoreFormat.h) holding one aggregated profile plus its
+/// ingestion history, a reader with a per-function offset index so a build
+/// job materializes only the functions its module actually contains, and
+/// `ingestEpoch()` — the continuous-collection entry point that folds a
+/// fresh ProfileGenerator output into the aggregate under exponential decay
+/// and re-verifies the invariants on every fold.
+///
+/// The container is lossless: writeStore → open → load reproduces the exact
+/// in-memory profile (including Guid/Checksum, which the text format
+/// drops), and writing the loaded profile again is byte-identical. Decay
+/// scaling preserves the verifier's head/call-edge conservation by
+/// construction (see scaleFlatProfile), so an ingested store always passes
+/// strict `csspgo_verify`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_STORE_PROFILESTORE_H
+#define CSSPGO_STORE_PROFILESTORE_H
+
+#include "profile/ContextTrie.h"
+#include "profile/FunctionProfile.h"
+#include "profile/ProfileMerge.h"
+#include "store/StoreFormat.h"
+#include "verify/ProfileVerifier.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+class Module;
+
+/// One ingestion epoch recorded in the store (newest last).
+struct EpochInfo {
+  /// Producer-supplied collection time (seconds; 0 = unset). Stored, never
+  /// interpreted — benches pass fixed values to stay deterministic.
+  uint64_t Timestamp = 0;
+  /// Total samples of the epoch's fresh profile (before decay).
+  uint64_t TotalSamples = 0;
+  /// Decay applied to the prior aggregate when this epoch was folded in
+  /// (permille: 1000 = plain merge, 0 = replace).
+  uint32_t DecayPermille = 1000;
+};
+
+struct StoreWriteOptions {
+  /// Store GUIDs instead of names in the string table (LLVM's MD5 name
+  /// table analogue). Roughly halves the table for long C++-style names;
+  /// readers resolve GUIDs back to names against a module
+  /// (ProfileStore::resolveNames) before lazy loading.
+  bool CompactNames = false;
+};
+
+/// Serializes \p Profile (+ ingestion history) into container bytes.
+std::string writeStore(const FlatProfile &Profile,
+                       const std::vector<EpochInfo> &Epochs,
+                       const StoreWriteOptions &Opts = {},
+                       bool IsInstr = false);
+std::string writeStore(const ContextProfile &Profile,
+                       const std::vector<EpochInfo> &Epochs,
+                       const StoreWriteOptions &Opts = {});
+
+/// Reader over one store file. open() validates the whole container up
+/// front (magic, version, flags, content hash, section table, function
+/// index); after that per-function loads decode straight from the indexed
+/// payload slice, so materializing K of N functions costs O(K), not O(N).
+class ProfileStore {
+public:
+  ProfileStore() = default;
+
+  /// Parses and validates \p Bytes (takes ownership). Returns false with a
+  /// diagnostic in \p Err on any malformation — a truncated or bit-flipped
+  /// input is always rejected here, never at load time.
+  static bool open(std::string Bytes, ProfileStore &Out, std::string &Err);
+
+  bool isCS() const { return Flags & SF_ContextSensitive; }
+  bool isInstr() const { return Flags & SF_ExactCounts; }
+  bool compactNames() const { return Flags & SF_CompactNames; }
+  ProfileKind kind() const {
+    return (Flags & SF_ProbeBased) ? ProfileKind::ProbeBased
+                                   : ProfileKind::LineBased;
+  }
+
+  const std::vector<EpochInfo> &epochs() const { return Epochs; }
+  size_t sizeBytes() const { return Bytes.size(); }
+  /// (section name, payload bytes) of every section, for `store inspect`
+  /// and the size benches.
+  std::vector<std::pair<std::string, size_t>> sectionSizes() const;
+
+  /// Number of top-level functions (flat) or leaf functions (CS).
+  size_t numFunctions() const { return Index.size(); }
+  const std::string &functionName(size_t I) const;
+  uint64_t functionGuid(size_t I) const;
+  uint64_t functionTotalSamples(size_t I) const { return Index[I].Total; }
+  /// Sum of per-function totals (saturating).
+  uint64_t totalSamples() const;
+
+  /// Index of the function named \p Name, or -1. Name lookup works on
+  /// compact stores only after resolveNames().
+  int findFunction(const std::string &Name) const;
+  int findFunctionByGuid(uint64_t Guid) const;
+
+  /// Resolves compact-name (GUID) string-table entries against the
+  /// functions of \p M; entries with no match keep a stable
+  /// "guid.<decimal>" placeholder. No-op for stores written with names.
+  void resolveNames(const Module &M);
+
+  /// Materializes function \p I into \p Into (lazy path). The decoded
+  /// record was hash-validated at open(), so a failure here means the
+  /// writer/reader disagree — reported, never a crash.
+  bool loadFunction(size_t I, FlatProfile &Into, std::string &Err) const;
+  /// CS stores: materializes every context whose leaf is function \p I.
+  bool loadFunctionContexts(size_t I, ContextProfile &Into,
+                            std::string &Err) const;
+
+  /// Eager full materialization (tools, ingest, conversion).
+  bool loadFlat(FlatProfile &Out, std::string &Err) const;
+  bool loadContext(ContextProfile &Out, std::string &Err) const;
+
+  /// Hot threshold from the persisted count distribution — identical to
+  /// hotThreshold() over the eagerly loaded profile, which is what makes
+  /// lazy module-scoped loading bit-identical to an eager load.
+  uint64_t hotThreshold(double Cutoff) const;
+
+private:
+  struct IndexEntry {
+    uint32_t NameIdx = 0;
+    uint64_t Offset = 0; ///< Relative to the payload section.
+    uint64_t Size = 0;
+    uint64_t Total = 0;
+    uint64_t Head = 0;
+    /// Persisted top-level Guid/Checksum (ProbeMeta section, flat stores
+    /// only; distinct from the name-derived lookup GUID so a profile with
+    /// Guid 0 round-trips byte-identically).
+    uint64_t MetaGuid = 0;
+    uint64_t MetaChecksum = 0;
+  };
+  struct SectionRef {
+    uint64_t Offset = 0;
+    uint64_t Size = 0;
+    bool Present = false;
+  };
+
+  std::string_view section(StoreSection S) const;
+  bool decodeSections(std::string &Err);
+
+  std::string Bytes;
+  uint8_t Flags = 0;
+  SectionRef Sections[8];
+  std::vector<std::string> Names; ///< Resolved string table.
+  std::vector<uint64_t> NameGuids;
+  std::vector<EpochInfo> Epochs;
+  std::vector<IndexEntry> Index;
+  std::map<std::string, uint32_t> NameToFunc;
+  std::map<uint64_t, uint32_t> GuidToFunc;
+  /// (count value, multiplicity), descending — the hotThreshold input.
+  std::vector<std::pair<uint64_t, uint64_t>> Distribution;
+};
+
+struct IngestOptions {
+  /// Weight (permille) the prior aggregate keeps: 1000 folds the new epoch
+  /// in at full history (plain merge), 500 halves history each epoch
+  /// (exponential decay), 0 discards it (replace).
+  uint32_t DecayPermille = 1000;
+  /// Recorded in the new EpochInfo.
+  uint64_t Timestamp = 0;
+  /// Exact-count (Instr) semantics; only consulted when the store is
+  /// created (later epochs must match the store's flag).
+  bool ExactCounts = false;
+  StoreWriteOptions Write;
+  /// Post-ingest invariant verification level (Full by default; every
+  /// ingest is gated on a clean report).
+  VerifyLevel Verify = VerifyLevel::Full;
+};
+
+struct IngestResult {
+  bool Ok = false;
+  std::string Error;
+  MergeStats Merge;
+  VerifyReport Verify;
+  size_t EpochsNow = 0;
+};
+
+/// Folds \p Fresh into the store held in \p Bytes: decay-scales the prior
+/// aggregate by DecayPermille/1000, merges the fresh epoch on top under the
+/// usual saturation semantics, appends the epoch record, verifies, and
+/// rewrites \p Bytes — which is left untouched unless the result is Ok.
+/// An empty \p Bytes creates a new single-epoch store.
+IngestResult ingestEpoch(std::string &Bytes, const FlatProfile &Fresh,
+                         const IngestOptions &Opts = {});
+IngestResult ingestEpoch(std::string &Bytes, const ContextProfile &Fresh,
+                         const IngestOptions &Opts = {});
+
+} // namespace csspgo
+
+#endif // CSSPGO_STORE_PROFILESTORE_H

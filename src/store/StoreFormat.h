@@ -1,0 +1,166 @@
+//===- store/StoreFormat.h - Binary profile container format ----*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk format of the binary profile store (the ExtBinary-style
+/// sectioned container, see DESIGN.md "Profile store"):
+///
+///   header (20 bytes, fixed little-endian):
+///     [0..3]   magic "CSPF"
+///     [4..5]   u16 format version (currently 1)
+///     [6]      u8 flag bits (context-sensitive / probe-based /
+///              compact-names / exact-counts); unknown bits are rejected
+///     [7]      u8 reserved, must be 0
+///     [8..15]  u64 FNV-1a hash of every byte from offset 16 to the end —
+///              any truncation or bit flip anywhere in the file fails open()
+///     [16..19] u32 section count
+///   section table (24 bytes per entry, fixed little-endian):
+///     { u32 section id, u32 reserved(0), u64 absolute offset, u64 size }
+///   section payloads, ULEB128-encoded.
+///
+/// Unknown section ids are skipped (forward compatibility); the sections a
+/// store of the declared shape requires must all be present.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_STORE_STOREFORMAT_H
+#define CSSPGO_STORE_STOREFORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace csspgo {
+
+inline constexpr char StoreMagic[4] = {'C', 'S', 'P', 'F'};
+inline constexpr uint16_t StoreVersion = 1;
+inline constexpr size_t StoreHeaderSize = 20;
+inline constexpr size_t StoreSectionEntrySize = 24;
+
+/// Header flag bits. Open rejects any bit outside StoreKnownFlags so a
+/// corrupted flag byte (or a future format) never decodes as garbage.
+enum StoreFlagBits : uint8_t {
+  SF_ContextSensitive = 1u << 0, ///< CS trie payload (else flat payload).
+  SF_ProbeBased = 1u << 1,       ///< ProfileKind::ProbeBased records.
+  SF_CompactNames = 1u << 2,     ///< String table holds GUIDs, not names.
+  SF_ExactCounts = 1u << 3,      ///< Instrumentation (counter) profile.
+};
+inline constexpr uint8_t StoreKnownFlags =
+    SF_ContextSensitive | SF_ProbeBased | SF_CompactNames | SF_ExactCounts;
+
+enum class StoreSection : uint32_t {
+  StringTable = 1, ///< Deduplicated names (or GUIDs when compact).
+  EpochTable = 2,  ///< Ingestion history: {timestamp, total, decay}.
+  FuncIndex = 3,   ///< Per-function {name, offset, size, total, head}.
+  FlatPayload = 4, ///< Flat-profile function records.
+  CSPayload = 5,   ///< Context-trie blocks grouped by leaf function.
+  ProbeMeta = 6,   ///< Top-level {guid, checksum} parallel to FuncIndex.
+  Summary = 7,     ///< Hot-threshold count distribution (value, count).
+};
+
+/// Append-only little-endian byte sink for the store writer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u16(uint16_t V) {
+    u8(static_cast<uint8_t>(V));
+    u8(static_cast<uint8_t>(V >> 8));
+  }
+  void u32(uint32_t V) {
+    u16(static_cast<uint16_t>(V));
+    u16(static_cast<uint16_t>(V >> 16));
+  }
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+  void uleb(uint64_t V) {
+    do {
+      uint8_t B = V & 0x7f;
+      V >>= 7;
+      u8(V ? B | 0x80 : B);
+    } while (V);
+  }
+  void bytes(std::string_view S) { Buf.append(S); }
+
+  size_t size() const { return Buf.size(); }
+  std::string take() { return std::move(Buf); }
+  const std::string &str() const { return Buf; }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked little-endian reader over one slice of the store. Every
+/// accessor returns false instead of reading past the end; ULEB decoding
+/// additionally rejects encodings that overflow 64 bits.
+class ByteReader {
+public:
+  ByteReader() = default;
+  explicit ByteReader(std::string_view Data) : Data(Data) {}
+
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return Data.size() - Pos; }
+  bool done() const { return Pos == Data.size(); }
+
+  bool u8(uint8_t &Out) {
+    if (remaining() < 1)
+      return false;
+    Out = static_cast<uint8_t>(Data[Pos++]);
+    return true;
+  }
+  bool u16(uint16_t &Out) {
+    uint8_t A, B;
+    if (!u8(A) || !u8(B))
+      return false;
+    Out = static_cast<uint16_t>(A | (B << 8));
+    return true;
+  }
+  bool u32(uint32_t &Out) {
+    uint16_t A, B;
+    if (!u16(A) || !u16(B))
+      return false;
+    Out = static_cast<uint32_t>(A) | (static_cast<uint32_t>(B) << 16);
+    return true;
+  }
+  bool u64(uint64_t &Out) {
+    uint32_t A, B;
+    if (!u32(A) || !u32(B))
+      return false;
+    Out = static_cast<uint64_t>(A) | (static_cast<uint64_t>(B) << 32);
+    return true;
+  }
+  bool uleb(uint64_t &Out) {
+    Out = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t B;
+      if (!u8(B))
+        return false;
+      // The 10th byte may only contribute the final bit of a 64-bit value.
+      if (Shift == 63 && (B & 0x7e))
+        return false;
+      Out |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return true;
+    }
+    return false;
+  }
+  bool bytes(size_t N, std::string_view &Out) {
+    if (remaining() < N)
+      return false;
+    Out = Data.substr(Pos, N);
+    Pos += N;
+    return true;
+  }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_STORE_STOREFORMAT_H

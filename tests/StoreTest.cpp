@@ -1,0 +1,544 @@
+//===- tests/StoreTest.cpp - binary profile store tests ---------*- C++ -*-===//
+//
+// The store's contract in three parts: (1) the container is lossless —
+// text -> binary -> text reproduces the input, loading what was written
+// and re-writing it is byte-identical, and Guid/Checksum metadata the
+// text format drops survives; (2) the reader rejects every truncation and
+// bit-flip at open() with a diagnostic, never a crash; (3) ingestEpoch's
+// decay algebra matches the plain merge at decay 1.0, replacement at
+// decay 0.0, respects saturation, and every folded store still passes
+// strict Full verification (including head/call-edge conservation, which
+// the cumulative-rounding scaler preserves by construction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Linker.h"
+#include "ir/Printer.h"
+#include "loader/ProfileLoader.h"
+#include "probe/ProbeInserter.h"
+#include "probe/ProbeTable.h"
+#include "profgen/ProfileGenerator.h"
+#include "profile/ProfileIO.h"
+#include "profile/ProfileMerge.h"
+#include "profile/ProfileSummary.h"
+#include "sim/Executor.h"
+#include "store/ProfileStore.h"
+#include "verify/ProfileVerifier.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace csspgo;
+
+namespace {
+
+/// A two-function sampled probe profile whose head/call edges conserve:
+/// main calls foo 40 times, and foo's head count is exactly 40.
+FlatProfile sampledFlat() {
+  FlatProfile P;
+  P.Kind = ProfileKind::ProbeBased;
+  FunctionProfile &Main = P.getOrCreate("main");
+  Main.addBody({1, 0}, 100);
+  Main.addBody({2, 0}, 60);
+  Main.addCall({2, 0}, "foo", 40);
+  FunctionProfile &Foo = P.getOrCreate("foo");
+  Foo.HeadSamples = 40;
+  Foo.addBody({1, 0}, 40);
+  return P;
+}
+
+/// Line-based flat profile exercising discriminators, inlinee nesting and
+/// multi-target call sites.
+FlatProfile lineFlat() {
+  FlatProfile P;
+  P.Kind = ProfileKind::LineBased;
+  FunctionProfile &Main = P.getOrCreate("main");
+  Main.addBody({1, 0}, 50);
+  Main.addBody({1, 2}, 7);
+  Main.addCall({3, 1}, "a", 20);
+  Main.addCall({3, 1}, "b", 10);
+  FunctionProfile &Inl = Main.getOrCreateInlinee({4, 0}, "leaf");
+  Inl.addBody({1, 0}, 12);
+  Inl.addCall({2, 0}, "a", 5);
+  FunctionProfile &A = P.getOrCreate("a");
+  A.HeadSamples = 25;
+  A.addBody({1, 0}, 25);
+  FunctionProfile &B = P.getOrCreate("b");
+  B.HeadSamples = 10;
+  B.addBody({1, 0}, 10);
+  return P;
+}
+
+WorkloadConfig smallWC() {
+  WorkloadConfig C;
+  C.Seed = 9;
+  C.Requests = 40;
+  C.NumServices = 2;
+  C.NumMids = 5;
+  C.NumUtils = 4;
+  return C;
+}
+
+/// Generated program + samples + profiles of the requested kind, shared by
+/// the CS/loader tests.
+struct GeneratedSetup {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<Binary> Bin;
+  ProbeTable PT;
+  std::vector<PerfSample> Samples;
+
+  GeneratedSetup() : M(generateProgram(smallWC())) {
+    insertProbes(*M, AnchorKind::PseudoProbe);
+    Bin = compileToBinary(*M);
+    PT = ProbeTable::fromModule(*M);
+    ExecConfig EC;
+    EC.Sampler.Enabled = true;
+    EC.Sampler.PeriodCycles = 997;
+    EC.Sampler.Seed = 9;
+    auto Mem = generateInput(smallWC(), 9);
+    RunResult Train = execute(*Bin, "main", Mem, EC);
+    Samples = Train.Samples;
+  }
+
+  ProfGenResult generate(ProfGenKind Kind) const {
+    ProfGenOptions GO;
+    GO.Kind = Kind;
+    GO.Verify = VerifyLevel::Full;
+    return ProfileGenerator(*Bin, &PT, GO).generate(Samples);
+  }
+};
+
+ProfileStore openOrDie(const std::string &Bytes) {
+  ProfileStore S;
+  std::string Err;
+  EXPECT_TRUE(ProfileStore::open(Bytes, S, Err)) << Err;
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lossless round trips.
+//===----------------------------------------------------------------------===//
+
+TEST(Store, FlatRoundTripIsLossless) {
+  for (FlatProfile P : {sampledFlat(), lineFlat()}) {
+    std::string Bytes = writeStore(P, {{123, P.totalSamples(), 1000}});
+    ProfileStore S = openOrDie(Bytes);
+    EXPECT_EQ(S.isCS(), false);
+    EXPECT_EQ(S.kind(), P.Kind);
+    EXPECT_EQ(S.numFunctions(), P.Functions.size());
+    EXPECT_EQ(S.totalSamples(), P.totalSamples());
+
+    FlatProfile Back;
+    std::string Err;
+    ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+    EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(P));
+
+    // Binary fixpoint: writing what was loaded is byte-identical.
+    EXPECT_EQ(writeStore(Back, {{123, P.totalSamples(), 1000}}), Bytes);
+  }
+}
+
+TEST(Store, TextToBinaryToTextIsIdentity) {
+  std::string Text = serializeFlatProfile(lineFlat());
+  FlatProfile Parsed;
+  ASSERT_TRUE(parseFlatProfile(Text, Parsed));
+  ProfileStore S = openOrDie(writeStore(Parsed, {}));
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  EXPECT_EQ(serializeFlatProfile(Back), Text);
+}
+
+TEST(Store, GuidAndChecksumSurviveUnlikeText) {
+  FlatProfile P = sampledFlat();
+  P.getOrCreate("main").Guid = 0xDEADBEEF12345678ull;
+  P.getOrCreate("main").Checksum = 42;
+
+  // The text format drops top-level Guid...
+  FlatProfile Reparsed;
+  ASSERT_TRUE(parseFlatProfile(serializeFlatProfile(P), Reparsed));
+  EXPECT_EQ(Reparsed.Functions.at("main").Guid, 0u);
+
+  // ...the store keeps it, including an explicit zero.
+  ProfileStore S = openOrDie(writeStore(P, {}));
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  EXPECT_EQ(Back.Functions.at("main").Guid, 0xDEADBEEF12345678ull);
+  EXPECT_EQ(Back.Functions.at("main").Checksum, 42u);
+  EXPECT_EQ(Back.Functions.at("foo").Guid, 0u);
+}
+
+TEST(Store, CSRoundTripIsLossless) {
+  GeneratedSetup G;
+  ASSERT_FALSE(G.Samples.empty());
+  ProfGenResult Res = G.generate(ProfGenKind::CS);
+  ASSERT_TRUE(Res.IsCS);
+  ASSERT_TRUE(Res.Verify.ok()) << Res.Verify.str();
+
+  std::string Bytes = writeStore(Res.CS, {{7, Res.CS.totalSamples(), 1000}});
+  ProfileStore S = openOrDie(Bytes);
+  EXPECT_TRUE(S.isCS());
+  EXPECT_EQ(S.kind(), ProfileKind::ProbeBased);
+
+  ContextProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadContext(Back, Err)) << Err;
+  EXPECT_EQ(serializeContextProfile(Back), serializeContextProfile(Res.CS));
+  EXPECT_EQ(writeStore(Back, {{7, Res.CS.totalSamples(), 1000}}), Bytes);
+
+  // The reconstructed trie passes strict verification against the probe
+  // table of the producing build.
+  VerifierOptions VO;
+  VO.Probes = &G.PT;
+  VerifyReport R = verifyContextProfile(Back, VO);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(Store, EmptyProfileRoundTrips) {
+  FlatProfile Empty;
+  ProfileStore S = openOrDie(writeStore(Empty, {}));
+  EXPECT_EQ(S.numFunctions(), 0u);
+  EXPECT_EQ(S.totalSamples(), 0u);
+  EXPECT_TRUE(S.epochs().empty());
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  EXPECT_TRUE(Back.Functions.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The per-function index: lazy loads, lookups, totals.
+//===----------------------------------------------------------------------===//
+
+TEST(Store, LazyUnionEqualsEagerLoad) {
+  FlatProfile P = lineFlat();
+  ProfileStore S = openOrDie(writeStore(P, {}));
+
+  FlatProfile Union;
+  std::string Err;
+  for (size_t I = 0; I != S.numFunctions(); ++I)
+    ASSERT_TRUE(S.loadFunction(I, Union, Err)) << Err;
+  EXPECT_EQ(serializeFlatProfile(Union), serializeFlatProfile(P));
+
+  // A single-function load materializes exactly that function, with the
+  // totals the index advertised.
+  int MainIdx = S.findFunction("main");
+  ASSERT_GE(MainIdx, 0);
+  FlatProfile One;
+  ASSERT_TRUE(S.loadFunction(MainIdx, One, Err)) << Err;
+  EXPECT_EQ(One.Functions.size(), 1u);
+  EXPECT_EQ(One.Functions.at("main").TotalSamples,
+            S.functionTotalSamples(MainIdx));
+}
+
+TEST(Store, FunctionLookupByNameAndGuid) {
+  FlatProfile P = sampledFlat();
+  ProfileStore S = openOrDie(writeStore(P, {}));
+  int Foo = S.findFunction("foo");
+  ASSERT_GE(Foo, 0);
+  EXPECT_EQ(S.functionName(Foo), "foo");
+  EXPECT_EQ(S.functionTotalSamples(Foo), 40u);
+  EXPECT_EQ(S.findFunction("ghost"), -1);
+  EXPECT_EQ(S.findFunctionByGuid(S.functionGuid(Foo)), Foo);
+}
+
+TEST(Store, HotThresholdMatchesProfileSummary) {
+  GeneratedSetup G;
+  ASSERT_FALSE(G.Samples.empty());
+  ProfGenResult Flat = G.generate(ProfGenKind::ProbeOnly);
+  ProfGenResult CS = G.generate(ProfGenKind::CS);
+  ProfileStore SF = openOrDie(writeStore(Flat.Flat, {}));
+  ProfileStore SC = openOrDie(writeStore(CS.CS, {}));
+  for (double Cutoff : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(SF.hotThreshold(Cutoff), hotThreshold(Flat.Flat, Cutoff));
+    EXPECT_EQ(SC.hotThreshold(Cutoff), hotThreshold(CS.CS, Cutoff));
+  }
+}
+
+TEST(Store, CompactNamesShrinkTheTableAndResolve) {
+  // Long C++-style names make the GUID table the clear winner.
+  FlatProfile P;
+  P.Kind = ProfileKind::LineBased;
+  std::vector<std::string> Names;
+  for (int I = 0; I != 8; ++I) {
+    Names.push_back("namespace_alpha::ClassWithALongName" +
+                    std::to_string(I) + "::method_with_a_long_name");
+    P.getOrCreate(Names.back()).addBody({1, 0}, 10 + I);
+  }
+  StoreWriteOptions Compact;
+  Compact.CompactNames = true;
+  std::string Full = writeStore(P, {});
+  std::string Small = writeStore(P, {}, Compact);
+  EXPECT_LT(Small.size(), Full.size());
+
+  ProfileStore S = openOrDie(Small);
+  EXPECT_TRUE(S.compactNames());
+  // Unresolved compact names are stable placeholders...
+  EXPECT_EQ(S.functionName(0).rfind("guid.", 0), 0u);
+  EXPECT_EQ(S.findFunction(Names[0]), -1);
+
+  // ...and resolve against a module carrying the real functions.
+  Module M("resolver");
+  for (const std::string &N : Names)
+    M.createFunction(N, 0);
+  S.resolveNames(M);
+  int Idx = S.findFunction(Names[3]);
+  ASSERT_GE(Idx, 0);
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFunction(Idx, Back, Err)) << Err;
+  EXPECT_EQ(Back.Functions.at(Names[3]).bodyAt({1, 0}), 13u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption rejection. Every truncation and bit-flip fails open() with a
+// diagnostic; nothing reaches the load path.
+//===----------------------------------------------------------------------===//
+
+TEST(Store, EveryTruncationIsRejected) {
+  std::string Bytes = writeStore(sampledFlat(), {{1, 240, 1000}});
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    ProfileStore S;
+    std::string Err;
+    EXPECT_FALSE(ProfileStore::open(Bytes.substr(0, Len), S, Err))
+        << "prefix of " << Len << " bytes accepted";
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(Store, BitFlipsAreRejected) {
+  std::string Bytes = writeStore(lineFlat(), {{1, 129, 1000}});
+  // Flip one bit in every byte position; the content hash (or the header
+  // validation for the hash field itself) must catch each one.
+  for (size_t Pos = 0; Pos != Bytes.size(); ++Pos) {
+    std::string Bad = Bytes;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x10);
+    ProfileStore S;
+    std::string Err;
+    EXPECT_FALSE(ProfileStore::open(Bad, S, Err))
+        << "flip at byte " << Pos << " accepted";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Continuous ingestion: decay algebra and post-ingest verification.
+//===----------------------------------------------------------------------===//
+
+TEST(StoreIngest, DecayOneEqualsPlainMerge) {
+  FlatProfile Epoch = sampledFlat();
+  std::string Bytes;
+  IngestOptions IO;
+  IO.Timestamp = 100;
+  IngestResult R1 = ingestEpoch(Bytes, Epoch, IO);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  IO.Timestamp = 200;
+  IngestResult R2 = ingestEpoch(Bytes, Epoch, IO);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R2.EpochsNow, 2u);
+
+  FlatProfile Merged = sampledFlat();
+  mergeFlatProfiles(Merged, Epoch);
+
+  ProfileStore S = openOrDie(Bytes);
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(Merged));
+}
+
+TEST(StoreIngest, DecayZeroReplacesTheAggregate) {
+  std::string Bytes;
+  IngestOptions IO;
+  IO.Timestamp = 1;
+  ASSERT_TRUE(ingestEpoch(Bytes, sampledFlat(), IO).Ok);
+
+  FlatProfile Second;
+  Second.Kind = ProfileKind::ProbeBased;
+  Second.getOrCreate("fresh_only").addBody({1, 0}, 9);
+  IO.Timestamp = 2;
+  IO.DecayPermille = 0;
+  IngestResult R = ingestEpoch(Bytes, Second, IO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  ProfileStore S = openOrDie(Bytes);
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  // The prior aggregate is gone; only the fresh epoch remains. The epoch
+  // history still records both folds.
+  EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(Second));
+  ASSERT_EQ(S.epochs().size(), 2u);
+  EXPECT_EQ(S.epochs()[1].DecayPermille, 0u);
+}
+
+TEST(StoreIngest, HalfDecayPassesStrictVerification) {
+  // The decay scaler must preserve the verifier's *exact* head == target
+  // edge equation, which naive per-slot rounding breaks. Fold the same
+  // edge-conserving profile several times at decay 0.5 and re-verify the
+  // loaded aggregate independently at Full level.
+  std::string Bytes;
+  IngestOptions IO;
+  IO.DecayPermille = 500;
+  for (uint64_t T = 1; T <= 4; ++T) {
+    IO.Timestamp = T;
+    IngestResult R = ingestEpoch(Bytes, sampledFlat(), IO);
+    ASSERT_TRUE(R.Ok) << "epoch " << T << ": " << R.Error;
+    EXPECT_TRUE(R.Verify.ok()) << R.Verify.str();
+  }
+  ProfileStore S = openOrDie(Bytes);
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  VerifyReport R = verifyFlatProfile(Back);
+  EXPECT_TRUE(R.ok()) << R.str();
+  // Geometric series: 100 * (1 + 1/2 + 1/4 + 1/8) = 187 or 188 after
+  // rounding — decayed history converges instead of growing unboundedly.
+  uint64_t MainBody = Back.Functions.at("main").bodyAt({1, 0});
+  EXPECT_GE(MainBody, 186u);
+  EXPECT_LE(MainBody, 189u);
+}
+
+TEST(StoreIngest, CSIngestKeepsTrieVerified) {
+  GeneratedSetup G;
+  ASSERT_FALSE(G.Samples.empty());
+  ProfGenResult Res = G.generate(ProfGenKind::CS);
+  ASSERT_TRUE(Res.Verify.ok()) << Res.Verify.str();
+
+  std::string Bytes;
+  IngestOptions IO;
+  IO.DecayPermille = 500;
+  IO.Timestamp = 10;
+  IngestResult R1 = ingestEpoch(Bytes, Res.CS, IO);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  IO.Timestamp = 20;
+  IngestResult R2 = ingestEpoch(Bytes, Res.CS, IO);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_TRUE(R2.Verify.ok()) << R2.Verify.str();
+
+  // Independent strict re-verification of the loaded trie, including the
+  // probe-table agreement the ingest path does not have access to.
+  ProfileStore S = openOrDie(Bytes);
+  ASSERT_TRUE(S.isCS());
+  ContextProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadContext(Back, Err)) << Err;
+  VerifierOptions VO;
+  VO.Probes = &G.PT;
+  VerifyReport R = verifyContextProfile(Back, VO);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(StoreIngest, CountsSaturateInsteadOfWrapping) {
+  FlatProfile Huge;
+  Huge.Kind = ProfileKind::LineBased;
+  FunctionProfile &F = Huge.getOrCreate("hot");
+  F.addBody({1, 0}, UINT64_MAX - 5);
+
+  std::string Bytes;
+  ASSERT_TRUE(ingestEpoch(Bytes, Huge).Ok);
+  IngestResult R = ingestEpoch(Bytes, Huge);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Merge.SaturatedCounts, 0u);
+
+  ProfileStore S = openOrDie(Bytes);
+  FlatProfile Back;
+  std::string Err;
+  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  EXPECT_EQ(Back.Functions.at("hot").bodyAt({1, 0}), UINT64_MAX);
+  EXPECT_EQ(Back.Functions.at("hot").TotalSamples, UINT64_MAX);
+}
+
+TEST(StoreIngest, EpochMetadataPersists) {
+  std::string Bytes;
+  IngestOptions IO;
+  for (uint64_t T : {11u, 22u, 33u}) {
+    IO.Timestamp = T;
+    IO.DecayPermille = T == 33 ? 750 : 1000;
+    ASSERT_TRUE(ingestEpoch(Bytes, sampledFlat(), IO).Ok);
+  }
+  ProfileStore S = openOrDie(Bytes);
+  ASSERT_EQ(S.epochs().size(), 3u);
+  EXPECT_EQ(S.epochs()[0].Timestamp, 11u);
+  EXPECT_EQ(S.epochs()[2].Timestamp, 33u);
+  EXPECT_EQ(S.epochs()[2].DecayPermille, 750u);
+  EXPECT_EQ(S.epochs()[0].TotalSamples, sampledFlat().totalSamples());
+}
+
+TEST(StoreIngest, MismatchedEpochsFailCleanly) {
+  std::string Bytes;
+  ASSERT_TRUE(ingestEpoch(Bytes, sampledFlat()).Ok); // probe-based
+  std::string Before = Bytes;
+
+  FlatProfile Line = lineFlat();
+  IngestResult Kind = ingestEpoch(Bytes, Line);
+  EXPECT_FALSE(Kind.Ok);
+  EXPECT_FALSE(Kind.Error.empty());
+  EXPECT_EQ(Bytes, Before); // Failed ingests never touch the store.
+
+  GeneratedSetup G;
+  ProfGenResult CS = G.generate(ProfGenKind::CS);
+  IngestResult Shape = ingestEpoch(Bytes, CS.CS);
+  EXPECT_FALSE(Shape.Ok);
+  EXPECT_FALSE(Shape.Error.empty());
+  EXPECT_EQ(Bytes, Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Loader integration: store-backed loads annotate bit-identically to the
+// direct in-memory load, lazily or eagerly.
+//===----------------------------------------------------------------------===//
+
+TEST(StoreLoader, LazyEagerAndDirectLoadsAnnotateIdentically) {
+  GeneratedSetup G;
+  ASSERT_FALSE(G.Samples.empty());
+  ProfGenResult Res = G.generate(ProfGenKind::ProbeOnly);
+  ASSERT_FALSE(Res.IsCS);
+
+  auto freshModule = [] {
+    auto M = generateProgram(smallWC());
+    insertProbes(*M, AnchorKind::PseudoProbe);
+    return M;
+  };
+
+  auto Direct = freshModule();
+  LoaderStats DS = loadFlatProfile(*Direct, Res.Flat, /*IsInstr=*/false);
+
+  std::string Bytes =
+      writeStore(Res.Flat, {{0, Res.Flat.totalSamples(), 1000}});
+  ProfileStore S1 = openOrDie(Bytes);
+  auto Lazy = freshModule();
+  LoaderStats LS =
+      loadFlatProfileFromStore(*Lazy, S1, /*IsInstr=*/false, {}, true);
+
+  ProfileStore S2 = openOrDie(Bytes);
+  auto Eager = freshModule();
+  LoaderStats ES =
+      loadFlatProfileFromStore(*Eager, S2, /*IsInstr=*/false, {}, false);
+
+  std::string Want = printModule(*Direct);
+  EXPECT_EQ(printModule(*Lazy), Want);
+  EXPECT_EQ(printModule(*Eager), Want);
+  EXPECT_EQ(LS.HotThresholdUsed, DS.HotThresholdUsed);
+  EXPECT_EQ(LS.InlinedCallsites, DS.InlinedCallsites);
+  EXPECT_GT(LS.StoreFunctionsMaterialized, 0u);
+  EXPECT_EQ(ES.StoreFunctionsSkipped, 0u);
+}
+
+TEST(StoreLoader, LazyLoadSkipsFunctionsAbsentFromTheModule) {
+  GeneratedSetup G;
+  ASSERT_FALSE(G.Samples.empty());
+  ProfGenResult Res = G.generate(ProfGenKind::ProbeOnly);
+
+  // A module with only "main" materializes one function and skips the
+  // rest — the lazy-loading payoff.
+  Module M("partial");
+  M.createFunction("main", 0)->createBlock("entry");
+  ProfileStore S = openOrDie(writeStore(Res.Flat, {}));
+  LoaderStats LS = loadFlatProfileFromStore(M, S, /*IsInstr=*/false);
+  EXPECT_EQ(LS.StoreFunctionsMaterialized, 1u);
+  EXPECT_EQ(LS.StoreFunctionsMaterialized + LS.StoreFunctionsSkipped,
+            S.numFunctions());
+}

@@ -7,8 +7,10 @@
 #include "profgen/ProfileGenerator.h"
 #include "profile/ProfileIO.h"
 #include "profile/ProfileMerge.h"
+#include "profile/ProfileSummary.h"
 #include "profile/Trimmer.h"
 #include "sim/Executor.h"
+#include "store/ProfileStore.h"
 #include "support/Random.h"
 #include "verify/ProfileVerifier.h"
 #include "workload/Workloads.h"
@@ -377,6 +379,92 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
         continue;
       if (!keysWithinAnchors(MR.Recovered, anchorIdsOf(*F), Err))
         return false;
+    }
+  }
+
+  // --- 8. Binary store round trip --------------------------------------
+  // text -> binary -> text is the identity; lazy per-function reads union
+  // to the eager load; the persisted summary reproduces hot thresholds;
+  // and truncations / bit flips are rejected at open(), never a crash.
+  {
+    std::string CSBytes = writeStore(CSRes.CS, {});
+    ProfileStore CSStore;
+    std::string OpenErr;
+    if (!ProfileStore::open(CSBytes, CSStore, OpenErr)) {
+      Err = "freshly written CS store does not open: " + OpenErr;
+      return false;
+    }
+    ContextProfile CSBack;
+    if (!CSStore.loadContext(CSBack, OpenErr) ||
+        serializeContextProfile(CSBack) != CSText) {
+      Err = "CS store round trip is not lossless";
+      return false;
+    }
+    if (CSStore.hotThreshold(0.9) != hotThreshold(CSRes.CS, 0.9)) {
+      Err = "CS store summary threshold diverges from the profile's";
+      return false;
+    }
+
+    for (const auto &[What, Flat] :
+         {std::pair<const char *, const FlatProfile &>{"probe-only",
+                                                       PORes.Flat},
+          {"autofdo", AFRes.Flat}}) {
+      std::string Bytes = writeStore(Flat, {});
+      ProfileStore S;
+      if (!ProfileStore::open(Bytes, S, OpenErr)) {
+        Err = std::string("freshly written ") + What +
+              " store does not open: " + OpenErr;
+        return false;
+      }
+      FlatProfile Eager, Lazy;
+      if (!S.loadFlat(Eager, OpenErr) ||
+          serializeFlatProfile(Eager) !=
+              serializeFlatProfile(Flat)) {
+        Err = std::string(What) + " store round trip is not lossless";
+        return false;
+      }
+      for (size_t I = 0; I != S.numFunctions(); ++I)
+        if (!S.loadFunction(I, Lazy, OpenErr)) {
+          Err = std::string(What) + " store lazy load failed: " + OpenErr;
+          return false;
+        }
+      if (serializeFlatProfile(Lazy) != serializeFlatProfile(Eager)) {
+        Err = std::string(What) +
+              " store lazy loads do not union to the eager load";
+        return false;
+      }
+      if (S.hotThreshold(0.9) != hotThreshold(Flat, 0.9)) {
+        Err = std::string(What) +
+              " store summary threshold diverges from the profile's";
+        return false;
+      }
+    }
+
+    // Corrupted containers must be rejected with a diagnostic.
+    for (int I = 0; I != 4; ++I) {
+      size_t Cut = R.nextBelow(CSBytes.size());
+      ProfileStore S;
+      std::string TruncErr;
+      if (ProfileStore::open(CSBytes.substr(0, Cut), S, TruncErr)) {
+        Err = "store accepted a truncation to " + std::to_string(Cut) +
+              " bytes";
+        return false;
+      }
+      if (TruncErr.empty()) {
+        Err = "store rejected a truncation without a diagnostic";
+        return false;
+      }
+    }
+    {
+      std::string Bad = CSBytes;
+      size_t Pos = R.nextBelow(Bad.size());
+      Bad[Pos] = static_cast<char>(Bad[Pos] ^ (1u << R.nextBelow(8)));
+      ProfileStore S;
+      std::string FlipErr;
+      if (ProfileStore::open(Bad, S, FlipErr)) {
+        Err = "store accepted a bit flip at byte " + std::to_string(Pos);
+        return false;
+      }
     }
   }
 

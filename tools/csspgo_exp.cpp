@@ -5,19 +5,9 @@
 //===----------------------------------------------------------------------===//
 //
 // Command-line driver over the experiment pipeline, the library's
-// "binary distribution" face:
-//
-//   csspgo_exp run      <workload> <variant> [scale]   end-to-end PGO run
-//   csspgo_exp profile  <workload> <variant> [scale]   print the profile text
-//   csspgo_exp compare  <workload> [scale]             all variants side by side
-//   csspgo_exp ir       <workload> [scale]             dump the generated IR
-//   csspgo_exp fuzz     [iterations] [seed]            differential fuzzing
-//   csspgo_exp list                                    workloads and variants
-//
-// Variants: none instr autofdo probeonly csspgo
-// Options:  -j N | --parallelism N   shard profile generation over N
-//           threads (0 = one per hardware thread; output is bit-identical
-//           for any N)
+// "binary distribution" face. The subcommand list lives in one table
+// (`Subcommands`) that drives both the dispatcher and the usage text, so
+// the two can never drift apart.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,47 +15,90 @@
 #include "ir/Printer.h"
 #include "pgo/PGODriver.h"
 #include "profile/ProfileIO.h"
+#include "store/ProfileStore.h"
 #include "support/SourceText.h"
 #include "workload/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 using namespace csspgo;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: csspgo_exp run|profile|compare|ir|fuzz|list "
-               "[workload] [variant] [scale] [-j N]\n"
-               "       csspgo_exp fuzz [iterations] [seed]\n");
-  return 2;
-}
+int usage();
+
+//===----------------------------------------------------------------------===//
+// Global option flags, stripped from argv before dispatch.
+//===----------------------------------------------------------------------===//
 
 /// Profile-generation parallelism from -j/--parallelism (default serial).
 unsigned GenParallelism = 1;
+/// Profile transport for the optimized builds (--format).
+ProfileTransport Transport = ProfileTransport::InMemory;
+/// Compact (GUID) name table for written stores (--compact).
+bool CompactNames = false;
+/// Ingest decay in permille (--decay, 1000 = plain merge, 0 = replace).
+unsigned DecayPermille = 1000;
+/// Ingest epoch timestamp (--timestamp).
+uint64_t EpochTimestamp = 0;
 
-/// Strips -j N / --parallelism N from (argc, argv). Returns false on a
-/// malformed flag.
-bool parseParallelismFlag(int &argc, char **argv) {
+bool parseUnsigned(const char *S, unsigned long long &Out, int Base = 10) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, Base);
+  return End != S && !*End;
+}
+
+bool parseTransport(const char *S, ProfileTransport &Out) {
+  if (std::strcmp(S, "memory") == 0)
+    Out = ProfileTransport::InMemory;
+  else if (std::strcmp(S, "text") == 0)
+    Out = ProfileTransport::Text;
+  else if (std::strcmp(S, "binary") == 0)
+    Out = ProfileTransport::BinaryEager;
+  else if (std::strcmp(S, "binary-lazy") == 0)
+    Out = ProfileTransport::BinaryLazy;
+  else
+    return false;
+  return true;
+}
+
+/// Strips option flags from (argc, argv), leaving only positional
+/// operands. Returns false on a malformed flag.
+bool parseOptionFlags(int &argc, char **argv) {
   int Out = 1;
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "-j") == 0 ||
-        std::strcmp(argv[I], "--parallelism") == 0) {
-      if (I + 1 >= argc)
-        return false;
-      char *End = nullptr;
-      unsigned long N = std::strtoul(argv[I + 1], &End, 10);
-      if (End == argv[I + 1] || *End)
+    auto takesValue = [&](const char *Flag) {
+      return std::strcmp(argv[I], Flag) == 0 && I + 1 < argc;
+    };
+    unsigned long long N = 0;
+    if (takesValue("-j") || takesValue("--parallelism")) {
+      if (!parseUnsigned(argv[++I], N))
         return false;
       GenParallelism = static_cast<unsigned>(N);
-      ++I; // Skip the value.
-      continue;
+    } else if (takesValue("--format")) {
+      if (!parseTransport(argv[++I], Transport))
+        return false;
+    } else if (takesValue("--decay")) {
+      if (!parseUnsigned(argv[++I], N) || N > 1000)
+        return false;
+      DecayPermille = static_cast<unsigned>(N);
+    } else if (takesValue("--timestamp")) {
+      if (!parseUnsigned(argv[++I], N))
+        return false;
+      EpochTimestamp = N;
+    } else if (std::strcmp(argv[I], "--compact") == 0) {
+      CompactNames = true;
+    } else if (argv[I][0] == '-' && argv[I][1] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
+      return false;
+    } else {
+      argv[Out++] = argv[I];
     }
-    argv[Out++] = argv[I];
   }
   argc = Out;
   return true;
@@ -87,7 +120,56 @@ bool parseVariant(const std::string &S, PGOVariant &V) {
   return true;
 }
 
-int cmdList() {
+ExperimentConfig makeConfig(const std::string &Workload, double Scale) {
+  ExperimentConfig Config;
+  Config.Workload = workloadPreset(Workload, Scale);
+  Config.Parallelism = GenParallelism;
+  Config.Transport = Transport;
+  return Config;
+}
+
+bool readFileAll(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeFileAll(const std::string &Path, const std::string &Data) {
+  std::ofstream OutS(Path, std::ios::binary | std::ios::trunc);
+  OutS.write(Data.data(), static_cast<std::streamsize>(Data.size()));
+  return static_cast<bool>(OutS);
+}
+
+bool isStoreBytes(const std::string &Data) {
+  return Data.size() >= 4 && std::memcmp(Data.data(), StoreMagic, 4) == 0;
+}
+
+/// Context-profile text carries "[ctx]:T:H" records; flat text carries
+/// "name:T:H" at column 0. Directive lines ("!kind: ...") and indented
+/// body lines are common to both.
+bool looksLikeContextText(const std::string &Text) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    if (End > Pos && Text[Pos] != '!' && Text[Pos] != ' ')
+      return Text[Pos] == '[';
+    Pos = End + 1;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Subcommand handlers. Each receives argv with option flags stripped:
+// argv[1] is the subcommand name, operands start at argv[2].
+//===----------------------------------------------------------------------===//
+
+int cmdList(int, char **) {
   std::printf("workloads:");
   for (const std::string &W : serverWorkloadNames())
     std::printf(" %s", W.c_str());
@@ -95,14 +177,18 @@ int cmdList() {
   return 0;
 }
 
-int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
-  ExperimentConfig Config;
-  Config.Workload = workloadPreset(Workload, Scale);
-  Config.Parallelism = GenParallelism;
+int cmdRun(int argc, char **argv) {
+  PGOVariant V;
+  if (!parseVariant(argv[3], V)) {
+    std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
+    return 2;
+  }
+  ExperimentConfig Config =
+      makeConfig(argv[2], argc > 4 ? std::atof(argv[4]) : 1.0);
   PGODriver Driver(Config);
   const VariantOutcome &Base = Driver.baseline();
   VariantOutcome Out = Driver.run(V);
-  std::printf("workload:            %s (%u requests)\n", Workload.c_str(),
+  std::printf("workload:            %s (%u requests)\n", argv[2],
               Config.Workload.Requests);
   std::printf("variant:             %s\n", variantName(V));
   std::printf("profiling overhead:  %s\n",
@@ -131,6 +217,15 @@ int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
                     Out.Build->Loader.StaleAnchorsMatched),
                 static_cast<unsigned long long>(
                     Out.Build->Loader.StaleCountsRecovered));
+  if (Transport != ProfileTransport::InMemory) {
+    std::printf("profile transport:   %s", transportName(Transport));
+    if (Out.Build->Loader.StoreFunctionsMaterialized ||
+        Out.Build->Loader.StoreFunctionsSkipped)
+      std::printf(" (%u store functions materialized, %u skipped)",
+                  Out.Build->Loader.StoreFunctionsMaterialized,
+                  Out.Build->Loader.StoreFunctionsSkipped);
+    std::printf("\n");
+  }
   std::printf("exit value:          %lld (plain %lld%s)\n",
               static_cast<long long>(Out.ExitValue),
               static_cast<long long>(Base.ExitValue),
@@ -139,10 +234,14 @@ int cmdRun(const std::string &Workload, PGOVariant V, double Scale) {
   return Out.ExitValue == Base.ExitValue ? 0 : 1;
 }
 
-int cmdProfile(const std::string &Workload, PGOVariant V, double Scale) {
-  ExperimentConfig Config;
-  Config.Workload = workloadPreset(Workload, Scale);
-  Config.Parallelism = GenParallelism;
+int cmdProfile(int argc, char **argv) {
+  PGOVariant V;
+  if (!parseVariant(argv[3], V)) {
+    std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
+    return 2;
+  }
+  ExperimentConfig Config =
+      makeConfig(argv[2], argc > 4 ? std::atof(argv[4]) : 1.0);
   PGODriver Driver(Config);
   VariantOutcome Out = Driver.run(V);
   if (!Out.Profile.Has) {
@@ -157,10 +256,9 @@ int cmdProfile(const std::string &Workload, PGOVariant V, double Scale) {
   return 0;
 }
 
-int cmdCompare(const std::string &Workload, double Scale) {
-  ExperimentConfig Config;
-  Config.Workload = workloadPreset(Workload, Scale);
-  Config.Parallelism = GenParallelism;
+int cmdCompare(int argc, char **argv) {
+  ExperimentConfig Config =
+      makeConfig(argv[2], argc > 3 ? std::atof(argv[3]) : 1.0);
   PGODriver Driver(Config);
   const VariantOutcome &Base = Driver.baseline();
   TextTable Table({"variant", "profiling overhead", "vs plain", "size"});
@@ -176,8 +274,9 @@ int cmdCompare(const std::string &Workload, double Scale) {
   return 0;
 }
 
-int cmdIR(const std::string &Workload, double Scale) {
-  auto M = generateProgram(workloadPreset(Workload, Scale));
+int cmdIR(int argc, char **argv) {
+  auto M = generateProgram(
+      workloadPreset(argv[2], argc > 3 ? std::atof(argv[3]) : 1.0));
   std::fputs(printModule(*M).c_str(), stdout);
   return 0;
 }
@@ -185,19 +284,17 @@ int cmdIR(const std::string &Workload, double Scale) {
 int cmdFuzz(int argc, char **argv) {
   FuzzOptions Opts;
   if (argc > 2) {
-    char *End = nullptr;
-    unsigned long N = std::strtoul(argv[2], &End, 10);
-    if (End == argv[2] || *End || N == 0) {
+    unsigned long long N = 0;
+    if (!parseUnsigned(argv[2], N) || N == 0) {
       std::fprintf(stderr, "fuzz: bad iteration count '%s'\n", argv[2]);
       return 2;
     }
     Opts.Iterations = static_cast<unsigned>(N);
   }
   if (argc > 3) {
-    char *End = nullptr;
+    unsigned long long S = 0;
     // Base 0: accepts the 0x-prefixed seeds the failure report prints.
-    unsigned long long S = std::strtoull(argv[3], &End, 0);
-    if (End == argv[3] || *End) {
+    if (!parseUnsigned(argv[3], S, 0)) {
       std::fprintf(stderr, "fuzz: bad seed '%s'\n", argv[3]);
       return 2;
     }
@@ -206,38 +303,218 @@ int cmdFuzz(int argc, char **argv) {
   return runProfileFuzz(Opts);
 }
 
+int cmdConvert(int, char **argv) {
+  std::string In;
+  if (!readFileAll(argv[2], In)) {
+    std::fprintf(stderr, "convert: cannot read '%s'\n", argv[2]);
+    return 1;
+  }
+  std::string Out;
+  if (isStoreBytes(In)) {
+    // Binary -> text.
+    ProfileStore S;
+    std::string Err;
+    if (!ProfileStore::open(std::move(In), S, Err)) {
+      std::fprintf(stderr, "convert: %s: %s\n", argv[2], Err.c_str());
+      return 1;
+    }
+    if (S.isCS()) {
+      ContextProfile CS;
+      if (!S.loadContext(CS, Err)) {
+        std::fprintf(stderr, "convert: %s: %s\n", argv[2], Err.c_str());
+        return 1;
+      }
+      Out = serializeContextProfile(CS);
+    } else {
+      FlatProfile Flat;
+      if (!S.loadFlat(Flat, Err)) {
+        std::fprintf(stderr, "convert: %s: %s\n", argv[2], Err.c_str());
+        return 1;
+      }
+      Out = serializeFlatProfile(Flat);
+    }
+  } else {
+    // Text -> binary.
+    StoreWriteOptions WO;
+    WO.CompactNames = CompactNames;
+    if (looksLikeContextText(In)) {
+      ContextProfile CS;
+      if (!parseContextProfile(In, CS)) {
+        std::fprintf(stderr, "convert: '%s' is not a valid context profile\n",
+                     argv[2]);
+        return 1;
+      }
+      Out = writeStore(CS, {}, WO);
+    } else {
+      FlatProfile Flat;
+      if (!parseFlatProfile(In, Flat)) {
+        std::fprintf(stderr, "convert: '%s' is not a valid profile\n",
+                     argv[2]);
+        return 1;
+      }
+      Out = writeStore(Flat, {}, WO);
+    }
+  }
+  if (!writeFileAll(argv[3], Out)) {
+    std::fprintf(stderr, "convert: cannot write '%s'\n", argv[3]);
+    return 1;
+  }
+  return 0;
+}
+
+int storeInspect(const char *Path) {
+  std::string Data;
+  if (!readFileAll(Path, Data)) {
+    std::fprintf(stderr, "store: cannot read '%s'\n", Path);
+    return 1;
+  }
+  ProfileStore S;
+  std::string Err;
+  if (!ProfileStore::open(std::move(Data), S, Err)) {
+    std::fprintf(stderr, "store: %s: %s\n", Path, Err.c_str());
+    return 1;
+  }
+  std::printf("shape:        %s\n", S.isCS() ? "context-sensitive" : "flat");
+  std::printf("kind:         %s%s\n",
+              S.kind() == ProfileKind::ProbeBased ? "probe" : "line",
+              S.isInstr() ? " (exact counts)" : "");
+  std::printf("names:        %s\n", S.compactNames() ? "compact (guid)"
+                                                     : "full");
+  std::printf("size:         %s\n", formatBytes(S.sizeBytes()).c_str());
+  std::printf("functions:    %zu\n", S.numFunctions());
+  std::printf("total samples: %llu\n",
+              static_cast<unsigned long long>(S.totalSamples()));
+  std::printf("sections:\n");
+  for (const auto &[Name, Size] : S.sectionSizes())
+    std::printf("  %-12s %s\n", Name.c_str(), formatBytes(Size).c_str());
+  std::printf("epochs:       %zu\n", S.epochs().size());
+  for (size_t I = 0; I != S.epochs().size(); ++I) {
+    const EpochInfo &E = S.epochs()[I];
+    std::printf("  #%zu time %llu, %llu samples, decay %u/1000\n", I,
+                static_cast<unsigned long long>(E.Timestamp),
+                static_cast<unsigned long long>(E.TotalSamples),
+                E.DecayPermille);
+  }
+  return 0;
+}
+
+int storeIngest(int argc, char **argv) {
+  // store ingest <file> <workload> <variant> [scale]
+  if (argc < 6)
+    return usage();
+  PGOVariant V;
+  if (!parseVariant(argv[5], V) || V == PGOVariant::None) {
+    std::fprintf(stderr, "store: variant '%s' produces no profile\n",
+                 argv[5]);
+    return 2;
+  }
+  std::string Bytes; // Missing file = create a fresh store.
+  readFileAll(argv[3], Bytes);
+
+  ExperimentConfig Config =
+      makeConfig(argv[4], argc > 6 ? std::atof(argv[6]) : 1.0);
+  PGODriver Driver(Config);
+  VariantOutcome Out = Driver.run(V);
+  if (!Out.Profile.Has) {
+    std::fprintf(stderr, "store: no profile generated\n");
+    return 1;
+  }
+
+  IngestOptions IO;
+  IO.DecayPermille = DecayPermille;
+  IO.Timestamp = EpochTimestamp;
+  IO.ExactCounts = V == PGOVariant::Instr;
+  IO.Write.CompactNames = CompactNames;
+  IngestResult R = Out.Profile.IsCS
+                       ? ingestEpoch(Bytes, Out.Profile.CS, IO)
+                       : ingestEpoch(Bytes, Out.Profile.Flat, IO);
+  if (!R.Ok) {
+    std::fprintf(stderr, "store: ingest failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  if (!writeFileAll(argv[3], Bytes)) {
+    std::fprintf(stderr, "store: cannot write '%s'\n", argv[3]);
+    return 1;
+  }
+  std::printf("ingested %s/%s epoch into %s (decay %u/1000)\n", argv[4],
+              variantName(V), argv[3], DecayPermille);
+  std::printf("merge:   %llu contexts added, %llu merged, %llu saturated\n",
+              static_cast<unsigned long long>(R.Merge.ContextsAdded),
+              static_cast<unsigned long long>(R.Merge.ContextsMerged),
+              static_cast<unsigned long long>(R.Merge.SaturatedCounts));
+  std::printf("verify:  %s\n", R.Verify.str().c_str());
+  std::printf("epochs:  %zu\n", R.EpochsNow);
+  return 0;
+}
+
+int cmdStore(int argc, char **argv) {
+  if (std::strcmp(argv[2], "inspect") == 0 && argc > 3)
+    return storeInspect(argv[3]);
+  if (std::strcmp(argv[2], "ingest") == 0)
+    return storeIngest(argc, argv);
+  return usage();
+}
+
+//===----------------------------------------------------------------------===//
+// The subcommand table: single source of truth for dispatch AND usage.
+//===----------------------------------------------------------------------===//
+
+struct Subcommand {
+  const char *Name;
+  const char *Operands; ///< Usage fragment after the name.
+  const char *Help;
+  int MinOperands; ///< Required positional operands after the name.
+  int (*Handler)(int argc, char **argv);
+};
+
+const Subcommand Subcommands[] = {
+    {"run", "<workload> <variant> [scale]", "end-to-end PGO run", 2, cmdRun},
+    {"profile", "<workload> <variant> [scale]", "print the profile text", 2,
+     cmdProfile},
+    {"compare", "<workload> [scale]", "all variants side by side", 1,
+     cmdCompare},
+    {"ir", "<workload> [scale]", "dump the generated IR", 1, cmdIR},
+    {"convert", "<in> <out> [--compact]",
+     "convert a profile between text and binary store", 2, cmdConvert},
+    {"store", "inspect <file> | ingest <file> <workload> <variant> [scale]",
+     "inspect a store / fold in a fresh epoch", 2, cmdStore},
+    {"fuzz", "[iterations] [seed]", "differential fuzzing", 0, cmdFuzz},
+    {"list", "", "workloads and variants", 0, cmdList},
+};
+
+int usage() {
+  std::fprintf(stderr, "usage:\n");
+  for (const Subcommand &S : Subcommands)
+    std::fprintf(stderr, "  csspgo_exp %-8s %s\n      %s\n", S.Name,
+                 S.Operands, S.Help);
+  std::fprintf(stderr,
+               "\nvariants: none instr autofdo probeonly csspgo\n"
+               "options:  -j N | --parallelism N   shard profile generation "
+               "over N threads\n"
+               "          --format memory|text|binary|binary-lazy   profile "
+               "transport for builds\n"
+               "          --decay P     ingest decay permille (default "
+               "1000 = plain merge)\n"
+               "          --timestamp T ingest epoch timestamp\n"
+               "          --compact     guid name table for written "
+               "stores\n");
+  return 2;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!parseParallelismFlag(argc, argv))
+  if (!parseOptionFlags(argc, argv))
     return usage();
   if (argc < 2)
     return usage();
-  std::string Cmd = argv[1];
-  if (Cmd == "list")
-    return cmdList();
-  if (Cmd == "fuzz")
-    return cmdFuzz(argc, argv);
-  if (argc < 3)
-    return usage();
-  std::string Workload = argv[2];
-
-  if (Cmd == "ir")
-    return cmdIR(Workload, argc > 3 ? std::atof(argv[3]) : 1.0);
-  if (Cmd == "compare")
-    return cmdCompare(Workload, argc > 3 ? std::atof(argv[3]) : 1.0);
-
-  if (argc < 4)
-    return usage();
-  PGOVariant V;
-  if (!parseVariant(argv[3], V)) {
-    std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
-    return 2;
+  for (const Subcommand &S : Subcommands) {
+    if (std::strcmp(argv[1], S.Name) != 0)
+      continue;
+    if (argc - 2 < S.MinOperands)
+      return usage();
+    return S.Handler(argc, argv);
   }
-  double Scale = argc > 4 ? std::atof(argv[4]) : 1.0;
-  if (Cmd == "run")
-    return cmdRun(Workload, V, Scale);
-  if (Cmd == "profile")
-    return cmdProfile(Workload, V, Scale);
+  std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
   return usage();
 }
