@@ -114,14 +114,23 @@ public:
       return Probe ? nullptr : &P;
     }
     MatchResult R = matchStaleProfile(P, F, M, Kind, Cfg);
-    Stats.StaleMatches.push_back({F.getName(), R.Stats});
+    // One attempt record and one StaleMatched tick per distinct function:
+    // the same stale callee routinely resolves both top-level and at
+    // several inline sites (and, store-backed, once more after lazy
+    // materialization), which used to double-count it in the stats the
+    // dashboard aggregates. Each *site* still runs its own remap.
+    bool FirstAttempt = AttemptedFns.insert(F.getName()).second;
+    if (FirstAttempt)
+      Stats.StaleMatches.push_back({F.getName(), R.Stats});
     if (!R.Stats.Accepted) {
       ++Stats.StaleDropped;
       return Probe ? nullptr : &P;
     }
-    ++Stats.StaleMatched;
-    Stats.StaleAnchorsMatched += R.Stats.AnchorsMatched;
-    Stats.StaleCountsRecovered += R.Stats.SamplesRecovered;
+    if (MatchedFns.insert(F.getName()).second) {
+      ++Stats.StaleMatched;
+      Stats.StaleAnchorsMatched += R.Stats.AnchorsMatched;
+      Stats.StaleCountsRecovered += R.Stats.SamplesRecovered;
+    }
     Storage.push_back(
         std::make_unique<FunctionProfile>(std::move(R.Recovered)));
     return Storage.back().get();
@@ -136,6 +145,8 @@ private:
   LoaderStats &Stats;
   bool PreMatched;
   MatcherConfig Cfg;
+  /// Functions already attempted/recovered, for per-function stats dedup.
+  std::set<std::string> AttemptedFns, MatchedFns;
   /// Recovered profiles must outlive the load (annotation, ICP and the
   /// inline drivers hold pointers into them).
   std::vector<std::unique_ptr<FunctionProfile>> Storage;
@@ -643,63 +654,78 @@ LoaderOptions storeScopedOptions(const LoaderOptions &Opts, bool Lazy,
 
 } // namespace
 
-LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
-                                     bool IsInstr, const LoaderOptions &Opts,
-                                     bool Lazy) {
+Expected<LoaderStats> loadProfileFromStore(Module &M, ProfileStore &Store,
+                                           const LoaderOptions &Opts,
+                                           bool Lazy) {
   Store.resolveNames(M);
-  FlatProfile Materialized;
   unsigned Mat = 0, Skipped = 0;
-  std::string Err;
-  if (Lazy) {
-    Materialized.Kind = Store.kind();
-    for (size_t I = 0; I != Store.numFunctions(); ++I) {
-      if (!M.getFunction(Store.functionName(I))) {
-        ++Skipped;
-        continue;
+  LoaderStats Stats;
+  if (Store.isCS()) {
+    ContextProfile Materialized;
+    if (Lazy) {
+      Materialized.Kind = Store.kind();
+      for (size_t I = 0; I != Store.numFunctions(); ++I) {
+        if (!M.getFunction(Store.functionName(I))) {
+          ++Skipped;
+          continue;
+        }
+        if (Status S = Store.loadFunctionContexts(I, Materialized); !S.ok())
+          return S.withContext("lazy context load");
+        ++Mat;
       }
-      if (!Store.loadFunction(I, Materialized, Err))
-        fatalStoreDecode("lazy function load", Err);
-      ++Mat;
+    } else {
+      Expected<ContextProfile> P = Store.loadContext();
+      if (!P)
+        return P.status().withContext("eager store load");
+      Materialized = P.take();
+      Mat = Store.numFunctions();
     }
+    Stats = loadContextProfile(M, Materialized,
+                               storeScopedOptions(Opts, Lazy, Store));
   } else {
-    if (!Store.loadFlat(Materialized, Err))
-      fatalStoreDecode("eager store load", Err);
-    Mat = Materialized.Functions.size();
+    FlatProfile Materialized;
+    if (Lazy) {
+      Materialized.Kind = Store.kind();
+      for (size_t I = 0; I != Store.numFunctions(); ++I) {
+        if (!M.getFunction(Store.functionName(I))) {
+          ++Skipped;
+          continue;
+        }
+        if (Status S = Store.loadFunction(I, Materialized); !S.ok())
+          return S.withContext("lazy function load");
+        ++Mat;
+      }
+    } else {
+      Expected<FlatProfile> P = Store.loadFlat();
+      if (!P)
+        return P.status().withContext("eager store load");
+      Materialized = P.take();
+      Mat = Materialized.Functions.size();
+    }
+    Stats = loadFlatProfile(M, Materialized, Store.isInstr(),
+                            storeScopedOptions(Opts, Lazy, Store));
   }
-  LoaderStats Stats = loadFlatProfile(
-      M, Materialized, IsInstr, storeScopedOptions(Opts, Lazy, Store));
   Stats.StoreFunctionsMaterialized = Mat;
   Stats.StoreFunctionsSkipped = Skipped;
   return Stats;
 }
 
+LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
+                                     bool IsInstr, const LoaderOptions &Opts,
+                                     bool Lazy) {
+  (void)IsInstr; // The store's SF_ExactCounts flag is authoritative.
+  Expected<LoaderStats> Stats = loadProfileFromStore(M, Store, Opts, Lazy);
+  if (!Stats)
+    fatalStoreDecode("flat store load", Stats.status().message());
+  return Stats.take();
+}
+
 LoaderStats loadContextProfileFromStore(Module &M, ProfileStore &Store,
                                         const LoaderOptions &Opts, bool Lazy) {
-  Store.resolveNames(M);
-  ContextProfile Materialized;
-  unsigned Mat = 0, Skipped = 0;
-  std::string Err;
-  if (Lazy) {
-    Materialized.Kind = Store.kind();
-    for (size_t I = 0; I != Store.numFunctions(); ++I) {
-      if (!M.getFunction(Store.functionName(I))) {
-        ++Skipped;
-        continue;
-      }
-      if (!Store.loadFunctionContexts(I, Materialized, Err))
-        fatalStoreDecode("lazy context load", Err);
-      ++Mat;
-    }
-  } else {
-    if (!Store.loadContext(Materialized, Err))
-      fatalStoreDecode("eager store load", Err);
-    Mat = Store.numFunctions();
-  }
-  LoaderStats Stats = loadContextProfile(
-      M, Materialized, storeScopedOptions(Opts, Lazy, Store));
-  Stats.StoreFunctionsMaterialized = Mat;
-  Stats.StoreFunctionsSkipped = Skipped;
-  return Stats;
+  Expected<LoaderStats> Stats = loadProfileFromStore(M, Store, Opts, Lazy);
+  if (!Stats)
+    fatalStoreDecode("context store load", Stats.status().message());
+  return Stats.take();
 }
 
 } // namespace csspgo

@@ -21,6 +21,7 @@
 #include "matcher/StaleMatcher.h"
 #include "profile/ContextTrie.h"
 #include "profile/FunctionProfile.h"
+#include "support/Status.h"
 #include "verify/ProfileVerifier.h"
 
 #include <string>
@@ -94,7 +95,11 @@ struct LoaderStats {
   /// Checksum-mismatched profiles dropped (matcher off, match rejected,
   /// or below confidence). Counted per mismatch site, as before.
   unsigned StaleDropped = 0;
-  /// Stale profiles the matcher recovered and the loader applied.
+  /// Distinct stale functions the matcher recovered and the loader
+  /// applied. Deduplicated per function: a function whose recovered
+  /// profile is applied both top-level and at inline sites (or that was
+  /// both matched and store-materialized) counts once, matching the CS
+  /// pre-pass accounting.
   unsigned StaleMatched = 0;
   /// Call-site anchors the matcher aligned across applied recoveries.
   uint64_t StaleAnchorsMatched = 0;
@@ -128,14 +133,23 @@ LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
 
 class ProfileStore;
 
-/// Loads from a binary profile store (store/ProfileStore.h). Lazy mode —
-/// the build-job default — materializes only the store functions \p M
-/// actually contains, seeking each through the store's per-function
-/// index; eager mode materializes everything first (tools / analyses that
-/// want the whole database). Either way the hot threshold comes from the
-/// store's persisted summary distribution, so lazy, eager, and text-based
-/// loads of the same profile annotate bit-identically. Compact-name
-/// stores are resolved against \p M before loading.
+/// Loads from a binary profile store (store/ProfileStore.h), flat or
+/// context-sensitive and exact- or sampled-count as the store's flags
+/// say. Lazy mode — the build-job default — materializes only the store
+/// functions \p M actually contains, seeking each through the store's
+/// per-function index; eager mode materializes everything first (tools /
+/// analyses that want the whole database). Either way the hot threshold
+/// comes from the store's persisted summary distribution, so lazy, eager,
+/// and text-based loads of the same profile annotate bit-identically.
+/// Compact-name stores are resolved against \p M before loading. A decode
+/// failure surfaces as an error Status (the long-lived service skips the
+/// epoch and reports, instead of dying).
+Expected<LoaderStats> loadProfileFromStore(Module &M, ProfileStore &Store,
+                                           const LoaderOptions &Opts = {},
+                                           bool Lazy = true);
+
+/// Deprecated shape-specific wrappers over loadProfileFromStore, kept for
+/// one PR; they preserve the historical abort-on-decode-failure behavior.
 LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
                                      bool IsInstr,
                                      const LoaderOptions &Opts = {},

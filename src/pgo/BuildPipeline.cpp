@@ -5,9 +5,8 @@
 #include "codegen/Linker.h"
 #include "inference/ProfileInference.h"
 #include "ir/Verifier.h"
+#include "pgo/ProfilePipeline.h"
 #include "probe/ProbeInserter.h"
-#include "profile/ProfileIO.h"
-#include "store/ProfileStore.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,56 +47,23 @@ static bool usesProbes(PGOVariant V) {
   return V == PGOVariant::CSSPGOProbeOnly || V == PGOVariant::CSSPGOFull;
 }
 
-/// A transport failure is a pipeline bug (the bundle was produced by our
-/// own generators an instant earlier), so it aborts like verifyOrDie.
-[[noreturn]] static void fatalTransport(const char *What,
-                                        const std::string &Detail) {
-  std::fprintf(stderr, "csspgo: profile transport failed (%s): %s\n", What,
-               Detail.c_str());
-  std::abort();
-}
-
-/// Routes the profile into the loader through the bundle's transport.
+/// Routes the profile into the loader through the bundle's transport
+/// (ProfilePipeline::apply). A transport failure is a pipeline bug here —
+/// the bundle was produced by our own generators an instant earlier — so
+/// it aborts like verifyOrDie; the fleet service uses the pipeline
+/// directly and survives the same failure by skipping the work item.
 static LoaderStats loadThroughTransport(Module &M,
                                         const ProfileBundle &Profile,
                                         const LoaderOptions &Opts) {
-  switch (Profile.Transport) {
-  case ProfileTransport::InMemory:
-    break;
-  case ProfileTransport::Text: {
-    if (Profile.IsCS) {
-      ContextProfile CS;
-      if (!parseContextProfile(serializeContextProfile(Profile.CS), CS))
-        fatalTransport("text", "context profile failed to re-parse");
-      return loadContextProfile(M, CS, Opts);
-    }
-    FlatProfile Flat;
-    if (!parseFlatProfile(serializeFlatProfile(Profile.Flat), Flat))
-      fatalTransport("text", "flat profile failed to re-parse");
-    return loadFlatProfile(M, Flat, Profile.IsInstr, Opts);
+  ProfilePipeline Pipeline(
+      PipelineOptions().transport(Profile.Transport).loader(Opts));
+  Expected<LoaderStats> Stats = Pipeline.apply(M, Profile);
+  if (!Stats) {
+    std::fprintf(stderr, "csspgo: profile transport failed: %s\n",
+                 Stats.status().message().c_str());
+    std::abort();
   }
-  case ProfileTransport::BinaryEager:
-  case ProfileTransport::BinaryLazy: {
-    bool Lazy = Profile.Transport == ProfileTransport::BinaryLazy;
-    std::vector<EpochInfo> Epochs{
-        {0, Profile.IsCS ? Profile.CS.totalSamples()
-                         : Profile.Flat.totalSamples(),
-         1000}};
-    std::string Bytes =
-        Profile.IsCS ? writeStore(Profile.CS, Epochs)
-                     : writeStore(Profile.Flat, Epochs, {}, Profile.IsInstr);
-    ProfileStore Store;
-    std::string Err;
-    if (!ProfileStore::open(std::move(Bytes), Store, Err))
-      fatalTransport("binary", Err);
-    if (Profile.IsCS)
-      return loadContextProfileFromStore(M, Store, Opts, Lazy);
-    return loadFlatProfileFromStore(M, Store, Profile.IsInstr, Opts, Lazy);
-  }
-  }
-  if (Profile.IsCS)
-    return loadContextProfile(M, Profile.CS, Opts);
-  return loadFlatProfile(M, Profile.Flat, Profile.IsInstr, Opts);
+  return Stats.take();
 }
 
 BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,

@@ -2,31 +2,14 @@
 
 #include "pgo/PGODriver.h"
 
-#include "preinline/PreInliner.h"
+#include "pgo/ProfilePipeline.h"
 #include "probe/ProbeTable.h"
-#include "profgen/BinarySizeExtractor.h"
-#include "profile/Trimmer.h"
 #include "sim/InstrRuntime.h"
 
 #include <cstdio>
 #include <cstdlib>
 
 namespace csspgo {
-
-namespace {
-
-/// Strict-mode enforcement: every profile this driver handles is freshly
-/// generated against the binary it came from, so a verifier violation is
-/// a pipeline bug, not bad input — fail loudly with the report.
-void enforceVerified(const VerifyReport &R, const char *What, bool Strict) {
-  if (R.ok() || !Strict)
-    return;
-  std::fprintf(stderr, "csspgo: profile verification failed (%s):\n%s", What,
-               R.str().c_str());
-  std::abort();
-}
-
-} // namespace
 
 PGODriver::PGODriver(ExperimentConfig Config) : Config(std::move(Config)) {
   Source = generateProgram(this->Config.Workload);
@@ -74,93 +57,63 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
       execute(*ProfBuild.Bin, "main", TrainMem, Exec);
   Out.ProfilingCycles = Train.Cycles;
 
-  // All four profile shapes flow through the ProfileGenerator facade; the
+  // All four profile shapes flow through the ProfilePipeline facade; the
   // CS and probe-only kinds honor Config.Parallelism (sharded generation,
-  // bit-identical to serial).
-  ProfGenOptions GenOpts;
-  GenOpts.InferMissingFrames = Config.InferMissingFrames;
-  GenOpts.Parallelism = Config.Parallelism;
-  GenOpts.Verify =
+  // bit-identical to serial), and full CSSPGO gets its cold-context
+  // trimming and pre-inliner pass inside the pipeline, re-verified. The
+  // optimized builds later consume the bundle through the configured
+  // transport (in-memory / text / binary store, see BuildPipeline.h).
+  PipelineOptions PipeOpts;
+  PipeOpts.InferMissingFrames = Config.InferMissingFrames;
+  PipeOpts.Parallelism = Config.Parallelism;
+  PipeOpts.Transport = Config.Transport;
+  PipeOpts.Verify =
       Config.VerifyProfiles ? VerifyLevel::Full : VerifyLevel::Off;
+  PipeOpts.Strict = Config.VerifyStrict;
   switch (V) {
-  case PGOVariant::Instr: {
-    GenOpts.Kind = ProfGenKind::Instr;
-    ProfileGenerator Gen(*ProfBuild.Bin, nullptr, GenOpts);
-    ProfGenResult R = Gen.generate(dumpCounters(*ProfBuild.Bin, Train),
-                                   &Train);
-    Bundle.Flat = std::move(R.Flat);
-    Bundle.IsInstr = true;
-    Bundle.Has = true;
-    Out.ProfGenVerify = std::move(R.Verify);
-    enforceVerified(Out.ProfGenVerify, "instr profgen", Config.VerifyStrict);
+  case PGOVariant::Instr:
+    PipeOpts.Kind = ProfGenKind::Instr;
     break;
-  }
-  case PGOVariant::AutoFDO: {
-    GenOpts.Kind = ProfGenKind::AutoFDO;
-    ProfileGenerator Gen(*ProfBuild.Bin, nullptr, GenOpts);
-    ProfGenResult R = Gen.generate(Train.Samples);
-    Bundle.Flat = std::move(R.Flat);
-    Out.ProfGen = R.Stats;
-    Bundle.Has = true;
-    Out.ProfGenVerify = std::move(R.Verify);
-    enforceVerified(Out.ProfGenVerify, "autofdo profgen",
-                    Config.VerifyStrict);
+  case PGOVariant::AutoFDO:
+    PipeOpts.Kind = ProfGenKind::AutoFDO;
     break;
-  }
-  case PGOVariant::CSSPGOProbeOnly: {
-    GenOpts.Kind = ProfGenKind::ProbeOnly;
-    ProfileGenerator Gen(*ProfBuild.Bin, &ProfBuild.ProbeDescs, GenOpts);
-    ProfGenResult R = Gen.generate(Train.Samples);
-    Bundle.Flat = std::move(R.Flat);
-    Out.ProfGen = R.Stats;
-    Out.ProfGenReduce = R.Reduce;
-    Bundle.Has = true;
-    Out.ProfGenVerify = std::move(R.Verify);
-    enforceVerified(Out.ProfGenVerify, "probe-only profgen",
-                    Config.VerifyStrict);
+  case PGOVariant::CSSPGOProbeOnly:
+    PipeOpts.Kind = ProfGenKind::ProbeOnly;
     break;
-  }
-  case PGOVariant::CSSPGOFull: {
-    GenOpts.Kind = ProfGenKind::CS;
-    ProfileGenerator Gen(*ProfBuild.Bin, &ProfBuild.ProbeDescs, GenOpts);
-    ProfGenResult R = Gen.generate(Train.Samples);
-    Bundle.CS = std::move(R.CS);
-    Out.ProfGen = R.Stats;
-    Out.ProfGenReduce = R.Reduce;
-    Out.ProfGenVerify = std::move(R.Verify);
-    enforceVerified(Out.ProfGenVerify, "cs profgen", Config.VerifyStrict);
-    if (Config.TrimColdContexts) {
-      uint64_t Threshold =
-          Bundle.CS.totalSamples() /
-          std::max<uint64_t>(1, Config.TrimThresholdDivisor);
-      trimColdContexts(Bundle.CS, std::max<uint64_t>(Threshold, 2));
-    }
-    if (Config.RunPreInliner) {
-      FuncSizeTable Sizes = extractFuncSizes(*ProfBuild.Bin);
-      runPreInliner(Bundle.CS, Sizes);
-    }
-    if (Config.VerifyProfiles &&
-        (Config.TrimColdContexts || Config.RunPreInliner)) {
-      // Trimming merges cold contexts into base nodes and the pre-inliner
-      // promotes subtrees; both move counts without creating or dropping
-      // any, so the full invariant set (including head/call-edge
-      // conservation) must still hold on the transformed trie.
-      VerifierOptions VO;
-      VO.Probes = &ProfBuild.ProbeDescs;
-      Out.ProfGenVerify = verifyContextProfile(Bundle.CS, VO);
-      enforceVerified(Out.ProfGenVerify, "cs profgen after trim/preinline",
-                      Config.VerifyStrict);
-    }
-    Bundle.IsCS = true;
-    Bundle.Has = true;
+  case PGOVariant::CSSPGOFull:
+    PipeOpts.Kind = ProfGenKind::CS;
+    PipeOpts.trimColdContexts(Config.TrimColdContexts,
+                              Config.TrimThresholdDivisor);
+    PipeOpts.RunPreInliner = Config.RunPreInliner;
     break;
-  }
   case PGOVariant::None:
     break;
   }
-  // The optimized builds consume the profile through the configured
-  // transport (in-memory / text / binary store, see BuildPipeline.h).
-  Bundle.Transport = Config.Transport;
+
+  ProfilePipeline Pipeline(PipeOpts);
+  bool Probed =
+      V == PGOVariant::CSSPGOProbeOnly || V == PGOVariant::CSSPGOFull;
+  Expected<ProfileBundle> Generated =
+      V == PGOVariant::Instr
+          ? Pipeline.generate(*ProfBuild.Bin,
+                              dumpCounters(*ProfBuild.Bin, Train), &Train)
+          : Pipeline.generate(*ProfBuild.Bin,
+                              Probed ? &ProfBuild.ProbeDescs : nullptr,
+                              Train.Samples);
+  if (!Generated) {
+    // Strict-mode enforcement: every profile this driver handles is
+    // freshly generated against the binary it came from, so a verifier
+    // violation is a pipeline bug, not bad input — fail loudly.
+    std::fprintf(stderr, "csspgo: %s", Generated.status().message().c_str());
+    std::abort();
+  }
+  Bundle = Generated.take();
+
+  if (V != PGOVariant::Instr)
+    Out.ProfGen = Pipeline.stats().ProfGen;
+  if (Probed)
+    Out.ProfGenReduce = Pipeline.stats().Reduce;
+  Out.ProfGenVerify = Pipeline.lastVerify();
   return Bundle;
 }
 

@@ -1,0 +1,164 @@
+//===- service/ProfileService.h - Continuous profiling service --*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet-scale continuous-profiling service: the long-running process
+/// the paper's deployment story implies but the repo only had pieces of.
+/// A FleetSim (src/workload) emits per-(host, epoch) sampling
+/// assignments; the service streams them through a sharded ingestion
+/// front — a BoundedQueue feeding K ThreadPool workers, so a fleet
+/// producing faster than the shards can profile stalls at the queue
+/// (backpressure) instead of growing memory — and folds each completed
+/// epoch into a per-service binary profile store through
+/// ProfilePipeline::ingest (decay-weighted, verifier-gated).
+///
+/// Determinism contract: store bytes are a pure function of the
+/// ServiceConfig. Workers may finish in any order, but each result lands
+/// in its pre-assigned slot, hosts are reduced in ascending host order,
+/// and epochs fold in epoch order — so K shards are bit-identical to
+/// serial for any K (ServiceTest proves it).
+///
+/// Release drift: every DriftEveryEpochs epochs the producer "deploys a
+/// new release" of each service (a CFG-changing source edit + rebuild),
+/// so the aggregate store — collected against older releases — goes stale
+/// against the current module exactly the way production profiles do. The
+/// post-fold freshness probe annotates the current release from the store
+/// and reports how much of the profile the stale matcher recovered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_SERVICE_PROFILESERVICE_H
+#define CSSPGO_SERVICE_PROFILESERVICE_H
+
+#include "pgo/ProfilePipeline.h"
+#include "support/Status.h"
+#include "workload/FleetSim.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+struct ServiceConfig {
+  FleetConfig Fleet;
+  /// Ingestion shards (worker threads); 0 = one per hardware thread,
+  /// 1 = serial. Any value produces bit-identical stores.
+  unsigned Shards = 1;
+  /// Bounded-queue capacity of the ingestion front (min 1).
+  size_t QueueBound = 16;
+  /// Prior-aggregate weight per fold, permille (1000 = plain merge).
+  uint32_t DecayPermille = 900;
+  /// Compact (GUID) name tables in the per-service stores.
+  bool CompactNames = false;
+  /// Deploy a drifted release of every service each N epochs (0 = never).
+  unsigned DriftEveryEpochs = 0;
+  /// Hot-set size for the churn metric.
+  unsigned HotTopN = 10;
+};
+
+/// Dashboard row for one service.
+struct ServiceSnapshot {
+  std::string Name;
+  unsigned Hosts = 0;
+  unsigned Releases = 1;
+
+  uint64_t EpochsFolded = 0;
+  /// Epochs rejected by the ingest gate (verifier / decode failures) —
+  /// the service survives them; nonzero is an alarm, not a crash.
+  uint64_t EpochsDropped = 0;
+  uint64_t LastFoldTimestamp = 0;
+  /// Seconds between the newest produced epoch and the newest folded one
+  /// (0 = fully fresh).
+  uint64_t FreshnessLagSeconds = 0;
+
+  uint64_t SamplesIngested = 0; ///< Sum of fresh epoch weights.
+  uint64_t StoreSamples = 0;    ///< Aggregate after decay.
+  uint64_t StoreSizeBytes = 0;
+  size_t StoreFunctions = 0;
+
+  /// Freshness probe: annotating the *current* release from the store.
+  uint64_t FunctionsAnnotated = 0;
+  uint64_t StaleMatched = 0;
+  uint64_t StaleDropped = 0;
+  uint64_t CountsRecovered = 0;
+  /// CountsRecovered / StoreSamples of the last probe.
+  double RecoveredSampleRate = 0;
+
+  /// Fraction of the top-N hot functions replaced by the last fold.
+  double HotChurn = 0;
+
+  /// Full pipeline observability for this service (profgen/reduce/
+  /// ingest/loader/verify), summable across services.
+  PipelineStats Pipeline;
+};
+
+/// Dashboard snapshot of the whole fleet.
+struct FleetSnapshot {
+  unsigned EpochsProduced = 0;
+  unsigned Shards = 1;
+  size_t QueueBound = 0;
+  /// Deepest the ingestion queue ever got (≤ QueueBound by contract).
+  size_t QueueHighWater = 0;
+  /// Max epochs the producer ran ahead of the folder.
+  unsigned MaxEpochLag = 0;
+  uint64_t TasksExecuted = 0;
+  std::vector<ServiceSnapshot> Services;
+
+  /// Human dashboard (fixed-width table + totals).
+  std::string toText() const;
+  /// Machine dashboard; stable key order (byte-identical for equal
+  /// snapshots).
+  std::string toJSON() const;
+};
+
+class ProfileService {
+public:
+  /// Builds the fleet: one workload module and one profiling binary per
+  /// service. Deterministic; no work is streamed yet.
+  explicit ProfileService(ServiceConfig Config);
+  ~ProfileService();
+
+  ProfileService(const ProfileService &) = delete;
+  ProfileService &operator=(const ProfileService &) = delete;
+
+  /// Streams the next \p NumEpochs epochs end to end (produce → shard →
+  /// fold → probe) and returns when the queue is drained and every fold
+  /// landed. Callable repeatedly; state (stores, stats, epoch counter)
+  /// carries over. Returns the first *fatal* error (worker death);
+  /// per-epoch ingest failures are absorbed into EpochsDropped.
+  Status run(unsigned NumEpochs);
+
+  unsigned epochsRun() const { return NextEpoch; }
+  const FleetSim &fleet() const { return Fleet; }
+
+  /// Store bytes of service \p S (empty until its first fold).
+  const std::string &store(unsigned S) const;
+
+  FleetSnapshot snapshot() const;
+
+  struct Release; ///< One deployed binary version (see .cpp).
+
+private:
+  struct PerService;
+  struct EpochBatch;
+
+  Status foldEpoch(unsigned E, EpochBatch &Batch);
+
+  ServiceConfig C;
+  FleetSim Fleet;
+  std::vector<std::unique_ptr<PerService>> Services;
+
+  unsigned NextEpoch = 0;
+  size_t QueueHighWater = 0;
+  unsigned MaxEpochLag = 0;
+  uint64_t TasksExecuted = 0;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_SERVICE_PROFILESERVICE_H

@@ -616,13 +616,23 @@ bool ProfileStore::decodeSections(std::string &Err) {
   return true;
 }
 
-bool ProfileStore::open(std::string Bytes, ProfileStore &Out,
-                        std::string &Err) {
+Expected<ProfileStore> ProfileStore::open(std::string Bytes) {
   ProfileStore S;
   S.Bytes = std::move(Bytes);
+  std::string Err;
   if (!S.decodeSections(Err))
+    return Status::error(Err);
+  return S;
+}
+
+bool ProfileStore::open(std::string Bytes, ProfileStore &Out,
+                        std::string &Err) {
+  Expected<ProfileStore> S = open(std::move(Bytes));
+  if (!S) {
+    Err = S.status().message();
     return false;
-  Out = std::move(S);
+  }
+  Out = S.take();
   return true;
 }
 
@@ -676,36 +686,54 @@ void ProfileStore::resolveNames(const Module &M) {
     NameToFunc[Names[Index[I].NameIdx]] = I;
 }
 
-bool ProfileStore::loadFunction(size_t I, FlatProfile &Into,
-                                std::string &Err) const {
-  if (isCS()) {
-    Err = "store holds a context-sensitive profile; use "
-          "loadFunctionContexts";
-    return false;
-  }
+Status ProfileStore::loadFunction(size_t I, FlatProfile &Into) const {
+  if (isCS())
+    return Status::error("store holds a context-sensitive profile; use "
+                         "loadFunctionContexts");
   const IndexEntry &E = Index[I];
   ByteReader R(section(StoreSection::FlatPayload).substr(E.Offset, E.Size));
   FunctionProfile P;
+  std::string Err;
   if (!decodeRecord(R, P, Names, 0, Err))
-    return false;
-  if (!R.done()) {
-    Err = "record shorter than its index slice";
-    return false;
-  }
-  if (P.TotalSamples != E.Total || P.HeadSamples != E.Head) {
-    Err = "record totals disagree with the function index";
-    return false;
-  }
+    return Status::error(Err);
+  if (!R.done())
+    return Status::error("record shorter than its index slice");
+  if (P.TotalSamples != E.Total || P.HeadSamples != E.Head)
+    return Status::error("record totals disagree with the function index");
   P.Name = Names[E.NameIdx];
   P.Guid = E.MetaGuid;
   P.Checksum = E.MetaChecksum;
   Into.Kind = kind();
   Into.Functions[P.Name] = std::move(P);
-  return true;
+  return {};
+}
+
+bool ProfileStore::loadFunction(size_t I, FlatProfile &Into,
+                                std::string &Err) const {
+  Status S = loadFunction(I, Into);
+  if (!S.ok())
+    Err = S.message();
+  return S.ok();
 }
 
 bool ProfileStore::loadFunctionContexts(size_t I, ContextProfile &Into,
                                         std::string &Err) const {
+  Status S = loadFunctionContexts(I, Into);
+  if (!S.ok())
+    Err = S.message();
+  return S.ok();
+}
+
+Status ProfileStore::loadFunctionContexts(size_t I,
+                                          ContextProfile &Into) const {
+  std::string Err;
+  if (!loadFunctionContextsImpl(I, Into, Err))
+    return Status::error(Err);
+  return {};
+}
+
+bool ProfileStore::loadFunctionContextsImpl(size_t I, ContextProfile &Into,
+                                            std::string &Err) const {
   if (!isCS()) {
     Err = "store holds a flat profile; use loadFunction";
     return false;
@@ -763,19 +791,41 @@ bool ProfileStore::loadFunctionContexts(size_t I, ContextProfile &Into,
   return true;
 }
 
-bool ProfileStore::loadFlat(FlatProfile &Out, std::string &Err) const {
+Expected<FlatProfile> ProfileStore::loadFlat() const {
+  FlatProfile Out;
   Out.Kind = kind();
   for (size_t I = 0; I != Index.size(); ++I)
-    if (!loadFunction(I, Out, Err))
-      return false;
+    if (Status S = loadFunction(I, Out); !S.ok())
+      return S;
+  return Out;
+}
+
+Expected<ContextProfile> ProfileStore::loadContext() const {
+  ContextProfile Out;
+  Out.Kind = kind();
+  for (size_t I = 0; I != Index.size(); ++I)
+    if (Status S = loadFunctionContexts(I, Out); !S.ok())
+      return S;
+  return Out;
+}
+
+bool ProfileStore::loadFlat(FlatProfile &Out, std::string &Err) const {
+  Expected<FlatProfile> P = loadFlat();
+  if (!P) {
+    Err = P.status().message();
+    return false;
+  }
+  Out = P.take();
   return true;
 }
 
 bool ProfileStore::loadContext(ContextProfile &Out, std::string &Err) const {
-  Out.Kind = kind();
-  for (size_t I = 0; I != Index.size(); ++I)
-    if (!loadFunctionContexts(I, Out, Err))
-      return false;
+  Expected<ContextProfile> P = loadContext();
+  if (!P) {
+    Err = P.status().message();
+    return false;
+  }
+  Out = P.take();
   return true;
 }
 

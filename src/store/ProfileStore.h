@@ -29,6 +29,7 @@
 #include "profile/FunctionProfile.h"
 #include "profile/ProfileMerge.h"
 #include "store/StoreFormat.h"
+#include "support/Status.h"
 #include "verify/ProfileVerifier.h"
 
 #include <cstdint>
@@ -77,9 +78,13 @@ class ProfileStore {
 public:
   ProfileStore() = default;
 
-  /// Parses and validates \p Bytes (takes ownership). Returns false with a
-  /// diagnostic in \p Err on any malformation — a truncated or bit-flipped
-  /// input is always rejected here, never at load time.
+  /// Parses and validates \p Bytes (takes ownership). Returns an error
+  /// Status on any malformation — a truncated or bit-flipped input is
+  /// always rejected here, never at load time.
+  static Expected<ProfileStore> open(std::string Bytes);
+
+  /// Deprecated bool/out-param form of open(); thin wrapper kept for one
+  /// PR while callers migrate to the Expected-based surface.
   static bool open(std::string Bytes, ProfileStore &Out, std::string &Err);
 
   bool isCS() const { return Flags & SF_ContextSensitive; }
@@ -117,12 +122,18 @@ public:
   /// Materializes function \p I into \p Into (lazy path). The decoded
   /// record was hash-validated at open(), so a failure here means the
   /// writer/reader disagree — reported, never a crash.
-  bool loadFunction(size_t I, FlatProfile &Into, std::string &Err) const;
+  Status loadFunction(size_t I, FlatProfile &Into) const;
   /// CS stores: materializes every context whose leaf is function \p I.
-  bool loadFunctionContexts(size_t I, ContextProfile &Into,
-                            std::string &Err) const;
+  Status loadFunctionContexts(size_t I, ContextProfile &Into) const;
 
   /// Eager full materialization (tools, ingest, conversion).
+  Expected<FlatProfile> loadFlat() const;
+  Expected<ContextProfile> loadContext() const;
+
+  /// Deprecated bool/out-param forms; thin wrappers kept for one PR.
+  bool loadFunction(size_t I, FlatProfile &Into, std::string &Err) const;
+  bool loadFunctionContexts(size_t I, ContextProfile &Into,
+                            std::string &Err) const;
   bool loadFlat(FlatProfile &Out, std::string &Err) const;
   bool loadContext(ContextProfile &Out, std::string &Err) const;
 
@@ -152,6 +163,8 @@ private:
 
   std::string_view section(StoreSection S) const;
   bool decodeSections(std::string &Err);
+  bool loadFunctionContextsImpl(size_t I, ContextProfile &Into,
+                                std::string &Err) const;
 
   std::string Bytes;
   uint8_t Flags = 0;

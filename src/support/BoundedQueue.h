@@ -1,0 +1,98 @@
+//===- support/BoundedQueue.h - Blocking bounded MPMC queue -----*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded blocking queue for the continuous-profiling service's
+/// ingestion front. Producers block in push() while the queue is at
+/// capacity — that *is* the backpressure mechanism: a fleet streaming
+/// sample epochs faster than the ingestion shards can fold them stalls at
+/// the queue instead of growing memory without bound. close() wakes all
+/// waiters; a closed queue rejects further pushes and serves remaining
+/// items until drained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_SUPPORT_BOUNDEDQUEUE_H
+#define CSSPGO_SUPPORT_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace csspgo {
+
+template <typename T> class BoundedQueue {
+public:
+  /// \p Bound is the capacity; at least 1.
+  explicit BoundedQueue(size_t Bound) : Bound(Bound ? Bound : 1) {}
+
+  /// Blocks until there is room (backpressure), then enqueues. Returns
+  /// false iff the queue was closed (item dropped).
+  bool push(T Item) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock, [&] { return Items.size() < Bound || Closed; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    HighWater = std::max(HighWater, Items.size());
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// nullopt means "closed, nothing left".
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// No more pushes; pending items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotFull.notify_all();
+    NotEmpty.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  size_t bound() const { return Bound; }
+
+  /// Maximum depth the queue ever reached — the backpressure observable
+  /// the service dashboard reports (never exceeds bound() by contract).
+  size_t highWater() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return HighWater;
+  }
+
+private:
+  const size_t Bound;
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull, NotEmpty;
+  std::deque<T> Items;
+  size_t HighWater = 0;
+  bool Closed = false;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_SUPPORT_BOUNDEDQUEUE_H

@@ -1,0 +1,130 @@
+//===- support/Status.h - Error propagation primitives ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's unified error type. Historically each subsystem grew its
+/// own convention — `bool` + `std::string &Err` out-params in the store,
+/// out-param stats structs in the loader, hard aborts in the driver — which
+/// makes a long-lived service impossible to build on top: a service loop
+/// must be able to observe, report and survive any failure. `Status`
+/// carries success or a diagnostic message; `Expected<T>` carries a value
+/// or the Status explaining its absence. Both are cheap to move, and
+/// `Expected` aborts loudly (with the diagnostic) if a caller dereferences
+/// an error it never checked — turning silent misuse into a deterministic
+/// failure, the same policy the IR verifier follows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_SUPPORT_STATUS_H
+#define CSSPGO_SUPPORT_STATUS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace csspgo {
+
+/// Success, or an error with a human-readable diagnostic. There is no
+/// error-code taxonomy on purpose: every failure in this pipeline is
+/// either handled generically (skip/report the work item) or is a bug, and
+/// in both cases the message is what matters.
+class [[nodiscard]] Status {
+public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Diagnostic message; empty on success.
+  const std::string &message() const { return Msg; }
+
+  /// Prefixes the diagnostic with \p Context ("context: message"), e.g.
+  /// while unwinding through layers. No-op on success.
+  Status withContext(const std::string &Context) const {
+    if (ok())
+      return *this;
+    return error(Context + ": " + Msg);
+  }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// A value of type \p T, or the Status explaining why there is none.
+/// Modeled after llvm::Expected with the ergonomics trimmed to what this
+/// codebase needs: construct from a T or an error Status, test with
+/// explicit bool, then use `*E` / `E->` / `take()` (value) or `status()` /
+/// `takeError()` (diagnostic).
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : HasValue(true), Value(std::move(Value)) {}
+  Expected(Status Err) : HasValue(false), Err(std::move(Err)) {
+    if (this->Err.ok())
+      fail("Expected constructed from a success Status");
+  }
+
+  Expected(Expected &&) = default;
+  Expected &operator=(Expected &&) = default;
+
+  bool hasValue() const { return HasValue; }
+  explicit operator bool() const { return HasValue; }
+
+  /// The error Status (Status::ok() when a value is present).
+  const Status &status() const { return Err; }
+  Status takeError() { return std::move(Err); }
+
+  T &operator*() {
+    check();
+    return Value;
+  }
+  const T &operator*() const {
+    check();
+    return Value;
+  }
+  T *operator->() {
+    check();
+    return &Value;
+  }
+  const T *operator->() const {
+    check();
+    return &Value;
+  }
+
+  /// Moves the value out.
+  T take() {
+    check();
+    return std::move(Value);
+  }
+
+private:
+  void check() const {
+    if (!HasValue)
+      fail(Err.message().c_str());
+  }
+  [[noreturn]] static void fail(const char *Msg) {
+    std::fprintf(stderr, "csspgo: unchecked Expected dereferenced: %s\n",
+                 Msg);
+    std::abort();
+  }
+
+  bool HasValue;
+  T Value{};
+  Status Err;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_SUPPORT_STATUS_H

@@ -1,0 +1,81 @@
+//===- workload/FleetSim.cpp - Deterministic fleet model ---------------------===//
+
+#include "workload/FleetSim.h"
+
+#include "workload/Workloads.h"
+
+#include <algorithm>
+
+namespace csspgo {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates (seed, host, epoch) into
+/// independent-looking streams without any platform-dependent state.
+uint64_t mix(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+FleetSim::FleetSim(FleetConfig Config) : C(Config) {
+  C.Hosts = std::max(1u, C.Hosts);
+  C.Services = std::max(1u, std::min(C.Services, C.Hosts));
+  C.DiurnalPeriod = std::max(1u, C.DiurnalPeriod);
+  C.DiurnalAmplitudePermille = std::min(C.DiurnalAmplitudePermille, 900u);
+  C.BaseSamplePeriod = std::max<uint64_t>(1, C.BaseSamplePeriod);
+  std::vector<std::string> Presets = serverWorkloadNames();
+  Names.reserve(C.Services);
+  for (unsigned S = 0; S != C.Services; ++S)
+    Names.push_back(Presets[S % Presets.size()] + "#" + std::to_string(S));
+}
+
+WorkloadConfig FleetSim::serviceWorkload(unsigned S) const {
+  std::vector<std::string> Presets = serverWorkloadNames();
+  WorkloadConfig W = workloadPreset(Presets[S % Presets.size()],
+                                    C.RequestScale);
+  W.Name = Names[S];
+  // Distinct program per service even when presets repeat.
+  W.Seed = mix(C.Seed * 1000003 + S) | 1;
+  return W;
+}
+
+unsigned FleetSim::hostsOfService(unsigned S) const {
+  return C.Hosts / C.Services + (S < C.Hosts % C.Services ? 1 : 0);
+}
+
+uint32_t FleetSim::loadPermille(unsigned S, unsigned E) const {
+  unsigned Period = C.DiurnalPeriod;
+  // Spread service peaks evenly across the cycle.
+  unsigned Phase = (E + S * Period / C.Services) % Period;
+  unsigned Half = std::max(1u, Period / 2);
+  unsigned Dist = Phase <= Half ? Phase : Period - Phase; // 0..Half
+  uint32_t A = C.DiurnalAmplitudePermille;
+  return 1000 - A + static_cast<uint32_t>(2ull * A * Dist / Half);
+}
+
+std::vector<HostTask> FleetSim::epochTasks(unsigned E) const {
+  std::vector<HostTask> Tasks;
+  Tasks.reserve(C.Hosts);
+  for (unsigned H = 0; H != C.Hosts; ++H) {
+    HostTask T;
+    T.Epoch = E;
+    T.Host = H;
+    T.Service = serviceOfHost(H);
+    T.InputSeed = mix(C.Seed ^ mix(H) ^ mix(static_cast<uint64_t>(E) << 32));
+    T.SamplerSeed =
+        mix(T.InputSeed ^ 0xA5A5A5A5A5A5A5A5ull) | 1; // nonzero
+    T.LoadPermille = loadPermille(T.Service, E);
+    // Busier service => more samples per cycle budget => shorter period.
+    T.SamplePeriodCycles =
+        std::max<uint64_t>(1, C.BaseSamplePeriod * 1000 / T.LoadPermille);
+    T.Timestamp = timestamp(E);
+    Tasks.push_back(T);
+  }
+  return Tasks;
+}
+
+} // namespace csspgo

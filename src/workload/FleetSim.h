@@ -1,0 +1,116 @@
+//===- workload/FleetSim.h - Deterministic fleet model ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic model of a profiling fleet: N hosts spread over a few
+/// services, sampled in fixed-length epochs under a diurnal traffic
+/// curve. This is the workload side of the continuous-profiling service
+/// (src/service) — it decides *what* each host runs and how hard, and
+/// produces the per-(host, epoch) sampling assignments; executing them is
+/// the service's job.
+///
+/// Everything is a pure function of FleetConfig: host→service assignment,
+/// per-epoch load, seeds and timestamps. The diurnal curve is a
+/// phase-shifted triangle wave in integer permille (no floating trig), so
+/// two fleets with the same config produce byte-identical task streams on
+/// any platform — the property the service's sharded-vs-serial
+/// bit-identity guarantee rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_WORKLOAD_FLEETSIM_H
+#define CSSPGO_WORKLOAD_FLEETSIM_H
+
+#include "workload/ProgramGenerator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+struct FleetConfig {
+  unsigned Hosts = 32;
+  unsigned Services = 3;
+  /// Epochs per `run` pass (the service can keep running more).
+  unsigned Epochs = 8;
+  uint64_t Seed = 1;
+
+  /// Seconds between epoch timestamps (recorded in store EpochInfo).
+  uint64_t EpochSeconds = 900;
+  /// Epochs per diurnal traffic cycle.
+  unsigned DiurnalPeriod = 8;
+  /// Peak-to-mean traffic swing, permille (400 = ±40%).
+  uint32_t DiurnalAmplitudePermille = 400;
+
+  /// Request-count scale of the service workload presets (fleet runs use
+  /// small per-host runs; the volume comes from host count).
+  double RequestScale = 0.05;
+  /// PMU sampling period at nominal (1000‰) load; diurnal load shortens
+  /// or stretches it, the way a fixed-rate sampler sees more samples on a
+  /// busier host.
+  uint64_t BaseSamplePeriod = 4001;
+};
+
+/// One host's sampling assignment for one epoch.
+struct HostTask {
+  unsigned Epoch = 0;
+  unsigned Host = 0;
+  unsigned Service = 0;
+  /// Input image seed — distinct per (host, epoch), so hosts of a service
+  /// see different request streams that drift across epochs.
+  uint64_t InputSeed = 0;
+  /// Sampler jitter seed, likewise distinct per (host, epoch).
+  uint64_t SamplerSeed = 0;
+  /// Diurnally modulated sampling period for this host this epoch.
+  uint64_t SamplePeriodCycles = 0;
+  /// Service load this epoch, permille of nominal.
+  uint32_t LoadPermille = 1000;
+  /// Collection timestamp (shared by the whole epoch).
+  uint64_t Timestamp = 0;
+};
+
+class FleetSim {
+public:
+  explicit FleetSim(FleetConfig Config);
+
+  const FleetConfig &config() const { return C; }
+
+  /// Preset-derived display name of service \p S ("AdRanker#0", ...).
+  const std::string &serviceName(unsigned S) const { return Names[S]; }
+
+  /// The workload config service \p S runs (a scaled server preset;
+  /// services beyond the preset list reuse presets with distinct seeds).
+  WorkloadConfig serviceWorkload(unsigned S) const;
+
+  /// Static host→service assignment (round-robin).
+  unsigned serviceOfHost(unsigned H) const { return H % C.Services; }
+  /// Number of hosts assigned to service \p S.
+  unsigned hostsOfService(unsigned S) const;
+
+  /// Diurnal load of service \p S at epoch \p E, permille of nominal.
+  /// Triangle wave over DiurnalPeriod epochs, phase-shifted per service so
+  /// the services don't peak together (the "traffic mix" shifts through
+  /// the day even though every host keeps its service).
+  uint32_t loadPermille(unsigned S, unsigned E) const;
+
+  /// Timestamp recorded for epoch \p E.
+  uint64_t timestamp(unsigned E) const {
+    return (static_cast<uint64_t>(E) + 1) * C.EpochSeconds;
+  }
+
+  /// The sampling assignments of epoch \p E, in ascending host order —
+  /// the canonical reduction order for bit-identical aggregation.
+  std::vector<HostTask> epochTasks(unsigned E) const;
+
+private:
+  FleetConfig C;
+  std::vector<std::string> Names;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_WORKLOAD_FLEETSIM_H

@@ -1,0 +1,274 @@
+//===- tests/CLITest.cpp - csspgo_exp CLI surface tests ---------*- C++ -*-===//
+//
+// Golden-output tests for the documented CLI surface: the `--help` text
+// of every subcommand is pinned verbatim, so any change to the surface
+// (flags, operands, semantics) must update the goldens consciously. Plus
+// unit tests for the shared flag parser every subcommand goes through.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExpCLI.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace csspgo;
+
+namespace {
+
+/// The global-options block, pinned once; every subcommand's help ends
+/// with it (that IS the "flags are uniform across subcommands" contract).
+const char *const GlobalBlock =
+    "global options (every subcommand):\n"
+    "  -j, --parallelism N   profile-generation / ingestion shards\n"
+    "  --format F            profile transport: "
+    "memory|text|binary|binary-lazy\n"
+    "  --decay P             ingest decay permille (1000 = plain merge)\n"
+    "  --timestamp T         ingest epoch timestamp\n"
+    "  --compact             guid name table for written stores\n"
+    "  --json                machine-readable output where supported\n";
+
+std::string helpFor(const char *Name) {
+  const cli::SubcommandInfo *S = cli::findSubcommand(Name);
+  EXPECT_NE(S, nullptr) << Name;
+  return S ? cli::helpText(*S) : std::string();
+}
+
+/// Mutable argv for the destructive parsers.
+struct Argv {
+  explicit Argv(std::vector<std::string> Args) : Strings(std::move(Args)) {
+    Ptrs.push_back(const_cast<char *>("csspgo_exp"));
+    for (std::string &S : Strings)
+      Ptrs.push_back(S.data());
+    Count = static_cast<int>(Ptrs.size());
+  }
+  std::vector<std::string> Strings;
+  std::vector<char *> Ptrs;
+  int Count = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Golden help text, every subcommand.
+//===----------------------------------------------------------------------===//
+
+TEST(CLIGolden, GlobalOptionsBlock) {
+  EXPECT_EQ(cli::globalOptionsText(), GlobalBlock);
+}
+
+TEST(CLIGolden, HelpRun) {
+  EXPECT_EQ(helpFor("run"),
+            std::string("usage: csspgo_exp run <workload> <variant> [scale]\n"
+                        "  end-to-end PGO run\n"
+                        "\n"
+                        "with --json, prints one machine-readable object "
+                        "instead: the run\n"
+                        "header plus the unified pipeline stats (profgen, "
+                        "reduce, loader,\n"
+                        "verify) in stable key order.\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpProfile) {
+  EXPECT_EQ(helpFor("profile"),
+            std::string(
+                "usage: csspgo_exp profile <workload> <variant> [scale]\n"
+                "  print the profile text\n"
+                "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpCompare) {
+  EXPECT_EQ(helpFor("compare"),
+            std::string("usage: csspgo_exp compare <workload> [scale]\n"
+                        "  all variants side by side\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpIR) {
+  EXPECT_EQ(helpFor("ir"),
+            std::string("usage: csspgo_exp ir <workload> [scale]\n"
+                        "  dump the generated IR\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpConvert) {
+  EXPECT_EQ(helpFor("convert"),
+            std::string("usage: csspgo_exp convert <in> <out>\n"
+                        "  convert a profile between text and binary store\n"
+                        "\n"
+                        "direction is inferred from the input bytes; "
+                        "--compact selects guid\n"
+                        "name tables for written stores.\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpStore) {
+  EXPECT_EQ(helpFor("store"),
+            std::string("usage: csspgo_exp store inspect <file> | ingest "
+                        "<file> <workload> <variant> [scale]\n"
+                        "  inspect a store / fold in a fresh epoch\n"
+                        "\n"
+                        "ingest honors --decay, --timestamp and --compact; "
+                        "the fold is\n"
+                        "verifier-gated and the file is untouched when the "
+                        "gate rejects it.\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpFuzz) {
+  EXPECT_EQ(helpFor("fuzz"),
+            std::string("usage: csspgo_exp fuzz [iterations] [seed]\n"
+                        "  differential fuzzing\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpServe) {
+  EXPECT_EQ(
+      helpFor("serve"),
+      std::string(
+          "usage: csspgo_exp serve [flags]\n"
+          "  run the continuous-profiling fleet service\n"
+          "\n"
+          "streams a simulated fleet end to end: each epoch every host's\n"
+          "samples are profiled on one of K ingestion shards (-j), reduced "
+          "in\n"
+          "host order and folded into its service's binary store\n"
+          "(verifier-gated, --decay weighted). Prints the fleet dashboard\n"
+          "(text, or JSON with --json) after every pass and serves forever\n"
+          "unless told otherwise.\n"
+          "\n"
+          "flags:\n"
+          "  --hosts N           fleet size (default 32)\n"
+          "  --services N        distinct services (default 3)\n"
+          "  --epochs N          epochs per pass (default 8)\n"
+          "  --seed N            fleet seed (default 1)\n"
+          "  --scale S           workload scale, permille (default 50)\n"
+          "  --queue-bound N     ingestion queue capacity (default 16)\n"
+          "  --drift-every N     deploy a drifted release every N epochs\n"
+          "  --exit-after-drain  exit after one drained pass\n"
+          "\n") +
+          GlobalBlock);
+}
+
+TEST(CLIGolden, HelpFleet) {
+  EXPECT_EQ(helpFor("fleet"),
+            std::string("usage: csspgo_exp fleet [flags]\n"
+                        "  one drained pass, dashboard only\n"
+                        "\n"
+                        "equivalent to `serve --exit-after-drain`; accepts "
+                        "the same flags.\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, HelpList) {
+  EXPECT_EQ(helpFor("list"),
+            std::string("usage: csspgo_exp list\n"
+                        "  workloads and variants\n"
+                        "\n") +
+                GlobalBlock);
+}
+
+TEST(CLIGolden, UsageListsEverySubcommandAndEndsWithGlobals) {
+  std::string U = cli::usageText();
+  size_t Count = 0;
+  const cli::SubcommandInfo *Subs = cli::subcommands(Count);
+  EXPECT_EQ(Count, 10u);
+  size_t Prev = 0;
+  for (size_t I = 0; I != Count; ++I) {
+    size_t Pos = U.find(std::string("csspgo_exp ") + Subs[I].Name);
+    EXPECT_NE(Pos, std::string::npos) << Subs[I].Name;
+    EXPECT_GT(Pos, Prev) << "table order must match display order";
+    Prev = Pos;
+  }
+  EXPECT_NE(U.find(GlobalBlock), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared flag parsing.
+//===----------------------------------------------------------------------===//
+
+TEST(CLIFlags, GlobalFlagsStripUniformly) {
+  Argv A({"run", "AdRanker", "csspgo", "-j", "4", "--format", "binary-lazy",
+          "--decay", "700", "--timestamp", "42", "--compact", "--json"});
+  cli::GlobalOptions G;
+  std::string Err;
+  ASSERT_TRUE(cli::parseGlobalFlags(A.Count, A.Ptrs.data(), G, Err)) << Err;
+  EXPECT_EQ(G.Parallelism, 4u);
+  EXPECT_EQ(G.Transport, ProfileTransport::BinaryLazy);
+  EXPECT_EQ(G.DecayPermille, 700u);
+  EXPECT_EQ(G.EpochTimestamp, 42u);
+  EXPECT_TRUE(G.CompactNames);
+  EXPECT_TRUE(G.JSON);
+  // Only positionals remain, order preserved.
+  ASSERT_EQ(A.Count, 4);
+  EXPECT_STREQ(A.Ptrs[1], "run");
+  EXPECT_STREQ(A.Ptrs[2], "AdRanker");
+  EXPECT_STREQ(A.Ptrs[3], "csspgo");
+}
+
+TEST(CLIFlags, MalformedValuesAreRejectedWithADiagnostic) {
+  for (std::vector<std::string> Bad :
+       {std::vector<std::string>{"run", "--decay", "1400"},
+        std::vector<std::string>{"run", "--format", "carrier-pigeon"},
+        std::vector<std::string>{"run", "-j", "many"}}) {
+    Argv A(Bad);
+    cli::GlobalOptions G;
+    std::string Err;
+    EXPECT_FALSE(cli::parseGlobalFlags(A.Count, A.Ptrs.data(), G, Err));
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(CLIFlags, UnknownFlagsAreLeftForTheSubcommand) {
+  Argv A({"serve", "--hosts", "8", "--exit-after-drain"});
+  cli::GlobalOptions G;
+  std::string Err;
+  ASSERT_TRUE(cli::parseGlobalFlags(A.Count, A.Ptrs.data(), G, Err));
+  EXPECT_EQ(A.Count, 5); // Untouched: serve parses these itself.
+  EXPECT_STREQ(cli::firstFlag(A.Count, A.Ptrs.data()), "--hosts");
+
+  unsigned long long Hosts = 32;
+  ASSERT_TRUE(
+      cli::takeUnsignedFlag(A.Count, A.Ptrs.data(), "--hosts", Hosts, Err));
+  EXPECT_EQ(Hosts, 8u);
+  EXPECT_TRUE(cli::takeBoolFlag(A.Count, A.Ptrs.data(), "--exit-after-drain"));
+  EXPECT_FALSE(
+      cli::takeBoolFlag(A.Count, A.Ptrs.data(), "--exit-after-drain"));
+  EXPECT_EQ(cli::firstFlag(A.Count, A.Ptrs.data()), nullptr);
+  EXPECT_EQ(A.Count, 2); // Just the subcommand name left.
+}
+
+TEST(CLIFlags, TakeUnsignedFlagLeavesDefaultWhenAbsent) {
+  Argv A({"serve"});
+  unsigned long long N = 123;
+  std::string Err;
+  ASSERT_TRUE(cli::takeUnsignedFlag(A.Count, A.Ptrs.data(), "--epochs", N,
+                                    Err));
+  EXPECT_EQ(N, 123u);
+  Argv B({"serve", "--epochs", "oops"});
+  EXPECT_FALSE(
+      cli::takeUnsignedFlag(B.Count, B.Ptrs.data(), "--epochs", N, Err));
+}
+
+TEST(CLIFlags, FindSubcommandAndMinOperands) {
+  EXPECT_EQ(cli::findSubcommand("nope"), nullptr);
+  const cli::SubcommandInfo *Run = cli::findSubcommand("run");
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(Run->MinOperands, 2);
+  EXPECT_FALSE(Run->LocalFlags);
+  const cli::SubcommandInfo *Serve = cli::findSubcommand("serve");
+  ASSERT_NE(Serve, nullptr);
+  EXPECT_TRUE(Serve->LocalFlags);
+}

@@ -1,0 +1,349 @@
+//===- tests/ServiceTest.cpp - continuous-profiling service tests -*- C++ -*-===//
+//
+// Property suite for the fleet service and its ingestion front:
+//
+//   (a) K-shard ingestion is bit-identical to serial for any K — the
+//       stores are a pure function of the config, never of scheduling.
+//   (b) A slow consumer never grows the queue past its bound: push()
+//       blocking IS the backpressure, and the high-water mark proves it.
+//   (c) Epoch fold order under decay is deterministic for a fixed seed —
+//       decay makes the fold non-commutative, so this is the property
+//       that makes multi-epoch aggregates reproducible at all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ProfileService.h"
+#include "store/ProfileStore.h"
+#include "support/BoundedQueue.h"
+#include "workload/FleetSim.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace csspgo;
+
+namespace {
+
+/// Small but non-trivial fleet: two services, three hosts each, enough
+/// epochs for decay folding to matter.
+ServiceConfig smallFleet(unsigned Shards = 1) {
+  ServiceConfig SC;
+  SC.Fleet.Hosts = 6;
+  SC.Fleet.Services = 2;
+  SC.Fleet.Epochs = 3;
+  SC.Fleet.RequestScale = 0.04;
+  SC.Shards = Shards;
+  SC.DecayPermille = 900;
+  return SC;
+}
+
+std::vector<std::string> runAndCollectStores(const ServiceConfig &SC,
+                                             unsigned Epochs) {
+  ProfileService Svc(SC);
+  Status St = Svc.run(Epochs);
+  EXPECT_TRUE(St.ok()) << St.message();
+  std::vector<std::string> Stores;
+  for (unsigned S = 0; S != SC.Fleet.Services; ++S)
+    Stores.push_back(Svc.store(S));
+  return Stores;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FleetSim: the deterministic workload model under the service.
+//===----------------------------------------------------------------------===//
+
+TEST(FleetSim, TaskStreamIsAPureFunctionOfConfig) {
+  FleetConfig FC;
+  FC.Hosts = 8;
+  FC.Services = 3;
+  FleetSim A(FC), B(FC);
+  for (unsigned E = 0; E != 4; ++E) {
+    std::vector<HostTask> TA = A.epochTasks(E), TB = B.epochTasks(E);
+    ASSERT_EQ(TA.size(), TB.size());
+    ASSERT_EQ(TA.size(), FC.Hosts);
+    for (size_t I = 0; I != TA.size(); ++I) {
+      // Ascending host order: the canonical reduction order.
+      EXPECT_EQ(TA[I].Host, static_cast<unsigned>(I));
+      EXPECT_EQ(TA[I].InputSeed, TB[I].InputSeed);
+      EXPECT_EQ(TA[I].SamplerSeed, TB[I].SamplerSeed);
+      EXPECT_EQ(TA[I].SamplePeriodCycles, TB[I].SamplePeriodCycles);
+    }
+  }
+}
+
+TEST(FleetSim, SeedsAreDistinctPerHostAndEpoch) {
+  FleetSim Sim({});
+  std::vector<uint64_t> Seeds;
+  for (unsigned E = 0; E != 3; ++E)
+    for (const HostTask &T : Sim.epochTasks(E))
+      Seeds.push_back(T.InputSeed);
+  std::sort(Seeds.begin(), Seeds.end());
+  EXPECT_EQ(std::adjacent_find(Seeds.begin(), Seeds.end()), Seeds.end())
+      << "hosts/epochs must see distinct request streams";
+}
+
+TEST(FleetSim, DiurnalLoadIsBoundedAndPhaseShifted) {
+  FleetConfig FC;
+  FC.Services = 3;
+  FC.DiurnalPeriod = 8;
+  FC.DiurnalAmplitudePermille = 400;
+  FleetSim Sim(FC);
+  bool AnyPhaseDiff = false;
+  for (unsigned E = 0; E != FC.DiurnalPeriod; ++E) {
+    for (unsigned S = 0; S != FC.Services; ++S) {
+      uint32_t L = Sim.loadPermille(S, E);
+      EXPECT_GE(L, 600u);
+      EXPECT_LE(L, 1400u);
+      if (L != Sim.loadPermille(0, E))
+        AnyPhaseDiff = true;
+    }
+  }
+  EXPECT_TRUE(AnyPhaseDiff) << "services must not peak in lockstep";
+}
+
+TEST(FleetSim, LoadModulatesSamplingPeriod) {
+  FleetConfig FC;
+  FC.Hosts = 4;
+  FC.Services = 2;
+  FleetSim Sim(FC);
+  // Busier host => shorter sampling period (more samples), by construction
+  // Period = Base * 1000 / Load.
+  for (unsigned E = 0; E != 4; ++E)
+    for (const HostTask &T : Sim.epochTasks(E)) {
+      uint64_t Expect = FC.BaseSamplePeriod * 1000 / T.LoadPermille;
+      EXPECT_EQ(T.SamplePeriodCycles, std::max<uint64_t>(1, Expect));
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// (b) BoundedQueue: backpressure and drain semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedQueue, SlowConsumerNeverExceedsBound) {
+  BoundedQueue<int> Q(4);
+  std::atomic<int> Received{0};
+  std::thread Producer([&] {
+    for (int I = 0; I != 100; ++I)
+      ASSERT_TRUE(Q.push(I));
+    Q.close();
+  });
+  std::thread Consumer([&] {
+    int ExpectNext = 0;
+    while (std::optional<int> V = Q.pop()) {
+      // Slow consumer: the producer must stall at the bound, not race by.
+      if (ExpectNext % 10 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      EXPECT_EQ(*V, ExpectNext++) << "FIFO order violated";
+      ++Received;
+    }
+  });
+  Producer.join();
+  Consumer.join();
+  EXPECT_EQ(Received.load(), 100);
+  EXPECT_LE(Q.highWater(), 4u) << "backpressure failed: queue grew past bound";
+  EXPECT_GE(Q.highWater(), 1u);
+}
+
+TEST(BoundedQueue, CloseServesRemainingItemsThenStops) {
+  BoundedQueue<int> Q(8);
+  ASSERT_TRUE(Q.push(1));
+  ASSERT_TRUE(Q.push(2));
+  Q.close();
+  EXPECT_FALSE(Q.push(3)) << "closed queue must reject pushes";
+  EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  EXPECT_EQ(Q.pop(), std::optional<int>(2));
+  EXPECT_EQ(Q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
+  BoundedQueue<int> Q(3);
+  std::atomic<long long> Sum{0};
+  std::atomic<int> Count{0};
+  std::vector<std::thread> Producers, Consumers;
+  for (int P = 0; P != 4; ++P)
+    Producers.emplace_back([&, P] {
+      for (int I = 0; I != 50; ++I)
+        ASSERT_TRUE(Q.push(P * 50 + I));
+    });
+  for (int Cn = 0; Cn != 3; ++Cn)
+    Consumers.emplace_back([&] {
+      while (std::optional<int> V = Q.pop()) {
+        Sum += *V;
+        ++Count;
+      }
+    });
+  for (auto &T : Producers)
+    T.join();
+  Q.close();
+  for (auto &T : Consumers)
+    T.join();
+  EXPECT_EQ(Count.load(), 200);
+  EXPECT_EQ(Sum.load(), 199LL * 200 / 2);
+  EXPECT_LE(Q.highWater(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// (a) Sharded ingestion is bit-identical to serial for any K.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileService, ShardedIngestionBitIdenticalToSerial) {
+  ServiceConfig SC = smallFleet();
+  std::vector<std::string> Serial = runAndCollectStores(smallFleet(1), 3);
+  for (unsigned S = 0; S != SC.Fleet.Services; ++S)
+    ASSERT_FALSE(Serial[S].empty()) << "service " << S << " never folded";
+  for (unsigned K : {2u, 3u, 7u}) {
+    std::vector<std::string> Sharded = runAndCollectStores(smallFleet(K), 3);
+    for (unsigned S = 0; S != SC.Fleet.Services; ++S)
+      EXPECT_EQ(Serial[S], Sharded[S])
+          << "store of service " << S << " diverged at K=" << K;
+  }
+}
+
+TEST(ProfileService, ShardedDashboardMatchesSerial) {
+  ProfileService A(smallFleet(1)), B(smallFleet(5));
+  ASSERT_TRUE(A.run(3).ok());
+  ASSERT_TRUE(B.run(3).ok());
+  FleetSnapshot SA = A.snapshot(), SB = B.snapshot();
+  ASSERT_EQ(SA.Services.size(), SB.Services.size());
+  for (size_t I = 0; I != SA.Services.size(); ++I) {
+    // Everything the dashboard derives from profile content must be
+    // scheduling-independent; only shard/queue observables may differ.
+    EXPECT_EQ(SA.Services[I].SamplesIngested, SB.Services[I].SamplesIngested);
+    EXPECT_EQ(SA.Services[I].StoreSamples, SB.Services[I].StoreSamples);
+    EXPECT_EQ(SA.Services[I].StoreFunctions, SB.Services[I].StoreFunctions);
+    EXPECT_EQ(SA.Services[I].EpochsFolded, SB.Services[I].EpochsFolded);
+    EXPECT_EQ(SA.Services[I].FunctionsAnnotated,
+              SB.Services[I].FunctionsAnnotated);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// (b) Service-level backpressure.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileService, QueueHighWaterRespectsBound) {
+  ServiceConfig SC = smallFleet(3);
+  SC.QueueBound = 2; // Tiny bound, 3 eager shards: heavy contention.
+  ProfileService Svc(SC);
+  ASSERT_TRUE(Svc.run(3).ok());
+  FleetSnapshot Snap = Svc.snapshot();
+  EXPECT_LE(Snap.QueueHighWater, SC.QueueBound);
+  EXPECT_GE(Snap.QueueHighWater, 1u);
+  EXPECT_EQ(Snap.TasksExecuted, 6u * 3u) << "backpressure must not drop work";
+  // And the tiny bound must not change the result either.
+  std::vector<std::string> Unbounded = runAndCollectStores(smallFleet(3), 3);
+  for (unsigned S = 0; S != SC.Fleet.Services; ++S)
+    EXPECT_EQ(Svc.store(S), Unbounded[S]);
+}
+
+//===----------------------------------------------------------------------===//
+// (c) Fold order under decay: deterministic for a fixed seed.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileService, DecayedFoldDeterministicForFixedSeed) {
+  ServiceConfig SC = smallFleet(4);
+  SC.DecayPermille = 700; // Strong decay: fold order matters a lot.
+  std::vector<std::string> A = runAndCollectStores(SC, 3);
+  std::vector<std::string> B = runAndCollectStores(SC, 3);
+  EXPECT_EQ(A, B);
+  // The decay weight must actually bite: a plain-merge run aggregates
+  // strictly more weight than a decayed one.
+  ServiceConfig Plain = SC;
+  Plain.DecayPermille = 1000;
+  std::vector<std::string> C = runAndCollectStores(Plain, 3);
+  EXPECT_NE(A, C);
+}
+
+TEST(ProfileService, DifferentSeedsProduceDifferentProfiles) {
+  ServiceConfig A = smallFleet(), B = smallFleet();
+  B.Fleet.Seed = 99;
+  EXPECT_NE(runAndCollectStores(A, 2), runAndCollectStores(B, 2));
+}
+
+TEST(ProfileService, RunIsResumableWithoutChangingTheStream) {
+  // run(1); run(2) must land exactly where run(3) lands: the epoch
+  // counter, timestamps and decay sequence carry across calls.
+  ServiceConfig SC = smallFleet(2);
+  ProfileService Split(SC);
+  ASSERT_TRUE(Split.run(1).ok());
+  ASSERT_TRUE(Split.run(2).ok());
+  EXPECT_EQ(Split.epochsRun(), 3u);
+  std::vector<std::string> Whole = runAndCollectStores(SC, 3);
+  for (unsigned S = 0; S != SC.Fleet.Services; ++S)
+    EXPECT_EQ(Split.store(S), Whole[S]);
+}
+
+//===----------------------------------------------------------------------===//
+// Fold gating, drift recovery and the dashboard.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileService, EveryFoldIsVerifierGated) {
+  ProfileService Svc(smallFleet(2));
+  ASSERT_TRUE(Svc.run(2).ok());
+  for (const ServiceSnapshot &S : Svc.snapshot().Services) {
+    EXPECT_EQ(S.EpochsDropped, 0u);
+    EXPECT_EQ(S.EpochsFolded, 2u);
+    // The ingest gate runs the full verifier on every fold; its work is
+    // visible in the accumulated pipeline stats.
+    EXPECT_GT(S.Pipeline.Verify.ContextsChecked, 0u);
+    EXPECT_EQ(S.Pipeline.Verify.Violations, 0u);
+    EXPECT_EQ(S.Pipeline.EpochsFolded, 2u);
+  }
+}
+
+TEST(ProfileService, DriftedReleasesRecoverSamplesViaStaleMatching) {
+  ServiceConfig SC = smallFleet(2);
+  SC.DriftEveryEpochs = 2;
+  ProfileService Svc(SC);
+  ASSERT_TRUE(Svc.run(5).ok());
+  for (const ServiceSnapshot &S : Svc.snapshot().Services) {
+    EXPECT_GT(S.Releases, 1u) << "drift must deploy new releases";
+    EXPECT_GT(S.StaleMatched, 0u)
+        << "aggregate profiled on old releases must need stale matching";
+    EXPECT_GT(S.CountsRecovered, 0u);
+    EXPECT_GT(S.RecoveredSampleRate, 0.0);
+    EXPECT_GT(S.FunctionsAnnotated, 0u)
+        << "recovery failed: current release got no annotation";
+  }
+}
+
+TEST(ProfileService, SnapshotReportsFreshnessAndStoreShape) {
+  ProfileService Svc(smallFleet(2));
+  ASSERT_TRUE(Svc.run(3).ok());
+  FleetSnapshot Snap = Svc.snapshot();
+  EXPECT_EQ(Snap.EpochsProduced, 3u);
+  for (unsigned S = 0; S != 2; ++S) {
+    const ServiceSnapshot &Row = Snap.Services[S];
+    EXPECT_EQ(Row.Hosts, 3u);
+    EXPECT_EQ(Row.LastFoldTimestamp, Svc.fleet().timestamp(2));
+    EXPECT_EQ(Row.FreshnessLagSeconds, 0u) << "drained fleet must be fresh";
+    EXPECT_GT(Row.StoreSamples, 0u);
+    EXPECT_GT(Row.StoreFunctions, 0u);
+    // The stored bytes really are an openable store.
+    Expected<ProfileStore> St = ProfileStore::open(std::string(Svc.store(S)));
+    ASSERT_TRUE(St.hasValue()) << St.status().message();
+    EXPECT_EQ(St->epochs().size(), 3u);
+  }
+}
+
+TEST(ProfileService, DashboardRenderingIsStable) {
+  ProfileService Svc(smallFleet(2));
+  ASSERT_TRUE(Svc.run(2).ok());
+  FleetSnapshot Snap = Svc.snapshot();
+  EXPECT_EQ(Snap.toJSON(), Svc.snapshot().toJSON());
+  std::string Text = Snap.toText();
+  for (unsigned S = 0; S != 2; ++S)
+    EXPECT_NE(Text.find(Svc.fleet().serviceName(S)), std::string::npos);
+  std::string JSON = Snap.toJSON();
+  EXPECT_EQ(JSON.front(), '{');
+  EXPECT_EQ(JSON.back(), '}');
+  EXPECT_NE(JSON.find("\"recovered_sample_rate_permille\":"),
+            std::string::npos);
+  EXPECT_NE(JSON.find("\"freshness_lag_seconds\":"), std::string::npos);
+}

@@ -5,20 +5,24 @@
 //===----------------------------------------------------------------------===//
 //
 // Command-line driver over the experiment pipeline, the library's
-// "binary distribution" face. The subcommand list lives in one table
-// (`Subcommands`) that drives both the dispatcher and the usage text, so
-// the two can never drift apart.
+// "binary distribution" face. The subcommand table, shared flag parsing
+// and all help text live in ExpCLI.{h,cpp} (golden-tested); this file
+// maps table entries to handlers.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ExpCLI.h"
 #include "FuzzHarness.h"
 #include "ir/Printer.h"
 #include "pgo/PGODriver.h"
+#include "pgo/ProfilePipeline.h"
 #include "profile/ProfileIO.h"
+#include "service/ProfileService.h"
 #include "store/ProfileStore.h"
 #include "support/SourceText.h"
 #include "workload/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,77 +36,8 @@ namespace {
 
 int usage();
 
-//===----------------------------------------------------------------------===//
-// Global option flags, stripped from argv before dispatch.
-//===----------------------------------------------------------------------===//
-
-/// Profile-generation parallelism from -j/--parallelism (default serial).
-unsigned GenParallelism = 1;
-/// Profile transport for the optimized builds (--format).
-ProfileTransport Transport = ProfileTransport::InMemory;
-/// Compact (GUID) name table for written stores (--compact).
-bool CompactNames = false;
-/// Ingest decay in permille (--decay, 1000 = plain merge, 0 = replace).
-unsigned DecayPermille = 1000;
-/// Ingest epoch timestamp (--timestamp).
-uint64_t EpochTimestamp = 0;
-
-bool parseUnsigned(const char *S, unsigned long long &Out, int Base = 10) {
-  char *End = nullptr;
-  Out = std::strtoull(S, &End, Base);
-  return End != S && !*End;
-}
-
-bool parseTransport(const char *S, ProfileTransport &Out) {
-  if (std::strcmp(S, "memory") == 0)
-    Out = ProfileTransport::InMemory;
-  else if (std::strcmp(S, "text") == 0)
-    Out = ProfileTransport::Text;
-  else if (std::strcmp(S, "binary") == 0)
-    Out = ProfileTransport::BinaryEager;
-  else if (std::strcmp(S, "binary-lazy") == 0)
-    Out = ProfileTransport::BinaryLazy;
-  else
-    return false;
-  return true;
-}
-
-/// Strips option flags from (argc, argv), leaving only positional
-/// operands. Returns false on a malformed flag.
-bool parseOptionFlags(int &argc, char **argv) {
-  int Out = 1;
-  for (int I = 1; I < argc; ++I) {
-    auto takesValue = [&](const char *Flag) {
-      return std::strcmp(argv[I], Flag) == 0 && I + 1 < argc;
-    };
-    unsigned long long N = 0;
-    if (takesValue("-j") || takesValue("--parallelism")) {
-      if (!parseUnsigned(argv[++I], N))
-        return false;
-      GenParallelism = static_cast<unsigned>(N);
-    } else if (takesValue("--format")) {
-      if (!parseTransport(argv[++I], Transport))
-        return false;
-    } else if (takesValue("--decay")) {
-      if (!parseUnsigned(argv[++I], N) || N > 1000)
-        return false;
-      DecayPermille = static_cast<unsigned>(N);
-    } else if (takesValue("--timestamp")) {
-      if (!parseUnsigned(argv[++I], N))
-        return false;
-      EpochTimestamp = N;
-    } else if (std::strcmp(argv[I], "--compact") == 0) {
-      CompactNames = true;
-    } else if (argv[I][0] == '-' && argv[I][1] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
-      return false;
-    } else {
-      argv[Out++] = argv[I];
-    }
-  }
-  argc = Out;
-  return true;
-}
+/// Options shared by every subcommand, stripped from argv before dispatch.
+cli::GlobalOptions G;
 
 bool parseVariant(const std::string &S, PGOVariant &V) {
   if (S == "none")
@@ -123,8 +58,8 @@ bool parseVariant(const std::string &S, PGOVariant &V) {
 ExperimentConfig makeConfig(const std::string &Workload, double Scale) {
   ExperimentConfig Config;
   Config.Workload = workloadPreset(Workload, Scale);
-  Config.Parallelism = GenParallelism;
-  Config.Transport = Transport;
+  Config.Parallelism = G.Parallelism;
+  Config.Transport = G.Transport;
   return Config;
 }
 
@@ -177,6 +112,37 @@ int cmdList(int, char **) {
   return 0;
 }
 
+/// `run --json`: the run header plus the unified PipelineStats, one
+/// object, stable key order — the same stats shape the fleet dashboard
+/// embeds per service.
+void printRunJSON(const char *Workload, PGOVariant V,
+                  const ExperimentConfig &Config, const VariantOutcome &Out,
+                  const VariantOutcome &Base) {
+  PipelineStats PS;
+  PS.ProfGen = Out.ProfGen;
+  PS.Reduce = Out.ProfGenReduce;
+  PS.Loader = Out.Build->Loader;
+  PS.Verify = Out.ProfGenVerify;
+  PS.ShardsUsed = std::max(1u, G.Parallelism);
+  PS.TotalSamples = Out.ProfGen.Samples;
+
+  std::printf("{\"workload\":\"%s\",\"requests\":%u,\"variant\":\"%s\","
+              "\"transport\":\"%s\","
+              "\"profiling_overhead_pct\":%.4f,"
+              "\"eval_cycles\":%.0f,\"plain_cycles\":%.0f,"
+              "\"speedup_pct\":%.4f,\"code_size_bytes\":%llu,"
+              "\"exit_value\":%lld,\"exit_match\":%s,"
+              "\"pipeline\":%s}\n",
+              Workload, Config.Workload.Requests, variantName(V),
+              transportName(G.Transport), Out.ProfilingOverheadPct,
+              Out.EvalCyclesMean, Base.EvalCyclesMean,
+              PGODriver::improvementPct(Out, Base),
+              static_cast<unsigned long long>(Out.CodeSizeBytes),
+              static_cast<long long>(Out.ExitValue),
+              Out.ExitValue == Base.ExitValue ? "true" : "false",
+              PS.toJSON().c_str());
+}
+
 int cmdRun(int argc, char **argv) {
   PGOVariant V;
   if (!parseVariant(argv[3], V)) {
@@ -188,6 +154,10 @@ int cmdRun(int argc, char **argv) {
   PGODriver Driver(Config);
   const VariantOutcome &Base = Driver.baseline();
   VariantOutcome Out = Driver.run(V);
+  if (G.JSON) {
+    printRunJSON(argv[2], V, Config, Out, Base);
+    return Out.ExitValue == Base.ExitValue ? 0 : 1;
+  }
   std::printf("workload:            %s (%u requests)\n", argv[2],
               Config.Workload.Requests);
   std::printf("variant:             %s\n", variantName(V));
@@ -217,8 +187,8 @@ int cmdRun(int argc, char **argv) {
                     Out.Build->Loader.StaleAnchorsMatched),
                 static_cast<unsigned long long>(
                     Out.Build->Loader.StaleCountsRecovered));
-  if (Transport != ProfileTransport::InMemory) {
-    std::printf("profile transport:   %s", transportName(Transport));
+  if (G.Transport != ProfileTransport::InMemory) {
+    std::printf("profile transport:   %s", transportName(G.Transport));
     if (Out.Build->Loader.StoreFunctionsMaterialized ||
         Out.Build->Loader.StoreFunctionsSkipped)
       std::printf(" (%u store functions materialized, %u skipped)",
@@ -285,7 +255,7 @@ int cmdFuzz(int argc, char **argv) {
   FuzzOptions Opts;
   if (argc > 2) {
     unsigned long long N = 0;
-    if (!parseUnsigned(argv[2], N) || N == 0) {
+    if (!cli::parseUnsigned(argv[2], N) || N == 0) {
       std::fprintf(stderr, "fuzz: bad iteration count '%s'\n", argv[2]);
       return 2;
     }
@@ -294,7 +264,7 @@ int cmdFuzz(int argc, char **argv) {
   if (argc > 3) {
     unsigned long long S = 0;
     // Base 0: accepts the 0x-prefixed seeds the failure report prints.
-    if (!parseUnsigned(argv[3], S, 0)) {
+    if (!cli::parseUnsigned(argv[3], S, 0)) {
       std::fprintf(stderr, "fuzz: bad seed '%s'\n", argv[3]);
       return 2;
     }
@@ -312,31 +282,33 @@ int cmdConvert(int, char **argv) {
   std::string Out;
   if (isStoreBytes(In)) {
     // Binary -> text.
-    ProfileStore S;
-    std::string Err;
-    if (!ProfileStore::open(std::move(In), S, Err)) {
-      std::fprintf(stderr, "convert: %s: %s\n", argv[2], Err.c_str());
+    Expected<ProfileStore> S = ProfileStore::open(std::move(In));
+    if (!S) {
+      std::fprintf(stderr, "convert: %s: %s\n", argv[2],
+                   S.status().message().c_str());
       return 1;
     }
-    if (S.isCS()) {
-      ContextProfile CS;
-      if (!S.loadContext(CS, Err)) {
-        std::fprintf(stderr, "convert: %s: %s\n", argv[2], Err.c_str());
+    if (S->isCS()) {
+      Expected<ContextProfile> CS = S->loadContext();
+      if (!CS) {
+        std::fprintf(stderr, "convert: %s: %s\n", argv[2],
+                     CS.status().message().c_str());
         return 1;
       }
-      Out = serializeContextProfile(CS);
+      Out = serializeContextProfile(*CS);
     } else {
-      FlatProfile Flat;
-      if (!S.loadFlat(Flat, Err)) {
-        std::fprintf(stderr, "convert: %s: %s\n", argv[2], Err.c_str());
+      Expected<FlatProfile> Flat = S->loadFlat();
+      if (!Flat) {
+        std::fprintf(stderr, "convert: %s: %s\n", argv[2],
+                     Flat.status().message().c_str());
         return 1;
       }
-      Out = serializeFlatProfile(Flat);
+      Out = serializeFlatProfile(*Flat);
     }
   } else {
     // Text -> binary.
     StoreWriteOptions WO;
-    WO.CompactNames = CompactNames;
+    WO.CompactNames = G.CompactNames;
     if (looksLikeContextText(In)) {
       ContextProfile CS;
       if (!parseContextProfile(In, CS)) {
@@ -368,28 +340,28 @@ int storeInspect(const char *Path) {
     std::fprintf(stderr, "store: cannot read '%s'\n", Path);
     return 1;
   }
-  ProfileStore S;
-  std::string Err;
-  if (!ProfileStore::open(std::move(Data), S, Err)) {
-    std::fprintf(stderr, "store: %s: %s\n", Path, Err.c_str());
+  Expected<ProfileStore> S = ProfileStore::open(std::move(Data));
+  if (!S) {
+    std::fprintf(stderr, "store: %s: %s\n", Path,
+                 S.status().message().c_str());
     return 1;
   }
-  std::printf("shape:        %s\n", S.isCS() ? "context-sensitive" : "flat");
+  std::printf("shape:        %s\n", S->isCS() ? "context-sensitive" : "flat");
   std::printf("kind:         %s%s\n",
-              S.kind() == ProfileKind::ProbeBased ? "probe" : "line",
-              S.isInstr() ? " (exact counts)" : "");
-  std::printf("names:        %s\n", S.compactNames() ? "compact (guid)"
-                                                     : "full");
-  std::printf("size:         %s\n", formatBytes(S.sizeBytes()).c_str());
-  std::printf("functions:    %zu\n", S.numFunctions());
+              S->kind() == ProfileKind::ProbeBased ? "probe" : "line",
+              S->isInstr() ? " (exact counts)" : "");
+  std::printf("names:        %s\n", S->compactNames() ? "compact (guid)"
+                                                      : "full");
+  std::printf("size:         %s\n", formatBytes(S->sizeBytes()).c_str());
+  std::printf("functions:    %zu\n", S->numFunctions());
   std::printf("total samples: %llu\n",
-              static_cast<unsigned long long>(S.totalSamples()));
+              static_cast<unsigned long long>(S->totalSamples()));
   std::printf("sections:\n");
-  for (const auto &[Name, Size] : S.sectionSizes())
+  for (const auto &[Name, Size] : S->sectionSizes())
     std::printf("  %-12s %s\n", Name.c_str(), formatBytes(Size).c_str());
-  std::printf("epochs:       %zu\n", S.epochs().size());
-  for (size_t I = 0; I != S.epochs().size(); ++I) {
-    const EpochInfo &E = S.epochs()[I];
+  std::printf("epochs:       %zu\n", S->epochs().size());
+  for (size_t I = 0; I != S->epochs().size(); ++I) {
+    const EpochInfo &E = S->epochs()[I];
     std::printf("  #%zu time %llu, %llu samples, decay %u/1000\n", I,
                 static_cast<unsigned long long>(E.Timestamp),
                 static_cast<unsigned long long>(E.TotalSamples),
@@ -420,30 +392,30 @@ int storeIngest(int argc, char **argv) {
     return 1;
   }
 
-  IngestOptions IO;
-  IO.DecayPermille = DecayPermille;
-  IO.Timestamp = EpochTimestamp;
-  IO.ExactCounts = V == PGOVariant::Instr;
-  IO.Write.CompactNames = CompactNames;
-  IngestResult R = Out.Profile.IsCS
-                       ? ingestEpoch(Bytes, Out.Profile.CS, IO)
-                       : ingestEpoch(Bytes, Out.Profile.Flat, IO);
-  if (!R.Ok) {
-    std::fprintf(stderr, "store: ingest failed: %s\n", R.Error.c_str());
+  ProfilePipeline Pipeline(PipelineOptions()
+                               .decay(G.DecayPermille)
+                               .compactNames(G.CompactNames));
+  if (Status St = Pipeline.ingest(Bytes, Out.Profile, G.EpochTimestamp);
+      !St) {
+    std::fprintf(stderr, "store: %s\n", St.message().c_str());
     return 1;
   }
   if (!writeFileAll(argv[3], Bytes)) {
     std::fprintf(stderr, "store: cannot write '%s'\n", argv[3]);
     return 1;
   }
+  const PipelineStats &PS = Pipeline.stats();
+  size_t EpochsNow = 0;
+  if (Expected<ProfileStore> Now = ProfileStore::open(std::string(Bytes)))
+    EpochsNow = Now->epochs().size();
   std::printf("ingested %s/%s epoch into %s (decay %u/1000)\n", argv[4],
-              variantName(V), argv[3], DecayPermille);
+              variantName(V), argv[3], G.DecayPermille);
   std::printf("merge:   %llu contexts added, %llu merged, %llu saturated\n",
-              static_cast<unsigned long long>(R.Merge.ContextsAdded),
-              static_cast<unsigned long long>(R.Merge.ContextsMerged),
-              static_cast<unsigned long long>(R.Merge.SaturatedCounts));
-  std::printf("verify:  %s\n", R.Verify.str().c_str());
-  std::printf("epochs:  %zu\n", R.EpochsNow);
+              static_cast<unsigned long long>(PS.Ingest.ContextsAdded),
+              static_cast<unsigned long long>(PS.Ingest.ContextsMerged),
+              static_cast<unsigned long long>(PS.Ingest.SaturatedCounts));
+  std::printf("verify:  %s\n", PS.Verify.str().c_str());
+  std::printf("epochs:  %zu\n", EpochsNow);
   return 0;
 }
 
@@ -455,66 +427,116 @@ int cmdStore(int argc, char **argv) {
   return usage();
 }
 
+/// serve/fleet: drive the continuous-profiling service. One "pass"
+/// streams --epochs epochs end to end and prints the dashboard; serve
+/// repeats passes forever unless --exit-after-drain, fleet is a single
+/// pass by construction.
+int runService(int argc, char **argv, bool ExitAfterDrain) {
+  unsigned long long Hosts = 32, NumServices = 3, Epochs = 8, Seed = 1,
+                     ScalePermille = 50, QueueBound = 16, DriftEvery = 0;
+  std::string Err;
+  if (!cli::takeUnsignedFlag(argc, argv, "--hosts", Hosts, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--services", NumServices, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--epochs", Epochs, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--seed", Seed, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--scale", ScalePermille, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--queue-bound", QueueBound, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--drift-every", DriftEvery, Err)) {
+    std::fprintf(stderr, "serve: %s\n", Err.c_str());
+    return 2;
+  }
+  ExitAfterDrain |= cli::takeBoolFlag(argc, argv, "--exit-after-drain");
+  if (const char *Flag = cli::firstFlag(argc, argv)) {
+    std::fprintf(stderr, "serve: unknown option '%s'\n", Flag);
+    return 2;
+  }
+  if (Epochs == 0 || Hosts == 0 || NumServices == 0 || ScalePermille == 0) {
+    std::fprintf(stderr, "serve: --hosts, --services, --epochs and --scale "
+                         "must be nonzero\n");
+    return 2;
+  }
+
+  ServiceConfig SC;
+  SC.Fleet.Hosts = static_cast<unsigned>(Hosts);
+  SC.Fleet.Services = static_cast<unsigned>(NumServices);
+  SC.Fleet.Epochs = static_cast<unsigned>(Epochs);
+  SC.Fleet.Seed = Seed;
+  SC.Fleet.RequestScale = static_cast<double>(ScalePermille) / 1000.0;
+  SC.Shards = G.Parallelism;
+  SC.QueueBound = static_cast<size_t>(QueueBound);
+  SC.DecayPermille = G.DecayPermille;
+  SC.CompactNames = G.CompactNames;
+  SC.DriftEveryEpochs = static_cast<unsigned>(DriftEvery);
+
+  ProfileService Svc(SC);
+  for (;;) {
+    if (Status St = Svc.run(static_cast<unsigned>(Epochs)); !St) {
+      std::fprintf(stderr, "serve: %s\n", St.message().c_str());
+      return 1;
+    }
+    FleetSnapshot Snap = Svc.snapshot();
+    std::fputs((G.JSON ? Snap.toJSON() : Snap.toText()).c_str(), stdout);
+    std::fflush(stdout);
+    if (ExitAfterDrain)
+      return 0;
+  }
+}
+
+int cmdServe(int argc, char **argv) { return runService(argc, argv, false); }
+int cmdFleet(int argc, char **argv) { return runService(argc, argv, true); }
+
 //===----------------------------------------------------------------------===//
-// The subcommand table: single source of truth for dispatch AND usage.
+// Dispatch: the shared table (ExpCLI) names the surface; this maps each
+// entry to its handler.
 //===----------------------------------------------------------------------===//
 
-struct Subcommand {
+struct HandlerEntry {
   const char *Name;
-  const char *Operands; ///< Usage fragment after the name.
-  const char *Help;
-  int MinOperands; ///< Required positional operands after the name.
   int (*Handler)(int argc, char **argv);
 };
 
-const Subcommand Subcommands[] = {
-    {"run", "<workload> <variant> [scale]", "end-to-end PGO run", 2, cmdRun},
-    {"profile", "<workload> <variant> [scale]", "print the profile text", 2,
-     cmdProfile},
-    {"compare", "<workload> [scale]", "all variants side by side", 1,
-     cmdCompare},
-    {"ir", "<workload> [scale]", "dump the generated IR", 1, cmdIR},
-    {"convert", "<in> <out> [--compact]",
-     "convert a profile between text and binary store", 2, cmdConvert},
-    {"store", "inspect <file> | ingest <file> <workload> <variant> [scale]",
-     "inspect a store / fold in a fresh epoch", 2, cmdStore},
-    {"fuzz", "[iterations] [seed]", "differential fuzzing", 0, cmdFuzz},
-    {"list", "", "workloads and variants", 0, cmdList},
+const HandlerEntry Handlers[] = {
+    {"run", cmdRun},       {"profile", cmdProfile}, {"compare", cmdCompare},
+    {"ir", cmdIR},         {"convert", cmdConvert}, {"store", cmdStore},
+    {"fuzz", cmdFuzz},     {"serve", cmdServe},     {"fleet", cmdFleet},
+    {"list", cmdList},
 };
 
 int usage() {
-  std::fprintf(stderr, "usage:\n");
-  for (const Subcommand &S : Subcommands)
-    std::fprintf(stderr, "  csspgo_exp %-8s %s\n      %s\n", S.Name,
-                 S.Operands, S.Help);
-  std::fprintf(stderr,
-               "\nvariants: none instr autofdo probeonly csspgo\n"
-               "options:  -j N | --parallelism N   shard profile generation "
-               "over N threads\n"
-               "          --format memory|text|binary|binary-lazy   profile "
-               "transport for builds\n"
-               "          --decay P     ingest decay permille (default "
-               "1000 = plain merge)\n"
-               "          --timestamp T ingest epoch timestamp\n"
-               "          --compact     guid name table for written "
-               "stores\n");
+  std::fputs(cli::usageText().c_str(), stderr);
   return 2;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!parseOptionFlags(argc, argv))
+  std::string Err;
+  if (!cli::parseGlobalFlags(argc, argv, G, Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
     return usage();
+  }
   if (argc < 2)
     return usage();
-  for (const Subcommand &S : Subcommands) {
-    if (std::strcmp(argv[1], S.Name) != 0)
-      continue;
-    if (argc - 2 < S.MinOperands)
-      return usage();
-    return S.Handler(argc, argv);
+
+  const cli::SubcommandInfo *Info = cli::findSubcommand(argv[1]);
+  if (!Info) {
+    std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
+    return usage();
   }
-  std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
-  return usage();
+  if (cli::takeBoolFlag(argc, argv, "--help")) {
+    std::fputs(cli::helpText(*Info).c_str(), stdout);
+    return 0;
+  }
+  if (!Info->LocalFlags) {
+    if (const char *Flag = cli::firstFlag(argc, argv)) {
+      std::fprintf(stderr, "unknown option '%s'\n", Flag);
+      return usage();
+    }
+  }
+  if (argc - 2 < Info->MinOperands)
+    return usage();
+  for (const HandlerEntry &H : Handlers)
+    if (std::strcmp(argv[1], H.Name) == 0)
+      return H.Handler(argc, argv);
+  return usage(); // Table entry without a handler: unreachable.
 }
