@@ -225,21 +225,32 @@ void continuousIngestTable(unsigned Jobs, size_t CellLimit) {
 
     // The merged aggregate out of the store vs the stale v1 profile
     // alone, both applied to the next build of the v2 source.
-    ProfileStore Store;
-    std::string Err;
-    if (!ProfileStore::open(Bytes, Store, Err)) {
+    Expected<ProfileStore> Store = ProfileStore::openBorrowed(Bytes);
+    if (!Store) {
       std::fprintf(stderr, "ingested store does not open: %s\n",
-                   Err.c_str());
+                   Store.status().message().c_str());
       std::exit(1);
     }
     ProfileBundle Merged;
     Merged.Has = true;
-    Merged.IsCS = Store.isCS();
-    bool Loaded = Merged.IsCS ? Store.loadContext(Merged.CS, Err)
-                              : Store.loadFlat(Merged.Flat, Err);
-    if (!Loaded) {
+    Merged.IsCS = Store->isCS();
+    Status Loaded;
+    if (Merged.IsCS) {
+      Expected<ContextProfile> CS = Store->loadContext();
+      if (CS)
+        Merged.CS = CS.take();
+      else
+        Loaded = CS.takeError();
+    } else {
+      Expected<FlatProfile> Flat = Store->loadFlat();
+      if (Flat)
+        Merged.Flat = Flat.take();
+      else
+        Loaded = Flat.takeError();
+    }
+    if (!Loaded.ok()) {
       std::fprintf(stderr, "ingested store does not load: %s\n",
-                   Err.c_str());
+                   Loaded.message().c_str());
       std::exit(1);
     }
 

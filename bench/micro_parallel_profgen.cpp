@@ -14,6 +14,20 @@
 // threads on a machine with >=4 cores; on a single-core host every K
 // degenerates to ~1x (the determinism check still runs).
 //
+// It then isolates the reduction itself at fleet scale: K host shards of
+// the same fleet-sized database (the serial profile cloned under
+// per-module name suffixes — one binary profiled on K hosts), each plane
+// starting from its native representation. The map plane folds the K
+// part tries sequentially with mergeContextProfiles (the pre-arena
+// reducer); the flat plane k-way merges the K arena views over sorted
+// slices (mergeContextViews — what ShardedProfGen phase 3 and the store
+// ingest folds run; views arrive for free from the workers' parallel
+// flatten or the store's zero-copy loader, and the one-time flatten cost
+// is reported separately as flatten_ms). Both reductions must be
+// bit-identical with identical MergeStats, and the flat plane must clear
+// a minimum speedup (CSSPGO_MERGE_MIN_SPEEDUP, default 3x) or the bench
+// exits 1.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -22,7 +36,9 @@
 #include "probe/ProbeInserter.h"
 #include "probe/ProbeTable.h"
 #include "profgen/ShardedProfGen.h"
+#include "profile/ProfileArena.h"
 #include "profile/ProfileIO.h"
+#include "profile/ProfileMerge.h"
 #include "sim/Executor.h"
 #include "support/SourceText.h"
 #include "support/ThreadPool.h"
@@ -55,6 +71,27 @@ size_t targetSampleCount(int argc, char **argv) {
   if (const char *Env = std::getenv("CSSPGO_PARBENCH_SAMPLES"))
     return std::strtoull(Env, nullptr, 10);
   return 1000000;
+}
+
+/// Deep-renames a function profile under a per-module \p Suffix — every
+/// name the record mentions (own, call targets, inlinees) moves with it,
+/// so the clones stay internally consistent.
+FunctionProfile renameProfile(const FunctionProfile &P,
+                              const std::string &Suffix) {
+  FunctionProfile Out;
+  Out.Name = P.Name + Suffix;
+  Out.Guid = P.Guid;
+  Out.Checksum = P.Checksum;
+  Out.TotalSamples = P.TotalSamples;
+  Out.HeadSamples = P.HeadSamples;
+  Out.Body = P.Body;
+  for (const auto &[K, Targets] : P.Calls)
+    for (const auto &[Callee, N] : Targets)
+      Out.Calls[K].emplace(Callee + Suffix, N);
+  for (const auto &[K, Map] : P.Inlinees)
+    for (const auto &[Callee, Sub] : Map)
+      Out.Inlinees[K].emplace(Callee + Suffix, renameProfile(Sub, Suffix));
+  return Out;
 }
 
 } // namespace
@@ -131,16 +168,105 @@ int main(int argc, char **argv) {
   std::printf("4-thread speedup: %.2fx (target >=2x on >=4 cores)\n\n",
               SpeedupAt4);
 
+  // Reduction-plane comparison at fleet scale (see the file header). The
+  // K host shards share one context set — the serial profile cloned
+  // under per-module suffixes — which also exercises the identical-name-
+  // table fast path the fleet case hits in buildRemaps.
+  const unsigned MergeShards = 16;
+  const unsigned MergeClones = 16;
+  ContextProfile FleetDB;
+  FleetDB.Kind = Serial.Kind;
+  for (unsigned M = 0; M != MergeClones; ++M) {
+    std::string Suffix = ".m" + std::to_string(M);
+    Serial.forEachNode(
+        [&](const SampleContext &Ctx, const ContextTrieNode &N) {
+          SampleContext RCtx = Ctx;
+          for (ContextFrame &Fr : RCtx)
+            Fr.Func += Suffix;
+          ContextTrieNode &Node = FleetDB.getOrCreateNode(RCtx);
+          Node.Profile = renameProfile(N.Profile, Suffix);
+          Node.HasProfile = true;
+          Node.ShouldBeInlined = N.ShouldBeInlined;
+        });
+  }
+  std::vector<ContextProfile> Parts(MergeShards, FleetDB);
+
+  double FlattenSec = 1e30;
+  std::vector<ContextProfileView> Views;
+  std::vector<const ContextProfileView *> Ptrs;
+  const int MergeReps = 5;
+  for (int R = 0; R != MergeReps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<ContextProfileView> V;
+    V.reserve(Parts.size());
+    for (const ContextProfile &P : Parts)
+      V.push_back(contextViewOf(P));
+    FlattenSec = std::min(FlattenSec, secondsSince(T0));
+    Views = std::move(V);
+  }
+  for (const ContextProfileView &V : Views)
+    Ptrs.push_back(&V);
+
+  double MapSec = 1e30, FlatSec = 1e30;
+  MergeStats MapStats, FlatStats;
+  std::string MapDump, FlatDump;
+  for (int R = 0; R != MergeReps; ++R) {
+    ContextProfile Dst;
+    MergeStats S;
+    auto T0 = std::chrono::steady_clock::now();
+    for (const ContextProfile &P : Parts)
+      S += mergeContextProfiles(Dst, P);
+    MapSec = std::min(MapSec, secondsSince(T0));
+    MapStats = S;
+    if (R == 0)
+      MapDump = serializeContextProfile(Dst);
+  }
+  for (int R = 0; R != MergeReps; ++R) {
+    MergeStats S;
+    auto T0 = std::chrono::steady_clock::now();
+    ContextProfileView Merged =
+        mergeContextViews(Ptrs, S, /*IntoEmptyDst=*/true);
+    FlatSec = std::min(FlatSec, secondsSince(T0));
+    FlatStats = S;
+    if (R == 0)
+      FlatDump = serializeContextProfile(contextProfileOf(Merged));
+  }
+  bool MergeIdentical = FlatDump == MapDump &&
+                        FlatStats.ContextsAdded == MapStats.ContextsAdded &&
+                        FlatStats.ContextsMerged == MapStats.ContextsMerged &&
+                        FlatStats.CountsSummed == MapStats.CountsSummed &&
+                        FlatStats.SaturatedCounts == MapStats.SaturatedCounts;
+  AllIdentical &= MergeIdentical;
+  double MergeSpeedup = FlatSec > 0 ? MapSec / FlatSec : 0;
+  std::printf("%u-way fleet reduce: map plane %.2f ms, flat slices %.2f ms "
+              "(%.2fx; one-time flatten %.2f ms; identical: %s)\n\n",
+              MergeShards, MapSec * 1e3, FlatSec * 1e3, MergeSpeedup,
+              FlattenSec * 1e3, MergeIdentical ? "yes" : "NO");
+
   csspgo::bench::printBenchJson(
       "micro_parallel_profgen",
       {{"samples", static_cast<double>(Samples.size())},
        {"serial_msamples_per_sec", Samples.size() / SerialSec / 1e6},
        {"speedup_4", SpeedupAt4},
+       {"merge_map_ms", MapSec * 1e3},
+       {"merge_flat_ms", FlatSec * 1e3},
+       {"flatten_ms", FlattenSec * 1e3},
+       {"merge_speedup", MergeSpeedup},
        {"identical", AllIdentical ? 1 : 0}});
 
   if (!AllIdentical) {
     std::fprintf(stderr,
                  "FAIL: sharded profile differs from the serial profile\n");
+    return 1;
+  }
+  double MinMergeSpeedup = 3.0;
+  if (const char *Env = std::getenv("CSSPGO_MERGE_MIN_SPEEDUP"))
+    MinMergeSpeedup = std::atof(Env);
+  if (MergeSpeedup < MinMergeSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: flat-slice reduce is only %.2fx the map-plane "
+                 "reduce (minimum %.2fx)\n",
+                 MergeSpeedup, MinMergeSpeedup);
     return 1;
   }
   return 0;

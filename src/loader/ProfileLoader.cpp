@@ -629,15 +629,6 @@ LoaderStats loadContextProfile(Module &M, const ContextProfile &Profile,
 
 namespace {
 
-/// A store decode failure after open() validated the content hash means
-/// the writer and reader disagree about the format — a pipeline bug, not
-/// an input problem, so it aborts like the IR verifier does.
-[[noreturn]] void fatalStoreDecode(const char *What, const std::string &Err) {
-  std::fprintf(stderr, "csspgo: %s failed on a hash-validated store: %s\n",
-               What, Err.c_str());
-  std::abort();
-}
-
 /// Options for loading a module-scoped subset: the derived hot threshold
 /// must come from the store's whole-profile summary (a subset distribution
 /// would skew it), and cross-function edge conservation cannot be checked
@@ -660,72 +651,45 @@ Expected<LoaderStats> loadProfileFromStore(Module &M, ProfileStore &Store,
   Store.resolveNames(M);
   unsigned Mat = 0, Skipped = 0;
   LoaderStats Stats;
+  // Materialization runs on the flat plane: the view loaders cursor the
+  // selected payload tiles into one arena (the per-function seeking that
+  // makes module-scoped loading O(module), not O(store)), and the arena
+  // is bridged to the map containers only once, at the end, for the
+  // annotation pass. Bit-identical to decoding each function into maps —
+  // ArenaTest holds the bridge down — but without the per-record tree
+  // rebuilds on the hot path.
   if (Store.isCS()) {
-    ContextProfile Materialized;
-    if (Lazy) {
-      Materialized.Kind = Store.kind();
-      for (size_t I = 0; I != Store.numFunctions(); ++I) {
-        if (!M.getFunction(Store.functionName(I))) {
-          ++Skipped;
-          continue;
-        }
-        if (Status S = Store.loadFunctionContexts(I, Materialized); !S.ok())
-          return S.withContext("lazy context load");
-        ++Mat;
+    ContextViewLoader L(Store);
+    for (size_t I = 0; I != Store.numFunctions(); ++I) {
+      if (Lazy && !M.getFunction(std::string(Store.functionName(I)))) {
+        ++Skipped;
+        continue;
       }
-    } else {
-      Expected<ContextProfile> P = Store.loadContext();
-      if (!P)
-        return P.status().withContext("eager store load");
-      Materialized = P.take();
-      Mat = Store.numFunctions();
+      if (Status S = L.load(I); !S.ok())
+        return S.withContext(Lazy ? "lazy context load" : "eager store load");
+      ++Mat;
     }
+    ContextProfile Materialized = contextProfileOf(L.view());
     Stats = loadContextProfile(M, Materialized,
                                storeScopedOptions(Opts, Lazy, Store));
   } else {
-    FlatProfile Materialized;
-    if (Lazy) {
-      Materialized.Kind = Store.kind();
-      for (size_t I = 0; I != Store.numFunctions(); ++I) {
-        if (!M.getFunction(Store.functionName(I))) {
-          ++Skipped;
-          continue;
-        }
-        if (Status S = Store.loadFunction(I, Materialized); !S.ok())
-          return S.withContext("lazy function load");
-        ++Mat;
+    FlatViewLoader L(Store);
+    for (size_t I = 0; I != Store.numFunctions(); ++I) {
+      if (Lazy && !M.getFunction(std::string(Store.functionName(I)))) {
+        ++Skipped;
+        continue;
       }
-    } else {
-      Expected<FlatProfile> P = Store.loadFlat();
-      if (!P)
-        return P.status().withContext("eager store load");
-      Materialized = P.take();
-      Mat = Materialized.Functions.size();
+      if (Status S = L.load(I); !S.ok())
+        return S.withContext(Lazy ? "lazy function load" : "eager store load");
+      ++Mat;
     }
+    FlatProfile Materialized = flatProfileOf(L.view());
     Stats = loadFlatProfile(M, Materialized, Store.isInstr(),
                             storeScopedOptions(Opts, Lazy, Store));
   }
   Stats.StoreFunctionsMaterialized = Mat;
   Stats.StoreFunctionsSkipped = Skipped;
   return Stats;
-}
-
-LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
-                                     bool IsInstr, const LoaderOptions &Opts,
-                                     bool Lazy) {
-  (void)IsInstr; // The store's SF_ExactCounts flag is authoritative.
-  Expected<LoaderStats> Stats = loadProfileFromStore(M, Store, Opts, Lazy);
-  if (!Stats)
-    fatalStoreDecode("flat store load", Stats.status().message());
-  return Stats.take();
-}
-
-LoaderStats loadContextProfileFromStore(Module &M, ProfileStore &Store,
-                                        const LoaderOptions &Opts, bool Lazy) {
-  Expected<LoaderStats> Stats = loadProfileFromStore(M, Store, Opts, Lazy);
-  if (!Stats)
-    fatalStoreDecode("context store load", Stats.status().message());
-  return Stats.take();
 }
 
 } // namespace csspgo

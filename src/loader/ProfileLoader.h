@@ -148,16 +148,6 @@ Expected<LoaderStats> loadProfileFromStore(Module &M, ProfileStore &Store,
                                            const LoaderOptions &Opts = {},
                                            bool Lazy = true);
 
-/// Deprecated shape-specific wrappers over loadProfileFromStore, kept for
-/// one PR; they preserve the historical abort-on-decode-failure behavior.
-LoaderStats loadFlatProfileFromStore(Module &M, ProfileStore &Store,
-                                     bool IsInstr,
-                                     const LoaderOptions &Opts = {},
-                                     bool Lazy = true);
-LoaderStats loadContextProfileFromStore(Module &M, ProfileStore &Store,
-                                        const LoaderOptions &Opts = {},
-                                        bool Lazy = true);
-
 } // namespace csspgo
 
 #endif // CSSPGO_LOADER_PROFILELOADER_H

@@ -2,6 +2,7 @@
 
 #include "profgen/ShardedProfGen.h"
 
+#include "profile/ProfileArena.h"
 #include "support/ThreadPool.h"
 
 namespace csspgo {
@@ -112,14 +113,24 @@ ContextProfile generateCSProfileSharded(const Binary &Bin,
         Opts.InferMissingFrames ? &Inferrers[I] : nullptr, &PartStats[I]);
   });
 
-  // Phase 3: reduction.
-  ContextProfile Out = std::move(Parts.front());
-  CSProfileGenStats Total = PartStats.front();
+  // Phase 3: reduction on the flat plane. The part tries convert to
+  // arena views in parallel (each worker flattens its own shard), the
+  // sorted context slices k-way merge in one pass, and the result trie is
+  // rebuilt once. Bit-identical — counts, stats, saturation — to folding
+  // the parts sequentially with mergeContextProfiles (the merge contract
+  // in ProfileArena.h), but without K-1 full destination-trie rewalks.
+  std::vector<ContextProfileView> Views(Parts.size());
+  Pool.parallelFor(Parts.size(),
+                   [&](size_t I) { Views[I] = contextViewOf(Parts[I]); });
+  std::vector<const ContextProfileView *> Ptrs;
+  Ptrs.reserve(Views.size());
+  for (const ContextProfileView &V : Views)
+    Ptrs.push_back(&V);
   MergeStats MS;
-  for (size_t I = 1; I != Parts.size(); ++I) {
-    MS += mergeContextProfiles(Out, Parts[I]);
+  ContextProfile Out = contextProfileOf(mergeContextViews(Ptrs, MS));
+  CSProfileGenStats Total = PartStats.front();
+  for (size_t I = 1; I != PartStats.size(); ++I)
     accumulateStats(Total, PartStats[I]);
-  }
   if (Stats)
     *Stats = Total;
   if (Reduce)
@@ -155,13 +166,20 @@ generateProbeOnlyProfileSharded(const Binary &Bin, const ProbeTable &Probes,
         Sym, Probes, Samples, Plan[I].Begin, Plan[I].End, &PartStats[I]);
   });
 
-  FlatProfile Out = std::move(Parts.front());
-  CSProfileGenStats Total = PartStats.front();
+  // Flat-plane reduction, as in generateCSProfileSharded: parallel
+  // view conversion, one k-way merge of sorted slices, one rebuild.
+  std::vector<FlatProfileView> Views(Parts.size());
+  Pool.parallelFor(Parts.size(),
+                   [&](size_t I) { Views[I] = flatViewOf(Parts[I]); });
+  std::vector<const FlatProfileView *> Ptrs;
+  Ptrs.reserve(Views.size());
+  for (const FlatProfileView &V : Views)
+    Ptrs.push_back(&V);
   MergeStats MS;
-  for (size_t I = 1; I != Parts.size(); ++I) {
-    MS += mergeFlatProfiles(Out, Parts[I]);
+  FlatProfile Out = flatProfileOf(mergeFlatViews(Ptrs, MS));
+  CSProfileGenStats Total = PartStats.front();
+  for (size_t I = 1; I != PartStats.size(); ++I)
     accumulateStats(Total, PartStats[I]);
-  }
   if (Stats)
     *Stats = Total;
   if (Reduce)

@@ -83,12 +83,8 @@ uint64_t FunctionProfile::merge(const FunctionProfile &Other, uint64_t Num,
     return static_cast<uint64_t>(Wide);
   };
   auto SatInto = [&Saturated](uint64_t &Slot, uint64_t V) {
-    uint64_t R;
-    if (__builtin_add_overflow(Slot, V, &R)) {
-      R = UINT64_MAX;
+    if (saturatingAccum(Slot, V))
       ++Saturated;
-    }
-    Slot = R;
   };
   for (const auto &[K, N] : Other.Body) {
     uint64_t S = Scale(N);

@@ -33,6 +33,21 @@ inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
   return __builtin_add_overflow(A, B, &R) ? UINT64_MAX : R;
 }
 
+/// In-place saturating accumulate: Slot += V, clamping at UINT64_MAX.
+/// Returns true when the addition clamped. This is the one clamp
+/// implementation shared by every merge path — FunctionProfile::merge and
+/// the flat arena k-way merge both count their SaturatedCounts through it,
+/// so the two paths cannot drift on the clamping rule.
+inline bool saturatingAccum(uint64_t &Slot, uint64_t V) {
+  uint64_t R;
+  if (__builtin_add_overflow(Slot, V, &R)) {
+    Slot = UINT64_MAX;
+    return true;
+  }
+  Slot = R;
+  return false;
+}
+
 /// Key of one profile record within a function.
 struct ProfileKey {
   uint32_t Index = 0; ///< Line offset (AutoFDO) or probe id (CSSPGO).

@@ -1,0 +1,222 @@
+//===- profile/ProfileArena.h - Flat SoA profile views ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat, arena-backed struct-of-arrays representation of sample profiles.
+/// The map-based containers (FunctionProfile / ContextProfile) are the
+/// canonical *semantic* model, but their pointer-chasing layout dominates
+/// the cost of the profile data plane: every body slot is a red-black tree
+/// node, every callee name a heap string, every merge a rebuild of those
+/// trees. The arena keeps the same information as four append-only pools
+/// of POD slots plus an interned name table:
+///
+///   Body      [ (key, count) ... ]          sorted by ProfileKey
+///   Calls     [ (key, callee, count) ... ]  sorted by (key, callee name)
+///   Inlinees  [ (key, callee, record) ... ] sorted by (key, callee name)
+///   Frames    [ (func, site) ... ]          context frames, outermost first
+///
+/// A FuncRecord is five scalars plus half-open ranges into the pools; a
+/// profile database is a list of record (or context) handles over one
+/// shared arena. All slices are kept in the canonical order the std::map
+/// containers iterate in, which the producers provide for free (map
+/// iteration, trie DFS, and the binary store's record encoding are all
+/// already sorted), so merging K profiles is a k-way merge of sorted
+/// slices and conversion back to the map containers is a monotone build.
+///
+/// The conversions are exact: view -> map -> view and map -> view -> map
+/// are identities, the k-way merges reproduce the sequential map merges
+/// bit-for-bit (including MergeStats and saturation behavior), and the
+/// view scaler reproduces ProfileMerge's decay scaler slot-for-slot.
+/// ArenaTest and the differential fuzzer hold all of that down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_PROFILE_PROFILEARENA_H
+#define CSSPGO_PROFILE_PROFILEARENA_H
+
+#include "profile/ProfileMerge.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace csspgo {
+
+/// Index into a NameInterner's table.
+using NameId = uint32_t;
+
+/// Deduplicating append-only name table. Ids are dense and assigned in
+/// first-intern order; `name(id)` is stable for the interner's lifetime
+/// (std::deque storage never relocates elements, so the lookup keys can
+/// be views into the stored strings).
+class NameInterner {
+public:
+  NameId intern(std::string_view S) {
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+    Storage.emplace_back(S);
+    NameId Id = static_cast<NameId>(Storage.size() - 1);
+    Ids.emplace(Storage.back(), Id);
+    return Id;
+  }
+
+  const std::string &name(NameId Id) const { return Storage[Id]; }
+  size_t size() const { return Storage.size(); }
+
+private:
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, NameId> Ids;
+};
+
+/// One body sample slot: (key, count).
+struct BodySlot {
+  ProfileKey Key;
+  uint64_t Count = 0;
+};
+
+/// One call-target slot: (call-site key, interned callee, count).
+struct CallSlot {
+  ProfileKey Key;
+  NameId Callee = 0;
+  uint64_t Count = 0;
+};
+
+/// One inlinee slot: (call-site key, interned callee, child record index).
+struct InlineSlot {
+  ProfileKey Key;
+  NameId Callee = 0;
+  uint32_t Rec = 0;
+};
+
+/// One context frame: function plus the call site leading to the next
+/// frame (0 on the leaf frame, mirroring ContextFrame).
+struct FrameSlot {
+  NameId Func = 0;
+  uint32_t Site = 0;
+};
+
+/// Flat equivalent of one FunctionProfile: scalars plus half-open slice
+/// ranges into the owning arena's pools. Child inlinee records live in
+/// the same arena, referenced by index from the Inlinees slice.
+struct FuncRecord {
+  NameId Name = 0;
+  uint64_t Guid = 0;
+  uint64_t Checksum = 0;
+  uint64_t TotalSamples = 0;
+  uint64_t HeadSamples = 0;
+  uint32_t BodyBegin = 0, BodyEnd = 0;
+  uint32_t CallsBegin = 0, CallsEnd = 0;
+  uint32_t InlineesBegin = 0, InlineesEnd = 0;
+};
+
+/// Bump-pointer storage for one profile database: slot pools plus the
+/// record table and name interner. Append-only; slices are identified by
+/// (begin, end) index pairs so growing the pools never invalidates them.
+class ProfileArena {
+public:
+  NameInterner Names;
+  std::vector<BodySlot> Body;
+  std::vector<CallSlot> Calls;
+  std::vector<InlineSlot> Inlinees;
+  std::vector<FrameSlot> Frames;
+  std::vector<FuncRecord> Records;
+
+  /// Appends \p P (recursively, inlinees first-child-deep) and returns
+  /// the new record's index. Slices are emitted in the canonical sorted
+  /// order (std::map iteration order of the source profile).
+  uint32_t appendProfile(const FunctionProfile &P);
+
+  /// Rebuilds the map-based profile for record \p Rec. Exact inverse of
+  /// appendProfile.
+  FunctionProfile materialize(uint32_t Rec) const;
+
+  /// Saturating body-sample total of record \p Rec including nested
+  /// inlinees; mirrors FunctionProfile::totalBodySamples.
+  uint64_t totalBodySamples(uint32_t Rec) const;
+
+  /// Approximate resident bytes of the pools (observability only).
+  size_t byteSize() const;
+};
+
+/// Flat (context-insensitive) profile database as a view: top-level
+/// record indices in function-name order over one arena.
+struct FlatProfileView {
+  ProfileKind Kind = ProfileKind::LineBased;
+  ProfileArena Arena;
+  std::vector<uint32_t> Functions;
+};
+
+/// One calling context: a frame slice plus the record holding its
+/// samples, in ContextProfile trie-DFS order within the view.
+struct ContextRecord {
+  uint32_t FramesBegin = 0, FramesEnd = 0;
+  uint32_t Rec = 0;
+  bool ShouldBeInlined = false;
+};
+
+/// Context-sensitive profile database as a view: contexts in trie-DFS
+/// order (prefix-first, children by (site, callee) — exactly the order
+/// ContextProfile::forEachNode visits) over one arena.
+struct ContextProfileView {
+  ProfileKind Kind = ProfileKind::ProbeBased;
+  ProfileArena Arena;
+  std::vector<ContextRecord> Contexts;
+};
+
+/// FlatProfile -> view. Slices come out canonically sorted because the
+/// source maps iterate sorted.
+FlatProfileView flatViewOf(const FlatProfile &P);
+
+/// View -> FlatProfile. Exact inverse of flatViewOf; on merged or
+/// store-loaded views it produces exactly what the map-based pipeline
+/// would have produced.
+FlatProfile flatProfileOf(const FlatProfileView &V);
+
+/// ContextProfile -> view (profile-bearing nodes only, trie-DFS order).
+ContextProfileView contextViewOf(const ContextProfile &P);
+
+/// View -> ContextProfile. Rebuilds the trie; intermediate no-profile
+/// nodes are reseeded exactly as ContextTrieNode::getOrCreateChild does.
+ContextProfile contextProfileOf(const ContextProfileView &V);
+
+/// K-way merge of flat views over sorted slices. Reproduces, bit for
+/// bit (values, Guid/Checksum carry, saturation behavior and MergeStats):
+///
+///   Dst = copy(*Parts[0]);
+///   for (i = 1 .. K-1) Stats += mergeFlatProfiles(Dst, *Parts[i]);
+///
+/// With \p IntoEmptyDst the first part is a merge *source* too
+/// (Dst starts empty, as in ProfileStore::ingestEpoch's first epoch):
+///
+///   Dst = {}; for (i = 0 .. K-1) Stats += mergeFlatProfiles(Dst, ...);
+///
+/// All parts must share one kind (fatal mismatch otherwise, same as the
+/// map merge). Input slices must be canonically ordered — true of every
+/// in-tree producer; debug builds assert it.
+FlatProfileView mergeFlatViews(const std::vector<const FlatProfileView *> &Parts,
+                               MergeStats &Stats, bool IntoEmptyDst = false);
+
+/// K-way merge of context views; same contract as mergeFlatViews but
+/// emulating sequential mergeContextProfiles (including the trie's GUID
+/// seeding of newly created nodes and ShouldBeInlined OR-folding).
+ContextProfileView
+mergeContextViews(const std::vector<const ContextProfileView *> &Parts,
+                  MergeStats &Stats, bool IntoEmptyDst = false);
+
+/// Decay-scales a view in place; slot-for-slot identical to
+/// scaleFlatProfile / scaleContextProfile on the equivalent map profile
+/// (same traversal order, same telescoping head/call-edge accumulators).
+void scaleFlatView(FlatProfileView &V, uint64_t Num, uint64_t Den,
+                   bool ExactCounts = false);
+void scaleContextView(ContextProfileView &V, uint64_t Num, uint64_t Den);
+
+} // namespace csspgo
+
+#endif // CSSPGO_PROFILE_PROFILEARENA_H

@@ -149,7 +149,8 @@ HostProfile profileHost(const ProfileService::Release &R,
 std::vector<std::string> hotFunctions(const ProfileStore &St, unsigned N) {
   std::vector<std::pair<uint64_t, std::string>> All;
   for (size_t I = 0; I != St.numFunctions(); ++I)
-    All.push_back({St.functionTotalSamples(I), St.functionName(I)});
+    All.push_back(
+        {St.functionTotalSamples(I), std::string(St.functionName(I))});
   std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
     return A.first != B.first ? A.first > B.first : A.second < B.second;
   });
@@ -275,9 +276,11 @@ Status ProfileService::foldEpoch(unsigned E, EpochBatch &Batch) {
         std::max(PS.ShardsUsed, C.Shards ? C.Shards
                                          : ThreadPool::defaultConcurrency());
 
-    // Reduce this service's hosts in ascending host order. Slots are laid
-    // out by host index, so a straight scan is exactly that order.
-    ContextProfile Epoch;
+    // Reduce this service's hosts in ascending host order (slots are laid
+    // out by host index, so a straight scan is exactly that order) — on
+    // the flat plane: one k-way merge of the host views into an empty
+    // destination, bit-identical to folding each host trie in turn.
+    std::vector<ContextProfileView> HostViews;
     uint64_t EpochSamples = 0;
     for (unsigned H = 0; H != C.Fleet.Hosts; ++H) {
       if (Fleet.serviceOfHost(H) != S || !Batch.Results[H])
@@ -285,8 +288,16 @@ Status ProfileService::foldEpoch(unsigned E, EpochBatch &Batch) {
       HostProfile &HP = *Batch.Results[H];
       accumulate(PS.ProfGen, HP.Stats);
       EpochSamples += HP.Samples;
-      PS.Reduce += mergeContextProfiles(Epoch, HP.CS);
+      HostViews.push_back(contextViewOf(HP.CS));
     }
+    std::vector<const ContextProfileView *> HostPtrs;
+    HostPtrs.reserve(HostViews.size());
+    for (const ContextProfileView &V : HostViews)
+      HostPtrs.push_back(&V);
+    MergeStats ReduceStats;
+    ContextProfile Epoch = contextProfileOf(
+        mergeContextViews(HostPtrs, ReduceStats, /*IntoEmptyDst=*/true));
+    PS.Reduce += ReduceStats;
 
     if (!EpochSamples) {
       ++Svc.EpochsDropped;
@@ -313,9 +324,9 @@ Status ProfileService::foldEpoch(unsigned E, EpochBatch &Batch) {
 
     // Post-fold observability: hot-set churn and the freshness probe
     // (annotate this epoch's release straight from the store — the
-    // build-farm view of the aggregate).
-    Expected<ProfileStore> St =
-        ProfileStore::open(std::string(Svc.StoreBytes));
+    // build-farm view of the aggregate). The store borrows the service's
+    // aggregate bytes, which stay untouched until the next fold.
+    Expected<ProfileStore> St = ProfileStore::openBorrowed(Svc.StoreBytes);
     if (!St) {
       Svc.LastError = St.status().message();
       continue;
@@ -377,8 +388,7 @@ FleetSnapshot ProfileService::snapshot() const {
     Row.SamplesIngested = Svc.SamplesIngested;
     Row.StoreSizeBytes = Svc.StoreBytes.size();
     if (!Svc.StoreBytes.empty()) {
-      Expected<ProfileStore> St =
-          ProfileStore::open(std::string(Svc.StoreBytes));
+      Expected<ProfileStore> St = ProfileStore::openBorrowed(Svc.StoreBytes);
       if (St) {
         Row.StoreSamples = St->totalSamples();
         Row.StoreFunctions = St->numFunctions();

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <functional>
 #include <set>
+#include <tuple>
 
 namespace csspgo {
 
@@ -83,7 +84,7 @@ void encodeRecord(ByteWriter &W, const FunctionProfile &P,
 }
 
 bool decodeRecord(ByteReader &R, FunctionProfile &P,
-                  const std::vector<std::string> &Names, unsigned Depth,
+                  const std::vector<std::string_view> &Names, unsigned Depth,
                   std::string &Err) {
   if (Depth > MaxRecordDepth) {
     Err = "inlinee nesting exceeds depth limit";
@@ -130,7 +131,7 @@ bool decodeRecord(ByteReader &R, FunctionProfile &P,
         Err = "malformed call target";
         return false;
       }
-      if (!SiteIt->second.emplace(Names[NameIdx], N).second) {
+      if (!SiteIt->second.emplace(std::string(Names[NameIdx]), N).second) {
         Err = "duplicate call target";
         return false;
       }
@@ -162,7 +163,7 @@ bool decodeRecord(ByteReader &R, FunctionProfile &P,
         return false;
       }
       FunctionProfile Sub;
-      Sub.Name = Names[NameIdx];
+      Sub.Name = std::string(Names[NameIdx]);
       Sub.Guid = Guid;
       Sub.Checksum = Checksum;
       if (!decodeRecord(R, Sub, Names, Depth + 1, Err))
@@ -176,18 +177,201 @@ bool decodeRecord(ByteReader &R, FunctionProfile &P,
   return true;
 }
 
+constexpr NameId InvalidNameId = ~NameId(0);
+
+/// Lazily maps store string-table indices to arena name ids, interning a
+/// name the first time a record references it. A module-scoped lazy load
+/// then interns O(names referenced), not O(string table). Arena ids are
+/// therefore NOT name-ordered — which is fine: the view merges remap
+/// every part through a name-sorted output interner, and the in-record
+/// slice order is validated on the store indices (sorted-unique table, so
+/// ascending index IS ascending name).
+struct NameMapper {
+  const std::vector<std::string_view> &Names;
+  NameInterner &Interner;
+  std::vector<NameId> &Map;
+
+  NameId operator()(uint64_t Idx) {
+    NameId &Slot = Map[Idx];
+    if (Slot == InvalidNameId)
+      Slot = Interner.intern(Names[Idx]);
+    return Slot;
+  }
+};
+
+/// Flat-plane record decoder: cursors one payload tile straight into an
+/// arena — body/call slots append to the pools, inlinee children recurse
+/// through a temporary so the parent's inline slice stays contiguous.
+/// Mirrors decodeRecord's validation with the order requirement tightened
+/// from "no duplicate keys" to "strictly ascending" — the canonical order
+/// every writer emits (std::map iteration), and what lets merges run on
+/// the slices without re-sorting.
+bool decodeRecordView(ByteReader &R, ProfileArena &A, NameMapper &NM,
+                      unsigned Depth, uint32_t &RecOut, std::string &Err) {
+  if (Depth > MaxRecordDepth) {
+    Err = "inlinee nesting exceeds depth limit";
+    return false;
+  }
+  FuncRecord Rec;
+  uint64_t NBody, NCalls, NInl, Idx, Disc, N;
+  if (!R.uleb(Rec.TotalSamples) || !R.uleb(Rec.HeadSamples) ||
+      !R.uleb(NBody)) {
+    Err = "truncated record header";
+    return false;
+  }
+  Rec.BodyBegin = static_cast<uint32_t>(A.Body.size());
+  for (uint64_t I = 0; I != NBody; ++I) {
+    if (!R.uleb(Idx) || !R.uleb(Disc) || !R.uleb(N) || Idx > UINT32_MAX ||
+        Disc > UINT32_MAX) {
+      Err = "malformed body entry";
+      return false;
+    }
+    ProfileKey K(static_cast<uint32_t>(Idx), static_cast<uint32_t>(Disc));
+    if (I && !(A.Body.back().Key < K)) {
+      Err = "body entries not in ascending key order";
+      return false;
+    }
+    A.Body.push_back({K, N});
+  }
+  Rec.BodyEnd = static_cast<uint32_t>(A.Body.size());
+  if (!R.uleb(NCalls)) {
+    Err = "truncated call-site count";
+    return false;
+  }
+  Rec.CallsBegin = static_cast<uint32_t>(A.Calls.size());
+  ProfileKey PrevSite;
+  for (uint64_t I = 0; I != NCalls; ++I) {
+    uint64_t NTargets;
+    if (!R.uleb(Idx) || !R.uleb(Disc) || !R.uleb(NTargets) ||
+        Idx > UINT32_MAX || Disc > UINT32_MAX) {
+      Err = "malformed call site";
+      return false;
+    }
+    ProfileKey K(static_cast<uint32_t>(Idx), static_cast<uint32_t>(Disc));
+    if (I && !(PrevSite < K)) {
+      Err = "call sites not in ascending key order";
+      return false;
+    }
+    PrevSite = K;
+    uint64_t PrevName = 0;
+    for (uint64_t T = 0; T != NTargets; ++T) {
+      uint64_t NameIdx;
+      if (!R.uleb(NameIdx) || !R.uleb(N) || NameIdx >= NM.Map.size()) {
+        Err = "malformed call target";
+        return false;
+      }
+      if (T && NameIdx <= PrevName) {
+        Err = "call targets not in ascending name order";
+        return false;
+      }
+      PrevName = NameIdx;
+      A.Calls.push_back({K, NM(NameIdx), N});
+    }
+  }
+  Rec.CallsEnd = static_cast<uint32_t>(A.Calls.size());
+  if (!R.uleb(NInl)) {
+    Err = "truncated inline-site count";
+    return false;
+  }
+  std::vector<InlineSlot> Tmp;
+  ProfileKey PrevISite;
+  for (uint64_t I = 0; I != NInl; ++I) {
+    uint64_t NCallees;
+    if (!R.uleb(Idx) || !R.uleb(Disc) || !R.uleb(NCallees) ||
+        Idx > UINT32_MAX || Disc > UINT32_MAX) {
+      Err = "malformed inline site";
+      return false;
+    }
+    ProfileKey K(static_cast<uint32_t>(Idx), static_cast<uint32_t>(Disc));
+    if (I && !(PrevISite < K)) {
+      Err = "inline sites not in ascending key order";
+      return false;
+    }
+    PrevISite = K;
+    uint64_t PrevName = 0;
+    for (uint64_t C = 0; C != NCallees; ++C) {
+      uint64_t NameIdx, Guid, Checksum;
+      if (!R.uleb(NameIdx) || !R.uleb(Guid) || !R.uleb(Checksum) ||
+          NameIdx >= NM.Map.size()) {
+        Err = "malformed inlinee";
+        return false;
+      }
+      if (C && NameIdx <= PrevName) {
+        Err = "inlinees not in ascending name order";
+        return false;
+      }
+      PrevName = NameIdx;
+      uint32_t Child;
+      if (!decodeRecordView(R, A, NM, Depth + 1, Child, Err))
+        return false;
+      NameId CN = NM(NameIdx);
+      FuncRecord &CR = A.Records[Child];
+      CR.Name = CN;
+      CR.Guid = Guid;
+      CR.Checksum = Checksum;
+      Tmp.push_back({K, CN, Child});
+    }
+  }
+  Rec.InlineesBegin = static_cast<uint32_t>(A.Inlinees.size());
+  A.Inlinees.insert(A.Inlinees.end(), Tmp.begin(), Tmp.end());
+  Rec.InlineesEnd = static_cast<uint32_t>(A.Inlinees.size());
+  RecOut = static_cast<uint32_t>(A.Records.size());
+  A.Records.push_back(Rec);
+  return true;
+}
+
+/// Trie-DFS order over context frame slices: lexicographic on the path
+/// keys [(0, F0), (S0, F1), (S1, F2), ...], prefixes first — exactly the
+/// (site, callee) child order ContextProfile::forEachNode visits in.
+/// Callee frames compare as strings: with lazy interning the arena ids
+/// follow first-reference order, not name order, so id comparison would
+/// not be name comparison.
+int compareContextFrames(const ProfileArena &A, const ContextRecord &X,
+                         const ContextRecord &Y) {
+  uint32_t LX = X.FramesEnd - X.FramesBegin;
+  uint32_t LY = Y.FramesEnd - Y.FramesBegin;
+  uint32_t L = std::min(LX, LY);
+  for (uint32_t I = 0; I != L; ++I) {
+    uint32_t SX = I ? A.Frames[X.FramesBegin + I - 1].Site : 0;
+    uint32_t SY = I ? A.Frames[Y.FramesBegin + I - 1].Site : 0;
+    if (SX != SY)
+      return SX < SY ? -1 : 1;
+    NameId FX = A.Frames[X.FramesBegin + I].Func;
+    NameId FY = A.Frames[Y.FramesBegin + I].Func;
+    if (FX != FY) {
+      int C = A.Names.name(FX).compare(A.Names.name(FY));
+      if (C != 0)
+        return C < 0 ? -1 : 1;
+    }
+  }
+  if (LX != LY)
+    return LX < LY ? -1 : 1;
+  return 0;
+}
+
+/// Non-compact layout: u32 count, count u32 cumulative end offsets, then
+/// the concatenated name blob — every name is random-accessible, so
+/// open() builds its views with plain word loads instead of a varint
+/// walk over the whole table. Compact layout: u32 count + count u64
+/// GUIDs. The table is emitted sorted-unique (callers collect names into
+/// a std::set); findFunction's binary search and the canonical
+/// "ascending index is ascending name" record order stand on that.
 std::string encodeStringTable(const std::vector<std::string> &Strings,
                               bool Compact) {
   ByteWriter W;
-  W.uleb(Strings.size());
-  for (const std::string &S : Strings) {
-    if (Compact) {
+  W.u32(static_cast<uint32_t>(Strings.size()));
+  if (Compact) {
+    for (const std::string &S : Strings)
       W.u64(computeFunctionGuid(S));
-    } else {
-      W.uleb(S.size());
-      W.bytes(S);
-    }
+    return W.take();
   }
+  uint32_t End = 0;
+  for (const std::string &S : Strings) {
+    End += static_cast<uint32_t>(S.size());
+    W.u32(End);
+  }
+  for (const std::string &S : Strings)
+    W.bytes(S);
   return W.take();
 }
 
@@ -228,15 +412,19 @@ struct IndexEntryW {
   uint64_t Head;
 };
 
+/// Fixed 36-byte entries (u32 name index + four u64s), no count prefix —
+/// the count is the section size over 36. Fixed width costs bytes
+/// relative to varints but lets open() decode the index with straight
+/// word loads, which is what keeps the zero-copy open O(bytes) with a
+/// tiny constant.
 std::string encodeFuncIndex(const std::vector<IndexEntryW> &Entries) {
   ByteWriter W;
-  W.uleb(Entries.size());
   for (const IndexEntryW &E : Entries) {
-    W.uleb(E.NameIdx);
-    W.uleb(E.Offset);
-    W.uleb(E.Size);
-    W.uleb(E.Total);
-    W.uleb(E.Head);
+    W.u32(E.NameIdx);
+    W.u64(E.Offset);
+    W.u64(E.Size);
+    W.u64(E.Total);
+    W.u64(E.Head);
   }
   return W.take();
 }
@@ -264,7 +452,7 @@ assembleStore(uint8_t Flags,
   for (const auto &[Id, Body] : Secs)
     W.bytes(Body);
   std::string Out = W.take();
-  uint64_t Hash = hashBytes(std::string_view(Out).substr(16));
+  uint64_t Hash = hashStoreBytes(std::string_view(Out).substr(16));
   for (int I = 0; I != 8; ++I)
     Out[8 + I] = static_cast<char>(Hash >> (8 * I));
   return Out;
@@ -305,14 +493,15 @@ std::string writeStore(const FlatProfile &Profile,
   ByteWriter Payload;
   ByteWriter ProbeMeta;
   std::vector<IndexEntryW> Entries;
-  ProbeMeta.uleb(Profile.Functions.size());
+  // Probe metadata is fixed 16-byte {guid, checksum} pairs parallel to the
+  // index — no count prefix; the section size must be 16x the index size.
   for (const auto &[Name, P] : Profile.Functions) {
     uint64_t Off = Payload.size();
     encodeRecord(Payload, P, SI);
     Entries.push_back({SI.index(Name), Off, Payload.size() - Off,
                        P.TotalSamples, P.HeadSamples});
-    ProbeMeta.uleb(P.Guid);
-    ProbeMeta.uleb(P.Checksum);
+    ProbeMeta.u64(P.Guid);
+    ProbeMeta.u64(P.Checksum);
   }
 
   uint8_t Flags = 0;
@@ -390,10 +579,11 @@ std::string_view ProfileStore::section(StoreSection S) const {
   const SectionRef &Ref = Sections[static_cast<uint32_t>(S)];
   if (!Ref.Present)
     return {};
-  return std::string_view(Bytes).substr(Ref.Offset, Ref.Size);
+  return data().substr(Ref.Offset, Ref.Size);
 }
 
 bool ProfileStore::decodeSections(std::string &Err) {
+  std::string_view Bytes = data();
   ByteReader Header(Bytes);
   std::string_view Magic;
   uint16_t Version;
@@ -417,8 +607,7 @@ bool ProfileStore::decodeSections(std::string &Err) {
     Err = "nonzero reserved header byte";
     return false;
   }
-  if (!Header.u64(Hash) ||
-      Hash != hashBytes(std::string_view(Bytes).substr(16))) {
+  if (!Header.u64(Hash) || Hash != hashStoreBytes(Bytes.substr(16))) {
     Err = "content hash mismatch (truncated or corrupted store)";
     return false;
   }
@@ -468,37 +657,59 @@ bool ProfileStore::decodeSections(std::string &Err) {
   if (!isCS() && !Required(StoreSection::ProbeMeta))
     return false;
 
-  // String table.
+  // String table: u32 count, then either u64 GUIDs (compact) or u32
+  // cumulative end offsets followed by the concatenated name blob.
   {
-    ByteReader R(section(StoreSection::StringTable));
-    uint64_t Count;
-    if (!R.uleb(Count)) {
+    std::string_view Sec = section(StoreSection::StringTable);
+    if (Sec.size() < 4) {
       Err = "malformed string table";
       return false;
     }
-    for (uint64_t I = 0; I != Count; ++I) {
-      if (compactNames()) {
-        uint64_t Guid;
-        if (!R.u64(Guid)) {
-          Err = "truncated compact string table";
-          return false;
-        }
-        NameGuids.push_back(Guid);
-        Names.push_back("guid." + std::to_string(Guid));
-      } else {
-        uint64_t Len;
-        std::string_view S;
-        if (!R.uleb(Len) || !R.bytes(Len, S)) {
-          Err = "truncated string table entry";
-          return false;
-        }
-        Names.emplace_back(S);
-        NameGuids.push_back(computeFunctionGuid(Names.back()));
+    uint32_t Count = loadStoreWord32(Sec.data());
+    if (compactNames()) {
+      if (Sec.size() != 4 + 8ull * Count) {
+        Err = "truncated compact string table";
+        return false;
       }
-    }
-    if (!R.done()) {
-      Err = "trailing bytes in string table";
-      return false;
+      Names.reserve(Count);
+      for (uint32_t I = 0; I != Count; ++I) {
+        uint64_t Guid = loadStoreWord(Sec.data() + 4 + 8ull * I);
+        NameGuids.push_back(Guid);
+        NameStorage.push_back("guid." + std::to_string(Guid));
+        Names.push_back(NameStorage.back());
+      }
+    } else {
+      if (Sec.size() < 4 + 4ull * Count) {
+        Err = "truncated string table";
+        return false;
+      }
+      // Zero-copy: every entry stays a view into the container bytes —
+      // open() allocates nothing per name. GUIDs are derived, not stored;
+      // ensureGuids() hashes them on first use. Pre-sized index writes,
+      // not push_back + substr: the bounds checks inside substr and the
+      // grow branch in push_back defeat the compiler here and cost ~7x on
+      // this loop, which open() pays on every store.
+      std::string_view Blob = Sec.substr(4 + 4ull * Count);
+      Names.resize(Count);
+      uint32_t Prev = 0;
+      for (uint32_t I = 0; I != Count; ++I) {
+        uint32_t End = loadStoreWord32(Sec.data() + 4 + 4ull * I);
+        if (End < Prev || End > Blob.size()) {
+          Err = "malformed string table offsets";
+          return false;
+        }
+        Names[I] = std::string_view(Blob.data() + Prev, End - Prev);
+        Prev = End;
+      }
+      if (Prev != Blob.size()) {
+        Err = "trailing bytes in string table";
+        return false;
+      }
+      // The writer emits the table sorted-unique (a writer contract, not
+      // re-validated here: findFunction's binary search and the
+      // "ascending index is ascending name" record order stand on it,
+      // but an unsorted table only mis-orders results — every access is
+      // still bounds-checked).
     }
   }
 
@@ -533,18 +744,24 @@ bool ProfileStore::decodeSections(std::string &Err) {
                                             : StoreSection::FlatPayload)]
           .Size;
   {
-    ByteReader R(section(StoreSection::FuncIndex));
-    uint64_t Count;
-    if (!R.uleb(Count)) {
+    std::string_view Sec = section(StoreSection::FuncIndex);
+    constexpr size_t EntryBytes = 36; // u32 name + 4 x u64
+    if (Sec.size() % EntryBytes != 0) {
       Err = "malformed function index";
       return false;
     }
+    size_t Count = Sec.size() / EntryBytes;
+    Index.resize(Count);
     uint64_t Expected = 0;
-    for (uint64_t I = 0; I != Count; ++I) {
-      IndexEntry E;
-      uint64_t NameIdx;
-      if (!R.uleb(NameIdx) || !R.uleb(E.Offset) || !R.uleb(E.Size) ||
-          !R.uleb(E.Total) || !R.uleb(E.Head) || NameIdx >= Names.size()) {
+    for (size_t I = 0; I != Count; ++I) {
+      const char *P = Sec.data() + I * EntryBytes;
+      IndexEntry &E = Index[I];
+      E.NameIdx = loadStoreWord32(P);
+      E.Offset = loadStoreWord(P + 4);
+      E.Size = loadStoreWord(P + 12);
+      E.Total = loadStoreWord(P + 20);
+      E.Head = loadStoreWord(P + 28);
+      if (E.NameIdx >= Names.size()) {
         Err = "malformed index entry";
         return false;
       }
@@ -553,36 +770,24 @@ bool ProfileStore::decodeSections(std::string &Err) {
         return false;
       }
       Expected = E.Offset + E.Size;
-      E.NameIdx = static_cast<uint32_t>(NameIdx);
-      Index.push_back(E);
     }
     if (Expected != PayloadSize) {
       Err = "payload bytes not covered by the index";
       return false;
     }
-    if (!R.done()) {
-      Err = "trailing bytes in function index";
-      return false;
-    }
   }
 
-  // Probe metadata (flat stores): one {guid, checksum} per index entry.
+  // Probe metadata (flat stores): fixed 16-byte {guid, checksum} pairs,
+  // parallel to the function index.
   if (!isCS()) {
-    ByteReader R(section(StoreSection::ProbeMeta));
-    uint64_t Count;
-    if (!R.uleb(Count) || Count != Index.size()) {
+    std::string_view Sec = section(StoreSection::ProbeMeta);
+    if (Sec.size() != 16ull * Index.size()) {
       Err = "probe metadata does not match the function index";
       return false;
     }
-    for (IndexEntry &E : Index) {
-      if (!R.uleb(E.MetaGuid) || !R.uleb(E.MetaChecksum)) {
-        Err = "truncated probe metadata";
-        return false;
-      }
-    }
-    if (!R.done()) {
-      Err = "trailing bytes in probe metadata";
-      return false;
+    for (size_t I = 0; I != Index.size(); ++I) {
+      Index[I].MetaGuid = loadStoreWord(Sec.data() + 16 * I);
+      Index[I].MetaChecksum = loadStoreWord(Sec.data() + 16 * I + 8);
     }
   }
 
@@ -608,32 +813,25 @@ bool ProfileStore::decodeSections(std::string &Err) {
       return false;
     }
   }
-
-  for (uint32_t I = 0; I != Index.size(); ++I) {
-    NameToFunc[Names[Index[I].NameIdx]] = I;
-    GuidToFunc.emplace(NameGuids[Index[I].NameIdx], I);
-  }
   return true;
 }
 
 Expected<ProfileStore> ProfileStore::open(std::string Bytes) {
   ProfileStore S;
-  S.Bytes = std::move(Bytes);
+  S.Owned = std::move(Bytes);
   std::string Err;
   if (!S.decodeSections(Err))
     return Status::error(Err);
   return S;
 }
 
-bool ProfileStore::open(std::string Bytes, ProfileStore &Out,
-                        std::string &Err) {
-  Expected<ProfileStore> S = open(std::move(Bytes));
-  if (!S) {
-    Err = S.status().message();
-    return false;
-  }
-  Out = S.take();
-  return true;
+Expected<ProfileStore> ProfileStore::openBorrowed(std::string_view Bytes) {
+  ProfileStore S;
+  S.Borrowed = Bytes;
+  std::string Err;
+  if (!S.decodeSections(Err))
+    return Status::error(Err);
+  return S;
 }
 
 std::vector<std::pair<std::string, size_t>> ProfileStore::sectionSizes() const {
@@ -645,12 +843,32 @@ std::vector<std::pair<std::string, size_t>> ProfileStore::sectionSizes() const {
   return Out;
 }
 
-const std::string &ProfileStore::functionName(size_t I) const {
+std::vector<std::tuple<std::string, uint64_t, uint64_t>>
+ProfileStore::sectionLayout() const {
+  std::vector<std::tuple<std::string, uint64_t, uint64_t>> Out;
+  for (uint32_t I = 1; I != 8; ++I)
+    if (Sections[I].Present)
+      Out.push_back({sectionName(static_cast<StoreSection>(I)),
+                     Sections[I].Offset, Sections[I].Size});
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return std::get<1>(A) < std::get<1>(B);
+  });
+  return Out;
+}
+
+std::string_view ProfileStore::functionName(size_t I) const {
   return Names[Index[I].NameIdx];
 }
 
 uint64_t ProfileStore::functionGuid(size_t I) const {
+  ensureGuids();
   return NameGuids[Index[I].NameIdx];
+}
+
+std::pair<uint64_t, uint64_t> ProfileStore::functionTile(size_t I) const {
+  const SectionRef &P = Sections[static_cast<uint32_t>(
+      isCS() ? StoreSection::CSPayload : StoreSection::FlatPayload)];
+  return {P.Offset + Index[I].Offset, Index[I].Size};
 }
 
 uint64_t ProfileStore::totalSamples() const {
@@ -660,12 +878,51 @@ uint64_t ProfileStore::totalSamples() const {
   return Total;
 }
 
+void ProfileStore::ensureGuids() const {
+  if (NameGuids.size() == Names.size())
+    return;
+  NameGuids.reserve(Names.size());
+  for (std::string_view N : Names)
+    NameGuids.push_back(computeFunctionGuid(N));
+}
+
+void ProfileStore::ensureLookups() const {
+  if (LookupsBuilt)
+    return;
+  ensureGuids();
+  for (uint32_t I = 0; I != Index.size(); ++I) {
+    // Non-compact stores never need the name map — findFunction binary
+    // searches the name-sorted index instead. Compact/resolved names are
+    // not in table order, so they get the map.
+    if (compactNames())
+      NameToFunc[Names[Index[I].NameIdx]] = I;
+    GuidToFunc.emplace(NameGuids[Index[I].NameIdx], I);
+  }
+  LookupsBuilt = true;
+}
+
 int ProfileStore::findFunction(const std::string &Name) const {
-  auto It = NameToFunc.find(Name);
-  return It == NameToFunc.end() ? -1 : static_cast<int>(It->second);
+  if (compactNames()) {
+    ensureLookups();
+    auto It = NameToFunc.find(Name);
+    return It == NameToFunc.end() ? -1 : static_cast<int>(It->second);
+  }
+  // The index is name-sorted (the writer iterates a sorted map over a
+  // sorted-unique string table — a writer contract), so lookup is a
+  // binary search over borrowed views — no side tables, nothing built up
+  // front.
+  auto It = std::lower_bound(
+      Index.begin(), Index.end(), std::string_view(Name),
+      [this](const IndexEntry &E, std::string_view N) {
+        return Names[E.NameIdx] < N;
+      });
+  if (It == Index.end() || Names[It->NameIdx] != Name)
+    return -1;
+  return static_cast<int>(It - Index.begin());
 }
 
 int ProfileStore::findFunctionByGuid(uint64_t Guid) const {
+  ensureLookups();
   auto It = GuidToFunc.find(Guid);
   return It == GuidToFunc.end() ? -1 : static_cast<int>(It->second);
 }
@@ -678,12 +935,15 @@ void ProfileStore::resolveNames(const Module &M) {
     ByGuid[F->getGuid()] = &F->getName();
   for (size_t I = 0; I != Names.size(); ++I) {
     auto It = ByGuid.find(NameGuids[I]);
-    if (It != ByGuid.end())
-      Names[I] = *It->second;
+    if (It != ByGuid.end()) {
+      // Copy the module's name: the Module need not outlive the store.
+      NameStorage.push_back(*It->second);
+      Names[I] = NameStorage.back();
+    }
   }
   NameToFunc.clear();
-  for (uint32_t I = 0; I != Index.size(); ++I)
-    NameToFunc[Names[Index[I].NameIdx]] = I;
+  GuidToFunc.clear();
+  LookupsBuilt = false;
 }
 
 Status ProfileStore::loadFunction(size_t I, FlatProfile &Into) const {
@@ -700,28 +960,12 @@ Status ProfileStore::loadFunction(size_t I, FlatProfile &Into) const {
     return Status::error("record shorter than its index slice");
   if (P.TotalSamples != E.Total || P.HeadSamples != E.Head)
     return Status::error("record totals disagree with the function index");
-  P.Name = Names[E.NameIdx];
+  P.Name = std::string(Names[E.NameIdx]);
   P.Guid = E.MetaGuid;
   P.Checksum = E.MetaChecksum;
   Into.Kind = kind();
   Into.Functions[P.Name] = std::move(P);
   return {};
-}
-
-bool ProfileStore::loadFunction(size_t I, FlatProfile &Into,
-                                std::string &Err) const {
-  Status S = loadFunction(I, Into);
-  if (!S.ok())
-    Err = S.message();
-  return S.ok();
-}
-
-bool ProfileStore::loadFunctionContexts(size_t I, ContextProfile &Into,
-                                        std::string &Err) const {
-  Status S = loadFunctionContexts(I, Into);
-  if (!S.ok())
-    Err = S.message();
-  return S.ok();
 }
 
 Status ProfileStore::loadFunctionContexts(size_t I,
@@ -760,7 +1004,8 @@ bool ProfileStore::loadFunctionContextsImpl(size_t I, ContextProfile &Into,
         Err = "malformed context frame";
         return false;
       }
-      Ctx.push_back({Names[NameIdx], static_cast<uint32_t>(Site)});
+      Ctx.push_back(
+          {std::string(Names[NameIdx]), static_cast<uint32_t>(Site)});
     }
     if (Ctx.back().Site != 0 || Ctx.back().Func != Names[E.NameIdx]) {
       Err = "context leaf disagrees with its index entry";
@@ -809,24 +1054,29 @@ Expected<ContextProfile> ProfileStore::loadContext() const {
   return Out;
 }
 
-bool ProfileStore::loadFlat(FlatProfile &Out, std::string &Err) const {
-  Expected<FlatProfile> P = loadFlat();
-  if (!P) {
-    Err = P.status().message();
-    return false;
-  }
-  Out = P.take();
-  return true;
+Expected<FlatProfileView> ProfileStore::loadFlatView() const {
+  FlatViewLoader L(*this);
+  for (size_t I = 0; I != Index.size(); ++I)
+    if (Status S = L.load(I); !S.ok())
+      return S;
+  return L.take();
 }
 
-bool ProfileStore::loadContext(ContextProfile &Out, std::string &Err) const {
-  Expected<ContextProfile> P = loadContext();
-  if (!P) {
-    Err = P.status().message();
-    return false;
-  }
-  Out = P.take();
-  return true;
+Expected<ContextProfileView> ProfileStore::loadContextView() const {
+  ContextViewLoader L(*this);
+  for (size_t I = 0; I != Index.size(); ++I)
+    if (Status S = L.load(I); !S.ok())
+      return S;
+  ContextProfileView V = L.take();
+  // Context blocks are grouped per leaf function (the lazy-load unit), so
+  // the concatenation is DFS-ordered only within each block. Restore the
+  // global trie-DFS order the view contract requires.
+  const ProfileArena &A = V.Arena;
+  std::sort(V.Contexts.begin(), V.Contexts.end(),
+            [&A](const ContextRecord &X, const ContextRecord &Y) {
+              return compareContextFrames(A, X, Y) < 0;
+            });
+  return V;
 }
 
 uint64_t ProfileStore::hotThreshold(double Cutoff) const {
@@ -837,20 +1087,101 @@ uint64_t ProfileStore::hotThreshold(double Cutoff) const {
   return summaryThreshold(std::move(Counts), Cutoff);
 }
 
+FlatViewLoader::FlatViewLoader(const ProfileStore &S) : S(S) {
+  V.Kind = S.kind();
+  NameMap.assign(S.Names.size(), InvalidNameId);
+}
+
+Status FlatViewLoader::load(size_t I) {
+  if (S.isCS())
+    return Status::error("store holds a context-sensitive profile; use "
+                         "ContextViewLoader");
+  const ProfileStore::IndexEntry &E = S.Index[I];
+  ByteReader R(S.section(StoreSection::FlatPayload).substr(E.Offset, E.Size));
+  NameMapper NM{S.Names, V.Arena.Names, NameMap};
+  uint32_t Rec;
+  std::string Err;
+  if (!decodeRecordView(R, V.Arena, NM, 0, Rec, Err))
+    return Status::error(Err);
+  if (!R.done())
+    return Status::error("record shorter than its index slice");
+  FuncRecord &FR = V.Arena.Records[Rec];
+  if (FR.TotalSamples != E.Total || FR.HeadSamples != E.Head)
+    return Status::error("record totals disagree with the function index");
+  FR.Name = NM(E.NameIdx);
+  FR.Guid = E.MetaGuid;
+  FR.Checksum = E.MetaChecksum;
+  V.Functions.push_back(Rec);
+  return {};
+}
+
+ContextViewLoader::ContextViewLoader(const ProfileStore &S) : S(S) {
+  V.Kind = S.kind();
+  NameMap.assign(S.Names.size(), InvalidNameId);
+}
+
+Status ContextViewLoader::load(size_t I) {
+  if (!S.isCS())
+    return Status::error("store holds a flat profile; use FlatViewLoader");
+  const ProfileStore::IndexEntry &E = S.Index[I];
+  ByteReader R(S.section(StoreSection::CSPayload).substr(E.Offset, E.Size));
+  NameMapper NM{S.Names, V.Arena.Names, NameMap};
+  uint64_t NContexts;
+  if (!R.uleb(NContexts))
+    return Status::error("malformed context block");
+  for (uint64_t C = 0; C != NContexts; ++C) {
+    uint64_t NFrames;
+    if (!R.uleb(NFrames) || NFrames == 0 || NFrames > R.remaining())
+      return Status::error("malformed context frame count");
+    ContextRecord CR;
+    CR.FramesBegin = static_cast<uint32_t>(V.Arena.Frames.size());
+    for (uint64_t F = 0; F != NFrames; ++F) {
+      uint64_t NameIdx, Site;
+      if (!R.uleb(NameIdx) || !R.uleb(Site) || NameIdx >= NM.Map.size() ||
+          Site > UINT32_MAX)
+        return Status::error("malformed context frame");
+      V.Arena.Frames.push_back({NM(NameIdx), static_cast<uint32_t>(Site)});
+    }
+    CR.FramesEnd = static_cast<uint32_t>(V.Arena.Frames.size());
+    FrameSlot Leaf = V.Arena.Frames.back();
+    if (Leaf.Site != 0 || Leaf.Func != NM(E.NameIdx))
+      return Status::error("context leaf disagrees with its index entry");
+    uint8_t NodeFlags;
+    uint64_t Guid, Checksum;
+    if (!R.u8(NodeFlags) || NodeFlags > 1 || !R.uleb(Guid) ||
+        !R.uleb(Checksum))
+      return Status::error("malformed context node header");
+    std::string Err;
+    if (!decodeRecordView(R, V.Arena, NM, 0, CR.Rec, Err))
+      return Status::error(Err);
+    FuncRecord &FR = V.Arena.Records[CR.Rec];
+    FR.Name = Leaf.Func;
+    FR.Guid = Guid;
+    FR.Checksum = Checksum;
+    CR.ShouldBeInlined = NodeFlags & 1;
+    V.Contexts.push_back(CR);
+  }
+  if (!R.done())
+    return Status::error("context block shorter than its index slice");
+  return {};
+}
+
 namespace {
 
-/// Shared ingest plumbing: opens the prior store (if any), leaving kind /
-/// epoch bookkeeping to the shape-specific callers.
+/// Shared ingest plumbing: opens the prior store (if any) over the
+/// caller's bytes without copying them (the bytes outlive every use of
+/// the store — they are only replaced after the last read).
 bool openPrior(const std::string &Bytes, ProfileStore &Prior, bool &Exists,
                IngestResult &R) {
   Exists = !Bytes.empty();
   if (!Exists)
     return true;
-  std::string Err;
-  if (!ProfileStore::open(Bytes, Prior, Err)) {
-    R.Error = "cannot open existing store: " + Err;
+  Expected<ProfileStore> S = ProfileStore::openBorrowed(Bytes);
+  if (!S) {
+    R.Error = "cannot open existing store: " + S.status().message();
     return false;
   }
+  Prior = S.take();
   if (Prior.compactNames()) {
     R.Error = "cannot ingest into a compact-name store (names are not "
               "recoverable without a module)";
@@ -873,29 +1204,39 @@ IngestResult ingestEpoch(std::string &Bytes, const FlatProfile &Fresh,
   if (!openPrior(Bytes, Prior, Exists, R))
     return R;
 
-  FlatProfile Agg;
   bool Instr = Exists ? Prior.isInstr() : Opts.ExactCounts;
+  FlatProfileView AggV;
   if (Exists) {
     if (Prior.isCS()) {
       R.Error = "store holds a context-sensitive profile; flat epoch "
                 "rejected";
       return R;
     }
-    std::string Err;
-    if (!Prior.loadFlat(Agg, Err)) {
-      R.Error = "cannot materialize existing store: " + Err;
-      return R;
+    // Decay 0 = replace: history is fully decayed away, so the prior
+    // aggregate is never materialized at all.
+    if (Opts.DecayPermille != 0) {
+      Expected<FlatProfileView> V = Prior.loadFlatView();
+      if (!V) {
+        R.Error = "cannot materialize existing store: " + V.status().message();
+        return R;
+      }
+      AggV = V.take();
+      scaleFlatView(AggV, Opts.DecayPermille, 1000, Instr);
     }
-    if (Opts.DecayPermille == 0)
-      Agg = FlatProfile{}; // Replace: history fully decayed away.
-    else
-      scaleFlatProfile(Agg, Opts.DecayPermille, 1000, Instr);
   }
-  if (!Agg.Functions.empty() && Agg.Kind != Fresh.Kind) {
+  if (!AggV.Functions.empty() && AggV.Kind != Fresh.Kind) {
     R.Error = "epoch profile kind disagrees with the store";
     return R;
   }
-  R.Merge = mergeFlatProfiles(Agg, Fresh);
+  FlatProfileView FreshV = flatViewOf(Fresh);
+  // An empty aggregate folds exactly like the map path's empty
+  // FlatProfile destination: the fresh epoch is the sole merge *source*
+  // (IntoEmptyDst), so kind adoption and MergeStats come out identical.
+  FlatProfileView Merged =
+      AggV.Functions.empty()
+          ? mergeFlatViews({&FreshV}, R.Merge, /*IntoEmptyDst=*/true)
+          : mergeFlatViews({&AggV, &FreshV}, R.Merge);
+  FlatProfile Agg = flatProfileOf(Merged);
   std::vector<EpochInfo> Epochs = Prior.epochs();
   Epochs.push_back({Opts.Timestamp, Fresh.totalSamples(), Opts.DecayPermille});
 
@@ -928,29 +1269,33 @@ IngestResult ingestEpoch(std::string &Bytes, const ContextProfile &Fresh,
   if (!openPrior(Bytes, Prior, Exists, R))
     return R;
 
-  ContextProfile Agg;
+  ContextProfileView AggV;
   if (Exists) {
     if (!Prior.isCS()) {
       R.Error = "store holds a flat profile; context-sensitive epoch "
                 "rejected";
       return R;
     }
-    std::string Err;
-    if (!Prior.loadContext(Agg, Err)) {
-      R.Error = "cannot materialize existing store: " + Err;
-      return R;
+    if (Opts.DecayPermille != 0) {
+      Expected<ContextProfileView> V = Prior.loadContextView();
+      if (!V) {
+        R.Error = "cannot materialize existing store: " + V.status().message();
+        return R;
+      }
+      AggV = V.take();
+      scaleContextView(AggV, Opts.DecayPermille, 1000);
     }
-    if (Opts.DecayPermille == 0)
-      Agg = ContextProfile{};
-    else
-      scaleContextProfile(Agg, Opts.DecayPermille, 1000);
   }
-  bool AggEmpty = Agg.Root.Children.empty() && !Agg.Root.HasProfile;
-  if (!AggEmpty && Agg.Kind != Fresh.Kind) {
+  if (!AggV.Contexts.empty() && AggV.Kind != Fresh.Kind) {
     R.Error = "epoch profile kind disagrees with the store";
     return R;
   }
-  R.Merge = mergeContextProfiles(Agg, Fresh);
+  ContextProfileView FreshV = contextViewOf(Fresh);
+  ContextProfileView Merged =
+      AggV.Contexts.empty()
+          ? mergeContextViews({&FreshV}, R.Merge, /*IntoEmptyDst=*/true)
+          : mergeContextViews({&AggV, &FreshV}, R.Merge);
+  ContextProfile Agg = contextProfileOf(Merged);
   std::vector<EpochInfo> Epochs = Prior.epochs();
   Epochs.push_back({Opts.Timestamp, Fresh.totalSamples(), Opts.DecayPermille});
 

@@ -20,6 +20,17 @@
 /// construction (see scaleFlatProfile), so an ingested store always passes
 /// strict `csspgo_verify`.
 ///
+/// Two read planes share one validated container:
+///
+///  * the map plane (`loadFunction` / `loadFlat` / …) materializes the
+///    classic FunctionProfile containers — the reference path;
+///  * the flat plane (`openBorrowed` + FlatViewLoader / ContextViewLoader)
+///    cursors the indexed payload tiles straight into a ProfileArena:
+///    no byte copy of the container, no map nodes, no per-record string
+///    allocation — lazy materialization is pointer fixup plus a varint
+///    cursor. Both planes decode the same bytes to the same profiles;
+///    ArenaTest and the fuzzer diff them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSSPGO_STORE_PROFILESTORE_H
@@ -27,14 +38,17 @@
 
 #include "profile/ContextTrie.h"
 #include "profile/FunctionProfile.h"
+#include "profile/ProfileArena.h"
 #include "profile/ProfileMerge.h"
 #include "store/StoreFormat.h"
 #include "support/Status.h"
 #include "verify/ProfileVerifier.h"
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace csspgo {
@@ -83,9 +97,12 @@ public:
   /// always rejected here, never at load time.
   static Expected<ProfileStore> open(std::string Bytes);
 
-  /// Deprecated bool/out-param form of open(); thin wrapper kept for one
-  /// PR while callers migrate to the Expected-based surface.
-  static bool open(std::string Bytes, ProfileStore &Out, std::string &Err);
+  /// Zero-copy open: validates and indexes \p Bytes without copying them.
+  /// The caller must keep the buffer alive and unmodified for the store's
+  /// lifetime (mmap-style borrow); every rejection open() performs —
+  /// truncation, bit flips, malformed sections — applies identically here
+  /// because both run the same validation over the same bytes.
+  static Expected<ProfileStore> openBorrowed(std::string_view Bytes);
 
   bool isCS() const { return Flags & SF_ContextSensitive; }
   bool isInstr() const { return Flags & SF_ExactCounts; }
@@ -96,16 +113,24 @@ public:
   }
 
   const std::vector<EpochInfo> &epochs() const { return Epochs; }
-  size_t sizeBytes() const { return Bytes.size(); }
+  size_t sizeBytes() const { return data().size(); }
   /// (section name, payload bytes) of every section, for `store inspect`
   /// and the size benches.
   std::vector<std::pair<std::string, size_t>> sectionSizes() const;
+  /// (section name, absolute offset, size) of every section, in file
+  /// order — `store inspect --layout`.
+  std::vector<std::tuple<std::string, uint64_t, uint64_t>> sectionLayout()
+      const;
 
   /// Number of top-level functions (flat) or leaf functions (CS).
   size_t numFunctions() const { return Index.size(); }
-  const std::string &functionName(size_t I) const;
+  std::string_view functionName(size_t I) const;
   uint64_t functionGuid(size_t I) const;
   uint64_t functionTotalSamples(size_t I) const { return Index[I].Total; }
+  /// Absolute (offset, size) of function \p I's payload tile within the
+  /// container — the directly-addressable slice the zero-copy readers
+  /// cursor over. For `store inspect --layout` and debugging.
+  std::pair<uint64_t, uint64_t> functionTile(size_t I) const;
   /// Sum of per-function totals (saturating).
   uint64_t totalSamples() const;
 
@@ -130,12 +155,12 @@ public:
   Expected<FlatProfile> loadFlat() const;
   Expected<ContextProfile> loadContext() const;
 
-  /// Deprecated bool/out-param forms; thin wrappers kept for one PR.
-  bool loadFunction(size_t I, FlatProfile &Into, std::string &Err) const;
-  bool loadFunctionContexts(size_t I, ContextProfile &Into,
-                            std::string &Err) const;
-  bool loadFlat(FlatProfile &Out, std::string &Err) const;
-  bool loadContext(ContextProfile &Out, std::string &Err) const;
+  /// Eager flat-plane materialization: decodes every function into an
+  /// arena view. The flat view's functions keep the index (= name) order;
+  /// the context view's contexts are sorted into global trie-DFS order,
+  /// so both satisfy the canonical-order contract of the view merges.
+  Expected<FlatProfileView> loadFlatView() const;
+  Expected<ContextProfileView> loadContextView() const;
 
   /// Hot threshold from the persisted count distribution — identical to
   /// hotThreshold() over the eagerly loaded profile, which is what makes
@@ -143,6 +168,9 @@ public:
   uint64_t hotThreshold(double Cutoff) const;
 
 private:
+  friend class FlatViewLoader;
+  friend class ContextViewLoader;
+
   struct IndexEntry {
     uint32_t NameIdx = 0;
     uint64_t Offset = 0; ///< Relative to the payload section.
@@ -161,22 +189,84 @@ private:
     bool Present = false;
   };
 
+  /// The container bytes: Owned when open() copied them in, otherwise the
+  /// borrowed buffer. Owned wins so the view stays valid across moves.
+  std::string_view data() const {
+    return Owned.empty() ? Borrowed : std::string_view(Owned);
+  }
   std::string_view section(StoreSection S) const;
   bool decodeSections(std::string &Err);
   bool loadFunctionContextsImpl(size_t I, ContextProfile &Into,
                                 std::string &Err) const;
+  /// Guid lookup map (and, for compact stores, the name map — non-compact
+  /// name lookup binary searches the sorted index instead) built on first
+  /// findFunction* use so open() stays off the O(N log N) map-build path.
+  void ensureLookups() const;
+  /// Name GUIDs are hashed on first use for the same reason (compact
+  /// stores persist them, so there they are filled at open()).
+  void ensureGuids() const;
 
-  std::string Bytes;
+  std::string Owned;
+  std::string_view Borrowed;
   uint8_t Flags = 0;
   SectionRef Sections[8];
-  std::vector<std::string> Names; ///< Resolved string table.
-  std::vector<uint64_t> NameGuids;
+  /// String table. Non-compact entries are views straight into data() —
+  /// open() allocates nothing per name; compact placeholders and
+  /// resolveNames() results point into NameStorage (a deque, so views
+  /// stay valid as entries are added and across store moves).
+  std::vector<std::string_view> Names;
+  std::deque<std::string> NameStorage;
+  mutable std::vector<uint64_t> NameGuids;
   std::vector<EpochInfo> Epochs;
   std::vector<IndexEntry> Index;
-  std::map<std::string, uint32_t> NameToFunc;
-  std::map<uint64_t, uint32_t> GuidToFunc;
+  mutable bool LookupsBuilt = false;
+  mutable std::map<std::string_view, uint32_t> NameToFunc;
+  mutable std::map<uint64_t, uint32_t> GuidToFunc;
   /// (count value, multiplicity), descending — the hotThreshold input.
   std::vector<std::pair<uint64_t, uint64_t>> Distribution;
+};
+
+/// Streams store functions into a FlatProfileView: the zero-copy flat
+/// read plane. Each load() is a varint cursor over the function's payload
+/// tile appending POD slots — no maps, no string churn, and names intern
+/// into the view's arena on first reference, so a module-scoped load
+/// never touches the rest of the string table. The store (and, for a
+/// borrowed store, its buffer) must outlive the loader.
+class FlatViewLoader {
+public:
+  explicit FlatViewLoader(const ProfileStore &S);
+
+  /// Appends function \p I's record to the view. Same validation and
+  /// failure cases as ProfileStore::loadFunction.
+  Status load(size_t I);
+
+  FlatProfileView &view() { return V; }
+  FlatProfileView take() { return std::move(V); }
+
+private:
+  const ProfileStore &S;
+  FlatProfileView V;
+  /// Store string index -> view name id, interned on first reference so a
+  /// module-scoped load pays O(names referenced), not O(string table).
+  std::vector<NameId> NameMap;
+};
+
+/// CS counterpart of FlatViewLoader: load(I) appends every context whose
+/// leaf is function I, in the tile's (trie-DFS within leaf) order. Use
+/// ProfileStore::loadContextView for a globally DFS-ordered view.
+class ContextViewLoader {
+public:
+  explicit ContextViewLoader(const ProfileStore &S);
+
+  Status load(size_t I);
+
+  ContextProfileView &view() { return V; }
+  ContextProfileView take() { return std::move(V); }
+
+private:
+  const ProfileStore &S;
+  ContextProfileView V;
+  std::vector<NameId> NameMap;
 };
 
 struct IngestOptions {
@@ -208,6 +298,12 @@ struct IngestResult {
 /// usual saturation semantics, appends the epoch record, verifies, and
 /// rewrites \p Bytes — which is left untouched unless the result is Ok.
 /// An empty \p Bytes creates a new single-epoch store.
+///
+/// The fold runs on the flat data plane end-to-end — borrowed-buffer open,
+/// arena decode, view decay-scale, k-way view merge — and bridges to the
+/// map containers only for the (mandatory) Full verification and the
+/// writer. Every step is bit-identical to the map pipeline, so the stores
+/// this produces are byte-for-byte what the map fold produced.
 IngestResult ingestEpoch(std::string &Bytes, const FlatProfile &Fresh,
                          const IngestOptions &Opts = {});
 IngestResult ingestEpoch(std::string &Bytes, const ContextProfile &Fresh,

@@ -10,16 +10,21 @@
 ///
 ///   header (20 bytes, fixed little-endian):
 ///     [0..3]   magic "CSPF"
-///     [4..5]   u16 format version (currently 1)
+///     [4..5]   u16 format version (currently 3)
 ///     [6]      u8 flag bits (context-sensitive / probe-based /
 ///              compact-names / exact-counts); unknown bits are rejected
 ///     [7]      u8 reserved, must be 0
-///     [8..15]  u64 FNV-1a hash of every byte from offset 16 to the end —
-///              any truncation or bit flip anywhere in the file fails open()
+///     [8..15]  u64 content hash (hashStoreBytes) of every byte from offset
+///              16 to the end — any truncation or bit flip anywhere in the
+///              file fails open()
 ///     [16..19] u32 section count
 ///   section table (24 bytes per entry, fixed little-endian):
 ///     { u32 section id, u32 reserved(0), u64 absolute offset, u64 size }
-///   section payloads, ULEB128-encoded.
+///   section payloads. The metadata sections that open() must walk in
+///   full (string table, function index, probe metadata) are fixed-width
+///   so they decode with plain word loads; the per-function payload
+///   records stay ULEB128-encoded (they are only decoded on demand, and
+///   varints keep them small).
 ///
 /// Unknown section ids are skipped (forward compatibility); the sections a
 /// store of the declared shape requires must all be present.
@@ -36,9 +41,79 @@
 namespace csspgo {
 
 inline constexpr char StoreMagic[4] = {'C', 'S', 'P', 'F'};
-inline constexpr uint16_t StoreVersion = 1;
+/// Version 2: content hash switched from byte-serial FNV-1a to a
+/// word-at-a-time multiply-xor chain. Version 3: the chain was split into
+/// four independent lanes (hashStoreBytes below), so the hash value — and
+/// therefore the container — changed again. The layout is otherwise
+/// unchanged; older stores are rejected (nothing persists stores across
+/// versions — they are build artifacts, not archives).
+inline constexpr uint16_t StoreVersion = 3;
 inline constexpr size_t StoreHeaderSize = 20;
 inline constexpr size_t StoreSectionEntrySize = 24;
+
+/// Reads the 8-byte little-endian word at \p P. memcpy compiles to one
+/// load (the shift-assembly idiom does not — it was the hash bottleneck);
+/// the bswap on big-endian hosts keeps the value, and so every store
+/// hash, endian-independent.
+inline uint64_t loadStoreWord(const char *P) {
+  uint64_t W;
+  __builtin_memcpy(&W, P, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  W = __builtin_bswap64(W);
+#endif
+  return W;
+}
+
+/// 4-byte counterpart of loadStoreWord, for the fixed-width section
+/// layouts (string-table offsets, index entries).
+inline uint32_t loadStoreWord32(const char *P) {
+  uint32_t W;
+  __builtin_memcpy(&W, P, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  W = __builtin_bswap32(W);
+#endif
+  return W;
+}
+
+/// Content hash of the store body. Validating the whole container on open
+/// is the fixed cost every reader pays — including the zero-copy lazy
+/// path, whose point is to *not* touch most of the payload — so this has
+/// to run at memory speed: four independent 64-bit multiply-xor chains
+/// over 8-byte words (a single chain is serialized on the multiply
+/// latency; four lanes keep the multipliers full and measure ~4x the
+/// single-chain throughput). The length is mixed into the seed so "abc"
+/// and "abc\0" cannot collide via the zero-padded tail.
+inline uint64_t hashStoreBytes(std::string_view Data) {
+  constexpr uint64_t M = 0x9e3779b97f4a7c15ull;
+  uint64_t H0 = 0xcbf29ce484222325ull ^ (Data.size() * M);
+  uint64_t H1 = 0x84222325cbf29ce4ull;
+  uint64_t H2 = 0x9ce484222325cbf2ull;
+  uint64_t H3 = 0x2325cbf29ce48422ull;
+  size_t I = 0;
+  for (; I + 32 <= Data.size(); I += 32) {
+    H0 = (H0 ^ loadStoreWord(Data.data() + I)) * M;
+    H1 = (H1 ^ loadStoreWord(Data.data() + I + 8)) * M;
+    H2 = (H2 ^ loadStoreWord(Data.data() + I + 16)) * M;
+    H3 = (H3 ^ loadStoreWord(Data.data() + I + 24)) * M;
+  }
+  for (; I + 8 <= Data.size(); I += 8)
+    H0 = (H0 ^ loadStoreWord(Data.data() + I)) * M;
+  if (I != Data.size()) {
+    uint64_t W = 0;
+    for (int B = 0; I + B < Data.size(); ++B)
+      W |= static_cast<uint64_t>(static_cast<uint8_t>(Data[I + B])) << (8 * B);
+    H0 = (H0 ^ W) * M;
+  }
+  // Fold the lanes (every lane passes through a multiply so no input
+  // word can cancel another lane's), then avalanche the high bits back
+  // down so truncating consumers of any byte range still see every input
+  // bit.
+  uint64_t H = (((H1 * M ^ H2) * M ^ H3) * M ^ H0) * M;
+  H ^= H >> 32;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 29;
+  return H;
+}
 
 /// Header flag bits. Open rejects any bit outside StoreKnownFlags so a
 /// corrupted flag byte (or a future format) never decodes as garbage.
@@ -134,6 +209,17 @@ public:
     return true;
   }
   bool uleb(uint64_t &Out) {
+    // Fast path: a one-byte varint (the overwhelmingly common case in
+    // every section — small counts, keys, deltas) costs one bounds check
+    // and one branch.
+    if (Pos < Data.size()) {
+      uint8_t B = static_cast<uint8_t>(Data[Pos]);
+      if (!(B & 0x80)) {
+        ++Pos;
+        Out = B;
+        return true;
+      }
+    }
     Out = 0;
     for (unsigned Shift = 0; Shift < 64; Shift += 7) {
       uint8_t B;

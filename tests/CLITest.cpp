@@ -113,9 +113,16 @@ TEST(CLIGolden, HelpConvert) {
 
 TEST(CLIGolden, HelpStore) {
   EXPECT_EQ(helpFor("store"),
-            std::string("usage: csspgo_exp store inspect <file> | ingest "
-                        "<file> <workload> <variant> [scale]\n"
+            std::string("usage: csspgo_exp store inspect [--layout] <file> "
+                        "| ingest <file> <workload> <variant> [scale]\n"
                         "  inspect a store / fold in a fresh epoch\n"
+                        "\n"
+                        "inspect --layout additionally prints the physical "
+                        "file layout:\n"
+                        "every section's absolute offset and size plus the "
+                        "per-function\n"
+                        "payload tiles the zero-copy readers address "
+                        "directly.\n"
                         "\n"
                         "ingest honors --decay, --timestamp and --compact; "
                         "the fold is\n"

@@ -276,24 +276,29 @@ TEST(PipelineStats, JSONIsStableAndCarriesEveryGroup) {
 }
 
 //===----------------------------------------------------------------------===//
-// Deprecated bool/out-param store entry points still work (one-PR
-// compatibility shims over the Status-based API).
+// Status-based store entry points: the owned and borrowed opens decode
+// the same bytes to the same profile and agree on failure diagnostics.
 //===----------------------------------------------------------------------===//
 
-TEST(StatusMigration, DeprecatedStoreWrappersStillWork) {
+TEST(StatusMigration, OwnedAndBorrowedOpensAgree) {
   std::string Bytes = writeStore(sampledFlat(), {});
-  ProfileStore S;
-  std::string Err;
-  ASSERT_TRUE(ProfileStore::open(std::string(Bytes), S, Err)) << Err;
-  FlatProfile Back;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
-  EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(sampledFlat()));
+  Expected<ProfileStore> S = ProfileStore::open(std::string(Bytes));
+  ASSERT_TRUE(bool(S)) << S.status().message();
+  Expected<FlatProfile> Back = S->loadFlat();
+  ASSERT_TRUE(bool(Back)) << Back.status().message();
+  EXPECT_EQ(serializeFlatProfile(*Back), serializeFlatProfile(sampledFlat()));
+
+  Expected<ProfileStore> B = ProfileStore::openBorrowed(Bytes);
+  ASSERT_TRUE(bool(B)) << B.status().message();
+  Expected<FlatProfile> BorrowedBack = B->loadFlat();
+  ASSERT_TRUE(bool(BorrowedBack)) << BorrowedBack.status().message();
+  EXPECT_EQ(serializeFlatProfile(*BorrowedBack), serializeFlatProfile(*Back));
 
   // And the two surfaces agree on failures.
   std::string Junk = "CSPF this is not a store";
-  ProfileStore S2;
-  EXPECT_FALSE(ProfileStore::open(std::string(Junk), S2, Err));
   Expected<ProfileStore> E = ProfileStore::open(std::string(Junk));
+  Expected<ProfileStore> EB = ProfileStore::openBorrowed(Junk);
   EXPECT_FALSE(E.hasValue());
-  EXPECT_EQ(E.status().message(), Err);
+  EXPECT_FALSE(EB.hasValue());
+  EXPECT_EQ(E.status().message(), EB.status().message());
 }

@@ -109,10 +109,21 @@ struct GeneratedSetup {
 };
 
 ProfileStore openOrDie(const std::string &Bytes) {
-  ProfileStore S;
-  std::string Err;
-  EXPECT_TRUE(ProfileStore::open(Bytes, S, Err)) << Err;
-  return S;
+  Expected<ProfileStore> S = ProfileStore::open(Bytes);
+  EXPECT_TRUE(bool(S)) << S.status().message();
+  return S ? S.take() : ProfileStore();
+}
+
+FlatProfile loadFlatOrDie(const ProfileStore &S) {
+  Expected<FlatProfile> P = S.loadFlat();
+  EXPECT_TRUE(bool(P)) << P.status().message();
+  return P ? P.take() : FlatProfile();
+}
+
+ContextProfile loadContextOrDie(const ProfileStore &S) {
+  Expected<ContextProfile> P = S.loadContext();
+  EXPECT_TRUE(bool(P)) << P.status().message();
+  return P ? P.take() : ContextProfile();
 }
 
 } // namespace
@@ -130,9 +141,7 @@ TEST(Store, FlatRoundTripIsLossless) {
     EXPECT_EQ(S.numFunctions(), P.Functions.size());
     EXPECT_EQ(S.totalSamples(), P.totalSamples());
 
-    FlatProfile Back;
-    std::string Err;
-    ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+    FlatProfile Back = loadFlatOrDie(S);
     EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(P));
 
     // Binary fixpoint: writing what was loaded is byte-identical.
@@ -145,10 +154,7 @@ TEST(Store, TextToBinaryToTextIsIdentity) {
   FlatProfile Parsed;
   ASSERT_TRUE(parseFlatProfile(Text, Parsed));
   ProfileStore S = openOrDie(writeStore(Parsed, {}));
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
-  EXPECT_EQ(serializeFlatProfile(Back), Text);
+  EXPECT_EQ(serializeFlatProfile(loadFlatOrDie(S)), Text);
 }
 
 TEST(Store, GuidAndChecksumSurviveUnlikeText) {
@@ -163,9 +169,7 @@ TEST(Store, GuidAndChecksumSurviveUnlikeText) {
 
   // ...the store keeps it, including an explicit zero.
   ProfileStore S = openOrDie(writeStore(P, {}));
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  FlatProfile Back = loadFlatOrDie(S);
   EXPECT_EQ(Back.Functions.at("main").Guid, 0xDEADBEEF12345678ull);
   EXPECT_EQ(Back.Functions.at("main").Checksum, 42u);
   EXPECT_EQ(Back.Functions.at("foo").Guid, 0u);
@@ -183,9 +187,7 @@ TEST(Store, CSRoundTripIsLossless) {
   EXPECT_TRUE(S.isCS());
   EXPECT_EQ(S.kind(), ProfileKind::ProbeBased);
 
-  ContextProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadContext(Back, Err)) << Err;
+  ContextProfile Back = loadContextOrDie(S);
   EXPECT_EQ(serializeContextProfile(Back), serializeContextProfile(Res.CS));
   EXPECT_EQ(writeStore(Back, {{7, Res.CS.totalSamples(), 1000}}), Bytes);
 
@@ -203,10 +205,7 @@ TEST(Store, EmptyProfileRoundTrips) {
   EXPECT_EQ(S.numFunctions(), 0u);
   EXPECT_EQ(S.totalSamples(), 0u);
   EXPECT_TRUE(S.epochs().empty());
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
-  EXPECT_TRUE(Back.Functions.empty());
+  EXPECT_TRUE(loadFlatOrDie(S).Functions.empty());
 }
 
 //===----------------------------------------------------------------------===//
@@ -218,9 +217,10 @@ TEST(Store, LazyUnionEqualsEagerLoad) {
   ProfileStore S = openOrDie(writeStore(P, {}));
 
   FlatProfile Union;
-  std::string Err;
-  for (size_t I = 0; I != S.numFunctions(); ++I)
-    ASSERT_TRUE(S.loadFunction(I, Union, Err)) << Err;
+  for (size_t I = 0; I != S.numFunctions(); ++I) {
+    Status St = S.loadFunction(I, Union);
+    ASSERT_TRUE(St.ok()) << St.message();
+  }
   EXPECT_EQ(serializeFlatProfile(Union), serializeFlatProfile(P));
 
   // A single-function load materializes exactly that function, with the
@@ -228,7 +228,8 @@ TEST(Store, LazyUnionEqualsEagerLoad) {
   int MainIdx = S.findFunction("main");
   ASSERT_GE(MainIdx, 0);
   FlatProfile One;
-  ASSERT_TRUE(S.loadFunction(MainIdx, One, Err)) << Err;
+  Status St = S.loadFunction(MainIdx, One);
+  ASSERT_TRUE(St.ok()) << St.message();
   EXPECT_EQ(One.Functions.size(), 1u);
   EXPECT_EQ(One.Functions.at("main").TotalSamples,
             S.functionTotalSamples(MainIdx));
@@ -288,8 +289,8 @@ TEST(Store, CompactNamesShrinkTheTableAndResolve) {
   int Idx = S.findFunction(Names[3]);
   ASSERT_GE(Idx, 0);
   FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFunction(Idx, Back, Err)) << Err;
+  Status St = S.loadFunction(Idx, Back);
+  ASSERT_TRUE(St.ok()) << St.message();
   EXPECT_EQ(Back.Functions.at(Names[3]).bodyAt({1, 0}), 13u);
 }
 
@@ -301,11 +302,9 @@ TEST(Store, CompactNamesShrinkTheTableAndResolve) {
 TEST(Store, EveryTruncationIsRejected) {
   std::string Bytes = writeStore(sampledFlat(), {{1, 240, 1000}});
   for (size_t Len = 0; Len != Bytes.size(); ++Len) {
-    ProfileStore S;
-    std::string Err;
-    EXPECT_FALSE(ProfileStore::open(Bytes.substr(0, Len), S, Err))
-        << "prefix of " << Len << " bytes accepted";
-    EXPECT_FALSE(Err.empty());
+    Expected<ProfileStore> S = ProfileStore::open(Bytes.substr(0, Len));
+    EXPECT_FALSE(bool(S)) << "prefix of " << Len << " bytes accepted";
+    EXPECT_FALSE(S.status().message().empty());
   }
 }
 
@@ -316,9 +315,7 @@ TEST(Store, BitFlipsAreRejected) {
   for (size_t Pos = 0; Pos != Bytes.size(); ++Pos) {
     std::string Bad = Bytes;
     Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x10);
-    ProfileStore S;
-    std::string Err;
-    EXPECT_FALSE(ProfileStore::open(Bad, S, Err))
+    EXPECT_FALSE(bool(ProfileStore::open(Bad)))
         << "flip at byte " << Pos << " accepted";
   }
 }
@@ -343,10 +340,8 @@ TEST(StoreIngest, DecayOneEqualsPlainMerge) {
   mergeFlatProfiles(Merged, Epoch);
 
   ProfileStore S = openOrDie(Bytes);
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
-  EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(Merged));
+  EXPECT_EQ(serializeFlatProfile(loadFlatOrDie(S)),
+            serializeFlatProfile(Merged));
 }
 
 TEST(StoreIngest, DecayZeroReplacesTheAggregate) {
@@ -364,12 +359,10 @@ TEST(StoreIngest, DecayZeroReplacesTheAggregate) {
   ASSERT_TRUE(R.Ok) << R.Error;
 
   ProfileStore S = openOrDie(Bytes);
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
   // The prior aggregate is gone; only the fresh epoch remains. The epoch
   // history still records both folds.
-  EXPECT_EQ(serializeFlatProfile(Back), serializeFlatProfile(Second));
+  EXPECT_EQ(serializeFlatProfile(loadFlatOrDie(S)),
+            serializeFlatProfile(Second));
   ASSERT_EQ(S.epochs().size(), 2u);
   EXPECT_EQ(S.epochs()[1].DecayPermille, 0u);
 }
@@ -389,9 +382,7 @@ TEST(StoreIngest, HalfDecayPassesStrictVerification) {
     EXPECT_TRUE(R.Verify.ok()) << R.Verify.str();
   }
   ProfileStore S = openOrDie(Bytes);
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  FlatProfile Back = loadFlatOrDie(S);
   VerifyReport R = verifyFlatProfile(Back);
   EXPECT_TRUE(R.ok()) << R.str();
   // Geometric series: 100 * (1 + 1/2 + 1/4 + 1/8) = 187 or 188 after
@@ -422,9 +413,7 @@ TEST(StoreIngest, CSIngestKeepsTrieVerified) {
   // probe-table agreement the ingest path does not have access to.
   ProfileStore S = openOrDie(Bytes);
   ASSERT_TRUE(S.isCS());
-  ContextProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadContext(Back, Err)) << Err;
+  ContextProfile Back = loadContextOrDie(S);
   VerifierOptions VO;
   VO.Probes = &G.PT;
   VerifyReport R = verifyContextProfile(Back, VO);
@@ -444,9 +433,7 @@ TEST(StoreIngest, CountsSaturateInsteadOfWrapping) {
   EXPECT_GT(R.Merge.SaturatedCounts, 0u);
 
   ProfileStore S = openOrDie(Bytes);
-  FlatProfile Back;
-  std::string Err;
-  ASSERT_TRUE(S.loadFlat(Back, Err)) << Err;
+  FlatProfile Back = loadFlatOrDie(S);
   EXPECT_EQ(Back.Functions.at("hot").bodyAt({1, 0}), UINT64_MAX);
   EXPECT_EQ(Back.Functions.at("hot").TotalSamples, UINT64_MAX);
 }
@@ -510,13 +497,15 @@ TEST(StoreLoader, LazyEagerAndDirectLoadsAnnotateIdentically) {
       writeStore(Res.Flat, {{0, Res.Flat.totalSamples(), 1000}});
   ProfileStore S1 = openOrDie(Bytes);
   auto Lazy = freshModule();
-  LoaderStats LS =
-      loadFlatProfileFromStore(*Lazy, S1, /*IsInstr=*/false, {}, true);
+  Expected<LoaderStats> LSE = loadProfileFromStore(*Lazy, S1, {}, true);
+  ASSERT_TRUE(bool(LSE)) << LSE.status().message();
+  LoaderStats LS = LSE.take();
 
   ProfileStore S2 = openOrDie(Bytes);
   auto Eager = freshModule();
-  LoaderStats ES =
-      loadFlatProfileFromStore(*Eager, S2, /*IsInstr=*/false, {}, false);
+  Expected<LoaderStats> ESE = loadProfileFromStore(*Eager, S2, {}, false);
+  ASSERT_TRUE(bool(ESE)) << ESE.status().message();
+  LoaderStats ES = ESE.take();
 
   std::string Want = printModule(*Direct);
   EXPECT_EQ(printModule(*Lazy), Want);
@@ -537,8 +526,9 @@ TEST(StoreLoader, LazyLoadSkipsFunctionsAbsentFromTheModule) {
   Module M("partial");
   M.createFunction("main", 0)->createBlock("entry");
   ProfileStore S = openOrDie(writeStore(Res.Flat, {}));
-  LoaderStats LS = loadFlatProfileFromStore(M, S, /*IsInstr=*/false);
-  EXPECT_EQ(LS.StoreFunctionsMaterialized, 1u);
-  EXPECT_EQ(LS.StoreFunctionsMaterialized + LS.StoreFunctionsSkipped,
+  Expected<LoaderStats> LS = loadProfileFromStore(M, S);
+  ASSERT_TRUE(bool(LS)) << LS.status().message();
+  EXPECT_EQ(LS->StoreFunctionsMaterialized, 1u);
+  EXPECT_EQ(LS->StoreFunctionsMaterialized + LS->StoreFunctionsSkipped,
             S.numFunctions());
 }

@@ -35,11 +35,16 @@ const SubcommandInfo Table[] = {
      "direction is inferred from the input bytes; --compact selects guid\n"
      "name tables for written stores.",
      false},
-    {"store", "inspect <file> | ingest <file> <workload> <variant> [scale]",
+    {"store", "inspect [--layout] <file> | ingest <file> <workload> "
+     "<variant> [scale]",
      "inspect a store / fold in a fresh epoch", 2,
+     "inspect --layout additionally prints the physical file layout:\n"
+     "every section's absolute offset and size plus the per-function\n"
+     "payload tiles the zero-copy readers address directly.\n"
+     "\n"
      "ingest honors --decay, --timestamp and --compact; the fold is\n"
      "verifier-gated and the file is untouched when the gate rejects it.",
-     false},
+     true},
     {"fuzz", "[iterations] [seed]", "differential fuzzing", 0, nullptr,
      false},
     {"serve", "[flags]", "run the continuous-profiling fleet service", 0,

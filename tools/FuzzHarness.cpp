@@ -386,21 +386,20 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
   // text -> binary -> text is the identity; lazy per-function reads union
   // to the eager load; the persisted summary reproduces hot thresholds;
   // and truncations / bit flips are rejected at open(), never a crash.
+  std::string CSBytes = writeStore(CSRes.CS, {});
   {
-    std::string CSBytes = writeStore(CSRes.CS, {});
-    ProfileStore CSStore;
-    std::string OpenErr;
-    if (!ProfileStore::open(CSBytes, CSStore, OpenErr)) {
-      Err = "freshly written CS store does not open: " + OpenErr;
+    Expected<ProfileStore> CSStore = ProfileStore::open(CSBytes);
+    if (!CSStore) {
+      Err = "freshly written CS store does not open: " +
+            CSStore.status().message();
       return false;
     }
-    ContextProfile CSBack;
-    if (!CSStore.loadContext(CSBack, OpenErr) ||
-        serializeContextProfile(CSBack) != CSText) {
+    Expected<ContextProfile> CSBack = CSStore->loadContext();
+    if (!CSBack || serializeContextProfile(*CSBack) != CSText) {
       Err = "CS store round trip is not lossless";
       return false;
     }
-    if (CSStore.hotThreshold(0.9) != hotThreshold(CSRes.CS, 0.9)) {
+    if (CSStore->hotThreshold(0.9) != hotThreshold(CSRes.CS, 0.9)) {
       Err = "CS store summary threshold diverges from the profile's";
       return false;
     }
@@ -410,30 +409,33 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
                                                        PORes.Flat},
           {"autofdo", AFRes.Flat}}) {
       std::string Bytes = writeStore(Flat, {});
-      ProfileStore S;
-      if (!ProfileStore::open(Bytes, S, OpenErr)) {
+      Expected<ProfileStore> S = ProfileStore::open(Bytes);
+      if (!S) {
         Err = std::string("freshly written ") + What +
-              " store does not open: " + OpenErr;
+              " store does not open: " + S.status().message();
         return false;
       }
-      FlatProfile Eager, Lazy;
-      if (!S.loadFlat(Eager, OpenErr) ||
-          serializeFlatProfile(Eager) !=
-              serializeFlatProfile(Flat)) {
+      Expected<FlatProfile> Eager = S->loadFlat();
+      if (!Eager ||
+          serializeFlatProfile(*Eager) != serializeFlatProfile(Flat)) {
         Err = std::string(What) + " store round trip is not lossless";
         return false;
       }
-      for (size_t I = 0; I != S.numFunctions(); ++I)
-        if (!S.loadFunction(I, Lazy, OpenErr)) {
-          Err = std::string(What) + " store lazy load failed: " + OpenErr;
+      FlatProfile Lazy;
+      for (size_t I = 0; I != S->numFunctions(); ++I) {
+        Status St = S->loadFunction(I, Lazy);
+        if (!St.ok()) {
+          Err = std::string(What) +
+                " store lazy load failed: " + St.message();
           return false;
         }
-      if (serializeFlatProfile(Lazy) != serializeFlatProfile(Eager)) {
+      }
+      if (serializeFlatProfile(Lazy) != serializeFlatProfile(*Eager)) {
         Err = std::string(What) +
               " store lazy loads do not union to the eager load";
         return false;
       }
-      if (S.hotThreshold(0.9) != hotThreshold(Flat, 0.9)) {
+      if (S->hotThreshold(0.9) != hotThreshold(Flat, 0.9)) {
         Err = std::string(What) +
               " store summary threshold diverges from the profile's";
         return false;
@@ -443,14 +445,13 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
     // Corrupted containers must be rejected with a diagnostic.
     for (int I = 0; I != 4; ++I) {
       size_t Cut = R.nextBelow(CSBytes.size());
-      ProfileStore S;
-      std::string TruncErr;
-      if (ProfileStore::open(CSBytes.substr(0, Cut), S, TruncErr)) {
+      Expected<ProfileStore> S = ProfileStore::open(CSBytes.substr(0, Cut));
+      if (S) {
         Err = "store accepted a truncation to " + std::to_string(Cut) +
               " bytes";
         return false;
       }
-      if (TruncErr.empty()) {
+      if (S.status().message().empty()) {
         Err = "store rejected a truncation without a diagnostic";
         return false;
       }
@@ -459,12 +460,98 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
       std::string Bad = CSBytes;
       size_t Pos = R.nextBelow(Bad.size());
       Bad[Pos] = static_cast<char>(Bad[Pos] ^ (1u << R.nextBelow(8)));
-      ProfileStore S;
-      std::string FlipErr;
-      if (ProfileStore::open(Bad, S, FlipErr)) {
+      if (ProfileStore::open(Bad)) {
         Err = "store accepted a bit flip at byte " + std::to_string(Pos);
         return false;
       }
+    }
+  }
+
+  // --- 9. Zero-copy reader vs map plane --------------------------------
+  // The borrowed-buffer open plus the arena view loaders are a second,
+  // independent decoder over the same validated bytes. They must produce
+  // the same profiles as the map plane, their slice merge must match the
+  // sequential map merge count-for-count and stat-for-stat, and borrowed
+  // opens must reject corruption with the exact same diagnostics.
+  {
+    Expected<ProfileStore> BS = ProfileStore::openBorrowed(CSBytes);
+    if (!BS) {
+      Err = "borrowed CS open rejects bytes the owning open accepted: " +
+            BS.status().message();
+      return false;
+    }
+    Expected<ContextProfileView> CV = BS->loadContextView();
+    if (!CV || serializeContextProfile(contextProfileOf(*CV)) != CSText) {
+      Err = "zero-copy CS view diverges from the map-plane load";
+      return false;
+    }
+    ContextViewLoader Unit(*BS);
+    for (size_t I = 0; I != BS->numFunctions(); ++I) {
+      Status St = Unit.load(I);
+      if (!St.ok()) {
+        Err = "zero-copy CS lazy load failed: " + St.message();
+        return false;
+      }
+    }
+    if (serializeContextProfile(contextProfileOf(Unit.view())) != CSText) {
+      Err = "zero-copy CS lazy loads do not union to the eager load";
+      return false;
+    }
+
+    std::string FlatBytes = writeStore(PORes.Flat, {});
+    Expected<ProfileStore> FS = ProfileStore::openBorrowed(FlatBytes);
+    if (!FS) {
+      Err = "borrowed flat open rejects bytes the owning open accepted: " +
+            FS.status().message();
+      return false;
+    }
+    Expected<FlatProfileView> FV = FS->loadFlatView();
+    if (!FV || serializeFlatProfile(flatProfileOf(*FV)) != POText) {
+      Err = "zero-copy flat view diverges from the map-plane load";
+      return false;
+    }
+
+    // Slice merge differential: the k-way view merge must be bit- and
+    // stat-identical to the sequential map merge of the same parts.
+    FlatProfile MapAcc;
+    MergeStats MapStats = mergeFlatProfiles(MapAcc, PORes.Flat);
+    MapStats += mergeFlatProfiles(MapAcc, PORes.Flat);
+    FlatProfileView Part = flatViewOf(PORes.Flat);
+    MergeStats ViewStats;
+    FlatProfile ViewAcc = flatProfileOf(
+        mergeFlatViews({&Part, &Part}, ViewStats, /*IntoEmptyDst=*/true));
+    if (serializeFlatProfile(ViewAcc) != serializeFlatProfile(MapAcc)) {
+      Err = "flat view merge diverges from the map merge";
+      return false;
+    }
+    if (ViewStats.ContextsAdded != MapStats.ContextsAdded ||
+        ViewStats.ContextsMerged != MapStats.ContextsMerged ||
+        ViewStats.CountsSummed != MapStats.CountsSummed ||
+        ViewStats.SaturatedCounts != MapStats.SaturatedCounts) {
+      Err = "flat view merge stats diverge from the map merge stats";
+      return false;
+    }
+
+    // Borrowed and owning opens agree on rejections, diagnostics included.
+    std::string Prefix = CSBytes.substr(0, R.nextBelow(CSBytes.size()));
+    Expected<ProfileStore> OwnedOpen = ProfileStore::open(Prefix);
+    Expected<ProfileStore> BorrowedOpen = ProfileStore::openBorrowed(Prefix);
+    if (OwnedOpen || BorrowedOpen) {
+      Err = "a truncated store was accepted by one of the open paths";
+      return false;
+    }
+    if (OwnedOpen.status().message() != BorrowedOpen.status().message()) {
+      Err = "owning and borrowed opens reject a truncation with "
+            "different diagnostics";
+      return false;
+    }
+    std::string Bad = CSBytes;
+    size_t Pos = R.nextBelow(Bad.size());
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ (1u << R.nextBelow(8)));
+    if (ProfileStore::openBorrowed(Bad)) {
+      Err = "borrowed open accepted a bit flip at byte " +
+            std::to_string(Pos);
+      return false;
     }
   }
 

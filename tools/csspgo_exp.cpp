@@ -334,7 +334,7 @@ int cmdConvert(int, char **argv) {
   return 0;
 }
 
-int storeInspect(const char *Path) {
+int storeInspect(const char *Path, bool Layout) {
   std::string Data;
   if (!readFileAll(Path, Data)) {
     std::fprintf(stderr, "store: cannot read '%s'\n", Path);
@@ -366,6 +366,25 @@ int storeInspect(const char *Path) {
                 static_cast<unsigned long long>(E.Timestamp),
                 static_cast<unsigned long long>(E.TotalSamples),
                 E.DecayPermille);
+  }
+  if (Layout) {
+    // Physical file layout: where every section sits, then the payload
+    // tiles — the directly-addressable slices the zero-copy readers
+    // cursor over without touching the rest of the container.
+    std::printf("layout:\n");
+    std::printf("  %-12s %10s %10s\n", "section", "offset", "size");
+    for (const auto &[Name, Off, Size] : S->sectionLayout())
+      std::printf("  %-12s %10llu %10llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(Off),
+                  static_cast<unsigned long long>(Size));
+    std::printf("tiles:\n");
+    for (size_t I = 0; I != S->numFunctions(); ++I) {
+      auto [Off, Size] = S->functionTile(I);
+      std::printf("  %10llu %10llu  %s\n",
+                  static_cast<unsigned long long>(Off),
+                  static_cast<unsigned long long>(Size),
+                  std::string(S->functionName(I)).c_str());
+    }
   }
   return 0;
 }
@@ -420,8 +439,17 @@ int storeIngest(int argc, char **argv) {
 }
 
 int cmdStore(int argc, char **argv) {
+  bool Layout = cli::takeBoolFlag(argc, argv, "--layout");
+  if (const char *Flag = cli::firstFlag(argc, argv)) {
+    std::fprintf(stderr, "unknown option '%s'\n", Flag);
+    return usage();
+  }
   if (std::strcmp(argv[2], "inspect") == 0 && argc > 3)
-    return storeInspect(argv[3]);
+    return storeInspect(argv[3], Layout);
+  if (Layout) {
+    std::fprintf(stderr, "--layout only applies to store inspect\n");
+    return usage();
+  }
   if (std::strcmp(argv[2], "ingest") == 0)
     return storeIngest(argc, argv);
   return usage();
