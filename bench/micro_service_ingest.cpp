@@ -10,7 +10,10 @@
 // diverge — the CI smoke asserts both.
 //
 // CSSPGO_SCALE scales the per-host workload; CSSPGO_FLEET_HOSTS and
-// CSSPGO_FLEET_EPOCHS override the fleet shape.
+// CSSPGO_FLEET_EPOCHS override the fleet shape. CSSPGO_INGEST_MIN_SPEEDUP
+// additionally gates the best sharded-over-serial throughput ratio (exit
+// 1 below it; default 0 = off — wall-clock gates are opt-in, for quiet
+// dedicated hosts).
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +21,7 @@
 
 #include "service/ProfileService.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +66,7 @@ int main() {
   std::vector<std::string> Serial;
   bool AllIdentical = true;
   double SerialRate = 0;
+  double BestShardedRate = 0;
   for (unsigned K : {1u, 2u, 4u}) {
     ServiceConfig Run = SC;
     Run.Shards = K;
@@ -90,6 +95,7 @@ int main() {
       SerialRate = HostEpochRate;
     } else {
       Identical = Stores == Serial;
+      BestShardedRate = std::max(BestShardedRate, HostEpochRate);
     }
     AllIdentical &= Identical;
 
@@ -111,8 +117,20 @@ int main() {
     std::fprintf(stderr, "FAIL: zero ingestion throughput reported\n");
     return 1;
   }
+  double ShardSpeedup = BestShardedRate / SerialRate;
   std::printf("serial ingestion throughput: %.1f host-epochs/s "
-              "(nonzero, sharded passes bit-identical)\n",
-              SerialRate);
+              "(nonzero, sharded passes bit-identical); best sharded "
+              "speedup %.2fx\n",
+              SerialRate, ShardSpeedup);
+  double MinSpeedup = 0; // Off unless the environment opts in.
+  if (const char *Env = std::getenv("CSSPGO_INGEST_MIN_SPEEDUP"))
+    MinSpeedup = std::atof(Env);
+  if (ShardSpeedup < MinSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: best sharded ingestion is only %.2fx serial "
+                 "(minimum %.2fx)\n",
+                 ShardSpeedup, MinSpeedup);
+    return 1;
+  }
   return 0;
 }

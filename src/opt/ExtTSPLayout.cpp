@@ -2,11 +2,9 @@
 //
 // Profile-guided basic-block reordering using the Ext-TSP objective
 // (Newell & Pupyrev, "Improved Basic Block Reordering", ref [15] of the
-// paper). The score of a layout sums, over CFG edges (s -> t) with weight
-// w:
-//   - w               if t is placed directly after s (fallthrough);
-//   - w * 0.1 * (1 - d / 1024)  for short forward jumps of distance d;
-//   - w * 0.1 * (1 - d / 640)   for short backward jumps.
+// paper). The objective and the greedy chain solver live in
+// opt/ExtTSPCore.h, shared with the post-link optimizer, which runs the
+// same scorer over reconstructed binary CFGs.
 //
 // The optimizer greedily merges chains of blocks, always keeping the
 // entry chain first. With no profile, the pass keeps the natural order.
@@ -19,6 +17,7 @@
 
 #include "codegen/Lowering.h"
 #include "ir/CFG.h"
+#include "opt/ExtTSPCore.h"
 #include "opt/PassManager.h"
 
 #include <algorithm>
@@ -29,140 +28,12 @@ namespace csspgo {
 
 namespace {
 
-constexpr double ForwardWeight = 0.1;
-constexpr double BackwardWeight = 0.1;
-constexpr double ForwardDistance = 1024;
-constexpr double BackwardDistance = 640;
-
-struct Edge {
-  unsigned Src = 0;
-  unsigned Dst = 0;
-  double Weight = 0;
-};
-
 /// Byte size of a block when lowered (probes are free).
 uint64_t blockSize(const BasicBlock &BB) {
   uint64_t Size = 0;
   for (const Instruction &I : BB.Insts)
     Size += machineSizeOf(I.Op);
   return Size;
-}
-
-struct Chain {
-  std::vector<unsigned> Blocks;
-  uint64_t Size = 0;
-  bool ContainsEntry = false;
-};
-
-class ExtTSP {
-public:
-  ExtTSP(std::vector<uint64_t> Sizes, std::vector<Edge> Edges,
-         unsigned EntryIdx)
-      : Sizes(std::move(Sizes)), Edges(std::move(Edges)) {
-    for (unsigned I = 0; I != this->Sizes.size(); ++I) {
-      Chain C;
-      C.Blocks = {I};
-      C.Size = this->Sizes[I];
-      C.ContainsEntry = I == EntryIdx;
-      Chains.push_back(std::move(C));
-    }
-  }
-
-  std::vector<unsigned> run();
-
-private:
-  double scoreOfOrder(const std::vector<unsigned> &Order) const;
-  double scoreMerge(const Chain &A, const Chain &B) const;
-
-  std::vector<uint64_t> Sizes;
-  std::vector<Edge> Edges;
-  std::vector<Chain> Chains;
-};
-
-double ExtTSP::scoreOfOrder(const std::vector<unsigned> &Order) const {
-  // Offsets of each block in the tentative layout.
-  std::map<unsigned, uint64_t> Offset;
-  std::map<unsigned, uint64_t> EndOffset;
-  uint64_t Pos = 0;
-  for (unsigned B : Order) {
-    Offset[B] = Pos;
-    Pos += Sizes[B];
-    EndOffset[B] = Pos;
-  }
-  double Score = 0;
-  for (const Edge &E : Edges) {
-    auto SrcIt = EndOffset.find(E.Src);
-    auto DstIt = Offset.find(E.Dst);
-    if (SrcIt == EndOffset.end() || DstIt == Offset.end())
-      continue;
-    uint64_t SrcEnd = SrcIt->second;
-    uint64_t DstBegin = DstIt->second;
-    if (SrcEnd == DstBegin) {
-      Score += E.Weight;
-    } else if (DstBegin > SrcEnd) {
-      double D = static_cast<double>(DstBegin - SrcEnd);
-      if (D < ForwardDistance)
-        Score += E.Weight * ForwardWeight * (1.0 - D / ForwardDistance);
-    } else {
-      double D = static_cast<double>(SrcEnd - DstBegin);
-      if (D < BackwardDistance)
-        Score += E.Weight * BackwardWeight * (1.0 - D / BackwardDistance);
-    }
-  }
-  return Score;
-}
-
-double ExtTSP::scoreMerge(const Chain &A, const Chain &B) const {
-  std::vector<unsigned> Order = A.Blocks;
-  Order.insert(Order.end(), B.Blocks.begin(), B.Blocks.end());
-  return scoreOfOrder(Order);
-}
-
-std::vector<unsigned> ExtTSP::run() {
-  // Greedy chain merging: pick the pair/orientation with the best gain.
-  while (Chains.size() > 1) {
-    double BestGain = 0;
-    size_t BestA = 0, BestB = 0;
-    bool Found = false;
-    for (size_t I = 0; I != Chains.size(); ++I) {
-      for (size_t J = 0; J != Chains.size(); ++J) {
-        if (I == J)
-          continue;
-        // The entry chain can only be extended at its tail.
-        if (Chains[J].ContainsEntry)
-          continue;
-        double Base =
-            scoreOfOrder(Chains[I].Blocks) + scoreOfOrder(Chains[J].Blocks);
-        double Gain = scoreMerge(Chains[I], Chains[J]) - Base;
-        if (!Found || Gain > BestGain) {
-          BestGain = Gain;
-          BestA = I;
-          BestB = J;
-          Found = true;
-        }
-      }
-    }
-    if (!Found)
-      break;
-    // Merge B into A.
-    Chain &A = Chains[BestA];
-    Chain &B = Chains[BestB];
-    A.Blocks.insert(A.Blocks.end(), B.Blocks.begin(), B.Blocks.end());
-    A.Size += B.Size;
-    A.ContainsEntry |= B.ContainsEntry;
-    Chains.erase(Chains.begin() + static_cast<ptrdiff_t>(BestB));
-  }
-
-  // Entry chain first, then remaining chains by decreasing hotness proxy
-  // (we keep insertion order — remaining chains are cold).
-  std::stable_sort(Chains.begin(), Chains.end(),
-                   [](const Chain &X, const Chain &Y) {
-                     return X.ContainsEntry > Y.ContainsEntry;
-                   });
-  std::vector<unsigned> Order;
-  for (const Chain &C : Chains)
-    Order.insert(Order.end(), C.Blocks.begin(), C.Blocks.end());
-  return Order;
 }
 
 } // namespace
@@ -239,13 +110,13 @@ unsigned runExtTSPLayout(Function &F, const OptOptions &Opts) {
   }
 
   std::vector<uint64_t> Sizes;
-  std::vector<Edge> Edges;
+  std::vector<exttsp::Edge> Edges;
   for (unsigned I = 0; I != F.Blocks.size(); ++I) {
     BasicBlock *B = F.Blocks[I].get();
     Sizes.push_back(blockSize(*B));
     auto Succs = B->successors();
     for (unsigned S = 0; S != Succs.size(); ++S) {
-      Edge E;
+      exttsp::Edge E;
       E.Src = I;
       E.Dst = F.blockIndex(Succs[S]);
       E.Weight = B->HasCount ? static_cast<double>(B->succWeight(S)) : 0.0;
@@ -253,7 +124,7 @@ unsigned runExtTSPLayout(Function &F, const OptOptions &Opts) {
     }
   }
 
-  ExtTSP Solver(std::move(Sizes), std::move(Edges), 0);
+  exttsp::Solver Solver(std::move(Sizes), std::move(Edges), 0);
   std::vector<unsigned> Order = Solver.run();
   assert(Order.size() == F.Blocks.size() && "layout must be a permutation");
   if (Order.front() != 0)

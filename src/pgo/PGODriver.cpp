@@ -216,6 +216,99 @@ VariantOutcome PGODriver::run(PGOVariant V) {
   return Out;
 }
 
+PostLinkOutcome PGODriver::runPostLink(PGOVariant V,
+                                       const postlink::PostLinkOptions &Opts) {
+  PostLinkOutcome Out;
+  Out.Base = run(V);
+  const Binary &OptBin = *Out.Base.Build->Bin;
+
+  // Re-profile the deployed (optimized) binary on the training input —
+  // the samples a post-link optimizer consumes describe exactly the
+  // binary it rewrites, so the mapped-sample rate should be ~1.
+  std::vector<int64_t> TrainMem =
+      generateInput(Config.Workload, Config.TrainSeed);
+  ExecConfig Exec;
+  Exec.Sampler.Enabled = true;
+  Exec.Sampler.PeriodCycles = Config.SamplePeriodCycles;
+  Exec.Sampler.Precise = Config.PreciseSampling;
+  Exec.Sampler.Seed = Config.TrainSeed;
+  RunResult Train = execute(OptBin, "main", TrainMem, Exec);
+
+  // For probed binaries, also derive a flat probe profile from the same
+  // run: it backfills functions the LBR ring left dark.
+  ProfileBundle ProbeBundle;
+  const FlatProfile *FnProf = nullptr;
+  if (!OptBin.Probes.empty()) {
+    PipelineOptions ProbeOpts;
+    ProbeOpts.Kind = ProfGenKind::ProbeOnly;
+    ProbeOpts.Parallelism = Config.Parallelism;
+    ProbeOpts.Verify =
+        Config.VerifyProfiles ? VerifyLevel::Full : VerifyLevel::Off;
+    ProbeOpts.Strict = Config.VerifyStrict;
+    ProfilePipeline ProbePipe(ProbeOpts);
+    Expected<ProfileBundle> Generated = ProbePipe.generate(
+        OptBin, &Out.Base.Build->ProbeDescs, Train.Samples);
+    if (Generated) {
+      ProbeBundle = Generated.take();
+      FnProf = &ProbeBundle.Flat;
+    }
+  }
+
+  ProfilePipeline Pipeline(PipelineOptions().postLinkOptions(Opts));
+  Expected<postlink::PostLinkResult> Rewritten = Pipeline.postlink(
+      OptBin, Train.Samples, FnProf, Out.Base.Build->IR.get());
+  if (!Rewritten) {
+    // Same policy as strict verification: the input binary came straight
+    // out of our own linker, so a reconstruction failure is a bug.
+    std::fprintf(stderr, "csspgo: %s\n",
+                 Rewritten.status().message().c_str());
+    std::abort();
+  }
+  Out.Stats = Rewritten->Stats;
+  Out.Bin = std::move(Rewritten->Bin);
+
+  // Guarded rollout: the rewrite must strictly win on the training input
+  // (plain run, no sampling) or the variant's binary ships unmodified.
+  // Layout transforms trade modeled i-cache placement against extra
+  // branches, and an unlucky line alignment can flip the sign — the
+  // guard catches that with data the optimizer is allowed to see; the
+  // eval inputs stay untouched.
+  {
+    std::vector<int64_t> MemVariant =
+        generateInput(Config.Workload, Config.TrainSeed);
+    RunResult Variant = execute(OptBin, "main", MemVariant, {});
+    std::vector<int64_t> MemRewrite =
+        generateInput(Config.Workload, Config.TrainSeed);
+    RunResult Rewrite = execute(*Out.Bin, "main", MemRewrite, {});
+    Out.TrainCyclesVariant = Variant.Cycles;
+    Out.TrainCyclesRewrite = Rewrite.Cycles;
+    Out.RewriteKept = Rewrite.ExitValue == Variant.ExitValue &&
+                      Rewrite.Cycles < Variant.Cycles;
+    if (!Out.RewriteKept)
+      Out.Bin = std::make_unique<Binary>(OptBin);
+  }
+  Out.CodeSizeBytes = Out.Bin->textSize();
+
+  // Evaluate the rewritten binary on the exact inputs Base saw.
+  long double Sum = 0;
+  for (unsigned E = 0; E != Config.EvalRuns; ++E) {
+    std::vector<int64_t> EvalMem = generateInput(
+        Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
+    RunResult R = execute(*Out.Bin, "main", EvalMem, {});
+    Out.EvalCycles.push_back(R.Cycles);
+    Sum += R.Cycles;
+    if (E == 0) {
+      Out.ExitValue = R.ExitValue;
+      Out.EvalICacheMisses = R.ICacheMisses;
+      Out.EvalMispredicts = R.Mispredicts;
+      Out.EvalTakenBranches = R.TakenBranches;
+    }
+  }
+  Out.EvalCyclesMean =
+      Config.EvalRuns ? static_cast<double>(Sum / Config.EvalRuns) : 0;
+  return Out;
+}
+
 double PGODriver::improvementPct(const VariantOutcome &V,
                                  const VariantOutcome &Baseline) {
   if (!Baseline.EvalCyclesMean)

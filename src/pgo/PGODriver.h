@@ -18,6 +18,7 @@
 #define CSSPGO_PGO_PGODRIVER_H
 
 #include "pgo/BuildPipeline.h"
+#include "postlink/PostLinkOptimizer.h"
 #include "profgen/ProfileGenerator.h"
 #include "sim/Executor.h"
 #include "workload/ProgramGenerator.h"
@@ -115,6 +116,34 @@ struct VariantOutcome {
   std::unique_ptr<BuildResult> Build;
 };
 
+/// Outcome of a PGO variant with the post-link optimizer stacked on top:
+/// the variant's own outcome, the rewrite stats, and the rewritten
+/// binary's evaluation numbers (same inputs as Base's, so the two
+/// EvalCyclesMean values are directly comparable — the PGO vs PGO+BOLT
+/// axis of the ablation).
+struct PostLinkOutcome {
+  VariantOutcome Base;
+  postlink::PostLinkStats Stats;
+
+  /// Guarded rollout: modeled cycles of the variant's binary and of the
+  /// rewrite on the *training* input (no eval input is consulted). The
+  /// rewrite ships only when it strictly wins there; otherwise the
+  /// variant's binary ships unmodified and RewriteKept is false.
+  uint64_t TrainCyclesVariant = 0;
+  uint64_t TrainCyclesRewrite = 0;
+  bool RewriteKept = false;
+
+  double EvalCyclesMean = 0;
+  std::vector<uint64_t> EvalCycles;
+  int64_t ExitValue = 0; ///< Must equal Base.ExitValue (semantics check).
+  uint64_t CodeSizeBytes = 0;
+  uint64_t EvalICacheMisses = 0;
+  uint64_t EvalMispredicts = 0;
+  uint64_t EvalTakenBranches = 0;
+
+  std::unique_ptr<Binary> Bin; ///< The rewritten binary.
+};
+
 class PGODriver {
 public:
   explicit PGODriver(ExperimentConfig Config);
@@ -126,6 +155,15 @@ public:
 
   /// Runs the full pipeline for \p V. Results are deterministic.
   VariantOutcome run(PGOVariant V);
+
+  /// Runs \p V, then stacks the post-link optimizer on the optimized
+  /// binary: re-profiles it on the training input (the deployed-binary
+  /// samples BOLT consumes), rewrites it through
+  /// ProfilePipeline::postlink, and re-evaluates on the same eval inputs.
+  /// V == None gives the BOLT-only cell of the ablation; a PGO variant
+  /// gives the stacked cell.
+  PostLinkOutcome runPostLink(PGOVariant V,
+                              const postlink::PostLinkOptions &Opts = {});
 
   /// Percentage improvement of \p V over \p Baseline (positive = faster),
   /// computed from EvalCyclesMean.

@@ -176,4 +176,15 @@ Status ProfilePipeline::ingest(std::string &StoreBytes,
   return {};
 }
 
+Expected<postlink::PostLinkResult>
+ProfilePipeline::postlink(const Binary &Bin,
+                          const std::vector<PerfSample> &Samples,
+                          const FlatProfile *FnProf, const Module *IR) {
+  Expected<postlink::PostLinkResult> R =
+      postlink::runPostLink(Bin, Samples, FnProf, IR, Opts.PostLinkOpts);
+  if (R)
+    LastPostLink = R->Stats;
+  return R;
+}
+
 } // namespace csspgo

@@ -32,6 +32,7 @@
 
 #include "pgo/BuildPipeline.h"
 #include "pgo/PipelineStats.h"
+#include "postlink/PostLinkOptimizer.h"
 #include "profgen/ProfileGenerator.h"
 #include "support/Status.h"
 
@@ -75,6 +76,12 @@ struct PipelineOptions {
   uint32_t DecayPermille = 1000;
   bool CompactNames = false;
 
+  /// Run the post-link binary optimizer (reorder/split/fold) on the final
+  /// binary, BOLT-style. Consumers that own an executed binary call
+  /// ProfilePipeline::postLink when this is set.
+  bool PostLink = false;
+  postlink::PostLinkOptions PostLinkOpts;
+
   PipelineOptions &kind(ProfGenKind K) { Kind = K; return *this; }
   PipelineOptions &parallelism(unsigned N) { Parallelism = N; return *this; }
   PipelineOptions &inferMissingFrames(bool B) { InferMissingFrames = B; return *this; }
@@ -90,6 +97,12 @@ struct PipelineOptions {
   PipelineOptions &preInliner(bool B) { RunPreInliner = B; return *this; }
   PipelineOptions &decay(uint32_t Permille) { DecayPermille = Permille; return *this; }
   PipelineOptions &compactNames(bool B) { CompactNames = B; return *this; }
+  PipelineOptions &postLink(bool B) { PostLink = B; return *this; }
+  PipelineOptions &postLinkOptions(const postlink::PostLinkOptions &O) {
+    PostLinkOpts = O;
+    PostLink = true;
+    return *this;
+  }
 };
 
 class ProfilePipeline {
@@ -123,6 +136,16 @@ public:
   Status ingest(std::string &StoreBytes, const ProfileBundle &Profile,
                 uint64_t Timestamp);
 
+  /// Rewrites \p Bin with the post-link optimizer under the configured
+  /// PostLinkOpts: CFG reconstruction (identity-gated), profile mapping
+  /// from \p Samples (plus \p FnProf for LBR-dark functions, stale
+  /// profiles routed through the matcher when \p IR is given), then
+  /// fold / reorder / split and re-layout. The per-run stats are kept for
+  /// lastPostLink(). Errors mean "ship the input binary unmodified".
+  Expected<postlink::PostLinkResult>
+  postlink(const Binary &Bin, const std::vector<PerfSample> &Samples,
+           const FlatProfile *FnProf = nullptr, const Module *IR = nullptr);
+
   const PipelineOptions &options() const { return Opts; }
 
   /// Everything the stages observed so far, across all calls on this
@@ -140,12 +163,16 @@ public:
   /// last profile; Stats.Verify is the union over every check instead.
   const VerifyReport &lastVerify() const { return LastVerify; }
 
+  /// Stats of the most recent postlink() call on this pipeline.
+  const postlink::PostLinkStats &lastPostLink() const { return LastPostLink; }
+
 private:
   Status recordVerify(VerifyReport R, const std::string &What);
 
   PipelineOptions Opts;
   PipelineStats Stats;
   VerifyReport LastVerify;
+  postlink::PostLinkStats LastPostLink;
 };
 
 } // namespace csspgo

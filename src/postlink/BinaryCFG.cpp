@@ -1,0 +1,447 @@
+//===- postlink/BinaryCFG.cpp - Binary CFG reconstruction -----------------===//
+
+#include "postlink/BinaryCFG.h"
+
+#include "codegen/Lowering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace csspgo {
+namespace postlink {
+
+namespace {
+
+Status malformed(const std::string &What) {
+  return Status::error("postlink: malformed binary: " + What);
+}
+
+std::string at(size_t Idx) { return " (instruction " + std::to_string(Idx) + ")"; }
+
+/// A section range [Begin, End) of function \p Func.
+struct Section {
+  size_t Begin = 0, End = 0;
+  uint32_t Func = 0;
+  bool Cold = false;
+};
+
+/// Whole-binary validation. Every check here doubles as the fuzz
+/// harness's clean-rejection contract: a mutated binary must either pass
+/// (and round-trip) or fail with a diagnostic — never index out of
+/// bounds.
+Status validate(const Binary &Bin, std::vector<Section> &Sections) {
+  // The linker lays out all hot sections in function order, then all cold
+  // sections in function order, contiguously covering Code.
+  size_t Cursor = 0;
+  for (size_t F = 0; F != Bin.Funcs.size(); ++F) {
+    const MachineFunction &MF = Bin.Funcs[F];
+    if (MF.HotBegin != Cursor || MF.HotEnd < MF.HotBegin)
+      return malformed("hot section of '" + MF.Name + "' breaks layout order");
+    Cursor = MF.HotEnd;
+    if (MF.HotEnd > MF.HotBegin)
+      Sections.push_back({MF.HotBegin, MF.HotEnd,
+                          static_cast<uint32_t>(F), /*Cold=*/false});
+  }
+  for (size_t F = 0; F != Bin.Funcs.size(); ++F) {
+    const MachineFunction &MF = Bin.Funcs[F];
+    if (MF.ColdBegin != Cursor || MF.ColdEnd < MF.ColdBegin)
+      return malformed("cold section of '" + MF.Name + "' breaks layout order");
+    Cursor = MF.ColdEnd;
+    if (MF.ColdEnd > MF.ColdBegin)
+      Sections.push_back({MF.ColdBegin, MF.ColdEnd,
+                          static_cast<uint32_t>(F), /*Cold=*/true});
+    size_t WantEntry = MF.HotEnd > MF.HotBegin ? MF.HotBegin : MF.ColdBegin;
+    if (MF.EntryIdx != WantEntry)
+      return malformed("entry of '" + MF.Name + "' is not its section start");
+  }
+  if (Cursor != Bin.Code.size())
+    return malformed("sections do not cover the code stream");
+
+  // The indirect-call dispatch table must resolve before any CallIndirect
+  // can be trusted.
+  for (uint32_t Slot : Bin.FuncTable)
+    if (Slot >= Bin.Funcs.size())
+      return malformed("function table slot out of range");
+
+  for (const Section &S : Sections) {
+    const MachineFunction &MF = Bin.Funcs[S.Func];
+    for (size_t I = S.Begin; I != S.End; ++I) {
+      const MInst &MI = Bin.Code[I];
+      uint8_t Raw = static_cast<uint8_t>(MI.Op);
+      if (Raw > static_cast<uint8_t>(Opcode::InstrProfIncr) ||
+          MI.Op == Opcode::PseudoProbe)
+        return malformed("invalid opcode" + at(I));
+      if (MI.Size != machineSizeOf(MI.Op))
+        return malformed("encoded size disagrees with the opcode" + at(I));
+
+      bool IsBranch = MI.Op == Opcode::Br || MI.Op == Opcode::CondBr;
+      if (!IsBranch && MI.Target != -1)
+        return malformed("non-branch carries a branch target" + at(I));
+      if (IsBranch) {
+        if (MI.Target < 0 ||
+            static_cast<size_t>(MI.Target) >= Bin.Code.size() ||
+            !MF.containsIdx(static_cast<size_t>(MI.Target)))
+          return malformed("branch target escapes its function" + at(I));
+      }
+      if (MI.Op == Opcode::Call && MI.CalleeIdx >= Bin.Funcs.size())
+        return malformed("call to an out-of-range function" + at(I));
+      if (MI.Op == Opcode::CallIndirect && Bin.FuncTable.empty())
+        return malformed("indirect call without a function table" + at(I));
+
+      bool SectionFinal = I + 1 == S.End;
+      if (SectionFinal && MI.Op != Opcode::Br && MI.Op != Opcode::Ret)
+        return malformed("section falls through its end" + at(I));
+    }
+  }
+
+  // Addresses must be exactly what the linker's assignment loop produces
+  // (including its alignment behavior) — reassembly re-runs that loop, so
+  // a binary with a divergent address table cannot round-trip.
+  {
+    uint64_t Addr = Binary::BaseAddr;
+    size_t NextFuncStart = 0;
+    std::vector<size_t> FuncStarts;
+    for (const MachineFunction &MF : Bin.Funcs)
+      FuncStarts.push_back(MF.HotBegin);
+    for (size_t I = 0; I != Bin.Code.size(); ++I) {
+      if (NextFuncStart < FuncStarts.size() &&
+          I == FuncStarts[NextFuncStart]) {
+        Addr = (Addr + 15) & ~uint64_t(15);
+        ++NextFuncStart;
+      }
+      if (Bin.Code[I].Addr != Addr)
+        return malformed("address table is corrupt" + at(I));
+      Addr += Bin.Code[I].Size;
+    }
+  }
+
+  for (const ProbeRecord &P : Bin.Probes) {
+    if (P.FuncIdx >= Bin.Funcs.size() ||
+        !Bin.Funcs[P.FuncIdx].containsIdx(P.InstIdx))
+      return malformed("probe record detached from its function");
+  }
+  return Status();
+}
+
+} // namespace
+
+Expected<BinaryCFG> reconstructBinaryCFG(const Binary &Bin) {
+  std::vector<Section> Sections;
+  if (Status St = validate(Bin, Sections); !St)
+    return St;
+
+  BinaryCFG CFG;
+  CFG.Bin = &Bin;
+  CFG.Funcs.resize(Bin.Funcs.size());
+  CFG.BlockOfInst.assign(Bin.Code.size(), UINT32_MAX);
+
+  // Leader discovery: section starts, branch targets, and the instruction
+  // after any terminator. Validation guarantees targets stay inside the
+  // owning function, so every leader lands on a real section.
+  std::set<size_t> Leaders;
+  for (const Section &S : Sections) {
+    Leaders.insert(S.Begin);
+    for (size_t I = S.Begin; I != S.End; ++I) {
+      const MInst &MI = Bin.Code[I];
+      if (MI.Op == Opcode::Br || MI.Op == Opcode::CondBr)
+        Leaders.insert(static_cast<size_t>(MI.Target));
+      if (isTerminator(MI.Op) && I + 1 < S.End)
+        Leaders.insert(I + 1);
+    }
+  }
+
+  // Carve each section into blocks at the leaders. Sections are visited in
+  // layout order, so CFG.Blocks ends up sorted by Begin.
+  for (const Section &S : Sections) {
+    auto It = Leaders.lower_bound(S.Begin);
+    while (It != Leaders.end() && *It < S.End) {
+      size_t Begin = *It;
+      ++It;
+      size_t End = (It != Leaders.end() && *It < S.End) ? *It : S.End;
+      BBlock B;
+      B.Begin = Begin;
+      B.End = End;
+      B.Func = S.Func;
+      B.Cold = S.Cold;
+      for (size_t I = Begin; I != End; ++I) {
+        B.SizeBytes += Bin.Code[I].Size;
+        CFG.BlockOfInst[I] = static_cast<uint32_t>(CFG.Blocks.size());
+      }
+      CFG.Funcs[S.Func].Blocks.push_back(
+          static_cast<unsigned>(CFG.Blocks.size()));
+      if (!S.Cold)
+        ++CFG.Funcs[S.Func].NumHot;
+      CFG.Blocks.push_back(B);
+    }
+  }
+
+  // Successor edges from each block's last instruction.
+  for (BBlock &B : CFG.Blocks) {
+    const MInst &Last = Bin.Code[B.End - 1];
+    if (Last.Op == Opcode::Br) {
+      B.Taken = CFG.BlockOfInst[static_cast<size_t>(Last.Target)];
+    } else if (Last.Op == Opcode::CondBr) {
+      B.Taken = CFG.BlockOfInst[static_cast<size_t>(Last.Target)];
+      B.Fallthru = CFG.BlockOfInst[B.End]; // In-section by validation.
+    } else if (Last.Op != Opcode::Ret) {
+      // Leader split: the next instruction is a branch target.
+      B.Fallthru = CFG.BlockOfInst[B.End];
+    }
+  }
+  return CFG;
+}
+
+LayoutPlan identityLayout(const BinaryCFG &CFG) {
+  LayoutPlan Plan;
+  Plan.Funcs.resize(CFG.Funcs.size());
+  for (size_t F = 0; F != CFG.Funcs.size(); ++F) {
+    Plan.Funcs[F].Blocks = CFG.Funcs[F].Blocks;
+    Plan.Funcs[F].NumHot = CFG.Funcs[F].NumHot;
+  }
+  return Plan;
+}
+
+std::unique_ptr<Binary> reassemble(const BinaryCFG &CFG,
+                                   const LayoutPlan &Plan,
+                                   ReassembleStats *Stats) {
+  const Binary &Old = *CFG.Bin;
+  assert(Plan.Funcs.size() == Old.Funcs.size() && "plan shape mismatch");
+  ReassembleStats Local;
+  ReassembleStats &RS = Stats ? *Stats : Local;
+
+  auto RemapCallee = [&Plan](uint32_t Idx) {
+    return Plan.CalleeRemap.empty() ? Idx : Plan.CalleeRemap[Idx];
+  };
+
+  // Emit each function's instructions in plan order, repairing displaced
+  // fallthroughs. Targets are recorded as block ids and resolved to local
+  // indices once the function's layout is final.
+  struct LocalFunc {
+    std::vector<MInst> Insts;
+    size_t ColdStartLocal = 0;
+    std::vector<std::pair<size_t, unsigned>> Fixups; ///< inst -> block id.
+  };
+  std::vector<LocalFunc> Locals(Old.Funcs.size());
+  std::vector<size_t> LocalHead(CFG.Blocks.size(), SIZE_MAX);
+  std::vector<size_t> NewLocalOfOld(Old.Code.size(), SIZE_MAX);
+
+  for (size_t F = 0; F != Old.Funcs.size(); ++F) {
+    const FuncLayout &FL = Plan.Funcs[F];
+    LocalFunc &LF = Locals[F];
+    auto Synthesize = [&](const MInst &Like, unsigned DestBlock) {
+      MInst Br;
+      Br.Op = Opcode::Br;
+      Br.Size = machineSizeOf(Opcode::Br);
+      Br.DL = Like.DL;
+      Br.OriginGuid = Like.OriginGuid;
+      Br.InlineId = Like.InlineId;
+      LF.Insts.push_back(std::move(Br));
+      LF.Fixups.emplace_back(LF.Insts.size() - 1, DestBlock);
+      ++RS.BranchesSynthesized;
+    };
+
+    for (size_t BI = 0; BI != FL.Blocks.size(); ++BI) {
+      if (BI == FL.NumHot)
+        LF.ColdStartLocal = LF.Insts.size();
+      unsigned BId = FL.Blocks[BI];
+      const BBlock &B = CFG.Blocks[BId];
+      LocalHead[BId] = LF.Insts.size();
+      for (size_t I = B.Begin; I != B.End; ++I) {
+        MInst MI = Old.Code[I];
+        if (MI.Op == Opcode::Call && MI.CalleeIdx != ~0u)
+          MI.CalleeIdx = RemapCallee(MI.CalleeIdx);
+        NewLocalOfOld[I] = LF.Insts.size();
+        LF.Insts.push_back(std::move(MI));
+      }
+
+      // The block's control-flow exit against its new layout neighbor.
+      bool LastInSection =
+          BI < FL.NumHot ? BI + 1 == FL.NumHot : BI + 1 == FL.Blocks.size();
+      int64_t NextB = LastInSection
+                          ? -1
+                          : static_cast<int64_t>(FL.Blocks[BI + 1]);
+      size_t LastLocal = LF.Insts.size() - 1;
+      const MInst &Last = LF.Insts[LastLocal];
+      if (Last.Op == Opcode::Br) {
+        LF.Fixups.emplace_back(LastLocal, static_cast<unsigned>(B.Taken));
+      } else if (Last.Op == Opcode::CondBr) {
+        if (B.Fallthru == NextB) {
+          LF.Fixups.emplace_back(LastLocal, static_cast<unsigned>(B.Taken));
+        } else if (B.Taken == NextB) {
+          // The taken target became the layout successor: invert the
+          // condition so the old fallthrough becomes the explicit target.
+          LF.Insts[LastLocal].InvertCond = !LF.Insts[LastLocal].InvertCond;
+          LF.Fixups.emplace_back(LastLocal,
+                                 static_cast<unsigned>(B.Fallthru));
+          ++RS.BranchesFlipped;
+        } else {
+          LF.Fixups.emplace_back(LastLocal, static_cast<unsigned>(B.Taken));
+          Synthesize(LF.Insts[LastLocal],
+                     static_cast<unsigned>(B.Fallthru));
+        }
+      } else if (B.Fallthru >= 0 && B.Fallthru != NextB) {
+        Synthesize(LF.Insts[LastLocal], static_cast<unsigned>(B.Fallthru));
+      }
+    }
+    if (FL.NumHot >= FL.Blocks.size())
+      LF.ColdStartLocal = LF.Insts.size();
+    for (const auto &[InstIdx, BId] : LF.Fixups)
+      LF.Insts[InstIdx].Target = static_cast<int64_t>(LocalHead[BId]);
+  }
+
+  // Relink: the linker's passes 1-3 verbatim (minus the hotness reorder in
+  // pass 0 — function order is an input here — and minus counter
+  // re-basing, which already happened when the input binary was linked).
+  auto Bin = std::make_unique<Binary>();
+
+  struct Placement {
+    size_t HotBase = 0;
+    size_t ColdBase = 0;
+    size_t ColdStartLocal = 0;
+  };
+  std::vector<Placement> Places(Locals.size());
+  size_t GlobalIdx = 0;
+  for (size_t F = 0; F != Locals.size(); ++F) {
+    Places[F].HotBase = GlobalIdx;
+    Places[F].ColdStartLocal = Locals[F].ColdStartLocal;
+    GlobalIdx += Locals[F].ColdStartLocal;
+  }
+  for (size_t F = 0; F != Locals.size(); ++F) {
+    Places[F].ColdBase = GlobalIdx;
+    GlobalIdx += Locals[F].Insts.size() - Locals[F].ColdStartLocal;
+  }
+  auto MapLocal = [&Places](size_t F, size_t Local) {
+    const Placement &P = Places[F];
+    return Local < P.ColdStartLocal ? P.HotBase + Local
+                                    : P.ColdBase + (Local - P.ColdStartLocal);
+  };
+
+  Bin->Code.resize(GlobalIdx);
+  for (size_t F = 0; F != Locals.size(); ++F) {
+    LocalFunc &LF = Locals[F];
+    MachineFunction MF = Old.Funcs[F]; // Name, params, counters, inline table.
+    MF.HotBegin = Places[F].HotBase;
+    MF.HotEnd = Places[F].HotBase + LF.ColdStartLocal;
+    MF.ColdBegin = Places[F].ColdBase;
+    MF.ColdEnd =
+        Places[F].ColdBase + (LF.Insts.size() - LF.ColdStartLocal);
+    MF.EntryIdx = MF.HotEnd > MF.HotBegin ? MF.HotBegin : MF.ColdBegin;
+    Bin->Funcs.push_back(std::move(MF));
+
+    for (size_t L = 0; L != LF.Insts.size(); ++L) {
+      MInst MI = std::move(LF.Insts[L]);
+      if (MI.Target >= 0)
+        MI.Target =
+            static_cast<int64_t>(MapLocal(F, static_cast<size_t>(MI.Target)));
+      Bin->Code[MapLocal(F, L)] = std::move(MI);
+    }
+  }
+
+  // Probe records follow their instructions; probes of dropped (folded)
+  // bodies vanish with them. Emission order matches the linker's: grouped
+  // by function, original order within.
+  for (size_t F = 0; F != Locals.size(); ++F)
+    for (const ProbeRecord &Old_ : Old.Probes) {
+      if (Old_.FuncIdx != F || NewLocalOfOld[Old_.InstIdx] == SIZE_MAX)
+        continue;
+      ProbeRecord P = Old_;
+      P.InstIdx = MapLocal(F, NewLocalOfOld[Old_.InstIdx]);
+      Bin->Probes.push_back(P);
+    }
+
+  Bin->DebugNames = Old.DebugNames;
+  Bin->NumCounters = Old.NumCounters;
+  Bin->CounterOwners = Old.CounterOwners;
+  Bin->FuncTable.reserve(Old.FuncTable.size());
+  for (uint32_t Slot : Old.FuncTable)
+    Bin->FuncTable.push_back(RemapCallee(Slot));
+
+  // Pass 3: assign addresses. 16-byte alignment at hot function starts.
+  uint64_t Addr = Binary::BaseAddr;
+  size_t NextFuncStart = 0;
+  std::vector<size_t> FuncStarts;
+  for (const MachineFunction &MF : Bin->Funcs)
+    FuncStarts.push_back(MF.HotBegin);
+  for (size_t I = 0; I != Bin->Code.size(); ++I) {
+    if (NextFuncStart < FuncStarts.size() &&
+        I == FuncStarts[NextFuncStart]) {
+      Addr = (Addr + 15) & ~uint64_t(15);
+      ++NextFuncStart;
+    }
+    Bin->Code[I].Addr = Addr;
+    Addr += Bin->Code[I].Size;
+  }
+  Bin->buildAddrIndex();
+  return Bin;
+}
+
+//===----------------------------------------------------------------------===//
+// Identity comparison.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool instsEqual(const MInst &A, const MInst &B) {
+  return A.Op == B.Op && A.Dst == B.Dst && A.A == B.A && A.B == B.B &&
+         A.C == B.C && A.Args == B.Args && A.CalleeIdx == B.CalleeIdx &&
+         A.IsTailCall == B.IsTailCall && A.InvertCond == B.InvertCond &&
+         A.Target == B.Target && A.CounterIdx == B.CounterIdx &&
+         A.CallSiteId == B.CallSiteId && A.Size == B.Size &&
+         A.Addr == B.Addr && A.DL == B.DL && A.OriginGuid == B.OriginGuid &&
+         A.InlineId == B.InlineId;
+}
+
+bool funcsEqual(const MachineFunction &A, const MachineFunction &B) {
+  return A.Name == B.Name && A.Guid == B.Guid &&
+         A.NumParams == B.NumParams && A.NumRegs == B.NumRegs &&
+         A.HotBegin == B.HotBegin && A.HotEnd == B.HotEnd &&
+         A.ColdBegin == B.ColdBegin && A.ColdEnd == B.ColdEnd &&
+         A.EntryIdx == B.EntryIdx && A.InlineTable == B.InlineTable &&
+         A.CounterBase == B.CounterBase && A.NumCounters == B.NumCounters;
+}
+
+bool probesEqual(const ProbeRecord &A, const ProbeRecord &B) {
+  return A.Guid == B.Guid && A.ProbeId == B.ProbeId &&
+         A.InlineId == B.InlineId && A.FuncIdx == B.FuncIdx &&
+         A.InstIdx == B.InstIdx && A.IsCallProbe == B.IsCallProbe;
+}
+
+bool fail(std::string *Why, const std::string &What) {
+  if (Why)
+    *Why = What;
+  return false;
+}
+
+} // namespace
+
+bool binariesIdentical(const Binary &A, const Binary &B, std::string *Why) {
+  if (A.Code.size() != B.Code.size())
+    return fail(Why, "instruction counts differ");
+  for (size_t I = 0; I != A.Code.size(); ++I)
+    if (!instsEqual(A.Code[I], B.Code[I]))
+      return fail(Why, "instruction " + std::to_string(I) + " differs");
+  if (A.Funcs.size() != B.Funcs.size())
+    return fail(Why, "function counts differ");
+  for (size_t F = 0; F != A.Funcs.size(); ++F)
+    if (!funcsEqual(A.Funcs[F], B.Funcs[F]))
+      return fail(Why, "function '" + A.Funcs[F].Name + "' differs");
+  if (A.Probes.size() != B.Probes.size())
+    return fail(Why, "probe counts differ");
+  for (size_t P = 0; P != A.Probes.size(); ++P)
+    if (!probesEqual(A.Probes[P], B.Probes[P]))
+      return fail(Why, "probe record " + std::to_string(P) + " differs");
+  if (A.DebugNames != B.DebugNames)
+    return fail(Why, "debug name tables differ");
+  if (A.FuncTable != B.FuncTable)
+    return fail(Why, "function tables differ");
+  if (A.NumCounters != B.NumCounters)
+    return fail(Why, "counter counts differ");
+  if (A.CounterOwners != B.CounterOwners)
+    return fail(Why, "counter ownership differs");
+  return true;
+}
+
+} // namespace postlink
+} // namespace csspgo

@@ -1,0 +1,131 @@
+//===- postlink/BinaryCFG.h - Binary CFG reconstruction ---------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disassembly side of the post-link optimizer (BOLT stage 1): rebuild a
+/// basic-block CFG from a linked Binary's byte-accurate machine encoding,
+/// and reassemble a (possibly reordered) block layout back into a Binary
+/// through the linker's exact layout algorithm.
+///
+/// Reconstruction performs whole-binary validation first — section ranges,
+/// branch-target containment, per-opcode encoding sizes, the recomputable
+/// address table, probe attachment — and returns a clean error Status on
+/// any violation instead of crashing; the fuzz harness feeds it mutated
+/// binaries and requires exactly that behavior. On a well-formed binary,
+/// the round trip reassemble(identityLayout(CFG)) reproduces the input
+/// field for field (binariesIdentical), which is the subsystem's
+/// correctness gate: every transform is expressed as a layout plan, so an
+/// identity plan proving lossless disassembly proves the rewriter never
+/// invents or loses encoding state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_POSTLINK_BINARYCFG_H
+#define CSSPGO_POSTLINK_BINARYCFG_H
+
+#include "codegen/MachineModule.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+namespace postlink {
+
+/// One reconstructed basic block: the contiguous instruction run
+/// [Begin, End) within one section of one function. Control leaves the
+/// block either through the explicit branch of its last instruction
+/// (Taken) or by falling through to the next block in layout (Fallthru).
+struct BBlock {
+  size_t Begin = 0, End = 0; ///< Global instruction indices, End exclusive.
+  uint32_t Func = 0;         ///< Owning function (Binary::Funcs index).
+  bool Cold = false;         ///< Lives in the function's cold section.
+  uint64_t SizeBytes = 0;    ///< Encoded byte size of the block.
+
+  /// Successor blocks as indices into BinaryCFG::Blocks; -1 when absent.
+  /// Taken is the Br target or the CondBr taken target; Fallthru is the
+  /// layout successor (CondBr not-taken, or a plain leader split — the
+  /// block ends because the next instruction is a branch target).
+  int64_t Taken = -1;
+  int64_t Fallthru = -1;
+};
+
+/// Blocks of one function, layout order; the hot-section blocks form the
+/// prefix [0, NumHot) of Blocks.
+struct FuncBlocks {
+  std::vector<unsigned> Blocks; ///< Indices into BinaryCFG::Blocks.
+  size_t NumHot = 0;
+};
+
+/// The reconstructed whole-binary CFG. Valid only as long as the Binary it
+/// was built from.
+struct BinaryCFG {
+  const Binary *Bin = nullptr;
+  std::vector<BBlock> Blocks;      ///< Global layout order.
+  std::vector<FuncBlocks> Funcs;   ///< Parallel to Bin->Funcs.
+  /// Block index owning each instruction (UINT32_MAX for none — cannot
+  /// happen on a validated binary).
+  std::vector<uint32_t> BlockOfInst;
+
+  const BBlock &blockOf(size_t InstIdx) const {
+    return Blocks[BlockOfInst[InstIdx]];
+  }
+};
+
+/// Validates \p Bin (clean Status error on any malformed encoding — sizes,
+/// targets, section ranges, addresses, probes) and reconstructs its CFG:
+/// leaders are section starts, branch targets and post-terminator
+/// instructions; fallthrough edges follow the layout.
+Expected<BinaryCFG> reconstructBinaryCFG(const Binary &Bin);
+
+/// A re-layout plan for one function: its blocks in the new order (entry
+/// block first) with the first NumHot blocks in the hot section. An empty
+/// Blocks list drops the function's body (identical-code folding).
+struct FuncLayout {
+  std::vector<unsigned> Blocks; ///< BinaryCFG block indices.
+  size_t NumHot = 0;
+};
+
+/// A whole-binary re-layout plan.
+struct LayoutPlan {
+  std::vector<FuncLayout> Funcs; ///< Parallel to BinaryCFG::Funcs.
+  /// Optional call redirection (identical-code folding): new Funcs index
+  /// for each original CalleeIdx / FuncTable slot. Empty = identity.
+  std::vector<uint32_t> CalleeRemap;
+};
+
+/// The plan that reproduces \p CFG's binary unchanged.
+LayoutPlan identityLayout(const BinaryCFG &CFG);
+
+/// What reassembly had to repair while realizing a plan.
+struct ReassembleStats {
+  unsigned BranchesFlipped = 0;     ///< CondBr conditions inverted.
+  unsigned BranchesSynthesized = 0; ///< Br instructions materialized.
+};
+
+/// Reassembles \p CFG's binary under \p Plan: blocks are emitted in plan
+/// order, displaced fallthroughs are repaired (CondBr inversion when the
+/// taken target became the layout successor, otherwise a synthesized Br),
+/// branch targets and probe records are remapped, and the result is
+/// re-laid-out with the linker's exact address-assignment algorithm.
+/// Counters, the function table (after CalleeRemap), debug names and all
+/// per-function metadata carry over.
+std::unique_ptr<Binary> reassemble(const BinaryCFG &CFG,
+                                   const LayoutPlan &Plan,
+                                   ReassembleStats *Stats = nullptr);
+
+/// Field-for-field equality of two binaries — code (every MInst field,
+/// including addresses and symbolization metadata), functions, probes,
+/// tables and counter ownership. On mismatch, \p Why (when given) receives
+/// a description of the first difference.
+bool binariesIdentical(const Binary &A, const Binary &B,
+                       std::string *Why = nullptr);
+
+} // namespace postlink
+} // namespace csspgo
+
+#endif // CSSPGO_POSTLINK_BINARYCFG_H

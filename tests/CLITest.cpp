@@ -65,6 +65,12 @@ TEST(CLIGolden, HelpRun) {
             std::string("usage: csspgo_exp run <workload> <variant> [scale]\n"
                         "  end-to-end PGO run\n"
                         "\n"
+                        "with --postlink, additionally stacks the post-link "
+                        "optimizer on\n"
+                        "the optimized binary (the `bolt` pipeline with "
+                        "default knobs) and\n"
+                        "reports both measurements.\n"
+                        "\n"
                         "with --json, prints one machine-readable object "
                         "instead: the run\n"
                         "header plus the unified pipeline stats (profgen, "
@@ -72,6 +78,35 @@ TEST(CLIGolden, HelpRun) {
                         "verify) in stable key order.\n"
                         "\n") +
                 GlobalBlock);
+}
+
+TEST(CLIGolden, HelpBolt) {
+  EXPECT_EQ(
+      helpFor("bolt"),
+      std::string(
+          "usage: csspgo_exp bolt <workload> <variant> [scale]\n"
+          "  post-link optimize the variant's binary, then re-evaluate\n"
+          "\n"
+          "rewrites the already-linked binary BOLT-style: reconstructs "
+          "the\n"
+          "binary CFG (gated on a byte-identical disassemble->reassemble\n"
+          "round trip), maps training-run LBR samples onto it, folds\n"
+          "identical bodies, reorders blocks along Ext-TSP and splits\n"
+          "never-executed code into the cold region. `bolt <workload> "
+          "none`\n"
+          "is the BOLT-only ablation cell; a PGO variant gives the "
+          "stacked\n"
+          "PGO+BOLT cell.\n"
+          "\n"
+          "flags:\n"
+          "  --no-fold       keep duplicate function bodies\n"
+          "  --no-reorder    keep the compiler's block layout\n"
+          "  --no-split      keep never-executed code in the hot section\n"
+          "  --min-mapped P  permille of LBR endpoints that must resolve\n"
+          "                  before the layout transforms run (default "
+          "500)\n"
+          "\n") +
+          GlobalBlock);
 }
 
 TEST(CLIGolden, HelpProfile) {
@@ -191,7 +226,7 @@ TEST(CLIGolden, UsageListsEverySubcommandAndEndsWithGlobals) {
   std::string U = cli::usageText();
   size_t Count = 0;
   const cli::SubcommandInfo *Subs = cli::subcommands(Count);
-  EXPECT_EQ(Count, 10u);
+  EXPECT_EQ(Count, 11u);
   size_t Prev = 0;
   for (size_t I = 0; I != Count; ++I) {
     size_t Pos = U.find(std::string("csspgo_exp ") + Subs[I].Name);
@@ -274,7 +309,11 @@ TEST(CLIFlags, FindSubcommandAndMinOperands) {
   const cli::SubcommandInfo *Run = cli::findSubcommand("run");
   ASSERT_NE(Run, nullptr);
   EXPECT_EQ(Run->MinOperands, 2);
-  EXPECT_FALSE(Run->LocalFlags);
+  EXPECT_TRUE(Run->LocalFlags); // run parses --postlink itself.
+  const cli::SubcommandInfo *Bolt = cli::findSubcommand("bolt");
+  ASSERT_NE(Bolt, nullptr);
+  EXPECT_EQ(Bolt->MinOperands, 2);
+  EXPECT_TRUE(Bolt->LocalFlags);
   const cli::SubcommandInfo *Serve = cli::findSubcommand("serve");
   ASSERT_NE(Serve, nullptr);
   EXPECT_TRUE(Serve->LocalFlags);

@@ -1,7 +1,11 @@
 //===- tests/SimModelTest.cpp - cost model & PMU unit tests -----*- C++ -*-===//
 
+#include "TestHelpers.h"
+#include "codegen/Lowering.h"
 #include "sim/CostModel.h"
 #include "sim/Sampler.h"
+
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -138,4 +142,155 @@ TEST(CostModel, ExpensiveOpsCostMore) {
       << "probes must be free at run time";
   EXPECT_GT(CM.baseCost(Opcode::InstrProfIncr), CM.baseCost(Opcode::Add))
       << "counters must cost real cycles";
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-function / region-boundary i-cache accounting.
+//
+// These pin the layout-sensitive half of the cost model that post-link
+// hot/cold splitting and function reordering rely on: a 64-byte line is
+// charged exactly once no matter how many function or section boundaries
+// cross it, untouched bytes interleaved with executed code are never
+// charged, and relocating a region (hot -> far cold) changes i-cache cost
+// and nothing else.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Distinct 64-byte i-cache lines containing at least one executed
+/// instruction (requires ExecConfig::CollectInstCounts).
+uint64_t executedLines(const Binary &Bin, const RunResult &R,
+                       uint64_t LineBytes) {
+  std::set<uint64_t> Lines;
+  for (size_t I = 0; I != Bin.Code.size(); ++I)
+    if (R.InstCounts[I])
+      Lines.insert(Bin.Code[I].Addr / LineBytes);
+  return Lines.size();
+}
+
+/// callee: straight-line chain of \p CalleeAdds adds; main: calls callee
+/// once and returns its value; optional filler: large never-called body
+/// whose hot section pads the distance to the cold region.
+std::unique_ptr<Module> makeCallPairModule(int CalleeAdds, bool WithFiller) {
+  auto M = std::make_unique<Module>("regions");
+
+  Function *Callee = M->createFunction("callee", 1);
+  {
+    Builder B(Callee);
+    BasicBlock *E = Callee->createBlock("entry");
+    B.setInsertBlock(E);
+    RegId R = B.emitBinary(Opcode::Add, Operand::reg(0), Operand::imm(1));
+    for (int I = 1; I < CalleeAdds; ++I)
+      R = B.emitBinary(Opcode::Add, Operand::reg(R), Operand::imm(1));
+    B.emitRet(Operand::reg(R));
+  }
+
+  Function *Main = M->createFunction("main", 0);
+  {
+    Builder B(Main);
+    BasicBlock *E = Main->createBlock("entry");
+    B.setInsertBlock(E);
+    RegId V = B.emitCall("callee", {Operand::imm(5)});
+    B.emitRet(Operand::reg(V));
+  }
+
+  if (WithFiller) {
+    Function *Filler = M->createFunction("filler", 0);
+    Builder B(Filler);
+    BasicBlock *E = Filler->createBlock("entry");
+    B.setInsertBlock(E);
+    RegId R = B.emitConst(0);
+    for (int I = 0; I != 64; ++I)
+      R = B.emitBinary(Opcode::Add, Operand::reg(R), Operand::imm(1));
+    B.emitRet(Operand::reg(R));
+  }
+
+  M->EntryFunction = "main";
+  return M;
+}
+
+RunResult runCounted(const Binary &Bin) {
+  ExecConfig Config;
+  Config.CollectInstCounts = true;
+  std::vector<int64_t> Memory(256, 0);
+  return execute(Bin, "main", Memory, Config);
+}
+
+} // namespace
+
+TEST(RegionBoundary, SharedLineAtFunctionBoundaryChargedOnce) {
+  // Two tiny functions whose sections share one 64-byte line: the call
+  // into callee and the return fallthrough back into main cross a
+  // function boundary twice, but the line is charged exactly once.
+  auto M = makeCallPairModule(/*CalleeAdds=*/1, /*WithFiller=*/false);
+  verifyOrDie(*M, "call pair");
+  auto Bin = compileToBinary(*M);
+  ASSERT_LE(Bin->textSize(), 64u)
+      << "layout drifted; shrink the module so both functions share a line";
+
+  RunResult R = runCounted(*Bin);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  CostModel CM;
+  ASSERT_EQ(executedLines(*Bin, R, CM.ICacheLineBytes), 1u);
+  EXPECT_EQ(R.ICacheMisses, 1u)
+      << "a line shared across a function boundary must be charged once";
+}
+
+TEST(RegionBoundary, MissesEqualExecutedLineFootprintWithDeadBytes) {
+  // Branchy program far below i-cache capacity: every miss is a cold miss,
+  // so the miss count must equal the number of distinct lines containing
+  // executed instructions -- lines are charged on first touch even when
+  // partially filled with never-executed (dead) bytes, and never re-charged
+  // across call/return/branch boundaries.
+  auto M = csspgo::testing::makeCallerModule(/*Iters=*/200);
+  auto Bin = compileToBinary(*M);
+  RunResult R = runCounted(*Bin);
+  ASSERT_TRUE(R.Completed) << R.Error;
+
+  CostModel CM;
+  ASSERT_LT(Bin->textSize() / CM.ICacheLineBytes + 1,
+            (uint64_t)CM.ICacheLines)
+      << "program must fit in cache so every miss is a cold miss";
+  EXPECT_EQ(R.ICacheMisses, executedLines(*Bin, R, CM.ICacheLineBytes));
+}
+
+TEST(RegionBoundary, ColdRegionMoveChangesOnlyICache) {
+  // The invariant hot/cold splitting relies on: relocating a function body
+  // from the hot region to the far cold region (past a large filler) may
+  // only change i-cache behaviour. Instruction count, branch counts,
+  // mispredicts and semantics are layout-independent, and the cycle delta
+  // is exactly the extra cold misses times the miss penalty.
+  auto M = makeCallPairModule(/*CalleeAdds=*/26, /*WithFiller=*/true);
+  verifyOrDie(*M, "call pair with filler");
+  std::vector<LoweredFunction> Lowered = lowerModule(*M);
+
+  std::vector<LoweredFunction> ColdLowered = Lowered;
+  for (LoweredFunction &LF : ColdLowered)
+    if (LF.Name == "callee")
+      LF.ColdStartLocal = 0; // whole body into the cold region
+
+  auto HotBin = linkBinary(std::move(Lowered));
+  auto ColdBin = linkBinary(std::move(ColdLowered));
+
+  RunResult Hot = runCounted(*HotBin);
+  RunResult Cold = runCounted(*ColdBin);
+  ASSERT_TRUE(Hot.Completed) << Hot.Error;
+  ASSERT_TRUE(Cold.Completed) << Cold.Error;
+
+  EXPECT_EQ(Cold.ExitValue, Hot.ExitValue);
+  EXPECT_EQ(Cold.Instructions, Hot.Instructions);
+  EXPECT_EQ(Cold.TakenBranches, Hot.TakenBranches);
+  EXPECT_EQ(Cold.CondBranches, Hot.CondBranches);
+  EXPECT_EQ(Cold.Mispredicts, Hot.Mispredicts);
+
+  CostModel CM;
+  uint64_t HotLines = executedLines(*HotBin, Hot, CM.ICacheLineBytes);
+  uint64_t ColdLines = executedLines(*ColdBin, Cold, CM.ICacheLineBytes);
+  EXPECT_GT(ColdLines, HotLines)
+      << "the far cold copy must stop sharing lines with main";
+  EXPECT_EQ(Hot.ICacheMisses, HotLines);
+  EXPECT_EQ(Cold.ICacheMisses, ColdLines);
+  EXPECT_EQ(Cold.Cycles - Hot.Cycles,
+            (Cold.ICacheMisses - Hot.ICacheMisses) * CM.ICacheMissPenalty)
+      << "relocation must cost exactly the extra cold misses";
 }

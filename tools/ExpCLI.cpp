@@ -21,10 +21,31 @@ namespace {
 
 const SubcommandInfo Table[] = {
     {"run", "<workload> <variant> [scale]", "end-to-end PGO run", 2,
+     "with --postlink, additionally stacks the post-link optimizer on\n"
+     "the optimized binary (the `bolt` pipeline with default knobs) and\n"
+     "reports both measurements.\n"
+     "\n"
      "with --json, prints one machine-readable object instead: the run\n"
      "header plus the unified pipeline stats (profgen, reduce, loader,\n"
      "verify) in stable key order.",
-     false},
+     true},
+    {"bolt", "<workload> <variant> [scale]",
+     "post-link optimize the variant's binary, then re-evaluate", 2,
+     "rewrites the already-linked binary BOLT-style: reconstructs the\n"
+     "binary CFG (gated on a byte-identical disassemble->reassemble\n"
+     "round trip), maps training-run LBR samples onto it, folds\n"
+     "identical bodies, reorders blocks along Ext-TSP and splits\n"
+     "never-executed code into the cold region. `bolt <workload> none`\n"
+     "is the BOLT-only ablation cell; a PGO variant gives the stacked\n"
+     "PGO+BOLT cell.\n"
+     "\n"
+     "flags:\n"
+     "  --no-fold       keep duplicate function bodies\n"
+     "  --no-reorder    keep the compiler's block layout\n"
+     "  --no-split      keep never-executed code in the hot section\n"
+     "  --min-mapped P  permille of LBR endpoints that must resolve\n"
+     "                  before the layout transforms run (default 500)",
+     true},
     {"profile", "<workload> <variant> [scale]", "print the profile text", 2,
      nullptr, false},
     {"compare", "<workload> [scale]", "all variants side by side", 1, nullptr,

@@ -4,6 +4,7 @@
 
 #include "matcher/StaleMatcher.h"
 #include "pgo/BuildPipeline.h"
+#include "postlink/BinaryCFG.h"
 #include "profgen/ProfileGenerator.h"
 #include "profile/ProfileIO.h"
 #include "profile/ProfileMerge.h"
@@ -552,6 +553,90 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
       Err = "borrowed open accepted a bit flip at byte " +
             std::to_string(Pos);
       return false;
+    }
+  }
+
+  // --- 10. Post-link round trip: identity or clean rejection -----------
+  // The binary rewriter's whole-binary validation is the crash barrier the
+  // post-link optimizer stands on: a linker-produced binary must
+  // reconstruct and reassemble to field-for-field identity, and a
+  // structurally mutated binary must either be rejected with a diagnostic
+  // or — when the mutation happens to leave it well-formed — still round
+  // trip losslessly. Nothing in between, and never a crash.
+  {
+    Expected<postlink::BinaryCFG> CFG =
+        postlink::reconstructBinaryCFG(*Build.Bin);
+    if (!CFG) {
+      Err = "post-link reconstruction rejected a linker-produced binary: " +
+            CFG.status().message();
+      return false;
+    }
+    std::unique_ptr<Binary> Again =
+        postlink::reassemble(*CFG, postlink::identityLayout(*CFG));
+    std::string Why;
+    if (!postlink::binariesIdentical(*Build.Bin, *Again, &Why)) {
+      Err = "post-link identity round trip is lossy: " + Why;
+      return false;
+    }
+
+    for (int M = 0; M != 6; ++M) {
+      Binary Mut = *Build.Bin;
+      size_t I = R.nextBelow(Mut.Code.size());
+      switch (R.nextBelow(8)) {
+      case 0: // Branch-target corruption / target planted on a non-branch.
+        Mut.Code[I].Target =
+            static_cast<int64_t>(R.nextBelow(Mut.Code.size() + 7)) - 3;
+        break;
+      case 1: // Encoded size disagreeing with the opcode.
+        Mut.Code[I].Size = static_cast<uint8_t>(1 + R.nextBelow(9));
+        break;
+      case 2: // Address-table corruption.
+        Mut.Code[I].Addr ^= uint64_t(1) << R.nextBelow(12);
+        break;
+      case 3: // Opcode corruption (any byte; scoped enums hold them all).
+        Mut.Code[I].Op = static_cast<Opcode>(R.nextBelow(64));
+        break;
+      case 4: { // Section-bound / entry corruption.
+        MachineFunction &MF = Mut.Funcs[R.nextBelow(Mut.Funcs.size())];
+        if (R.nextBool(0.5))
+          MF.HotEnd += 1 + R.nextBelow(3);
+        else
+          MF.EntryIdx += 1;
+        break;
+      }
+      case 5: // Probe record detached from its function.
+        if (!Mut.Probes.empty())
+          Mut.Probes[R.nextBelow(Mut.Probes.size())].InstIdx =
+              Mut.Code.size() + R.nextBelow(16);
+        break;
+      case 6: // Call redirected past the end of the function array.
+        Mut.Code[I].CalleeIdx =
+            static_cast<uint32_t>(Mut.Funcs.size() + R.nextBelow(4));
+        break;
+      case 7: // Indirect-dispatch table slot out of range.
+        if (!Mut.FuncTable.empty())
+          Mut.FuncTable[R.nextBelow(Mut.FuncTable.size())] =
+              static_cast<uint32_t>(Mut.Funcs.size() + R.nextBelow(8));
+        break;
+      }
+
+      Expected<postlink::BinaryCFG> MC = postlink::reconstructBinaryCFG(Mut);
+      if (!MC) {
+        if (MC.status().message().empty()) {
+          Err = "post-link reconstruction rejected a mutated binary "
+                "without a diagnostic";
+          return false;
+        }
+        continue; // Clean rejection — the contract held.
+      }
+      std::unique_ptr<Binary> MutAgain =
+          postlink::reassemble(*MC, postlink::identityLayout(*MC));
+      std::string MutWhy;
+      if (!postlink::binariesIdentical(Mut, *MutAgain, &MutWhy)) {
+        Err = "post-link accepted a mutated binary that does not round "
+              "trip: " + MutWhy;
+        return false;
+      }
     }
   }
 

@@ -144,6 +144,13 @@ void printRunJSON(const char *Workload, PGOVariant V,
 }
 
 int cmdRun(int argc, char **argv) {
+  bool PostLink = cli::takeBoolFlag(argc, argv, "--postlink");
+  if (const char *Flag = cli::firstFlag(argc, argv)) {
+    std::fprintf(stderr, "run: unknown option '%s'\n", Flag);
+    return 2;
+  }
+  if (argc < 4)
+    return usage();
   PGOVariant V;
   if (!parseVariant(argv[3], V)) {
     std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
@@ -153,10 +160,29 @@ int cmdRun(int argc, char **argv) {
       makeConfig(argv[2], argc > 4 ? std::atof(argv[4]) : 1.0);
   PGODriver Driver(Config);
   const VariantOutcome &Base = Driver.baseline();
-  VariantOutcome Out = Driver.run(V);
+  VariantOutcome Out;
+  PostLinkOutcome PL;
+  if (PostLink) {
+    PL = Driver.runPostLink(V);
+    Out = std::move(PL.Base);
+  } else {
+    Out = Driver.run(V);
+  }
+  bool ExitOk = Out.ExitValue == Base.ExitValue &&
+                (!PostLink || PL.ExitValue == Out.ExitValue);
   if (G.JSON) {
     printRunJSON(argv[2], V, Config, Out, Base);
-    return Out.ExitValue == Base.ExitValue ? 0 : 1;
+    if (PostLink)
+      std::printf("{\"postlink\":{\"eval_cycles\":%.0f,"
+                  "\"mapped_sample_rate\":%.4f,\"funcs_folded\":%u,"
+                  "\"funcs_reordered\":%u,\"funcs_split\":%u,"
+                  "\"transforms_gated\":%s,\"exit_match\":%s}}\n",
+                  PL.EvalCyclesMean, PL.Stats.Map.MappedSampleRate,
+                  PL.Stats.FuncsFolded, PL.Stats.FuncsReordered,
+                  PL.Stats.FuncsSplit,
+                  PL.Stats.TransformsGated ? "true" : "false",
+                  PL.ExitValue == Out.ExitValue ? "true" : "false");
+    return ExitOk ? 0 : 1;
   }
   std::printf("workload:            %s (%u requests)\n", argv[2],
               Config.Workload.Requests);
@@ -196,12 +222,132 @@ int cmdRun(int argc, char **argv) {
                   Out.Build->Loader.StoreFunctionsSkipped);
     std::printf("\n");
   }
+  if (PostLink) {
+    double VsBase = Out.EvalCyclesMean > 0
+                        ? (Out.EvalCyclesMean - PL.EvalCyclesMean) /
+                              Out.EvalCyclesMean * 100.0
+                        : 0.0;
+    std::printf("post-link cycles:    %.0f (%s vs the PGO'd binary)\n",
+                PL.EvalCyclesMean, formatSignedPercent(VsBase).c_str());
+    std::printf("post-link:           mapped %.1f%%, %u folded, "
+                "%u reordered, %u split%s\n",
+                PL.Stats.Map.MappedSampleRate * 100.0, PL.Stats.FuncsFolded,
+                PL.Stats.FuncsReordered, PL.Stats.FuncsSplit,
+                PL.Stats.TransformsGated
+                    ? " (layout transforms gated: low mapped rate)"
+                    : "");
+  }
   std::printf("exit value:          %lld (plain %lld%s)\n",
               static_cast<long long>(Out.ExitValue),
               static_cast<long long>(Base.ExitValue),
-              Out.ExitValue == Base.ExitValue ? ", identical"
-                                              : " — MISMATCH!");
-  return Out.ExitValue == Base.ExitValue ? 0 : 1;
+              ExitOk ? ", identical" : " — MISMATCH!");
+  return ExitOk ? 0 : 1;
+}
+
+int cmdBolt(int argc, char **argv) {
+  postlink::PostLinkOptions Opts;
+  if (cli::takeBoolFlag(argc, argv, "--no-fold"))
+    Opts.Fold = false;
+  if (cli::takeBoolFlag(argc, argv, "--no-reorder"))
+    Opts.Reorder = false;
+  if (cli::takeBoolFlag(argc, argv, "--no-split"))
+    Opts.Split = false;
+  unsigned long long MinMapped = 500;
+  std::string Err;
+  if (!cli::takeUnsignedFlag(argc, argv, "--min-mapped", MinMapped, Err) ||
+      MinMapped > 1000) {
+    std::fprintf(stderr, "bolt: %s\n",
+                 Err.empty() ? "--min-mapped takes a permille (0..1000)"
+                             : Err.c_str());
+    return 2;
+  }
+  Opts.MinMappedRate = static_cast<double>(MinMapped) / 1000.0;
+  if (const char *Flag = cli::firstFlag(argc, argv)) {
+    std::fprintf(stderr, "bolt: unknown option '%s'\n", Flag);
+    return 2;
+  }
+  if (argc < 4)
+    return usage();
+  PGOVariant V;
+  if (!parseVariant(argv[3], V)) {
+    std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
+    return 2;
+  }
+  ExperimentConfig Config =
+      makeConfig(argv[2], argc > 4 ? std::atof(argv[4]) : 1.0);
+  PGODriver Driver(Config);
+  const VariantOutcome &Base = Driver.baseline();
+  PostLinkOutcome PL = Driver.runPostLink(V, Opts);
+  const postlink::PostLinkStats &S = PL.Stats;
+  double VsVariant = PL.Base.EvalCyclesMean > 0
+                         ? (PL.Base.EvalCyclesMean - PL.EvalCyclesMean) /
+                               PL.Base.EvalCyclesMean * 100.0
+                         : 0.0;
+  double VsPlain = Base.EvalCyclesMean > 0
+                       ? (Base.EvalCyclesMean - PL.EvalCyclesMean) /
+                             Base.EvalCyclesMean * 100.0
+                       : 0.0;
+  bool ExitOk =
+      PL.ExitValue == PL.Base.ExitValue && PL.ExitValue == Base.ExitValue;
+  if (G.JSON) {
+    std::printf(
+        "{\"workload\":\"%s\",\"variant\":\"%s\","
+        "\"eval_cycles_variant\":%.0f,\"eval_cycles_bolt\":%.0f,"
+        "\"plain_cycles\":%.0f,"
+        "\"speedup_vs_variant_pct\":%.4f,\"speedup_vs_plain_pct\":%.4f,"
+        "\"mapped_sample_rate\":%.4f,"
+        "\"funcs_folded\":%u,\"funcs_reordered\":%u,\"funcs_split\":%u,"
+        "\"blocks_split\":%u,\"transforms_gated\":%s,"
+        "\"text_bytes_before\":%llu,\"text_bytes_after\":%llu,"
+        "\"rewrite_kept\":%s,\"exit_match\":%s}\n",
+        argv[2], variantName(V), PL.Base.EvalCyclesMean, PL.EvalCyclesMean,
+        Base.EvalCyclesMean, VsVariant, VsPlain, S.Map.MappedSampleRate,
+        S.FuncsFolded, S.FuncsReordered, S.FuncsSplit, S.BlocksSplit,
+        S.TransformsGated ? "true" : "false",
+        static_cast<unsigned long long>(S.TextBytesBefore),
+        static_cast<unsigned long long>(S.TextBytesAfter),
+        PL.RewriteKept ? "true" : "false", ExitOk ? "true" : "false");
+    return ExitOk ? 0 : 1;
+  }
+  std::printf("workload:            %s (%u requests)\n", argv[2],
+              Config.Workload.Requests);
+  std::printf("variant:             %s + post-link\n", variantName(V));
+  std::printf("eval cycles:         %.0f (variant %.0f, plain %.0f)\n",
+              PL.EvalCyclesMean, PL.Base.EvalCyclesMean,
+              Base.EvalCyclesMean);
+  std::printf("speedup vs variant:  %s\n",
+              formatSignedPercent(VsVariant).c_str());
+  std::printf("speedup vs plain:    %s\n",
+              formatSignedPercent(VsPlain).c_str());
+  std::printf("mapped sample rate:  %.1f%% (%llu of %llu LBR endpoints)\n",
+              S.Map.MappedSampleRate * 100.0,
+              static_cast<unsigned long long>(S.Map.LBRResolved),
+              static_cast<unsigned long long>(S.Map.LBREndpoints));
+  std::printf("transforms:          %u folded, %u reordered, %u split "
+              "(%u blocks)%s\n",
+              S.FuncsFolded, S.FuncsReordered, S.FuncsSplit, S.BlocksSplit,
+              S.TransformsGated
+                  ? " — layout transforms gated: low mapped rate"
+                  : "");
+  if (S.Map.StaleProfiles)
+    std::printf("stale profiles:      %u routed through the matcher "
+                "(%u recovered, %u dropped)\n",
+                S.Map.StaleProfiles, S.Map.StaleRecovered,
+                S.Map.StaleDropped);
+  std::printf("text bytes:          %llu -> %llu\n",
+              static_cast<unsigned long long>(S.TextBytesBefore),
+              static_cast<unsigned long long>(S.TextBytesAfter));
+  std::printf("train guard:         %s (train cycles %llu -> %llu)\n",
+              PL.RewriteKept ? "rewrite shipped"
+                             : "rewrite rejected, variant binary shipped",
+              static_cast<unsigned long long>(PL.TrainCyclesVariant),
+              static_cast<unsigned long long>(PL.TrainCyclesRewrite));
+  std::printf("exit value:          %lld (variant %lld, plain %lld%s)\n",
+              static_cast<long long>(PL.ExitValue),
+              static_cast<long long>(PL.Base.ExitValue),
+              static_cast<long long>(Base.ExitValue),
+              ExitOk ? ", identical" : " — MISMATCH!");
+  return ExitOk ? 0 : 1;
 }
 
 int cmdProfile(int argc, char **argv) {
@@ -524,10 +670,10 @@ struct HandlerEntry {
 };
 
 const HandlerEntry Handlers[] = {
-    {"run", cmdRun},       {"profile", cmdProfile}, {"compare", cmdCompare},
-    {"ir", cmdIR},         {"convert", cmdConvert}, {"store", cmdStore},
-    {"fuzz", cmdFuzz},     {"serve", cmdServe},     {"fleet", cmdFleet},
-    {"list", cmdList},
+    {"run", cmdRun},       {"bolt", cmdBolt},       {"profile", cmdProfile},
+    {"compare", cmdCompare}, {"ir", cmdIR},         {"convert", cmdConvert},
+    {"store", cmdStore},   {"fuzz", cmdFuzz},       {"serve", cmdServe},
+    {"fleet", cmdFleet},   {"list", cmdList},
 };
 
 int usage() {
