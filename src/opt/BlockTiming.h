@@ -1,0 +1,72 @@
+//===- opt/BlockTiming.h - Measured per-block timing ------------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-block timing measured from a core-instruction trace, keyed by the
+/// block's pseudo-probe (function guid, probe id). Frequency profiles say
+/// how *often* a block ran; this says how *expensive* it was — executed
+/// count, accumulated unperturbed cycles, and conditional-branch
+/// mispredicts attributed to the block. The timing-aware transform gates
+/// (LoopUnroll, IfConvert) consume it through OptOptions::Timing; the
+/// TraceDecoder produces it. It lives at the opt layer because the passes
+/// sit below the trace subsystem in the library layering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_OPT_BLOCKTIMING_H
+#define CSSPGO_OPT_BLOCKTIMING_H
+
+#include "ir/BasicBlock.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace csspgo {
+
+/// Timing of one probed block.
+struct BlockTimingStats {
+  uint64_t Executed = 0;   ///< Times the block's probe was crossed.
+  uint64_t Cycles = 0;     ///< Unperturbed cycles attributed to the block.
+  uint64_t Mispredicts = 0; ///< Conditional mispredicts in the block.
+};
+
+/// Measured timing for every probed block the trace touched.
+struct TimingProfile {
+  std::map<std::pair<uint64_t, uint32_t>, BlockTimingStats> Blocks;
+
+  /// Returns the stats for (guid, probe id), or nullptr when the trace
+  /// never crossed that block.
+  const BlockTimingStats *find(uint64_t Guid, uint32_t ProbeId) const {
+    auto It = Blocks.find({Guid, ProbeId});
+    return It == Blocks.end() ? nullptr : &It->second;
+  }
+
+  bool empty() const { return Blocks.empty(); }
+};
+
+/// The timing entry covering \p BB, looked up through the last
+/// pseudo-probe in the block: the decoder attributes an instruction's
+/// cycles to the most recently crossed probe, so a block's terminator
+/// (the instruction the transform gates care about) is covered by its
+/// last probe. Null when \p Timing is null, the pipeline runs probe-free,
+/// or the trace never crossed the block.
+inline const BlockTimingStats *blockTiming(const TimingProfile *Timing,
+                                           const BasicBlock &BB) {
+  if (!Timing)
+    return nullptr;
+  const Instruction *Probe = nullptr;
+  for (const Instruction &I : BB.Insts)
+    if (I.isProbe())
+      Probe = &I;
+  if (!Probe)
+    return nullptr;
+  return Timing->find(Probe->OriginGuid, Probe->ProbeId);
+}
+
+} // namespace csspgo
+
+#endif // CSSPGO_OPT_BLOCKTIMING_H

@@ -131,6 +131,35 @@ static bool tryConvertAt(Function &F, BasicBlock *B, const OptOptions &Opts,
     return false;
   if (armsInterfere(T, FB))
     return false;
+  // Timing gate: veto conversions whose measured cost balance is
+  // unfavorable. Keeping the branch burns the measured mispredict cycles
+  // plus the eliminated control flow; converting additionally executes,
+  // on every pass, the arm the branch would have skipped (its measured
+  // per-execution latency, minus the join jump that no longer exists)
+  // plus the select. The comparison needs measurements for the branch
+  // block *and both arms* — when the arms carry no timing, the profiling
+  // binary converted this diamond itself (dropping the arm probes), so
+  // the branch block's stats describe the converted form and say nothing
+  // about the branchy one; vetoing on them would be circular, so the
+  // frequency-only decision stands.
+  const BlockTimingStats *BS = blockTiming(Opts.Timing, *B);
+  const BlockTimingStats *TS = blockTiming(Opts.Timing, *T);
+  const BlockTimingStats *FS = blockTiming(Opts.Timing, *FB);
+  if (BS && TS && FS && BS->Executed && TS->Executed && FS->Executed) {
+    uint64_t Jump = Opts.IfConvertAssumedBranchCycles;
+    auto SkippedLat = [Jump](const BlockTimingStats *S) {
+      uint64_t Lat = S->Cycles / S->Executed;
+      return Lat > Jump ? Lat - Jump : 0;
+    };
+    uint64_t Runs = TS->Executed + FS->Executed;
+    // + Runs: one select per execution.
+    uint64_t Added = TS->Executed * SkippedLat(FS) +
+                     FS->Executed * SkippedLat(TS) + Runs;
+    uint64_t Saved = BS->Mispredicts * Opts.IfConvertAssumedMispredictCycles +
+                     Runs * Jump;
+    if (Added > Saved)
+      return false;
+  }
   // The select reads the condition after both arms execute; arms must not
   // clobber it.
   if (Term.A.isReg()) {

@@ -73,6 +73,21 @@ unsigned runLoopUnroll(Function &F, const OptOptions &Opts) {
       HasCall |= I.isCall();
     if (HasCall)
       continue;
+    // Timing gate: unrolling a rotated loop mostly removes back-edge
+    // jumps, so its payoff is the jump's share of one iteration's
+    // measured cycles. A long-latency body (divisions, misses) gains a
+    // sliver and still pays the duplication's i-cache cost — reject it.
+    {
+      const BlockTimingStats *HS = blockTiming(Opts.Timing, *H);
+      const BlockTimingStats *BS = blockTiming(Opts.Timing, *B);
+      if (HS && BS && HS->Executed && BS->Executed) {
+        uint64_t PerIterCycles =
+            HS->Cycles / HS->Executed + BS->Cycles / BS->Executed;
+        if (static_cast<uint64_t>(Opts.UnrollAssumedBranchCycles) * 1000 <
+            static_cast<uint64_t>(Opts.UnrollMinGainPermille) * PerIterCycles)
+          continue;
+      }
+    }
 
     // Build factor-1 extra copies chained between B and H.
     std::vector<BasicBlock *> Headers{H}, Bodies{B};

@@ -18,6 +18,7 @@
 #define CSSPGO_OPT_PASSMANAGER_H
 
 #include "ir/Module.h"
+#include "opt/BlockTiming.h"
 
 #include <cstdint>
 #include <string>
@@ -53,6 +54,40 @@ struct OptOptions {
   unsigned IfConvertMaxArmSize = 3;
   /// Max block size for tail duplication (jump threading).
   unsigned TailDupMaxSize = 8;
+
+  /// Measured per-block timing from a core-instruction trace (null =
+  /// frequency-only compilation, the classic PGO mode). When present,
+  /// if-conversion and loop unrolling gate on measured latency instead of
+  /// frequencies alone; blocks without a timing entry keep the
+  /// frequency-only behavior, so timing can only veto marginal transforms,
+  /// never enable new ones. The pointer is borrowed for the duration of
+  /// the pipeline run.
+  const TimingProfile *Timing = nullptr;
+  /// Timing gate for if-conversion: with measured timing for the branch
+  /// block and both arms, conversion is rejected when executing the
+  /// skipped arm's measured latency (plus a select) on every pass costs
+  /// more than the measured mispredict cycles plus the eliminated
+  /// control flow. Requires all three measurements — missing arm timing
+  /// means the profiling binary converted the diamond itself, so the
+  /// branch block's stats describe the converted form and cannot
+  /// second-guess it.
+  ///
+  /// Cycles one branch eliminated by if-conversion is assumed to cost per
+  /// execution (instruction base plus the average taken redirect; mirrors
+  /// CostModel::TakenBranchCost).
+  unsigned IfConvertAssumedBranchCycles = 3;
+  /// Cycles one mispredict is assumed to burn (mirrors
+  /// CostModel::MispredictPenalty).
+  unsigned IfConvertAssumedMispredictCycles = 14;
+  /// Timing gate for loop unrolling: minimum fraction (permille) of one
+  /// iteration's measured cycles that the removed back-edge jump
+  /// represents. Long-latency bodies gain almost nothing from unrolling
+  /// and still pay its code-size/i-cache cost.
+  unsigned UnrollMinGainPermille = 25;
+  /// Cycles the eliminated back-edge jump is assumed to cost (the opt
+  /// layer carries no machine cost model; mirrors
+  /// CostModel::TakenBranchCost).
+  unsigned UnrollAssumedBranchCycles = 2;
 
   /// Assign DWARF-style discriminators to instructions cloned by loop
   /// unrolling, so debug-info correlation can tell the copies apart

@@ -25,6 +25,8 @@ const char *variantName(PGOVariant V) {
     return "CSSPGO-probe-only";
   case PGOVariant::CSSPGOFull:
     return "CSSPGO";
+  case PGOVariant::Trace:
+    return "TracePGO";
   }
   return "<unknown>";
 }
@@ -44,7 +46,8 @@ const char *transportName(ProfileTransport T) {
 }
 
 static bool usesProbes(PGOVariant V) {
-  return V == PGOVariant::CSSPGOProbeOnly || V == PGOVariant::CSSPGOFull;
+  return V == PGOVariant::CSSPGOProbeOnly || V == PGOVariant::CSSPGOFull ||
+         V == PGOVariant::Trace;
 }
 
 /// Routes the profile into the loader through the bundle's transport
@@ -107,9 +110,15 @@ BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,
   if (Profile && Profile->Has && Config.EnableInference)
     inferModuleProfile(M);
 
-  // 4. Mid-level pipeline and late (layout/splitting) pipeline.
-  runMidLevelPipeline(M, Config.Opt);
-  runLatePipeline(M, Config.Opt);
+  // 4. Mid-level pipeline and late (layout/splitting) pipeline. A bundle
+  //    carrying measured block timing (Trace variant) arms the
+  //    timing-aware transform gates; frequency-only bundles leave the
+  //    pipeline behavior unchanged.
+  OptOptions Opt = Config.Opt;
+  if (Profile && Profile->Has && Profile->Timing && !Profile->Timing->empty())
+    Opt.Timing = Profile->Timing.get();
+  runMidLevelPipeline(M, Opt);
+  runLatePipeline(M, Opt);
 
   // 5. Codegen.
   Result.Bin = compileToBinary(M);

@@ -45,6 +45,11 @@ enum class PGOVariant : uint8_t {
   AutoFDO,
   CSSPGOProbeOnly,
   CSSPGOFull,
+  /// Core-instruction-trace collection (probes + full CS profile like
+  /// CSSPGOFull, but the profile comes from replaying a branch trace
+  /// instead of PMU samples, and the build additionally consumes the
+  /// trace's measured per-block timing).
+  Trace,
 };
 
 const char *variantName(PGOVariant V);
@@ -74,6 +79,11 @@ struct ProfileBundle {
   ContextProfile CS;
   /// Transport the optimized build consumes this bundle through.
   ProfileTransport Transport = ProfileTransport::InMemory;
+  /// Measured per-block timing from a core-instruction trace (Trace
+  /// variant only; null otherwise). Shared because bundles are copied
+  /// freely between pipeline stages; the optimized build borrows it for
+  /// the timing-aware transform gates (OptOptions::Timing).
+  std::shared_ptr<const TimingProfile> Timing;
 };
 
 struct BuildConfig {

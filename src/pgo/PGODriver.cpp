@@ -45,17 +45,30 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
   std::vector<int64_t> TrainMem =
       generateInput(Config.Workload, Config.TrainSeed);
 
+  // The three collection modes are mutually exclusive: counters (Instr),
+  // the core-instruction trace (Trace), or PMU sampling (the rest). Each
+  // pays its own modeled perturbation through Config.Costs.
+  bool TraceMode = V == PGOVariant::Trace;
   ExecConfig Exec;
-  Exec.Sampler.Enabled = V != PGOVariant::Instr;
+  Exec.Costs = Config.Costs;
+  Exec.Sampler.Enabled = V != PGOVariant::Instr && !TraceMode;
   Exec.Sampler.PeriodCycles = Config.SamplePeriodCycles;
   Exec.Sampler.Precise = Config.PreciseSampling;
   Exec.Sampler.Seed = Config.TrainSeed;
+  Exec.Trace = Config.Trace;
+  Exec.Trace.Enabled = TraceMode;
   // Value profiling is part of the instrumentation runtime.
   Exec.CollectValueProfile = V == PGOVariant::Instr;
 
   RunResult Train =
       execute(*ProfBuild.Bin, "main", TrainMem, Exec);
   Out.ProfilingCycles = Train.Cycles;
+  if (TraceMode) {
+    Out.TraceBytes = Train.Trace.Bytes.size();
+    Out.TraceTruncated = Train.Trace.Truncated;
+    Out.TracePackets = Train.Trace.Packets;
+    Out.TraceBranchEvents = Train.Trace.BranchEvents;
+  }
 
   // All four profile shapes flow through the ProfilePipeline facade; the
   // CS and probe-only kinds honor Config.Parallelism (sharded generation,
@@ -81,6 +94,7 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
     PipeOpts.Kind = ProfGenKind::ProbeOnly;
     break;
   case PGOVariant::CSSPGOFull:
+  case PGOVariant::Trace:
     PipeOpts.Kind = ProfGenKind::CS;
     PipeOpts.trimColdContexts(Config.TrimColdContexts,
                               Config.TrimThresholdDivisor);
@@ -91,15 +105,36 @@ ProfileBundle PGODriver::collectProfile(PGOVariant V,
   }
 
   ProfilePipeline Pipeline(PipeOpts);
-  bool Probed =
-      V == PGOVariant::CSSPGOProbeOnly || V == PGOVariant::CSSPGOFull;
-  Expected<ProfileBundle> Generated =
-      V == PGOVariant::Instr
-          ? Pipeline.generate(*ProfBuild.Bin,
-                              dumpCounters(*ProfBuild.Bin, Train), &Train)
-          : Pipeline.generate(*ProfBuild.Bin,
-                              Probed ? &ProfBuild.ProbeDescs : nullptr,
-                              Train.Samples);
+  bool Probed = V == PGOVariant::CSSPGOProbeOnly ||
+                V == PGOVariant::CSSPGOFull || V == PGOVariant::Trace;
+  Expected<ProfileBundle> Generated = [&]() -> Expected<ProfileBundle> {
+    if (V == PGOVariant::Instr)
+      return Pipeline.generate(*ProfBuild.Bin,
+                               dumpCounters(*ProfBuild.Bin, Train), &Train);
+    if (TraceMode) {
+      // Replay the trace against the sampling configuration the other CS
+      // variants use, so the frequency profile is bit-identical to theirs
+      // whenever frequencies suffice; the bundle additionally carries the
+      // measured per-block timing.
+      TraceReplayOptions Replay;
+      Replay.Sampler.Enabled = true;
+      Replay.Sampler.PeriodCycles = Config.SamplePeriodCycles;
+      Replay.Sampler.Precise = Config.PreciseSampling;
+      Replay.Sampler.Seed = Config.TrainSeed;
+      Replay.Costs = Config.Costs;
+      Replay.Format = Exec.Trace;
+      return Pipeline.generate(*ProfBuild.Bin, &ProfBuild.ProbeDescs,
+                               Train.Trace, Replay);
+    }
+    return Pipeline.generate(*ProfBuild.Bin,
+                             Probed ? &ProfBuild.ProbeDescs : nullptr,
+                             Train.Samples);
+  }();
+  if (TraceMode) {
+    Out.TraceTimestamps = Pipeline.lastTraceReplay().Timestamps;
+    Out.TraceTimestampMismatches =
+        Pipeline.lastTraceReplay().TimestampMismatches;
+  }
   if (!Generated) {
     // Strict-mode enforcement: every profile this driver handles is
     // freshly generated against the binary it came from, so a verifier
@@ -138,7 +173,7 @@ VariantOutcome PGODriver::run(PGOVariant V) {
   Out.Profile = collectProfile(V, ProfBuild, Out);
   bool Sampled = V == PGOVariant::AutoFDO ||
                  V == PGOVariant::CSSPGOProbeOnly ||
-                 V == PGOVariant::CSSPGOFull;
+                 V == PGOVariant::CSSPGOFull || V == PGOVariant::Trace;
   if (Sampled) {
     for (unsigned Iter = 1; Iter < Config.ProfileIterations; ++Iter) {
       BuildResult IterBuild =
@@ -170,7 +205,9 @@ VariantOutcome PGODriver::run(PGOVariant V) {
     // the overhead reference.
     std::vector<int64_t> TrainMem =
         generateInput(Config.Workload, Config.TrainSeed);
-    RunResult R = execute(*ProfBuild.Bin, "main", TrainMem, {});
+    ExecConfig Plain;
+    Plain.Costs = Config.Costs;
+    RunResult R = execute(*ProfBuild.Bin, "main", TrainMem, Plain);
     Out.ProfilingCycles = R.Cycles;
   }
 
@@ -193,12 +230,15 @@ VariantOutcome PGODriver::run(PGOVariant V) {
   }
   Out.CodeSizeBytes = Build->Bin->textSize();
 
-  // 4. Evaluation runs.
+  // 4. Evaluation runs (no collection enabled, so the perturbation knobs
+  //    never fire; Costs still flows through for cost-model ablations).
+  ExecConfig Eval;
+  Eval.Costs = Config.Costs;
   long double Sum = 0;
   for (unsigned E = 0; E != Config.EvalRuns; ++E) {
     std::vector<int64_t> EvalMem = generateInput(
         Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
-    RunResult R = execute(*Build->Bin, "main", EvalMem, {});
+    RunResult R = execute(*Build->Bin, "main", EvalMem, Eval);
     Out.EvalCycles.push_back(R.Cycles);
     Sum += R.Cycles;
     if (E == 0) {

@@ -40,6 +40,16 @@ struct ExperimentConfig {
   uint64_t SamplePeriodCycles = 4001;
   bool PreciseSampling = true; ///< PEBS on (the paper's setup).
 
+  /// Cost model for every run the driver executes. The perturbation knobs
+  /// (CounterCost, SampleInterruptCost, TraceByteCost) make the
+  /// ProfilingOverheadPct column reflect each mode's real collection
+  /// cost: counter increments for Instr, interrupt delivery for the
+  /// sampling variants, packet writes for Trace.
+  CostModel Costs;
+  /// Core-instruction-trace knobs for the Trace variant (buffer bound,
+  /// timestamp density, compression). Enabled is set by the driver.
+  TraceConfig Trace;
+
   /// Continuous-profiling iterations for sampling-based variants: the
   /// production workflow profiles the *currently deployed optimized*
   /// binary, so profiles reflect its inlining (AutoFDO's partial context
@@ -105,6 +115,15 @@ struct VariantOutcome {
   uint64_t EvalMispredicts = 0;
   uint64_t EvalTakenBranches = 0;
   uint64_t EvalCalls = 0;
+
+  /// Trace variant: encoded trace size, truncation, and the number of TSC
+  /// packets failing the replay's write-cost cross-check (0 expected).
+  uint64_t TraceBytes = 0;
+  bool TraceTruncated = false;
+  uint64_t TracePackets = 0;
+  uint64_t TraceBranchEvents = 0;
+  uint64_t TraceTimestamps = 0;
+  uint64_t TraceTimestampMismatches = 0;
 
   ProfileBundle Profile;
   CSProfileGenStats ProfGen;

@@ -104,6 +104,27 @@ Expected<ProfileBundle> ProfilePipeline::generate(const Binary &Bin,
   return Bundle;
 }
 
+Expected<ProfileBundle> ProfilePipeline::generate(
+    const Binary &Bin, const ProbeTable *Probes, const TraceData &Trace,
+    const TraceReplayOptions &Replay, const std::string &Entry) {
+  Expected<TraceReplayResult> Replayed = replayTrace(Bin, Entry, Trace, Replay);
+  if (!Replayed)
+    return Replayed.takeError().withContext("trace pipeline");
+  TraceReplayResult R = Replayed.take();
+
+  // The synthesized samples flow through the unchanged sample pipeline,
+  // so trimming, the pre-inliner and verification all apply identically.
+  Expected<ProfileBundle> Bundle = generate(Bin, Probes, R.Samples);
+  R.Samples.clear();
+  R.Samples.shrink_to_fit();
+  if (Bundle && !R.Timing.empty())
+    Bundle->Timing =
+        std::make_shared<const TimingProfile>(std::move(R.Timing));
+  R.Timing = TimingProfile();
+  LastTraceReplay = std::move(R);
+  return Bundle;
+}
+
 Expected<LoaderStats> ProfilePipeline::apply(Module &M,
                                              const ProfileBundle &Profile) {
   auto Record = [this](LoaderStats S) -> Expected<LoaderStats> {

@@ -35,6 +35,7 @@
 #include "postlink/PostLinkOptimizer.h"
 #include "profgen/ProfileGenerator.h"
 #include "support/Status.h"
+#include "trace/TraceDecoder.h"
 
 #include <cstdint>
 #include <string>
@@ -123,6 +124,19 @@ public:
   Expected<ProfileBundle> generate(const Binary &Bin, const CounterDump &Dump,
                                    const RunResult *Run = nullptr);
 
+  /// Generates from a core-instruction trace: replays \p Trace of a run of
+  /// \p Bin started at \p Entry into the exact PerfSample stream the
+  /// equivalent sampling run would have produced (trace/TraceDecoder),
+  /// then flows through the configured sample pipeline — so the frequency
+  /// profile is bit-identical to the sampling path's whenever frequencies
+  /// suffice. The bundle additionally carries the trace's measured
+  /// per-block TimingProfile; replay/validation stats are kept for
+  /// lastTraceReplay(). Corrupt traces come back as an error Status.
+  Expected<ProfileBundle> generate(const Binary &Bin, const ProbeTable *Probes,
+                                   const TraceData &Trace,
+                                   const TraceReplayOptions &Replay,
+                                   const std::string &Entry = "main");
+
   /// Annotates \p M with \p Profile through the configured transport
   /// (in-memory, text round trip, binary store eager/lazy). All four
   /// routes produce bit-identical annotation; a serialization failure
@@ -166,6 +180,10 @@ public:
   /// Stats of the most recent postlink() call on this pipeline.
   const postlink::PostLinkStats &lastPostLink() const { return LastPostLink; }
 
+  /// Replay/validation stats of the most recent trace generate() call
+  /// (Samples and Timing cleared — they were consumed into the bundle).
+  const TraceReplayResult &lastTraceReplay() const { return LastTraceReplay; }
+
 private:
   Status recordVerify(VerifyReport R, const std::string &What);
 
@@ -173,6 +191,7 @@ private:
   PipelineStats Stats;
   VerifyReport LastVerify;
   postlink::PostLinkStats LastPostLink;
+  TraceReplayResult LastTraceReplay;
 };
 
 } // namespace csspgo

@@ -40,7 +40,16 @@ struct CostModel {
   uint32_t ICacheLines = 384; ///< Total lines (24 KiB at 64 B lines).
   uint32_t ICacheWays = 4;    ///< Set associativity.
   uint32_t ICacheLineBytes = 64;
-  uint32_t CounterCost = 5;     ///< InstrProfIncr: inc m64 + store traffic.
+  uint32_t CounterCost = 5;
+  /// Modeled cost of delivering one PMU sample interrupt (charged when a
+  /// sample fires). 0 keeps sampling free, matching the classic "sampling
+  /// is (nearly) zero overhead" baseline; experiments that want the real
+  /// overhead column set it.
+  uint32_t SampleInterruptCost = 0;
+  /// Modeled cost per trace byte written in the core-instruction-trace
+  /// collection mode (charged as packets are emitted). Only paid when
+  /// ExecConfig::Trace.Enabled.
+  uint32_t TraceByteCost = 2;     ///< InstrProfIncr: inc m64 + store traffic.
   uint32_t BranchPredictorEntries = 4096;
 
   /// Base execution cost of \p Op in cycles.

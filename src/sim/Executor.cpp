@@ -63,7 +63,8 @@ public:
                    const ExecConfig &Config)
       : Bin(Bin), Memory(Memory), Config(Config), Cache(Config.Costs),
         Predictor(Config.Costs), Ring(Config.Sampler.LBRDepth),
-        Jitter(Config.Sampler.Seed) {}
+        Jitter(Config.Sampler.Seed),
+        Tracer(Config.Trace, Config.Costs.TraceByteCost) {}
 
   RunResult run(const std::string &Entry);
 
@@ -116,6 +117,10 @@ private:
     if (Result.Cycles < NextSampleAt)
       return;
     NextSampleAt = Result.Cycles + Config.Sampler.PeriodCycles;
+    // The PMU interrupt itself costs cycles (modeled perturbation; 0 by
+    // default). Charged after the next-sample point is armed so the
+    // sampling period is unperturbed.
+    Result.Cycles += Config.Costs.SampleInterruptCost;
     if (Config.Sampler.Precise) {
       PerfSample S;
       S.LBR = Ring.snapshot();
@@ -128,8 +133,24 @@ private:
     if (SkidCountdown > 0)
       return;
     Pending.LBR = Ring.snapshot();
+    if (Config.Sampler.MaxSkidInstructions == 0) {
+      // Zero skid: deliver at this instruction (Rng::nextBelow(0) is
+      // invalid — there is no skid to draw).
+      Pending.Stack = captureStack(PCIdx);
+      Result.Samples.push_back(std::move(Pending));
+      Pending = PerfSample();
+      return;
+    }
     SkidCountdown =
         1 + Jitter.nextBelow(Config.Sampler.MaxSkidInstructions);
+  }
+
+  /// Folds the recorded trace into the result; every exit path returns
+  /// through here.
+  RunResult finish() {
+    if (Config.Trace.Enabled)
+      Result.Trace = Tracer.finish(Result.Cycles);
+    return std::move(Result);
   }
 
   const Binary &Bin;
@@ -139,6 +160,7 @@ private:
   BranchPredictor Predictor;
   LBRRing Ring;
   Rng Jitter;
+  TraceRecorder Tracer;
 
   std::vector<Frame> Frames;
   std::map<uint64_t, uint64_t> IndirectBTB;
@@ -152,7 +174,7 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
   uint32_t EntryIdx = Bin.funcIndexByName(Entry);
   if (EntryIdx == ~0u) {
     Result.Error = "entry function '" + Entry + "' not found";
-    return std::move(Result);
+    return finish();
   }
   Result.Counters.assign(Bin.NumCounters + 1, 0);
   if (Config.CollectInstCounts)
@@ -170,7 +192,7 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
   while (true) {
     if (Result.Instructions >= Config.MaxInstructions) {
       Result.Error = "instruction limit exceeded";
-      return std::move(Result);
+      return finish();
     }
     assert(PC < Bin.Code.size() && "PC out of range");
     const MInst &I = Bin.Code[PC];
@@ -269,6 +291,8 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
         NextPC = static_cast<size_t>(I.Target);
         recordBranch(I.Addr, Bin.Code[NextPC].Addr);
       }
+      if (Config.Trace.Enabled)
+        Tracer.condBranch(Taken, Result.Cycles);
       break;
     }
     case Opcode::CallIndirect:
@@ -295,6 +319,8 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
         if (Config.CollectValueProfile && I.CallSiteId)
           ++Result.ValueProfile[{I.OriginGuid, I.CallSiteId}]
                                [static_cast<int64_t>(Slot)];
+        if (Config.Trace.Enabled)
+          Tracer.indirectTarget(CalleeIdx, Result.Cycles);
       }
       const MachineFunction &Callee = Bin.Funcs[CalleeIdx];
       ++Result.Calls;
@@ -316,7 +342,7 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
       }
       if (Frames.size() >= Config.MaxCallDepth) {
         Result.Error = "call depth limit exceeded in " + Callee.Name;
-        return std::move(Result);
+        return finish();
       }
       Frame NewF;
       NewF.FuncIdx = CalleeIdx;
@@ -338,7 +364,7 @@ RunResult ReferenceMachine::run(const std::string &Entry) {
       if (Frames.empty() || RetIdx == SIZE_MAX) {
         Result.ExitValue = Value;
         Result.Completed = true;
-        return std::move(Result);
+        return finish();
       }
       if (RetDst != InvalidReg)
         Frames.back().Regs[RetDst] = Value;
@@ -443,7 +469,8 @@ public:
               const ExecConfig &Config)
       : Bin(Bin), Memory(Memory), Config(Config), Cache(Config.Costs),
         Predictor(Config.Costs), Ring(Config.Sampler.LBRDepth),
-        Jitter(Config.Sampler.Seed) {}
+        Jitter(Config.Sampler.Seed),
+        Tracer(Config.Trace, Config.Costs.TraceByteCost) {}
 
   RunResult run(const std::string &Entry);
 
@@ -485,7 +512,7 @@ private:
     }
   }
 
-  void maybeSample(size_t PCIdx, uint64_t Cycles) {
+  void maybeSample(size_t PCIdx, uint64_t &Cycles) {
     if (SkidCountdown > 0) {
       if (--SkidCountdown == 0) {
         captureStackInto(PCIdx, Pending.Stack);
@@ -497,6 +524,10 @@ private:
     if (Cycles < NextSampleAt)
       return;
     NextSampleAt = Cycles + Config.Sampler.PeriodCycles;
+    // The PMU interrupt itself costs cycles (modeled perturbation; 0 by
+    // default). Charged after the next-sample point is armed so the
+    // sampling period is unperturbed.
+    Cycles += Config.Costs.SampleInterruptCost;
     if (Precise) {
       Result.Samples.emplace_back();
       PerfSample &S = Result.Samples.back();
@@ -507,6 +538,15 @@ private:
     if (SkidCountdown > 0)
       return;
     Ring.snapshotInto(Pending.LBR);
+    if (Config.Sampler.MaxSkidInstructions == 0) {
+      // Zero skid: deliver at this instruction (Rng::nextBelow(0) is
+      // invalid — there is no skid to draw).
+      captureStackInto(PCIdx, Pending.Stack);
+      Result.Samples.push_back(std::move(Pending));
+      Pending.LBR.clear();
+      Pending.Stack.clear();
+      return;
+    }
     SkidCountdown =
         1 + Jitter.nextBelow(Config.Sampler.MaxSkidInstructions);
   }
@@ -532,6 +572,8 @@ private:
 
   RunResult finish() {
     foldValueProfile();
+    if (Config.Trace.Enabled)
+      Result.Trace = Tracer.finish(Result.Cycles);
     return std::move(Result);
   }
 
@@ -542,6 +584,7 @@ private:
   BranchPredictor Predictor;
   LBRRing Ring;
   Rng Jitter;
+  TraceRecorder Tracer;
 
   std::vector<DecInst> Dec;
   std::vector<DecOp> ArgOps;
@@ -643,6 +686,7 @@ RunResult FastMachine::run(const std::string &Entry) {
   NextSampleAt = Config.Sampler.PeriodCycles;
   Precise = Config.Sampler.Precise;
   const bool SamplerOn = Config.Sampler.Enabled;
+  const bool Tracing = Config.Trace.Enabled;
   MemSize = Memory.size();
   assert(MemSize && "memory must be non-empty");
 
@@ -877,6 +921,8 @@ Op_CondBr: {
     NextPC = I.Target;
     recordBranch(I.Addr, I.TargetAddr, Cycles);
   }
+  if (Tracing)
+    Tracer.condBranch(Taken, Cycles);
   CSSPGO_DISPATCH();
 }
 Op_Call: {
@@ -901,6 +947,8 @@ Op_Call: {
     }
     if (I.VPSlot != ~0u)
       ++VPCounts[I.VPSlot * Bin.FuncTable.size() + Slot];
+    if (Tracing)
+      Tracer.indirectTarget(CalleeIdx, Cycles);
     CalleeNumRegs = Callee.NumRegs;
     CalleeEntry = Callee.EntryIdx;
     CalleeEntryAddr = Bin.Code[Callee.EntryIdx].Addr;
@@ -1091,6 +1139,8 @@ LimitHit:
         NextPC = I.Target;
         recordBranch(I.Addr, I.TargetAddr, Cycles);
       }
+      if (Tracing)
+        Tracer.condBranch(Taken, Cycles);
       break;
     }
     case Opcode::CallIndirect:
@@ -1116,6 +1166,8 @@ LimitHit:
         }
         if (I.VPSlot != ~0u)
           ++VPCounts[I.VPSlot * Bin.FuncTable.size() + Slot];
+        if (Tracing)
+          Tracer.indirectTarget(CalleeIdx, Cycles);
         CalleeNumRegs = Callee.NumRegs;
         CalleeEntry = Callee.EntryIdx;
         CalleeEntryAddr = Bin.Code[Callee.EntryIdx].Addr;

@@ -18,6 +18,7 @@
 #include "codegen/MachineModule.h"
 #include "sim/CostModel.h"
 #include "sim/Sampler.h"
+#include "trace/TraceFormat.h"
 
 #include <cstdint>
 #include <map>
@@ -30,6 +31,11 @@ namespace csspgo {
 struct ExecConfig {
   CostModel Costs;
   SamplerConfig Sampler;
+  /// Core-instruction-trace collection (per-branch packets with
+  /// delta-compressed timestamps; see trace/TraceFormat.h). Orthogonal to
+  /// the sampler — a trace run normally disables sampling. Packet writes
+  /// are charged at Costs.TraceByteCost cycles per byte.
+  TraceConfig Trace;
   /// Hard cap on retired instructions (safety against runaway programs).
   uint64_t MaxInstructions = 4ull << 30;
   /// Hard cap on call depth.
@@ -86,6 +92,9 @@ struct RunResult {
   /// Instrumentation counters (index 0 unused; counter ids are 1-based
   /// within functions, re-based by CounterBase).
   std::vector<uint64_t> Counters;
+  /// Recorded trace (only with Trace.Enabled). Cycles already includes
+  /// Trace.WriteCycles — the modeled perturbation of writing the trace.
+  TraceData Trace;
 };
 
 /// Runs \p Bin starting at function \p Entry with the given global memory

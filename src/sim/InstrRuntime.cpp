@@ -2,6 +2,8 @@
 
 #include "sim/InstrRuntime.h"
 
+#include "profile/FunctionProfile.h"
+
 namespace csspgo {
 
 CounterDump dumpCounters(const Binary &Bin, const RunResult &Result) {
@@ -24,14 +26,16 @@ CounterDump dumpCounters(const Binary &Bin, const RunResult &Result) {
   return Dump;
 }
 
-void mergeCounterDumps(CounterDump &Dst, const CounterDump &Src) {
+uint64_t mergeCounterDumps(CounterDump &Dst, const CounterDump &Src) {
+  uint64_t Saturated = 0;
   for (const auto &[Name, Counters] : Src.Functions) {
     std::vector<uint64_t> &D = Dst.Functions[Name];
     if (D.size() < Counters.size())
       D.resize(Counters.size(), 0);
     for (size_t I = 0; I != Counters.size(); ++I)
-      D[I] += Counters[I];
+      Saturated += saturatingAccum(D[I], Counters[I]);
   }
+  return Saturated;
 }
 
 } // namespace csspgo

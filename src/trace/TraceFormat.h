@@ -1,0 +1,219 @@
+//===- trace/TraceFormat.h - Core-instruction-trace packets -----*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-wire format of the core-instruction-trace collection mode and the
+/// encoder the executor records through. The design follows hardware branch
+/// traces (Intel PT, the TGO/ltrace RISC-V tracer): everything statically
+/// reconstructible from the binary — fallthrough, direct branches, direct
+/// calls, returns — is *not* recorded; the packet stream carries only
+///
+///  - TNT packets: taken/not-taken outcomes of conditional branches,
+///    packed up to eight per payload byte;
+///  - TIP packets: resolved callee indices of indirect calls;
+///  - TSC packets: delta-compressed cycle timestamps emitted every
+///    TraceConfig::TimestampEvery branch events (ULEB128 deltas by
+///    default, raw 8-byte little-endian with compression off);
+///  - an END packet marking a cleanly terminated trace.
+///
+/// TraceDecoder (trace/TraceDecoder.h) re-walks Binary::Code driven only by
+/// these packets, which is what makes trace-derived profiles bit-identical
+/// to the LBR sampling path.
+///
+/// The encoder lives in the header because the executor (csspgo_sim) sits
+/// *below* csspgo_trace in the library layering: the recorder must be
+/// usable from the interpreter hot loop without linking the decoder's
+/// dependencies (profgen) into sim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_TRACE_TRACEFORMAT_H
+#define CSSPGO_TRACE_TRACEFORMAT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace csspgo {
+
+/// Packet tag bytes. Tags 0x10..0x17 are TNT packets whose low three bits
+/// encode (bit count - 1); the payload byte holds the outcomes LSB-first
+/// (bit 0 = oldest branch; 1 = taken).
+enum TracePacketTag : uint8_t {
+  TraceTagTNTBase = 0x10, ///< 0x10 + (count - 1), count in [1, 8].
+  TraceTagTIP = 0x20,     ///< + ULEB128 callee function index.
+  TraceTagTSC = 0x30,     ///< + cycle delta (ULEB128 or raw u64).
+  TraceTagEnd = 0x40,     ///< Clean end of trace; no payload.
+};
+
+/// Configuration of the trace collection mode (ExecConfig::Trace).
+struct TraceConfig {
+  bool Enabled = false;
+  /// Bound on encoded trace size. When the buffer fills, recording stops
+  /// and TraceData::Truncated is set; the prefix stays decodable.
+  uint64_t MaxBytes = 64ull << 20;
+  /// Emit a timestamp packet every N branch events (conditional branches
+  /// + indirect calls). 0 disables timestamps entirely.
+  uint32_t TimestampEvery = 32;
+  /// Delta-compress timestamps as ULEB128 (versus raw 8-byte values —
+  /// the knob that makes the write-cost model sensitive to compression).
+  bool CompressTimestamps = true;
+};
+
+/// The recorded trace plus collection statistics.
+struct TraceData {
+  std::vector<uint8_t> Bytes;
+  bool Truncated = false;
+  uint64_t Packets = 0;       ///< Total packets emitted (incl. END).
+  uint64_t BranchEvents = 0;  ///< Conditional branches + indirect calls.
+  /// Modeled perturbation charged to the traced run: bytes written times
+  /// CostModel::TraceByteCost. Included in the run's Cycles.
+  uint64_t WriteCycles = 0;
+};
+
+/// Appends \p V to \p Out as ULEB128.
+inline void traceAppendULEB128(std::vector<uint8_t> &Out, uint64_t V) {
+  do {
+    uint8_t Byte = V & 0x7f;
+    V >>= 7;
+    Out.push_back(Byte | (V ? 0x80 : 0));
+  } while (V);
+}
+
+/// Reads a ULEB128 from \p Bytes at \p Pos. Returns false on truncation or
+/// a value wider than 64 bits; advances \p Pos past the encoding on
+/// success.
+inline bool traceReadULEB128(const std::vector<uint8_t> &Bytes, size_t &Pos,
+                             uint64_t &Out) {
+  Out = 0;
+  for (uint32_t Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Bytes.size())
+      return false;
+    uint8_t Byte = Bytes[Pos++];
+    Out |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+    if (Shift == 63)
+      return false; // 10th continuation byte: value does not fit.
+  }
+  return false;
+}
+
+/// The encoder the interpreters record through. Both machines call the
+/// same three hooks in the same handler positions, so the byte stream (and
+/// the modeled write cost) is identical across the fast and reference
+/// paths. Every packet flush charges its bytes to the caller's cycle
+/// counter at \c CostPerByte — the modeled runtime perturbation of
+/// tracing. Perturbation only moves the clock; it never changes control
+/// flow or data, which is what lets the decoder reconstruct the
+/// *unperturbed* cycle stream exactly.
+class TraceRecorder {
+public:
+  TraceRecorder(const TraceConfig &Config, uint32_t CostPerByte)
+      : Config(Config), CostPerByte(CostPerByte) {
+    if (Config.Enabled)
+      Data.Bytes.reserve(
+          static_cast<size_t>(Config.MaxBytes < 4096 ? Config.MaxBytes
+                                                     : 4096));
+  }
+
+  /// Records one conditional-branch outcome.
+  void condBranch(bool Taken, uint64_t &Cycles) {
+    PendingTNT |= static_cast<uint8_t>(Taken) << PendingBits;
+    if (++PendingBits == 8)
+      flushTNT(Cycles);
+    branchEvent(Cycles);
+  }
+
+  /// Records one resolved indirect-call target.
+  void indirectTarget(uint32_t CalleeIdx, uint64_t &Cycles) {
+    flushTNT(Cycles); // Preserve event order for the decoder.
+    Scratch.clear();
+    Scratch.push_back(TraceTagTIP);
+    traceAppendULEB128(Scratch, CalleeIdx);
+    emit(Cycles);
+    branchEvent(Cycles);
+  }
+
+  /// Flushes pending TNT bits, appends the END marker (absent on a
+  /// truncated trace) and returns the trace. The tail is charged to
+  /// \p Cycles like every other packet.
+  TraceData finish(uint64_t &Cycles) {
+    flushTNT(Cycles);
+    if (!Data.Truncated) {
+      Scratch.assign(1, static_cast<uint8_t>(TraceTagEnd));
+      emit(Cycles);
+    }
+    return std::move(Data);
+  }
+
+private:
+  void branchEvent(uint64_t &Cycles) {
+    ++Data.BranchEvents;
+    if (Config.TimestampEvery &&
+        Data.BranchEvents % Config.TimestampEvery == 0)
+      timestamp(Cycles);
+  }
+
+  /// Emits a TSC packet carrying the delta of the (perturbed) cycle
+  /// counter since the previous TSC. The recorded value is the counter
+  /// *before* this packet's own bytes are charged, so a decoder replaying
+  /// the write-cost model validates it from the preceding bytes alone.
+  void timestamp(uint64_t &Cycles) {
+    flushTNT(Cycles);
+    uint64_t Delta = Cycles - LastTimestamp;
+    Scratch.clear();
+    Scratch.push_back(TraceTagTSC);
+    if (Config.CompressTimestamps) {
+      traceAppendULEB128(Scratch, Delta);
+    } else {
+      for (int B = 0; B != 8; ++B)
+        Scratch.push_back(static_cast<uint8_t>(Delta >> (8 * B)));
+    }
+    if (emit(Cycles))
+      LastTimestamp = Cycles;
+  }
+
+  void flushTNT(uint64_t &Cycles) {
+    if (!PendingBits)
+      return;
+    Scratch.clear();
+    Scratch.push_back(
+        static_cast<uint8_t>(TraceTagTNTBase + (PendingBits - 1)));
+    Scratch.push_back(PendingTNT);
+    PendingTNT = 0;
+    PendingBits = 0;
+    emit(Cycles);
+  }
+
+  /// Appends Scratch as one packet, charging its write cost to \p Cycles.
+  /// A packet that would exceed MaxBytes is dropped whole and the trace
+  /// marked truncated (no partial packets on the wire).
+  bool emit(uint64_t &Cycles) {
+    if (Data.Truncated ||
+        Data.Bytes.size() + Scratch.size() > Config.MaxBytes) {
+      Data.Truncated = true;
+      return false;
+    }
+    Data.Bytes.insert(Data.Bytes.end(), Scratch.begin(), Scratch.end());
+    ++Data.Packets;
+    uint64_t Cost = static_cast<uint64_t>(Scratch.size()) * CostPerByte;
+    Cycles += Cost;
+    Data.WriteCycles += Cost;
+    return true;
+  }
+
+  TraceConfig Config;
+  uint32_t CostPerByte = 0;
+  TraceData Data;
+  std::vector<uint8_t> Scratch;
+  uint64_t LastTimestamp = 0;
+  uint8_t PendingTNT = 0;
+  uint32_t PendingBits = 0;
+};
+
+} // namespace csspgo
+
+#endif // CSSPGO_TRACE_TRACEFORMAT_H

@@ -1,0 +1,30 @@
+//===- trace/TraceProfileGenerator.cpp - Profiles from traces --------------===//
+
+#include "trace/TraceProfileGenerator.h"
+
+#include <utility>
+
+namespace csspgo {
+
+Expected<TraceProfGenResult>
+generateTraceProfile(const Binary &Bin, const ProbeTable *Probes,
+                     const std::string &Entry, const TraceData &Trace,
+                     const TraceProfGenOptions &Opts) {
+  Expected<TraceReplayResult> Replayed =
+      replayTrace(Bin, Entry, Trace, Opts.Replay);
+  if (!Replayed)
+    return Replayed.takeError().withContext("trace profile generation");
+
+  TraceProfGenResult Out;
+  Out.Replay = Replayed.take();
+  Out.Timing = std::move(Out.Replay.Timing);
+  Out.Replay.Timing = TimingProfile();
+
+  ProfileGenerator Gen(Bin, Probes, Opts.ProfGen);
+  Out.Profile = Gen.generate(Out.Replay.Samples);
+  Out.Replay.Samples.clear();
+  Out.Replay.Samples.shrink_to_fit();
+  return Out;
+}
+
+} // namespace csspgo

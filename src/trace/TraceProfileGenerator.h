@@ -1,0 +1,58 @@
+//===- trace/TraceProfileGenerator.h - Profiles from traces -----*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a recorded core-instruction trace into the same profiles the
+/// sampling pipeline produces: the trace is replayed (TraceDecoder) into
+/// the exact PerfSample stream an equivalent LBR sampling run would have
+/// emitted, then fed through the unchanged ProfileGenerator. Whenever
+/// branch frequencies suffice — i.e. the virtual sampler sees the same
+/// cycle stream the real PMU would have — the resulting flat and context
+/// profiles are bit-identical to the sampling path's, which the property
+/// suite pins. On top of the frequency profile the trace contributes what
+/// sampling cannot: a measured per-block TimingProfile for the
+/// timing-aware transform gates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_TRACE_TRACEPROFILEGENERATOR_H
+#define CSSPGO_TRACE_TRACEPROFILEGENERATOR_H
+
+#include "profgen/ProfileGenerator.h"
+#include "trace/TraceDecoder.h"
+
+namespace csspgo {
+
+struct TraceProfGenOptions {
+  /// How to replay the trace (virtual sampler, cost model, format).
+  TraceReplayOptions Replay;
+  /// How to generate the profile from the synthesized samples.
+  ProfGenOptions ProfGen;
+};
+
+struct TraceProfGenResult {
+  /// The profile, exactly as the sampling path would have produced it.
+  ProfGenResult Profile;
+  /// Measured per-block timing (trace-only signal; empty when replay ran
+  /// with CollectTiming off).
+  TimingProfile Timing;
+  /// Replay counters and TSC validation stats. Samples are cleared here
+  /// (they were consumed into Profile); everything else is kept.
+  TraceReplayResult Replay;
+};
+
+/// Replays \p Trace of a run of \p Bin started at \p Entry and generates a
+/// profile from the synthesized samples. \p Probes follows the
+/// ProfileGenerator contract (required for CS/ProbeOnly kinds). Corrupt
+/// traces are rejected with the decoder's Status.
+Expected<TraceProfGenResult>
+generateTraceProfile(const Binary &Bin, const ProbeTable *Probes,
+                     const std::string &Entry, const TraceData &Trace,
+                     const TraceProfGenOptions &Opts);
+
+} // namespace csspgo
+
+#endif // CSSPGO_TRACE_TRACEPROFILEGENERATOR_H

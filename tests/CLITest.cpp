@@ -71,6 +71,14 @@ TEST(CLIGolden, HelpRun) {
                         "default knobs) and\n"
                         "reports both measurements.\n"
                         "\n"
+                        "with --mode, selects how the csspgo variant's "
+                        "training profile is\n"
+                        "collected: sample (PMU sampling, the default), "
+                        "trace (core-\n"
+                        "instruction trace replay, plus measured per-block "
+                        "timing for the\n"
+                        "transform gates) or instr (counters).\n"
+                        "\n"
                         "with --json, prints one machine-readable object "
                         "instead: the run\n"
                         "header plus the unified pipeline stats (profgen, "
@@ -78,6 +86,32 @@ TEST(CLIGolden, HelpRun) {
                         "verify) in stable key order.\n"
                         "\n") +
                 GlobalBlock);
+}
+
+TEST(CLIGolden, HelpTrace) {
+  EXPECT_EQ(
+      helpFor("trace"),
+      std::string(
+          "usage: csspgo_exp trace <workload> [scale]\n"
+          "  trace-mode diagnostics and sampling-path cross-check\n"
+          "\n"
+          "collects a core-instruction trace of the training run (TNT/TIP\n"
+          "packets, delta-compressed timestamps), replays it into a "
+          "context\n"
+          "profile and cross-checks it against the PMU-sampling path: the "
+          "two\n"
+          "profiles must be bit-identical whenever frequencies suffice.\n"
+          "Prints trace size and compression, the replay's timestamp\n"
+          "validation, per-mode profiling overhead and the measured "
+          "per-block\n"
+          "timing summary; exits nonzero on a profile mismatch.\n"
+          "\n"
+          "flags:\n"
+          "  --every N       timestamp every N branch events (default 32)\n"
+          "  --max-kb N      trace buffer bound in KiB (default 65536)\n"
+          "  --no-compress   raw 8-byte timestamps instead of deltas\n"
+          "\n") +
+          GlobalBlock);
 }
 
 TEST(CLIGolden, HelpBolt) {
@@ -226,7 +260,7 @@ TEST(CLIGolden, UsageListsEverySubcommandAndEndsWithGlobals) {
   std::string U = cli::usageText();
   size_t Count = 0;
   const cli::SubcommandInfo *Subs = cli::subcommands(Count);
-  EXPECT_EQ(Count, 11u);
+  EXPECT_EQ(Count, 12u);
   size_t Prev = 0;
   for (size_t I = 0; I != Count; ++I) {
     size_t Pos = U.find(std::string("csspgo_exp ") + Subs[I].Name);
@@ -271,6 +305,51 @@ TEST(CLIFlags, MalformedValuesAreRejectedWithADiagnostic) {
     EXPECT_FALSE(cli::parseGlobalFlags(A.Count, A.Ptrs.data(), G, Err));
     EXPECT_FALSE(Err.empty());
   }
+}
+
+// Regression: strtoull silently wraps negative inputs into huge
+// magnitudes ("-3" -> 2^64 - 3), so `-j -3` used to parse as a
+// 19-digit shard count and `--decay -1` as more-than-plain merge.
+// parseUnsigned must reject a leading '-' (and leading whitespace,
+// which strtoull also skips) outright.
+TEST(CLIFlags, NegativeAndPaddedValuesAreRejected) {
+  unsigned long long N = 0;
+  EXPECT_FALSE(cli::parseUnsigned("-3", N));
+  EXPECT_FALSE(cli::parseUnsigned("-0", N));
+  EXPECT_FALSE(cli::parseUnsigned(" 5", N));
+  EXPECT_FALSE(cli::parseUnsigned("\t5", N));
+  EXPECT_TRUE(cli::parseUnsigned("5", N));
+  EXPECT_EQ(N, 5u);
+
+  for (std::vector<std::string> Bad :
+       {std::vector<std::string>{"run", "-j", "-3"},
+        std::vector<std::string>{"run", "--decay", "-1"},
+        std::vector<std::string>{"run", "--timestamp", "-42"}}) {
+    Argv A(Bad);
+    cli::GlobalOptions G;
+    std::string Err;
+    EXPECT_FALSE(cli::parseGlobalFlags(A.Count, A.Ptrs.data(), G, Err))
+        << Bad[1] << " " << Bad[2];
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(CLIFlags, TakeValueFlagConsumesValueOrReportsMissing) {
+  Argv A({"run", "AdRanker", "csspgo", "--mode", "trace"});
+  std::string Mode, Err;
+  ASSERT_TRUE(cli::takeValueFlag(A.Count, A.Ptrs.data(), "--mode", Mode, Err));
+  EXPECT_EQ(Mode, "trace");
+  EXPECT_EQ(A.Count, 4); // Flag and value consumed.
+
+  Argv B({"run", "AdRanker", "csspgo"});
+  Mode.clear();
+  ASSERT_TRUE(cli::takeValueFlag(B.Count, B.Ptrs.data(), "--mode", Mode, Err));
+  EXPECT_TRUE(Mode.empty()); // Absent: untouched.
+
+  Argv C({"run", "AdRanker", "csspgo", "--mode"});
+  EXPECT_FALSE(
+      cli::takeValueFlag(C.Count, C.Ptrs.data(), "--mode", Mode, Err));
+  EXPECT_FALSE(Err.empty());
 }
 
 TEST(CLIFlags, UnknownFlagsAreLeftForTheSubcommand) {

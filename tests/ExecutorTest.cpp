@@ -195,6 +195,53 @@ TEST(Executor, CounterDumpMerge) {
   EXPECT_EQ(A.Functions["g"][1], 5u);
 }
 
+TEST(Executor, CounterDumpMergeSaturatesInsteadOfWrapping) {
+  // Regression: the merge used Dst += Src and long-running aggregation
+  // could wrap counters past UINT64_MAX into tiny values. It now clamps
+  // through the shared saturatingAccum and reports how many slots did.
+  CounterDump A, B;
+  A.Functions["f"] = {0, UINT64_MAX - 1, 10};
+  B.Functions["f"] = {0, 5, 7};
+  uint64_t Saturated = mergeCounterDumps(A, B);
+  EXPECT_EQ(Saturated, 1u);
+  EXPECT_EQ(A.Functions["f"][1], UINT64_MAX);
+  EXPECT_EQ(A.Functions["f"][2], 17u);
+  // A second merge into an already-clamped slot stays clamped.
+  EXPECT_EQ(mergeCounterDumps(A, B), 1u);
+  EXPECT_EQ(A.Functions["f"][1], UINT64_MAX);
+}
+
+TEST(Executor, ZeroSkidSamplingDeliversImmediately) {
+  // Regression: MaxSkidInstructions = 0 with imprecise sampling fed
+  // Rng::nextBelow(0) — division by zero in the skid draw. Zero skid now
+  // means "deliver at the triggering instruction", i.e. the sample stream
+  // matches precise mode's exactly.
+  auto M = makeCallerModule(2000);
+  ExecConfig Zero;
+  Zero.Sampler.Enabled = true;
+  Zero.Sampler.PeriodCycles = 97;
+  Zero.Sampler.Precise = false;
+  Zero.Sampler.MaxSkidInstructions = 0;
+  RunResult R = compileAndRun(*M, Zero);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  ASSERT_FALSE(R.Samples.empty());
+  for (const PerfSample &S : R.Samples)
+    EXPECT_FALSE(S.Stack.empty());
+
+  ExecConfig Precise = Zero;
+  Precise.Sampler.Precise = true;
+  RunResult P = compileAndRun(*M, Precise);
+  ASSERT_EQ(P.Samples.size(), R.Samples.size());
+  for (size_t I = 0; I != P.Samples.size(); ++I) {
+    EXPECT_EQ(P.Samples[I].Stack, R.Samples[I].Stack);
+    ASSERT_EQ(P.Samples[I].LBR.size(), R.Samples[I].LBR.size());
+    for (size_t J = 0; J != P.Samples[I].LBR.size(); ++J) {
+      EXPECT_EQ(P.Samples[I].LBR[J].Src, R.Samples[I].LBR[J].Src);
+      EXPECT_EQ(P.Samples[I].LBR[J].Dst, R.Samples[I].LBR[J].Dst);
+    }
+  }
+}
+
 TEST(Executor, TailCallRemovesFrameFromStack) {
   // main -> outer -> (tail) inner: stack samples inside inner must not
   // contain outer's return site.

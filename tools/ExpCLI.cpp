@@ -6,6 +6,7 @@
 
 #include "ExpCLI.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 
@@ -25,9 +26,29 @@ const SubcommandInfo Table[] = {
      "the optimized binary (the `bolt` pipeline with default knobs) and\n"
      "reports both measurements.\n"
      "\n"
+     "with --mode, selects how the csspgo variant's training profile is\n"
+     "collected: sample (PMU sampling, the default), trace (core-\n"
+     "instruction trace replay, plus measured per-block timing for the\n"
+     "transform gates) or instr (counters).\n"
+     "\n"
      "with --json, prints one machine-readable object instead: the run\n"
      "header plus the unified pipeline stats (profgen, reduce, loader,\n"
      "verify) in stable key order.",
+     true},
+    {"trace", "<workload> [scale]",
+     "trace-mode diagnostics and sampling-path cross-check", 1,
+     "collects a core-instruction trace of the training run (TNT/TIP\n"
+     "packets, delta-compressed timestamps), replays it into a context\n"
+     "profile and cross-checks it against the PMU-sampling path: the two\n"
+     "profiles must be bit-identical whenever frequencies suffice.\n"
+     "Prints trace size and compression, the replay's timestamp\n"
+     "validation, per-mode profiling overhead and the measured per-block\n"
+     "timing summary; exits nonzero on a profile mismatch.\n"
+     "\n"
+     "flags:\n"
+     "  --every N       timestamp every N branch events (default 32)\n"
+     "  --max-kb N      trace buffer bound in KiB (default 65536)\n"
+     "  --no-compress   raw 8-byte timestamps instead of deltas",
      true},
     {"bolt", "<workload> <variant> [scale]",
      "post-link optimize the variant's binary, then re-evaluate", 2,
@@ -112,6 +133,11 @@ const SubcommandInfo *findSubcommand(const char *Name) {
 //===----------------------------------------------------------------------===//
 
 bool parseUnsigned(const char *S, unsigned long long &Out, int Base) {
+  // strtoull itself skips leading whitespace and accepts a '-' sign,
+  // wrapping negatives into huge magnitudes ("-3" -> 2^64 - 3); these are
+  // never valid flag values, so reject them up front.
+  if (!S || std::isspace(static_cast<unsigned char>(*S)) || *S == '-')
+    return false;
   char *End = nullptr;
   Out = std::strtoull(S, &End, Base);
   return End != S && !*End;
@@ -188,6 +214,24 @@ bool takeUnsignedFlag(int &argc, char **argv, const char *Name,
   return true;
 }
 
+bool takeValueFlag(int &argc, char **argv, const char *Name,
+                   std::string &Out, std::string &Err) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], Name) != 0)
+      continue;
+    if (I + 1 >= argc) {
+      Err = std::string("missing value for ") + Name;
+      return false;
+    }
+    Out = argv[I + 1];
+    for (int J = I; J + 2 < argc; ++J)
+      argv[J] = argv[J + 2];
+    argc -= 2;
+    return true;
+  }
+  return true;
+}
+
 bool takeBoolFlag(int &argc, char **argv, const char *Name) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], Name) != 0)
@@ -236,7 +280,7 @@ std::string usageText() {
     S += Sub.Help;
     S += '\n';
   }
-  S += "\nvariants: none instr autofdo probeonly csspgo\n";
+  S += "\nvariants: none instr autofdo probeonly csspgo trace\n";
   S += "`csspgo_exp <subcommand> --help` shows subcommand details.\n\n";
   S += globalOptionsText();
   return S;

@@ -77,6 +77,10 @@ bool parseGlobalFlags(int &argc, char **argv, GlobalOptions &G,
 /// value. Absent flag leaves \p Out untouched and returns true.
 bool takeUnsignedFlag(int &argc, char **argv, const char *Name,
                       unsigned long long &Out, std::string &Err);
+/// Consumes `--name <value>` verbatim into \p Out; false + Err when the
+/// flag is present without a value. Absent flag leaves \p Out untouched.
+bool takeValueFlag(int &argc, char **argv, const char *Name,
+                   std::string &Out, std::string &Err);
 /// Consumes bare `--name` from argv; returns whether it was present.
 bool takeBoolFlag(int &argc, char **argv, const char *Name);
 /// First remaining `--flag` in argv, or null (leftover detection).

@@ -13,6 +13,7 @@
 #include "sim/Executor.h"
 #include "store/ProfileStore.h"
 #include "support/Random.h"
+#include "trace/TraceDecoder.h"
 #include "verify/ProfileVerifier.h"
 #include "workload/Workloads.h"
 
@@ -636,6 +637,107 @@ bool fuzzOne(uint64_t Seed, std::string &Err) {
         Err = "post-link accepted a mutated binary that does not round "
               "trip: " + MutWhy;
         return false;
+      }
+    }
+  }
+
+  // --- 11. Trace decoder: replay differential + corruption barrier -----
+  // A core-instruction trace of the same run, replayed under the sampling
+  // run's configuration, must reproduce that run's sample stream bit for
+  // bit (the trace-mode headline property, here under randomized
+  // workloads, sampler configs and timestamp cadences). Mutated traces
+  // must either be rejected with a diagnostic or decode cleanly; honestly
+  // truncated ones must decode to their prefix. Never a crash.
+  {
+    ExecConfig TraceExec;
+    TraceExec.Trace.Enabled = true;
+    const uint32_t Cadences[] = {0, 7, 32, 131};
+    TraceExec.Trace.TimestampEvery = Cadences[R.nextBelow(4)];
+    TraceExec.Trace.CompressTimestamps = R.nextBool(0.8);
+    std::vector<int64_t> MemTrace = generateInput(WC, Seed);
+    RunResult Traced = execute(*Build.Bin, "main", MemTrace, TraceExec);
+    if (MemTrace != MemFast) {
+      Err = "trace divergence: traced run's final memory differs";
+      return false;
+    }
+    TraceReplayOptions RO;
+    RO.Sampler = Exec.Sampler;
+    RO.Format = TraceExec.Trace;
+    Expected<TraceReplayResult> Replay =
+        replayTrace(*Build.Bin, "main", Traced.Trace, RO);
+    if (!Replay) {
+      Err = "trace replay rejected a freshly recorded trace: " +
+            Replay.status().message();
+      return false;
+    }
+    if (!Replay->Completed || Replay->TimestampMismatches) {
+      Err = "trace replay of a clean trace did not complete cleanly";
+      return false;
+    }
+    if (Replay->Cycles != Fast.Cycles ||
+        Replay->Samples.size() != Fast.Samples.size()) {
+      std::ostringstream OS;
+      OS << "trace replay diverges from the sampling run: cycles "
+         << Replay->Cycles << " vs " << Fast.Cycles << ", samples "
+         << Replay->Samples.size() << " vs " << Fast.Samples.size();
+      Err = OS.str();
+      return false;
+    }
+    for (size_t I = 0; I != Replay->Samples.size(); ++I) {
+      const PerfSample &A = Replay->Samples[I];
+      const PerfSample &B = Fast.Samples[I];
+      bool Same = A.Stack == B.Stack && A.LBR.size() == B.LBR.size();
+      for (size_t J = 0; Same && J != A.LBR.size(); ++J)
+        Same = A.LBR[J].Src == B.LBR[J].Src && A.LBR[J].Dst == B.LBR[J].Dst;
+      if (!Same) {
+        Err = "trace replay sample " + std::to_string(I) +
+              " differs from the sampling run's";
+        return false;
+      }
+    }
+
+    for (int M = 0; M != 8 && !Traced.Trace.Bytes.empty(); ++M) {
+      TraceData Bad = Traced.Trace;
+      switch (R.nextBelow(3)) {
+      case 0: // Bit flip.
+        Bad.Bytes[R.nextBelow(Bad.Bytes.size())] ^=
+            static_cast<uint8_t>(1u << R.nextBelow(8));
+        break;
+      case 1: // Cut without the truncation flag.
+        Bad.Bytes.resize(R.nextBelow(Bad.Bytes.size()));
+        break;
+      case 2: // Garbage byte inserted.
+        Bad.Bytes.insert(Bad.Bytes.begin() +
+                             R.nextBelow(Bad.Bytes.size() + 1),
+                         static_cast<uint8_t>(R.next()));
+        break;
+      }
+      Expected<TraceReplayResult> RB =
+          replayTrace(*Build.Bin, "main", Bad, RO);
+      if (!RB && RB.status().message().empty()) {
+        Err = "trace decoder rejected a mutated trace without a "
+              "diagnostic";
+        return false;
+      }
+    }
+
+    // Honest truncation: re-record under a tight buffer bound. The
+    // recorder drops whole packets, so the bounded prefix must replay
+    // cleanly (an arbitrary byte cut is corruption, covered above).
+    if (Traced.Trace.Bytes.size() > 8) {
+      ExecConfig Bounded = TraceExec;
+      Bounded.Trace.MaxBytes =
+          8 + R.nextBelow(Traced.Trace.Bytes.size() - 8);
+      std::vector<int64_t> MemBounded = generateInput(WC, Seed);
+      RunResult Short = execute(*Build.Bin, "main", MemBounded, Bounded);
+      if (Short.Trace.Truncated) {
+        Expected<TraceReplayResult> RC =
+            replayTrace(*Build.Bin, "main", Short.Trace, RO);
+        if (!RC) {
+          Err = "trace decoder rejected an honestly truncated trace: " +
+                RC.status().message();
+          return false;
+        }
       }
     }
   }

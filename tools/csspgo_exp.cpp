@@ -50,6 +50,8 @@ bool parseVariant(const std::string &S, PGOVariant &V) {
     V = PGOVariant::CSSPGOProbeOnly;
   else if (S == "csspgo")
     V = PGOVariant::CSSPGOFull;
+  else if (S == "trace")
+    V = PGOVariant::Trace;
   else
     return false;
   return true;
@@ -108,7 +110,8 @@ int cmdList(int, char **) {
   std::printf("workloads:");
   for (const std::string &W : serverWorkloadNames())
     std::printf(" %s", W.c_str());
-  std::printf(" ClangProxy\nvariants: none instr autofdo probeonly csspgo\n");
+  std::printf(" ClangProxy\n"
+              "variants: none instr autofdo probeonly csspgo trace\n");
   return 0;
 }
 
@@ -145,6 +148,11 @@ void printRunJSON(const char *Workload, PGOVariant V,
 
 int cmdRun(int argc, char **argv) {
   bool PostLink = cli::takeBoolFlag(argc, argv, "--postlink");
+  std::string Mode, Err;
+  if (!cli::takeValueFlag(argc, argv, "--mode", Mode, Err)) {
+    std::fprintf(stderr, "run: %s\n", Err.c_str());
+    return 2;
+  }
   if (const char *Flag = cli::firstFlag(argc, argv)) {
     std::fprintf(stderr, "run: unknown option '%s'\n", Flag);
     return 2;
@@ -155,6 +163,25 @@ int cmdRun(int argc, char **argv) {
   if (!parseVariant(argv[3], V)) {
     std::fprintf(stderr, "unknown variant '%s'\n", argv[3]);
     return 2;
+  }
+  if (!Mode.empty()) {
+    // --mode selects the collection mechanism behind the csspgo profile:
+    // sampling (the default), the core-instruction trace, or counters.
+    if (V != PGOVariant::CSSPGOFull && V != PGOVariant::Trace) {
+      std::fprintf(stderr, "run: --mode applies to the csspgo variant\n");
+      return 2;
+    }
+    if (Mode == "sample")
+      V = PGOVariant::CSSPGOFull;
+    else if (Mode == "trace")
+      V = PGOVariant::Trace;
+    else if (Mode == "instr")
+      V = PGOVariant::Instr;
+    else {
+      std::fprintf(stderr, "run: unknown --mode '%s' (sample|trace|instr)\n",
+                   Mode.c_str());
+      return 2;
+    }
   }
   ExperimentConfig Config =
       makeConfig(argv[2], argc > 4 ? std::atof(argv[4]) : 1.0);
@@ -172,6 +199,17 @@ int cmdRun(int argc, char **argv) {
                 (!PostLink || PL.ExitValue == Out.ExitValue);
   if (G.JSON) {
     printRunJSON(argv[2], V, Config, Out, Base);
+    if (V == PGOVariant::Trace)
+      std::printf("{\"trace\":{\"bytes\":%llu,\"packets\":%llu,"
+                  "\"branch_events\":%llu,\"truncated\":%s,"
+                  "\"timestamps\":%llu,\"timestamp_mismatches\":%llu}}\n",
+                  static_cast<unsigned long long>(Out.TraceBytes),
+                  static_cast<unsigned long long>(Out.TracePackets),
+                  static_cast<unsigned long long>(Out.TraceBranchEvents),
+                  Out.TraceTruncated ? "true" : "false",
+                  static_cast<unsigned long long>(Out.TraceTimestamps),
+                  static_cast<unsigned long long>(
+                      Out.TraceTimestampMismatches));
     if (PostLink)
       std::printf("{\"postlink\":{\"eval_cycles\":%.0f,"
                   "\"mapped_sample_rate\":%.4f,\"funcs_folded\":%u,"
@@ -189,6 +227,15 @@ int cmdRun(int argc, char **argv) {
   std::printf("variant:             %s\n", variantName(V));
   std::printf("profiling overhead:  %s\n",
               formatSignedPercent(Out.ProfilingOverheadPct).c_str());
+  if (V == PGOVariant::Trace)
+    std::printf("trace:               %s%s, %llu packets, %llu TSC "
+                "(%llu mismatches)\n",
+                formatBytes(Out.TraceBytes).c_str(),
+                Out.TraceTruncated ? " (truncated)" : "",
+                static_cast<unsigned long long>(Out.TracePackets),
+                static_cast<unsigned long long>(Out.TraceTimestamps),
+                static_cast<unsigned long long>(
+                    Out.TraceTimestampMismatches));
   std::printf("eval cycles:         %.0f (plain %.0f)\n", Out.EvalCyclesMean,
               Base.EvalCyclesMean);
   std::printf("speedup vs plain:    %s\n",
@@ -242,6 +289,113 @@ int cmdRun(int argc, char **argv) {
               static_cast<long long>(Base.ExitValue),
               ExitOk ? ", identical" : " — MISMATCH!");
   return ExitOk ? 0 : 1;
+}
+
+/// `trace <workload> [scale]`: one traced training run cross-checked
+/// against the PMU-sampling path. The exit status pins the headline
+/// property (trace-derived profile bit-identical to the sampling path's),
+/// so the CI smoke can gate on it.
+int cmdTrace(int argc, char **argv) {
+  unsigned long long Every = 32, MaxKB = 64 * 1024;
+  bool NoCompress = cli::takeBoolFlag(argc, argv, "--no-compress");
+  std::string Err;
+  if (!cli::takeUnsignedFlag(argc, argv, "--every", Every, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--max-kb", MaxKB, Err)) {
+    std::fprintf(stderr, "trace: %s\n", Err.c_str());
+    return 2;
+  }
+  if (const char *Flag = cli::firstFlag(argc, argv)) {
+    std::fprintf(stderr, "trace: unknown option '%s'\n", Flag);
+    return 2;
+  }
+  if (argc < 3)
+    return usage();
+
+  ExperimentConfig Config =
+      makeConfig(argv[2], argc > 3 ? std::atof(argv[3]) : 1.0);
+  Config.Trace.TimestampEvery = static_cast<uint32_t>(Every);
+  Config.Trace.MaxBytes = MaxKB * 1024;
+  Config.Trace.CompressTimestamps = !NoCompress;
+
+  PGODriver Driver(Config);
+  const VariantOutcome &Base = Driver.baseline();
+  VariantOutcome T = Driver.run(PGOVariant::Trace);
+  VariantOutcome S = Driver.run(PGOVariant::CSSPGOFull);
+
+  // The decoder replays the trace against the exact sampler configuration
+  // the sampling path ran under, so the two context profiles must be
+  // byte-identical whenever frequencies suffice.
+  bool Identical = serializeContextProfile(T.Profile.CS) ==
+                   serializeContextProfile(S.Profile.CS);
+  bool ExitOk = T.ExitValue == Base.ExitValue;
+  double BytesPerEvent =
+      T.TraceBranchEvents
+          ? static_cast<double>(T.TraceBytes) / T.TraceBranchEvents
+          : 0.0;
+
+  uint64_t TimedBlocks = 0, TimedCycles = 0, TimedMispredicts = 0;
+  if (T.Profile.Timing) {
+    TimedBlocks = T.Profile.Timing->Blocks.size();
+    for (const auto &[Key, St] : T.Profile.Timing->Blocks) {
+      TimedCycles += St.Cycles;
+      TimedMispredicts += St.Mispredicts;
+    }
+  }
+
+  if (G.JSON) {
+    std::printf(
+        "{\"workload\":\"%s\",\"trace_bytes\":%llu,\"packets\":%llu,"
+        "\"branch_events\":%llu,\"bytes_per_branch\":%.4f,"
+        "\"truncated\":%s,\"timestamps\":%llu,"
+        "\"timestamp_mismatches\":%llu,"
+        "\"trace_overhead_pct\":%.4f,\"sampling_overhead_pct\":%.4f,"
+        "\"profile_match\":%s,\"timing_blocks\":%llu,"
+        "\"timing_cycles\":%llu,\"timing_mispredicts\":%llu,"
+        "\"exit_match\":%s}\n",
+        argv[2], static_cast<unsigned long long>(T.TraceBytes),
+        static_cast<unsigned long long>(T.TracePackets),
+        static_cast<unsigned long long>(T.TraceBranchEvents), BytesPerEvent,
+        T.TraceTruncated ? "true" : "false",
+        static_cast<unsigned long long>(T.TraceTimestamps),
+        static_cast<unsigned long long>(T.TraceTimestampMismatches),
+        T.ProfilingOverheadPct, S.ProfilingOverheadPct,
+        Identical ? "true" : "false",
+        static_cast<unsigned long long>(TimedBlocks),
+        static_cast<unsigned long long>(TimedCycles),
+        static_cast<unsigned long long>(TimedMispredicts),
+        ExitOk ? "true" : "false");
+    return Identical && ExitOk ? 0 : 1;
+  }
+  std::printf("workload:            %s (%u requests)\n", argv[2],
+              Config.Workload.Requests);
+  std::printf("trace:               %s%s, %llu packets, %llu branch "
+              "events\n",
+              formatBytes(T.TraceBytes).c_str(),
+              T.TraceTruncated ? " (truncated)" : "",
+              static_cast<unsigned long long>(T.TracePackets),
+              static_cast<unsigned long long>(T.TraceBranchEvents));
+  std::printf("compression:         %.2f bytes/branch event (timestamp "
+              "every %llu%s)\n",
+              BytesPerEvent, Every, NoCompress ? ", raw" : "");
+  std::printf("timestamp check:     %llu TSC packets, %llu mismatches\n",
+              static_cast<unsigned long long>(T.TraceTimestamps),
+              static_cast<unsigned long long>(T.TraceTimestampMismatches));
+  std::printf("profiling overhead:  %s (sampling %s)\n",
+              formatSignedPercent(T.ProfilingOverheadPct).c_str(),
+              formatSignedPercent(S.ProfilingOverheadPct).c_str());
+  std::printf("profile match:       %s\n",
+              Identical ? "bit-identical to the sampling path"
+                        : "MISMATCH vs the sampling path!");
+  std::printf("timing profile:      %llu blocks, %llu cycles attributed, "
+              "%llu mispredicts\n",
+              static_cast<unsigned long long>(TimedBlocks),
+              static_cast<unsigned long long>(TimedCycles),
+              static_cast<unsigned long long>(TimedMispredicts));
+  std::printf("exit value:          %lld (plain %lld%s)\n",
+              static_cast<long long>(T.ExitValue),
+              static_cast<long long>(Base.ExitValue),
+              ExitOk ? ", identical" : " — MISMATCH!");
+  return Identical && ExitOk ? 0 : 1;
 }
 
 int cmdBolt(int argc, char **argv) {
@@ -379,7 +533,8 @@ int cmdCompare(int argc, char **argv) {
   const VariantOutcome &Base = Driver.baseline();
   TextTable Table({"variant", "profiling overhead", "vs plain", "size"});
   for (PGOVariant V : {PGOVariant::Instr, PGOVariant::AutoFDO,
-                       PGOVariant::CSSPGOProbeOnly, PGOVariant::CSSPGOFull}) {
+                       PGOVariant::CSSPGOProbeOnly, PGOVariant::CSSPGOFull,
+                       PGOVariant::Trace}) {
     VariantOutcome Out = Driver.run(V);
     Table.addRow({variantName(V),
                   formatSignedPercent(Out.ProfilingOverheadPct),
@@ -670,10 +825,10 @@ struct HandlerEntry {
 };
 
 const HandlerEntry Handlers[] = {
-    {"run", cmdRun},       {"bolt", cmdBolt},       {"profile", cmdProfile},
-    {"compare", cmdCompare}, {"ir", cmdIR},         {"convert", cmdConvert},
-    {"store", cmdStore},   {"fuzz", cmdFuzz},       {"serve", cmdServe},
-    {"fleet", cmdFleet},   {"list", cmdList},
+    {"run", cmdRun},       {"trace", cmdTrace},     {"bolt", cmdBolt},
+    {"profile", cmdProfile}, {"compare", cmdCompare}, {"ir", cmdIR},
+    {"convert", cmdConvert}, {"store", cmdStore},   {"fuzz", cmdFuzz},
+    {"serve", cmdServe},   {"fleet", cmdFleet},     {"list", cmdList},
 };
 
 int usage() {
