@@ -30,30 +30,12 @@
 
 #include "sim/Executor.h"
 #include "store/ProfileStore.h"
+#include "workload/DriftPlan.h"
 
 using namespace csspgo;
 using namespace csspgo::bench;
 
 namespace {
-
-/// Mean optimized-binary cycles of \p Build over the config's eval inputs.
-double evalMean(const BuildResult &Build, const ExperimentConfig &Config) {
-  std::vector<uint64_t> Cycles;
-  for (unsigned E = 0; E != Config.EvalRuns; ++E) {
-    std::vector<int64_t> Mem = generateInput(
-        Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
-    Cycles.push_back(execute(*Build.Bin, "main", Mem, {}).Cycles);
-  }
-  return meanCI(Cycles).Mean;
-}
-
-BuildConfig variantBuildConfig(PGOVariant V, const ExperimentConfig &Config) {
-  BuildConfig BC;
-  BC.Variant = V;
-  if (V == PGOVariant::CSSPGOFull && Config.RunPreInliner)
-    BC.Loader.InlineHotContexts = false;
-  return BC;
-}
 
 void legacyCommentDriftTable(unsigned Jobs) {
   TextTable Table({"workload", "variant", "no-drift vs plain",
@@ -80,11 +62,11 @@ void legacyCommentDriftTable(unsigned Jobs) {
 
         VariantOutcome Out = Driver.run(C.Variant);
 
-        BuildConfig BC = variantBuildConfig(C.Variant, Config);
+        BuildConfig BC = staleVariantBuildConfig(C.Variant, Config);
         BC.Loader.RecoverStaleProfiles = false; // Paper's legacy behavior.
         BuildResult DriftBuild = buildWithPGO(*Drifted, BC, &Out.Profile);
 
-        double DriftMean = evalMean(DriftBuild, Config);
+        double DriftMean = evalMeanCycles(DriftBuild, Config);
         double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
         double WithDrift = improvement(DriftMean, Plain.EvalCyclesMean);
         return std::vector<std::string>{
@@ -123,39 +105,33 @@ void cfgDriftDropVsMatchTable(unsigned Jobs, size_t CellLimit) {
     // The profiled release: pristine source for insert-drift; for
     // delete-drift the guards must already exist when profiling, so the
     // driver runs over an externally drifted module.
+    DriftPlan Plan = C.DeleteDrift ? deleteDriftPlan() : insertDriftPlan();
     std::unique_ptr<Module> V1 = generateProgram(Config.Workload);
-    if (C.DeleteDrift)
-      applyCFGDrift(*V1, CFGDriftKind::GuardInsert);
+    applyDriftSteps(*V1, Plan.PrepSteps);
     PGODriver Driver(Config, std::move(V1));
     const VariantOutcome &Plain = Driver.baseline();
     VariantOutcome Out = Driver.run(C.Variant);
 
     // The drifted "next release".
     auto V2 = Driver.source().clone();
-    if (C.DeleteDrift) {
-      applyCFGDrift(*V2, CFGDriftKind::GuardDelete);
-    } else {
-      applyCFGDrift(*V2, CFGDriftKind::GuardInsert);
-      applyCFGDrift(*V2, CFGDriftKind::BlockSplit);
-      applyCFGDrift(*V2, CFGDriftKind::CalleeRename);
-    }
+    applyDriftSteps(*V2, Plan.Steps);
 
     // Plain build of the drifted source: the fair baseline for both
     // drifted PGO builds (the drift itself perturbs code layout).
     BuildConfig PlainBC;
     BuildResult PlainV2 = buildWithPGO(*V2, PlainBC, nullptr);
-    double PlainV2Mean = evalMean(PlainV2, Config);
+    double PlainV2Mean = evalMeanCycles(PlainV2, Config);
 
     // Drop build (legacy) vs match build (stale matcher on) from the
     // same stale profile.
-    BuildConfig DropBC = variantBuildConfig(C.Variant, Config);
+    BuildConfig DropBC = staleVariantBuildConfig(C.Variant, Config);
     DropBC.Loader.RecoverStaleProfiles = false;
     BuildResult DropBuild = buildWithPGO(*V2, DropBC, &Out.Profile);
-    double DropMean = evalMean(DropBuild, Config);
+    double DropMean = evalMeanCycles(DropBuild, Config);
 
-    BuildConfig MatchBC = variantBuildConfig(C.Variant, Config);
+    BuildConfig MatchBC = staleVariantBuildConfig(C.Variant, Config);
     BuildResult MatchBuild = buildWithPGO(*V2, MatchBC, &Out.Profile);
-    double MatchMean = evalMean(MatchBuild, Config);
+    double MatchMean = evalMeanCycles(MatchBuild, Config);
 
     double NoDrift = improvement(Out.EvalCyclesMean, Plain.EvalCyclesMean);
     double Drop = improvement(DropMean, PlainV2Mean);
@@ -201,7 +177,7 @@ void continuousIngestTable(unsigned Jobs, size_t CellLimit) {
     // Release v2: CFG drift lands between the releases. v2 is deployed
     // and profiled too — epoch 2, folded in at decay 0.5.
     auto V2 = DriverV1.source().clone();
-    applyCFGDrift(*V2, CFGDriftKind::GuardInsert);
+    applyDriftSteps(*V2, {{CFGDriftKind::GuardInsert, 1}});
     PGODriver DriverV2(Config, V2->clone());
     const VariantOutcome &PlainV2 = DriverV2.baseline();
     VariantOutcome OutV2 = DriverV2.run(C.Variant);
@@ -254,11 +230,11 @@ void continuousIngestTable(unsigned Jobs, size_t CellLimit) {
       std::exit(1);
     }
 
-    BuildConfig BC = variantBuildConfig(C.Variant, Config);
+    BuildConfig BC = staleVariantBuildConfig(C.Variant, Config);
     BuildResult StaleBuild = buildWithPGO(*V2, BC, &OutV1.Profile);
     BuildResult MergedBuild = buildWithPGO(*V2, BC, &Merged);
-    double StaleMean = evalMean(StaleBuild, Config);
-    double MergedMean = evalMean(MergedBuild, Config);
+    double StaleMean = evalMeanCycles(StaleBuild, Config);
+    double MergedMean = evalMeanCycles(MergedBuild, Config);
 
     double Stale = improvement(StaleMean, PlainV2.EvalCyclesMean);
     double MergedImp = improvement(MergedMean, PlainV2.EvalCyclesMean);

@@ -126,7 +126,8 @@ BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,
 }
 
 std::unique_ptr<Module> annotateForQuality(const Module &Source,
-                                           const ProfileBundle &Profile) {
+                                           const ProfileBundle &Profile,
+                                           const LoaderOptions &Base) {
   auto M = Source.clone();
   // Anchors matching the profile kind so correlation works; counter and
   // probe insertion add the same one-intrinsic-per-block shape, keeping
@@ -136,7 +137,7 @@ std::unique_ptr<Module> annotateForQuality(const Module &Source,
   else if (Profile.IsCS || Profile.Flat.Kind == ProfileKind::ProbeBased)
     insertProbes(*M, AnchorKind::PseudoProbe);
 
-  LoaderOptions NoInline;
+  LoaderOptions NoInline = Base;
   NoInline.ReplayInlining = false;
   NoInline.InlineHotContexts = false;
   NoInline.MaxInlineSize = 0;
@@ -146,6 +147,11 @@ std::unique_ptr<Module> annotateForQuality(const Module &Source,
     loadFlatProfile(*M, Profile.Flat, Profile.IsInstr, NoInline);
   inferModuleProfile(*M);
   return M;
+}
+
+std::unique_ptr<Module> annotateForQuality(const Module &Source,
+                                           const ProfileBundle &Profile) {
+  return annotateForQuality(Source, Profile, LoaderOptions());
 }
 
 } // namespace csspgo

@@ -120,6 +120,13 @@ BuildResult buildWithPGO(const Module &Source, const BuildConfig &Config,
 std::unique_ptr<Module> annotateForQuality(const Module &Source,
                                            const ProfileBundle &Profile);
 
+/// As above, but seeded from \p Base so loader policy knobs (e.g.
+/// RecoverStaleProfiles for a drop-policy quality column) carry through;
+/// the no-inline settings still override Base's inlining fields.
+std::unique_ptr<Module> annotateForQuality(const Module &Source,
+                                           const ProfileBundle &Profile,
+                                           const LoaderOptions &Base);
+
 } // namespace csspgo
 
 #endif // CSSPGO_PGO_BUILDPIPELINE_H

@@ -258,20 +258,29 @@ VariantOutcome PGODriver::run(PGOVariant V) {
 
 PostLinkOutcome PGODriver::runPostLink(PGOVariant V,
                                        const postlink::PostLinkOptions &Opts) {
+  return stackPostLink(run(V), Opts, Config.TrainSeed, 0.0);
+}
+
+PostLinkOutcome PGODriver::stackPostLink(VariantOutcome Base,
+                                         const postlink::PostLinkOptions &Opts,
+                                         uint64_t SampleSeed,
+                                         double SampleShift) {
   PostLinkOutcome Out;
-  Out.Base = run(V);
+  Out.Base = std::move(Base);
   const Binary &OptBin = *Out.Base.Build->Bin;
 
-  // Re-profile the deployed (optimized) binary on the training input —
-  // the samples a post-link optimizer consumes describe exactly the
-  // binary it rewrites, so the mapped-sample rate should be ~1.
+  // Re-profile the deployed (optimized) binary — normally on the training
+  // input, so the samples describe exactly the binary being rewritten and
+  // the mapped-sample rate should be ~1. The release train instead passes
+  // the previous release's eval-shifted seed here, making these the
+  // one-release-stale samples whose binary-level cost it measures.
   std::vector<int64_t> TrainMem =
-      generateInput(Config.Workload, Config.TrainSeed);
+      generateInput(Config.Workload, SampleSeed, SampleShift);
   ExecConfig Exec;
   Exec.Sampler.Enabled = true;
   Exec.Sampler.PeriodCycles = Config.SamplePeriodCycles;
   Exec.Sampler.Precise = Config.PreciseSampling;
-  Exec.Sampler.Seed = Config.TrainSeed;
+  Exec.Sampler.Seed = SampleSeed;
   RunResult Train = execute(OptBin, "main", TrainMem, Exec);
 
   // For probed binaries, also derive a flat probe profile from the same
@@ -355,6 +364,26 @@ double PGODriver::improvementPct(const VariantOutcome &V,
     return 0;
   return 100.0 * (Baseline.EvalCyclesMean - V.EvalCyclesMean) /
          Baseline.EvalCyclesMean;
+}
+
+BuildConfig staleVariantBuildConfig(PGOVariant V,
+                                    const ExperimentConfig &Config) {
+  BuildConfig BC;
+  BC.Variant = V;
+  if (V == PGOVariant::CSSPGOFull && Config.RunPreInliner)
+    BC.Loader.InlineHotContexts = false;
+  return BC;
+}
+
+double evalMeanCycles(const BuildResult &Build,
+                      const ExperimentConfig &Config) {
+  long double Sum = 0;
+  for (unsigned E = 0; E != Config.EvalRuns; ++E) {
+    std::vector<int64_t> Mem = generateInput(
+        Config.Workload, Config.EvalSeedBase + E, Config.EvalShift);
+    Sum += execute(*Build.Bin, "main", Mem, {}).Cycles;
+  }
+  return Config.EvalRuns ? static_cast<double>(Sum / Config.EvalRuns) : 0;
 }
 
 } // namespace csspgo

@@ -184,6 +184,16 @@ public:
   PostLinkOutcome runPostLink(PGOVariant V,
                               const postlink::PostLinkOptions &Opts = {});
 
+  /// Stacks the post-link optimizer on an already-computed \p Base, with
+  /// the rewriter's samples collected under input (\p SampleSeed,
+  /// \p SampleShift) instead of the training input. runPostLink is this
+  /// with (run(V), TrainSeed, 0.0); the release train passes an
+  /// eval-shifted previous-release seed to measure binary-level staleness.
+  /// The guarded rollout still consults only the training input.
+  PostLinkOutcome stackPostLink(VariantOutcome Base,
+                                const postlink::PostLinkOptions &Opts,
+                                uint64_t SampleSeed, double SampleShift);
+
   /// Percentage improvement of \p V over \p Baseline (positive = faster),
   /// computed from EvalCyclesMean.
   static double improvementPct(const VariantOutcome &V,
@@ -204,6 +214,20 @@ private:
   std::unique_ptr<Module> Source;
   std::unique_ptr<VariantOutcome> Baseline;
 };
+
+/// The build configuration the stale-profile experiments (drift ablation,
+/// release train) use when re-applying a previous release's profile to an
+/// edited source: a *default* BuildConfig for the variant — deliberately
+/// not PGODriver's (which copies Opt/Inline/Loader from the experiment
+/// config) — with the pre-inliner's InlineHotContexts rule preserved.
+BuildConfig staleVariantBuildConfig(PGOVariant V,
+                                    const ExperimentConfig &Config);
+
+/// Mean optimized-binary cycles of \p Build over \p Config's eval inputs
+/// (seeds EvalSeedBase..+EvalRuns at EvalShift) — the drift ablation's and
+/// the release train's shared evaluation metric.
+double evalMeanCycles(const BuildResult &Build,
+                      const ExperimentConfig &Config);
 
 } // namespace csspgo
 

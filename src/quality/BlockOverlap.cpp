@@ -38,7 +38,8 @@ double blockOverlapDegree(const std::vector<uint64_t> &F,
 }
 
 OverlapReport computeBlockOverlap(const Module &Measured,
-                                  const Module &GroundTruth) {
+                                  const Module &GroundTruth,
+                                  OverlapWeight Weight) {
   OverlapReport Report;
   long double WeightedSum = 0;
   long double TotalWeight = 0;
@@ -48,12 +49,13 @@ OverlapReport computeBlockOverlap(const Module &Measured,
     if (!GF || GF->Blocks.size() != MF->Blocks.size())
       continue;
     std::vector<uint64_t> F, GT;
-    uint64_t FSum = 0;
+    uint64_t FSum = 0, GTSum = 0;
     bool AnyAnnotated = false;
     for (size_t I = 0; I != MF->Blocks.size(); ++I) {
       F.push_back(MF->Blocks[I]->Count);
       GT.push_back(GF->Blocks[I]->Count);
       FSum += MF->Blocks[I]->Count;
+      GTSum += GF->Blocks[I]->Count;
       AnyAnnotated |= MF->Blocks[I]->HasCount || GF->Blocks[I]->HasCount;
     }
     if (!AnyAnnotated)
@@ -61,9 +63,11 @@ OverlapReport computeBlockOverlap(const Module &Measured,
     double D = blockOverlapDegree(F, GT);
     Report.PerFunction.emplace_back(MF->getName(), D);
     ++Report.FunctionsCompared;
-    // Weight by the function's share of measured samples (paper's D(P)).
-    WeightedSum += D * static_cast<long double>(FSum);
-    TotalWeight += static_cast<long double>(FSum);
+    // Weight by the function's share of samples (paper's D(P) weights by
+    // the measured share).
+    uint64_t W = Weight == OverlapWeight::Measured ? FSum : GTSum;
+    WeightedSum += D * static_cast<long double>(W);
+    TotalWeight += static_cast<long double>(W);
   }
   Report.ProgramOverlap =
       TotalWeight > 0 ? static_cast<double>(WeightedSum / TotalWeight) : 1.0;

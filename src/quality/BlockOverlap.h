@@ -42,13 +42,28 @@ struct OverlapReport {
   std::vector<std::pair<std::string, double>> PerFunction;
 };
 
+/// Function-weighting of the program aggregation.
+enum class OverlapWeight : uint8_t {
+  /// Each function weighted by its share of the *measured* samples (the
+  /// paper's D(P)). A profile that silently drops a function also removes
+  /// it from the aggregate — right for comparing collection modes, which
+  /// cover the same functions.
+  Measured,
+  /// Weighted by the *ground-truth* share instead: a function the
+  /// measured profile lost scores 0 at full weight. Right for staleness
+  /// studies, where dropping hot functions is precisely the failure mode
+  /// under measurement.
+  GroundTruth,
+};
+
 /// Computes the program overlap between two *identically shaped* modules
 /// whose blocks carry annotated counts (same functions, same block
 /// counts/order — both annotated from the same pristine IR). \p Measured
 /// is the sampling-based annotation, \p GroundTruth the instrumentation
 /// annotation.
-OverlapReport computeBlockOverlap(const Module &Measured,
-                                  const Module &GroundTruth);
+OverlapReport computeBlockOverlap(
+    const Module &Measured, const Module &GroundTruth,
+    OverlapWeight Weight = OverlapWeight::Measured);
 
 } // namespace csspgo
 

@@ -1,0 +1,174 @@
+//===- train/ReleaseTrain.h - Longitudinal release-train simulator -*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The longitudinal release-train simulator: the deployment scenario the
+/// stale-profile-matching literature actually evaluates. A workload source
+/// evolves through N successive releases (seeded drift plans drawn from
+/// both the CFG editors and the comment-drift line shift); each release is
+/// built with the *previous* release's profile under three staleness
+/// policies:
+///
+///   drop   — checksum-mismatched profiles dropped (legacy behavior),
+///   match  — the stale matcher (src/matcher) recovers them,
+///   ingest — the build consumes the multi-epoch decayed store aggregate
+///            (ProfilePipeline::ingest folds every release's profile under
+///            exponential decay), matcher on.
+///
+/// Per release the simulator records the trajectory: eval cycles vs the
+/// plain build and vs the fresh-profile oracle, block-overlap quality of
+/// the stale profile against the oracle's annotation, matcher and verifier
+/// statistics, and the store's freshness (epoch count / newest timestamp).
+/// Optionally the oracle binary is additionally routed through the
+/// post-link optimizer with one-release-stale (eval-shifted) samples — the
+/// PGO+BOLT column quantifying *binary-level* staleness.
+///
+/// Everything is deterministic: a fixed (workload, seed, release count)
+/// yields bit-identical trajectories at any job count, and a train can be
+/// resumed from a mid-train store snapshot (FirstRelease + InitialStore)
+/// with rows identical to the full run's tail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_TRAIN_RELEASETRAIN_H
+#define CSSPGO_TRAIN_RELEASETRAIN_H
+
+#include "pgo/PGODriver.h"
+#include "workload/DriftPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace csspgo {
+namespace train {
+
+/// What the build of release r does with release r-1's profile.
+enum class StalePolicy : uint8_t {
+  Drop,   ///< RecoverStaleProfiles off: mismatched profiles are dropped.
+  Match,  ///< Stale matcher recovers mismatched profiles.
+  Ingest, ///< Matcher + the decayed multi-epoch store aggregate.
+};
+
+const char *policyName(StalePolicy P);
+
+/// Parses "drop" / "match" / "ingest" (exact). Returns false on anything
+/// else.
+bool parsePolicy(const std::string &Name, StalePolicy &Out);
+
+struct TrainConfig {
+  /// Per-release experiment knobs. The workload (archetype, seeds) lives
+  /// in Exp.Workload; release r shifts TrainSeed by +r and EvalSeedBase
+  /// by +100*r so successive releases see drifting inputs.
+  ExperimentConfig Exp;
+  PGOVariant Variant = PGOVariant::CSSPGOFull;
+
+  /// Releases after the initial one: the train simulates releases
+  /// 1..Releases, each built with its predecessor's profile.
+  unsigned Releases = 4;
+  /// Seeds the per-release drift plans (workload/DriftPlan.h).
+  uint64_t DriftSeed = 1;
+  /// Store-fold decay for the ingest policy (permille weight of the prior
+  /// aggregate on each fold).
+  uint32_t DecayPermille = 500;
+
+  /// Policies evaluated per release, in this order.
+  std::vector<StalePolicy> Policies = {StalePolicy::Drop, StalePolicy::Match,
+                                       StalePolicy::Ingest};
+
+  /// Stack the post-link optimizer on each release's oracle binary,
+  /// feeding the rewriter samples collected under the *previous* release's
+  /// eval-shifted input (binary-level staleness). The rollout guard still
+  /// consults only the current training input.
+  bool PostLink = false;
+  postlink::PostLinkOptions PostLinkOpts;
+
+  /// Resume support: first release to report rows for (1-based). A value
+  /// > 1 requires InitialStore = the store snapshot of release
+  /// FirstRelease-1 from the run being resumed.
+  unsigned FirstRelease = 1;
+  std::string InitialStore;
+
+  /// Worker threads sharding the train's cells (1 = serial). Any value
+  /// yields bit-identical results.
+  unsigned Jobs = 1;
+};
+
+/// One (release, policy) cell of the trajectory.
+struct PolicyCell {
+  StalePolicy Policy = StalePolicy::Drop;
+  double EvalCyclesMean = 0;
+  /// Improvement vs the release's plain build (positive = faster).
+  double VsPlainPct = 0;
+  /// Improvement vs the fresh-profile oracle (<= 0 in expectation).
+  double VsOraclePct = 0;
+  /// Block-overlap of the policy's annotation against the oracle
+  /// profile's annotation of the same release (src/quality).
+  double Overlap = 0;
+  unsigned StaleDropped = 0;
+  unsigned StaleMatched = 0;
+  uint64_t CountsRecovered = 0;
+  int64_t ExitValue = 0;
+  bool ExitMatch = false;   ///< Semantics preserved vs the plain build.
+  bool VerifyClean = false; ///< Pre-load Full verification: no violations.
+};
+
+/// One release's row of the trajectory.
+struct ReleaseRow {
+  unsigned Release = 0;
+  std::string DriftName; ///< driftPlanName of the release's edit.
+  unsigned DriftEdits = 0;
+  double PlainCycles = 0;
+  int64_t PlainExit = 0;
+  double OracleCycles = 0;
+  double OracleVsPlainPct = 0;
+  std::vector<PolicyCell> Cells; ///< Config.Policies order.
+
+  /// PGO+BOLT column (Config.PostLink): the oracle binary rewritten from
+  /// one-release-stale samples.
+  bool HasPostLink = false;
+  double PostLinkCycles = 0;
+  double PostLinkVsOraclePct = 0;
+  bool RewriteKept = false;
+  bool PostLinkExitMatch = false;
+
+  /// Freshness of the store the ingest cell consumed (epochs folded, and
+  /// the newest epoch's timestamp).
+  unsigned StoreEpochs = 0;
+  uint64_t StoreTimestamp = 0;
+  /// The fold of this release's own profile into the store verified clean.
+  bool IngestFoldClean = false;
+};
+
+struct TrainResult {
+  std::vector<ReleaseRow> Rows; ///< Releases FirstRelease..Releases.
+  /// Store snapshot after folding release r's profile, indexed by r
+  /// (0..Releases). Resume a train by passing Snapshot[k-1] as
+  /// InitialStore with FirstRelease=k. Not part of the JSON.
+  std::vector<std::string> StoreSnapshots;
+
+  const PolicyCell *cell(const ReleaseRow &Row, StalePolicy P) const;
+  /// Mean VsPlainPct of \p P over all rows (the trajectory aggregate the
+  /// bench gates on).
+  double aggregate(StalePolicy P) const;
+  /// True when every policy cell of every row verified clean and
+  /// preserved semantics, and every ingest fold was clean.
+  bool allClean() const;
+  /// Stable-shape JSON of the trajectory (fixed key order, fixed float
+  /// formatting) — the CLI's --json output and the CLITest golden.
+  std::string toJSON() const;
+};
+
+/// Runs the train. Deterministic for a fixed config; Jobs only shards.
+TrainResult runTrain(const TrainConfig &Config);
+
+/// The per-release experiment config (input-drifted seeds) runTrain uses;
+/// exposed so tests and benches can rebuild a release's context.
+ExperimentConfig releaseConfig(const TrainConfig &Config, unsigned Release);
+
+} // namespace train
+} // namespace csspgo
+
+#endif // CSSPGO_TRAIN_RELEASETRAIN_H

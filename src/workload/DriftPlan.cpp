@@ -1,0 +1,88 @@
+//===- workload/DriftPlan.cpp - Seeded source-drift plans -------------------===//
+
+#include "workload/DriftPlan.h"
+
+#include "support/Hashing.h"
+
+namespace csspgo {
+
+DriftPlan insertDriftPlan(uint32_t Seed) {
+  DriftPlan P;
+  P.Steps = {{CFGDriftKind::GuardInsert, Seed},
+             {CFGDriftKind::BlockSplit, Seed},
+             {CFGDriftKind::CalleeRename, Seed}};
+  return P;
+}
+
+DriftPlan deleteDriftPlan(uint32_t Seed) {
+  DriftPlan P;
+  P.PrepSteps = {{CFGDriftKind::GuardInsert, Seed}};
+  P.Steps = {{CFGDriftKind::GuardDelete, Seed}};
+  return P;
+}
+
+DriftPlan releaseDriftPlan(uint64_t DriftSeed, unsigned Release) {
+  uint32_t Seed = static_cast<uint32_t>(hashCombine(DriftSeed, Release));
+  if (Seed == 0)
+    Seed = 1;
+  DriftPlan P;
+  P.ShiftLines = 1 + Release % 3;
+  switch (Release % 4) {
+  case 1:
+    P.Steps = {{CFGDriftKind::GuardInsert, Seed}};
+    break;
+  case 2:
+    P.Steps = {{CFGDriftKind::BlockSplit, Seed},
+               {CFGDriftKind::CalleeRename, Seed}};
+    break;
+  case 3:
+    P.Steps = {{CFGDriftKind::GuardInsert, Seed},
+               {CFGDriftKind::BlockSplit, Seed + 1}};
+    break;
+  default: // Release % 4 == 0: fold guards earlier releases inserted.
+    P.Steps = {{CFGDriftKind::GuardDelete, Seed}};
+    break;
+  }
+  return P;
+}
+
+std::string driftPlanName(const DriftPlan &P) {
+  std::string Out;
+  for (const DriftStep &S : P.Steps) {
+    if (!Out.empty())
+      Out += "+";
+    switch (S.Kind) {
+    case CFGDriftKind::GuardInsert:
+      Out += "insert";
+      break;
+    case CFGDriftKind::GuardDelete:
+      Out += "delete";
+      break;
+    case CFGDriftKind::BlockSplit:
+      Out += "split";
+      break;
+    case CFGDriftKind::CalleeRename:
+      Out += "rename";
+      break;
+    }
+  }
+  if (P.ShiftLines)
+    Out += Out.empty() ? "shift" : "+shift";
+  return Out.empty() ? "none" : Out;
+}
+
+unsigned applyDriftSteps(Module &M, const std::vector<DriftStep> &Steps) {
+  unsigned Edits = 0;
+  for (const DriftStep &S : Steps)
+    Edits += applyCFGDrift(M, S.Kind, S.Seed);
+  return Edits;
+}
+
+unsigned applyDriftPlan(Module &M, const DriftPlan &P) {
+  unsigned Edits = applyDriftSteps(M, P.Steps);
+  if (P.ShiftLines)
+    applySourceDrift(M, P.ShiftLines);
+  return Edits;
+}
+
+} // namespace csspgo

@@ -1,0 +1,74 @@
+//===- workload/DriftPlan.h - Seeded source-drift plans ----------*- C++ -*-===//
+//
+// Part of the CSSPGO reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named, seeded drift plans: the recipes for evolving a workload source
+/// from one release to the next. A plan bundles the CFG-changing editors
+/// (Workloads.h `applyCFGDrift`) with the CFG-preserving line shift
+/// (`applySourceDrift`) so the drift ablation and the release-train
+/// simulator stage *identical* edits — the ablation's insert/delete cells
+/// and the train's per-release evolution share one source of truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSSPGO_WORKLOAD_DRIFTPLAN_H
+#define CSSPGO_WORKLOAD_DRIFTPLAN_H
+
+#include "workload/Workloads.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csspgo {
+
+/// One CFG edit of a drift plan.
+struct DriftStep {
+  CFGDriftKind Kind;
+  uint32_t Seed = 1;
+};
+
+/// A complete release-to-release source edit. PrepSteps are applied to
+/// the *profiled* release before profiling (delete-drift needs the guards
+/// to exist when the profile is collected); Steps and ShiftLines are the
+/// edit that produces the next release.
+struct DriftPlan {
+  std::vector<DriftStep> PrepSteps;
+  std::vector<DriftStep> Steps;
+  /// applySourceDrift line shift applied after Steps (0 = none).
+  uint32_t ShiftLines = 0;
+};
+
+/// The §III-A ablation's insert-drift cell: a never-taken guard, a block
+/// split, and a callee rename land between the releases.
+DriftPlan insertDriftPlan(uint32_t Seed = 1);
+
+/// The inverse (delete-drift) cell: the profiled release already carries
+/// guards (PrepSteps) and the next release folds them back out.
+DriftPlan deleteDriftPlan(uint32_t Seed = 1);
+
+/// The release-train edit for release \p Release (1-based) of a train
+/// seeded with \p DriftSeed. Successive releases cycle through guard
+/// insertion, splitting + renaming, combined edits and guard deletion
+/// (which folds guards earlier releases inserted), each with a distinct
+/// derived seed, plus a small line shift — so a train exercises every
+/// editor and both drift directions.
+DriftPlan releaseDriftPlan(uint64_t DriftSeed, unsigned Release);
+
+/// Human-readable summary of a plan's Steps ("insert+split+rename" etc.).
+std::string driftPlanName(const DriftPlan &P);
+
+/// Applies \p Steps to \p M in order; returns the summed edit count.
+unsigned applyDriftSteps(Module &M, const std::vector<DriftStep> &Steps);
+
+/// Applies a plan's Steps then its ShiftLines to \p M (PrepSteps are the
+/// caller's responsibility — they belong to the previous release).
+/// Returns the summed CFG edit count.
+unsigned applyDriftPlan(Module &M, const DriftPlan &P);
+
+} // namespace csspgo
+
+#endif // CSSPGO_WORKLOAD_DRIFTPLAN_H

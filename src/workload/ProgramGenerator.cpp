@@ -27,6 +27,13 @@ private:
   void buildRecursive();
   void buildMain();
 
+  // Archetype-specific layers (see WorkloadArchetype).
+  void buildRpcFrontend(unsigned I);
+  void buildOpHandler(unsigned J);
+  void buildInterp();
+  void buildBootPhase(unsigned K);
+  void buildArchetypeMain();
+
   /// Emits ArithDensity straight-line ops over \p Src, returns last reg.
   RegId emitArith(Builder &B, RegId Src) {
     RegId R = Src;
@@ -48,6 +55,16 @@ private:
   }
   std::string coldName(unsigned H) const {
     return "cold_handler_" + std::to_string(H);
+  }
+  std::string opName(unsigned J) const { return "op_" + std::to_string(J); }
+  std::string phaseName(unsigned K) const {
+    return "init_phase_" + std::to_string(K);
+  }
+
+  /// First word of the bytecode region (InterpLoop): the top of the memory
+  /// image, far above the request records.
+  int64_t bytecodeBase() const {
+    return static_cast<int64_t>(Config.MemWords - Config.BytecodeLength);
   }
 
   const WorkloadConfig &Config;
@@ -473,6 +490,352 @@ void ProgramBuilder::buildMain() {
   B.emitRet(Operand::reg(Acc));
 }
 
+void ProgramBuilder::buildRpcFrontend(unsigned I) {
+  // service_i(base) as an RPC aggregator: each request fans out to
+  // FanoutBackends backend stubs through the function table (RPC stubs are
+  // always indirect), every leg with its own dominant backend and the
+  // frontend's mode constant; a biased timeout check per leg retries
+  // against the primary replica via the cold handler.
+  Function *F = M->createFunction(serviceName(I), 1);
+  Builder B(F);
+  RegId Base = 0;
+
+  bool HasRetry = Rand.nextBool(Config.RpcTimeoutProb);
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *LH = F->createBlock("rpc.h");
+  BasicBlock *LB = F->createBlock("rpc.b");
+  BasicBlock *Retry = HasRetry ? F->createBlock("rpc.retry") : nullptr;
+  BasicBlock *Next = F->createBlock("rpc.n");
+  BasicBlock *LX = F->createBlock("rpc.x");
+
+  B.setInsertBlock(Entry);
+  RegId Acc = B.emitConst(0);
+  RegId Leg = B.emitConst(0);
+  RegId Mode = B.emitConst(Modes[I]);
+  B.emitBr(LH);
+
+  B.setInsertBlock(LH);
+  RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(Leg),
+                         Operand::imm(Config.FanoutBackends));
+  B.emitCondBr(Operand::reg(C), LB, LX);
+
+  B.setInsertBlock(LB);
+  RegId Off = B.emitBinary(Opcode::Mod, Operand::reg(Leg),
+                           Operand::imm(Config.RecordWords - 1));
+  RegId Idx = B.emitBinary(Opcode::Add, Operand::reg(Base), Operand::reg(Off));
+  Idx = B.emitBinary(Opcode::Add, Operand::reg(Idx), Operand::imm(1));
+  RegId V = B.emitLoad(Operand::reg(Idx));
+  // Per-leg backend choice with a dominant primary: most values collapse
+  // onto the leg's primary stub, the tail spreads over replicas — a
+  // promotable indirect site per (frontend, leg) context.
+  RegId Mixed = B.emitBinary(Opcode::Mul, Operand::reg(V), Operand::reg(V));
+  RegId Spread =
+      B.emitBinary(Opcode::Mod, Operand::reg(Mixed),
+                   Operand::imm(std::max(1u, Config.NumMids / 4)));
+  RegId IsTail =
+      B.emitBinary(Opcode::CmpGE, Operand::reg(V), Operand::imm(25));
+  RegId Rep = B.emitSelect(Operand::reg(IsTail), Operand::imm(0),
+                           Operand::reg(Spread));
+  RegId Abs = B.emitBinary(Opcode::Add, Operand::reg(Rep), Operand::reg(Leg));
+  Abs = B.emitBinary(
+      Opcode::Add, Operand::reg(Abs),
+      Operand::imm(static_cast<int64_t>(I) * Config.FanoutBackends));
+  RegId Slot = B.emitBinary(Opcode::Mod, Operand::reg(Abs),
+                            Operand::imm(Config.NumMids));
+  RegId R = B.emitCallIndirect(Operand::reg(Slot),
+                               {Operand::reg(V), Operand::reg(Mode)});
+  B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(R));
+  LB->Insts.back().Dst = Acc;
+  if (HasRetry) {
+    // Timeout: rare by value distribution; the retry arm pays the cold
+    // handler and re-issues against the primary replica.
+    RegId TC = B.emitBinary(Opcode::CmpGE, Operand::reg(V), Operand::imm(98));
+    B.emitCondBr(Operand::reg(TC), Retry, Next);
+
+    B.setInsertBlock(Retry);
+    unsigned H =
+        static_cast<unsigned>(Rand.nextBelow(Config.NumColdHandlers));
+    RegId CR = B.emitCall(coldName(H), {Operand::reg(V)});
+    RegId PSlot = B.emitConst(
+        static_cast<int64_t>(I * Config.FanoutBackends % Config.NumMids));
+    RegId RR = B.emitCallIndirect(Operand::reg(PSlot),
+                                  {Operand::reg(V), Operand::reg(Mode)});
+    B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(CR));
+    Retry->Insts.back().Dst = Acc;
+    B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(RR));
+    Retry->Insts.back().Dst = Acc;
+    B.emitBr(Next);
+  } else {
+    B.emitBr(Next);
+  }
+
+  B.setInsertBlock(Next);
+  if (I == 0) {
+    // The first frontend exercises the recursive helper lightly.
+    RegId N = B.emitBinary(Opcode::Mod, Operand::reg(V), Operand::imm(4));
+    RegId RC = B.emitCall("rec", {Operand::reg(N)});
+    B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(RC));
+    Next->Insts.back().Dst = Acc;
+  }
+  B.emitBinary(Opcode::Add, Operand::reg(Leg), Operand::imm(1));
+  Next->Insts.back().Dst = Leg;
+  B.emitBr(LH);
+
+  B.setInsertBlock(LX);
+  B.emitRet(Operand::reg(Acc));
+}
+
+void ProgramBuilder::buildOpHandler(unsigned J) {
+  // op_j(acc, arg): one bytecode handler. Personalities cycle so the
+  // dispatch table mixes pure arithmetic, memory traffic, util calls (the
+  // context carriers) and a rare trap into the cold path.
+  Function *F = M->createFunction(opName(J), 2);
+  Builder B(F);
+  RegId Acc = 0, Arg = 1;
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertBlock(Entry);
+  switch (J % 5) {
+  case 0: {
+    RegId R = B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(Arg));
+    R = emitArith(B, R);
+    B.emitRet(Operand::reg(R));
+    break;
+  }
+  case 1: {
+    RegId R = B.emitBinary(Opcode::Mul, Operand::reg(Acc), Operand::imm(3));
+    R = B.emitBinary(Opcode::Xor, Operand::reg(R), Operand::reg(Arg));
+    R = emitArith(B, R);
+    B.emitRet(Operand::reg(R));
+    break;
+  }
+  case 2: {
+    // Memory personality: spill/reload through an opcode-local scratch
+    // slot.
+    RegId Addr = B.emitConst(3072 + 8 * static_cast<int64_t>(J));
+    B.emitStore(Operand::reg(Addr), Operand::reg(Acc));
+    RegId L = B.emitLoad(Operand::reg(Addr));
+    RegId R = B.emitBinary(Opcode::Sub, Operand::reg(L), Operand::reg(Arg));
+    B.emitRet(Operand::reg(R));
+    break;
+  }
+  case 3: {
+    // Call personality: the handler leans on a util with an
+    // opcode-specific mode — the same utils behave differently under
+    // different opcodes (context sensitivity inside the interpreter).
+    RegId U = B.emitCall(
+        utilName(J % Config.NumUtils),
+        {Operand::reg(Arg), Operand::imm((J * 37) % 100)});
+    RegId R = B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(U));
+    B.emitRet(Operand::reg(R));
+    break;
+  }
+  default: {
+    // Trap personality: rare operand values divert into a cold handler.
+    BasicBlock *Trap = F->createBlock("trap");
+    BasicBlock *Done = F->createBlock("done");
+    RegId R = F->allocReg();
+    RegId TC =
+        B.emitBinary(Opcode::CmpGE, Operand::reg(Arg), Operand::imm(99));
+    B.emitCondBr(Operand::reg(TC), Trap, Done);
+    B.setInsertBlock(Trap);
+    RegId CR = B.emitCall(coldName(J % Config.NumColdHandlers),
+                          {Operand::reg(Arg)});
+    B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(CR));
+    Trap->Insts.back().Dst = R;
+    B.emitBr(Done);
+    B.setInsertBlock(Done);
+    // R is the trap result on the trap path; on the common path the
+    // handler just shifts the accumulator.
+    RegId S = B.emitBinary(Opcode::Shl, Operand::reg(Acc), Operand::imm(1));
+    RegId Out = B.emitBinary(Opcode::Xor, Operand::reg(S), Operand::reg(Arg));
+    B.emitRet(Operand::reg(Out));
+    (void)R;
+    break;
+  }
+  }
+}
+
+void ProgramBuilder::buildInterp() {
+  // interp(base): the fetch/decode/dispatch loop. The hottest opcode (0)
+  // takes an inline fast path behind a biased compare; everything else
+  // dispatches through the opcode table — the skewed indirect site
+  // indirect-call promotion targets.
+  Function *F = M->createFunction("interp", 1);
+  Builder B(F);
+  RegId Base = 0;
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *LH = F->createBlock("fetch");
+  BasicBlock *LB = F->createBlock("decode");
+  BasicBlock *Fast = F->createBlock("op.fast");
+  BasicBlock *Slow = F->createBlock("dispatch");
+  BasicBlock *Join = F->createBlock("retire");
+  BasicBlock *LX = F->createBlock("halt");
+
+  B.setInsertBlock(Entry);
+  RegId Acc = B.emitConst(0);
+  RegId PC = B.emitConst(0);
+  B.emitBr(LH);
+
+  B.setInsertBlock(LH);
+  RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(PC),
+                         Operand::imm(Config.BytecodeLength));
+  B.emitCondBr(Operand::reg(C), LB, LX);
+
+  B.setInsertBlock(LB);
+  RegId OpAddr =
+      B.emitBinary(Opcode::Add, Operand::reg(PC), Operand::imm(bytecodeBase()));
+  RegId Op = B.emitLoad(Operand::reg(OpAddr));
+  RegId AOff = B.emitBinary(Opcode::Mod, Operand::reg(PC),
+                            Operand::imm(Config.RecordWords - 1));
+  RegId AIdx =
+      B.emitBinary(Opcode::Add, Operand::reg(Base), Operand::reg(AOff));
+  AIdx = B.emitBinary(Opcode::Add, Operand::reg(AIdx), Operand::imm(1));
+  RegId Arg = B.emitLoad(Operand::reg(AIdx));
+  RegId IsFast =
+      B.emitBinary(Opcode::CmpEQ, Operand::reg(Op), Operand::imm(0));
+  B.emitCondBr(Operand::reg(IsFast), Fast, Slow);
+
+  RegId NewAcc = F->allocReg();
+  B.setInsertBlock(Fast);
+  B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(Arg));
+  Fast->Insts.back().Dst = NewAcc;
+  B.emitBr(Join);
+
+  B.setInsertBlock(Slow);
+  RegId Slot = B.emitBinary(Opcode::Mod, Operand::reg(Op),
+                            Operand::imm(Config.NumOpcodes));
+  B.emitCallIndirect(Operand::reg(Slot),
+                     {Operand::reg(Acc), Operand::reg(Arg)});
+  Slow->Insts.back().Dst = NewAcc;
+  B.emitBr(Join);
+
+  B.setInsertBlock(Join);
+  B.emitBinary(Opcode::And, Operand::reg(NewAcc),
+               Operand::imm((1ll << 32) - 1));
+  Join->Insts.back().Dst = Acc;
+  B.emitBinary(Opcode::Add, Operand::reg(PC), Operand::imm(1));
+  Join->Insts.back().Dst = PC;
+  B.emitBr(LH);
+
+  B.setInsertBlock(LX);
+  B.emitRet(Operand::reg(Acc));
+}
+
+void ProgramBuilder::buildBootPhase(unsigned K) {
+  // init_phase_k(x): executed exactly once at startup. NoInline keeps each
+  // phase a distinct function in the binary, so placement — not branch
+  // bias — decides its i-cache cost; hot/cold splitting and layout are
+  // what the archetype measures.
+  Function *F = M->createFunction(phaseName(K), 1);
+  F->NoInline = true;
+  Builder B(F);
+  RegId X = 0;
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertBlock(Entry);
+  RegId V = emitArith(B, X);
+  RegId Addr = B.emitConst(4096 + 8 * static_cast<int64_t>(K));
+  B.emitStore(Operand::reg(Addr), Operand::reg(V));
+  RegId V2 = B.emitBinary(Opcode::Xor, Operand::reg(V),
+                          Operand::imm(13 * static_cast<int64_t>(K) + 7));
+  if (K % 3 == 0) {
+    // Every third phase warms a util (the boot sequence touches shared
+    // library code too).
+    RegId U = B.emitCall(utilName(K % Config.NumUtils),
+                         {Operand::reg(V2), Operand::imm((K * 7) % 100)});
+    V2 = B.emitBinary(Opcode::Add, Operand::reg(V2), Operand::reg(U));
+  }
+  B.emitStore(Operand::reg(Addr), Operand::reg(V2));
+  B.emitRet(Operand::reg(V2));
+}
+
+void ProgramBuilder::buildArchetypeMain() {
+  Function *F = M->createFunction("main", 0);
+  F->IsEntryPoint = true;
+  F->NoInline = true;
+  Builder B(F);
+
+  if (Config.Archetype == WorkloadArchetype::InterpLoop) {
+    // Request loop: every record runs the interpreter over the shared
+    // bytecode program.
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *LH = F->createBlock("req.h");
+    BasicBlock *LB = F->createBlock("req.b");
+    BasicBlock *Exit = F->createBlock("req.x");
+
+    B.setInsertBlock(Entry);
+    RegId Acc = B.emitConst(0);
+    RegId Req = B.emitConst(0);
+    B.emitBr(LH);
+
+    B.setInsertBlock(LH);
+    RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(Req),
+                           Operand::imm(Config.Requests));
+    B.emitCondBr(Operand::reg(C), LB, Exit);
+
+    B.setInsertBlock(LB);
+    RegId BaseR = B.emitBinary(Opcode::Mul, Operand::reg(Req),
+                               Operand::imm(Config.RecordWords));
+    RegId R = B.emitCall("interp", {Operand::reg(BaseR)});
+    B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(R));
+    LB->Insts.back().Dst = Acc;
+    B.emitBinary(Opcode::And, Operand::reg(Acc),
+                 Operand::imm((1ll << 40) - 1));
+    LB->Insts.back().Dst = Acc;
+    B.emitBinary(Opcode::Add, Operand::reg(Req), Operand::imm(1));
+    LB->Insts.back().Dst = Req;
+    B.emitBr(LH);
+
+    B.setInsertBlock(Exit);
+    B.emitRet(Operand::reg(Acc));
+    return;
+  }
+
+  // ColdBoot: a long straight-line once-executed boot sequence, then a
+  // short steady-state request loop dispatching over the mid table.
+  BasicBlock *Entry = F->createBlock("boot");
+  BasicBlock *LH = F->createBlock("req.h");
+  BasicBlock *LB = F->createBlock("req.b");
+  BasicBlock *Exit = F->createBlock("req.x");
+
+  B.setInsertBlock(Entry);
+  RegId Acc = B.emitConst(0);
+  for (unsigned K = 0; K != Config.BootPhases; ++K) {
+    RegId X = B.emitBinary(Opcode::And, Operand::reg(Acc), Operand::imm(0xFF));
+    RegId R = B.emitCall(phaseName(K), {Operand::reg(X)});
+    B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(R));
+    Entry->Insts.back().Dst = Acc;
+  }
+  RegId Req = B.emitConst(0);
+  B.emitBr(LH);
+
+  B.setInsertBlock(LH);
+  RegId C = B.emitBinary(Opcode::CmpLT, Operand::reg(Req),
+                         Operand::imm(Config.Requests));
+  B.emitCondBr(Operand::reg(C), LB, Exit);
+
+  B.setInsertBlock(LB);
+  RegId BaseR = B.emitBinary(Opcode::Mul, Operand::reg(Req),
+                             Operand::imm(Config.RecordWords));
+  RegId Idx = B.emitBinary(Opcode::Add, Operand::reg(BaseR), Operand::imm(1));
+  RegId V = B.emitLoad(Operand::reg(Idx));
+  RegId Slot = B.emitBinary(Opcode::Mod, Operand::reg(V),
+                            Operand::imm(Config.NumMids));
+  RegId R = B.emitCallIndirect(Operand::reg(Slot),
+                               {Operand::reg(V), Operand::imm(30)});
+  B.emitBinary(Opcode::Add, Operand::reg(Acc), Operand::reg(R));
+  LB->Insts.back().Dst = Acc;
+  B.emitBinary(Opcode::And, Operand::reg(Acc), Operand::imm((1ll << 40) - 1));
+  LB->Insts.back().Dst = Acc;
+  B.emitBinary(Opcode::Add, Operand::reg(Req), Operand::imm(1));
+  LB->Insts.back().Dst = Req;
+  B.emitBr(LH);
+
+  B.setInsertBlock(Exit);
+  B.emitRet(Operand::reg(Acc));
+}
+
 std::unique_ptr<Module> ProgramBuilder::build() {
   auto Mod = std::make_unique<Module>(Config.Name);
   M = Mod.get();
@@ -485,26 +848,88 @@ std::unique_ptr<Module> ProgramBuilder::build() {
     Modes[I] = I % 2 == 0 ? Rand.nextInRange(5, 40) : Rand.nextInRange(60, 95);
   }
 
-  // Dispatch table: every mid is indirectly callable (slot = mid index).
-  for (unsigned J = 0; J != Config.NumMids; ++J)
-    M->addFunctionTableEntry(midName(J));
+  switch (Config.Archetype) {
+  case WorkloadArchetype::Server:
+    // Dispatch table: every mid is indirectly callable (slot = mid index).
+    for (unsigned J = 0; J != Config.NumMids; ++J)
+      M->addFunctionTableEntry(midName(J));
+    for (unsigned K = 0; K != Config.NumUtils; ++K)
+      buildUtil(Config.NumUtils - 1 - K); // Build targets before callers.
+    for (unsigned H = 0; H != Config.NumColdHandlers; ++H)
+      buildColdHandler(H);
+    buildRecursive();
+    for (unsigned J = 0; J != Config.NumMids; ++J)
+      buildMid(J);
+    for (unsigned I = 0; I != Config.NumServices; ++I)
+      buildService(I);
+    buildMain();
+    break;
 
-  for (unsigned K = 0; K != Config.NumUtils; ++K)
-    buildUtil(Config.NumUtils - 1 - K); // Build targets before callers.
-  for (unsigned H = 0; H != Config.NumColdHandlers; ++H)
-    buildColdHandler(H);
-  buildRecursive();
-  for (unsigned J = 0; J != Config.NumMids; ++J)
-    buildMid(J);
-  for (unsigned I = 0; I != Config.NumServices; ++I)
-    buildService(I);
-  buildMain();
+  case WorkloadArchetype::RpcFanout:
+    // Mids double as the backend RPC stubs; every fan-out leg dispatches
+    // through the table.
+    for (unsigned J = 0; J != Config.NumMids; ++J)
+      M->addFunctionTableEntry(midName(J));
+    for (unsigned K = 0; K != Config.NumUtils; ++K)
+      buildUtil(Config.NumUtils - 1 - K);
+    for (unsigned H = 0; H != Config.NumColdHandlers; ++H)
+      buildColdHandler(H);
+    buildRecursive();
+    for (unsigned J = 0; J != Config.NumMids; ++J)
+      buildMid(J);
+    for (unsigned I = 0; I != Config.NumServices; ++I)
+      buildRpcFrontend(I);
+    buildMain(); // Same request dispatch over service_i frontends.
+    break;
+
+  case WorkloadArchetype::InterpLoop:
+    // The opcode handlers are the dispatch table.
+    for (unsigned J = 0; J != Config.NumOpcodes; ++J)
+      M->addFunctionTableEntry(opName(J));
+    for (unsigned K = 0; K != Config.NumUtils; ++K)
+      buildUtil(Config.NumUtils - 1 - K);
+    for (unsigned H = 0; H != Config.NumColdHandlers; ++H)
+      buildColdHandler(H);
+    for (unsigned J = 0; J != Config.NumOpcodes; ++J)
+      buildOpHandler(J);
+    buildInterp();
+    buildArchetypeMain();
+    break;
+
+  case WorkloadArchetype::ColdBoot:
+    for (unsigned J = 0; J != Config.NumMids; ++J)
+      M->addFunctionTableEntry(midName(J));
+    for (unsigned K = 0; K != Config.NumUtils; ++K)
+      buildUtil(Config.NumUtils - 1 - K);
+    for (unsigned H = 0; H != Config.NumColdHandlers; ++H)
+      buildColdHandler(H);
+    for (unsigned J = 0; J != Config.NumMids; ++J)
+      buildMid(J);
+    for (unsigned K = 0; K != Config.BootPhases; ++K)
+      buildBootPhase(K);
+    buildArchetypeMain();
+    break;
+  }
 
   verifyOrDie(*M, "after workload generation");
   return Mod;
 }
 
 } // namespace
+
+const char *archetypeName(WorkloadArchetype A) {
+  switch (A) {
+  case WorkloadArchetype::Server:
+    return "Server";
+  case WorkloadArchetype::RpcFanout:
+    return "RpcFanout";
+  case WorkloadArchetype::InterpLoop:
+    return "InterpLoop";
+  case WorkloadArchetype::ColdBoot:
+    return "ColdBoot";
+  }
+  return "Unknown";
+}
 
 std::unique_ptr<Module> generateProgram(const WorkloadConfig &Config) {
   return ProgramBuilder(Config).build();
@@ -529,6 +954,20 @@ std::vector<int64_t> generateInput(const WorkloadConfig &Config,
     Mem[Base] = static_cast<int64_t>(Rand.pickWeighted(Weights));
     for (unsigned W = 1; W != Config.RecordWords; ++W)
       Mem[Base + W] = Rand.nextInRange(0, ValueCeiling);
+  }
+
+  if (Config.Archetype == WorkloadArchetype::InterpLoop) {
+    // The shared bytecode program lives at the top of memory. Opcode 0 is
+    // the hottest (the interpreter's inline fast path); the tail follows a
+    // Zipf mix that DistributionShift flattens slightly, so train and eval
+    // disagree about exactly how dominant the fast path is.
+    double Skew = Config.OpcodeSkew * (1.0 - DistributionShift);
+    std::vector<double> OpWeights(Config.NumOpcodes);
+    for (unsigned J = 0; J != Config.NumOpcodes; ++J)
+      OpWeights[J] = 1.0 / std::pow(J + 1, Skew);
+    uint64_t CodeBase = Config.MemWords - Config.BytecodeLength;
+    for (unsigned PC = 0; PC != Config.BytecodeLength; ++PC)
+      Mem[CodeBase + PC] = static_cast<int64_t>(Rand.pickWeighted(OpWeights));
   }
   return Mem;
 }

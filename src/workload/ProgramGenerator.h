@@ -38,9 +38,37 @@
 
 namespace csspgo {
 
+/// Structural archetype of the generated program. Server is the original
+/// request-serving shape (services -> mids -> utils); the others model the
+/// ROADMAP's additional deployment scenarios:
+///
+///  - RpcFanout: a frontend aggregator that fans each request out to
+///    several backend RPC stubs (always-indirect call sites, per-backend
+///    modes, timeout/retry cold paths) — the microservice shape where
+///    context sensitivity distinguishes the same backend under different
+///    aggregation legs.
+///  - InterpLoop: a bytecode interpreter fetch/dispatch loop over opcode
+///    handlers (a skewed indirect dispatch site with an inline fast path
+///    for the hottest opcode) — the HHVM-style shape where indirect-call
+///    promotion and layout of the dispatch loop dominate.
+///  - ColdBoot: a long straight-line startup sequence of once-executed
+///    init phases followed by a short steady-state loop — the mobile
+///    cold-start shape (à la -fprofile-timestamp) where function ordering
+///    and hot/cold splitting decide i-cache behavior.
+enum class WorkloadArchetype : uint8_t {
+  Server,
+  RpcFanout,
+  InterpLoop,
+  ColdBoot,
+};
+
+const char *archetypeName(WorkloadArchetype A);
+
 struct WorkloadConfig {
   std::string Name = "workload";
   uint64_t Seed = 1;
+
+  WorkloadArchetype Archetype = WorkloadArchetype::Server;
 
   unsigned NumServices = 4;
   unsigned NumMids = 16;
@@ -81,6 +109,24 @@ struct WorkloadConfig {
 
   /// Extra straight-line arithmetic per block (code-size dial).
   unsigned ArithDensity = 3;
+
+  /// RpcFanout: backend RPC calls issued per request by the frontend.
+  unsigned FanoutBackends = 6;
+  /// RpcFanout: probability a backend call path carries a timeout/retry
+  /// check (the retry arm is the archetype's cold path).
+  double RpcTimeoutProb = 0.5;
+
+  /// InterpLoop: distinct opcode handlers, and the length of the bytecode
+  /// program each request interprets.
+  unsigned NumOpcodes = 24;
+  unsigned BytecodeLength = 48;
+  /// InterpLoop: Zipf skew of the opcode mix (hot opcodes dominate).
+  double OpcodeSkew = 1.4;
+
+  /// ColdBoot: one-shot init phases executed in order before the (short)
+  /// steady-state loop. Each phase runs exactly once, so layout — not
+  /// branch bias — decides its cost.
+  unsigned BootPhases = 40;
 };
 
 /// Generates the program. The module's entry function is "main"; it

@@ -74,6 +74,46 @@ WorkloadConfig workloadPreset(const std::string &Name, double RequestScale) {
     C.MidsPerService = 8;
     C.FeatureLoop = 12;
     C.Requests = 3000;
+  } else if (Name == "RpcFanout") {
+    // Microservice aggregator: always-indirect backend dispatch with
+    // per-leg dominant targets and rare timeout/retry cold arms.
+    C.Seed = 707;
+    C.Archetype = WorkloadArchetype::RpcFanout;
+    C.NumServices = 6; // Frontends.
+    C.NumMids = 48;    // Backend RPC stubs.
+    C.NumUtils = 24;
+    C.NumColdHandlers = 12;
+    C.FanoutBackends = 8;
+    C.ArithDensity = 4;
+    C.ServiceSkew = 1.4;
+    C.FeatureLoop = 6;
+    C.Requests = 2200;
+  } else if (Name == "InterpLoop") {
+    // Bytecode interpreter: one hot fetch/dispatch loop, skewed opcode
+    // mix, handlers with per-opcode util modes.
+    C.Seed = 808;
+    C.Archetype = WorkloadArchetype::InterpLoop;
+    C.NumServices = 1;
+    C.NumUtils = 16;
+    C.NumColdHandlers = 8;
+    C.NumOpcodes = 28;
+    C.BytecodeLength = 64;
+    C.OpcodeSkew = 1.5;
+    C.ArithDensity = 3;
+    C.Requests = 1800;
+  } else if (Name == "ColdBoot") {
+    // Mobile cold start: boot phases dominate total cycles, the steady
+    // state is short — function ordering, not branch bias, is the win.
+    C.Seed = 909;
+    C.Archetype = WorkloadArchetype::ColdBoot;
+    C.NumServices = 1;
+    C.NumMids = 40;
+    C.NumUtils = 20;
+    C.NumColdHandlers = 10;
+    C.BootPhases = 56;
+    C.ArithDensity = 5;
+    C.FeatureLoop = 2;
+    C.Requests = 400;
   } else if (Name == "ClangProxy") {
     // Client workload: many functions, short run, flat mix — sampling
     // covers a smaller share of the executed code (§IV-D).
@@ -98,6 +138,10 @@ WorkloadConfig workloadPreset(const std::string &Name, double RequestScale) {
 
 std::vector<std::string> serverWorkloadNames() {
   return {"AdRanker", "AdRetriever", "AdFinder", "HHVM", "HaaS"};
+}
+
+std::vector<std::string> archetypeWorkloadNames() {
+  return {"RpcFanout", "InterpLoop", "ColdBoot"};
 }
 
 void applySourceDrift(Module &M, uint32_t ShiftLines) {

@@ -25,13 +25,18 @@
 namespace csspgo {
 
 /// Returns the preset named \p Name ("AdRanker", "AdRetriever",
-/// "AdFinder", "HHVM", "HaaS", "ClangProxy"). \p RequestScale multiplies
+/// "AdFinder", "HHVM", "HaaS", "ClangProxy", plus the archetype presets
+/// "RpcFanout", "InterpLoop", "ColdBoot"). \p RequestScale multiplies
 /// the request count (benchmarks use larger scales than unit tests).
 WorkloadConfig workloadPreset(const std::string &Name,
                               double RequestScale = 1.0);
 
 /// All five server workload names in paper order.
 std::vector<std::string> serverWorkloadNames();
+
+/// The three non-server archetype presets (RpcFanout, InterpLoop,
+/// ColdBoot) in ROADMAP order.
+std::vector<std::string> archetypeWorkloadNames();
 
 /// Applies a minor, CFG-preserving source drift to \p M: every function
 /// gets its line numbers shifted from mid-function down, as if a comment

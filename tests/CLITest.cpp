@@ -248,6 +248,40 @@ TEST(CLIGolden, HelpFleet) {
                 GlobalBlock);
 }
 
+TEST(CLIGolden, HelpTrain) {
+  EXPECT_EQ(
+      helpFor("train"),
+      std::string(
+          "usage: csspgo_exp train [scale]\n"
+          "  longitudinal release-train staleness simulation\n"
+          "\n"
+          "simulates a release train: the workload source evolves through\n"
+          "--releases seeded drift plans, and each release is built with "
+          "the\n"
+          "previous release's profile under the selected stale-profile\n"
+          "policies (drop / match / ingest), scored against a per-release\n"
+          "plain build and a fresh-profile oracle. Prints the per-release\n"
+          "trajectory and its aggregates (one stable JSON object with\n"
+          "--json); exits nonzero when any release fails Full profile\n"
+          "verification or changes program semantics.\n"
+          "\n"
+          "-j shards the train's builds; any job count is bit-identical.\n"
+          "--decay weights the ingest policy's store folds.\n"
+          "\n"
+          "flags:\n"
+          "  --archetype W   workload preset, e.g. one of the archetypes\n"
+          "                  RpcFanout|InterpLoop|ColdBoot (default "
+          "AdRanker)\n"
+          "  --releases N    train length (default 4)\n"
+          "  --policy P      drop|match|ingest|all (default all)\n"
+          "  --variant V     PGO variant under test (default csspgo)\n"
+          "  --postlink      add the PGO+BOLT column: each oracle binary\n"
+          "                  rewritten from one-release-stale samples\n"
+          "  --seed N        drift-plan seed (default 1)\n"
+          "\n") +
+          GlobalBlock);
+}
+
 TEST(CLIGolden, HelpList) {
   EXPECT_EQ(helpFor("list"),
             std::string("usage: csspgo_exp list\n"
@@ -260,7 +294,7 @@ TEST(CLIGolden, UsageListsEverySubcommandAndEndsWithGlobals) {
   std::string U = cli::usageText();
   size_t Count = 0;
   const cli::SubcommandInfo *Subs = cli::subcommands(Count);
-  EXPECT_EQ(Count, 12u);
+  EXPECT_EQ(Count, 13u);
   size_t Prev = 0;
   for (size_t I = 0; I != Count; ++I) {
     size_t Pos = U.find(std::string("csspgo_exp ") + Subs[I].Name);
@@ -396,4 +430,8 @@ TEST(CLIFlags, FindSubcommandAndMinOperands) {
   const cli::SubcommandInfo *Serve = cli::findSubcommand("serve");
   ASSERT_NE(Serve, nullptr);
   EXPECT_TRUE(Serve->LocalFlags);
+  const cli::SubcommandInfo *Train = cli::findSubcommand("train");
+  ASSERT_NE(Train, nullptr);
+  EXPECT_EQ(Train->MinOperands, 0);
+  EXPECT_TRUE(Train->LocalFlags); // train parses --releases etc. itself.
 }

@@ -4,6 +4,7 @@
 #include "ir/Verifier.h"
 #include "probe/ProbeInserter.h"
 #include "sim/Executor.h"
+#include "workload/DriftPlan.h"
 #include "workload/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -109,6 +110,105 @@ int64_t runModule(const Module &M, const WorkloadConfig &C) {
 }
 
 } // namespace
+
+TEST(Workload, ArchetypesGenerateRunnableDeterministicPrograms) {
+  for (const std::string &Name : archetypeWorkloadNames()) {
+    WorkloadConfig C = workloadPreset(Name, 0.05);
+    EXPECT_EQ(C.Name, Name);
+    auto M = generateProgram(C);
+    EXPECT_TRUE(verifyModule(*M).empty()) << Name;
+    auto Bin = compileToBinary(*M);
+    auto Mem = generateInput(C, 11);
+    RunResult R = execute(*Bin, "main", Mem, {});
+    ASSERT_TRUE(R.Completed) << Name << ": " << R.Error;
+    EXPECT_GT(R.Calls, 20u) << Name;
+    EXPECT_GT(R.CondBranches, 100u) << Name;
+    // Same (config, seed) regenerates the identical program and input.
+    auto Mem2 = generateInput(C, 11);
+    RunResult R2 = execute(*compileToBinary(*generateProgram(C)), "main",
+                           Mem2, {});
+    EXPECT_EQ(R2.ExitValue, R.ExitValue) << Name;
+  }
+}
+
+TEST(Workload, ArchetypesAreStructurallyDistinct) {
+  auto Rpc = generateProgram(workloadPreset("RpcFanout", 0.05));
+  auto Interp = generateProgram(workloadPreset("InterpLoop", 0.05));
+  auto Boot = generateProgram(workloadPreset("ColdBoot", 0.05));
+  // Interpreter: a dispatch loop over opcode handlers.
+  EXPECT_NE(Interp->getFunction("interp"), nullptr);
+  EXPECT_NE(Interp->getFunction("op_0"), nullptr);
+  EXPECT_EQ(Rpc->getFunction("interp"), nullptr);
+  // Cold boot: one-shot init phases ahead of the steady loop.
+  EXPECT_NE(Boot->getFunction("init_phase_0"), nullptr);
+  EXPECT_EQ(Interp->getFunction("init_phase_0"), nullptr);
+  // RPC fan-out: every frontend dispatches to its backends indirectly
+  // (one site in the fan-out loop plus the retry recall), far more
+  // static indirect sites than the other archetypes carry.
+  auto countIndirect = [](const Module &M) {
+    unsigned N = 0;
+    for (auto &F : M.Functions)
+      for (auto &BB : F->Blocks)
+        for (auto &I : BB->Insts)
+          N += I.Op == Opcode::CallIndirect;
+    return N;
+  };
+  unsigned Fanout = countIndirect(*Rpc);
+  EXPECT_GE(Fanout, workloadPreset("RpcFanout", 0.05).NumServices);
+  EXPECT_GT(Fanout, countIndirect(*Interp));
+  EXPECT_GT(Fanout, countIndirect(*Boot));
+}
+
+TEST(Workload, ArchetypeDriftPreservesSemantics) {
+  for (const std::string &Name : archetypeWorkloadNames()) {
+    WorkloadConfig C = workloadPreset(Name, 0.05);
+    auto M1 = generateProgram(C);
+    auto M2 = generateProgram(C);
+    unsigned Edits = applyDriftPlan(*M2, releaseDriftPlan(1, 1));
+    EXPECT_GT(Edits, 0u) << Name;
+    EXPECT_TRUE(verifyModule(*M2).empty()) << Name;
+    EXPECT_EQ(runModule(*M1, C), runModule(*M2, C)) << Name;
+  }
+}
+
+TEST(Workload, ReleaseDriftPlansAreDeterministicAndCycleEditors) {
+  WorkloadConfig C = tinyConfig();
+  std::string Names;
+  for (unsigned R = 1; R <= 4; ++R) {
+    DriftPlan P1 = releaseDriftPlan(7, R);
+    DriftPlan P2 = releaseDriftPlan(7, R);
+    EXPECT_EQ(driftPlanName(P1), driftPlanName(P2));
+    EXPECT_GT(P1.ShiftLines, 0u);
+    auto M1 = generateProgram(C);
+    auto M2 = generateProgram(C);
+    EXPECT_EQ(applyDriftPlan(*M1, P1), applyDriftPlan(*M2, P2))
+        << "release " << R;
+    EXPECT_TRUE(verifyModule(*M1).empty()) << "release " << R;
+    auto M0 = generateProgram(C);
+    EXPECT_EQ(runModule(*M0, C), runModule(*M1, C)) << "release " << R;
+    Names += driftPlanName(P1) + ";";
+  }
+  // The four-release cycle exercises every editor and both directions.
+  EXPECT_NE(Names.find("insert"), std::string::npos);
+  EXPECT_NE(Names.find("split"), std::string::npos);
+  EXPECT_NE(Names.find("rename"), std::string::npos);
+  EXPECT_NE(Names.find("delete"), std::string::npos);
+}
+
+TEST(Workload, SharedDriftPlansMatchTheAblationsCells) {
+  // The ablation's insert/delete cells and the plans must stay one
+  // source of truth: insert stages guard+split+rename with no prep;
+  // delete preps the guards it later folds out.
+  DriftPlan Ins = insertDriftPlan();
+  EXPECT_TRUE(Ins.PrepSteps.empty());
+  EXPECT_EQ(Ins.Steps.size(), 3u);
+  EXPECT_EQ(driftPlanName(Ins), "insert+split+rename");
+  DriftPlan Del = deleteDriftPlan();
+  ASSERT_EQ(Del.PrepSteps.size(), 1u);
+  EXPECT_EQ(Del.PrepSteps[0].Kind, CFGDriftKind::GuardInsert);
+  ASSERT_EQ(Del.Steps.size(), 1u);
+  EXPECT_EQ(Del.Steps[0].Kind, CFGDriftKind::GuardDelete);
+}
 
 TEST(Workload, CFGDriftPreservesSemanticsAndStalesChecksums) {
   WorkloadConfig C = tinyConfig();

@@ -111,6 +111,30 @@ const SubcommandInfo Table[] = {
      0,
      "equivalent to `serve --exit-after-drain`; accepts the same flags.",
      true},
+    {"train", "[scale]", "longitudinal release-train staleness simulation",
+     0,
+     "simulates a release train: the workload source evolves through\n"
+     "--releases seeded drift plans, and each release is built with the\n"
+     "previous release's profile under the selected stale-profile\n"
+     "policies (drop / match / ingest), scored against a per-release\n"
+     "plain build and a fresh-profile oracle. Prints the per-release\n"
+     "trajectory and its aggregates (one stable JSON object with\n"
+     "--json); exits nonzero when any release fails Full profile\n"
+     "verification or changes program semantics.\n"
+     "\n"
+     "-j shards the train's builds; any job count is bit-identical.\n"
+     "--decay weights the ingest policy's store folds.\n"
+     "\n"
+     "flags:\n"
+     "  --archetype W   workload preset, e.g. one of the archetypes\n"
+     "                  RpcFanout|InterpLoop|ColdBoot (default AdRanker)\n"
+     "  --releases N    train length (default 4)\n"
+     "  --policy P      drop|match|ingest|all (default all)\n"
+     "  --variant V     PGO variant under test (default csspgo)\n"
+     "  --postlink      add the PGO+BOLT column: each oracle binary\n"
+     "                  rewritten from one-release-stale samples\n"
+     "  --seed N        drift-plan seed (default 1)",
+     true},
     {"list", "", "workloads and variants", 0, nullptr, false},
 };
 

@@ -20,6 +20,7 @@
 #include "service/ProfileService.h"
 #include "store/ProfileStore.h"
 #include "support/SourceText.h"
+#include "train/ReleaseTrain.h"
 #include "workload/Workloads.h"
 
 #include <algorithm>
@@ -109,6 +110,8 @@ bool looksLikeContextText(const std::string &Text) {
 int cmdList(int, char **) {
   std::printf("workloads:");
   for (const std::string &W : serverWorkloadNames())
+    std::printf(" %s", W.c_str());
+  for (const std::string &W : archetypeWorkloadNames())
     std::printf(" %s", W.c_str());
   std::printf(" ClangProxy\n"
               "variants: none instr autofdo probeonly csspgo trace\n");
@@ -814,6 +817,105 @@ int runService(int argc, char **argv, bool ExitAfterDrain) {
 int cmdServe(int argc, char **argv) { return runService(argc, argv, false); }
 int cmdFleet(int argc, char **argv) { return runService(argc, argv, true); }
 
+/// `train [scale]`: the longitudinal release-train simulator
+/// (train/ReleaseTrain.h). The exit status pins the train's invariants —
+/// every release Full-verified and semantics-preserving — so the CI
+/// smoke can gate on it.
+int cmdTrain(int argc, char **argv) {
+  bool PostLink = cli::takeBoolFlag(argc, argv, "--postlink");
+  std::string Workload = "AdRanker", Policy = "all", Variant = "csspgo", Err;
+  unsigned long long Releases = 4, Seed = 1;
+  if (!cli::takeValueFlag(argc, argv, "--archetype", Workload, Err) ||
+      !cli::takeValueFlag(argc, argv, "--policy", Policy, Err) ||
+      !cli::takeValueFlag(argc, argv, "--variant", Variant, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--releases", Releases, Err) ||
+      !cli::takeUnsignedFlag(argc, argv, "--seed", Seed, Err)) {
+    std::fprintf(stderr, "train: %s\n", Err.c_str());
+    return 2;
+  }
+  if (const char *Flag = cli::firstFlag(argc, argv)) {
+    std::fprintf(stderr, "train: unknown option '%s'\n", Flag);
+    return 2;
+  }
+  train::TrainConfig TC;
+  if (!parseVariant(Variant, TC.Variant) ||
+      TC.Variant == PGOVariant::None) {
+    std::fprintf(stderr, "train: variant '%s' produces no profile\n",
+                 Variant.c_str());
+    return 2;
+  }
+  if (Releases == 0) {
+    std::fprintf(stderr, "train: --releases must be nonzero\n");
+    return 2;
+  }
+  if (Policy != "all") {
+    train::StalePolicy P;
+    if (!train::parsePolicy(Policy, P)) {
+      std::fprintf(stderr,
+                   "train: unknown --policy '%s' (drop|match|ingest|all)\n",
+                   Policy.c_str());
+      return 2;
+    }
+    TC.Policies = {P};
+  }
+  TC.Exp = makeConfig(Workload, argc > 2 ? std::atof(argv[2]) : 1.0);
+  TC.Releases = static_cast<unsigned>(Releases);
+  TC.DriftSeed = Seed;
+  TC.PostLink = PostLink;
+  TC.Jobs = std::max(1u, G.Parallelism);
+  // The global --decay default (1000, plain merge) is an ingest-command
+  // default; the train's store folds default to the library's 500.
+  if (G.DecayPermille != 1000)
+    TC.DecayPermille = G.DecayPermille;
+
+  train::TrainResult R = runTrain(TC);
+  if (G.JSON) {
+    std::fputs(R.toJSON().c_str(), stdout);
+    return R.allClean() ? 0 : 1;
+  }
+  std::printf("workload:  %s (%u requests/release)\n", Workload.c_str(),
+              TC.Exp.Workload.Requests);
+  std::printf("variant:   %s, %u releases, drift seed %llu\n",
+              variantName(TC.Variant), TC.Releases,
+              static_cast<unsigned long long>(TC.DriftSeed));
+  TextTable Table({"rel", "drift", "edits", "oracle", "policy", "vs plain",
+                   "vs oracle", "overlap", "stale d/m", "store"});
+  for (const train::ReleaseRow &Row : R.Rows) {
+    bool First = true;
+    for (const train::PolicyCell &C : Row.Cells) {
+      char Overlap[32];
+      std::snprintf(Overlap, sizeof(Overlap), "%.3f", C.Overlap);
+      Table.addRow({First ? std::to_string(Row.Release) : "",
+                    First ? Row.DriftName : "",
+                    First ? std::to_string(Row.DriftEdits) : "",
+                    First ? formatSignedPercent(Row.OracleVsPlainPct) : "",
+                    train::policyName(C.Policy),
+                    formatSignedPercent(C.VsPlainPct),
+                    formatSignedPercent(C.VsOraclePct), Overlap,
+                    std::to_string(C.StaleDropped) + "/" +
+                        std::to_string(C.StaleMatched),
+                    First ? std::to_string(Row.StoreEpochs) + "@" +
+                                std::to_string(Row.StoreTimestamp)
+                          : ""});
+      First = false;
+    }
+    if (Row.HasPostLink)
+      Table.addRow({"", "", "", "", "bolt",
+                    Row.RewriteKept ? "kept" : "plain",
+                    formatSignedPercent(Row.PostLinkVsOraclePct), "-", "-",
+                    ""});
+  }
+  std::printf("%s", Table.render().c_str());
+  for (const train::StalePolicy P : TC.Policies)
+    std::printf("aggregate %-6s %s\n", train::policyName(P),
+                formatSignedPercent(R.aggregate(P)).c_str());
+  std::printf("invariants: %s\n",
+              R.allClean() ? "every release Full-verified, semantics "
+                             "preserved"
+                           : "VIOLATED — see trajectory");
+  return R.allClean() ? 0 : 1;
+}
+
 //===----------------------------------------------------------------------===//
 // Dispatch: the shared table (ExpCLI) names the surface; this maps each
 // entry to its handler.
@@ -828,7 +930,8 @@ const HandlerEntry Handlers[] = {
     {"run", cmdRun},       {"trace", cmdTrace},     {"bolt", cmdBolt},
     {"profile", cmdProfile}, {"compare", cmdCompare}, {"ir", cmdIR},
     {"convert", cmdConvert}, {"store", cmdStore},   {"fuzz", cmdFuzz},
-    {"serve", cmdServe},   {"fleet", cmdFleet},     {"list", cmdList},
+    {"serve", cmdServe},   {"fleet", cmdFleet},     {"train", cmdTrain},
+    {"list", cmdList},
 };
 
 int usage() {
